@@ -1,0 +1,183 @@
+// Constant vs amortized latency: the paper's headline claim (§1/§2).
+// Runs the c-approximate engine against trivial PIR, Wang et al.
+// (ESORICS'06) and a pyramid ORAM on the same database and reports the
+// per-query simulated-latency distribution. The c-approximate scheme
+// trades a little privacy for a *flat* latency profile; the baselines
+// are either uniformly slow (trivial) or spiky (reshuffle-based).
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "baselines/pyramid_oram.h"
+#include "baselines/sqrt_oram.h"
+#include "baselines/trivial_pir.h"
+#include "baselines/wang_pir.h"
+#include "bench/bench_util.h"
+#include "crypto/secure_random.h"
+#include "model/cost_model.h"
+
+namespace {
+
+using namespace shpir;
+
+constexpr uint64_t kNumPages = 4096;
+constexpr size_t kPageSize = 256;
+constexpr int kQueries = 2000;
+
+struct LatencyStats {
+  double min_ms, p50_ms, mean_ms, p95_ms, p99_ms, max_ms, total_s;
+};
+
+LatencyStats Summarize(std::vector<double>& seconds) {
+  std::sort(seconds.begin(), seconds.end());
+  double total = 0;
+  for (double s : seconds) {
+    total += s;
+  }
+  auto pct = [&](double p) {
+    return seconds[static_cast<size_t>(p * (seconds.size() - 1))] * 1000;
+  };
+  return LatencyStats{seconds.front() * 1000, pct(0.50),
+                      total / seconds.size() * 1000, pct(0.95), pct(0.99),
+                      seconds.back() * 1000, total};
+}
+
+void Report(const char* name, const LatencyStats& stats) {
+  std::printf("%-12s %9.2f %9.2f %9.2f %9.2f %9.2f %10.2f %9.1f\n", name,
+              stats.min_ms, stats.p50_ms, stats.mean_ms, stats.p95_ms,
+              stats.p99_ms, stats.max_ms, stats.total_s);
+}
+
+/// Runs `queries` against `engine`, returning per-query simulated time.
+std::vector<double> Drive(core::PirEngine& engine,
+                          hardware::SecureCoprocessor& cpu,
+                          uint64_t workload_seed) {
+  crypto::SecureRandom rng(workload_seed);
+  std::vector<double> seconds;
+  seconds.reserve(kQueries);
+  const hardware::HardwareProfile& profile = cpu.profile();
+  for (int i = 0; i < kQueries; ++i) {
+    const auto before = cpu.cost().Snapshot();
+    SHPIR_CHECK(engine.Retrieve(rng.UniformInt(kNumPages)).ok());
+    const auto delta = cpu.cost().Snapshot() - before;
+    seconds.push_back(hardware::CostAccountant::Seconds(delta, profile));
+  }
+  return seconds;
+}
+
+}  // namespace
+
+int main() {
+  const auto profile = hardware::HardwareProfile::Ibm4764();
+  bench::PrintTable2(profile);
+  std::printf(
+      "Per-query simulated latency over %d uniform queries, n = %llu "
+      "pages x %zu B:\n\n",
+      kQueries, (unsigned long long)kNumPages, kPageSize);
+  std::printf("%-12s %9s %9s %9s %9s %9s %10s %9s\n", "engine", "min ms",
+              "p50 ms", "mean ms", "p95 ms", "p99 ms", "max ms", "total s");
+
+  // c-approximate PIR (this paper), c = 2, m = 256.
+  {
+    core::CApproxPir::Options options;
+    options.num_pages = kNumPages;
+    options.page_size = kPageSize;
+    options.cache_pages = 256;
+    options.privacy_c = 2.0;
+    auto rig = bench::MakeEngineRig(options, 1);
+    auto lat = Drive(*rig->engine, *rig->cpu, 100);
+    const auto stats = Summarize(lat);
+    Report("c-approx", stats);
+    std::printf("%-12s  (k = %llu, achieved c = %.3f — constant cost by "
+                "construction)\n",
+                "", (unsigned long long)rig->engine->block_size(),
+                rig->engine->achieved_privacy());
+  }
+
+  // Trivial PIR: perfect privacy, O(n) per query.
+  {
+    storage::MemoryDisk disk(kNumPages, bench::SealedSize(kPageSize));
+    auto cpu = hardware::SecureCoprocessor::Create(profile, &disk,
+                                                   kPageSize, 2);
+    SHPIR_CHECK(cpu.ok());
+    baselines::TrivialPir::Options options{kNumPages, kPageSize};
+    auto pir = baselines::TrivialPir::Create(cpu->get(), options);
+    SHPIR_CHECK(pir.ok());
+    SHPIR_CHECK_OK((*pir)->Initialize({}));
+    auto lat = Drive(**pir, **cpu, 101);
+    Report("trivial", Summarize(lat));
+  }
+
+  // Wang et al.: O(1) until the storage fills, then an O(n) reshuffle.
+  {
+    storage::MemoryDisk disk(kNumPages, bench::SealedSize(kPageSize));
+    auto cpu = hardware::SecureCoprocessor::Create(profile, &disk,
+                                                   kPageSize, 3);
+    SHPIR_CHECK(cpu.ok());
+    baselines::WangPir::Options options;
+    options.num_pages = kNumPages;
+    options.page_size = kPageSize;
+    options.cache_pages = 256;
+    auto pir = baselines::WangPir::Create(cpu->get(), options);
+    SHPIR_CHECK(pir.ok());
+    SHPIR_CHECK_OK((*pir)->Initialize({}));
+    auto lat = Drive(**pir, **cpu, 102);
+    const auto stats = Summarize(lat);
+    Report("wang06", stats);
+    std::printf("%-12s  (%llu full reshuffles — the max/p50 gap is the "
+                "amortization spike)\n",
+                "", (unsigned long long)(*pir)->reshuffles());
+  }
+
+  // Square-root ORAM: O(sqrt n) per query plus epoch reshuffles.
+  {
+    baselines::SqrtOram::Options options;
+    options.num_pages = kNumPages;
+    options.page_size = kPageSize;
+    auto slots = baselines::SqrtOram::DiskSlots(options);
+    SHPIR_CHECK(slots.ok());
+    storage::MemoryDisk disk(*slots, bench::SealedSize(kPageSize));
+    auto cpu = hardware::SecureCoprocessor::Create(profile, &disk,
+                                                   kPageSize, 5);
+    SHPIR_CHECK(cpu.ok());
+    auto oram = baselines::SqrtOram::Create(cpu->get(), options);
+    SHPIR_CHECK(oram.ok());
+    SHPIR_CHECK_OK((*oram)->Initialize({}));
+    auto lat = Drive(**oram, **cpu, 104);
+    const auto stats = Summarize(lat);
+    Report("sqrt-oram", stats);
+    std::printf("%-12s  (shelter = %llu, %llu epoch reshuffles)\n", "",
+                (unsigned long long)(*oram)->shelter_slots(),
+                (unsigned long long)(*oram)->reshuffles());
+  }
+
+  // Pyramid ORAM: polylog amortized, geometric rebuild spikes.
+  {
+    baselines::PyramidOram::Options options;
+    options.num_pages = kNumPages;
+    options.page_size = kPageSize;
+    options.stash_pages = 8;
+    auto slots = baselines::PyramidOram::DiskSlots(options);
+    SHPIR_CHECK(slots.ok());
+    storage::MemoryDisk disk(*slots, bench::SealedSize(kPageSize));
+    auto cpu = hardware::SecureCoprocessor::Create(profile, &disk,
+                                                   kPageSize, 4);
+    SHPIR_CHECK(cpu.ok());
+    auto oram = baselines::PyramidOram::Create(cpu->get(), options);
+    SHPIR_CHECK(oram.ok());
+    SHPIR_CHECK_OK((*oram)->Initialize({}));
+    auto lat = Drive(**oram, **cpu, 103);
+    const auto stats = Summarize(lat);
+    Report("pyramid-oram", stats);
+    std::printf("%-12s  (%llu level rebuilds)\n", "",
+                (unsigned long long)(*oram)->rebuilds());
+  }
+
+  std::printf(
+      "\nShape check vs the paper: c-approx keeps p50 == max (constant\n"
+      "response time) at a fraction of trivial PIR's cost; wang06 and the\n"
+      "ORAM have cheap medians but orders-of-magnitude worst cases — the\n"
+      "\"server offline for large periods\" problem the paper attacks.\n");
+  return 0;
+}

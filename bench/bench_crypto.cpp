@@ -1,0 +1,125 @@
+// Microbenchmarks of the crypto substrate (google-benchmark): the
+// paper's Table 2 budgets 10 MB/s for the coprocessor's crypto engine;
+// these numbers characterize the simulator's actual software crypto.
+
+#include <benchmark/benchmark.h>
+
+#include "common/check.h"
+#include "crypto/aes.h"
+#include "crypto/chacha20.h"
+#include "crypto/ctr.h"
+#include "crypto/hmac.h"
+#include "crypto/secure_random.h"
+#include "crypto/sha256.h"
+#include "storage/page_cipher.h"
+
+namespace {
+
+using namespace shpir;
+
+void BM_AesEncryptBlock(benchmark::State& state) {
+  auto aes = crypto::Aes::Create(Bytes(16, 0x11));
+  SHPIR_CHECK(aes.ok());
+  uint8_t block[16] = {};
+  for (auto _ : state) {
+    aes->EncryptBlock(block, block);
+    benchmark::DoNotOptimize(block);
+  }
+  state.SetBytesProcessed(state.iterations() * 16);
+}
+BENCHMARK(BM_AesEncryptBlock);
+
+void BM_AesCtr(benchmark::State& state) {
+  auto ctr = crypto::AesCtr::Create(Bytes(16, 0x22));
+  SHPIR_CHECK(ctr.ok());
+  Bytes data(static_cast<size_t>(state.range(0)), 0xab);
+  const Bytes iv(16, 0x01);
+  for (auto _ : state) {
+    SHPIR_CHECK_OK(ctr->Crypt(iv, data, data));
+    benchmark::DoNotOptimize(data.data());
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_AesCtr)->Arg(1024)->Arg(10240);
+
+void BM_Sha256(benchmark::State& state) {
+  Bytes data(static_cast<size_t>(state.range(0)), 0x5a);
+  for (auto _ : state) {
+    auto digest = crypto::Sha256::Hash(data);
+    benchmark::DoNotOptimize(digest);
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(1024)->Arg(10240);
+
+void BM_HmacSha256(benchmark::State& state) {
+  crypto::HmacSha256 mac(Bytes(32, 0x33));
+  Bytes data(1024, 0x5a);
+  for (auto _ : state) {
+    auto tag = mac.Compute(data);
+    benchmark::DoNotOptimize(tag);
+  }
+  state.SetBytesProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_HmacSha256);
+
+void BM_ChaCha20(benchmark::State& state) {
+  auto cipher = crypto::ChaCha20::Create(Bytes(32, 0x44));
+  SHPIR_CHECK(cipher.ok());
+  Bytes data(1024, 0xab);
+  const Bytes nonce(12, 0x01);
+  for (auto _ : state) {
+    SHPIR_CHECK_OK(cipher->Crypt(nonce, 0, data, data));
+    benchmark::DoNotOptimize(data.data());
+  }
+  state.SetBytesProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_ChaCha20);
+
+void BM_SecureRandomFill(benchmark::State& state) {
+  crypto::SecureRandom rng(1);
+  Bytes data(1024);
+  for (auto _ : state) {
+    rng.Fill(data);
+    benchmark::DoNotOptimize(data.data());
+  }
+  state.SetBytesProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_SecureRandomFill);
+
+void BM_PageCipherSeal(benchmark::State& state) {
+  const size_t page_size = static_cast<size_t>(state.range(0));
+  auto cipher =
+      storage::PageCipher::Create(Bytes(32, 0x01), Bytes(32, 0x02),
+                                  page_size);
+  SHPIR_CHECK(cipher.ok());
+  crypto::SecureRandom rng(2);
+  storage::Page page(7, Bytes(page_size, 0x77));
+  for (auto _ : state) {
+    auto sealed = cipher->Seal(page, rng);
+    benchmark::DoNotOptimize(sealed);
+  }
+  state.SetBytesProcessed(state.iterations() * page_size);
+}
+BENCHMARK(BM_PageCipherSeal)->Arg(1024)->Arg(10240);
+
+void BM_PageCipherOpen(benchmark::State& state) {
+  const size_t page_size = static_cast<size_t>(state.range(0));
+  auto cipher =
+      storage::PageCipher::Create(Bytes(32, 0x01), Bytes(32, 0x02),
+                                  page_size);
+  SHPIR_CHECK(cipher.ok());
+  crypto::SecureRandom rng(3);
+  storage::Page page(7, Bytes(page_size, 0x77));
+  const Bytes sealed = *cipher->Seal(page, rng);
+  for (auto _ : state) {
+    auto opened = cipher->Open(sealed);
+    benchmark::DoNotOptimize(opened);
+  }
+  state.SetBytesProcessed(state.iterations() * page_size);
+}
+BENCHMARK(BM_PageCipherOpen)->Arg(1024)->Arg(10240);
+
+}  // namespace
+
+BENCHMARK_MAIN();

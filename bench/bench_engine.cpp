@@ -1,0 +1,173 @@
+// Wall-clock microbenchmarks of the engines themselves (the software
+// simulator's throughput, distinct from the simulated hardware times).
+
+#include <benchmark/benchmark.h>
+
+#include "baselines/pyramid_oram.h"
+#include "baselines/wang_pir.h"
+#include "bench/bench_util.h"
+#include "crypto/secure_random.h"
+#include "index/bplus_tree.h"
+#include "index/hash_index.h"
+
+namespace {
+
+using namespace shpir;
+
+void BM_CApproxRetrieve(benchmark::State& state) {
+  core::CApproxPir::Options options;
+  options.num_pages = static_cast<uint64_t>(state.range(0));
+  options.page_size = 1024;
+  options.cache_pages = options.num_pages / 16;
+  options.privacy_c = 2.0;
+  auto rig = bench::MakeEngineRig(options, 42);
+  crypto::SecureRandom rng(1);
+  for (auto _ : state) {
+    auto data = rig->engine->Retrieve(rng.UniformInt(options.num_pages));
+    benchmark::DoNotOptimize(data);
+  }
+  state.counters["k"] = static_cast<double>(rig->engine->block_size());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CApproxRetrieve)->Arg(1024)->Arg(4096)->Arg(16384);
+
+void BM_CApproxRetrieveByPrivacy(benchmark::State& state) {
+  core::CApproxPir::Options options;
+  options.num_pages = 4096;
+  options.page_size = 1024;
+  options.cache_pages = 256;
+  options.privacy_c = 1.0 + static_cast<double>(state.range(0)) / 100.0;
+  auto rig = bench::MakeEngineRig(options, 42);
+  crypto::SecureRandom rng(1);
+  for (auto _ : state) {
+    auto data = rig->engine->Retrieve(rng.UniformInt(options.num_pages));
+    benchmark::DoNotOptimize(data);
+  }
+  state.counters["k"] = static_cast<double>(rig->engine->block_size());
+}
+BENCHMARK(BM_CApproxRetrieveByPrivacy)->Arg(5)->Arg(10)->Arg(50)->Arg(100);
+
+void BM_WangRetrieve(benchmark::State& state) {
+  const uint64_t n = static_cast<uint64_t>(state.range(0));
+  storage::MemoryDisk disk(n, bench::SealedSize(1024));
+  auto cpu = hardware::SecureCoprocessor::Create(
+      hardware::HardwareProfile::Ibm4764(), &disk, 1024, 7);
+  SHPIR_CHECK(cpu.ok());
+  baselines::WangPir::Options options;
+  options.num_pages = n;
+  options.page_size = 1024;
+  options.cache_pages = n / 16;
+  auto pir = baselines::WangPir::Create(cpu->get(), options);
+  SHPIR_CHECK(pir.ok());
+  SHPIR_CHECK_OK((*pir)->Initialize({}));
+  crypto::SecureRandom rng(2);
+  for (auto _ : state) {
+    auto data = (*pir)->Retrieve(rng.UniformInt(n));
+    benchmark::DoNotOptimize(data);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WangRetrieve)->Arg(1024)->Arg(4096);
+
+void BM_PyramidOramRetrieve(benchmark::State& state) {
+  const uint64_t n = static_cast<uint64_t>(state.range(0));
+  baselines::PyramidOram::Options options;
+  options.num_pages = n;
+  options.page_size = 1024;
+  options.stash_pages = 8;
+  auto slots = baselines::PyramidOram::DiskSlots(options);
+  SHPIR_CHECK(slots.ok());
+  storage::MemoryDisk disk(*slots, bench::SealedSize(1024));
+  auto cpu = hardware::SecureCoprocessor::Create(
+      hardware::HardwareProfile::Ibm4764(), &disk, 1024, 8);
+  SHPIR_CHECK(cpu.ok());
+  auto oram = baselines::PyramidOram::Create(cpu->get(), options);
+  SHPIR_CHECK(oram.ok());
+  SHPIR_CHECK_OK((*oram)->Initialize({}));
+  crypto::SecureRandom rng(3);
+  for (auto _ : state) {
+    auto data = (*oram)->Retrieve(rng.UniformInt(n));
+    benchmark::DoNotOptimize(data);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PyramidOramRetrieve)->Arg(1024)->Arg(4096);
+
+void BM_EngineUpdates(benchmark::State& state) {
+  core::CApproxPir::Options options;
+  options.num_pages = 2048;
+  options.page_size = 1024;
+  options.cache_pages = 128;
+  options.privacy_c = 2.0;
+  options.insert_reserve = 256;
+  auto rig = bench::MakeEngineRig(options, 42);
+  crypto::SecureRandom rng(4);
+  Bytes payload(1024, 0x42);
+  for (auto _ : state) {
+    SHPIR_CHECK_OK(
+        rig->engine->Modify(rng.UniformInt(options.num_pages), payload));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EngineUpdates);
+
+// Private index lookups: B+-tree (height fetches) vs hash index
+// (fixed 2 probes) over the same engine and key set.
+void BM_PrivateIndexLookup(benchmark::State& state) {
+  const bool use_hash = state.range(0) != 0;
+  constexpr uint64_t kKeys = 20000;
+  std::vector<std::pair<uint64_t, uint64_t>> entries;
+  for (uint64_t i = 0; i < kKeys; ++i) {
+    entries.emplace_back(i * 11 + 3, i);
+  }
+  std::vector<storage::Page> pages;
+  if (use_hash) {
+    index::HashIndexBuilder builder(1024);
+    pages = *builder.Build(entries);
+  } else {
+    index::BPlusTreeBuilder builder(1024);
+    pages = *builder.Build(entries);
+  }
+  core::CApproxPir::Options options;
+  options.num_pages = pages.size();
+  options.page_size = 1024;
+  options.cache_pages = std::max<uint64_t>(16, pages.size() / 16);
+  options.privacy_c = 2.0;
+  auto slots = core::CApproxPir::DiskSlots(options);
+  SHPIR_CHECK(slots.ok());
+  storage::MemoryDisk disk(*slots, bench::SealedSize(1024));
+  auto cpu = hardware::SecureCoprocessor::Create(
+      hardware::HardwareProfile::Ibm4764(), &disk, 1024, 11);
+  SHPIR_CHECK(cpu.ok());
+  auto engine = core::CApproxPir::Create(cpu->get(), options);
+  SHPIR_CHECK(engine.ok());
+  SHPIR_CHECK_OK((*engine)->Initialize(pages));
+
+  crypto::SecureRandom rng(12);
+  if (use_hash) {
+    auto idx = index::HashIndex::Open(engine->get());
+    SHPIR_CHECK(idx.ok());
+    for (auto _ : state) {
+      auto r = (*idx)->Lookup(entries[rng.UniformInt(kKeys)].first);
+      benchmark::DoNotOptimize(r);
+    }
+    state.counters["fetches/op"] =
+        static_cast<double>((*idx)->probe_width());
+  } else {
+    auto idx = index::BPlusTree::Open(engine->get());
+    SHPIR_CHECK(idx.ok());
+    for (auto _ : state) {
+      auto r = (*idx)->Lookup(entries[rng.UniformInt(kKeys)].first);
+      benchmark::DoNotOptimize(r);
+    }
+    state.counters["fetches/op"] = static_cast<double>((*idx)->height());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PrivateIndexLookup)
+    ->Arg(0)   // B+-tree.
+    ->Arg(1);  // Hash index.
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,55 @@
+// Reproduces paper Figure 4: page retrieval cost and secure storage vs
+// cache size, 1KB pages, c = 2, for 1GB/10GB/100GB/1TB databases —
+// regenerated with the same closed forms the paper's §5 analysis uses
+// (Eqs. 6-8), then spot-checked against the values quoted in the text.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "model/cost_model.h"
+
+using shpir::hardware::HardwareProfile;
+using shpir::model::CostModel;
+using shpir::model::FigurePoint;
+using shpir::model::GenerateFig4;
+
+int main() {
+  shpir::bench::PrintTable2(HardwareProfile::Ibm4764());
+
+  std::printf("Figure 4: page retrieval costs for 1KB pages (c = 2)\n");
+  std::printf("%-6s %12s %14s %14s\n", "DB", "cache m", "response (s)",
+              "storage (MB)");
+  std::string last;
+  for (const FigurePoint& p : GenerateFig4()) {
+    if (p.database != last) {
+      std::printf("  --- Fig. 4 (%s, n = %llu) ---\n", p.database.c_str(),
+                  (unsigned long long)p.n);
+      last = p.database;
+    }
+    std::printf("%-6s %12llu %14.4f %14.2f\n", p.database.c_str(),
+                (unsigned long long)p.m, p.response_seconds, p.storage_mb);
+  }
+
+  std::printf("\nPaper spot checks (quoted in §5 text):\n");
+  std::printf("%-34s %10s %10s\n", "configuration", "paper", "model");
+  struct Spot {
+    const char* text;
+    uint64_t n, m;
+    double paper;
+  };
+  const Spot spots[] = {
+      {"1GB, m=50k: 27ms", 1000000, 50000, 0.027},
+      {"10GB, 1 coproc (m=20k): 197ms", 10000000, 20000, 0.197},
+      {"10GB, 2 coproc (m=80k): 65ms", 10000000, 80000, 0.065},
+      {"100GB, 10 coproc (m=200k): 197ms", 100000000, 200000, 0.197},
+      {"1TB, m=500k: 727ms", 1000000000, 500000, 0.727},
+  };
+  for (const Spot& s : spots) {
+    auto eval = CostModel::Evaluate(s.n, s.m, shpir::hardware::kKB, 2.0,
+                                    HardwareProfile::Ibm4764());
+    SHPIR_CHECK(eval.ok());
+    std::printf("%-34s %8.0fms %8.0fms\n", s.text, s.paper * 1000,
+                eval->query_seconds * 1000);
+  }
+  return 0;
+}

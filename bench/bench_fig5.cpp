@@ -1,0 +1,53 @@
+// Reproduces paper Figure 5: page retrieval cost and secure storage vs
+// cache size, 10KB pages, c = 2, for 1GB/10GB/100GB/1TB databases.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "model/cost_model.h"
+
+using shpir::hardware::HardwareProfile;
+using shpir::model::CostModel;
+using shpir::model::FigurePoint;
+using shpir::model::GenerateFig5;
+
+int main() {
+  shpir::bench::PrintTable2(HardwareProfile::Ibm4764());
+
+  std::printf("Figure 5: page retrieval costs for 10KB pages (c = 2)\n");
+  std::printf("%-6s %12s %14s %14s\n", "DB", "cache m", "response (s)",
+              "storage (MB)");
+  std::string last;
+  for (const FigurePoint& p : GenerateFig5()) {
+    if (p.database != last) {
+      std::printf("  --- Fig. 5 (%s, n = %llu) ---\n", p.database.c_str(),
+                  (unsigned long long)p.n);
+      last = p.database;
+    }
+    std::printf("%-6s %12llu %14.4f %14.2f\n", p.database.c_str(),
+                (unsigned long long)p.m, p.response_seconds, p.storage_mb);
+  }
+
+  std::printf("\nPaper spot checks (quoted in §5 text):\n");
+  std::printf("%-34s %10s %10s\n", "configuration", "paper", "model");
+  struct Spot {
+    const char* text;
+    uint64_t n, m;
+    double paper;
+  };
+  const Spot spots[] = {
+      {"1GB, m=5k: 94ms", 100000, 5000, 0.094},
+      {"10GB, 1 coproc (m=5k): 731ms", 1000000, 5000, 0.731},
+      {"10GB, 2 coproc (m=10k): 378ms", 1000000, 10000, 0.378},
+      {"100GB, 10 coproc (m=60k): 613ms", 10000000, 60000, 0.613},
+      {"1TB, m=400k: 907ms", 100000000, 400000, 0.907},
+  };
+  for (const Spot& s : spots) {
+    auto eval = CostModel::Evaluate(s.n, s.m, 10 * shpir::hardware::kKB, 2.0,
+                                    HardwareProfile::Ibm4764());
+    SHPIR_CHECK(eval.ok());
+    std::printf("%-34s %8.0fms %8.0fms\n", s.text, s.paper * 1000,
+                eval->query_seconds * 1000);
+  }
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Reproduces paper Figure 6: query response time as a function of the
+// privacy parameter c = 1 + eps (1KB pages, largest Fig. 4 cache per
+// database size). Shows the privacy/cost trade-off knob.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "model/cost_model.h"
+
+using shpir::hardware::HardwareProfile;
+using shpir::model::FigurePoint;
+using shpir::model::GenerateFig6;
+
+int main() {
+  shpir::bench::PrintTable2(HardwareProfile::Ibm4764());
+
+  std::printf(
+      "Figure 6: response time vs c = 1 + eps (B = 1KB)\n");
+  std::printf("%-6s %10s %10s %16s\n", "DB", "cache m", "eps",
+              "response (s)");
+  std::string last;
+  for (const FigurePoint& p : GenerateFig6()) {
+    if (p.database != last) {
+      std::printf("  --- Fig. 6 (%s, n = %llu, m = %llu) ---\n",
+                  p.database.c_str(), (unsigned long long)p.n,
+                  (unsigned long long)p.m);
+      last = p.database;
+    }
+    std::printf("%-6s %10llu %10.2f %16.4f\n", p.database.c_str(),
+                (unsigned long long)p.m, p.epsilon, p.response_seconds);
+  }
+  std::printf(
+      "\nPaper claim: for databases up to 100GB, sub-second response\n"
+      "times are achievable even for c = 1.1 (eps = 0.1).\n");
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Forward-looking extension: the paper's trade-off re-evaluated on a
+// modern (c. 2026) TEE deployment — NVMe storage, PCIe link, AES-NI
+// crypto, 16GB of enclave memory — versus the 2011 IBM 4764 profile.
+// The scheme's structure is unchanged; only Table 2's constants move.
+
+#include <cstdio>
+
+#include "common/check.h"
+#include "hardware/profile.h"
+#include "model/cost_model.h"
+
+int main() {
+  using namespace shpir;
+  using hardware::kGB;
+  using hardware::kKB;
+
+  const auto old_hw = hardware::HardwareProfile::Ibm4764();
+  const auto new_hw = hardware::HardwareProfile::ModernTee();
+
+  std::printf(
+      "c = 2 retrievals, 1KB pages: 2011 secure coprocessor vs 2026 TEE\n"
+      "(modern cache sized at 1%% of the database, capped by 16GB)\n\n");
+  std::printf("%-6s %14s %14s %16s %16s\n", "DB", "m (2011)", "m (2026)",
+              "2011 resp (ms)", "2026 resp (ms)");
+
+  struct Row {
+    const char* db;
+    uint64_t n;
+    uint64_t m_2011;
+  };
+  const Row rows[] = {
+      {"1GB", 1000000, 50000},
+      {"10GB", 10000000, 20000},
+      {"100GB", 100000000, 200000},
+      {"1TB", 1000000000, 500000},
+  };
+  for (const Row& row : rows) {
+    // Modern: 1% of pages cached, bounded by enclave memory for cache +
+    // pageMap.
+    uint64_t m_modern = row.n / 100;
+    while (model::CostModel::SecureStorageBytes(row.n, m_modern, 1, kKB) >
+           new_hw.secure_memory_bytes) {
+      m_modern /= 2;
+    }
+    auto old_eval =
+        model::CostModel::Evaluate(row.n, row.m_2011, kKB, 2.0, old_hw);
+    auto new_eval =
+        model::CostModel::Evaluate(row.n, m_modern, kKB, 2.0, new_hw);
+    SHPIR_CHECK(old_eval.ok());
+    SHPIR_CHECK(new_eval.ok());
+    std::printf("%-6s %14llu %14llu %16.1f %16.3f\n", row.db,
+                (unsigned long long)row.m_2011,
+                (unsigned long long)m_modern,
+                1000 * old_eval->query_seconds,
+                1000 * new_eval->query_seconds);
+  }
+
+  std::printf(
+      "\nAnd the privacy dial at 1TB on modern hardware (m = 1e7):\n");
+  std::printf("%8s %10s %16s\n", "eps", "k", "resp (ms)");
+  for (double eps : {0.01, 0.05, 0.1, 0.5, 1.0}) {
+    auto eval = model::CostModel::Evaluate(1000000000, 10000000, kKB,
+                                           1.0 + eps, new_hw);
+    SHPIR_CHECK(eval.ok());
+    std::printf("%8.2f %10llu %16.2f\n", eps, (unsigned long long)eval->k,
+                1000 * eval->query_seconds);
+  }
+  std::printf(
+      "\nReading: what needed 70 coprocessors and ~727ms in 2011 runs in\n"
+      "well under 10ms inside one modern TEE — and even c = 1.01 becomes\n"
+      "interactive. The trade-off the paper introduced is still the\n"
+      "right dial; the hardware has just moved every point down.\n");
+  return 0;
+}

@@ -1,0 +1,123 @@
+// Client-perceived latency under load: feeds each engine's per-query
+// *service* times into an M/G/1 FIFO queue. The paper's complaint about
+// amortized schemes — "some queries may lead to excessive delays,
+// essentially taking the database server offline for large periods of
+// time" — is head-of-line blocking: a single reshuffle stalls every
+// queued client. Constant-cost service keeps tail sojourn times tame at
+// the same offered load.
+
+#include <cstdio>
+#include <vector>
+
+#include "baselines/pyramid_oram.h"
+#include "baselines/wang_pir.h"
+#include "bench/bench_util.h"
+#include "model/queueing.h"
+#include "workload/workload.h"
+
+namespace {
+
+using namespace shpir;
+
+constexpr uint64_t kNumPages = 4096;
+constexpr size_t kPageSize = 256;
+constexpr int kQueries = 3000;
+
+std::vector<double> ServiceTimes(core::PirEngine& engine,
+                                 hardware::SecureCoprocessor& cpu,
+                                 uint64_t seed) {
+  workload::UniformWorkload wl(kNumPages, seed);
+  std::vector<double> service;
+  service.reserve(kQueries);
+  for (int i = 0; i < kQueries; ++i) {
+    const auto before = cpu.cost().Snapshot();
+    SHPIR_CHECK(engine.Retrieve(wl.Next()).ok());
+    const auto delta = cpu.cost().Snapshot() - before;
+    service.push_back(
+        hardware::CostAccountant::Seconds(delta, cpu.profile()));
+  }
+  return service;
+}
+
+void Report(const char* name, const std::vector<double>& service,
+            double arrival_rate) {
+  const model::QueueStats stats =
+      model::SimulateFifoQueue(service, arrival_rate, 42);
+  std::printf("%-12s %8.3f %10.1f %10.1f %10.1f %12.1f\n", name,
+              stats.utilization, 1000 * stats.p50_s, 1000 * stats.p95_s,
+              1000 * stats.p99_s, 1000 * stats.max_s);
+}
+
+}  // namespace
+
+int main() {
+  const auto profile = hardware::HardwareProfile::Ibm4764();
+  std::printf(
+      "Client-perceived sojourn time (queueing + service) at a shared\n"
+      "arrival rate, n = %llu x %zuB, %d queries, M/G/1 FIFO:\n\n",
+      (unsigned long long)kNumPages, kPageSize, kQueries);
+
+  // c-approximate engine sets the pace: load it to ~60%.
+  std::vector<double> capprox_service;
+  {
+    core::CApproxPir::Options options;
+    options.num_pages = kNumPages;
+    options.page_size = kPageSize;
+    options.cache_pages = 256;
+    options.privacy_c = 2.0;
+    auto rig = bench::MakeEngineRig(options, 1);
+    capprox_service = ServiceTimes(*rig->engine, *rig->cpu, 100);
+  }
+  double mean = 0;
+  for (double s : capprox_service) {
+    mean += s;
+  }
+  mean /= capprox_service.size();
+  const double arrival_rate = 0.6 / mean;
+  std::printf("arrival rate: %.1f queries/s (60%% of the c-approx "
+              "engine's capacity)\n\n",
+              arrival_rate);
+  std::printf("%-12s %8s %10s %10s %10s %12s\n", "engine", "load",
+              "p50 ms", "p95 ms", "p99 ms", "max ms");
+  Report("c-approx", capprox_service, arrival_rate);
+
+  {
+    storage::MemoryDisk disk(kNumPages, bench::SealedSize(kPageSize));
+    auto cpu = hardware::SecureCoprocessor::Create(profile, &disk,
+                                                   kPageSize, 2);
+    SHPIR_CHECK(cpu.ok());
+    baselines::WangPir::Options options;
+    options.num_pages = kNumPages;
+    options.page_size = kPageSize;
+    options.cache_pages = 256;
+    auto pir = baselines::WangPir::Create(cpu->get(), options);
+    SHPIR_CHECK(pir.ok());
+    SHPIR_CHECK_OK((*pir)->Initialize({}));
+    Report("wang06", ServiceTimes(**pir, **cpu, 101), arrival_rate);
+  }
+  {
+    baselines::PyramidOram::Options options;
+    options.num_pages = kNumPages;
+    options.page_size = kPageSize;
+    options.stash_pages = 8;
+    auto slots = baselines::PyramidOram::DiskSlots(options);
+    SHPIR_CHECK(slots.ok());
+    storage::MemoryDisk disk(*slots, bench::SealedSize(kPageSize));
+    auto cpu = hardware::SecureCoprocessor::Create(profile, &disk,
+                                                   kPageSize, 3);
+    SHPIR_CHECK(cpu.ok());
+    auto oram = baselines::PyramidOram::Create(cpu->get(), options);
+    SHPIR_CHECK(oram.ok());
+    SHPIR_CHECK_OK((*oram)->Initialize({}));
+    Report("pyramid-oram", ServiceTimes(**oram, **cpu, 102), arrival_rate);
+  }
+
+  std::printf(
+      "\nReading: identical arrivals, wildly different tails. The\n"
+      "reshuffle-based engines may show lower medians (cheaper average\n"
+      "service) but their p99/max sojourn explodes when a reshuffle\n"
+      "blocks the queue — the paper's 'server offline' effect. The\n"
+      "c-approximate engine's tail stays within normal Poisson queueing\n"
+      "variation of its median (no service spikes to amplify).\n");
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Reproduces the paper's §2 landscape: amortized vs worst-case costs of
+// the secure-hardware PIR families (trivial, Wang [24], sqrt/pyramid
+// ORAM [14, 25, 26]) against the c-approximate scheme, as closed forms
+// over a common deployment. The paper's argument in one table: every
+// perfect-privacy scheme that beats trivial amortized cost pays with a
+// worst case proportional to n; the c-approximate scheme's worst case
+// *is* its average, purchased with c > 1.
+
+#include <cstdio>
+
+#include "common/check.h"
+#include "core/security_parameter.h"
+#include "hardware/profile.h"
+#include "model/related_work_model.h"
+
+int main() {
+  using namespace shpir;
+  const auto profile = hardware::HardwareProfile::Ibm4764();
+  const uint64_t page_size = hardware::kKB;
+
+  for (uint64_t n : {1000000ull, 100000000ull}) {
+    const uint64_t m = n / 100;  // 1% of the database in secure storage.
+    auto k = core::SecurityParameter::BlockSize(n, m, 2.0);
+    SHPIR_CHECK(k.ok());
+    std::printf(
+        "n = %llu pages (1KB), secure storage m = %llu, c = 2 -> k = "
+        "%llu\n",
+        (unsigned long long)n, (unsigned long long)m,
+        (unsigned long long)*k);
+    std::printf("%-14s %16s %16s %14s %14s %9s\n", "scheme",
+                "amortized pages", "worst pages", "amortized s",
+                "worst s", "privacy");
+    for (const auto& scheme : model::CompareSchemes(n, m, *k)) {
+      // Seek counts: 1 for sequential scans, 4 for the c-approx round;
+      // use 4 uniformly as a fair upper bound for the per-query term.
+      const double amortized_s =
+          model::PagesToSeconds(scheme.amortized_pages, page_size, 4,
+                                profile);
+      const double worst_s = model::PagesToSeconds(
+          scheme.worst_case_pages, page_size, 4, profile);
+      std::printf("%-14s %16.1f %16.1f %14.3f %14.1f %9s\n",
+                  scheme.name.c_str(), scheme.amortized_pages,
+                  scheme.worst_case_pages, amortized_s, worst_s,
+                  scheme.perfect_privacy ? "perfect" : "c=2");
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "The c-approx row is the paper's contribution: constant worst case\n"
+      "(equal to its amortized cost) and orders of magnitude below the\n"
+      "perfect-privacy schemes' reshuffle spikes, in exchange for the\n"
+      "bounded c-approximate guarantee.\n");
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Tabulates the security parameter k = f(n, m, c) of Eq. 6 and the
+// analytic relocation distribution of Eqs. 1-5 — the paper's Definition
+// 1 machinery.
+
+#include <cstdio>
+
+#include "common/check.h"
+#include "core/security_parameter.h"
+
+using shpir::core::SecurityParameter;
+
+int main() {
+  std::printf("Eq. 6: block size k for target privacy c\n");
+  std::printf("%-12s %-10s", "n \\ c", "m");
+  const double cs[] = {1.01, 1.1, 1.5, 2.0, 4.0};
+  for (double c : cs) {
+    std::printf(" %10.2f", c);
+  }
+  std::printf("\n");
+  const uint64_t ns[] = {1000000, 10000000, 100000000, 1000000000};
+  const uint64_t ms[] = {10000, 100000, 1000000};
+  for (uint64_t n : ns) {
+    for (uint64_t m : ms) {
+      std::printf("%-12llu %-10llu", (unsigned long long)n,
+                  (unsigned long long)m);
+      for (double c : cs) {
+        auto k = SecurityParameter::BlockSize(n, m, c);
+        SHPIR_CHECK(k.ok());
+        std::printf(" %10llu", (unsigned long long)*k);
+      }
+      std::printf("\n");
+    }
+  }
+
+  std::printf("\nAnalytic relocation distribution (n=10000, m=100, k=500, "
+              "T=20):\n");
+  std::printf("%-8s %-14s\n", "offset b", "P(block b)");
+  const auto dist = SecurityParameter::BlockDistribution(100, 500, 20);
+  double sum = 0;
+  for (size_t b = 0; b < dist.size(); ++b) {
+    std::printf("%-8zu %-14.6f\n", b + 1, dist[b]);
+    sum += dist[b];
+  }
+  auto c = SecurityParameter::PrivacyOf(10000, 100, 500);
+  SHPIR_CHECK(c.ok());
+  std::printf("sum = %.6f; max/min ratio = %.4f (analytic c = %.4f)\n",
+              sum, dist.front() / dist.back(), *c);
+  return 0;
+}

@@ -1,0 +1,69 @@
+#ifndef SHPIR_BENCH_BENCH_UTIL_H_
+#define SHPIR_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "common/check.h"
+#include "core/capprox_pir.h"
+#include "hardware/coprocessor.h"
+#include "hardware/profile.h"
+#include "storage/access_trace.h"
+#include "storage/disk.h"
+
+namespace shpir::bench {
+
+/// Prints the paper's Table 2 so every bench is self-describing.
+inline void PrintTable2(const hardware::HardwareProfile& profile) {
+  std::printf("Table 2 system specification:\n");
+  std::printf("  disk seek time (ts)          %.0f ms\n",
+              profile.seek_time_s * 1000);
+  std::printf("  disk read/write (rd)         %.0f MB/s\n",
+              profile.disk_rate / 1e6);
+  std::printf("  secure hw link (rl)          %.0f MB/s\n",
+              profile.link_rate / 1e6);
+  std::printf("  encryption/decryption (renc) %.0f MB/s\n",
+              profile.crypto_rate / 1e6);
+  std::printf("  secure storage               %.0f MB\n\n",
+              static_cast<double>(profile.secure_memory_bytes) / 1e6);
+}
+
+inline size_t SealedSize(size_t page_size) {
+  return 12 + 8 + page_size + 32;
+}
+
+/// A ready-to-query c-approximate PIR stack over an in-memory disk.
+struct EngineRig {
+  std::unique_ptr<storage::MemoryDisk> disk;
+  std::unique_ptr<storage::TracingDisk> tracing_disk;
+  storage::AccessTrace trace;
+  std::unique_ptr<hardware::SecureCoprocessor> cpu;
+  std::unique_ptr<core::CApproxPir> engine;
+};
+
+inline std::unique_ptr<EngineRig> MakeEngineRig(
+    core::CApproxPir::Options options, uint64_t seed,
+    hardware::HardwareProfile profile = hardware::HardwareProfile::Ibm4764()) {
+  auto rig = std::make_unique<EngineRig>();
+  Result<uint64_t> slots = core::CApproxPir::DiskSlots(options);
+  SHPIR_CHECK(slots.ok());
+  rig->disk = std::make_unique<storage::MemoryDisk>(
+      *slots, SealedSize(options.page_size));
+  rig->tracing_disk =
+      std::make_unique<storage::TracingDisk>(rig->disk.get(), &rig->trace);
+  auto cpu = hardware::SecureCoprocessor::Create(
+      profile, rig->tracing_disk.get(), options.page_size, seed);
+  SHPIR_CHECK(cpu.ok());
+  rig->cpu = std::move(cpu).value();
+  auto engine =
+      core::CApproxPir::Create(rig->cpu.get(), options, &rig->trace);
+  SHPIR_CHECK(engine.ok());
+  rig->engine = std::move(engine).value();
+  SHPIR_CHECK_OK(rig->engine->Initialize({}));
+  return rig;
+}
+
+}  // namespace shpir::bench
+
+#endif  // SHPIR_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,111 @@
+// The paper's Figure 1, end to end: clients query the database server,
+// which merely *relays* end-to-end encrypted records between them and
+// the tamper-resistant coprocessor plugged into it. The relay executes
+// every request yet observes only ciphertext and a fixed access shape.
+//
+//   ./three_party_service
+
+#include <cstdio>
+
+#include "common/check.h"
+#include "core/capprox_pir.h"
+#include "crypto/secure_random.h"
+#include "hardware/coprocessor.h"
+#include "net/pir_service.h"
+#include "net/secure_channel.h"
+#include "storage/access_trace.h"
+#include "storage/disk.h"
+
+int main() {
+  using namespace shpir;
+
+  constexpr size_t kPageSize = 128;
+  core::CApproxPir::Options options;
+  options.num_pages = 1000;
+  options.page_size = kPageSize;
+  options.cache_pages = 64;
+  options.privacy_c = 2.0;
+  options.insert_reserve = 16;
+
+  // --- Server site: untrusted host + trusted coprocessor -------------
+  auto slots = core::CApproxPir::DiskSlots(options);
+  SHPIR_CHECK(slots.ok());
+  storage::MemoryDisk disk(*slots, 12 + 8 + kPageSize + 32);
+  storage::AccessTrace trace;  // What the untrusted host can see.
+  storage::TracingDisk tracing_disk(&disk, &trace);
+  auto cpu = hardware::SecureCoprocessor::Create(
+      hardware::HardwareProfile::Ibm4764(), &tracing_disk, kPageSize);
+  SHPIR_CHECK(cpu.ok());
+  auto engine = core::CApproxPir::Create(cpu->get(), options, &trace);
+  SHPIR_CHECK(engine.ok());
+  std::vector<storage::Page> pages;
+  for (uint64_t id = 0; id < options.num_pages; ++id) {
+    pages.emplace_back(id, Bytes(kPageSize, static_cast<uint8_t>(id % 251)));
+  }
+  SHPIR_CHECK_OK((*engine)->Initialize(pages));
+
+  // --- Handshake: client and coprocessor share a key; the nonces are
+  //     exchanged through the relay in the clear (they are public).
+  const Bytes psk(32, 0x5A);
+  crypto::SecureRandom nonce_rng;
+  Bytes client_nonce(net::SecureSession::kNonceSize);
+  Bytes server_nonce(net::SecureSession::kNonceSize);
+  nonce_rng.Fill(client_nonce);
+  nonce_rng.Fill(server_nonce);
+  auto client_session = net::SecureSession::Establish(
+      psk, net::SecureSession::Role::kClient, client_nonce, server_nonce);
+  auto server_session = net::SecureSession::Establish(
+      psk, net::SecureSession::Role::kServer, client_nonce, server_nonce);
+  SHPIR_CHECK(client_session.ok());
+  SHPIR_CHECK(server_session.ok());
+
+  net::PirServiceServer service(engine->get(),
+                                std::move(server_session).value());
+
+  // The untrusted relay: forwards records, tallying what it "learns".
+  uint64_t relayed_bytes = 0;
+  uint64_t relayed_records = 0;
+  net::PirServiceClient client(
+      std::move(client_session).value(),
+      [&](ByteSpan record) -> Result<Bytes> {
+        relayed_bytes += record.size();
+        ++relayed_records;
+        Result<Bytes> response = service.HandleRecord(record);
+        if (response.ok()) {
+          relayed_bytes += response->size();
+        }
+        return response;
+      });
+
+  // --- Client: sensitive lookups --------------------------------------
+  crypto::SecureRandom workload(17);
+  constexpr int kQueries = 200;
+  for (int i = 0; i < kQueries; ++i) {
+    const uint64_t id = workload.UniformInt(options.num_pages);
+    auto data = client.Retrieve(id);
+    SHPIR_CHECK(data.ok());
+    SHPIR_CHECK((*data)[0] == static_cast<uint8_t>(id % 251));
+  }
+  auto inserted = client.Insert(Bytes(kPageSize, 0xAB));
+  SHPIR_CHECK(inserted.ok());
+  SHPIR_CHECK_OK(client.Modify(*inserted, Bytes(kPageSize, 0xCD)));
+  SHPIR_CHECK_OK(client.Remove(*inserted));
+
+  std::printf("three-party run complete: %d retrieves + 3 updates, all "
+              "verified.\n\n",
+              kQueries);
+  std::printf("what the untrusted server saw:\n");
+  std::printf("  %llu sealed records (%0.1f KB) relayed — ciphertext only\n",
+              (unsigned long long)relayed_records,
+              relayed_bytes / 1000.0);
+  std::printf("  %zu disk accesses — every request: one round-robin block "
+              "+ one page,\n  re-encrypted on write-back\n",
+              trace.events().size());
+  std::printf("\nsimulated coprocessor time: %.2f s (%0.1f ms/op, constant; "
+              "k = %llu, c = %.3f)\n",
+              (*cpu)->ElapsedSeconds(),
+              1000.0 * (*cpu)->ElapsedSeconds() / (kQueries + 3),
+              (unsigned long long)(*engine)->block_size(),
+              (*engine)->achieved_privacy());
+  return 0;
+}

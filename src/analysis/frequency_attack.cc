@@ -1,0 +1,56 @@
+#include "analysis/frequency_attack.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace shpir::analysis {
+
+FrequencyAttackReport RunFrequencyAttack(
+    const std::vector<storage::Location>& observed,
+    const std::vector<storage::PageId>& ground_truth,
+    const std::vector<double>& popularity) {
+  FrequencyAttackReport report;
+  if (observed.size() != ground_truth.size()) {
+    return report;
+  }
+  // Frequency histogram over observed locations.
+  std::unordered_map<storage::Location, uint64_t> counts;
+  for (storage::Location loc : observed) {
+    counts[loc]++;
+  }
+  // Locations ranked by observed frequency (desc, ties by location for
+  // determinism).
+  std::vector<std::pair<uint64_t, storage::Location>> by_freq;
+  by_freq.reserve(counts.size());
+  for (const auto& [loc, count] : counts) {
+    by_freq.emplace_back(count, loc);
+  }
+  std::sort(by_freq.begin(), by_freq.end(), [](const auto& a, const auto& b) {
+    return a.first != b.first ? a.first > b.first : a.second < b.second;
+  });
+  // Pages ranked by prior popularity (desc).
+  std::vector<std::pair<double, storage::PageId>> by_pop;
+  by_pop.reserve(popularity.size());
+  for (storage::PageId id = 0; id < popularity.size(); ++id) {
+    by_pop.emplace_back(popularity[id], id);
+  }
+  std::sort(by_pop.begin(), by_pop.end(), [](const auto& a, const auto& b) {
+    return a.first != b.first ? a.first > b.first : a.second < b.second;
+  });
+  // Rank alignment: i-th most-touched location <-> i-th most popular
+  // page.
+  std::unordered_map<storage::Location, storage::PageId> guess;
+  for (size_t i = 0; i < by_freq.size() && i < by_pop.size(); ++i) {
+    guess[by_freq[i].second] = by_pop[i].second;
+  }
+  report.requests = observed.size();
+  for (size_t i = 0; i < observed.size(); ++i) {
+    auto it = guess.find(observed[i]);
+    if (it != guess.end() && it->second == ground_truth[i]) {
+      ++report.correct;
+    }
+  }
+  return report;
+}
+
+}  // namespace shpir::analysis

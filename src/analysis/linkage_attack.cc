@@ -1,0 +1,78 @@
+#include "analysis/linkage_attack.h"
+
+#include <unordered_map>
+#include <vector>
+
+namespace shpir::analysis {
+
+Result<LinkageAttackReport> RunLinkageAttack(
+    core::CApproxPir& engine, storage::AccessTrace& trace,
+    uint64_t num_requests,
+    const std::function<storage::PageId()>& next_id) {
+  // Ground truth: the eviction performed while serving each request.
+  struct Eviction {
+    storage::PageId page;
+    storage::Location location;
+  };
+  std::unordered_map<uint64_t, Eviction> evictions;
+  engine.set_relocation_observer(
+      [&](storage::PageId page, storage::Location loc, uint64_t request) {
+        evictions[request] = Eviction{page, loc};
+      });
+
+  // Adversary state: when was each location last written, and which
+  // request wrote it. Built only from the public trace.
+  std::unordered_map<storage::Location, uint64_t> last_write;
+
+  LinkageAttackReport report;
+  const uint64_t k = engine.block_size();
+  size_t cursor = trace.events().size();
+
+  for (uint64_t i = 0; i < num_requests; ++i) {
+    const storage::PageId requested = next_id();
+    SHPIR_RETURN_IF_ERROR(engine.Retrieve(requested).status());
+    ++report.requests;
+
+    // Parse this request's events from the trace: k block reads, one
+    // extra read, then the writes.
+    const auto& events = trace.events();
+    uint64_t reads_seen = 0;
+    storage::Location extra_read = 0;
+    bool have_extra = false;
+    std::vector<storage::Location> writes;
+    for (; cursor < events.size(); ++cursor) {
+      const storage::AccessEvent& event = events[cursor];
+      if (event.op == storage::AccessEvent::Op::kRead) {
+        ++reads_seen;
+        if (reads_seen == k + 1) {
+          extra_read = event.location;
+          have_extra = true;
+        }
+      } else {
+        writes.push_back(event.location);
+      }
+    }
+    // Adversary guess, before updating its write log.
+    if (have_extra) {
+      auto it = last_write.find(extra_read);
+      if (it != last_write.end()) {
+        ++report.guesses;
+        const uint64_t guessed_request = it->second;
+        auto truth = evictions.find(guessed_request);
+        if (truth != evictions.end() &&
+            truth->second.location == extra_read &&
+            truth->second.page == requested) {
+          ++report.correct;
+        }
+      }
+    }
+    const uint64_t this_request = trace.num_requests() - 1;
+    for (storage::Location loc : writes) {
+      last_write[loc] = this_request;
+    }
+  }
+  engine.set_relocation_observer(nullptr);
+  return report;
+}
+
+}  // namespace shpir::analysis

@@ -1,0 +1,69 @@
+#include "analysis/privacy_audit.h"
+
+#include <unordered_map>
+
+namespace shpir::analysis {
+
+Result<PrivacyReport> RunPrivacyAudit(
+    core::CApproxPir& engine, uint64_t num_requests,
+    const std::function<storage::PageId()>& next_id) {
+  RelocationAnalyzer analyzer(engine.scan_period(), engine.block_size());
+  engine.set_cache_entry_observer(
+      [&analyzer](storage::PageId id, uint64_t request) {
+        analyzer.OnCacheEntry(id, request);
+      });
+  engine.set_relocation_observer(
+      [&analyzer](storage::PageId id, storage::Location loc,
+                  uint64_t request) {
+        analyzer.OnRelocation(id, loc, request);
+      });
+  for (uint64_t i = 0; i < num_requests; ++i) {
+    SHPIR_RETURN_IF_ERROR(engine.Retrieve(next_id()).status());
+  }
+  engine.set_cache_entry_observer(nullptr);
+  engine.set_relocation_observer(nullptr);
+
+  PrivacyReport report;
+  report.requests = num_requests;
+  report.relocations = analyzer.samples();
+  report.analytic_c = engine.achieved_privacy();
+  Result<double> measured = analyzer.MeasuredPrivacy();
+  report.measured_c = measured.ok() ? *measured : 0.0;
+  report.max_relative_deviation =
+      analyzer.MaxRelativeDeviation(engine.cache_pages());
+  std::vector<uint64_t> slot_counts(engine.block_size(), 0);
+  const std::vector<double> slot_dist = analyzer.MeasuredSlotDistribution();
+  for (size_t i = 0; i < slot_dist.size(); ++i) {
+    slot_counts[i] =
+        static_cast<uint64_t>(slot_dist[i] * analyzer.samples() + 0.5);
+  }
+  report.slot_entropy = NormalizedEntropy(slot_counts);
+  return report;
+}
+
+TraceStatistics AnalyzeTrace(const storage::AccessTrace& trace, uint64_t k,
+                             uint64_t disk_slots) {
+  TraceStatistics stats;
+  std::vector<uint64_t> write_counts(disk_slots, 0);
+  std::vector<uint64_t> extra_read_counts(disk_slots, 0);
+  // Within each request, the first k reads are the round-robin block;
+  // the remaining read is the extra page — the only data-dependent read.
+  std::unordered_map<uint64_t, uint64_t> reads_in_request;
+  for (const storage::AccessEvent& event : trace.events()) {
+    if (event.op == storage::AccessEvent::Op::kRead) {
+      ++stats.reads;
+      const uint64_t seen = reads_in_request[event.request_index]++;
+      if (seen >= k) {
+        extra_read_counts[event.location]++;
+      }
+    } else {
+      ++stats.writes;
+      write_counts[event.location]++;
+    }
+  }
+  stats.write_location_entropy = NormalizedEntropy(write_counts);
+  stats.extra_read_entropy = NormalizedEntropy(extra_read_counts);
+  return stats;
+}
+
+}  // namespace shpir::analysis

@@ -1,0 +1,61 @@
+#ifndef SHPIR_ANALYSIS_PRIVACY_AUDIT_H_
+#define SHPIR_ANALYSIS_PRIVACY_AUDIT_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "analysis/relocation_analyzer.h"
+#include "common/result.h"
+#include "core/capprox_pir.h"
+#include "storage/access_trace.h"
+
+namespace shpir::analysis {
+
+/// Summary of an empirical privacy run against a CApproxPir engine.
+struct PrivacyReport {
+  uint64_t requests = 0;
+  uint64_t relocations = 0;
+  /// Analytic privacy parameter (Eq. 5) for the engine's geometry.
+  double analytic_c = 0.0;
+  /// Measured max/min relocation-frequency ratio (converges to
+  /// analytic_c); 0 when some offset was never observed.
+  double measured_c = 0.0;
+  /// Largest relative deviation of the measured block distribution from
+  /// the analytic one.
+  double max_relative_deviation = 0.0;
+  /// Normalized entropy of the within-block slot choice (1.0 = uniform,
+  /// the Fig. 3 line 18 guarantee).
+  double slot_entropy = 0.0;
+};
+
+/// Drives `engine` with `num_requests` requests drawn by `next_id` while
+/// recording relocations, then reports how closely the empirical
+/// relocation distribution tracks the paper's analytic model. The
+/// observers registered on the engine are replaced.
+Result<PrivacyReport> RunPrivacyAudit(
+    core::CApproxPir& engine, uint64_t num_requests,
+    const std::function<storage::PageId()>& next_id);
+
+/// Adversary's-eye statistics over a disk access trace: what the server
+/// actually observes.
+struct TraceStatistics {
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+  /// Normalized entropy of the write-location histogram. Near 1.0 means
+  /// writes are spread (almost) uniformly over the disk.
+  double write_location_entropy = 0.0;
+  /// Normalized entropy of the *non-round-robin* read locations (the
+  /// extra page of each request). Near 1.0 means the extra reads do not
+  /// concentrate anywhere.
+  double extra_read_entropy = 0.0;
+};
+
+/// Computes adversary-view statistics for a trace produced by a
+/// CApproxPir engine with block size `k` over `disk_slots` slots.
+TraceStatistics AnalyzeTrace(const storage::AccessTrace& trace, uint64_t k,
+                             uint64_t disk_slots);
+
+}  // namespace shpir::analysis
+
+#endif  // SHPIR_ANALYSIS_PRIVACY_AUDIT_H_

@@ -1,0 +1,124 @@
+#include "analysis/relocation_analyzer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/security_parameter.h"
+
+namespace shpir::analysis {
+
+RelocationAnalyzer::RelocationAnalyzer(uint64_t scan_period,
+                                       uint64_t block_size)
+    : scan_period_(scan_period),
+      block_size_(block_size),
+      offset_counts_(scan_period, 0),
+      slot_counts_(block_size, 0) {}
+
+void RelocationAnalyzer::OnCacheEntry(storage::PageId id,
+                                      uint64_t request_index) {
+  entry_request_[id] = request_index;
+}
+
+void RelocationAnalyzer::OnRelocation(storage::PageId id,
+                                      storage::Location location,
+                                      uint64_t request_index) {
+  auto it = entry_request_.find(id);
+  if (it == entry_request_.end()) {
+    // Page was placed during initialization, not via the cache; its
+    // residency interval is unknown, so skip it.
+    return;
+  }
+  const uint64_t delay = request_index - it->second;  // >= 1.
+  entry_request_.erase(it);
+  if (delay == 0) {
+    return;
+  }
+  // Offset within the scan: the block visited `delay` requests after
+  // entry, folded onto [1, T].
+  const uint64_t offset = (delay - 1) % scan_period_;  // b - 1.
+  offset_counts_[offset]++;
+  slot_counts_[location % block_size_]++;
+  ++samples_;
+}
+
+std::vector<double> RelocationAnalyzer::MeasuredBlockDistribution() const {
+  std::vector<double> dist(scan_period_, 0.0);
+  if (samples_ == 0) {
+    return dist;
+  }
+  for (uint64_t i = 0; i < scan_period_; ++i) {
+    dist[i] = static_cast<double>(offset_counts_[i]) /
+              static_cast<double>(samples_);
+  }
+  return dist;
+}
+
+Result<double> RelocationAnalyzer::MeasuredPrivacy() const {
+  uint64_t max_count = 0;
+  uint64_t min_count = UINT64_MAX;
+  for (uint64_t count : offset_counts_) {
+    max_count = std::max(max_count, count);
+    min_count = std::min(min_count, count);
+  }
+  if (min_count == 0) {
+    return FailedPreconditionError(
+        "not enough samples: some scan offsets never observed");
+  }
+  return static_cast<double>(max_count) / static_cast<double>(min_count);
+}
+
+std::vector<double> RelocationAnalyzer::MeasuredSlotDistribution() const {
+  std::vector<double> dist(block_size_, 0.0);
+  if (samples_ == 0) {
+    return dist;
+  }
+  for (uint64_t i = 0; i < block_size_; ++i) {
+    dist[i] =
+        static_cast<double>(slot_counts_[i]) / static_cast<double>(samples_);
+  }
+  return dist;
+}
+
+double RelocationAnalyzer::MaxRelativeDeviation(uint64_t cache_pages) const {
+  const std::vector<double> expected = core::SecurityParameter::
+      BlockDistribution(cache_pages, block_size_, scan_period_);
+  const std::vector<double> measured = MeasuredBlockDistribution();
+  double worst = 0.0;
+  for (uint64_t i = 0; i < scan_period_; ++i) {
+    if (expected[i] <= 0) {
+      continue;
+    }
+    worst = std::max(worst,
+                     std::abs(measured[i] - expected[i]) / expected[i]);
+  }
+  return worst;
+}
+
+double ShannonEntropyBits(const std::vector<uint64_t>& counts) {
+  uint64_t total = 0;
+  for (uint64_t c : counts) {
+    total += c;
+  }
+  if (total == 0) {
+    return 0.0;
+  }
+  double entropy = 0.0;
+  for (uint64_t c : counts) {
+    if (c == 0) {
+      continue;
+    }
+    const double p = static_cast<double>(c) / static_cast<double>(total);
+    entropy -= p * std::log2(p);
+  }
+  return entropy;
+}
+
+double NormalizedEntropy(const std::vector<uint64_t>& counts) {
+  if (counts.size() <= 1) {
+    return 1.0;
+  }
+  return ShannonEntropyBits(counts) /
+         std::log2(static_cast<double>(counts.size()));
+}
+
+}  // namespace shpir::analysis

@@ -1,0 +1,70 @@
+#ifndef SHPIR_ANALYSIS_RELOCATION_ANALYZER_H_
+#define SHPIR_ANALYSIS_RELOCATION_ANALYZER_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/page.h"
+
+namespace shpir::analysis {
+
+/// Measures the empirical page-relocation distribution of a running
+/// c-approximate PIR engine and compares it against the analytic model
+/// (paper §4.2). Attach via the engine's cache-entry and relocation
+/// observers; the analyzer bins every eviction by how many requests the
+/// page spent in the cache, mapped onto its offset within the
+/// round-robin scan (b in [1, T]) — the quantity Eqs. 2-4 model.
+class RelocationAnalyzer {
+ public:
+  /// `scan_period` is the engine's T = disk_slots / k; `block_size` its
+  /// k (used for the within-block uniformity histogram).
+  RelocationAnalyzer(uint64_t scan_period, uint64_t block_size);
+
+  /// Observer hooks (wire to CApproxPir::set_cache_entry_observer /
+  /// set_relocation_observer).
+  void OnCacheEntry(storage::PageId id, uint64_t request_index);
+  void OnRelocation(storage::PageId id, storage::Location location,
+                    uint64_t request_index);
+
+  /// Number of relocations recorded.
+  uint64_t samples() const { return samples_; }
+
+  /// Empirical distribution over scan offsets b in [1, T]: element b-1
+  /// is the fraction of relocations that landed in the block visited b
+  /// requests after the page entered the cache. Sums to 1.
+  std::vector<double> MeasuredBlockDistribution() const;
+
+  /// Empirical privacy parameter: the ratio of the largest to the
+  /// smallest per-offset relocation frequency. With enough samples this
+  /// converges to the analytic c of Eq. 5. Requires every offset bin to
+  /// be non-empty (error otherwise: not enough samples).
+  Result<double> MeasuredPrivacy() const;
+
+  /// Empirical distribution over the k slot offsets within the target
+  /// block (Fig. 3 line 18 uniformizes this; should be flat).
+  std::vector<double> MeasuredSlotDistribution() const;
+
+  /// Largest relative deviation between the measured block distribution
+  /// and the analytic BlockDistribution for cache size `m`.
+  double MaxRelativeDeviation(uint64_t cache_pages) const;
+
+ private:
+  uint64_t scan_period_;
+  uint64_t block_size_;
+  std::unordered_map<storage::PageId, uint64_t> entry_request_;
+  std::vector<uint64_t> offset_counts_;  // T bins.
+  std::vector<uint64_t> slot_counts_;    // k bins.
+  uint64_t samples_ = 0;
+};
+
+/// Shannon entropy (bits) of a discrete distribution given as counts.
+double ShannonEntropyBits(const std::vector<uint64_t>& counts);
+
+/// Entropy normalized by log2(#bins); 1.0 = uniform.
+double NormalizedEntropy(const std::vector<uint64_t>& counts);
+
+}  // namespace shpir::analysis
+
+#endif  // SHPIR_ANALYSIS_RELOCATION_ANALYZER_H_

@@ -1,0 +1,60 @@
+#ifndef SHPIR_BASELINES_ENCRYPTED_STORE_H_
+#define SHPIR_BASELINES_ENCRYPTED_STORE_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "core/pir_engine.h"
+#include "hardware/coprocessor.h"
+#include "storage/access_trace.h"
+
+namespace shpir::baselines {
+
+/// The paper's §1 strawman: the database is encrypted (and even
+/// permuted once), but queries read the target page's fixed location
+/// directly. Content is hidden; the *access pattern* is not — a server
+/// that knows page popularities identifies queries by frequency
+/// analysis. This engine exists to make that leak measurable
+/// (bench_attack) and to serve as the "encryption-only" cost floor:
+/// one seek + one page per query.
+class StaticEncryptedStore : public core::PirEngine {
+ public:
+  struct Options {
+    uint64_t num_pages = 0;
+    size_t page_size = 0;
+  };
+
+  /// The coprocessor's disk must have exactly num_pages slots.
+  static Result<std::unique_ptr<StaticEncryptedStore>> Create(
+      hardware::SecureCoprocessor* cpu, const Options& options,
+      storage::AccessTrace* trace = nullptr);
+
+  /// Seals pages to disk under a one-time in-device permutation.
+  Status Initialize(const std::vector<storage::Page>& pages);
+
+  Result<Bytes> Retrieve(storage::PageId id) override;
+  uint64_t num_pages() const override { return options_.num_pages; }
+  size_t page_size() const override { return options_.page_size; }
+  const char* name() const override { return "encrypted-static"; }
+
+  /// Ground truth for the frequency-analysis experiment.
+  storage::Location LocationOf(storage::PageId id) const {
+    return positions_[id];
+  }
+
+ private:
+  StaticEncryptedStore(hardware::SecureCoprocessor* cpu,
+                       const Options& options, storage::AccessTrace* trace)
+      : cpu_(cpu), options_(options), trace_(trace) {}
+
+  hardware::SecureCoprocessor* cpu_;
+  Options options_;
+  storage::AccessTrace* trace_;
+  std::vector<storage::Location> positions_;
+  bool initialized_ = false;
+};
+
+}  // namespace shpir::baselines
+
+#endif  // SHPIR_BASELINES_ENCRYPTED_STORE_H_

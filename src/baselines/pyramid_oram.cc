@@ -1,0 +1,304 @@
+#include "baselines/pyramid_oram.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "crypto/hmac.h"
+
+namespace shpir::baselines {
+
+using storage::Location;
+using storage::Page;
+using storage::PageId;
+
+namespace {
+
+int CeilLog2(uint64_t value) {
+  int bits = 0;
+  while ((1ull << bits) < value) {
+    ++bits;
+  }
+  return bits;
+}
+
+}  // namespace
+
+Result<uint64_t> PyramidOram::DiskSlots(const Options& options) {
+  if (options.num_pages < 2) {
+    return InvalidArgumentError("num_pages must be >= 2");
+  }
+  if (options.stash_pages < 1) {
+    return InvalidArgumentError("stash_pages must be >= 1");
+  }
+  if (options.bucket_slots < 2) {
+    return InvalidArgumentError("bucket_slots must be >= 2");
+  }
+  const int top = std::max(1, CeilLog2(options.stash_pages));
+  const int bottom = std::max(top, CeilLog2(options.num_pages));
+  uint64_t slots = 0;
+  for (int i = top; i <= bottom; ++i) {
+    slots += (1ull << i) * options.bucket_slots;
+  }
+  return slots;
+}
+
+Result<std::unique_ptr<PyramidOram>> PyramidOram::Create(
+    hardware::SecureCoprocessor* cpu, const Options& options,
+    storage::AccessTrace* trace) {
+  if (cpu == nullptr) {
+    return InvalidArgumentError("coprocessor is required");
+  }
+  SHPIR_ASSIGN_OR_RETURN(const uint64_t slots, DiskSlots(options));
+  if (cpu->page_size() != options.page_size) {
+    return InvalidArgumentError("coprocessor page size mismatch");
+  }
+  if (cpu->disk()->num_slots() != slots) {
+    return InvalidArgumentError(
+        "disk must have exactly " + std::to_string(slots) + " slots");
+  }
+  const int top = std::max(1, CeilLog2(options.stash_pages));
+  const int bottom = std::max(top, CeilLog2(options.num_pages));
+  std::vector<Level> levels;
+  Location offset = 0;
+  for (int i = top; i <= bottom; ++i) {
+    Level level;
+    level.buckets = 1ull << i;
+    level.offset = offset;
+    offset += level.buckets * options.bucket_slots;
+    levels.push_back(std::move(level));
+  }
+  uint64_t reserved = 0;
+  if (options.enforce_secure_memory) {
+    // Stash plus one bucket's worth of staging.
+    reserved =
+        (options.stash_pages + options.bucket_slots) * options.page_size;
+    SHPIR_RETURN_IF_ERROR(
+        cpu->ReserveSecureMemory(reserved, "pyramid ORAM structures"));
+  }
+  return std::unique_ptr<PyramidOram>(new PyramidOram(
+      cpu, options, trace, reserved, top, bottom, std::move(levels)));
+}
+
+PyramidOram::PyramidOram(hardware::SecureCoprocessor* cpu,
+                         const Options& options, storage::AccessTrace* trace,
+                         uint64_t reserved_bytes, int top_level,
+                         int bottom_level, std::vector<Level> levels)
+    : cpu_(cpu),
+      options_(options),
+      trace_(trace),
+      reserved_bytes_(reserved_bytes),
+      top_level_(top_level),
+      bottom_level_(bottom_level),
+      levels_(std::move(levels)) {}
+
+PyramidOram::~PyramidOram() {
+  if (reserved_bytes_ > 0) {
+    cpu_->ReleaseSecureMemory(reserved_bytes_);
+  }
+}
+
+Status PyramidOram::Initialize(const std::vector<Page>& pages) {
+  if (initialized_) {
+    return FailedPreconditionError("already initialized");
+  }
+  if (pages.size() > options_.num_pages) {
+    return InvalidArgumentError("more pages than num_pages");
+  }
+  std::vector<Page> all(options_.num_pages);
+  for (PageId id = 0; id < options_.num_pages; ++id) {
+    if (id < pages.size()) {
+      if (pages[id].data.size() > options_.page_size) {
+        return InvalidArgumentError("page payload exceeds page size");
+      }
+      all[id] = Page(id, pages[id].data);
+      all[id].data.resize(options_.page_size, 0);
+    } else {
+      all[id] = Page(id, Bytes(options_.page_size, 0));
+    }
+  }
+  SHPIR_RETURN_IF_ERROR(BuildLevel(levels_.back(), std::move(all)));
+  stash_.clear();
+  initialized_ = true;
+  return OkStatus();
+}
+
+uint64_t PyramidOram::BucketOf(const Level& level, PageId id) const {
+  crypto::HmacSha256 prf(level.hash_key);
+  uint8_t msg[8];
+  StoreLE64(id, msg);
+  const crypto::HmacSha256::Tag tag = prf.Compute(ByteSpan(msg, 8));
+  return LoadLE64(tag.data()) % level.buckets;
+}
+
+Status PyramidOram::ReadBucket(const Level& level, uint64_t bucket,
+                               PageId want, bool* found, Page* out) {
+  std::vector<Bytes> sealed;
+  SHPIR_RETURN_IF_ERROR(
+      cpu_->ReadRun(level.offset + bucket * options_.bucket_slots,
+                    options_.bucket_slots, sealed));
+  for (const Bytes& blob : sealed) {
+    SHPIR_ASSIGN_OR_RETURN(Page page, cpu_->OpenPage(blob));
+    if (!page.is_dummy() && page.id == want && !*found) {
+      *found = true;
+      *out = std::move(page);
+    }
+  }
+  return OkStatus();
+}
+
+Result<Bytes> PyramidOram::Retrieve(PageId id) {
+  if (!initialized_) {
+    return FailedPreconditionError("engine not initialized");
+  }
+  if (id >= options_.num_pages) {
+    return NotFoundError("no such page: " + std::to_string(id));
+  }
+  if (trace_ != nullptr) {
+    trace_->BeginRequest();
+  }
+  bool found = false;
+  bool stash_hit = false;
+  Page page;
+  for (const Page& stashed : stash_) {
+    if (stashed.id == id) {
+      page = stashed;
+      found = true;
+      stash_hit = true;
+      break;
+    }
+  }
+  // One bucket probe per non-empty level: the real bucket until found,
+  // uniformly random afterwards.
+  for (Level& level : levels_) {
+    if (level.items == 0) {
+      continue;
+    }
+    const uint64_t bucket = found
+                                ? cpu_->rng().UniformInt(level.buckets)
+                                : BucketOf(level, id);
+    SHPIR_RETURN_IF_ERROR(ReadBucket(level, bucket, id, &found, &page));
+  }
+  if (!found) {
+    return InternalError("page lost in ORAM hierarchy");
+  }
+  Bytes result = page.data;
+  if (!stash_hit) {
+    stash_.push_back(std::move(page));
+  }
+  if (stash_.size() >= options_.stash_pages) {
+    SHPIR_RETURN_IF_ERROR(FlushStash());
+  }
+  return result;
+}
+
+Status PyramidOram::FlushStash() {
+  // Find the smallest empty level; if none, rebuild the bottom.
+  size_t target = levels_.size() - 1;
+  bool full_rebuild = true;
+  for (size_t i = 0; i < levels_.size(); ++i) {
+    if (levels_[i].items == 0) {
+      target = i;
+      full_rebuild = false;
+      break;
+    }
+  }
+  // Merge newest-first: stash, then levels top-down. First occurrence
+  // of an id wins (it is the freshest copy).
+  std::vector<Page> merged = std::move(stash_);
+  stash_.clear();
+  const size_t merge_end = full_rebuild ? levels_.size() : target;
+  for (size_t i = 0; i < merge_end; ++i) {
+    if (levels_[i].items == 0) {
+      continue;
+    }
+    SHPIR_ASSIGN_OR_RETURN(std::vector<Page> drained,
+                           DrainLevel(levels_[i]));
+    for (Page& p : drained) {
+      merged.push_back(std::move(p));
+    }
+    levels_[i].items = 0;
+  }
+  std::unordered_set<PageId> seen;
+  std::vector<Page> deduped;
+  deduped.reserve(merged.size());
+  for (Page& p : merged) {
+    if (seen.insert(p.id).second) {
+      deduped.push_back(std::move(p));
+    }
+  }
+  ++rebuilds_;
+  return BuildLevel(levels_[target], std::move(deduped));
+}
+
+Status PyramidOram::BuildLevel(Level& level, std::vector<Page> pages) {
+  const uint64_t capacity = level.buckets;  // Claimed item capacity 2^i.
+  if (pages.size() > capacity) {
+    return InternalError("level overflow: " + std::to_string(pages.size()) +
+                         " items into level of " + std::to_string(capacity));
+  }
+  const uint64_t slots_per_bucket = options_.bucket_slots;
+  std::vector<std::vector<const Page*>> buckets;
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    level.hash_key.resize(32);
+    cpu_->rng().Fill(level.hash_key);
+    buckets.assign(level.buckets, {});
+    bool overflow = false;
+    for (const Page& page : pages) {
+      const uint64_t b = BucketOf(level, page.id);
+      if (buckets[b].size() == slots_per_bucket) {
+        overflow = true;
+        break;
+      }
+      buckets[b].push_back(&page);
+    }
+    if (!overflow) {
+      break;
+    }
+    buckets.clear();
+  }
+  if (buckets.empty()) {
+    return InternalError("could not hash level without bucket overflow");
+  }
+  // Stream the whole level out sequentially, bucket by bucket, padding
+  // with freshly sealed dummies.
+  constexpr uint64_t kChunkBuckets = 256;
+  const Page dummy(storage::kDummyPageId, Bytes(options_.page_size, 0));
+  for (uint64_t first = 0; first < level.buckets; first += kChunkBuckets) {
+    const uint64_t count = std::min(kChunkBuckets, level.buckets - first);
+    std::vector<Bytes> sealed;
+    sealed.reserve(count * slots_per_bucket);
+    for (uint64_t b = first; b < first + count; ++b) {
+      for (uint64_t s = 0; s < slots_per_bucket; ++s) {
+        const Page& page =
+            s < buckets[b].size() ? *buckets[b][s] : dummy;
+        SHPIR_ASSIGN_OR_RETURN(Bytes blob, cpu_->SealPage(page));
+        sealed.push_back(std::move(blob));
+      }
+    }
+    SHPIR_RETURN_IF_ERROR(
+        cpu_->WriteRun(level.offset + first * slots_per_bucket, sealed));
+  }
+  level.items = pages.size();
+  return OkStatus();
+}
+
+Result<std::vector<Page>> PyramidOram::DrainLevel(const Level& level) {
+  std::vector<Page> pages;
+  const uint64_t total = level.buckets * options_.bucket_slots;
+  constexpr uint64_t kChunk = 1024;
+  for (uint64_t start = 0; start < total; start += kChunk) {
+    const uint64_t count = std::min(kChunk, total - start);
+    std::vector<Bytes> sealed;
+    SHPIR_RETURN_IF_ERROR(
+        cpu_->ReadRun(level.offset + start, count, sealed));
+    for (const Bytes& blob : sealed) {
+      SHPIR_ASSIGN_OR_RETURN(Page page, cpu_->OpenPage(blob));
+      if (!page.is_dummy()) {
+        pages.push_back(std::move(page));
+      }
+    }
+  }
+  return pages;
+}
+
+}  // namespace shpir::baselines

@@ -1,0 +1,213 @@
+#include "baselines/sqrt_oram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "crypto/permutation.h"
+
+namespace shpir::baselines {
+
+using storage::Page;
+using storage::PageId;
+
+namespace {
+
+uint64_t DefaultShelter(uint64_t n) {
+  const uint64_t s = static_cast<uint64_t>(
+      std::ceil(std::sqrt(static_cast<double>(n))));
+  return std::max<uint64_t>(s, 2);
+}
+
+}  // namespace
+
+Result<uint64_t> SqrtOram::DiskSlots(const Options& options) {
+  if (options.num_pages < 2) {
+    return InvalidArgumentError("num_pages must be >= 2");
+  }
+  const uint64_t shelter = options.shelter_slots != 0
+                               ? options.shelter_slots
+                               : DefaultShelter(options.num_pages);
+  if (shelter >= options.num_pages) {
+    return InvalidArgumentError("shelter must be smaller than the database");
+  }
+  return options.num_pages + shelter;
+}
+
+Result<std::unique_ptr<SqrtOram>> SqrtOram::Create(
+    hardware::SecureCoprocessor* cpu, const Options& options,
+    storage::AccessTrace* trace) {
+  if (cpu == nullptr) {
+    return InvalidArgumentError("coprocessor is required");
+  }
+  SHPIR_ASSIGN_OR_RETURN(const uint64_t slots, DiskSlots(options));
+  const uint64_t shelter = slots - options.num_pages;
+  if (cpu->page_size() != options.page_size) {
+    return InvalidArgumentError("coprocessor page size mismatch");
+  }
+  if (cpu->disk()->num_slots() != slots) {
+    return InvalidArgumentError(
+        "disk must have exactly " + std::to_string(slots) + " slots");
+  }
+  uint64_t reserved = 0;
+  if (options.enforce_secure_memory) {
+    reserved = core::PageMap::StorageBytes(options.num_pages) +
+               options.page_size;
+    SHPIR_RETURN_IF_ERROR(
+        cpu->ReserveSecureMemory(reserved, "sqrt ORAM structures"));
+  }
+  return std::unique_ptr<SqrtOram>(
+      new SqrtOram(cpu, options, trace, shelter, reserved));
+}
+
+SqrtOram::~SqrtOram() {
+  if (reserved_bytes_ > 0) {
+    cpu_->ReleaseSecureMemory(reserved_bytes_);
+  }
+}
+
+Status SqrtOram::Initialize(const std::vector<Page>& pages) {
+  if (initialized_) {
+    return FailedPreconditionError("already initialized");
+  }
+  if (pages.size() > options_.num_pages) {
+    return InvalidArgumentError("more pages than num_pages");
+  }
+  const uint64_t n = options_.num_pages;
+  const std::vector<uint64_t> perm =
+      crypto::RandomPermutation(n, cpu_->rng());
+  const std::vector<uint64_t> inv = crypto::InvertPermutation(perm);
+  constexpr uint64_t kChunk = 1024;
+  for (uint64_t start = 0; start < n; start += kChunk) {
+    const uint64_t count = std::min(kChunk, n - start);
+    std::vector<Bytes> sealed(count);
+    for (uint64_t i = 0; i < count; ++i) {
+      const PageId id = inv[start + i];
+      Page page = id < pages.size()
+                      ? Page(id, pages[id].data)
+                      : Page(id, Bytes(options_.page_size, 0));
+      if (page.data.size() > options_.page_size) {
+        return InvalidArgumentError("page payload exceeds page size");
+      }
+      SHPIR_ASSIGN_OR_RETURN(sealed[i], cpu_->SealPage(page));
+      page_map_.SetDiskLocation(id, start + i);
+    }
+    SHPIR_RETURN_IF_ERROR(cpu_->WriteRun(start, sealed));
+  }
+  // Fill the shelter with sealed dummies.
+  std::vector<Bytes> shelter(shelter_slots_);
+  const Page dummy(storage::kDummyPageId, Bytes(options_.page_size, 0));
+  for (uint64_t i = 0; i < shelter_slots_; ++i) {
+    SHPIR_ASSIGN_OR_RETURN(shelter[i], cpu_->SealPage(dummy));
+  }
+  SHPIR_RETURN_IF_ERROR(cpu_->WriteRun(n, shelter));
+  touched_.assign(n, false);
+  shelter_used_ = 0;
+  initialized_ = true;
+  return OkStatus();
+}
+
+storage::PageId SqrtOram::RandomUntouchedId() {
+  while (true) {
+    const PageId p = cpu_->rng().UniformInt(options_.num_pages);
+    if (!touched_[p]) {
+      return p;
+    }
+  }
+}
+
+Result<Bytes> SqrtOram::Retrieve(PageId id) {
+  if (!initialized_) {
+    return FailedPreconditionError("engine not initialized");
+  }
+  if (id >= options_.num_pages) {
+    return NotFoundError("no such page: " + std::to_string(id));
+  }
+  if (trace_ != nullptr) {
+    trace_->BeginRequest();
+  }
+  const uint64_t n = options_.num_pages;
+  // 1. Scan the whole shelter (fixed access pattern). The newest copy
+  //    wins (later shelter slots are fresher).
+  std::vector<Bytes> shelter;
+  SHPIR_RETURN_IF_ERROR(cpu_->ReadRun(n, shelter_slots_, shelter));
+  bool sheltered = false;
+  Page target;
+  for (const Bytes& blob : shelter) {
+    SHPIR_ASSIGN_OR_RETURN(Page page, cpu_->OpenPage(blob));
+    if (!page.is_dummy() && page.id == id) {
+      sheltered = true;
+      target = std::move(page);
+    }
+  }
+  // 2. One main-area read: the real position, or a random untouched
+  //    cover position on a shelter hit.
+  const PageId to_read = sheltered ? RandomUntouchedId() : id;
+  SHPIR_ASSIGN_OR_RETURN(Bytes sealed,
+                         cpu_->ReadSlot(page_map_.DiskLocation(to_read)));
+  SHPIR_ASSIGN_OR_RETURN(Page main_page, cpu_->OpenPage(sealed));
+  touched_[to_read] = true;
+  if (!sheltered) {
+    target = std::move(main_page);
+  }
+  // 3. Append the accessed page to the shelter.
+  Bytes result = target.data;
+  SHPIR_ASSIGN_OR_RETURN(Bytes resealed, cpu_->SealPage(target));
+  SHPIR_RETURN_IF_ERROR(cpu_->WriteSlot(n + shelter_used_, resealed));
+  ++shelter_used_;
+  if (shelter_used_ >= shelter_slots_) {
+    SHPIR_RETURN_IF_ERROR(Reshuffle());
+  }
+  return result;
+}
+
+Status SqrtOram::Reshuffle() {
+  ++reshuffles_;
+  const uint64_t n = options_.num_pages;
+  // Stream everything through the device: main area, then shelter
+  // (fresher copies overwrite).
+  std::vector<Page> all(n);
+  constexpr uint64_t kChunk = 1024;
+  for (uint64_t start = 0; start < n; start += kChunk) {
+    const uint64_t count = std::min(kChunk, n - start);
+    std::vector<Bytes> sealed;
+    SHPIR_RETURN_IF_ERROR(cpu_->ReadRun(start, count, sealed));
+    for (const Bytes& blob : sealed) {
+      SHPIR_ASSIGN_OR_RETURN(Page page, cpu_->OpenPage(blob));
+      all[page.id] = std::move(page);
+    }
+  }
+  std::vector<Bytes> shelter;
+  SHPIR_RETURN_IF_ERROR(cpu_->ReadRun(n, shelter_slots_, shelter));
+  for (const Bytes& blob : shelter) {
+    SHPIR_ASSIGN_OR_RETURN(Page page, cpu_->OpenPage(blob));
+    if (!page.is_dummy()) {
+      all[page.id] = std::move(page);
+    }
+  }
+  // Re-permute and write back.
+  const std::vector<uint64_t> perm =
+      crypto::RandomPermutation(n, cpu_->rng());
+  const std::vector<uint64_t> inv = crypto::InvertPermutation(perm);
+  for (uint64_t start = 0; start < n; start += kChunk) {
+    const uint64_t count = std::min(kChunk, n - start);
+    std::vector<Bytes> sealed(count);
+    for (uint64_t i = 0; i < count; ++i) {
+      const PageId id = inv[start + i];
+      SHPIR_ASSIGN_OR_RETURN(sealed[i], cpu_->SealPage(all[id]));
+      page_map_.SetDiskLocation(id, start + i);
+    }
+    SHPIR_RETURN_IF_ERROR(cpu_->WriteRun(start, sealed));
+  }
+  // Reset the shelter to dummies.
+  std::vector<Bytes> empty(shelter_slots_);
+  const Page dummy(storage::kDummyPageId, Bytes(options_.page_size, 0));
+  for (uint64_t i = 0; i < shelter_slots_; ++i) {
+    SHPIR_ASSIGN_OR_RETURN(empty[i], cpu_->SealPage(dummy));
+  }
+  SHPIR_RETURN_IF_ERROR(cpu_->WriteRun(n, empty));
+  touched_.assign(n, false);
+  shelter_used_ = 0;
+  return OkStatus();
+}
+
+}  // namespace shpir::baselines

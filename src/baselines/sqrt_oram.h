@@ -1,0 +1,88 @@
+#ifndef SHPIR_BASELINES_SQRT_ORAM_H_
+#define SHPIR_BASELINES_SQRT_ORAM_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "core/page_map.h"
+#include "core/pir_engine.h"
+#include "hardware/coprocessor.h"
+#include "storage/access_trace.h"
+
+namespace shpir::baselines {
+
+/// Goldreich–Ostrovsky square-root ORAM, the classic external-shelter
+/// construction underlying the hierarchical schemes the paper cites.
+///
+/// The disk holds the n permuted pages plus a `shelter` of s (~sqrt(n))
+/// slots. A query scans the whole shelter (fixed pattern), then reads
+/// one main-area slot: the target's permuted position if it was not
+/// sheltered, a random not-yet-touched position otherwise. The
+/// retrieved (or shadowed) page is appended to the shelter. After s
+/// queries the shelter is merged back and the main area re-permuted.
+/// Per-query cost is O(sqrt(n)); the epoch-end reshuffle is O(n) —
+/// amortized O(sqrt(n)) with the same worst-case spikes as the other
+/// baselines, but a much fatter constant than Wang et al. because of
+/// the shelter scan.
+class SqrtOram : public core::PirEngine {
+ public:
+  struct Options {
+    uint64_t num_pages = 0;
+    size_t page_size = 0;
+    /// Shelter capacity; 0 = ceil(sqrt(num_pages)).
+    uint64_t shelter_slots = 0;
+    bool enforce_secure_memory = true;
+  };
+
+  /// Disk slots required: num_pages + shelter.
+  static Result<uint64_t> DiskSlots(const Options& options);
+
+  static Result<std::unique_ptr<SqrtOram>> Create(
+      hardware::SecureCoprocessor* cpu, const Options& options,
+      storage::AccessTrace* trace = nullptr);
+
+  ~SqrtOram() override;
+
+  Status Initialize(const std::vector<storage::Page>& pages);
+
+  Result<Bytes> Retrieve(storage::PageId id) override;
+  uint64_t num_pages() const override { return options_.num_pages; }
+  size_t page_size() const override { return options_.page_size; }
+  const char* name() const override { return "sqrt-oram"; }
+
+  uint64_t shelter_slots() const { return shelter_slots_; }
+  uint64_t reshuffles() const { return reshuffles_; }
+
+ private:
+  SqrtOram(hardware::SecureCoprocessor* cpu, const Options& options,
+           storage::AccessTrace* trace, uint64_t shelter_slots,
+           uint64_t reserved_bytes)
+      : cpu_(cpu),
+        options_(options),
+        trace_(trace),
+        shelter_slots_(shelter_slots),
+        reserved_bytes_(reserved_bytes),
+        page_map_(options.num_pages) {}
+
+  /// Merges the shelter into the main area under a fresh permutation.
+  Status Reshuffle();
+
+  storage::PageId RandomUntouchedId();
+
+  hardware::SecureCoprocessor* cpu_;
+  Options options_;
+  storage::AccessTrace* trace_;
+  uint64_t shelter_slots_;
+  uint64_t reserved_bytes_;
+
+  core::PageMap page_map_;           // Main-area positions.
+  std::vector<bool> touched_;        // Main slots read this epoch (by id).
+  uint64_t shelter_used_ = 0;        // Occupied shelter slots.
+  uint64_t reshuffles_ = 0;
+  bool initialized_ = false;
+};
+
+}  // namespace shpir::baselines
+
+#endif  // SHPIR_BASELINES_SQRT_ORAM_H_

@@ -1,0 +1,83 @@
+#include "baselines/trivial_pir.h"
+
+#include <algorithm>
+
+namespace shpir::baselines {
+
+using storage::Page;
+using storage::PageId;
+
+Result<std::unique_ptr<TrivialPir>> TrivialPir::Create(
+    hardware::SecureCoprocessor* cpu, const Options& options,
+    storage::AccessTrace* trace) {
+  if (cpu == nullptr) {
+    return InvalidArgumentError("coprocessor is required");
+  }
+  if (options.num_pages < 1) {
+    return InvalidArgumentError("num_pages must be >= 1");
+  }
+  if (cpu->page_size() != options.page_size) {
+    return InvalidArgumentError("coprocessor page size mismatch");
+  }
+  if (cpu->disk()->num_slots() != options.num_pages) {
+    return InvalidArgumentError("disk must have exactly num_pages slots");
+  }
+  return std::unique_ptr<TrivialPir>(new TrivialPir(cpu, options, trace));
+}
+
+Status TrivialPir::Initialize(const std::vector<Page>& pages) {
+  if (initialized_) {
+    return FailedPreconditionError("already initialized");
+  }
+  if (pages.size() > options_.num_pages) {
+    return InvalidArgumentError("more pages than num_pages");
+  }
+  constexpr uint64_t kChunk = 1024;
+  for (uint64_t start = 0; start < options_.num_pages; start += kChunk) {
+    const uint64_t count = std::min(kChunk, options_.num_pages - start);
+    std::vector<Bytes> sealed(count);
+    for (uint64_t i = 0; i < count; ++i) {
+      const PageId id = start + i;
+      Page page = id < pages.size()
+                      ? Page(id, pages[id].data)
+                      : Page(id, Bytes(options_.page_size, 0));
+      if (page.data.size() > options_.page_size) {
+        return InvalidArgumentError("page payload exceeds page size");
+      }
+      SHPIR_ASSIGN_OR_RETURN(sealed[i], cpu_->SealPage(page));
+    }
+    SHPIR_RETURN_IF_ERROR(cpu_->WriteRun(start, sealed));
+  }
+  initialized_ = true;
+  return OkStatus();
+}
+
+Result<Bytes> TrivialPir::Retrieve(PageId id) {
+  if (!initialized_) {
+    return FailedPreconditionError("engine not initialized");
+  }
+  if (id >= options_.num_pages) {
+    return NotFoundError("no such page: " + std::to_string(id));
+  }
+  if (trace_ != nullptr) {
+    trace_->BeginRequest();
+  }
+  // Full sequential scan: one seek plus every page through the crypto
+  // engine. Only the requested payload is retained.
+  Bytes result;
+  constexpr uint64_t kChunk = 1024;
+  for (uint64_t start = 0; start < options_.num_pages; start += kChunk) {
+    const uint64_t count = std::min(kChunk, options_.num_pages - start);
+    std::vector<Bytes> sealed;
+    SHPIR_RETURN_IF_ERROR(cpu_->ReadRun(start, count, sealed));
+    for (uint64_t i = 0; i < count; ++i) {
+      SHPIR_ASSIGN_OR_RETURN(Page page, cpu_->OpenPage(sealed[i]));
+      if (page.id == id) {
+        result = std::move(page.data);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace shpir::baselines

@@ -1,0 +1,51 @@
+#ifndef SHPIR_BASELINES_TRIVIAL_PIR_H_
+#define SHPIR_BASELINES_TRIVIAL_PIR_H_
+
+#include <memory>
+
+#include "common/result.h"
+#include "core/pir_engine.h"
+#include "hardware/coprocessor.h"
+#include "storage/access_trace.h"
+
+namespace shpir::baselines {
+
+/// Trivial PIR: the secure hardware streams the whole database through
+/// its crypto engine on every query and keeps only the requested page.
+/// Perfect privacy (the access pattern is a constant full scan — this is
+/// the paper's c = 1 endpoint), O(n) cost per query.
+class TrivialPir : public core::PirEngine {
+ public:
+  struct Options {
+    uint64_t num_pages = 0;
+    size_t page_size = 0;
+  };
+
+  /// The coprocessor's disk must have exactly num_pages slots.
+  static Result<std::unique_ptr<TrivialPir>> Create(
+      hardware::SecureCoprocessor* cpu, const Options& options,
+      storage::AccessTrace* trace = nullptr);
+
+  /// Seals `pages[i]` into slot i (no permutation needed: every query
+  /// touches every slot).
+  Status Initialize(const std::vector<storage::Page>& pages);
+
+  Result<Bytes> Retrieve(storage::PageId id) override;
+  uint64_t num_pages() const override { return options_.num_pages; }
+  size_t page_size() const override { return options_.page_size; }
+  const char* name() const override { return "trivial"; }
+
+ private:
+  TrivialPir(hardware::SecureCoprocessor* cpu, const Options& options,
+             storage::AccessTrace* trace)
+      : cpu_(cpu), options_(options), trace_(trace) {}
+
+  hardware::SecureCoprocessor* cpu_;
+  Options options_;
+  storage::AccessTrace* trace_;
+  bool initialized_ = false;
+};
+
+}  // namespace shpir::baselines
+
+#endif  // SHPIR_BASELINES_TRIVIAL_PIR_H_

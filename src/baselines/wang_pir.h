@@ -1,0 +1,88 @@
+#ifndef SHPIR_BASELINES_WANG_PIR_H_
+#define SHPIR_BASELINES_WANG_PIR_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "core/page_map.h"
+#include "core/pir_engine.h"
+#include "hardware/coprocessor.h"
+#include "storage/access_trace.h"
+
+namespace shpir::baselines {
+
+/// Wang et al. (ESORICS 2006) secure-hardware PIR.
+///
+/// The device's secure storage accumulates one page per query: the
+/// requested page on a miss, a uniformly random un-accessed page on a
+/// hit (so every query reads exactly one fresh disk location — the
+/// adversary sees a sequence of distinct, uniformly distributed slots).
+/// When the storage fills after m queries the entire database is
+/// re-permuted and re-encrypted and the storage is emptied. Per-query
+/// cost is O(1) but the reshuffle costs O(n), giving the amortized
+/// O(n/m) cost and the periodic latency spikes the paper contrasts
+/// against.
+class WangPir : public core::PirEngine {
+ public:
+  struct Options {
+    uint64_t num_pages = 0;
+    size_t page_size = 0;
+    /// Secure storage capacity m (pages accumulated between reshuffles).
+    uint64_t cache_pages = 0;
+    /// Reserve the cache + pageMap against the device budget.
+    bool enforce_secure_memory = true;
+  };
+
+  /// The coprocessor's disk must have exactly num_pages slots.
+  static Result<std::unique_ptr<WangPir>> Create(
+      hardware::SecureCoprocessor* cpu, const Options& options,
+      storage::AccessTrace* trace = nullptr);
+
+  ~WangPir() override;
+
+  /// Seals pages to disk under a fresh in-device permutation.
+  Status Initialize(const std::vector<storage::Page>& pages);
+
+  Result<Bytes> Retrieve(storage::PageId id) override;
+  uint64_t num_pages() const override { return options_.num_pages; }
+  size_t page_size() const override { return options_.page_size; }
+  const char* name() const override { return "wang06"; }
+
+  /// Queries served since the last reshuffle.
+  uint64_t queries_since_reshuffle() const { return cache_.size(); }
+  /// Total reshuffles performed.
+  uint64_t reshuffles() const { return reshuffles_; }
+
+ private:
+  WangPir(hardware::SecureCoprocessor* cpu, const Options& options,
+          storage::AccessTrace* trace, uint64_t reserved_bytes)
+      : cpu_(cpu),
+        options_(options),
+        trace_(trace),
+        reserved_bytes_(reserved_bytes),
+        page_map_(options.num_pages) {}
+
+  /// Re-permutes the whole database (device-mediated linear pass),
+  /// merging cached (fresh) copies over stale disk copies.
+  Status Reshuffle();
+
+  /// Draws a uniformly random id whose slot has not been accessed since
+  /// the last reshuffle.
+  storage::PageId RandomUnaccessedId();
+
+  hardware::SecureCoprocessor* cpu_;
+  Options options_;
+  storage::AccessTrace* trace_;
+  uint64_t reserved_bytes_;
+
+  core::PageMap page_map_;
+  std::vector<storage::Page> cache_;      // Pages accessed this epoch.
+  std::vector<bool> accessed_;            // Ids accessed this epoch.
+  uint64_t reshuffles_ = 0;
+  bool initialized_ = false;
+};
+
+}  // namespace shpir::baselines
+
+#endif  // SHPIR_BASELINES_WANG_PIR_H_

@@ -1,0 +1,29 @@
+#ifndef SHPIR_COMMON_CHECK_H_
+#define SHPIR_COMMON_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+
+/// SHPIR_CHECK aborts the process when `cond` is false. It guards internal
+/// invariants (programming errors), not user input — user input errors are
+/// reported through Status/Result.
+#define SHPIR_CHECK(cond)                                               \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      std::cerr << "CHECK failed at " << __FILE__ << ":" << __LINE__    \
+                << ": " #cond "\n";                                     \
+      std::abort();                                                     \
+    }                                                                   \
+  } while (false)
+
+#define SHPIR_CHECK_OK(status_expr)                                     \
+  do {                                                                  \
+    const ::shpir::Status shpir_check_status_ = (status_expr);          \
+    if (!shpir_check_status_.ok()) {                                    \
+      std::cerr << "CHECK_OK failed at " << __FILE__ << ":" << __LINE__ \
+                << ": " << shpir_check_status_.ToString() << "\n";      \
+      std::abort();                                                     \
+    }                                                                   \
+  } while (false)
+
+#endif  // SHPIR_COMMON_CHECK_H_

@@ -1,0 +1,84 @@
+#ifndef SHPIR_COMMON_RESULT_H_
+#define SHPIR_COMMON_RESULT_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace shpir {
+
+/// Holds either a value of type T or an error Status. A Result
+/// constructed from an OK status is a programming error and aborts.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from an error status.
+  Result(Status status)  // NOLINT(runtime/explicit)
+      : status_(std::move(status)) {
+    if (status_.ok()) {
+      std::cerr << "Result<T> constructed from OK status\n";
+      std::abort();
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+
+  const Status& status() const { return status_; }
+
+  /// Accessors. Calling value() on an error Result aborts with the error.
+  T& value() & {
+    CheckOk();
+    return *value_;
+  }
+  const T& value() const& {
+    CheckOk();
+    return *value_;
+  }
+  T&& value() && {
+    CheckOk();
+    return *std::move(value_);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  void CheckOk() const {
+    if (!value_.has_value()) {
+      std::cerr << "Result<T>::value() on error: " << status_.ToString()
+                << "\n";
+      std::abort();
+    }
+  }
+
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace shpir
+
+/// Evaluates `rexpr` (a Result<T> expression); on error returns the status
+/// from the current function, otherwise moves the value into `lhs`.
+#define SHPIR_ASSIGN_OR_RETURN(lhs, rexpr)              \
+  SHPIR_ASSIGN_OR_RETURN_IMPL_(                         \
+      SHPIR_RESULT_CONCAT_(shpir_result_, __LINE__), lhs, rexpr)
+
+#define SHPIR_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                 \
+  if (!tmp.ok()) {                                    \
+    return tmp.status();                              \
+  }                                                   \
+  lhs = std::move(tmp).value()
+
+#define SHPIR_RESULT_CONCAT_INNER_(a, b) a##b
+#define SHPIR_RESULT_CONCAT_(a, b) SHPIR_RESULT_CONCAT_INNER_(a, b)
+
+#endif  // SHPIR_COMMON_RESULT_H_

@@ -1,0 +1,93 @@
+#ifndef SHPIR_COMMON_SERDE_H_
+#define SHPIR_COMMON_SERDE_H_
+
+#include <cstring>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/result.h"
+
+namespace shpir {
+
+/// Append-only little-endian byte writer for state serialization.
+class ByteWriter {
+ public:
+  void WriteU8(uint8_t v) { out_.push_back(v); }
+
+  void WriteU64(uint64_t v) {
+    uint8_t buf[8];
+    StoreLE64(v, buf);
+    out_.insert(out_.end(), buf, buf + 8);
+  }
+
+  void WriteBytes(ByteSpan data) {
+    WriteU64(data.size());
+    out_.insert(out_.end(), data.begin(), data.end());
+  }
+
+  /// Raw append without a length prefix.
+  void WriteRaw(ByteSpan data) {
+    out_.insert(out_.end(), data.begin(), data.end());
+  }
+
+  Bytes Take() { return std::move(out_); }
+  size_t size() const { return out_.size(); }
+
+ private:
+  Bytes out_;
+};
+
+/// Bounds-checked reader matching ByteWriter.
+class ByteReader {
+ public:
+  explicit ByteReader(ByteSpan data) : data_(data) {}
+
+  Result<uint8_t> ReadU8() {
+    if (pos_ + 1 > data_.size()) {
+      return DataLossError("truncated state: u8");
+    }
+    return data_[pos_++];
+  }
+
+  Result<uint64_t> ReadU64() {
+    if (pos_ + 8 > data_.size()) {
+      return DataLossError("truncated state: u64");
+    }
+    const uint64_t v = LoadLE64(data_.data() + pos_);
+    pos_ += 8;
+    return v;
+  }
+
+  Result<Bytes> ReadBytes() {
+    SHPIR_ASSIGN_OR_RETURN(const uint64_t len, ReadU64());
+    if (pos_ + len > data_.size()) {
+      return DataLossError("truncated state: bytes");
+    }
+    Bytes out(data_.begin() + static_cast<ptrdiff_t>(pos_),
+              data_.begin() + static_cast<ptrdiff_t>(pos_ + len));
+    pos_ += len;
+    return out;
+  }
+
+  /// Raw read of exactly `len` bytes.
+  Result<Bytes> ReadRaw(size_t len) {
+    if (pos_ + len > data_.size()) {
+      return DataLossError("truncated state: raw");
+    }
+    Bytes out(data_.begin() + static_cast<ptrdiff_t>(pos_),
+              data_.begin() + static_cast<ptrdiff_t>(pos_ + len));
+    pos_ += len;
+    return out;
+  }
+
+  bool AtEnd() const { return pos_ == data_.size(); }
+  size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  ByteSpan data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace shpir
+
+#endif  // SHPIR_COMMON_SERDE_H_

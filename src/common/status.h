@@ -1,0 +1,86 @@
+#ifndef SHPIR_COMMON_STATUS_H_
+#define SHPIR_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace shpir {
+
+/// Canonical error codes used across the library. Modeled after the
+/// absl/gRPC canonical space, restricted to the codes we actually need.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kOutOfRange = 3,
+  kFailedPrecondition = 4,
+  kResourceExhausted = 5,
+  kInternal = 6,
+  kDataLoss = 7,
+  kUnimplemented = 8,
+  kAlreadyExists = 9,
+};
+
+/// Returns the canonical name of `code` (e.g. "INVALID_ARGUMENT").
+const char* StatusCodeToString(StatusCode code);
+
+/// A lightweight success-or-error value. The library does not throw
+/// exceptions across public API boundaries; fallible operations return
+/// Status (or Result<T>, see result.h).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and human-readable message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders "OK" or "CODE: message" for logs and test failures.
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// Convenience factories mirroring the canonical codes.
+Status OkStatus();
+Status InvalidArgumentError(std::string message);
+Status NotFoundError(std::string message);
+Status OutOfRangeError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status ResourceExhaustedError(std::string message);
+Status InternalError(std::string message);
+Status DataLossError(std::string message);
+Status UnimplementedError(std::string message);
+Status AlreadyExistsError(std::string message);
+
+}  // namespace shpir
+
+/// Evaluates `expr` (a Status expression) and returns it from the current
+/// function if it is not OK.
+#define SHPIR_RETURN_IF_ERROR(expr)                  \
+  do {                                               \
+    ::shpir::Status shpir_status_macro_ = (expr);    \
+    if (!shpir_status_macro_.ok()) {                 \
+      return shpir_status_macro_;                    \
+    }                                                \
+  } while (false)
+
+#endif  // SHPIR_COMMON_STATUS_H_

@@ -1,0 +1,626 @@
+#include "core/capprox_pir.h"
+
+#include <algorithm>
+
+#include "common/serde.h"
+#include "core/security_parameter.h"
+#include "crypto/permutation.h"
+
+namespace shpir::core {
+
+namespace {
+
+using storage::Location;
+using storage::Page;
+using storage::PageId;
+
+// Round `total` up to a multiple of `k`, with at least two blocks (the
+// protocol needs a location outside the current block to exist).
+uint64_t PadToBlocks(uint64_t total, uint64_t k) {
+  uint64_t slots = (total + k - 1) / k * k;
+  if (slots < 2 * k) {
+    slots = 2 * k;
+  }
+  return slots;
+}
+
+}  // namespace
+
+namespace {
+
+struct Geometry {
+  uint64_t block_size;  // k
+  uint64_t disk_slots;  // Multiple of k, >= 2k.
+};
+
+// Validates options and resolves the block size k and padded disk size.
+Result<Geometry> ResolveGeometry(const CApproxPir::Options& options) {
+  if (options.num_pages < 1) {
+    return InvalidArgumentError("num_pages must be >= 1");
+  }
+  if (options.page_size < 1) {
+    return InvalidArgumentError("page_size must be >= 1");
+  }
+  if (options.cache_pages < 2) {
+    return InvalidArgumentError("cache_pages must be >= 2");
+  }
+  const uint64_t target = options.num_pages + options.insert_reserve;
+  uint64_t k = options.block_size;
+  if (k == 0) {
+    if (options.privacy_c <= 1.0) {
+      return InvalidArgumentError(
+          "privacy_c must be > 1 (use TrivialPir for c == 1)");
+    }
+    // Fixed point: k depends on the padded size, which depends on k.
+    SHPIR_ASSIGN_OR_RETURN(
+        k, SecurityParameter::BlockSize(target, options.cache_pages,
+                                        options.privacy_c));
+    for (int iter = 0; iter < 3; ++iter) {
+      const uint64_t padded = PadToBlocks(target, k);
+      SHPIR_ASSIGN_OR_RETURN(
+          const uint64_t next,
+          SecurityParameter::BlockSize(padded, options.cache_pages,
+                                       options.privacy_c));
+      if (next == k) {
+        break;
+      }
+      k = next;
+    }
+  }
+  const uint64_t slots = PadToBlocks(target, k);
+  if (k >= slots) {
+    return InvalidArgumentError(
+        "block size covers the whole disk; use TrivialPir instead");
+  }
+  return Geometry{k, slots};
+}
+
+}  // namespace
+
+Result<uint64_t> CApproxPir::DiskSlots(const Options& options) {
+  SHPIR_ASSIGN_OR_RETURN(const Geometry geometry, ResolveGeometry(options));
+  return geometry.disk_slots;
+}
+
+Result<std::unique_ptr<CApproxPir>> CApproxPir::Create(
+    hardware::SecureCoprocessor* cpu, const Options& options,
+    storage::AccessTrace* trace) {
+  if (cpu == nullptr) {
+    return InvalidArgumentError("coprocessor is required");
+  }
+  SHPIR_ASSIGN_OR_RETURN(const Geometry geometry, ResolveGeometry(options));
+  const uint64_t disk_slots = geometry.disk_slots;
+  const uint64_t k = geometry.block_size;
+  if (cpu->page_size() != options.page_size) {
+    return InvalidArgumentError("coprocessor page size mismatch");
+  }
+  if (cpu->disk()->num_slots() != disk_slots) {
+    return InvalidArgumentError(
+        "disk must have exactly " + std::to_string(disk_slots) + " slots");
+  }
+
+  const uint64_t id_space = disk_slots + options.cache_pages;
+  uint64_t reserved = 0;
+  if (options.enforce_secure_memory) {
+    // Eq. 7: pageMap + pageCache + serverBlock.
+    reserved = PageMap::StorageBytes(id_space) +
+               (options.cache_pages + k + 1) * options.page_size;
+    SHPIR_RETURN_IF_ERROR(
+        cpu->ReserveSecureMemory(reserved, "c-approx PIR structures"));
+  }
+  return std::unique_ptr<CApproxPir>(
+      new CApproxPir(cpu, options, trace, k, disk_slots, reserved));
+}
+
+CApproxPir::CApproxPir(hardware::SecureCoprocessor* cpu,
+                       const Options& options, storage::AccessTrace* trace,
+                       uint64_t block_size, uint64_t disk_slots,
+                       uint64_t reserved_bytes)
+    : cpu_(cpu),
+      options_(options),
+      trace_(trace),
+      block_size_(block_size),
+      disk_slots_(disk_slots),
+      id_space_(disk_slots + options.cache_pages),
+      reserved_bytes_(reserved_bytes),
+      page_map_(id_space_),
+      live_(id_space_, false) {}
+
+CApproxPir::~CApproxPir() {
+  if (reserved_bytes_ > 0) {
+    cpu_->ReleaseSecureMemory(reserved_bytes_);
+  }
+}
+
+double CApproxPir::achieved_privacy() const {
+  Result<double> c = SecurityParameter::PrivacyOf(
+      disk_slots_, options_.cache_pages, block_size_);
+  return c.ok() ? *c : 0.0;
+}
+
+Status CApproxPir::Initialize(const std::vector<Page>& pages) {
+  if (initialized_) {
+    return FailedPreconditionError("already initialized");
+  }
+  if (pages.size() > options_.num_pages) {
+    return InvalidArgumentError("more pages than num_pages");
+  }
+  for (const Page& page : pages) {
+    if (page.data.size() > options_.page_size) {
+      return InvalidArgumentError("page payload exceeds page size");
+    }
+  }
+
+  // Draw the initial oblivious permutation inside the device: position
+  // perm[id] of page id; positions >= disk_slots_ denote cache slots.
+  const std::vector<uint64_t> perm =
+      crypto::RandomPermutation(id_space_, cpu_->rng());
+  const std::vector<uint64_t> inv = crypto::InvertPermutation(perm);
+
+  auto materialize = [&](PageId id) -> Page {
+    if (id < pages.size()) {
+      return Page(id, pages[id].data);
+    }
+    return Page(id, Bytes(options_.page_size, 0));
+  };
+
+  // Bulk-seal to disk in slot order (sequential write pattern), in
+  // chunks to bound transient memory.
+  constexpr uint64_t kChunk = 1024;
+  for (uint64_t start = 0; start < disk_slots_; start += kChunk) {
+    const uint64_t count = std::min(kChunk, disk_slots_ - start);
+    std::vector<Bytes> sealed(count);
+    for (uint64_t i = 0; i < count; ++i) {
+      const PageId id = inv[start + i];
+      SHPIR_ASSIGN_OR_RETURN(sealed[i], cpu_->SealPage(materialize(id)));
+      page_map_.SetDiskLocation(id, start + i);
+    }
+    SHPIR_RETURN_IF_ERROR(cpu_->WriteRun(start, sealed));
+  }
+
+  // Cache holds the remaining m pages.
+  page_cache_.resize(options_.cache_pages);
+  for (uint64_t j = 0; j < options_.cache_pages; ++j) {
+    const PageId id = inv[disk_slots_ + j];
+    page_cache_[j] = materialize(id);
+    page_map_.SetCacheIndex(id, j);
+  }
+
+  for (PageId id = 0; id < options_.num_pages; ++id) {
+    live_[id] = true;
+  }
+  free_ids_.clear();
+  for (PageId id = options_.num_pages; id < id_space_; ++id) {
+    free_ids_.push_back(id);
+  }
+  initialized_ = true;
+  return OkStatus();
+}
+
+storage::PageId CApproxPir::RandomUncachedOutsideBlock(
+    Location block_start) {
+  while (true) {
+    const PageId p = cpu_->rng().UniformInt(id_space_);
+    if (page_map_.IsCached(p)) {
+      continue;
+    }
+    if (InBlock(page_map_.DiskLocation(p), block_start)) {
+      continue;
+    }
+    return p;
+  }
+}
+
+Result<CApproxPir::RoundOutcome> CApproxPir::RunRound(
+    PageId request, const Bytes* replace_data, bool force_evict,
+    bool insert_mode, PageId insert_id, const Bytes* insert_data) {
+  if (!initialized_) {
+    return FailedPreconditionError("engine not initialized");
+  }
+  if (trace_ != nullptr) {
+    trace_->BeginRequest();
+  }
+  const uint64_t request_index = stats_.queries++;
+
+  // Step 1: read the next block of k pages, round-robin.
+  const Location block_start = next_block_ * block_size_;
+  next_block_ = (next_block_ + 1) % scan_period();
+  std::vector<Bytes> sealed_block;
+  SHPIR_RETURN_IF_ERROR(
+      cpu_->ReadRun(block_start, block_size_, sealed_block));
+  std::vector<Page> block(block_size_ + 1);
+  for (uint64_t i = 0; i < block_size_; ++i) {
+    SHPIR_ASSIGN_OR_RETURN(block[i], cpu_->OpenPage(sealed_block[i]));
+  }
+
+  // Step 2: pick the (k+1)-th page and locate the requested page.
+  // q indexes the requested page within `block` when it is not cached.
+  PageId extra;
+  uint64_t q = block_size_;
+  bool request_cached = false;
+  if (insert_mode) {
+    // The extra page is the chosen spare; its content is replaced by the
+    // new page below.
+    extra = insert_id;
+  } else if (page_map_.IsCached(request)) {
+    request_cached = true;
+    stats_.cache_hits++;
+    extra = RandomUncachedOutsideBlock(block_start);
+  } else if (InBlock(page_map_.DiskLocation(request), block_start)) {
+    stats_.block_hits++;
+    q = page_map_.DiskLocation(request) - block_start;
+    extra = RandomUncachedOutsideBlock(block_start);
+  } else {
+    extra = request;
+  }
+  const Location extra_loc = page_map_.DiskLocation(extra);
+  SHPIR_ASSIGN_OR_RETURN(Bytes sealed_extra, cpu_->ReadSlot(extra_loc));
+  SHPIR_ASSIGN_OR_RETURN(block[block_size_], cpu_->OpenPage(sealed_extra));
+
+  // Step 3: extract the requested payload (before any modification).
+  RoundOutcome outcome;
+  if (insert_mode) {
+    // Overwrite the spare's content with the new page (same id).
+    block[block_size_] = Page(insert_id, *insert_data);
+  } else if (request_cached) {
+    outcome.result = page_cache_[page_map_.CacheIndex(request)].data;
+  } else {
+    if (block[q].id != request) {
+      return InternalError("pageMap/disk disagree on page position");
+    }
+    outcome.result = block[q].data;
+  }
+
+  // Apply Modify() semantics wherever the page currently lives.
+  if (replace_data != nullptr && !insert_mode) {
+    if (request_cached) {
+      page_cache_[page_map_.CacheIndex(request)].data = *replace_data;
+    } else {
+      block[q].data = *replace_data;
+    }
+  }
+
+  // Step 4 (Fig. 3 lines 17-20): uniformize the target slot, then swap
+  // with a random cache entry.
+  const uint64_t r = options_.ablation_skip_uniform_swap
+                         ? 0
+                         : cpu_->rng().UniformInt(block_size_);
+  std::swap(block[r], block[q]);
+  uint64_t s;
+  if (force_evict) {
+    s = page_map_.CacheIndex(request);
+  } else if (options_.ablation_round_robin_eviction) {
+    s = request_index % options_.cache_pages;
+  } else {
+    s = cpu_->rng().UniformInt(options_.cache_pages);
+  }
+  std::swap(page_cache_[s], block[r]);
+
+  // Step 5: re-encrypt everything with fresh nonces and write back.
+  std::vector<Bytes> sealed_out(block_size_);
+  for (uint64_t i = 0; i < block_size_; ++i) {
+    SHPIR_ASSIGN_OR_RETURN(sealed_out[i], cpu_->SealPage(block[i]));
+  }
+  SHPIR_RETURN_IF_ERROR(cpu_->WriteRun(block_start, sealed_out));
+  SHPIR_ASSIGN_OR_RETURN(Bytes sealed_last,
+                         cpu_->SealPage(block[block_size_]));
+  SHPIR_RETURN_IF_ERROR(cpu_->WriteSlot(extra_loc, sealed_last));
+
+  // Step 6: update the look-up table for the three moved pages.
+  page_map_.SetCacheIndex(page_cache_[s].id, s);
+  if (cache_entry_observer_) {
+    cache_entry_observer_(page_cache_[s].id, request_index);
+  }
+  page_map_.SetDiskLocation(block[r].id, block_start + r);
+  if (relocation_observer_) {
+    relocation_observer_(block[r].id, block_start + r, request_index);
+  }
+  if (q != r) {
+    const Location loc_q =
+        q < block_size_ ? block_start + q : extra_loc;
+    page_map_.SetDiskLocation(block[q].id, loc_q);
+  }
+  return outcome;
+}
+
+Result<Bytes> CApproxPir::Retrieve(PageId id) {
+  if (!initialized_) {
+    return FailedPreconditionError("engine not initialized");
+  }
+  if (!IsLive(id)) {
+    return NotFoundError("no such page: " + std::to_string(id));
+  }
+  SHPIR_ASSIGN_OR_RETURN(
+      RoundOutcome outcome,
+      RunRound(id, /*replace_data=*/nullptr, /*force_evict=*/false,
+               /*insert_mode=*/false, 0, nullptr));
+  return std::move(outcome.result);
+}
+
+Status CApproxPir::Modify(PageId id, Bytes data) {
+  if (!initialized_) {
+    return FailedPreconditionError("engine not initialized");
+  }
+  if (!IsLive(id)) {
+    return NotFoundError("no such page: " + std::to_string(id));
+  }
+  if (data.size() > options_.page_size) {
+    return InvalidArgumentError("page payload exceeds page size");
+  }
+  data.resize(options_.page_size, 0);
+  stats_.modifies++;
+  SHPIR_ASSIGN_OR_RETURN(
+      RoundOutcome outcome,
+      RunRound(id, &data, /*force_evict=*/false, /*insert_mode=*/false, 0,
+               nullptr));
+  (void)outcome;
+  return OkStatus();
+}
+
+Status CApproxPir::Remove(PageId id) {
+  if (!initialized_) {
+    return FailedPreconditionError("engine not initialized");
+  }
+  if (!IsLive(id)) {
+    return NotFoundError("no such page: " + std::to_string(id));
+  }
+  stats_.removes++;
+  // §4.3: deletions run as cache hits (random (k+1)-th page); a cached
+  // victim is forced out of the cache so the dead page never lingers in
+  // secure memory.
+  const bool cached = page_map_.IsCached(id);
+  PageId round_target = id;
+  if (!cached) {
+    // The page stays wherever it is on disk; run an ordinary-looking
+    // round driven by a random page so the adversary sees nothing
+    // special. A cache-hit-shaped round needs a cached page as target:
+    // pick a uniformly random cache slot's resident.
+    const uint64_t slot = cpu_->rng().UniformInt(options_.cache_pages);
+    round_target = page_cache_[slot].id;
+  }
+  SHPIR_ASSIGN_OR_RETURN(
+      RoundOutcome outcome,
+      RunRound(round_target, /*replace_data=*/nullptr,
+               /*force_evict=*/cached, /*insert_mode=*/false, 0, nullptr));
+  (void)outcome;
+  live_[id] = false;
+  free_ids_.push_back(id);
+  return OkStatus();
+}
+
+Result<storage::PageId> CApproxPir::Insert(Bytes data) {
+  if (!initialized_) {
+    return FailedPreconditionError("engine not initialized");
+  }
+  if (data.size() > options_.page_size) {
+    return InvalidArgumentError("page payload exceeds page size");
+  }
+  data.resize(options_.page_size, 0);
+  if (free_ids_.empty()) {
+    return ResourceExhaustedError("no spare pages left for insertion");
+  }
+  // Pick a spare that is currently on disk outside the block the next
+  // round will scan (the round reads the block before the spare).
+  const Location next_block_start = next_block_ * block_size_;
+  PageId spare = storage::kDummyPageId;
+  size_t spare_pos = 0;
+  const size_t start = cpu_->rng().UniformInt(free_ids_.size());
+  for (size_t step = 0; step < free_ids_.size(); ++step) {
+    const size_t pos = (start + step) % free_ids_.size();
+    const PageId candidate = free_ids_[pos];
+    if (page_map_.IsCached(candidate)) {
+      continue;
+    }
+    if (InBlock(page_map_.DiskLocation(candidate), next_block_start)) {
+      continue;
+    }
+    spare = candidate;
+    spare_pos = pos;
+    break;
+  }
+  if (spare == storage::kDummyPageId) {
+    return FailedPreconditionError(
+        "all spare pages are cached or in the next block; run a query "
+        "and retry");
+  }
+  stats_.inserts++;
+  SHPIR_ASSIGN_OR_RETURN(
+      RoundOutcome outcome,
+      RunRound(spare, /*replace_data=*/nullptr, /*force_evict=*/false,
+               /*insert_mode=*/true, spare, &data));
+  (void)outcome;
+  free_ids_.erase(free_ids_.begin() + static_cast<ptrdiff_t>(spare_pos));
+  live_[spare] = true;
+  return spare;
+}
+
+Status CApproxPir::OfflineReshuffle() {
+  return ReshuffleInternal(/*rotate_keys=*/false);
+}
+
+Status CApproxPir::RotateKeys() {
+  return ReshuffleInternal(/*rotate_keys=*/true);
+}
+
+Status CApproxPir::ReshuffleInternal(bool rotate_keys) {
+  if (!initialized_) {
+    return FailedPreconditionError("engine not initialized");
+  }
+  // Stream every page in (disk + cache already in memory).
+  std::vector<Page> all(id_space_);
+  constexpr uint64_t kChunk = 1024;
+  for (uint64_t start = 0; start < disk_slots_; start += kChunk) {
+    const uint64_t count = std::min(kChunk, disk_slots_ - start);
+    std::vector<Bytes> sealed;
+    SHPIR_RETURN_IF_ERROR(cpu_->ReadRun(start, count, sealed));
+    for (const Bytes& blob : sealed) {
+      SHPIR_ASSIGN_OR_RETURN(Page page, cpu_->OpenPage(blob));
+      all[page.id] = std::move(page);
+    }
+  }
+  for (const Page& cached : page_cache_) {
+    all[cached.id] = cached;
+  }
+  // Physically destroy dead contents.
+  for (PageId id = 0; id < id_space_; ++id) {
+    if (!live_[id]) {
+      all[id].data.assign(options_.page_size, 0);
+    }
+  }
+  // Everything is decrypted in device memory: safe to swap keys now.
+  if (rotate_keys) {
+    SHPIR_RETURN_IF_ERROR(cpu_->InstallFreshKeys());
+  }
+  // Fresh permutation of the full id space; positions >= disk_slots_
+  // land in the cache.
+  const std::vector<uint64_t> perm =
+      crypto::RandomPermutation(id_space_, cpu_->rng());
+  const std::vector<uint64_t> inv = crypto::InvertPermutation(perm);
+  for (uint64_t start = 0; start < disk_slots_; start += kChunk) {
+    const uint64_t count = std::min(kChunk, disk_slots_ - start);
+    std::vector<Bytes> sealed(count);
+    for (uint64_t i = 0; i < count; ++i) {
+      const PageId id = inv[start + i];
+      SHPIR_ASSIGN_OR_RETURN(sealed[i], cpu_->SealPage(all[id]));
+      page_map_.SetDiskLocation(id, start + i);
+    }
+    SHPIR_RETURN_IF_ERROR(cpu_->WriteRun(start, sealed));
+  }
+  for (uint64_t j = 0; j < options_.cache_pages; ++j) {
+    const PageId id = inv[disk_slots_ + j];
+    page_cache_[j] = std::move(all[id]);
+    page_map_.SetCacheIndex(id, j);
+  }
+  next_block_ = 0;
+  return OkStatus();
+}
+
+namespace {
+constexpr uint64_t kStateMagic = 0x5348504952535431ull;  // "SHPIRST1".
+constexpr uint64_t kStateVersion = 1;
+}  // namespace
+
+Result<Bytes> CApproxPir::SerializeState() const {
+  if (!initialized_) {
+    return FailedPreconditionError("engine not initialized");
+  }
+  ByteWriter writer;
+  writer.WriteU64(kStateMagic);
+  writer.WriteU64(kStateVersion);
+  writer.WriteU64(options_.num_pages);
+  writer.WriteU64(options_.page_size);
+  writer.WriteU64(options_.cache_pages);
+  writer.WriteU64(block_size_);
+  writer.WriteU64(disk_slots_);
+  writer.WriteU64(next_block_);
+  writer.WriteU64(stats_.queries);
+  writer.WriteU64(stats_.cache_hits);
+  writer.WriteU64(stats_.block_hits);
+  writer.WriteU64(stats_.inserts);
+  writer.WriteU64(stats_.removes);
+  writer.WriteU64(stats_.modifies);
+  for (PageId id = 0; id < id_space_; ++id) {
+    const bool cached = page_map_.IsCached(id);
+    uint8_t flags = cached ? 1 : 0;
+    if (live_[id]) {
+      flags |= 2;
+    }
+    writer.WriteU8(flags);
+    writer.WriteU64(cached ? page_map_.CacheIndex(id)
+                           : page_map_.DiskLocation(id));
+  }
+  writer.WriteU64(free_ids_.size());
+  for (PageId id : free_ids_) {
+    writer.WriteU64(id);
+  }
+  for (const Page& page : page_cache_) {
+    writer.WriteU64(page.id);
+    writer.WriteRaw(page.data);
+  }
+  return writer.Take();
+}
+
+Status CApproxPir::RestoreState(ByteSpan state) {
+  if (initialized_) {
+    return FailedPreconditionError("already initialized");
+  }
+  ByteReader reader(state);
+  SHPIR_ASSIGN_OR_RETURN(const uint64_t magic, reader.ReadU64());
+  SHPIR_ASSIGN_OR_RETURN(const uint64_t version, reader.ReadU64());
+  if (magic != kStateMagic || version != kStateVersion) {
+    return DataLossError("not a shpir engine state blob");
+  }
+  SHPIR_ASSIGN_OR_RETURN(const uint64_t num_pages, reader.ReadU64());
+  SHPIR_ASSIGN_OR_RETURN(const uint64_t page_size, reader.ReadU64());
+  SHPIR_ASSIGN_OR_RETURN(const uint64_t cache_pages, reader.ReadU64());
+  SHPIR_ASSIGN_OR_RETURN(const uint64_t block_size, reader.ReadU64());
+  SHPIR_ASSIGN_OR_RETURN(const uint64_t disk_slots, reader.ReadU64());
+  if (num_pages != options_.num_pages || page_size != options_.page_size ||
+      cache_pages != options_.cache_pages || block_size != block_size_ ||
+      disk_slots != disk_slots_) {
+    return InvalidArgumentError("state geometry does not match engine");
+  }
+  SHPIR_ASSIGN_OR_RETURN(next_block_, reader.ReadU64());
+  if (next_block_ >= scan_period()) {
+    return DataLossError("corrupt state: block cursor out of range");
+  }
+  SHPIR_ASSIGN_OR_RETURN(stats_.queries, reader.ReadU64());
+  SHPIR_ASSIGN_OR_RETURN(stats_.cache_hits, reader.ReadU64());
+  SHPIR_ASSIGN_OR_RETURN(stats_.block_hits, reader.ReadU64());
+  SHPIR_ASSIGN_OR_RETURN(stats_.inserts, reader.ReadU64());
+  SHPIR_ASSIGN_OR_RETURN(stats_.removes, reader.ReadU64());
+  SHPIR_ASSIGN_OR_RETURN(stats_.modifies, reader.ReadU64());
+  for (PageId id = 0; id < id_space_; ++id) {
+    SHPIR_ASSIGN_OR_RETURN(const uint8_t flags, reader.ReadU8());
+    SHPIR_ASSIGN_OR_RETURN(const uint64_t position, reader.ReadU64());
+    if (flags & 1) {
+      if (position >= options_.cache_pages) {
+        return DataLossError("corrupt state: cache index out of range");
+      }
+      page_map_.SetCacheIndex(id, position);
+    } else {
+      if (position >= disk_slots_) {
+        return DataLossError("corrupt state: disk location out of range");
+      }
+      page_map_.SetDiskLocation(id, position);
+    }
+    live_[id] = (flags & 2) != 0;
+  }
+  SHPIR_ASSIGN_OR_RETURN(const uint64_t free_count, reader.ReadU64());
+  if (free_count > id_space_) {
+    return DataLossError("corrupt state: free list too long");
+  }
+  free_ids_.resize(free_count);
+  for (uint64_t i = 0; i < free_count; ++i) {
+    SHPIR_ASSIGN_OR_RETURN(free_ids_[i], reader.ReadU64());
+    if (free_ids_[i] >= id_space_) {
+      return DataLossError("corrupt state: free id out of range");
+    }
+  }
+  page_cache_.resize(options_.cache_pages);
+  for (Page& page : page_cache_) {
+    SHPIR_ASSIGN_OR_RETURN(page.id, reader.ReadU64());
+    SHPIR_ASSIGN_OR_RETURN(page.data, reader.ReadRaw(options_.page_size));
+  }
+  if (!reader.AtEnd()) {
+    return DataLossError("corrupt state: trailing bytes");
+  }
+  initialized_ = true;
+  return OkStatus();
+}
+
+Result<storage::Location> CApproxPir::DebugLocation(PageId id) const {
+  if (id >= id_space_) {
+    return NotFoundError("id out of range");
+  }
+  if (page_map_.IsCached(id)) {
+    return FailedPreconditionError("page is cached");
+  }
+  return page_map_.DiskLocation(id);
+}
+
+bool CApproxPir::DebugIsCached(PageId id) const {
+  return id < id_space_ && page_map_.IsCached(id);
+}
+
+}  // namespace shpir::core

@@ -1,0 +1,246 @@
+#ifndef SHPIR_CORE_CAPPROX_PIR_H_
+#define SHPIR_CORE_CAPPROX_PIR_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "core/page_map.h"
+#include "core/pir_engine.h"
+#include "hardware/coprocessor.h"
+#include "storage/access_trace.h"
+#include "storage/page.h"
+
+namespace shpir::core {
+
+/// The paper's c-approximate PIR engine (Fig. 3 plus the §4.3 update
+/// protocol).
+///
+/// Layout. The disk holds `disk_slots` sealed pages (the client's
+/// `num_pages` real pages plus `insert_reserve` spares, padded with
+/// dummies to a multiple of the block size k). The device's page cache
+/// holds a further m pages, so the total id space is disk_slots + m.
+/// Every page — real, spare or padding — carries a unique id and is
+/// tracked in the pageMap; dummies are simply ids the client never sees.
+///
+/// Per query, the engine reads the next k-page block (round-robin), plus
+/// one extra page (the requested page, or a uniformly random non-cached,
+/// non-block page on a cache/block hit), moves the requested page into
+/// the cache, evicts a uniformly random cached page into a uniformly
+/// random slot of the block, re-encrypts all k+1 pages with fresh nonces
+/// and writes them back. Cost is constant: 4 seeks + 2(k+1) pages over
+/// the link and through the crypto engine (Eq. 8).
+class CApproxPir : public PirEngine {
+ public:
+  struct Options {
+    /// Number of client-addressable pages n.
+    uint64_t num_pages = 0;
+    /// Page payload size B (bytes).
+    size_t page_size = 0;
+    /// Cache capacity m (pages).
+    uint64_t cache_pages = 0;
+    /// Target privacy parameter c; used to derive k via Eq. 6 when
+    /// block_size is 0. Must be > 1 (use TrivialPir for c == 1).
+    double privacy_c = 2.0;
+    /// Explicit block size k; overrides privacy_c when nonzero.
+    uint64_t block_size = 0;
+    /// Spare dummy pages reserved for future Insert() calls (§4.3).
+    uint64_t insert_reserve = 0;
+    /// When true, Create() reserves the engine's data structures
+    /// (pageMap, pageCache, serverBlock) against the coprocessor's
+    /// secure-memory budget and fails if they do not fit (Eq. 7).
+    bool enforce_secure_memory = true;
+
+    /// ABLATION (breaks privacy; for experiments only): skip the Fig. 3
+    /// line 18 uniformization swap — the evicted cache page always lands
+    /// in slot 0 of the scanned block instead of a uniformly random one.
+    bool ablation_skip_uniform_swap = false;
+
+    /// ABLATION (breaks privacy; for experiments only): evict cache
+    /// slots round-robin instead of uniformly at random, destroying the
+    /// geometric residency-time argument behind Eqs. 1-5.
+    bool ablation_round_robin_eviction = false;
+  };
+
+  /// Per-relocation notification for privacy analysis: page `id` was
+  /// written to disk location `loc` while serving request `request_index`.
+  using RelocationObserver =
+      std::function<void(storage::PageId id, storage::Location loc,
+                         uint64_t request_index)>;
+
+  /// Per-cache-entry notification: page `id` entered the secure cache
+  /// while serving request `request_index`. Together with the relocation
+  /// observer this gives analysis code the ground-truth cache residency
+  /// intervals the privacy model (Eqs. 1-5) reasons about.
+  using CacheEntryObserver =
+      std::function<void(storage::PageId id, uint64_t request_index)>;
+
+  /// Statistics over the engine's lifetime.
+  struct Stats {
+    uint64_t queries = 0;      // Retrieve + Modify + Remove + Insert.
+    uint64_t cache_hits = 0;   // Requested page was cached.
+    uint64_t block_hits = 0;   // Requested page sat in the scanned block.
+    uint64_t inserts = 0;
+    uint64_t removes = 0;
+    uint64_t modifies = 0;
+  };
+
+  /// Creates an engine on `cpu` (unowned, must outlive the engine).
+  /// The coprocessor's disk must have exactly DiskSlots(options) slots
+  /// of cpu->sealed_size() bytes. `trace` (optional, unowned) is marked
+  /// with one BeginRequest per client operation.
+  static Result<std::unique_ptr<CApproxPir>> Create(
+      hardware::SecureCoprocessor* cpu, const Options& options,
+      storage::AccessTrace* trace = nullptr);
+
+  /// Number of disk slots the engine needs for `options` (real pages +
+  /// insert reserve + cache seed, padded to a multiple of k). Errors if
+  /// the options are inconsistent.
+  static Result<uint64_t> DiskSlots(const Options& options);
+
+  /// Loads the database. `pages[i]` becomes page id i; fewer than
+  /// num_pages entries is allowed (missing pages start zero-filled).
+  /// Pages are sealed and placed under a fresh in-device permutation.
+  /// This is the owner-side bulk load; see ObliviousShuffle for
+  /// re-permuting data already resident on the untrusted disk.
+  Status Initialize(const std::vector<storage::Page>& pages);
+
+  /// --- PirEngine ---------------------------------------------------------
+
+  /// Fig. 3 Retrieve. Constant cost per call.
+  Result<Bytes> Retrieve(storage::PageId id) override;
+
+  uint64_t num_pages() const override { return options_.num_pages; }
+  size_t page_size() const override { return options_.page_size; }
+  const char* name() const override { return "c-approx"; }
+
+  /// --- Updates (§4.3) ----------------------------------------------------
+
+  /// Replaces the payload of page `id`. Indistinguishable from Retrieve.
+  Status Modify(storage::PageId id, Bytes data);
+
+  /// Deletes page `id`; its slot becomes a spare for Insert().
+  /// Indistinguishable from Retrieve.
+  Status Remove(storage::PageId id);
+
+  /// Inserts a new page, consuming a spare (insert_reserve or previously
+  /// Removed) slot; returns its id. Indistinguishable from Retrieve.
+  Result<storage::PageId> Insert(Bytes data);
+
+  /// §4.3's offline maintenance: "if there are numerous page deletions,
+  /// the owner may choose to reshuffle (offline) the whole database in
+  /// order to physically remove the deleted pages." Streams every page
+  /// through the device, zeroes the payloads of dead/dummy pages (their
+  /// stale contents are destroyed), draws a fresh permutation of the
+  /// entire id space and rewrites disk and cache. O(n) — run it during
+  /// a maintenance window, not per query.
+  Status OfflineReshuffle();
+
+  /// Offline key rotation: streams every page through the device,
+  /// installs fresh encryption/MAC keys, and rewrites everything
+  /// (re-permuted) under them. Combines with OfflineReshuffle's purge of
+  /// dead contents. O(n); run during maintenance windows.
+  Status RotateKeys();
+
+  /// --- Introspection -----------------------------------------------------
+
+  uint64_t block_size() const { return block_size_; }
+  uint64_t scan_period() const { return disk_slots_ / block_size_; }
+  uint64_t cache_pages() const { return options_.cache_pages; }
+  uint64_t disk_slots() const { return disk_slots_; }
+  /// Privacy parameter actually achieved (Eq. 5 with the engine's k).
+  double achieved_privacy() const;
+  const Stats& stats() const { return stats_; }
+
+  /// Registers an observer called for every cache eviction to disk.
+  void set_relocation_observer(RelocationObserver observer) {
+    relocation_observer_ = std::move(observer);
+  }
+
+  /// Registers an observer called for every page entering the cache.
+  void set_cache_entry_observer(CacheEntryObserver observer) {
+    cache_entry_observer_ = std::move(observer);
+  }
+
+  /// --- Persistence ---------------------------------------------------
+
+  /// Serializes the engine's secure state (pageMap, cache contents,
+  /// liveness, counters) so a deployment over a persistent disk can be
+  /// resumed. The blob contains plaintext cache pages and the location
+  /// map — it must stay inside the trusted boundary or be wrapped with
+  /// crypto::BlobCipher before leaving it. The coprocessor keys are NOT
+  /// included; recreate the device with the same seed (or key escrow).
+  Result<Bytes> SerializeState() const;
+
+  /// Restores a serialized state onto a freshly Create()d engine whose
+  /// options and disk geometry match the snapshot. Replaces
+  /// Initialize().
+  Status RestoreState(ByteSpan state);
+
+  /// Ground-truth location of a page (test/analysis hook; a physical
+  /// device would never expose this).
+  Result<storage::Location> DebugLocation(storage::PageId id) const;
+  /// Whether the page currently sits in the secure cache (test hook).
+  bool DebugIsCached(storage::PageId id) const;
+
+  ~CApproxPir() override;
+
+  CApproxPir(const CApproxPir&) = delete;
+  CApproxPir& operator=(const CApproxPir&) = delete;
+
+ private:
+  CApproxPir(hardware::SecureCoprocessor* cpu, const Options& options,
+             storage::AccessTrace* trace, uint64_t block_size,
+             uint64_t disk_slots, uint64_t reserved_bytes);
+
+  /// One round of the Fig. 3 protocol. `request` is the id driving the
+  /// round (the real target, or a forced spare for Insert). The hooks
+  /// customize the update operations; see the .cc for the contract.
+  struct RoundOutcome {
+    Bytes result;  // Payload of the requested page (pre-modification).
+  };
+  Result<RoundOutcome> RunRound(storage::PageId request,
+                                const Bytes* replace_data, bool force_evict,
+                                bool insert_mode, storage::PageId insert_id,
+                                const Bytes* insert_data);
+
+  /// Shared body of OfflineReshuffle()/RotateKeys().
+  Status ReshuffleInternal(bool rotate_keys);
+
+  /// Draws a uniformly random id that is neither cached nor located in
+  /// the current block [block_start, block_start + k).
+  storage::PageId RandomUncachedOutsideBlock(storage::Location block_start);
+
+  bool InBlock(storage::Location loc, storage::Location block_start) const {
+    return loc >= block_start && loc < block_start + block_size_;
+  }
+
+  bool IsLive(storage::PageId id) const {
+    return id < live_.size() && live_[id];
+  }
+
+  hardware::SecureCoprocessor* cpu_;
+  Options options_;
+  storage::AccessTrace* trace_;
+
+  uint64_t block_size_;   // k
+  uint64_t disk_slots_;   // Padded disk size.
+  uint64_t id_space_;     // disk_slots_ + m.
+  uint64_t reserved_bytes_;  // Secure memory charged at Create.
+
+  PageMap page_map_;
+  std::vector<storage::Page> page_cache_;  // m pages.
+  std::vector<bool> live_;                 // Client-visible ids.
+  std::vector<storage::PageId> free_ids_;  // Spares available to Insert.
+  uint64_t next_block_ = 0;                // Round-robin block cursor.
+  bool initialized_ = false;
+
+  Stats stats_;
+  RelocationObserver relocation_observer_;
+  CacheEntryObserver cache_entry_observer_;
+};
+
+}  // namespace shpir::core
+
+#endif  // SHPIR_CORE_CAPPROX_PIR_H_

@@ -1,0 +1,101 @@
+#include "core/oblivious_shuffle.h"
+
+#include <utility>
+
+#include "crypto/permutation.h"
+
+namespace shpir::core {
+
+void BatcherNetwork(uint64_t n,
+                    const std::function<void(uint64_t, uint64_t)>& visit) {
+  if (n < 2) {
+    return;
+  }
+  // Knuth TAOCP vol. 3, Algorithm 5.2.2M (Batcher's merge exchange),
+  // valid for arbitrary n.
+  uint64_t t = 1;
+  while ((1ull << t) < n) {
+    ++t;
+  }
+  for (uint64_t p = 1ull << (t - 1); p > 0; p >>= 1) {
+    uint64_t q = 1ull << (t - 1);
+    uint64_t r = 0;
+    uint64_t d = p;
+    while (true) {
+      for (uint64_t i = 0; i + d < n; ++i) {
+        if ((i & p) == r) {
+          visit(i, i + d);
+        }
+      }
+      if (q == p) {
+        break;
+      }
+      d = q - p;
+      q >>= 1;
+      r = p;
+    }
+  }
+}
+
+Result<std::vector<uint64_t>> ObliviousShuffle(
+    hardware::SecureCoprocessor& cpu, uint64_t n) {
+  storage::Disk* disk = cpu.disk();
+  if (n > disk->num_slots()) {
+    return InvalidArgumentError("shuffle range exceeds disk size");
+  }
+  // Target slot for the page currently in each slot, drawn inside the
+  // trusted boundary.
+  std::vector<uint64_t> perm = crypto::RandomPermutation(n, cpu.rng());
+  // slot_content[s] = original slot index of the page now held in slot s.
+  std::vector<uint64_t> slot_content(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    slot_content[i] = i;
+  }
+
+  Status status = OkStatus();
+  BatcherNetwork(n, [&](uint64_t i, uint64_t j) {
+    if (!status.ok()) {
+      return;
+    }
+    // Identical I/O on both branches: read both, decrypt, conditionally
+    // swap, re-encrypt with fresh nonces, write both back.
+    Result<Bytes> sealed_i = cpu.ReadSlot(i);
+    if (!sealed_i.ok()) {
+      status = sealed_i.status();
+      return;
+    }
+    Result<Bytes> sealed_j = cpu.ReadSlot(j);
+    if (!sealed_j.ok()) {
+      status = sealed_j.status();
+      return;
+    }
+    Result<storage::Page> page_i = cpu.OpenPage(*sealed_i);
+    Result<storage::Page> page_j = cpu.OpenPage(*sealed_j);
+    if (!page_i.ok() || !page_j.ok()) {
+      status = page_i.ok() ? page_j.status() : page_i.status();
+      return;
+    }
+    const bool swap = perm[slot_content[i]] > perm[slot_content[j]];
+    if (swap) {
+      std::swap(*page_i, *page_j);
+      std::swap(slot_content[i], slot_content[j]);
+    }
+    Result<Bytes> out_i = cpu.SealPage(*page_i);
+    Result<Bytes> out_j = cpu.SealPage(*page_j);
+    if (!out_i.ok() || !out_j.ok()) {
+      status = out_i.ok() ? out_j.status() : out_i.status();
+      return;
+    }
+    Status w = cpu.WriteSlot(i, *out_i);
+    if (w.ok()) {
+      w = cpu.WriteSlot(j, *out_j);
+    }
+    if (!w.ok()) {
+      status = w;
+    }
+  });
+  SHPIR_RETURN_IF_ERROR(status);
+  return perm;
+}
+
+}  // namespace shpir::core

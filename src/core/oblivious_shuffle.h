@@ -1,0 +1,37 @@
+#ifndef SHPIR_CORE_OBLIVIOUS_SHUFFLE_H_
+#define SHPIR_CORE_OBLIVIOUS_SHUFFLE_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/result.h"
+#include "hardware/coprocessor.h"
+
+namespace shpir::core {
+
+/// Emits every compare-exchange pair (i, j), i < j, of Batcher's
+/// odd-even merge sorting network for `n` elements (arbitrary n). The
+/// sequence depends only on n — it is data-oblivious by construction.
+void BatcherNetwork(uint64_t n,
+                    const std::function<void(uint64_t, uint64_t)>& visit);
+
+/// Obliviously permutes the `n` sealed slots of the coprocessor's disk.
+///
+/// The target permutation is drawn inside the device and kept in secure
+/// memory (the same O(n log n)-bit budget class as the scheme's pageMap).
+/// Physically, the slots are routed through Batcher's sorting network:
+/// each compare-exchange reads two slots, decrypts, conditionally swaps
+/// by permutation rank, re-encrypts both with fresh nonces and writes
+/// them back. The adversary observes a fixed, data-independent access
+/// pattern and unlinkable ciphertexts, so it learns nothing about the
+/// permutation — this is the paper's "obliviously permutes the database
+/// pages" step for data already resident on the untrusted disk.
+///
+/// Returns the permutation applied: result[slot_before] == slot_after.
+Result<std::vector<uint64_t>> ObliviousShuffle(
+    hardware::SecureCoprocessor& cpu, uint64_t n);
+
+}  // namespace shpir::core
+
+#endif  // SHPIR_CORE_OBLIVIOUS_SHUFFLE_H_

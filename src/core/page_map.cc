@@ -1,0 +1,19 @@
+#include "core/page_map.h"
+
+#include <cmath>
+
+namespace shpir::core {
+
+uint64_t PageMap::StorageBytes(uint64_t num_ids) {
+  if (num_ids == 0) {
+    return 0;
+  }
+  uint64_t log2n = 0;
+  while ((1ull << log2n) < num_ids) {
+    ++log2n;
+  }
+  const uint64_t bits = num_ids * (log2n + 1);
+  return (bits + 7) / 8;
+}
+
+}  // namespace shpir::core

@@ -1,0 +1,67 @@
+#ifndef SHPIR_CORE_PAGE_MAP_H_
+#define SHPIR_CORE_PAGE_MAP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+#include "storage/page.h"
+
+namespace shpir::core {
+
+/// The look-up table kept inside the secure hardware (paper Fig. 2):
+/// one entry per page id holding an inCache bit and a position whose
+/// meaning depends on the bit — a pageCache index when cached, a disk
+/// location otherwise.
+class PageMap {
+ public:
+  /// Creates a map for `num_ids` page ids, all initially on disk at
+  /// location 0 (callers must place every id before use).
+  explicit PageMap(uint64_t num_ids)
+      : in_cache_(num_ids, false), position_(num_ids, 0) {}
+
+  uint64_t size() const { return position_.size(); }
+
+  bool IsCached(storage::PageId id) const {
+    SHPIR_CHECK(id < size());
+    return in_cache_[id];
+  }
+
+  /// Disk location (valid only when !IsCached(id)).
+  storage::Location DiskLocation(storage::PageId id) const {
+    SHPIR_CHECK(id < size());
+    SHPIR_CHECK(!in_cache_[id]);
+    return position_[id];
+  }
+
+  /// pageCache index (valid only when IsCached(id)).
+  uint64_t CacheIndex(storage::PageId id) const {
+    SHPIR_CHECK(id < size());
+    SHPIR_CHECK(in_cache_[id]);
+    return position_[id];
+  }
+
+  void SetDiskLocation(storage::PageId id, storage::Location loc) {
+    SHPIR_CHECK(id < size());
+    in_cache_[id] = false;
+    position_[id] = loc;
+  }
+
+  void SetCacheIndex(storage::PageId id, uint64_t index) {
+    SHPIR_CHECK(id < size());
+    in_cache_[id] = true;
+    position_[id] = index;
+  }
+
+  /// Secure-memory footprint in bytes for `num_ids` entries: the paper's
+  /// n*(log2(n) + 1) bits (Eq. 7), rounded up to whole bytes.
+  static uint64_t StorageBytes(uint64_t num_ids);
+
+ private:
+  std::vector<bool> in_cache_;
+  std::vector<uint64_t> position_;
+};
+
+}  // namespace shpir::core
+
+#endif  // SHPIR_CORE_PAGE_MAP_H_

@@ -1,0 +1,36 @@
+#ifndef SHPIR_CORE_PIR_ENGINE_H_
+#define SHPIR_CORE_PIR_ENGINE_H_
+
+#include <cstdint>
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "storage/page.h"
+
+namespace shpir::core {
+
+/// Common interface for private page-retrieval engines: the paper's
+/// c-approximate scheme and the baselines it is compared against
+/// (trivial PIR, Wang et al., pyramid ORAM). Clients ask for a page id
+/// and get its payload; every engine hides (to its own degree) *which*
+/// id was asked from the adversary observing the disk.
+class PirEngine {
+ public:
+  virtual ~PirEngine() = default;
+
+  /// Retrieves the payload of page `id`.
+  virtual Result<Bytes> Retrieve(storage::PageId id) = 0;
+
+  /// Number of client-addressable pages.
+  virtual uint64_t num_pages() const = 0;
+
+  /// Page payload size B in bytes.
+  virtual size_t page_size() const = 0;
+
+  /// Human-readable engine name for benchmark tables.
+  virtual const char* name() const = 0;
+};
+
+}  // namespace shpir::core
+
+#endif  // SHPIR_CORE_PIR_ENGINE_H_

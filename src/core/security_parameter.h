@@ -1,0 +1,58 @@
+#ifndef SHPIR_CORE_SECURITY_PARAMETER_H_
+#define SHPIR_CORE_SECURITY_PARAMETER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+
+namespace shpir::core {
+
+/// Analytic model of the scheme's privacy (paper §4.2, Eqs. 1–6).
+///
+/// A page entering the cache leaves it after a geometrically distributed
+/// number of requests (randomized eviction over m slots). Because blocks
+/// are scanned round-robin with period T = n/k, the page's relocation
+/// target distribution over disk locations decays geometrically across
+/// the scan, and the max/min probability ratio equals
+///   c = (1 - 1/m)^-(T-1)            (Eq. 5)
+/// which inverts to the security parameter
+///   k = n / (log(1/c)/log(1-1/m) + 1)   (Eq. 6).
+class SecurityParameter {
+ public:
+  /// Eq. 6: smallest block size k that achieves privacy parameter `c`
+  /// for a database of `n` pages with a cache of `m` pages. Requires
+  /// n >= 2, m >= 2 and c > 1 (c == 1 is trivial PIR: read everything).
+  /// The result is clamped to [1, n].
+  static Result<uint64_t> BlockSize(uint64_t n, uint64_t m, double c);
+
+  /// Eq. 5 inverted: the privacy parameter c actually provided by block
+  /// size `k` (the max/min location-probability ratio). T is computed as
+  /// ceil(n/k). Requires k in [1, n], m >= 2.
+  static Result<double> PrivacyOf(uint64_t n, uint64_t m, uint64_t k);
+
+  /// Scan period T = ceil(n/k): number of requests to touch every disk
+  /// location once.
+  static uint64_t ScanPeriod(uint64_t n, uint64_t k);
+
+  /// Eq. 1: probability that a page cached at t = 0 moves back to disk
+  /// exactly at request t >= 1, with cache size m.
+  static double EvictionProbability(uint64_t m, uint64_t t);
+
+  /// Eqs. 2–4 summed over all scan cycles: probability that the page
+  /// relocates to a *specific location* of the block visited b requests
+  /// after it entered the cache (b in [1, T]). Locations in the first
+  /// visited block (b = 1) are the most likely targets; b = T the least.
+  static double LocationProbability(uint64_t m, uint64_t k, uint64_t T,
+                                    uint64_t b);
+
+  /// Full per-block relocation distribution: element b-1 is
+  /// LocationProbability(m, k, T, b) * k, i.e. the probability of landing
+  /// anywhere in the b-th visited block. Sums to 1.
+  static std::vector<double> BlockDistribution(uint64_t m, uint64_t k,
+                                               uint64_t T);
+};
+
+}  // namespace shpir::core
+
+#endif  // SHPIR_CORE_SECURITY_PARAMETER_H_

@@ -1,0 +1,38 @@
+#ifndef SHPIR_CORE_THREAD_SAFE_ENGINE_H_
+#define SHPIR_CORE_THREAD_SAFE_ENGINE_H_
+
+#include <mutex>
+
+#include "core/pir_engine.h"
+
+namespace shpir::core {
+
+/// Serializing decorator for multi-client deployments: the engines are
+/// inherently single-threaded (each query mutates the device cache and
+/// the disk layout), so concurrent clients must take turns — exactly
+/// like the physical coprocessor, which processes one request at a
+/// time. Wrap any PirEngine to make Retrieve callable from multiple
+/// threads; the queueing this induces under load is what
+/// bench_queueing quantifies.
+class ThreadSafeEngine : public PirEngine {
+ public:
+  /// `inner` is unowned and must outlive the wrapper.
+  explicit ThreadSafeEngine(PirEngine* inner) : inner_(inner) {}
+
+  Result<Bytes> Retrieve(storage::PageId id) override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return inner_->Retrieve(id);
+  }
+
+  uint64_t num_pages() const override { return inner_->num_pages(); }
+  size_t page_size() const override { return inner_->page_size(); }
+  const char* name() const override { return inner_->name(); }
+
+ private:
+  PirEngine* inner_;
+  std::mutex mutex_;
+};
+
+}  // namespace shpir::core
+
+#endif  // SHPIR_CORE_THREAD_SAFE_ENGINE_H_

@@ -1,0 +1,57 @@
+#include "crypto/blob_cipher.h"
+
+#include <cstring>
+
+#include "crypto/sha256.h"
+
+namespace shpir::crypto {
+
+Result<BlobCipher> BlobCipher::Create(ByteSpan enc_key, ByteSpan mac_key) {
+  SHPIR_ASSIGN_OR_RETURN(AesCtr ctr, AesCtr::Create(enc_key));
+  return BlobCipher(std::move(ctr), HmacSha256(mac_key));
+}
+
+Result<BlobCipher> BlobCipher::FromPassphrase(const std::string& passphrase) {
+  const ByteSpan pass(reinterpret_cast<const uint8_t*>(passphrase.data()),
+                      passphrase.size());
+  HmacSha256 kdf(pass);
+  const auto enc = kdf.Compute(ByteSpan(
+      reinterpret_cast<const uint8_t*>("shpir-blob-enc"), 14));
+  const auto mac = kdf.Compute(ByteSpan(
+      reinterpret_cast<const uint8_t*>("shpir-blob-mac"), 14));
+  return Create(ByteSpan(enc.data(), enc.size()),
+                ByteSpan(mac.data(), mac.size()));
+}
+
+Result<Bytes> BlobCipher::Seal(ByteSpan plaintext,
+                               SecureRandom& rng) const {
+  Bytes out(kNonceSize + plaintext.size() + kTagSize);
+  MutableByteSpan nonce(out.data(), kNonceSize);
+  MutableByteSpan body(out.data() + kNonceSize, plaintext.size());
+  rng.Fill(nonce);
+  SHPIR_RETURN_IF_ERROR(ctr_.CryptWithNonce(nonce, plaintext, body));
+  const HmacSha256::Tag tag =
+      mac_.Compute(ByteSpan(out.data(), kNonceSize + plaintext.size()));
+  std::memcpy(out.data() + kNonceSize + plaintext.size(), tag.data(),
+              kTagSize);
+  return out;
+}
+
+Result<Bytes> BlobCipher::Open(ByteSpan sealed) const {
+  if (sealed.size() < kOverhead) {
+    return InvalidArgumentError("sealed blob too short");
+  }
+  const size_t body_len = sealed.size() - kOverhead;
+  const ByteSpan authed(sealed.data(), kNonceSize + body_len);
+  const ByteSpan tag(sealed.data() + kNonceSize + body_len, kTagSize);
+  if (!mac_.Verify(authed, tag)) {
+    return DataLossError("blob MAC verification failed");
+  }
+  const ByteSpan nonce(sealed.data(), kNonceSize);
+  Bytes body(sealed.begin() + kNonceSize,
+             sealed.begin() + static_cast<ptrdiff_t>(kNonceSize + body_len));
+  SHPIR_RETURN_IF_ERROR(ctr_.CryptWithNonce(nonce, body, body));
+  return body;
+}
+
+}  // namespace shpir::crypto

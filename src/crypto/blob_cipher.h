@@ -1,0 +1,44 @@
+#ifndef SHPIR_CRYPTO_BLOB_CIPHER_H_
+#define SHPIR_CRYPTO_BLOB_CIPHER_H_
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "crypto/ctr.h"
+#include "crypto/hmac.h"
+#include "crypto/secure_random.h"
+
+namespace shpir::crypto {
+
+/// Authenticated encryption for variable-length blobs (AES-CTR with a
+/// fresh random nonce, encrypt-then-MAC with HMAC-SHA-256). Used to
+/// protect engine state snapshots and any other secrets that must leave
+/// the trusted boundary.
+class BlobCipher {
+ public:
+  static constexpr size_t kNonceSize = 12;
+  static constexpr size_t kTagSize = HmacSha256::kTagSize;
+  static constexpr size_t kOverhead = kNonceSize + kTagSize;
+
+  /// Creates a cipher from an AES key (16/24/32 bytes) and a MAC key.
+  static Result<BlobCipher> Create(ByteSpan enc_key, ByteSpan mac_key);
+
+  /// Derives both keys from a single passphrase (HMAC-based KDF).
+  static Result<BlobCipher> FromPassphrase(const std::string& passphrase);
+
+  /// Encrypts and authenticates `plaintext`.
+  Result<Bytes> Seal(ByteSpan plaintext, SecureRandom& rng) const;
+
+  /// Verifies and decrypts a sealed blob.
+  Result<Bytes> Open(ByteSpan sealed) const;
+
+ private:
+  BlobCipher(AesCtr ctr, HmacSha256 mac)
+      : ctr_(std::move(ctr)), mac_(std::move(mac)) {}
+
+  AesCtr ctr_;
+  HmacSha256 mac_;
+};
+
+}  // namespace shpir::crypto
+
+#endif  // SHPIR_CRYPTO_BLOB_CIPHER_H_

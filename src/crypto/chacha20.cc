@@ -1,0 +1,89 @@
+#include "crypto/chacha20.h"
+
+#include <cstring>
+
+namespace shpir::crypto {
+
+namespace {
+
+inline uint32_t Rotl(uint32_t x, int n) { return (x << n) | (x >> (32 - n)); }
+
+inline void QuarterRound(uint32_t& a, uint32_t& b, uint32_t& c, uint32_t& d) {
+  a += b;
+  d = Rotl(d ^ a, 16);
+  c += d;
+  b = Rotl(b ^ c, 12);
+  a += b;
+  d = Rotl(d ^ a, 8);
+  c += d;
+  b = Rotl(b ^ c, 7);
+}
+
+// "expand 32-byte k"
+constexpr uint32_t kSigma[4] = {0x61707865, 0x3320646e, 0x79622d32,
+                                0x6b206574};
+
+}  // namespace
+
+Result<ChaCha20> ChaCha20::Create(ByteSpan key) {
+  if (key.size() != kKeySize) {
+    return InvalidArgumentError("ChaCha20 key must be 32 bytes");
+  }
+  ChaCha20 cipher;
+  for (int i = 0; i < 8; ++i) {
+    cipher.key_words_[i] = LoadLE32(key.data() + 4 * i);
+  }
+  return cipher;
+}
+
+Status ChaCha20::KeystreamBlock(ByteSpan nonce, uint32_t counter,
+                                uint8_t out[kBlockSize]) const {
+  if (nonce.size() != kNonceSize) {
+    return InvalidArgumentError("ChaCha20 nonce must be 12 bytes");
+  }
+  uint32_t state[16];
+  std::memcpy(state, kSigma, sizeof(kSigma));
+  std::memcpy(state + 4, key_words_.data(), 32);
+  state[12] = counter;
+  state[13] = LoadLE32(nonce.data());
+  state[14] = LoadLE32(nonce.data() + 4);
+  state[15] = LoadLE32(nonce.data() + 8);
+
+  uint32_t working[16];
+  std::memcpy(working, state, sizeof(state));
+  for (int i = 0; i < 10; ++i) {
+    QuarterRound(working[0], working[4], working[8], working[12]);
+    QuarterRound(working[1], working[5], working[9], working[13]);
+    QuarterRound(working[2], working[6], working[10], working[14]);
+    QuarterRound(working[3], working[7], working[11], working[15]);
+    QuarterRound(working[0], working[5], working[10], working[15]);
+    QuarterRound(working[1], working[6], working[11], working[12]);
+    QuarterRound(working[2], working[7], working[8], working[13]);
+    QuarterRound(working[3], working[4], working[9], working[14]);
+  }
+  for (int i = 0; i < 16; ++i) {
+    StoreLE32(working[i] + state[i], out + 4 * i);
+  }
+  return OkStatus();
+}
+
+Status ChaCha20::Crypt(ByteSpan nonce, uint32_t counter, ByteSpan in,
+                       MutableByteSpan out) const {
+  if (in.size() != out.size()) {
+    return InvalidArgumentError("ChaCha20 output size must match input size");
+  }
+  uint8_t keystream[kBlockSize];
+  size_t offset = 0;
+  while (offset < in.size()) {
+    SHPIR_RETURN_IF_ERROR(KeystreamBlock(nonce, counter, keystream));
+    const size_t chunk = std::min(in.size() - offset, kBlockSize);
+    for (size_t i = 0; i < chunk; ++i) {
+      out[offset + i] = in[offset + i] ^ keystream[i];
+    }
+    ++counter;
+    offset += chunk;
+  }
+  return OkStatus();
+}
+
+}  // namespace shpir::crypto

@@ -1,0 +1,40 @@
+#ifndef SHPIR_CRYPTO_CHACHA20_H_
+#define SHPIR_CRYPTO_CHACHA20_H_
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.h"
+#include "common/result.h"
+
+namespace shpir::crypto {
+
+/// ChaCha20 stream cipher (RFC 8439). Used as the core of the library's
+/// deterministic random bit generator; also usable as a cipher.
+class ChaCha20 {
+ public:
+  static constexpr size_t kKeySize = 32;
+  static constexpr size_t kNonceSize = 12;
+  static constexpr size_t kBlockSize = 64;
+
+  /// Creates a cipher keyed with a 32-byte key.
+  static Result<ChaCha20> Create(ByteSpan key);
+
+  /// XORs `in` with the keystream for (`nonce`, starting `counter`) into
+  /// `out`. out may alias in; sizes must match.
+  Status Crypt(ByteSpan nonce, uint32_t counter, ByteSpan in,
+               MutableByteSpan out) const;
+
+  /// Generates one 64-byte keystream block for (`nonce`, `counter`).
+  Status KeystreamBlock(ByteSpan nonce, uint32_t counter,
+                        uint8_t out[kBlockSize]) const;
+
+ private:
+  ChaCha20() = default;
+
+  std::array<uint32_t, 8> key_words_{};
+};
+
+}  // namespace shpir::crypto
+
+#endif  // SHPIR_CRYPTO_CHACHA20_H_

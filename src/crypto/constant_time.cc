@@ -1,0 +1,16 @@
+#include "crypto/constant_time.h"
+
+namespace shpir::crypto {
+
+bool ConstantTimeEquals(ByteSpan a, ByteSpan b) {
+  if (a.size() != b.size()) {
+    return false;
+  }
+  uint8_t diff = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    diff |= static_cast<uint8_t>(a[i] ^ b[i]);
+  }
+  return diff == 0;
+}
+
+}  // namespace shpir::crypto

@@ -1,0 +1,14 @@
+#ifndef SHPIR_CRYPTO_CONSTANT_TIME_H_
+#define SHPIR_CRYPTO_CONSTANT_TIME_H_
+
+#include "common/bytes.h"
+
+namespace shpir::crypto {
+
+/// Compares two byte ranges without data-dependent early exit. Returns
+/// false immediately only on length mismatch (lengths are public).
+bool ConstantTimeEquals(ByteSpan a, ByteSpan b);
+
+}  // namespace shpir::crypto
+
+#endif  // SHPIR_CRYPTO_CONSTANT_TIME_H_

@@ -1,0 +1,58 @@
+#include "crypto/ctr.h"
+
+#include <cstring>
+
+namespace shpir::crypto {
+
+namespace {
+
+// Increments a 128-bit big-endian counter block.
+void IncrementCounter(uint8_t block[16]) {
+  for (int i = 15; i >= 0; --i) {
+    if (++block[i] != 0) {
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+Result<AesCtr> AesCtr::Create(ByteSpan key) {
+  SHPIR_ASSIGN_OR_RETURN(Aes aes, Aes::Create(key));
+  return AesCtr(std::move(aes));
+}
+
+Status AesCtr::Crypt(ByteSpan iv, ByteSpan in, MutableByteSpan out) const {
+  if (iv.size() != Aes::kBlockSize) {
+    return InvalidArgumentError("CTR IV must be 16 bytes");
+  }
+  if (in.size() != out.size()) {
+    return InvalidArgumentError("CTR output size must match input size");
+  }
+  uint8_t counter[Aes::kBlockSize];
+  std::memcpy(counter, iv.data(), Aes::kBlockSize);
+  uint8_t keystream[Aes::kBlockSize];
+  size_t offset = 0;
+  while (offset < in.size()) {
+    aes_.EncryptBlock(counter, keystream);
+    const size_t chunk = std::min(in.size() - offset, Aes::kBlockSize);
+    for (size_t i = 0; i < chunk; ++i) {
+      out[offset + i] = in[offset + i] ^ keystream[i];
+    }
+    IncrementCounter(counter);
+    offset += chunk;
+  }
+  return OkStatus();
+}
+
+Status AesCtr::CryptWithNonce(ByteSpan nonce12, ByteSpan in,
+                              MutableByteSpan out) const {
+  if (nonce12.size() != 12) {
+    return InvalidArgumentError("CTR nonce must be 12 bytes");
+  }
+  uint8_t iv[Aes::kBlockSize] = {};
+  std::memcpy(iv, nonce12.data(), 12);
+  return Crypt(ByteSpan(iv, Aes::kBlockSize), in, out);
+}
+
+}  // namespace shpir::crypto

@@ -1,0 +1,40 @@
+#ifndef SHPIR_CRYPTO_CTR_H_
+#define SHPIR_CRYPTO_CTR_H_
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "crypto/aes.h"
+
+namespace shpir::crypto {
+
+/// AES-CTR stream cipher (NIST SP 800-38A). The 16-byte counter block is
+/// the concatenation of a caller-supplied nonce and a big-endian block
+/// counter; encryption and decryption are the same operation.
+class AesCtr {
+ public:
+  /// Creates a CTR context from a 16/24/32-byte AES key.
+  static Result<AesCtr> Create(ByteSpan key);
+
+  /// XORs `in` with the keystream derived from `iv` (16 bytes, the full
+  /// initial counter block) into `out`. `out.size()` must equal
+  /// `in.size()`; out may alias in. The counter increments over the whole
+  /// 128-bit block, matching SP 800-38A's F.5 test vectors.
+  Status Crypt(ByteSpan iv, ByteSpan in, MutableByteSpan out) const;
+
+  /// Convenience wrapper building the initial counter block from a
+  /// 12-byte nonce and a 4-byte big-endian initial counter of zero.
+  Status CryptWithNonce(ByteSpan nonce12, ByteSpan in,
+                        MutableByteSpan out) const;
+
+ private:
+  explicit AesCtr(Aes aes) : aes_(std::move(aes)) {}
+
+  Aes aes_;
+};
+
+}  // namespace shpir::crypto
+
+#endif  // SHPIR_CRYPTO_CTR_H_

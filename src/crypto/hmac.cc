@@ -1,0 +1,39 @@
+#include "crypto/hmac.h"
+
+#include <cstring>
+
+#include "crypto/constant_time.h"
+
+namespace shpir::crypto {
+
+HmacSha256::HmacSha256(ByteSpan key) {
+  std::array<uint8_t, Sha256::kBlockSize> block_key = {};
+  if (key.size() > Sha256::kBlockSize) {
+    const Sha256::Digest digest = Sha256::Hash(key);
+    std::memcpy(block_key.data(), digest.data(), digest.size());
+  } else {
+    std::memcpy(block_key.data(), key.data(), key.size());
+  }
+  for (size_t i = 0; i < Sha256::kBlockSize; ++i) {
+    ipad_key_[i] = block_key[i] ^ 0x36;
+    opad_key_[i] = block_key[i] ^ 0x5c;
+  }
+}
+
+HmacSha256::Tag HmacSha256::Compute(ByteSpan data) const {
+  Sha256 inner;
+  inner.Update(ByteSpan(ipad_key_.data(), ipad_key_.size()));
+  inner.Update(data);
+  const Sha256::Digest inner_digest = inner.Finalize();
+  Sha256 outer;
+  outer.Update(ByteSpan(opad_key_.data(), opad_key_.size()));
+  outer.Update(ByteSpan(inner_digest.data(), inner_digest.size()));
+  return outer.Finalize();
+}
+
+bool HmacSha256::Verify(ByteSpan data, ByteSpan tag) const {
+  const Tag expected = Compute(data);
+  return ConstantTimeEquals(ByteSpan(expected.data(), expected.size()), tag);
+}
+
+}  // namespace shpir::crypto

@@ -1,0 +1,34 @@
+#ifndef SHPIR_CRYPTO_HMAC_H_
+#define SHPIR_CRYPTO_HMAC_H_
+
+#include <array>
+
+#include "common/bytes.h"
+#include "crypto/sha256.h"
+
+namespace shpir::crypto {
+
+/// HMAC-SHA-256 (RFC 2104 / FIPS 198-1).
+class HmacSha256 {
+ public:
+  static constexpr size_t kTagSize = Sha256::kDigestSize;
+  using Tag = Sha256::Digest;
+
+  /// Creates an HMAC context keyed with `key` (any length; keys longer
+  /// than the SHA-256 block size are hashed first, per the spec).
+  explicit HmacSha256(ByteSpan key);
+
+  /// Computes the tag of `data`.
+  Tag Compute(ByteSpan data) const;
+
+  /// Verifies `tag` against `data` in constant time.
+  bool Verify(ByteSpan data, ByteSpan tag) const;
+
+ private:
+  std::array<uint8_t, Sha256::kBlockSize> ipad_key_;
+  std::array<uint8_t, Sha256::kBlockSize> opad_key_;
+};
+
+}  // namespace shpir::crypto
+
+#endif  // SHPIR_CRYPTO_HMAC_H_

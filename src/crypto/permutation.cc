@@ -1,0 +1,33 @@
+#include "crypto/permutation.h"
+
+#include <numeric>
+
+namespace shpir::crypto {
+
+std::vector<uint64_t> RandomPermutation(uint64_t n, SecureRandom& rng) {
+  std::vector<uint64_t> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+  Shuffle(perm, rng);
+  return perm;
+}
+
+std::vector<uint64_t> InvertPermutation(const std::vector<uint64_t>& perm) {
+  std::vector<uint64_t> inv(perm.size());
+  for (uint64_t i = 0; i < perm.size(); ++i) {
+    inv[perm[i]] = i;
+  }
+  return inv;
+}
+
+bool IsPermutation(const std::vector<uint64_t>& perm) {
+  std::vector<bool> seen(perm.size(), false);
+  for (uint64_t v : perm) {
+    if (v >= perm.size() || seen[v]) {
+      return false;
+    }
+    seen[v] = true;
+  }
+  return true;
+}
+
+}  // namespace shpir::crypto

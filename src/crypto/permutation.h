@@ -1,0 +1,32 @@
+#ifndef SHPIR_CRYPTO_PERMUTATION_H_
+#define SHPIR_CRYPTO_PERMUTATION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "crypto/secure_random.h"
+
+namespace shpir::crypto {
+
+/// Returns a uniformly random permutation of {0, ..., n-1} drawn with the
+/// Fisher–Yates shuffle from `rng`.
+std::vector<uint64_t> RandomPermutation(uint64_t n, SecureRandom& rng);
+
+/// Returns the inverse permutation: inv[perm[i]] == i.
+std::vector<uint64_t> InvertPermutation(const std::vector<uint64_t>& perm);
+
+/// Returns true if `perm` is a permutation of {0, ..., perm.size()-1}.
+bool IsPermutation(const std::vector<uint64_t>& perm);
+
+/// Shuffles `values` in place with Fisher–Yates.
+template <typename T>
+void Shuffle(std::vector<T>& values, SecureRandom& rng) {
+  for (size_t i = values.size(); i > 1; --i) {
+    const size_t j = static_cast<size_t>(rng.UniformInt(i));
+    std::swap(values[i - 1], values[j]);
+  }
+}
+
+}  // namespace shpir::crypto
+
+#endif  // SHPIR_CRYPTO_PERMUTATION_H_

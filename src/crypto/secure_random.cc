@@ -1,0 +1,93 @@
+#include "crypto/secure_random.h"
+
+#include <cstring>
+#include <random>
+
+#include "common/check.h"
+
+namespace shpir::crypto {
+
+SecureRandom::SecureRandom() {
+  std::random_device rd;
+  std::array<uint8_t, 32> seed;
+  for (size_t i = 0; i < seed.size(); i += 4) {
+    StoreLE32(rd(), seed.data() + i);
+  }
+  Reseed(seed);
+}
+
+SecureRandom::SecureRandom(uint64_t seed) {
+  std::array<uint8_t, 32> key = {};
+  StoreLE64(seed, key.data());
+  // Differentiate the deterministic domain from the entropy-seeded one.
+  key[31] = 0x5e;
+  Reseed(key);
+}
+
+SecureRandom::SecureRandom(const std::array<uint8_t, 32>& seed) {
+  Reseed(seed);
+}
+
+void SecureRandom::Reseed(const std::array<uint8_t, 32>& key) {
+  Result<ChaCha20> cipher = ChaCha20::Create(ByteSpan(key.data(), key.size()));
+  SHPIR_CHECK(cipher.ok());
+  cipher_ = std::move(cipher).value();
+  counter_ = 0;
+  buffer_pos_ = buffer_.size();
+}
+
+void SecureRandom::RefillBuffer() {
+  SHPIR_CHECK_OK(cipher_->KeystreamBlock(ByteSpan(nonce_.data(), nonce_.size()),
+                                         counter_, buffer_.data()));
+  ++counter_;
+  if (counter_ == 0) {
+    // 256 GiB of output exhausted the counter; roll the nonce forward.
+    for (size_t i = 0; i < nonce_.size(); ++i) {
+      if (++nonce_[i] != 0) {
+        break;
+      }
+    }
+  }
+  buffer_pos_ = 0;
+}
+
+void SecureRandom::Fill(MutableByteSpan out) {
+  size_t offset = 0;
+  while (offset < out.size()) {
+    if (buffer_pos_ == buffer_.size()) {
+      RefillBuffer();
+    }
+    const size_t chunk =
+        std::min(out.size() - offset, buffer_.size() - buffer_pos_);
+    std::memcpy(out.data() + offset, buffer_.data() + buffer_pos_, chunk);
+    buffer_pos_ += chunk;
+    offset += chunk;
+  }
+}
+
+uint64_t SecureRandom::NextUint64() {
+  uint8_t bytes[8];
+  Fill(MutableByteSpan(bytes, 8));
+  return LoadLE64(bytes);
+}
+
+uint64_t SecureRandom::UniformInt(uint64_t bound) {
+  SHPIR_CHECK(bound > 0);
+  if ((bound & (bound - 1)) == 0) {
+    return NextUint64() & (bound - 1);
+  }
+  // Rejection sampling over the largest multiple of bound below 2^64.
+  const uint64_t limit = UINT64_MAX - UINT64_MAX % bound;
+  uint64_t value;
+  do {
+    value = NextUint64();
+  } while (value >= limit);
+  return value % bound;
+}
+
+double SecureRandom::UniformDouble() {
+  // 53 random bits scaled into [0, 1).
+  return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+}
+
+}  // namespace shpir::crypto

@@ -1,0 +1,101 @@
+#include "hardware/coprocessor.h"
+
+namespace shpir::hardware {
+
+Result<std::unique_ptr<SecureCoprocessor>> SecureCoprocessor::Create(
+    const HardwareProfile& profile, storage::Disk* disk, size_t page_size,
+    std::optional<uint64_t> seed) {
+  if (disk == nullptr) {
+    return InvalidArgumentError("coprocessor requires a disk");
+  }
+  crypto::SecureRandom rng =
+      seed.has_value() ? crypto::SecureRandom(*seed) : crypto::SecureRandom();
+  Bytes enc_key(32), mac_key(32);
+  rng.Fill(enc_key);
+  rng.Fill(mac_key);
+  SHPIR_ASSIGN_OR_RETURN(
+      storage::PageCipher cipher,
+      storage::PageCipher::Create(enc_key, mac_key, page_size));
+  if (disk->slot_size() != cipher.sealed_size()) {
+    return InvalidArgumentError(
+        "disk slot size does not match sealed page size");
+  }
+  return std::unique_ptr<SecureCoprocessor>(new SecureCoprocessor(
+      profile, disk, std::move(cipher), std::move(rng)));
+}
+
+Status SecureCoprocessor::ReserveSecureMemory(uint64_t bytes,
+                                              const std::string& what) {
+  if (secure_memory_used_ + bytes > profile_.secure_memory_bytes) {
+    return ResourceExhaustedError(
+        "secure memory exhausted reserving " + std::to_string(bytes) +
+        " bytes for " + what + " (used " +
+        std::to_string(secure_memory_used_) + " of " +
+        std::to_string(profile_.secure_memory_bytes) + ")");
+  }
+  secure_memory_used_ += bytes;
+  return OkStatus();
+}
+
+void SecureCoprocessor::ReleaseSecureMemory(uint64_t bytes) {
+  secure_memory_used_ = bytes > secure_memory_used_
+                            ? 0
+                            : secure_memory_used_ - bytes;
+}
+
+Status SecureCoprocessor::ReadRun(storage::Location start, uint64_t count,
+                                  std::vector<Bytes>& out) {
+  cost_.AddSeeks(1);
+  const uint64_t bytes = count * disk_->slot_size();
+  cost_.AddDiskBytes(bytes);
+  cost_.AddLinkBytes(bytes);
+  return disk_->ReadRun(start, count, out);
+}
+
+Status SecureCoprocessor::WriteRun(storage::Location start,
+                                   const std::vector<Bytes>& slots) {
+  cost_.AddSeeks(1);
+  const uint64_t bytes = slots.size() * disk_->slot_size();
+  cost_.AddDiskBytes(bytes);
+  cost_.AddLinkBytes(bytes);
+  return disk_->WriteRun(start, slots);
+}
+
+Result<Bytes> SecureCoprocessor::ReadSlot(storage::Location loc) {
+  cost_.AddSeeks(1);
+  cost_.AddDiskBytes(disk_->slot_size());
+  cost_.AddLinkBytes(disk_->slot_size());
+  Bytes out(disk_->slot_size());
+  SHPIR_RETURN_IF_ERROR(disk_->Read(loc, out));
+  return out;
+}
+
+Status SecureCoprocessor::WriteSlot(storage::Location loc, ByteSpan data) {
+  cost_.AddSeeks(1);
+  cost_.AddDiskBytes(disk_->slot_size());
+  cost_.AddLinkBytes(disk_->slot_size());
+  return disk_->Write(loc, data);
+}
+
+Status SecureCoprocessor::InstallFreshKeys() {
+  Bytes enc_key(32), mac_key(32);
+  rng_.Fill(enc_key);
+  rng_.Fill(mac_key);
+  SHPIR_ASSIGN_OR_RETURN(
+      storage::PageCipher cipher,
+      storage::PageCipher::Create(enc_key, mac_key, cipher_.page_size()));
+  cipher_ = std::move(cipher);
+  return OkStatus();
+}
+
+Result<Bytes> SecureCoprocessor::SealPage(const storage::Page& page) {
+  cost_.AddCryptoBytes(cipher_.page_size());
+  return cipher_.Seal(page, rng_);
+}
+
+Result<storage::Page> SecureCoprocessor::OpenPage(ByteSpan sealed) {
+  cost_.AddCryptoBytes(cipher_.page_size());
+  return cipher_.Open(sealed);
+}
+
+}  // namespace shpir::hardware

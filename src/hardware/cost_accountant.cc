@@ -1,0 +1,24 @@
+#include "hardware/cost_accountant.h"
+
+namespace shpir::hardware {
+
+double CostAccountant::Seconds(const Counters& counters,
+                               const HardwareProfile& profile) {
+  double seconds = counters.seeks * profile.seek_time_s;
+  if (profile.disk_rate > 0) {
+    seconds += counters.disk_bytes / profile.disk_rate;
+  }
+  if (profile.link_rate > 0) {
+    seconds += counters.link_bytes / profile.link_rate;
+  }
+  if (profile.crypto_rate > 0) {
+    seconds += counters.crypto_bytes / profile.crypto_rate;
+  }
+  seconds += counters.network_round_trips * profile.network_rtt_s;
+  if (profile.network_rate > 0) {
+    seconds += counters.network_bytes / profile.network_rate;
+  }
+  return seconds;
+}
+
+}  // namespace shpir::hardware

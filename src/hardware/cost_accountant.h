@@ -1,0 +1,68 @@
+#ifndef SHPIR_HARDWARE_COST_ACCOUNTANT_H_
+#define SHPIR_HARDWARE_COST_ACCOUNTANT_H_
+
+#include <cstdint>
+
+#include "hardware/profile.h"
+
+namespace shpir::hardware {
+
+/// Resource counters for the simulated deployment. PIR engines record
+/// what the hardware *would* do (seeks, bytes moved, bytes enciphered);
+/// Seconds() converts the counters into simulated wall-clock time under a
+/// HardwareProfile. This is the discrete-event counterpart of the paper's
+/// Eq. 8.
+class CostAccountant {
+ public:
+  struct Counters {
+    uint64_t seeks = 0;
+    uint64_t disk_bytes = 0;
+    uint64_t link_bytes = 0;
+    uint64_t crypto_bytes = 0;
+    uint64_t network_round_trips = 0;
+    uint64_t network_bytes = 0;
+
+    Counters operator-(const Counters& other) const {
+      return Counters{seeks - other.seeks,
+                      disk_bytes - other.disk_bytes,
+                      link_bytes - other.link_bytes,
+                      crypto_bytes - other.crypto_bytes,
+                      network_round_trips - other.network_round_trips,
+                      network_bytes - other.network_bytes};
+    }
+  };
+
+  void AddSeeks(uint64_t count) { counters_.seeks += count; }
+  void AddDiskBytes(uint64_t bytes) { counters_.disk_bytes += bytes; }
+  void AddLinkBytes(uint64_t bytes) { counters_.link_bytes += bytes; }
+  void AddCryptoBytes(uint64_t bytes) { counters_.crypto_bytes += bytes; }
+  void AddNetworkRoundTrips(uint64_t count) {
+    counters_.network_round_trips += count;
+  }
+  void AddNetworkBytes(uint64_t bytes) { counters_.network_bytes += bytes; }
+
+  const Counters& counters() const { return counters_; }
+
+  /// Takes a snapshot; combine with Seconds(delta) for per-query costs.
+  Counters Snapshot() const { return counters_; }
+
+  /// Simulated time for all recorded activity under `profile`.
+  double Seconds(const HardwareProfile& profile) const {
+    return Seconds(counters_, profile);
+  }
+
+  /// Simulated time for a counter delta under `profile`. Rates of zero
+  /// mean "this resource does not exist in the deployment" and contribute
+  /// no time.
+  static double Seconds(const Counters& counters,
+                        const HardwareProfile& profile);
+
+  void Reset() { counters_ = Counters{}; }
+
+ private:
+  Counters counters_;
+};
+
+}  // namespace shpir::hardware
+
+#endif  // SHPIR_HARDWARE_COST_ACCOUNTANT_H_

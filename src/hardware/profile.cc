@@ -1,0 +1,36 @@
+#include "hardware/profile.h"
+
+namespace shpir::hardware {
+
+HardwareProfile HardwareProfile::Ibm4764() { return HardwareProfile{}; }
+
+HardwareProfile HardwareProfile::ModernTee() {
+  HardwareProfile profile;
+  profile.seek_time_s = 0.0001;          // NVMe random access.
+  profile.disk_rate = 3000.0 * kMB;      // NVMe sequential.
+  profile.link_rate = 8000.0 * kMB;      // PCIe 4.0 x4-class.
+  profile.crypto_rate = 5000.0 * kMB;    // AES-NI, single core.
+  profile.secure_memory_bytes = 16ull * kGB;
+  return profile;
+}
+
+HardwareProfile HardwareProfile::Ibm4764Array(int units) {
+  HardwareProfile profile;
+  profile.secure_memory_bytes = static_cast<uint64_t>(units) * 64 * kMB;
+  return profile;
+}
+
+HardwareProfile HardwareProfile::TwoPartyOwner(uint64_t memory_bytes,
+                                               double rtt_s, double rate) {
+  HardwareProfile profile;
+  profile.secure_memory_bytes = memory_bytes;
+  // Commodity CPU: symmetric crypto is no longer the bottleneck.
+  profile.crypto_rate = 100.0 * kMB;
+  // There is no coprocessor link; the network replaces it.
+  profile.link_rate = 0.0;
+  profile.network_rtt_s = rtt_s;
+  profile.network_rate = rate;
+  return profile;
+}
+
+}  // namespace shpir::hardware

@@ -1,0 +1,261 @@
+#include "index/bplus_tree.h"
+
+#include <algorithm>
+
+#include "common/bytes.h"
+
+namespace shpir::index {
+
+namespace {
+
+using storage::Page;
+using storage::PageId;
+
+constexpr uint8_t kMetaNode = 0;
+constexpr uint8_t kInternalNode = 1;
+constexpr uint8_t kLeafNode = 2;
+constexpr uint64_t kMagic = 0x5348504952425431ull;  // "SHPIRBT1".
+constexpr uint64_t kNoLeaf = UINT64_MAX;
+
+// Layout sizes.
+constexpr size_t kLeafHeader = 1 + 2 + 8;    // type, count, next_leaf.
+constexpr size_t kInternalHeader = 1 + 2;    // type, count.
+constexpr size_t kMetaSize = 1 + 8 + 8 + 8 + 8;
+
+struct LeafView {
+  uint16_t count;
+  uint64_t next_leaf;
+  const uint8_t* entries;  // count * (key, value).
+};
+
+struct InternalView {
+  uint16_t count;          // Number of keys; count+1 children follow.
+  const uint8_t* keys;
+  const uint8_t* children;
+};
+
+Result<LeafView> ParseLeaf(ByteSpan data) {
+  if (data.size() < kLeafHeader || data[0] != kLeafNode) {
+    return DataLossError("malformed leaf node");
+  }
+  LeafView view;
+  view.count = static_cast<uint16_t>(data[1] | (data[2] << 8));
+  view.next_leaf = LoadLE64(data.data() + 3);
+  if (kLeafHeader + view.count * 16u > data.size()) {
+    return DataLossError("leaf count exceeds page");
+  }
+  view.entries = data.data() + kLeafHeader;
+  return view;
+}
+
+Result<InternalView> ParseInternal(ByteSpan data) {
+  if (data.size() < kInternalHeader || data[0] != kInternalNode) {
+    return DataLossError("malformed internal node");
+  }
+  InternalView view;
+  view.count = static_cast<uint16_t>(data[1] | (data[2] << 8));
+  if (kInternalHeader + view.count * 8u + (view.count + 1u) * 8u >
+      data.size()) {
+    return DataLossError("internal count exceeds page");
+  }
+  view.keys = data.data() + kInternalHeader;
+  view.children = view.keys + view.count * 8;
+  return view;
+}
+
+}  // namespace
+
+BPlusTreeBuilder::BPlusTreeBuilder(size_t page_size)
+    : page_size_(page_size),
+      leaf_capacity_(page_size > kLeafHeader ? (page_size - kLeafHeader) / 16
+                                             : 0),
+      internal_capacity_(
+          page_size > kInternalHeader + 8
+              ? (page_size - kInternalHeader - 8) / 16
+              : 0) {}
+
+Result<std::vector<Page>> BPlusTreeBuilder::Build(
+    const std::vector<std::pair<uint64_t, uint64_t>>& entries) const {
+  if (leaf_capacity_ < 2 || internal_capacity_ < 2) {
+    return InvalidArgumentError("page size too small for B+-tree nodes");
+  }
+  for (size_t i = 1; i < entries.size(); ++i) {
+    if (entries[i - 1].first >= entries[i].first) {
+      return InvalidArgumentError("entries must be sorted and unique");
+    }
+  }
+
+  std::vector<Page> pages;
+  pages.emplace_back(0, Bytes(page_size_, 0));  // Meta, filled last.
+  auto alloc = [&]() -> Page& {
+    pages.emplace_back(pages.size(), Bytes(page_size_, 0));
+    return pages.back();
+  };
+
+  // Build the leaf level. Each element of `level` is (first key, page).
+  std::vector<std::pair<uint64_t, PageId>> level;
+  {
+    size_t pos = 0;
+    std::vector<PageId> leaf_ids;
+    do {
+      const size_t take = std::min(leaf_capacity_, entries.size() - pos);
+      Page& page = alloc();
+      page.data[0] = kLeafNode;
+      page.data[1] = static_cast<uint8_t>(take & 0xff);
+      page.data[2] = static_cast<uint8_t>(take >> 8);
+      StoreLE64(kNoLeaf, page.data.data() + 3);
+      for (size_t i = 0; i < take; ++i) {
+        StoreLE64(entries[pos + i].first,
+                  page.data.data() + kLeafHeader + i * 16);
+        StoreLE64(entries[pos + i].second,
+                  page.data.data() + kLeafHeader + i * 16 + 8);
+      }
+      const uint64_t first_key = take > 0 ? entries[pos].first : 0;
+      level.emplace_back(first_key, page.id);
+      leaf_ids.push_back(page.id);
+      pos += take;
+    } while (pos < entries.size());
+    // Chain the leaves.
+    for (size_t i = 0; i + 1 < leaf_ids.size(); ++i) {
+      StoreLE64(leaf_ids[i + 1], pages[leaf_ids[i]].data.data() + 3);
+    }
+  }
+
+  // Build internal levels until a single root remains.
+  uint64_t height = 1;
+  while (level.size() > 1) {
+    std::vector<std::pair<uint64_t, PageId>> parent_level;
+    size_t pos = 0;
+    while (pos < level.size()) {
+      // Children per node: up to internal_capacity_ + 1; avoid leaving a
+      // lone child in the final node.
+      size_t take = std::min(internal_capacity_ + 1, level.size() - pos);
+      const size_t remaining = level.size() - pos - take;
+      if (remaining == 1) {
+        --take;
+      }
+      Page& page = alloc();
+      const size_t num_keys = take - 1;
+      page.data[0] = kInternalNode;
+      page.data[1] = static_cast<uint8_t>(num_keys & 0xff);
+      page.data[2] = static_cast<uint8_t>(num_keys >> 8);
+      uint8_t* keys = page.data.data() + kInternalHeader;
+      uint8_t* children = keys + num_keys * 8;
+      for (size_t i = 0; i < take; ++i) {
+        if (i > 0) {
+          StoreLE64(level[pos + i].first, keys + (i - 1) * 8);
+        }
+        StoreLE64(level[pos + i].second, children + i * 8);
+      }
+      parent_level.emplace_back(level[pos].first, page.id);
+      pos += take;
+    }
+    level = std::move(parent_level);
+    ++height;
+  }
+
+  // Fill the metadata page.
+  Bytes& meta = pages[0].data;
+  meta[0] = kMetaNode;
+  StoreLE64(kMagic, meta.data() + 1);
+  StoreLE64(level[0].second, meta.data() + 9);   // Root.
+  StoreLE64(height, meta.data() + 17);
+  StoreLE64(entries.size(), meta.data() + 25);
+  static_assert(kMetaSize <= 64, "meta layout");
+  return pages;
+}
+
+Result<std::unique_ptr<BPlusTree>> BPlusTree::Open(core::PirEngine* engine) {
+  if (engine == nullptr) {
+    return InvalidArgumentError("engine is required");
+  }
+  SHPIR_ASSIGN_OR_RETURN(Bytes meta, engine->Retrieve(0));
+  if (meta.size() < kMetaSize || meta[0] != kMetaNode ||
+      LoadLE64(meta.data() + 1) != kMagic) {
+    return DataLossError("not a B+-tree metadata page");
+  }
+  const uint64_t root = LoadLE64(meta.data() + 9);
+  const uint64_t height = LoadLE64(meta.data() + 17);
+  const uint64_t num_keys = LoadLE64(meta.data() + 25);
+  std::unique_ptr<BPlusTree> tree(
+      new BPlusTree(engine, root, height, num_keys));
+  tree->retrievals_ = 1;
+  return tree;
+}
+
+Result<Bytes> BPlusTree::FetchPage(PageId id) {
+  ++retrievals_;
+  return engine_->Retrieve(id);
+}
+
+Result<std::optional<uint64_t>> BPlusTree::Lookup(uint64_t key) {
+  PageId node = root_;
+  for (uint64_t depth = 1; depth < height_; ++depth) {
+    SHPIR_ASSIGN_OR_RETURN(Bytes data, FetchPage(node));
+    SHPIR_ASSIGN_OR_RETURN(InternalView view, ParseInternal(data));
+    // Child i covers keys in [keys[i-1], keys[i]).
+    size_t child = view.count;
+    for (size_t i = 0; i < view.count; ++i) {
+      if (key < LoadLE64(view.keys + i * 8)) {
+        child = i;
+        break;
+      }
+    }
+    node = LoadLE64(view.children + child * 8);
+  }
+  SHPIR_ASSIGN_OR_RETURN(Bytes data, FetchPage(node));
+  SHPIR_ASSIGN_OR_RETURN(LeafView view, ParseLeaf(data));
+  std::optional<uint64_t> result;
+  for (size_t i = 0; i < view.count; ++i) {
+    if (LoadLE64(view.entries + i * 16) == key) {
+      result = LoadLE64(view.entries + i * 16 + 8);
+      // No break: fixed scan cost regardless of match position.
+    }
+  }
+  return result;
+}
+
+Result<std::vector<std::pair<uint64_t, uint64_t>>> BPlusTree::RangeScan(
+    uint64_t lo, uint64_t hi) {
+  std::vector<std::pair<uint64_t, uint64_t>> results;
+  if (lo > hi || num_keys_ == 0) {
+    return results;
+  }
+  // Descend to the leaf that would contain lo.
+  PageId node = root_;
+  for (uint64_t depth = 1; depth < height_; ++depth) {
+    SHPIR_ASSIGN_OR_RETURN(Bytes data, FetchPage(node));
+    SHPIR_ASSIGN_OR_RETURN(InternalView view, ParseInternal(data));
+    size_t child = view.count;
+    for (size_t i = 0; i < view.count; ++i) {
+      if (lo < LoadLE64(view.keys + i * 8)) {
+        child = i;
+        break;
+      }
+    }
+    node = LoadLE64(view.children + child * 8);
+  }
+  // Walk the leaf chain.
+  while (node != kNoLeaf) {
+    SHPIR_ASSIGN_OR_RETURN(Bytes data, FetchPage(node));
+    SHPIR_ASSIGN_OR_RETURN(LeafView view, ParseLeaf(data));
+    bool past_end = false;
+    for (size_t i = 0; i < view.count; ++i) {
+      const uint64_t key = LoadLE64(view.entries + i * 16);
+      if (key > hi) {
+        past_end = true;
+        break;
+      }
+      if (key >= lo) {
+        results.emplace_back(key, LoadLE64(view.entries + i * 16 + 8));
+      }
+    }
+    if (past_end) {
+      break;
+    }
+    node = view.next_leaf;
+  }
+  return results;
+}
+
+}  // namespace shpir::index

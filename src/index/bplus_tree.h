@@ -1,0 +1,89 @@
+#ifndef SHPIR_INDEX_BPLUS_TREE_H_
+#define SHPIR_INDEX_BPLUS_TREE_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "core/pir_engine.h"
+#include "storage/page.h"
+
+namespace shpir::index {
+
+/// A disk-resident B+-tree whose nodes are database pages served through
+/// a PirEngine. This is the paper's motivating workload ([23]: private
+/// query processing over multi-level index structures): the client walks
+/// the index with one private page retrieval per level, so the server
+/// never learns the search key — only that *some* index traversal
+/// happened.
+///
+/// Keys and values are uint64. The tree is built offline by the data
+/// owner (BPlusTreeBuilder) into a flat vector of pages which is then
+/// loaded into any PIR engine; BPlusTree issues the private lookups.
+
+/// Builds the page-serialized tree bottom-up from sorted unique keys.
+class BPlusTreeBuilder {
+ public:
+  /// `page_size` must fit at least two entries per node.
+  explicit BPlusTreeBuilder(size_t page_size);
+
+  /// Serializes a B+-tree over `entries` (must be sorted by key, unique)
+  /// into pages. Page 0 is a metadata page; the root is recorded there.
+  Result<std::vector<storage::Page>> Build(
+      const std::vector<std::pair<uint64_t, uint64_t>>& entries) const;
+
+  /// Maximum entries per leaf node for this page size.
+  size_t leaf_capacity() const { return leaf_capacity_; }
+  /// Maximum keys per internal node for this page size.
+  size_t internal_capacity() const { return internal_capacity_; }
+
+ private:
+  size_t page_size_;
+  size_t leaf_capacity_;
+  size_t internal_capacity_;
+};
+
+/// Client-side reader: every node fetch is a private retrieval.
+class BPlusTree {
+ public:
+  /// Opens a tree whose pages were loaded into `engine` (unowned). Reads
+  /// the metadata page (one private retrieval).
+  static Result<std::unique_ptr<BPlusTree>> Open(core::PirEngine* engine);
+
+  /// Point lookup. Returns nullopt when the key is absent. Costs
+  /// height+1 private retrievals... exactly the same number for hits and
+  /// misses (no early exit), so the outcome is not observable.
+  Result<std::optional<uint64_t>> Lookup(uint64_t key);
+
+  /// Range scan over [lo, hi]: descends to the first leaf, then follows
+  /// leaf links. Returns (key, value) pairs in key order.
+  Result<std::vector<std::pair<uint64_t, uint64_t>>> RangeScan(uint64_t lo,
+                                                               uint64_t hi);
+
+  uint64_t height() const { return height_; }
+  uint64_t num_keys() const { return num_keys_; }
+  uint64_t root_page() const { return root_; }
+
+  /// Private retrievals issued so far (for cost comparisons).
+  uint64_t retrievals() const { return retrievals_; }
+
+ private:
+  BPlusTree(core::PirEngine* engine, uint64_t root, uint64_t height,
+            uint64_t num_keys)
+      : engine_(engine), root_(root), height_(height), num_keys_(num_keys) {}
+
+  Result<Bytes> FetchPage(storage::PageId id);
+
+  core::PirEngine* engine_;
+  uint64_t root_;
+  uint64_t height_;
+  uint64_t num_keys_;
+  uint64_t retrievals_ = 0;
+};
+
+}  // namespace shpir::index
+
+#endif  // SHPIR_INDEX_BPLUS_TREE_H_

@@ -1,0 +1,160 @@
+#include "index/hash_index.h"
+
+#include <algorithm>
+
+#include "common/bytes.h"
+#include "crypto/sha256.h"
+
+namespace shpir::index {
+
+namespace {
+
+using storage::Page;
+
+constexpr uint8_t kMetaNode = 0;
+constexpr uint8_t kBucketNode = 3;
+constexpr uint64_t kMagic = 0x5348504952485831ull;  // "SHPIRHX1".
+constexpr size_t kBucketHeader = 1 + 2;             // type, count.
+constexpr size_t kMetaSize = 1 + 8 + 8 + 8 + 8 + 8;
+
+uint64_t HashKey(uint64_t key, uint64_t seed, uint64_t buckets) {
+  uint8_t msg[16];
+  StoreLE64(key, msg);
+  StoreLE64(seed, msg + 8);
+  const auto digest = crypto::Sha256::Hash(ByteSpan(msg, 16));
+  return LoadLE64(digest.data()) % buckets;
+}
+
+}  // namespace
+
+HashIndexBuilder::HashIndexBuilder(size_t page_size, uint64_t probe_width)
+    : page_size_(page_size),
+      probe_width_(probe_width),
+      bucket_capacity_(page_size > kBucketHeader
+                           ? (page_size - kBucketHeader) / 16
+                           : 0) {}
+
+Result<std::vector<Page>> HashIndexBuilder::Build(
+    std::vector<std::pair<uint64_t, uint64_t>> entries) const {
+  if (bucket_capacity_ < 1) {
+    return InvalidArgumentError("page size too small for hash buckets");
+  }
+  if (probe_width_ < 1) {
+    return InvalidArgumentError("probe width must be >= 1");
+  }
+  {
+    std::vector<uint64_t> keys;
+    keys.reserve(entries.size());
+    for (const auto& e : entries) {
+      keys.push_back(e.first);
+    }
+    std::sort(keys.begin(), keys.end());
+    if (std::adjacent_find(keys.begin(), keys.end()) != keys.end()) {
+      return InvalidArgumentError("duplicate keys");
+    }
+  }
+  // Size for a ~60% load factor, at least probe_width buckets.
+  const uint64_t needed =
+      (entries.size() * 10 + bucket_capacity_ * 6 - 1) /
+      std::max<uint64_t>(1, bucket_capacity_ * 6);
+  const uint64_t num_buckets = std::max<uint64_t>(needed, probe_width_);
+
+  std::vector<std::vector<std::pair<uint64_t, uint64_t>>> buckets;
+  uint64_t seed = 0;
+  bool placed = false;
+  for (uint64_t attempt = 0; attempt < 64 && !placed; ++attempt) {
+    seed = 0x9e3779b97f4a7c15ull * (attempt + 1);
+    buckets.assign(num_buckets, {});
+    placed = true;
+    for (const auto& entry : entries) {
+      const uint64_t h = HashKey(entry.first, seed, num_buckets);
+      bool stored = false;
+      for (uint64_t w = 0; w < probe_width_; ++w) {
+        auto& bucket = buckets[(h + w) % num_buckets];
+        if (bucket.size() < bucket_capacity_) {
+          bucket.push_back(entry);
+          stored = true;
+          break;
+        }
+      }
+      if (!stored) {
+        placed = false;
+        break;
+      }
+    }
+  }
+  if (!placed) {
+    return InternalError("could not place all keys; lower the load");
+  }
+
+  std::vector<Page> pages;
+  pages.emplace_back(0, Bytes(page_size_, 0));
+  Bytes& meta = pages[0].data;
+  meta[0] = kMetaNode;
+  StoreLE64(kMagic, meta.data() + 1);
+  StoreLE64(num_buckets, meta.data() + 9);
+  StoreLE64(probe_width_, meta.data() + 17);
+  StoreLE64(seed, meta.data() + 25);
+  StoreLE64(entries.size(), meta.data() + 33);
+  static_assert(kMetaSize <= 64, "meta layout");
+
+  for (uint64_t b = 0; b < num_buckets; ++b) {
+    pages.emplace_back(1 + b, Bytes(page_size_, 0));
+    Bytes& data = pages.back().data;
+    data[0] = kBucketNode;
+    data[1] = static_cast<uint8_t>(buckets[b].size() & 0xff);
+    data[2] = static_cast<uint8_t>(buckets[b].size() >> 8);
+    for (size_t i = 0; i < buckets[b].size(); ++i) {
+      StoreLE64(buckets[b][i].first, data.data() + kBucketHeader + i * 16);
+      StoreLE64(buckets[b][i].second,
+                data.data() + kBucketHeader + i * 16 + 8);
+    }
+  }
+  return pages;
+}
+
+Result<std::unique_ptr<HashIndex>> HashIndex::Open(core::PirEngine* engine) {
+  if (engine == nullptr) {
+    return InvalidArgumentError("engine is required");
+  }
+  SHPIR_ASSIGN_OR_RETURN(Bytes meta, engine->Retrieve(0));
+  if (meta.size() < kMetaSize || meta[0] != kMetaNode ||
+      LoadLE64(meta.data() + 1) != kMagic) {
+    return DataLossError("not a hash index metadata page");
+  }
+  const uint64_t num_buckets = LoadLE64(meta.data() + 9);
+  const uint64_t probe_width = LoadLE64(meta.data() + 17);
+  const uint64_t seed = LoadLE64(meta.data() + 25);
+  const uint64_t num_keys = LoadLE64(meta.data() + 33);
+  std::unique_ptr<HashIndex> index(
+      new HashIndex(engine, num_buckets, probe_width, seed, num_keys));
+  index->retrievals_ = 1;
+  return index;
+}
+
+Result<std::optional<uint64_t>> HashIndex::Lookup(uint64_t key) {
+  const uint64_t h = HashKey(key, seed_, num_buckets_);
+  std::optional<uint64_t> result;
+  for (uint64_t w = 0; w < probe_width_; ++w) {
+    const uint64_t bucket = (h + w) % num_buckets_;
+    ++retrievals_;
+    SHPIR_ASSIGN_OR_RETURN(Bytes data, engine_->Retrieve(1 + bucket));
+    if (data.size() < kBucketHeader || data[0] != kBucketNode) {
+      return DataLossError("malformed bucket page");
+    }
+    const uint16_t count =
+        static_cast<uint16_t>(data[1] | (data[2] << 8));
+    if (kBucketHeader + count * 16u > data.size()) {
+      return DataLossError("bucket count exceeds page");
+    }
+    for (uint16_t i = 0; i < count; ++i) {
+      if (LoadLE64(data.data() + kBucketHeader + i * 16) == key) {
+        result = LoadLE64(data.data() + kBucketHeader + i * 16 + 8);
+        // No early exit: fixed probe shape.
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace shpir::index

@@ -1,0 +1,78 @@
+#ifndef SHPIR_INDEX_HASH_INDEX_H_
+#define SHPIR_INDEX_HASH_INDEX_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "core/pir_engine.h"
+#include "storage/page.h"
+
+namespace shpir::index {
+
+/// A static hash index over pages with a *fixed* probe width: every
+/// lookup privately fetches exactly `probe_width` bucket pages, so hits,
+/// misses and bucket collisions are all indistinguishable in cost and
+/// shape — one retrieval cheaper than a B+-tree for point lookups, at
+/// the cost of no range scans.
+///
+/// The builder places each key into one of the `probe_width` consecutive
+/// buckets starting at its hash, retrying with a fresh hash seed until
+/// everything fits (load factor is kept moderate so a few attempts
+/// suffice).
+class HashIndexBuilder {
+ public:
+  /// `probe_width` >= 1 pages fetched per lookup.
+  explicit HashIndexBuilder(size_t page_size, uint64_t probe_width = 2);
+
+  /// Serializes the index over `entries` (unique keys, any order) into
+  /// pages. Page 0 is the metadata page.
+  Result<std::vector<storage::Page>> Build(
+      std::vector<std::pair<uint64_t, uint64_t>> entries) const;
+
+  /// Entries stored per bucket page.
+  size_t bucket_capacity() const { return bucket_capacity_; }
+
+ private:
+  size_t page_size_;
+  uint64_t probe_width_;
+  size_t bucket_capacity_;
+};
+
+/// Client-side reader over any PirEngine.
+class HashIndex {
+ public:
+  /// Opens an index whose pages were loaded into `engine` (unowned).
+  static Result<std::unique_ptr<HashIndex>> Open(core::PirEngine* engine);
+
+  /// Point lookup: exactly probe_width() private retrievals, hit or miss.
+  Result<std::optional<uint64_t>> Lookup(uint64_t key);
+
+  uint64_t num_keys() const { return num_keys_; }
+  uint64_t num_buckets() const { return num_buckets_; }
+  uint64_t probe_width() const { return probe_width_; }
+  uint64_t retrievals() const { return retrievals_; }
+
+ private:
+  HashIndex(core::PirEngine* engine, uint64_t num_buckets,
+            uint64_t probe_width, uint64_t seed, uint64_t num_keys)
+      : engine_(engine),
+        num_buckets_(num_buckets),
+        probe_width_(probe_width),
+        seed_(seed),
+        num_keys_(num_keys) {}
+
+  core::PirEngine* engine_;
+  uint64_t num_buckets_;
+  uint64_t probe_width_;
+  uint64_t seed_;
+  uint64_t num_keys_;
+  uint64_t retrievals_ = 0;
+};
+
+}  // namespace shpir::index
+
+#endif  // SHPIR_INDEX_HASH_INDEX_H_

@@ -1,0 +1,312 @@
+#include "index/rtree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "common/bytes.h"
+
+namespace shpir::index {
+
+namespace {
+
+using storage::Page;
+using storage::PageId;
+
+constexpr uint8_t kMetaNode = 0;
+constexpr uint8_t kLeafNode = 4;
+constexpr uint8_t kInternalNode = 5;
+constexpr uint64_t kMagic = 0x5348504952525431ull;  // "SHPIRRT1".
+constexpr size_t kHeader = 1 + 2;                   // type, count.
+constexpr size_t kLeafEntry = 4 + 4 + 8;            // x, y, value.
+constexpr size_t kInternalEntry = 8 + 16;           // child, rect.
+constexpr size_t kMetaSize = 1 + 8 + 8 + 8 + 8;
+
+// Squared Euclidean distance from (x, y) to the nearest point of
+// `rect`; 128-bit to survive full 32-bit coordinates.
+unsigned __int128 MinDist2(uint32_t x, uint32_t y, const Rect& rect) {
+  uint64_t dx = 0, dy = 0;
+  if (x < rect.min_x) {
+    dx = rect.min_x - x;
+  } else if (x > rect.max_x) {
+    dx = x - rect.max_x;
+  }
+  if (y < rect.min_y) {
+    dy = rect.min_y - y;
+  } else if (y > rect.max_y) {
+    dy = y - rect.max_y;
+  }
+  return static_cast<unsigned __int128>(dx) * dx +
+         static_cast<unsigned __int128>(dy) * dy;
+}
+
+unsigned __int128 PointDist2(uint32_t x, uint32_t y, uint32_t px,
+                             uint32_t py) {
+  const uint64_t dx = x > px ? x - px : px - x;
+  const uint64_t dy = y > py ? y - py : py - y;
+  return static_cast<unsigned __int128>(dx) * dx +
+         static_cast<unsigned __int128>(dy) * dy;
+}
+
+void WriteRect(const Rect& rect, uint8_t* out) {
+  StoreLE32(rect.min_x, out);
+  StoreLE32(rect.min_y, out + 4);
+  StoreLE32(rect.max_x, out + 8);
+  StoreLE32(rect.max_y, out + 12);
+}
+
+Rect ReadRect(const uint8_t* in) {
+  return Rect{LoadLE32(in), LoadLE32(in + 4), LoadLE32(in + 8),
+              LoadLE32(in + 12)};
+}
+
+struct NodeRef {
+  PageId page;
+  Rect mbr;
+};
+
+// Sort-Tile-Recursive packing of `items` into groups of at most
+// `capacity`, keyed by the given center coordinates.
+template <typename T, typename GetX, typename GetY>
+std::vector<std::vector<T>> StrPack(std::vector<T> items, size_t capacity,
+                                    GetX get_x, GetY get_y) {
+  std::vector<std::vector<T>> groups;
+  if (items.empty()) {
+    return groups;
+  }
+  const size_t num_groups = (items.size() + capacity - 1) / capacity;
+  const size_t num_slabs = static_cast<size_t>(
+      std::ceil(std::sqrt(static_cast<double>(num_groups))));
+  const size_t slab_size =
+      ((num_groups + num_slabs - 1) / num_slabs) * capacity;
+  std::sort(items.begin(), items.end(),
+            [&](const T& a, const T& b) { return get_x(a) < get_x(b); });
+  for (size_t start = 0; start < items.size(); start += slab_size) {
+    const size_t end = std::min(start + slab_size, items.size());
+    std::sort(items.begin() + static_cast<ptrdiff_t>(start),
+              items.begin() + static_cast<ptrdiff_t>(end),
+              [&](const T& a, const T& b) { return get_y(a) < get_y(b); });
+    for (size_t pos = start; pos < end; pos += capacity) {
+      const size_t group_end = std::min(pos + capacity, end);
+      groups.emplace_back(
+          items.begin() + static_cast<ptrdiff_t>(pos),
+          items.begin() + static_cast<ptrdiff_t>(group_end));
+    }
+  }
+  return groups;
+}
+
+}  // namespace
+
+RTreeBuilder::RTreeBuilder(size_t page_size)
+    : page_size_(page_size),
+      leaf_capacity_(page_size > kHeader ? (page_size - kHeader) / kLeafEntry
+                                         : 0),
+      internal_capacity_(
+          page_size > kHeader ? (page_size - kHeader) / kInternalEntry : 0) {}
+
+Result<std::vector<Page>> RTreeBuilder::Build(
+    std::vector<SpatialEntry> points) const {
+  if (leaf_capacity_ < 2 || internal_capacity_ < 2) {
+    return InvalidArgumentError("page size too small for R-tree nodes");
+  }
+  std::vector<Page> pages;
+  pages.emplace_back(0, Bytes(page_size_, 0));  // Meta, filled last.
+  auto alloc = [&]() -> Page& {
+    pages.emplace_back(pages.size(), Bytes(page_size_, 0));
+    return pages.back();
+  };
+
+  // Leaf level.
+  std::vector<NodeRef> level;
+  uint64_t height = 1;
+  const auto leaf_groups =
+      StrPack(std::move(points), leaf_capacity_,
+              [](const SpatialEntry& e) { return e.x; },
+              [](const SpatialEntry& e) { return e.y; });
+  if (leaf_groups.empty()) {
+    // Empty tree: a single empty leaf as root.
+    Page& page = alloc();
+    page.data[0] = kLeafNode;
+    level.push_back(NodeRef{page.id, Rect{}});
+  }
+  for (const auto& group : leaf_groups) {
+    Page& page = alloc();
+    page.data[0] = kLeafNode;
+    page.data[1] = static_cast<uint8_t>(group.size() & 0xff);
+    page.data[2] = static_cast<uint8_t>(group.size() >> 8);
+    Rect mbr{UINT32_MAX, UINT32_MAX, 0, 0};
+    for (size_t i = 0; i < group.size(); ++i) {
+      uint8_t* out = page.data.data() + kHeader + i * kLeafEntry;
+      StoreLE32(group[i].x, out);
+      StoreLE32(group[i].y, out + 4);
+      StoreLE64(group[i].value, out + 8);
+      mbr.min_x = std::min(mbr.min_x, group[i].x);
+      mbr.min_y = std::min(mbr.min_y, group[i].y);
+      mbr.max_x = std::max(mbr.max_x, group[i].x);
+      mbr.max_y = std::max(mbr.max_y, group[i].y);
+    }
+    level.push_back(NodeRef{page.id, mbr});
+  }
+
+  // Internal levels until one root remains.
+  while (level.size() > 1) {
+    const auto groups = StrPack(
+        std::move(level), internal_capacity_,
+        [](const NodeRef& n) {
+          return (static_cast<uint64_t>(n.mbr.min_x) + n.mbr.max_x) / 2;
+        },
+        [](const NodeRef& n) {
+          return (static_cast<uint64_t>(n.mbr.min_y) + n.mbr.max_y) / 2;
+        });
+    level.clear();
+    for (const auto& group : groups) {
+      Page& page = alloc();
+      page.data[0] = kInternalNode;
+      page.data[1] = static_cast<uint8_t>(group.size() & 0xff);
+      page.data[2] = static_cast<uint8_t>(group.size() >> 8);
+      Rect mbr{UINT32_MAX, UINT32_MAX, 0, 0};
+      for (size_t i = 0; i < group.size(); ++i) {
+        uint8_t* out = page.data.data() + kHeader + i * kInternalEntry;
+        StoreLE64(group[i].page, out);
+        WriteRect(group[i].mbr, out + 8);
+        mbr.min_x = std::min(mbr.min_x, group[i].mbr.min_x);
+        mbr.min_y = std::min(mbr.min_y, group[i].mbr.min_y);
+        mbr.max_x = std::max(mbr.max_x, group[i].mbr.max_x);
+        mbr.max_y = std::max(mbr.max_y, group[i].mbr.max_y);
+      }
+      level.push_back(NodeRef{page.id, mbr});
+    }
+    ++height;
+  }
+
+  Bytes& meta = pages[0].data;
+  meta[0] = kMetaNode;
+  StoreLE64(kMagic, meta.data() + 1);
+  StoreLE64(level[0].page, meta.data() + 9);
+  StoreLE64(height, meta.data() + 17);
+  uint64_t total = 0;
+  for (const auto& group : leaf_groups) {
+    total += group.size();
+  }
+  StoreLE64(total, meta.data() + 25);
+  static_assert(kMetaSize <= 64, "meta layout");
+  return pages;
+}
+
+Result<std::unique_ptr<RTree>> RTree::Open(core::PirEngine* engine) {
+  if (engine == nullptr) {
+    return InvalidArgumentError("engine is required");
+  }
+  SHPIR_ASSIGN_OR_RETURN(Bytes meta, engine->Retrieve(0));
+  if (meta.size() < kMetaSize || meta[0] != kMetaNode ||
+      LoadLE64(meta.data() + 1) != kMagic) {
+    return DataLossError("not an R-tree metadata page");
+  }
+  std::unique_ptr<RTree> tree(
+      new RTree(engine, LoadLE64(meta.data() + 9),
+                LoadLE64(meta.data() + 17), LoadLE64(meta.data() + 25)));
+  tree->retrievals_ = 1;
+  return tree;
+}
+
+Result<Bytes> RTree::FetchPage(PageId id) {
+  ++retrievals_;
+  return engine_->Retrieve(id);
+}
+
+Result<std::vector<SpatialEntry>> RTree::RangeSearch(const Rect& window) {
+  std::vector<SpatialEntry> results;
+  std::vector<PageId> stack = {root_};
+  while (!stack.empty()) {
+    const PageId node = stack.back();
+    stack.pop_back();
+    SHPIR_ASSIGN_OR_RETURN(Bytes data, FetchPage(node));
+    if (data.size() < kHeader) {
+      return DataLossError("malformed R-tree node");
+    }
+    const uint16_t count = static_cast<uint16_t>(data[1] | (data[2] << 8));
+    if (data[0] == kLeafNode) {
+      if (kHeader + count * kLeafEntry > data.size()) {
+        return DataLossError("leaf count exceeds page");
+      }
+      for (uint16_t i = 0; i < count; ++i) {
+        const uint8_t* in = data.data() + kHeader + i * kLeafEntry;
+        SpatialEntry entry{LoadLE32(in), LoadLE32(in + 4),
+                           LoadLE64(in + 8)};
+        if (window.Contains(entry.x, entry.y)) {
+          results.push_back(entry);
+        }
+      }
+    } else if (data[0] == kInternalNode) {
+      if (kHeader + count * kInternalEntry > data.size()) {
+        return DataLossError("internal count exceeds page");
+      }
+      for (uint16_t i = 0; i < count; ++i) {
+        const uint8_t* in = data.data() + kHeader + i * kInternalEntry;
+        const Rect mbr = ReadRect(in + 8);
+        if (window.Intersects(mbr)) {
+          stack.push_back(LoadLE64(in));
+        }
+      }
+    } else {
+      return DataLossError("unknown R-tree node type");
+    }
+  }
+  return results;
+}
+
+Result<std::vector<SpatialEntry>> RTree::NearestNeighbors(uint32_t x,
+                                                          uint32_t y,
+                                                          size_t k) {
+  // Best-first search: a min-heap over both nodes (MBR min-dist) and
+  // materialized points. When a point surfaces before any closer node,
+  // it is a confirmed neighbor.
+  struct HeapItem {
+    unsigned __int128 dist2;
+    bool is_point;
+    PageId node;
+    SpatialEntry entry;
+  };
+  struct Greater {
+    bool operator()(const HeapItem& a, const HeapItem& b) const {
+      return a.dist2 > b.dist2;
+    }
+  };
+  std::priority_queue<HeapItem, std::vector<HeapItem>, Greater> heap;
+  heap.push(HeapItem{0, false, root_, {}});
+  std::vector<SpatialEntry> results;
+  while (!heap.empty() && results.size() < k) {
+    const HeapItem item = heap.top();
+    heap.pop();
+    if (item.is_point) {
+      results.push_back(item.entry);
+      continue;
+    }
+    SHPIR_ASSIGN_OR_RETURN(Bytes data, FetchPage(item.node));
+    if (data.size() < kHeader) {
+      return DataLossError("malformed R-tree node");
+    }
+    const uint16_t count = static_cast<uint16_t>(data[1] | (data[2] << 8));
+    if (data[0] == kLeafNode) {
+      for (uint16_t i = 0; i < count; ++i) {
+        const uint8_t* in = data.data() + kHeader + i * kLeafEntry;
+        SpatialEntry entry{LoadLE32(in), LoadLE32(in + 4),
+                           LoadLE64(in + 8)};
+        heap.push(HeapItem{PointDist2(x, y, entry.x, entry.y), true, 0,
+                           entry});
+      }
+    } else if (data[0] == kInternalNode) {
+      for (uint16_t i = 0; i < count; ++i) {
+        const uint8_t* in = data.data() + kHeader + i * kInternalEntry;
+        const Rect mbr = ReadRect(in + 8);
+        heap.push(HeapItem{MinDist2(x, y, mbr), false, LoadLE64(in), {}});
+      }
+    } else {
+      return DataLossError("unknown R-tree node type");
+    }
+  }
+  return results;
+}
+
+}  // namespace shpir::index

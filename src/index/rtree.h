@@ -1,0 +1,99 @@
+#ifndef SHPIR_INDEX_RTREE_H_
+#define SHPIR_INDEX_RTREE_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/result.h"
+#include "core/pir_engine.h"
+#include "storage/page.h"
+
+namespace shpir::index {
+
+/// A 2D point record stored in the tree.
+struct SpatialEntry {
+  uint32_t x = 0;
+  uint32_t y = 0;
+  uint64_t value = 0;
+
+  friend bool operator==(const SpatialEntry& a, const SpatialEntry& b) {
+    return a.x == b.x && a.y == b.y && a.value == b.value;
+  }
+};
+
+/// Axis-aligned bounding rectangle (inclusive bounds).
+struct Rect {
+  uint32_t min_x = 0, min_y = 0, max_x = 0, max_y = 0;
+
+  bool Contains(uint32_t x, uint32_t y) const {
+    return x >= min_x && x <= max_x && y >= min_y && y <= max_y;
+  }
+  bool Intersects(const Rect& other) const {
+    return min_x <= other.max_x && other.min_x <= max_x &&
+           min_y <= other.max_y && other.min_y <= max_y;
+  }
+};
+
+/// Static packed R-tree over database pages — the index structure the
+/// paper's motivating work ([23], private nearest-neighbor search)
+/// traverses with PIR retrievals. Bulk-loaded with Sort-Tile-Recursive
+/// packing; nodes are fixed-size pages served through any PirEngine, so
+/// range and k-NN queries run privately: the server sees only opaque
+/// page fetches.
+class RTreeBuilder {
+ public:
+  explicit RTreeBuilder(size_t page_size);
+
+  /// Packs `points` (any order) into pages. Page 0 is metadata.
+  Result<std::vector<storage::Page>> Build(
+      std::vector<SpatialEntry> points) const;
+
+  size_t leaf_capacity() const { return leaf_capacity_; }
+  size_t internal_capacity() const { return internal_capacity_; }
+
+ private:
+  size_t page_size_;
+  size_t leaf_capacity_;
+  size_t internal_capacity_;
+};
+
+/// Client-side reader issuing private page retrievals.
+class RTree {
+ public:
+  static Result<std::unique_ptr<RTree>> Open(core::PirEngine* engine);
+
+  /// All entries inside `window` (inclusive).
+  Result<std::vector<SpatialEntry>> RangeSearch(const Rect& window);
+
+  /// The `k` entries nearest to (x, y) by Euclidean distance,
+  /// best-first branch-and-bound over MBR distances. Ties broken
+  /// arbitrarily.
+  Result<std::vector<SpatialEntry>> NearestNeighbors(uint32_t x, uint32_t y,
+                                                     size_t k);
+
+  uint64_t height() const { return height_; }
+  uint64_t num_entries() const { return num_entries_; }
+  uint64_t retrievals() const { return retrievals_; }
+
+ private:
+  RTree(core::PirEngine* engine, uint64_t root, uint64_t height,
+        uint64_t num_entries)
+      : engine_(engine),
+        root_(root),
+        height_(height),
+        num_entries_(num_entries) {}
+
+  Result<Bytes> FetchPage(storage::PageId id);
+
+  core::PirEngine* engine_;
+  uint64_t root_;
+  uint64_t height_;
+  uint64_t num_entries_;
+  uint64_t retrievals_ = 0;
+};
+
+}  // namespace shpir::index
+
+#endif  // SHPIR_INDEX_RTREE_H_

@@ -1,0 +1,187 @@
+#include "model/cost_model.h"
+
+#include "core/page_map.h"
+#include "core/security_parameter.h"
+
+namespace shpir::model {
+
+using hardware::HardwareProfile;
+using hardware::kKB;
+using hardware::kMB;
+
+uint64_t CostModel::SecureStorageBytes(uint64_t n, uint64_t m, uint64_t k,
+                                       uint64_t page_size) {
+  return core::PageMap::StorageBytes(n) + (m + k + 1) * page_size;
+}
+
+double CostModel::QuerySeconds(uint64_t k, uint64_t page_size,
+                               const HardwareProfile& profile) {
+  const double bytes = 2.0 * static_cast<double>(k + 1) *
+                       static_cast<double>(page_size);
+  double seconds = 4.0 * profile.seek_time_s;
+  if (profile.disk_rate > 0) {
+    seconds += bytes / profile.disk_rate;
+  }
+  if (profile.link_rate > 0) {
+    seconds += bytes / profile.link_rate;
+  }
+  if (profile.crypto_rate > 0) {
+    seconds += bytes / profile.crypto_rate;
+  }
+  return seconds;
+}
+
+double CostModel::TwoPartyQuerySeconds(uint64_t k, uint64_t page_size,
+                                       const HardwareProfile& profile) {
+  const double bytes = 2.0 * static_cast<double>(k + 1) *
+                       static_cast<double>(page_size);
+  double seconds = 2.0 * profile.network_rtt_s + 4.0 * profile.seek_time_s;
+  if (profile.network_rate > 0) {
+    seconds += bytes / profile.network_rate;
+  }
+  if (profile.disk_rate > 0) {
+    seconds += bytes / profile.disk_rate;
+  }
+  if (profile.crypto_rate > 0) {
+    seconds += bytes / profile.crypto_rate;
+  }
+  return seconds;
+}
+
+namespace {
+
+Result<CostModel::Evaluation> EvaluateImpl(uint64_t n, uint64_t m,
+                                           uint64_t page_size, double c,
+                                           const HardwareProfile& profile,
+                                           bool two_party) {
+  SHPIR_ASSIGN_OR_RETURN(const uint64_t k,
+                         core::SecurityParameter::BlockSize(n, m, c));
+  CostModel::Evaluation eval;
+  eval.n = n;
+  eval.m = m;
+  eval.page_size = page_size;
+  eval.k = k;
+  eval.scan_period = core::SecurityParameter::ScanPeriod(n, k);
+  SHPIR_ASSIGN_OR_RETURN(eval.privacy_c,
+                         core::SecurityParameter::PrivacyOf(n, m, k));
+  eval.query_seconds =
+      two_party ? CostModel::TwoPartyQuerySeconds(k, page_size, profile)
+                : CostModel::QuerySeconds(k, page_size, profile);
+  eval.storage_bytes = CostModel::SecureStorageBytes(n, m, k, page_size);
+  return eval;
+}
+
+void AppendSweep(std::vector<FigurePoint>& points, const std::string& label,
+                 uint64_t n, uint64_t page_size,
+                 const std::vector<uint64_t>& cache_sizes, double c,
+                 const HardwareProfile& profile, bool two_party) {
+  for (uint64_t m : cache_sizes) {
+    Result<CostModel::Evaluation> eval =
+        EvaluateImpl(n, m, page_size, c, profile, two_party);
+    if (!eval.ok()) {
+      continue;
+    }
+    FigurePoint point;
+    point.database = label;
+    point.n = n;
+    point.m = m;
+    point.response_seconds = eval->query_seconds;
+    point.storage_mb =
+        static_cast<double>(eval->storage_bytes) / static_cast<double>(kMB);
+    points.push_back(point);
+  }
+}
+
+}  // namespace
+
+Result<CostModel::Evaluation> CostModel::Evaluate(
+    uint64_t n, uint64_t m, uint64_t page_size, double c,
+    const HardwareProfile& profile) {
+  return EvaluateImpl(n, m, page_size, c, profile, /*two_party=*/false);
+}
+
+Result<CostModel::Evaluation> CostModel::EvaluateTwoParty(
+    uint64_t n, uint64_t m, uint64_t page_size, double c,
+    const HardwareProfile& profile) {
+  return EvaluateImpl(n, m, page_size, c, profile, /*two_party=*/true);
+}
+
+std::vector<FigurePoint> GenerateFig4() {
+  const HardwareProfile profile = HardwareProfile::Ibm4764();
+  std::vector<FigurePoint> points;
+  // Cache sweeps follow the paper's x axes (pages x1000).
+  AppendSweep(points, "1GB", 1000000, kKB,
+              {1000, 5000, 10000, 20000, 50000}, 2.0, profile, false);
+  AppendSweep(points, "10GB", 10000000, kKB,
+              {10000, 20000, 50000, 80000, 100000}, 2.0, profile, false);
+  AppendSweep(points, "100GB", 100000000, kKB,
+              {50000, 100000, 200000, 300000, 500000}, 2.0, profile, false);
+  AppendSweep(points, "1TB", 1000000000, kKB,
+              {100000, 200000, 300000, 400000, 500000}, 2.0, profile, false);
+  return points;
+}
+
+std::vector<FigurePoint> GenerateFig5() {
+  const HardwareProfile profile = HardwareProfile::Ibm4764();
+  std::vector<FigurePoint> points;
+  AppendSweep(points, "1GB", 100000, 10 * kKB, {1000, 2000, 3000, 4000, 5000},
+              2.0, profile, false);
+  AppendSweep(points, "10GB", 1000000, 10 * kKB,
+              {2000, 5000, 10000, 20000, 50000}, 2.0, profile, false);
+  AppendSweep(points, "100GB", 10000000, 10 * kKB,
+              {10000, 20000, 40000, 60000, 80000}, 2.0, profile, false);
+  AppendSweep(points, "1TB", 100000000, 10 * kKB,
+              {50000, 100000, 200000, 300000, 400000}, 2.0, profile, false);
+  return points;
+}
+
+std::vector<FigurePoint> GenerateFig6() {
+  const HardwareProfile profile = HardwareProfile::Ibm4764();
+  struct Config {
+    const char* label;
+    uint64_t n;
+    uint64_t m;
+  };
+  const Config configs[] = {
+      {"1GB", 1000000, 50000},
+      {"10GB", 10000000, 100000},
+      {"100GB", 100000000, 500000},
+      {"1TB", 1000000000, 500000},
+  };
+  const double epsilons[] = {0.01, 0.05, 0.1, 0.5, 1.0};
+  std::vector<FigurePoint> points;
+  for (const Config& config : configs) {
+    for (double eps : epsilons) {
+      Result<CostModel::Evaluation> eval = CostModel::Evaluate(
+          config.n, config.m, kKB, 1.0 + eps, profile);
+      if (!eval.ok()) {
+        continue;
+      }
+      FigurePoint point;
+      point.database = config.label;
+      point.n = config.n;
+      point.m = config.m;
+      point.epsilon = eps;
+      point.response_seconds = eval->query_seconds;
+      point.storage_mb =
+          static_cast<double>(eval->storage_bytes) / static_cast<double>(kMB);
+      points.push_back(point);
+    }
+  }
+  return points;
+}
+
+std::vector<FigurePoint> GenerateFig7() {
+  std::vector<FigurePoint> points;
+  const HardwareProfile profile =
+      HardwareProfile::TwoPartyOwner(/*memory_bytes=*/16 * hardware::kGB);
+  // (a) 1KB pages, n = 1e9.
+  AppendSweep(points, "1TB/1KB", 1000000000, kKB,
+              {500000, 1000000, 1500000, 2000000}, 2.0, profile, true);
+  // (b) 10KB pages, n = 1e8.
+  AppendSweep(points, "1TB/10KB", 100000000, 10 * kKB,
+              {300000, 500000, 700000, 1000000}, 2.0, profile, true);
+  return points;
+}
+
+}  // namespace shpir::model

@@ -1,0 +1,86 @@
+#ifndef SHPIR_MODEL_COST_MODEL_H_
+#define SHPIR_MODEL_COST_MODEL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "hardware/profile.h"
+
+namespace shpir::model {
+
+/// Closed-form cost model of the scheme (paper §5, Eqs. 7-8), used to
+/// regenerate the paper's figures and to cross-validate the simulator.
+class CostModel {
+ public:
+  /// Eq. 7: secure storage (bytes) for a database of n pages of B bytes
+  /// with cache size m and block size k:
+  ///   n*(log2(n)+1)/8 + (m + k + 1) * B.
+  static uint64_t SecureStorageBytes(uint64_t n, uint64_t m, uint64_t k,
+                                     uint64_t page_size);
+
+  /// Eq. 8: three-party query time (seconds):
+  ///   4*ts + 2*(k+1)*B*(1/rd + 1/rl + 1/renc).
+  static double QuerySeconds(uint64_t k, uint64_t page_size,
+                             const hardware::HardwareProfile& profile);
+
+  /// Two-party query time: the link is replaced by the network. The
+  /// k+1 pages cross the network twice; reads are pipelined into one
+  /// round trip and the write-back acknowledgment costs another:
+  ///   2*rtt + 2*(k+1)*B/rnet + 4*ts + 2*(k+1)*B*(1/rd + 1/renc).
+  static double TwoPartyQuerySeconds(uint64_t k, uint64_t page_size,
+                                     const hardware::HardwareProfile& profile);
+
+  /// A fully resolved configuration: inputs plus the derived security
+  /// parameter and predicted costs.
+  struct Evaluation {
+    uint64_t n = 0;
+    uint64_t m = 0;
+    uint64_t page_size = 0;
+    uint64_t k = 0;
+    uint64_t scan_period = 0;
+    double privacy_c = 0.0;       // Achieved c (Eq. 5).
+    double query_seconds = 0.0;   // Eq. 8 (or two-party variant).
+    uint64_t storage_bytes = 0;   // Eq. 7.
+  };
+
+  /// Evaluates a three-party deployment targeting privacy `c`.
+  static Result<Evaluation> Evaluate(uint64_t n, uint64_t m,
+                                     uint64_t page_size, double c,
+                                     const hardware::HardwareProfile& profile);
+
+  /// Evaluates a two-party deployment targeting privacy `c`.
+  static Result<Evaluation> EvaluateTwoParty(
+      uint64_t n, uint64_t m, uint64_t page_size, double c,
+      const hardware::HardwareProfile& profile);
+};
+
+/// One series point of a reproduced paper figure.
+struct FigurePoint {
+  std::string database;   // e.g. "1GB".
+  uint64_t n = 0;         // Pages.
+  uint64_t m = 0;         // Cache size (x axis of Figs. 4/5/7).
+  double epsilon = 0.0;   // Fig. 6 x axis (c = 1 + epsilon).
+  double response_seconds = 0.0;
+  double storage_mb = 0.0;
+};
+
+/// Fig. 4: page retrieval cost vs cache size, 1KB pages, c = 2, for
+/// 1GB/10GB/100GB/1TB databases.
+std::vector<FigurePoint> GenerateFig4();
+
+/// Fig. 5: same sweep with 10KB pages.
+std::vector<FigurePoint> GenerateFig5();
+
+/// Fig. 6: response time vs privacy parameter c = 1 + eps, 1KB pages,
+/// largest Fig. 4 cache per database.
+std::vector<FigurePoint> GenerateFig6();
+
+/// Fig. 7: two-party model, 1TB database, 50ms RTT: (a) 1KB pages,
+/// (b) 10KB pages. Storage column is the owner-side requirement in GB.
+std::vector<FigurePoint> GenerateFig7();
+
+}  // namespace shpir::model
+
+#endif  // SHPIR_MODEL_COST_MODEL_H_

@@ -1,0 +1,49 @@
+#include "model/queueing.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "crypto/secure_random.h"
+
+namespace shpir::model {
+
+QueueStats SimulateFifoQueue(const std::vector<double>& service_times,
+                             double arrival_rate, uint64_t seed) {
+  QueueStats stats;
+  if (service_times.empty() || arrival_rate <= 0) {
+    return stats;
+  }
+  crypto::SecureRandom rng(seed);
+  std::vector<double> sojourns;
+  sojourns.reserve(service_times.size());
+  double arrival = 0;
+  double server_free = 0;
+  double total_service = 0;
+  for (double service : service_times) {
+    // Exponential inter-arrival.
+    const double u = rng.UniformDouble();
+    arrival += -std::log1p(-u) / arrival_rate;
+    const double start = std::max(arrival, server_free);
+    server_free = start + service;
+    sojourns.push_back(server_free - arrival);
+    total_service += service;
+  }
+  std::sort(sojourns.begin(), sojourns.end());
+  double sum = 0;
+  for (double s : sojourns) {
+    sum += s;
+  }
+  auto pct = [&](double p) {
+    return sojourns[static_cast<size_t>(p * (sojourns.size() - 1))];
+  };
+  stats.mean_s = sum / sojourns.size();
+  stats.p50_s = pct(0.50);
+  stats.p95_s = pct(0.95);
+  stats.p99_s = pct(0.99);
+  stats.max_s = sojourns.back();
+  stats.utilization =
+      arrival_rate * total_service / service_times.size();
+  return stats;
+}
+
+}  // namespace shpir::model

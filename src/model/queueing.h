@@ -1,0 +1,31 @@
+#ifndef SHPIR_MODEL_QUEUEING_H_
+#define SHPIR_MODEL_QUEUEING_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace shpir::model {
+
+/// Sojourn-time statistics of a simulated FIFO queue.
+struct QueueStats {
+  double mean_s = 0;
+  double p50_s = 0;
+  double p95_s = 0;
+  double p99_s = 0;
+  double max_s = 0;
+  /// Offered load: arrival_rate * mean service time.
+  double utilization = 0;
+};
+
+/// Simulates an M/G/1 FIFO queue: Poisson arrivals at `arrival_rate`
+/// (queries/second) served in order with the given per-query service
+/// times. This turns per-query *service* costs into what clients
+/// actually experience under load — the paper's "taking the database
+/// server offline for large periods of time" is precisely the
+/// head-of-line blocking a reshuffle causes here.
+QueueStats SimulateFifoQueue(const std::vector<double>& service_times,
+                             double arrival_rate, uint64_t seed);
+
+}  // namespace shpir::model
+
+#endif  // SHPIR_MODEL_QUEUEING_H_

@@ -1,0 +1,55 @@
+#include "model/related_work_model.h"
+
+#include <cmath>
+
+namespace shpir::model {
+
+std::vector<SchemeCost> CompareSchemes(uint64_t n, uint64_t m, uint64_t k) {
+  const double dn = static_cast<double>(n);
+  const double dm = static_cast<double>(m);
+  const double dk = static_cast<double>(k);
+  const double sqrt_n = std::sqrt(dn);
+  const double log2n = std::log2(dn);
+
+  std::vector<SchemeCost> schemes;
+  schemes.push_back({"trivial", dn, dn, true});
+  // Wang: one page per query; every m queries a 2-pass reshuffle (2n).
+  schemes.push_back({"wang06", 1.0 + 2.0 * dn / dm, 1.0 + 2.0 * dn, true});
+  // sqrt ORAM: shelter scan (sqrt n) + 1 main read + shelter append per
+  // query; every sqrt(n) queries a ~4n-page reshuffle (read main +
+  // shelter, write main + shelter).
+  const double shelter = sqrt_n;
+  schemes.push_back({"sqrt-oram",
+                     shelter + 2.0 +
+                         (2.0 * (dn + shelter) + 2.0 * dn) / shelter,
+                     shelter + 2.0 + 2.0 * (dn + shelter) + 2.0 * dn,
+                     true});
+  // Pyramid ORAM: Z slots per level probe, ~log2(n) levels; rebuild of
+  // level i costs ~2 * 2^i * Z pages every 2^i queries -> amortized
+  // ~2 Z log n on top of probes; worst case is the bottom rebuild.
+  const double z = 8.0;
+  schemes.push_back({"pyramid-oram", z * log2n + 2.0 * z * log2n,
+                     z * log2n + 4.0 * z * dn, true});
+  // This paper: k+1 pages read + written, every query.
+  schemes.push_back({"c-approx", 2.0 * (dk + 1.0), 2.0 * (dk + 1.0),
+                     false});
+  return schemes;
+}
+
+double PagesToSeconds(double pages, uint64_t page_size, double seeks,
+                      const hardware::HardwareProfile& profile) {
+  const double bytes = pages * static_cast<double>(page_size);
+  double seconds = seeks * profile.seek_time_s;
+  if (profile.disk_rate > 0) {
+    seconds += bytes / profile.disk_rate;
+  }
+  if (profile.link_rate > 0) {
+    seconds += bytes / profile.link_rate;
+  }
+  if (profile.crypto_rate > 0) {
+    seconds += bytes / profile.crypto_rate;
+  }
+  return seconds;
+}
+
+}  // namespace shpir::model

@@ -1,0 +1,42 @@
+#ifndef SHPIR_MODEL_RELATED_WORK_MODEL_H_
+#define SHPIR_MODEL_RELATED_WORK_MODEL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hardware/profile.h"
+
+namespace shpir::model {
+
+/// Closed-form per-query costs (amortized and worst case, in pages
+/// moved through the device) for the scheme families the paper's §2
+/// surveys, under a common deployment (n pages of B bytes, m pages of
+/// secure storage). These are the classic asymptotics instantiated with
+/// concrete constants matching our implementations:
+///
+///   trivial        : n per query, worst = amortized.
+///   Wang et al.    : 1 + 2n/m amortized; worst = 1 + 2n (reshuffle).
+///   sqrt ORAM      : sqrt(n) + 1 + (4n + 2 sqrt(n))/sqrt(n) amortized;
+///                    worst ~ 4n + 3 sqrt(n).
+///   pyramid ORAM   : O(log^2 n) amortized; worst ~ 4n (bottom rebuild).
+///   c-approx (this): 2(k+1) per query, worst = amortized.
+struct SchemeCost {
+  std::string name;
+  double amortized_pages;   // Expected pages transferred per query.
+  double worst_case_pages;  // Worst single query.
+  bool perfect_privacy;     // True for the PIR-grade schemes.
+};
+
+/// Evaluates every scheme at one deployment point. `k` is the
+/// c-approximate block size to use (from Eq. 6).
+std::vector<SchemeCost> CompareSchemes(uint64_t n, uint64_t m, uint64_t k);
+
+/// Converts pages-per-query into seconds under a profile (Eq. 8-style:
+/// seeks + transfer + crypto, both directions where applicable).
+double PagesToSeconds(double pages, uint64_t page_size, double seeks,
+                      const hardware::HardwareProfile& profile);
+
+}  // namespace shpir::model
+
+#endif  // SHPIR_MODEL_RELATED_WORK_MODEL_H_

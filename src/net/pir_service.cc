@@ -1,0 +1,126 @@
+#include "net/pir_service.h"
+
+namespace shpir::net {
+
+namespace {
+
+constexpr uint8_t kOpRetrieve = 1;
+constexpr uint8_t kOpModify = 2;
+constexpr uint8_t kOpInsert = 3;
+constexpr uint8_t kOpRemove = 4;
+
+constexpr uint8_t kStatusOk = 0;
+constexpr uint8_t kStatusError = 1;
+
+constexpr size_t kRequestHeader = 1 + 8;
+
+Bytes OkResponse(ByteSpan payload = {}) {
+  Bytes out(1 + payload.size());
+  out[0] = kStatusOk;
+  std::copy(payload.begin(), payload.end(), out.begin() + 1);
+  return out;
+}
+
+Bytes ErrorResponse(const Status& status) {
+  const std::string text = status.ToString();
+  Bytes out(1 + text.size());
+  out[0] = kStatusError;
+  std::copy(text.begin(), text.end(), out.begin() + 1);
+  return out;
+}
+
+}  // namespace
+
+Result<Bytes> PirServiceServer::HandleRecord(ByteSpan record) {
+  SHPIR_ASSIGN_OR_RETURN(Bytes request, session_.Open(record));
+  Bytes response;
+  if (request.size() < kRequestHeader) {
+    response = ErrorResponse(InvalidArgumentError("truncated request"));
+  } else {
+    const uint8_t op = request[0];
+    const storage::PageId id = LoadLE64(request.data() + 1);
+    const ByteSpan payload(request.data() + kRequestHeader,
+                           request.size() - kRequestHeader);
+    switch (op) {
+      case kOpRetrieve: {
+        Result<Bytes> data = engine_->Retrieve(id);
+        response = data.ok() ? OkResponse(*data)
+                             : ErrorResponse(data.status());
+        break;
+      }
+      case kOpModify: {
+        const Status status =
+            engine_->Modify(id, Bytes(payload.begin(), payload.end()));
+        response = status.ok() ? OkResponse() : ErrorResponse(status);
+        break;
+      }
+      case kOpInsert: {
+        Result<storage::PageId> new_id =
+            engine_->Insert(Bytes(payload.begin(), payload.end()));
+        if (new_id.ok()) {
+          uint8_t buf[8];
+          StoreLE64(*new_id, buf);
+          response = OkResponse(ByteSpan(buf, 8));
+        } else {
+          response = ErrorResponse(new_id.status());
+        }
+        break;
+      }
+      case kOpRemove: {
+        const Status status = engine_->Remove(id);
+        response = status.ok() ? OkResponse() : ErrorResponse(status);
+        break;
+      }
+      default:
+        response = ErrorResponse(InvalidArgumentError("unknown op"));
+    }
+  }
+  return session_.Seal(response);
+}
+
+Result<Bytes> PirServiceClient::Call(uint8_t op, storage::PageId id,
+                                     ByteSpan payload) {
+  Bytes request(kRequestHeader + payload.size());
+  request[0] = op;
+  StoreLE64(id, request.data() + 1);
+  std::copy(payload.begin(), payload.end(),
+            request.begin() + kRequestHeader);
+  SHPIR_ASSIGN_OR_RETURN(Bytes sealed, session_.Seal(request));
+  SHPIR_ASSIGN_OR_RETURN(Bytes response_record, deliver_(sealed));
+  SHPIR_ASSIGN_OR_RETURN(Bytes response, session_.Open(response_record));
+  if (response.empty()) {
+    return DataLossError("empty service response");
+  }
+  if (response[0] == kStatusError) {
+    return InternalError("service error: " +
+                         std::string(response.begin() + 1, response.end()));
+  }
+  if (response[0] != kStatusOk) {
+    return DataLossError("malformed service response");
+  }
+  return Bytes(response.begin() + 1, response.end());
+}
+
+Result<Bytes> PirServiceClient::Retrieve(storage::PageId id) {
+  return Call(kOpRetrieve, id, {});
+}
+
+Status PirServiceClient::Modify(storage::PageId id, ByteSpan data) {
+  Result<Bytes> response = Call(kOpModify, id, data);
+  return response.ok() ? OkStatus() : response.status();
+}
+
+Result<storage::PageId> PirServiceClient::Insert(ByteSpan data) {
+  SHPIR_ASSIGN_OR_RETURN(Bytes response, Call(kOpInsert, 0, data));
+  if (response.size() != 8) {
+    return DataLossError("malformed insert response");
+  }
+  return LoadLE64(response.data());
+}
+
+Status PirServiceClient::Remove(storage::PageId id) {
+  Result<Bytes> response = Call(kOpRemove, id, {});
+  return response.ok() ? OkStatus() : response.status();
+}
+
+}  // namespace shpir::net

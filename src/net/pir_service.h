@@ -1,0 +1,69 @@
+#ifndef SHPIR_NET_PIR_SERVICE_H_
+#define SHPIR_NET_PIR_SERVICE_H_
+
+#include <functional>
+#include <memory>
+
+#include "common/result.h"
+#include "core/capprox_pir.h"
+#include "net/secure_channel.h"
+
+namespace shpir::net {
+
+/// The three-party query protocol of Fig. 1: clients talk to the secure
+/// hardware through end-to-end encrypted records that the database
+/// server merely relays. Requests carry the operation and page id;
+/// responses carry the page payload — all invisible to the relay.
+///
+/// Request plaintext:  op(1) | id(8) | payload...
+/// Response plaintext: status(1) | payload...
+
+/// Runs inside the trusted boundary next to the engine.
+class PirServiceServer {
+ public:
+  /// Neither pointer is owned. The session must be the server side of
+  /// the handshake with this client.
+  PirServiceServer(core::CApproxPir* engine, SecureSession session)
+      : engine_(engine), session_(std::move(session)) {}
+
+  /// Decrypts one request record, executes it, returns the sealed
+  /// response record. Protocol-level failures (bad record) are errors;
+  /// engine-level failures are encoded into the response.
+  Result<Bytes> HandleRecord(ByteSpan record);
+
+ private:
+  core::CApproxPir* engine_;
+  SecureSession session_;
+};
+
+/// The client side. `deliver` sends a sealed request record through the
+/// untrusted relay and returns the sealed response record.
+class PirServiceClient {
+ public:
+  using Deliver = std::function<Result<Bytes>(ByteSpan record)>;
+
+  PirServiceClient(SecureSession session, Deliver deliver)
+      : session_(std::move(session)), deliver_(std::move(deliver)) {}
+
+  /// Privately retrieves page `id`.
+  Result<Bytes> Retrieve(storage::PageId id);
+
+  /// Replaces page `id`'s payload.
+  Status Modify(storage::PageId id, ByteSpan data);
+
+  /// Inserts a new page; returns its id.
+  Result<storage::PageId> Insert(ByteSpan data);
+
+  /// Deletes page `id`.
+  Status Remove(storage::PageId id);
+
+ private:
+  Result<Bytes> Call(uint8_t op, storage::PageId id, ByteSpan payload);
+
+  SecureSession session_;
+  Deliver deliver_;
+};
+
+}  // namespace shpir::net
+
+#endif  // SHPIR_NET_PIR_SERVICE_H_

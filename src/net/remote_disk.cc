@@ -1,0 +1,99 @@
+#include "net/remote_disk.h"
+
+#include <cstring>
+
+namespace shpir::net {
+
+Result<std::unique_ptr<RemoteDisk>> RemoteDisk::Connect(
+    Transport* transport) {
+  if (transport == nullptr) {
+    return InvalidArgumentError("transport is required");
+  }
+  Request request;
+  request.op = Op::kGeometry;
+  SHPIR_ASSIGN_OR_RETURN(Bytes response,
+                         transport->RoundTrip(EncodeRequest(request)));
+  SHPIR_ASSIGN_OR_RETURN(Bytes payload, DecodeResponse(response));
+  if (payload.size() != 16) {
+    return DataLossError("malformed geometry response");
+  }
+  const uint64_t num_slots = LoadLE64(payload.data());
+  const uint64_t slot_size = LoadLE64(payload.data() + 8);
+  return std::unique_ptr<RemoteDisk>(
+      new RemoteDisk(transport, num_slots, slot_size));
+}
+
+Result<Bytes> RemoteDisk::Call(const Request& request) {
+  const Bytes frame = EncodeRequest(request);
+  SHPIR_ASSIGN_OR_RETURN(Bytes response, transport_->RoundTrip(frame));
+  if (accountant_ != nullptr) {
+    accountant_->AddNetworkRoundTrips(1);
+    accountant_->AddNetworkBytes(frame.size() + response.size());
+  }
+  return DecodeResponse(response);
+}
+
+Status RemoteDisk::Read(storage::Location loc, MutableByteSpan out) {
+  if (out.size() != slot_size_) {
+    return InvalidArgumentError("read buffer has wrong size");
+  }
+  Request request;
+  request.op = Op::kRead;
+  request.location = loc;
+  SHPIR_ASSIGN_OR_RETURN(Bytes payload, Call(request));
+  if (payload.size() != slot_size_) {
+    return DataLossError("short remote read");
+  }
+  std::memcpy(out.data(), payload.data(), slot_size_);
+  return OkStatus();
+}
+
+Status RemoteDisk::Write(storage::Location loc, ByteSpan data) {
+  if (data.size() != slot_size_) {
+    return InvalidArgumentError("write data has wrong size");
+  }
+  Request request;
+  request.op = Op::kWrite;
+  request.location = loc;
+  request.payload.assign(data.begin(), data.end());
+  Result<Bytes> response = Call(request);
+  return response.ok() ? OkStatus() : response.status();
+}
+
+Status RemoteDisk::ReadRun(storage::Location start, uint64_t count,
+                           std::vector<Bytes>& out) {
+  Request request;
+  request.op = Op::kReadRun;
+  request.location = start;
+  request.count = count;
+  SHPIR_ASSIGN_OR_RETURN(Bytes payload, Call(request));
+  if (payload.size() != count * slot_size_) {
+    return DataLossError("short remote read-run");
+  }
+  out.resize(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    out[i].assign(
+        payload.begin() + static_cast<ptrdiff_t>(i * slot_size_),
+        payload.begin() + static_cast<ptrdiff_t>((i + 1) * slot_size_));
+  }
+  return OkStatus();
+}
+
+Status RemoteDisk::WriteRun(storage::Location start,
+                            const std::vector<Bytes>& slots) {
+  Request request;
+  request.op = Op::kWriteRun;
+  request.location = start;
+  request.count = slots.size();
+  request.payload.reserve(slots.size() * slot_size_);
+  for (const Bytes& slot : slots) {
+    if (slot.size() != slot_size_) {
+      return InvalidArgumentError("write slot has wrong size");
+    }
+    request.payload.insert(request.payload.end(), slot.begin(), slot.end());
+  }
+  Result<Bytes> response = Call(request);
+  return response.ok() ? OkStatus() : response.status();
+}
+
+}  // namespace shpir::net

@@ -1,0 +1,57 @@
+#ifndef SHPIR_NET_REMOTE_DISK_H_
+#define SHPIR_NET_REMOTE_DISK_H_
+
+#include <memory>
+
+#include "hardware/cost_accountant.h"
+#include "net/transport.h"
+#include "net/wire.h"
+#include "storage/disk.h"
+
+namespace shpir::net {
+
+/// Owner-side view of the provider's disk. Implements the storage::Disk
+/// interface over a Transport, so the whole PIR stack (coprocessor +
+/// engine) runs unchanged at the owner in the two-party model — every
+/// slot access becomes a network round trip carrying sealed pages.
+///
+/// Network usage (one RTT and request+response bytes per call, with run
+/// operations batched into a single round trip) is recorded into an
+/// optional CostAccountant so simulated response times under a
+/// HardwareProfile include the network term.
+class RemoteDisk : public storage::Disk {
+ public:
+  /// Fetches the geometry from the remote end. `transport` is unowned.
+  static Result<std::unique_ptr<RemoteDisk>> Connect(Transport* transport);
+
+  /// Registers the accountant that receives network counters (e.g. the
+  /// owner-side coprocessor's). Pass nullptr to disable.
+  void set_accountant(hardware::CostAccountant* accountant) {
+    accountant_ = accountant;
+  }
+
+  uint64_t num_slots() const override { return num_slots_; }
+  size_t slot_size() const override { return slot_size_; }
+  Status Read(storage::Location loc, MutableByteSpan out) override;
+  Status Write(storage::Location loc, ByteSpan data) override;
+  Status ReadRun(storage::Location start, uint64_t count,
+                 std::vector<Bytes>& out) override;
+  Status WriteRun(storage::Location start,
+                  const std::vector<Bytes>& slots) override;
+
+ private:
+  RemoteDisk(Transport* transport, uint64_t num_slots, size_t slot_size)
+      : transport_(transport), num_slots_(num_slots), slot_size_(slot_size) {}
+
+  /// Sends one frame, accounting the RTT and bytes both ways.
+  Result<Bytes> Call(const Request& request);
+
+  Transport* transport_;
+  uint64_t num_slots_;
+  size_t slot_size_;
+  hardware::CostAccountant* accountant_ = nullptr;
+};
+
+}  // namespace shpir::net
+
+#endif  // SHPIR_NET_REMOTE_DISK_H_

@@ -1,0 +1,110 @@
+#include "net/secure_channel.h"
+
+#include <cstring>
+
+namespace shpir::net {
+
+namespace {
+
+constexpr size_t kSeqSize = 8;
+constexpr size_t kTagSize = crypto::HmacSha256::kTagSize;
+
+// Directional key derivation: HMAC(psk, label || client_nonce ||
+// server_nonce) for each of the four keys.
+crypto::HmacSha256::Tag DeriveKey(const crypto::HmacSha256& kdf,
+                                  const char* label, ByteSpan client_nonce,
+                                  ByteSpan server_nonce) {
+  Bytes input;
+  const size_t label_len = std::strlen(label);
+  input.reserve(label_len + client_nonce.size() + server_nonce.size());
+  input.insert(input.end(), label, label + label_len);
+  input.insert(input.end(), client_nonce.begin(), client_nonce.end());
+  input.insert(input.end(), server_nonce.begin(), server_nonce.end());
+  return kdf.Compute(input);
+}
+
+// The 128-bit initial counter block for a record: the sequence number
+// occupies the high-order 8 bytes, so per-record keystreams never
+// overlap (a record would need 2^64 blocks to collide).
+void SequenceIv(uint64_t seq, uint8_t iv[16]) {
+  std::memset(iv, 0, 16);
+  StoreBE64(seq, iv);
+}
+
+}  // namespace
+
+Result<SecureSession> SecureSession::Establish(ByteSpan pre_shared_key,
+                                               Role role,
+                                               ByteSpan client_nonce,
+                                               ByteSpan server_nonce) {
+  if (client_nonce.size() != kNonceSize ||
+      server_nonce.size() != kNonceSize) {
+    return InvalidArgumentError("handshake nonces must be 16 bytes");
+  }
+  if (pre_shared_key.empty()) {
+    return InvalidArgumentError("pre-shared key must not be empty");
+  }
+  const crypto::HmacSha256 kdf(pre_shared_key);
+  const auto c2s_enc = DeriveKey(kdf, "c2s-enc", client_nonce, server_nonce);
+  const auto c2s_mac = DeriveKey(kdf, "c2s-mac", client_nonce, server_nonce);
+  const auto s2c_enc = DeriveKey(kdf, "s2c-enc", client_nonce, server_nonce);
+  const auto s2c_mac = DeriveKey(kdf, "s2c-mac", client_nonce, server_nonce);
+
+  const ByteSpan c2s_enc_span(c2s_enc.data(), c2s_enc.size());
+  const ByteSpan s2c_enc_span(s2c_enc.data(), s2c_enc.size());
+  SHPIR_ASSIGN_OR_RETURN(crypto::AesCtr c2s_ctr,
+                         crypto::AesCtr::Create(c2s_enc_span));
+  SHPIR_ASSIGN_OR_RETURN(crypto::AesCtr s2c_ctr,
+                         crypto::AesCtr::Create(s2c_enc_span));
+  crypto::HmacSha256 c2s_hmac(ByteSpan(c2s_mac.data(), c2s_mac.size()));
+  crypto::HmacSha256 s2c_hmac(ByteSpan(s2c_mac.data(), s2c_mac.size()));
+
+  if (role == Role::kClient) {
+    return SecureSession(std::move(c2s_ctr), std::move(c2s_hmac),
+                         std::move(s2c_ctr), std::move(s2c_hmac));
+  }
+  return SecureSession(std::move(s2c_ctr), std::move(s2c_hmac),
+                       std::move(c2s_ctr), std::move(c2s_hmac));
+}
+
+Result<Bytes> SecureSession::Seal(ByteSpan plaintext) {
+  Bytes record(kSeqSize + plaintext.size() + kTagSize);
+  StoreLE64(send_seq_, record.data());
+  uint8_t iv[16];
+  SequenceIv(send_seq_, iv);
+  MutableByteSpan body(record.data() + kSeqSize, plaintext.size());
+  SHPIR_RETURN_IF_ERROR(
+      send_ctr_.Crypt(ByteSpan(iv, 16), plaintext, body));
+  const crypto::HmacSha256::Tag tag = send_mac_.Compute(
+      ByteSpan(record.data(), kSeqSize + plaintext.size()));
+  std::memcpy(record.data() + kSeqSize + plaintext.size(), tag.data(),
+              kTagSize);
+  ++send_seq_;
+  return record;
+}
+
+Result<Bytes> SecureSession::Open(ByteSpan record) {
+  if (record.size() < kSeqSize + kTagSize) {
+    return DataLossError("record too short");
+  }
+  const uint64_t seq = LoadLE64(record.data());
+  if (seq != recv_seq_) {
+    return DataLossError("record sequence mismatch (replay or loss)");
+  }
+  const size_t body_len = record.size() - kSeqSize - kTagSize;
+  const ByteSpan authed(record.data(), kSeqSize + body_len);
+  const ByteSpan tag(record.data() + kSeqSize + body_len, kTagSize);
+  if (!recv_mac_.Verify(authed, tag)) {
+    return DataLossError("record MAC verification failed");
+  }
+  uint8_t iv[16];
+  SequenceIv(seq, iv);
+  Bytes plaintext(body_len);
+  SHPIR_RETURN_IF_ERROR(recv_ctr_.Crypt(
+      ByteSpan(iv, 16), ByteSpan(record.data() + kSeqSize, body_len),
+      plaintext));
+  ++recv_seq_;
+  return plaintext;
+}
+
+}  // namespace shpir::net

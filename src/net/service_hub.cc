@@ -1,0 +1,93 @@
+#include "net/service_hub.h"
+
+#include "crypto/hmac.h"
+
+namespace shpir::net {
+
+namespace {
+constexpr uint8_t kHelloTag = 'H';
+constexpr uint8_t kDataTag = 'D';
+constexpr size_t kNonce = SecureSession::kNonceSize;
+}  // namespace
+
+ServiceHub::ServiceHub(core::CApproxPir* engine, Bytes pre_shared_key,
+                       uint64_t rng_seed)
+    : engine_(engine),
+      pre_shared_key_(std::move(pre_shared_key)),
+      rng_(rng_seed == 0 ? crypto::SecureRandom()
+                         : crypto::SecureRandom(rng_seed)) {}
+
+Bytes ServiceHub::ClientKey(ByteSpan pre_shared_key, uint64_t client_id) {
+  crypto::HmacSha256 kdf(pre_shared_key);
+  uint8_t msg[14] = {'c', 'l', 'i', 'e', 'n', 't'};
+  StoreLE64(client_id, msg + 6);
+  const auto tag = kdf.Compute(ByteSpan(msg, sizeof(msg)));
+  return Bytes(tag.begin(), tag.end());
+}
+
+Bytes ServiceHub::MakeHello(uint64_t client_id, ByteSpan client_nonce) {
+  Bytes frame(1 + 8 + kNonce);
+  frame[0] = kHelloTag;
+  StoreLE64(client_id, frame.data() + 1);
+  std::copy(client_nonce.begin(), client_nonce.end(), frame.begin() + 9);
+  return frame;
+}
+
+Result<SecureSession> ServiceHub::CompleteHandshake(ByteSpan reply,
+                                                    ByteSpan pre_shared_key,
+                                                    uint64_t client_id,
+                                                    ByteSpan client_nonce) {
+  if (reply.size() != 1 + kNonce || reply[0] != kHelloTag) {
+    return DataLossError("malformed handshake reply");
+  }
+  const Bytes key = ClientKey(pre_shared_key, client_id);
+  return SecureSession::Establish(
+      key, SecureSession::Role::kClient, client_nonce,
+      ByteSpan(reply.data() + 1, kNonce));
+}
+
+Bytes ServiceHub::MakeData(uint64_t client_id, ByteSpan record) {
+  Bytes frame(1 + 8 + record.size());
+  frame[0] = kDataTag;
+  StoreLE64(client_id, frame.data() + 1);
+  std::copy(record.begin(), record.end(), frame.begin() + 9);
+  return frame;
+}
+
+Result<Bytes> ServiceHub::HandleFrame(ByteSpan frame) {
+  if (frame.size() < 9) {
+    return DataLossError("truncated hub frame");
+  }
+  const uint64_t client_id = LoadLE64(frame.data() + 1);
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (frame[0] == kHelloTag) {
+    if (frame.size() != 1 + 8 + kNonce) {
+      return DataLossError("malformed HELLO frame");
+    }
+    const ByteSpan client_nonce(frame.data() + 9, kNonce);
+    Bytes server_nonce(kNonce);
+    rng_.Fill(server_nonce);
+    const Bytes key = ClientKey(pre_shared_key_, client_id);
+    SHPIR_ASSIGN_OR_RETURN(
+        SecureSession session,
+        SecureSession::Establish(key, SecureSession::Role::kServer,
+                                 client_nonce, server_nonce));
+    servers_[client_id] =
+        std::make_unique<PirServiceServer>(engine_, std::move(session));
+    Bytes reply(1 + kNonce);
+    reply[0] = kHelloTag;
+    std::copy(server_nonce.begin(), server_nonce.end(), reply.begin() + 1);
+    return reply;
+  }
+  if (frame[0] == kDataTag) {
+    auto it = servers_.find(client_id);
+    if (it == servers_.end()) {
+      return FailedPreconditionError("unknown client; handshake first");
+    }
+    return it->second->HandleRecord(
+        ByteSpan(frame.data() + 9, frame.size() - 9));
+  }
+  return InvalidArgumentError("unknown hub frame tag");
+}
+
+}  // namespace shpir::net

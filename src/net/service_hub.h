@@ -1,0 +1,67 @@
+#ifndef SHPIR_NET_SERVICE_HUB_H_
+#define SHPIR_NET_SERVICE_HUB_H_
+
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "common/result.h"
+#include "core/capprox_pir.h"
+#include "crypto/secure_random.h"
+#include "net/pir_service.h"
+#include "net/secure_channel.h"
+
+namespace shpir::net {
+
+/// Multi-client front end for the Fig. 1 service: manages one
+/// SecureSession per client over a shared engine, with a wire-level
+/// handshake. The relay (untrusted server) passes opaque frames:
+///
+///   HELLO frame:   'H' | client_id(8) | client_nonce(16)
+///   HELLO reply:   'H' | server_nonce(16)
+///   DATA frame:    'D' | client_id(8) | sealed record
+///   DATA reply:    sealed response record
+///
+/// Client ids are chosen by clients (e.g. random); per-client keys are
+/// derived from the pre-shared key, both nonces *and* the client id, so
+/// clients cannot impersonate each other's streams. Requests are
+/// serialized onto the engine (the coprocessor serves one at a time).
+class ServiceHub {
+ public:
+  /// `engine` is unowned; `pre_shared_key` is the key clients hold.
+  ServiceHub(core::CApproxPir* engine, Bytes pre_shared_key,
+             uint64_t rng_seed = 0);
+
+  /// Handles one wire frame from any client; returns the reply frame.
+  Result<Bytes> HandleFrame(ByteSpan frame);
+
+  /// Number of established client sessions.
+  size_t sessions() const { return servers_.size(); }
+
+  /// Client-side helper: builds the HELLO frame for `client_id`.
+  static Bytes MakeHello(uint64_t client_id, ByteSpan client_nonce);
+
+  /// Client-side helper: parses the HELLO reply and derives the
+  /// client's session.
+  static Result<SecureSession> CompleteHandshake(ByteSpan reply,
+                                                 ByteSpan pre_shared_key,
+                                                 uint64_t client_id,
+                                                 ByteSpan client_nonce);
+
+  /// Client-side helper: wraps a sealed record into a DATA frame.
+  static Bytes MakeData(uint64_t client_id, ByteSpan record);
+
+  /// Derives the per-client key psk' = HMAC(psk, "client" || id).
+  static Bytes ClientKey(ByteSpan pre_shared_key, uint64_t client_id);
+
+ private:
+  core::CApproxPir* engine_;
+  Bytes pre_shared_key_;
+  crypto::SecureRandom rng_;
+  std::mutex mutex_;
+  std::unordered_map<uint64_t, std::unique_ptr<PirServiceServer>> servers_;
+};
+
+}  // namespace shpir::net
+
+#endif  // SHPIR_NET_SERVICE_HUB_H_

@@ -1,0 +1,74 @@
+#include "net/storage_server.h"
+
+namespace shpir::net {
+
+Bytes StorageServer::Handle(ByteSpan request_frame) {
+  Result<Request> decoded = DecodeRequest(request_frame);
+  if (!decoded.ok()) {
+    return EncodeErrorResponse(decoded.status());
+  }
+  const Request& request = *decoded;
+  const size_t slot_size = disk_->slot_size();
+  switch (request.op) {
+    case Op::kGeometry: {
+      Bytes payload(16);
+      StoreLE64(disk_->num_slots(), payload.data());
+      StoreLE64(slot_size, payload.data() + 8);
+      return EncodeOkResponse(payload);
+    }
+    case Op::kRead: {
+      Bytes slot(slot_size);
+      const Status status = disk_->Read(request.location, slot);
+      if (!status.ok()) {
+        return EncodeErrorResponse(status);
+      }
+      return EncodeOkResponse(slot);
+    }
+    case Op::kWrite: {
+      if (request.payload.size() != slot_size) {
+        return EncodeErrorResponse(
+            InvalidArgumentError("write payload size mismatch"));
+      }
+      const Status status = disk_->Write(request.location, request.payload);
+      if (!status.ok()) {
+        return EncodeErrorResponse(status);
+      }
+      return EncodeOkResponse({});
+    }
+    case Op::kReadRun: {
+      std::vector<Bytes> slots;
+      const Status status =
+          disk_->ReadRun(request.location, request.count, slots);
+      if (!status.ok()) {
+        return EncodeErrorResponse(status);
+      }
+      Bytes payload;
+      payload.reserve(request.count * slot_size);
+      for (const Bytes& slot : slots) {
+        payload.insert(payload.end(), slot.begin(), slot.end());
+      }
+      return EncodeOkResponse(payload);
+    }
+    case Op::kWriteRun: {
+      if (request.payload.size() != request.count * slot_size) {
+        return EncodeErrorResponse(
+            InvalidArgumentError("write-run payload size mismatch"));
+      }
+      std::vector<Bytes> slots(request.count);
+      for (uint64_t i = 0; i < request.count; ++i) {
+        slots[i].assign(
+            request.payload.begin() + static_cast<ptrdiff_t>(i * slot_size),
+            request.payload.begin() +
+                static_cast<ptrdiff_t>((i + 1) * slot_size));
+      }
+      const Status status = disk_->WriteRun(request.location, slots);
+      if (!status.ok()) {
+        return EncodeErrorResponse(status);
+      }
+      return EncodeOkResponse({});
+    }
+  }
+  return EncodeErrorResponse(InternalError("unhandled op"));
+}
+
+}  // namespace shpir::net

@@ -1,0 +1,45 @@
+#ifndef SHPIR_NET_STORAGE_SERVER_H_
+#define SHPIR_NET_STORAGE_SERVER_H_
+
+#include "common/result.h"
+#include "net/transport.h"
+#include "net/wire.h"
+#include "storage/disk.h"
+
+namespace shpir::net {
+
+/// The service provider of the two-party model: a dumb block store that
+/// executes wire-protocol requests against its local disk. It only ever
+/// sees sealed pages; all intelligence (and all secrets) stay with the
+/// owner.
+class StorageServer {
+ public:
+  /// `disk` is unowned and must outlive the server.
+  explicit StorageServer(storage::Disk* disk) : disk_(disk) {}
+
+  /// Executes one request frame and returns the response frame. Errors
+  /// are encoded into the response (the transport never fails).
+  Bytes Handle(ByteSpan request_frame);
+
+ private:
+  storage::Disk* disk_;
+};
+
+/// Transport that dispatches directly into an in-process StorageServer.
+/// Latency and bandwidth are modeled by the owner-side cost accounting,
+/// not by real sleeping, so simulations are fast and deterministic.
+class DirectTransport : public Transport {
+ public:
+  explicit DirectTransport(StorageServer* server) : server_(server) {}
+
+  Result<Bytes> RoundTrip(ByteSpan request) override {
+    return server_->Handle(request);
+  }
+
+ private:
+  StorageServer* server_;
+};
+
+}  // namespace shpir::net
+
+#endif  // SHPIR_NET_STORAGE_SERVER_H_

@@ -1,0 +1,212 @@
+#include "net/tcp_transport.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/bytes.h"
+
+namespace shpir::net {
+
+namespace {
+
+// Largest frame we will accept: geometry-independent safety bound.
+constexpr uint32_t kMaxFrame = 1u << 30;
+
+Status SendAll(int fd, const uint8_t* data, size_t size) {
+  size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return InternalError(std::string("send failed: ") +
+                           std::strerror(errno));
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return OkStatus();
+}
+
+Status RecvAll(int fd, uint8_t* data, size_t size) {
+  size_t received = 0;
+  while (received < size) {
+    const ssize_t n = ::recv(fd, data + received, size - received, 0);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return InternalError(std::string("recv failed: ") +
+                           std::strerror(errno));
+    }
+    if (n == 0) {
+      return DataLossError("peer closed the connection");
+    }
+    received += static_cast<size_t>(n);
+  }
+  return OkStatus();
+}
+
+Status SendFrame(int fd, ByteSpan payload) {
+  uint8_t header[4];
+  StoreLE32(static_cast<uint32_t>(payload.size()), header);
+  SHPIR_RETURN_IF_ERROR(SendAll(fd, header, 4));
+  return SendAll(fd, payload.data(), payload.size());
+}
+
+Result<Bytes> RecvFrame(int fd) {
+  uint8_t header[4];
+  SHPIR_RETURN_IF_ERROR(RecvAll(fd, header, 4));
+  const uint32_t length = LoadLE32(header);
+  if (length > kMaxFrame) {
+    return DataLossError("oversized frame");
+  }
+  Bytes payload(length);
+  if (length > 0) {
+    SHPIR_RETURN_IF_ERROR(RecvAll(fd, payload.data(), length));
+  }
+  return payload;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<TcpTransport>> TcpTransport::Connect(
+    const std::string& host, uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return InternalError("socket() failed");
+  }
+  sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  const std::string resolved = host == "localhost" ? "127.0.0.1" : host;
+  if (::inet_pton(AF_INET, resolved.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return InvalidArgumentError("cannot parse host address: " + host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return InternalError(std::string("connect failed: ") +
+                         std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return std::unique_ptr<TcpTransport>(new TcpTransport(fd));
+}
+
+TcpTransport::~TcpTransport() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+  }
+}
+
+Result<Bytes> TcpTransport::RoundTrip(ByteSpan request) {
+  SHPIR_RETURN_IF_ERROR(SendFrame(fd_, request));
+  return RecvFrame(fd_);
+}
+
+Result<std::unique_ptr<TcpFrameListener>> TcpFrameListener::Listen(
+    Handler handler, uint16_t port) {
+  if (!handler) {
+    return InvalidArgumentError("handler is required");
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return InternalError("socket() failed");
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return InternalError(std::string("bind failed: ") +
+                         std::strerror(errno));
+  }
+  if (::listen(fd, 1) != 0) {
+    ::close(fd);
+    return InternalError("listen failed");
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    ::close(fd);
+    return InternalError("getsockname failed");
+  }
+  return std::unique_ptr<TcpFrameListener>(new TcpFrameListener(
+      std::move(handler), fd, ntohs(addr.sin_port)));
+}
+
+TcpFrameListener::~TcpFrameListener() {
+  Stop();
+}
+
+Status TcpFrameListener::ServeOneConnection() {
+  const int conn = ::accept(listen_fd_, nullptr, nullptr);
+  if (conn < 0) {
+    return InternalError(std::string("accept failed: ") +
+                         std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(conn, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  while (true) {
+    Result<Bytes> request = RecvFrame(conn);
+    if (!request.ok()) {
+      break;  // Peer closed (normal) or I/O error.
+    }
+    Result<Bytes> response = handler_(*request);
+    if (!response.ok()) {
+      // Handler-level failures close the connection; protocol-level
+      // errors are encoded into responses by the handlers themselves.
+      ::close(conn);
+      return response.status();
+    }
+    const Status sent = SendFrame(conn, *response);
+    if (!sent.ok()) {
+      ::close(conn);
+      return sent;
+    }
+  }
+  ::close(conn);
+  return OkStatus();
+}
+
+void TcpFrameListener::Run() {
+  while (!stopping_.load()) {
+    (void)ServeOneConnection();
+  }
+}
+
+void TcpFrameListener::Stop() {
+  stopping_.store(true);
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+Result<std::unique_ptr<TcpStorageListener>> TcpStorageListener::Listen(
+    StorageServer* server, uint16_t port) {
+  if (server == nullptr) {
+    return InvalidArgumentError("server is required");
+  }
+  SHPIR_ASSIGN_OR_RETURN(
+      std::unique_ptr<TcpFrameListener> inner,
+      TcpFrameListener::Listen(
+          [server](ByteSpan frame) -> Result<Bytes> {
+            return server->Handle(frame);
+          },
+          port));
+  return std::unique_ptr<TcpStorageListener>(
+      new TcpStorageListener(std::move(inner)));
+}
+
+}  // namespace shpir::net

@@ -1,0 +1,103 @@
+#ifndef SHPIR_NET_TCP_TRANSPORT_H_
+#define SHPIR_NET_TCP_TRANSPORT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "net/storage_server.h"
+#include "net/transport.h"
+
+namespace shpir::net {
+
+/// Real TCP transport for the two- and three-party models:
+/// length-prefixed frames (4-byte little-endian length, then the
+/// payload) over a blocking socket. This is the production counterpart
+/// of DirectTransport — same protocols, real network.
+class TcpTransport : public Transport {
+ public:
+  /// Connects to `host:port` (IPv4 dotted quad or "localhost").
+  static Result<std::unique_ptr<TcpTransport>> Connect(
+      const std::string& host, uint16_t port);
+
+  ~TcpTransport() override;
+
+  TcpTransport(const TcpTransport&) = delete;
+  TcpTransport& operator=(const TcpTransport&) = delete;
+
+  Result<Bytes> RoundTrip(ByteSpan request) override;
+
+ private:
+  explicit TcpTransport(int fd) : fd_(fd) {}
+
+  int fd_;
+};
+
+/// Generic frame server: accepts connections and feeds each received
+/// frame to a handler, writing its result back. Serves the block-store
+/// protocol (StorageServer), the multi-client hub (ServiceHub), or any
+/// other request/response endpoint. Single-threaded, one connection at
+/// a time; run it on its own thread.
+class TcpFrameListener {
+ public:
+  using Handler = std::function<Result<Bytes>(ByteSpan frame)>;
+
+  /// Binds to 127.0.0.1:`port` (0 = ephemeral).
+  static Result<std::unique_ptr<TcpFrameListener>> Listen(Handler handler,
+                                                          uint16_t port);
+
+  ~TcpFrameListener();
+
+  TcpFrameListener(const TcpFrameListener&) = delete;
+  TcpFrameListener& operator=(const TcpFrameListener&) = delete;
+
+  /// The bound port (useful with port 0).
+  uint16_t port() const { return port_; }
+
+  /// Accepts one connection and serves requests until the peer closes.
+  Status ServeOneConnection();
+
+  /// Serves connections until Stop() is called from another thread.
+  void Run();
+
+  /// Makes Run() return after the current connection finishes; also
+  /// unblocks a pending accept by closing the listen socket.
+  void Stop();
+
+ private:
+  TcpFrameListener(Handler handler, int listen_fd, uint16_t port)
+      : handler_(std::move(handler)),
+        listen_fd_(listen_fd),
+        port_(port) {}
+
+  Handler handler_;
+  int listen_fd_;
+  uint16_t port_;
+  std::atomic<bool> stopping_{false};
+};
+
+/// Backward-compatible block-store listener: serves a StorageServer.
+class TcpStorageListener {
+ public:
+  /// Binds to 127.0.0.1:`port` (0 = ephemeral). The server is unowned.
+  static Result<std::unique_ptr<TcpStorageListener>> Listen(
+      StorageServer* server, uint16_t port);
+
+  uint16_t port() const { return inner_->port(); }
+  Status ServeOneConnection() { return inner_->ServeOneConnection(); }
+  void Run() { inner_->Run(); }
+  void Stop() { inner_->Stop(); }
+
+ private:
+  explicit TcpStorageListener(std::unique_ptr<TcpFrameListener> inner)
+      : inner_(std::move(inner)) {}
+
+  std::unique_ptr<TcpFrameListener> inner_;
+};
+
+}  // namespace shpir::net
+
+#endif  // SHPIR_NET_TCP_TRANSPORT_H_

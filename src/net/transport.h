@@ -1,0 +1,22 @@
+#ifndef SHPIR_NET_TRANSPORT_H_
+#define SHPIR_NET_TRANSPORT_H_
+
+#include "common/bytes.h"
+#include "common/result.h"
+
+namespace shpir::net {
+
+/// A request/response message transport between the data owner and the
+/// storage provider (the paper's two-party model, §3.1/§5). One
+/// RoundTrip is one network RTT.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Sends `request` and blocks for the response.
+  virtual Result<Bytes> RoundTrip(ByteSpan request) = 0;
+};
+
+}  // namespace shpir::net
+
+#endif  // SHPIR_NET_TRANSPORT_H_

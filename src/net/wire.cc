@@ -1,0 +1,72 @@
+#include "net/wire.h"
+
+namespace shpir::net {
+
+namespace {
+constexpr size_t kRequestHeader = 1 + 8 + 8;
+constexpr uint8_t kStatusOk = 0;
+constexpr uint8_t kStatusError = 1;
+}  // namespace
+
+Bytes EncodeRequest(const Request& request) {
+  Bytes frame(kRequestHeader + request.payload.size());
+  frame[0] = static_cast<uint8_t>(request.op);
+  StoreLE64(request.location, frame.data() + 1);
+  StoreLE64(request.count, frame.data() + 9);
+  std::copy(request.payload.begin(), request.payload.end(),
+            frame.begin() + kRequestHeader);
+  return frame;
+}
+
+Result<Request> DecodeRequest(ByteSpan frame) {
+  if (frame.size() < kRequestHeader) {
+    return DataLossError("truncated request frame");
+  }
+  Request request;
+  switch (frame[0]) {
+    case static_cast<uint8_t>(Op::kRead):
+    case static_cast<uint8_t>(Op::kWrite):
+    case static_cast<uint8_t>(Op::kReadRun):
+    case static_cast<uint8_t>(Op::kWriteRun):
+    case static_cast<uint8_t>(Op::kGeometry):
+      request.op = static_cast<Op>(frame[0]);
+      break;
+    default:
+      return InvalidArgumentError("unknown wire op");
+  }
+  request.location = LoadLE64(frame.data() + 1);
+  request.count = LoadLE64(frame.data() + 9);
+  request.payload.assign(frame.begin() + kRequestHeader, frame.end());
+  return request;
+}
+
+Bytes EncodeOkResponse(ByteSpan payload) {
+  Bytes frame(1 + payload.size());
+  frame[0] = kStatusOk;
+  std::copy(payload.begin(), payload.end(), frame.begin() + 1);
+  return frame;
+}
+
+Bytes EncodeErrorResponse(const Status& status) {
+  const std::string text = status.ToString();
+  Bytes frame(1 + text.size());
+  frame[0] = kStatusError;
+  std::copy(text.begin(), text.end(), frame.begin() + 1);
+  return frame;
+}
+
+Result<Bytes> DecodeResponse(ByteSpan frame) {
+  if (frame.empty()) {
+    return DataLossError("empty response frame");
+  }
+  if (frame[0] == kStatusError) {
+    return InternalError("remote error: " +
+                         std::string(frame.begin() + 1, frame.end()));
+  }
+  if (frame[0] != kStatusOk) {
+    return DataLossError("malformed response frame");
+  }
+  return Bytes(frame.begin() + 1, frame.end());
+}
+
+}  // namespace shpir::net

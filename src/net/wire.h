@@ -1,0 +1,51 @@
+#ifndef SHPIR_NET_WIRE_H_
+#define SHPIR_NET_WIRE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "storage/page.h"
+
+namespace shpir::net {
+
+/// Wire protocol between the owner-side RemoteDisk and the provider-side
+/// StorageServer. All integers little-endian.
+///
+/// Request:  op(1) | location(8) | count(8) | payload (count * slot_size)
+/// Response: status(1) | payload
+enum class Op : uint8_t {
+  kRead = 1,      // Read one slot.
+  kWrite = 2,     // Write one slot.
+  kReadRun = 3,   // Read count consecutive slots.
+  kWriteRun = 4,  // Write count consecutive slots.
+  kGeometry = 5,  // Query (num_slots, slot_size).
+};
+
+struct Request {
+  Op op;
+  storage::Location location = 0;
+  uint64_t count = 0;
+  Bytes payload;
+};
+
+/// Serializes a request.
+Bytes EncodeRequest(const Request& request);
+
+/// Parses a request; rejects truncated or unknown frames.
+Result<Request> DecodeRequest(ByteSpan frame);
+
+/// Serializes an OK response carrying `payload`.
+Bytes EncodeOkResponse(ByteSpan payload);
+
+/// Serializes an error response carrying the status message.
+Bytes EncodeErrorResponse(const Status& status);
+
+/// Parses a response into its payload, converting wire errors back into
+/// a Status.
+Result<Bytes> DecodeResponse(ByteSpan frame);
+
+}  // namespace shpir::net
+
+#endif  // SHPIR_NET_WIRE_H_

@@ -1,0 +1,56 @@
+#include "storage/disk.h"
+
+#include <cstring>
+
+namespace shpir::storage {
+
+Status Disk::ReadRun(Location start, uint64_t count, std::vector<Bytes>& out) {
+  if (start + count > num_slots()) {
+    return OutOfRangeError("run extends past end of disk");
+  }
+  out.resize(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    out[i].resize(slot_size());
+    SHPIR_RETURN_IF_ERROR(Read(start + i, out[i]));
+  }
+  return OkStatus();
+}
+
+Status Disk::WriteRun(Location start, const std::vector<Bytes>& slots) {
+  if (start + slots.size() > num_slots()) {
+    return OutOfRangeError("run extends past end of disk");
+  }
+  for (uint64_t i = 0; i < slots.size(); ++i) {
+    SHPIR_RETURN_IF_ERROR(Write(start + i, slots[i]));
+  }
+  return OkStatus();
+}
+
+MemoryDisk::MemoryDisk(uint64_t num_slots, size_t slot_size)
+    : num_slots_(num_slots),
+      slot_size_(slot_size),
+      storage_(num_slots * slot_size, 0) {}
+
+Status MemoryDisk::Read(Location loc, MutableByteSpan out) {
+  if (loc >= num_slots_) {
+    return OutOfRangeError("read past end of disk");
+  }
+  if (out.size() != slot_size_) {
+    return InvalidArgumentError("read buffer has wrong size");
+  }
+  std::memcpy(out.data(), storage_.data() + loc * slot_size_, slot_size_);
+  return OkStatus();
+}
+
+Status MemoryDisk::Write(Location loc, ByteSpan data) {
+  if (loc >= num_slots_) {
+    return OutOfRangeError("write past end of disk");
+  }
+  if (data.size() != slot_size_) {
+    return InvalidArgumentError("write data has wrong size");
+  }
+  std::memcpy(storage_.data() + loc * slot_size_, data.data(), slot_size_);
+  return OkStatus();
+}
+
+}  // namespace shpir::storage

@@ -1,0 +1,61 @@
+#ifndef SHPIR_STORAGE_DISK_H_
+#define SHPIR_STORAGE_DISK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "storage/page.h"
+
+namespace shpir::storage {
+
+/// A block device holding `num_slots` fixed-size slots. This is the
+/// untrusted server disk: everything written here is visible to the
+/// adversary, so callers store only ciphertext.
+class Disk {
+ public:
+  virtual ~Disk() = default;
+
+  /// Number of slots.
+  virtual uint64_t num_slots() const = 0;
+
+  /// Size in bytes of each slot.
+  virtual size_t slot_size() const = 0;
+
+  /// Reads the slot at `loc` into `out` (must be slot_size() bytes).
+  virtual Status Read(Location loc, MutableByteSpan out) = 0;
+
+  /// Overwrites the slot at `loc` with `data` (must be slot_size() bytes).
+  virtual Status Write(Location loc, ByteSpan data) = 0;
+
+  /// Reads `count` consecutive slots starting at `start`. The default
+  /// implementation loops over Read(); devices with faster sequential
+  /// paths may override. Returns the slots concatenated.
+  virtual Status ReadRun(Location start, uint64_t count,
+                         std::vector<Bytes>& out);
+
+  /// Writes `slots` consecutively starting at `start`.
+  virtual Status WriteRun(Location start, const std::vector<Bytes>& slots);
+};
+
+/// RAM-backed disk, the default substrate for tests and simulations.
+class MemoryDisk : public Disk {
+ public:
+  /// Creates a zero-initialized disk of `num_slots` x `slot_size` bytes.
+  MemoryDisk(uint64_t num_slots, size_t slot_size);
+
+  uint64_t num_slots() const override { return num_slots_; }
+  size_t slot_size() const override { return slot_size_; }
+  Status Read(Location loc, MutableByteSpan out) override;
+  Status Write(Location loc, ByteSpan data) override;
+
+ private:
+  uint64_t num_slots_;
+  size_t slot_size_;
+  Bytes storage_;
+};
+
+}  // namespace shpir::storage
+
+#endif  // SHPIR_STORAGE_DISK_H_

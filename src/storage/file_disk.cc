@@ -1,0 +1,84 @@
+#include "storage/file_disk.h"
+
+#include <cstdio>
+
+namespace shpir::storage {
+
+Result<std::unique_ptr<FileDisk>> FileDisk::Create(const std::string& path,
+                                                   uint64_t num_slots,
+                                                   size_t slot_size) {
+  std::FILE* file = std::fopen(path.c_str(), "wb+");
+  if (file == nullptr) {
+    return InternalError("cannot create disk file: " + path);
+  }
+  // Size the file by writing the final byte.
+  const uint64_t total = num_slots * slot_size;
+  if (total > 0) {
+    if (std::fseek(file, static_cast<long>(total - 1), SEEK_SET) != 0 ||
+        std::fputc(0, file) == EOF) {
+      std::fclose(file);
+      return InternalError("cannot size disk file: " + path);
+    }
+  }
+  return std::unique_ptr<FileDisk>(new FileDisk(file, num_slots, slot_size));
+}
+
+Result<std::unique_ptr<FileDisk>> FileDisk::Open(const std::string& path,
+                                                 uint64_t num_slots,
+                                                 size_t slot_size) {
+  std::FILE* file = std::fopen(path.c_str(), "rb+");
+  if (file == nullptr) {
+    return NotFoundError("cannot open disk file: " + path);
+  }
+  if (std::fseek(file, 0, SEEK_END) != 0) {
+    std::fclose(file);
+    return InternalError("cannot stat disk file: " + path);
+  }
+  const long size = std::ftell(file);
+  if (size < 0 ||
+      static_cast<uint64_t>(size) != num_slots * slot_size) {
+    std::fclose(file);
+    return InvalidArgumentError("disk file geometry mismatch: " + path);
+  }
+  return std::unique_ptr<FileDisk>(new FileDisk(file, num_slots, slot_size));
+}
+
+FileDisk::~FileDisk() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+  }
+}
+
+Status FileDisk::Read(Location loc, MutableByteSpan out) {
+  if (loc >= num_slots_) {
+    return OutOfRangeError("read past end of disk");
+  }
+  if (out.size() != slot_size_) {
+    return InvalidArgumentError("read buffer has wrong size");
+  }
+  if (std::fseek(file_, static_cast<long>(loc * slot_size_), SEEK_SET) != 0) {
+    return InternalError("seek failed");
+  }
+  if (std::fread(out.data(), 1, slot_size_, file_) != slot_size_) {
+    return DataLossError("short read from disk file");
+  }
+  return OkStatus();
+}
+
+Status FileDisk::Write(Location loc, ByteSpan data) {
+  if (loc >= num_slots_) {
+    return OutOfRangeError("write past end of disk");
+  }
+  if (data.size() != slot_size_) {
+    return InvalidArgumentError("write data has wrong size");
+  }
+  if (std::fseek(file_, static_cast<long>(loc * slot_size_), SEEK_SET) != 0) {
+    return InternalError("seek failed");
+  }
+  if (std::fwrite(data.data(), 1, slot_size_, file_) != slot_size_) {
+    return DataLossError("short write to disk file");
+  }
+  return OkStatus();
+}
+
+}  // namespace shpir::storage

@@ -1,0 +1,47 @@
+#ifndef SHPIR_STORAGE_FILE_DISK_H_
+#define SHPIR_STORAGE_FILE_DISK_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "storage/disk.h"
+
+namespace shpir::storage {
+
+/// File-backed disk, for databases larger than RAM or for persistence
+/// across runs. Slots are stored contiguously in a single flat file.
+class FileDisk : public Disk {
+ public:
+  /// Creates (or truncates) a file sized for `num_slots` x `slot_size`.
+  static Result<std::unique_ptr<FileDisk>> Create(const std::string& path,
+                                                  uint64_t num_slots,
+                                                  size_t slot_size);
+
+  /// Opens an existing file created by Create() with matching geometry.
+  static Result<std::unique_ptr<FileDisk>> Open(const std::string& path,
+                                                uint64_t num_slots,
+                                                size_t slot_size);
+
+  ~FileDisk() override;
+
+  FileDisk(const FileDisk&) = delete;
+  FileDisk& operator=(const FileDisk&) = delete;
+
+  uint64_t num_slots() const override { return num_slots_; }
+  size_t slot_size() const override { return slot_size_; }
+  Status Read(Location loc, MutableByteSpan out) override;
+  Status Write(Location loc, ByteSpan data) override;
+
+ private:
+  FileDisk(std::FILE* file, uint64_t num_slots, size_t slot_size)
+      : file_(file), num_slots_(num_slots), slot_size_(slot_size) {}
+
+  std::FILE* file_;
+  uint64_t num_slots_;
+  size_t slot_size_;
+};
+
+}  // namespace shpir::storage
+
+#endif  // SHPIR_STORAGE_FILE_DISK_H_

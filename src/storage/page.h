@@ -1,0 +1,40 @@
+#ifndef SHPIR_STORAGE_PAGE_H_
+#define SHPIR_STORAGE_PAGE_H_
+
+#include <cstdint>
+#include <limits>
+#include <utility>
+
+#include "common/bytes.h"
+
+namespace shpir::storage {
+
+/// Logical page identifier; the paper assigns ids 0..n-1.
+using PageId = uint64_t;
+
+/// Physical slot index on the server's disk under the current permutation.
+using Location = uint64_t;
+
+/// Reserved id marking dummy / deleted pages (the paper's "all 1's"
+/// reserved value, §4.3).
+inline constexpr PageId kDummyPageId = std::numeric_limits<PageId>::max();
+
+/// A database page: a (id, data) tuple (§3.1). `data` has the fixed
+/// database page size B.
+struct Page {
+  PageId id = kDummyPageId;
+  Bytes data;
+
+  Page() = default;
+  Page(PageId id_in, Bytes data_in) : id(id_in), data(std::move(data_in)) {}
+
+  bool is_dummy() const { return id == kDummyPageId; }
+
+  friend bool operator==(const Page& a, const Page& b) {
+    return a.id == b.id && a.data == b.data;
+  }
+};
+
+}  // namespace shpir::storage
+
+#endif  // SHPIR_STORAGE_PAGE_H_

@@ -1,0 +1,75 @@
+#include "workload/workload.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace shpir::workload {
+
+UniformWorkload::UniformWorkload(uint64_t num_pages, uint64_t seed)
+    : num_pages_(num_pages), rng_(seed) {}
+
+storage::PageId UniformWorkload::Next() {
+  return rng_.UniformInt(num_pages_);
+}
+
+std::vector<double> UniformWorkload::Distribution() const {
+  return std::vector<double>(num_pages_,
+                             1.0 / static_cast<double>(num_pages_));
+}
+
+ZipfWorkload::ZipfWorkload(uint64_t num_pages, double exponent,
+                           uint64_t seed)
+    : rng_(seed) {
+  probability_.resize(num_pages);
+  double total = 0;
+  for (uint64_t i = 0; i < num_pages; ++i) {
+    probability_[i] =
+        1.0 / std::pow(static_cast<double>(i + 1), exponent);
+    total += probability_[i];
+  }
+  cumulative_.resize(num_pages);
+  double acc = 0;
+  for (uint64_t i = 0; i < num_pages; ++i) {
+    probability_[i] /= total;
+    acc += probability_[i];
+    cumulative_[i] = acc;
+  }
+}
+
+storage::PageId ZipfWorkload::Next() {
+  const double x = rng_.UniformDouble();
+  const auto it =
+      std::lower_bound(cumulative_.begin(), cumulative_.end(), x);
+  return static_cast<storage::PageId>(
+      std::min<size_t>(it - cumulative_.begin(), cumulative_.size() - 1));
+}
+
+std::vector<double> ZipfWorkload::Distribution() const {
+  return probability_;
+}
+
+HotspotWorkload::HotspotWorkload(uint64_t num_pages, uint64_t hot_pages,
+                                 double hot_ratio, uint64_t seed)
+    : num_pages_(num_pages),
+      hot_pages_(std::min(hot_pages, num_pages)),
+      hot_ratio_(hot_ratio),
+      rng_(seed) {}
+
+storage::PageId HotspotWorkload::Next() {
+  if (rng_.UniformDouble() < hot_ratio_) {
+    return rng_.UniformInt(hot_pages_);
+  }
+  return rng_.UniformInt(num_pages_);
+}
+
+std::vector<double> HotspotWorkload::Distribution() const {
+  std::vector<double> dist(num_pages_,
+                           (1.0 - hot_ratio_) /
+                               static_cast<double>(num_pages_));
+  for (uint64_t i = 0; i < hot_pages_; ++i) {
+    dist[i] += hot_ratio_ / static_cast<double>(hot_pages_);
+  }
+  return dist;
+}
+
+}  // namespace shpir::workload

@@ -1,0 +1,98 @@
+#ifndef SHPIR_WORKLOAD_WORKLOAD_H_
+#define SHPIR_WORKLOAD_WORKLOAD_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "crypto/secure_random.h"
+#include "storage/page.h"
+
+namespace shpir::workload {
+
+/// A stream of page requests. Generators are deterministic given their
+/// RNG seed, so experiments are reproducible.
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  /// The next requested page id.
+  virtual storage::PageId Next() = 0;
+
+  /// The request distribution over ids [0, n) — the adversary's prior
+  /// in frequency-analysis experiments. Sums to 1.
+  virtual std::vector<double> Distribution() const = 0;
+
+  virtual const char* name() const = 0;
+};
+
+/// Uniform requests over [0, n).
+class UniformWorkload : public Workload {
+ public:
+  UniformWorkload(uint64_t num_pages, uint64_t seed);
+
+  storage::PageId Next() override;
+  std::vector<double> Distribution() const override;
+  const char* name() const override { return "uniform"; }
+
+ private:
+  uint64_t num_pages_;
+  crypto::SecureRandom rng_;
+};
+
+/// Zipf(s)-distributed requests: page i has weight 1/(i+1)^s. The
+/// classic model for web/page popularity skew.
+class ZipfWorkload : public Workload {
+ public:
+  ZipfWorkload(uint64_t num_pages, double exponent, uint64_t seed);
+
+  storage::PageId Next() override;
+  std::vector<double> Distribution() const override;
+  const char* name() const override { return "zipf"; }
+
+ private:
+  std::vector<double> cumulative_;
+  std::vector<double> probability_;
+  crypto::SecureRandom rng_;
+};
+
+/// Hotspot: a fraction `hot_ratio` of requests hit the first
+/// `hot_pages` ids; the rest are uniform over everything.
+class HotspotWorkload : public Workload {
+ public:
+  HotspotWorkload(uint64_t num_pages, uint64_t hot_pages, double hot_ratio,
+                  uint64_t seed);
+
+  storage::PageId Next() override;
+  std::vector<double> Distribution() const override;
+  const char* name() const override { return "hotspot"; }
+
+ private:
+  uint64_t num_pages_;
+  uint64_t hot_pages_;
+  double hot_ratio_;
+  crypto::SecureRandom rng_;
+};
+
+/// Sequential scan with wraparound (worst case for schemes that exploit
+/// locality; a natural pattern for range processing).
+class ScanWorkload : public Workload {
+ public:
+  explicit ScanWorkload(uint64_t num_pages) : num_pages_(num_pages) {}
+
+  storage::PageId Next() override { return cursor_++ % num_pages_; }
+  std::vector<double> Distribution() const override {
+    return std::vector<double>(num_pages_,
+                               1.0 / static_cast<double>(num_pages_));
+  }
+  const char* name() const override { return "scan"; }
+
+ private:
+  uint64_t num_pages_;
+  uint64_t cursor_ = 0;
+};
+
+}  // namespace shpir::workload
+
+#endif  // SHPIR_WORKLOAD_WORKLOAD_H_

@@ -1,0 +1,76 @@
+#include "crypto/blob_cipher.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+namespace shpir::crypto {
+namespace {
+
+BlobCipher MakeCipher() {
+  Result<BlobCipher> cipher =
+      BlobCipher::Create(Bytes(32, 0x01), Bytes(32, 0x02));
+  SHPIR_CHECK(cipher.ok());
+  return std::move(cipher).value();
+}
+
+TEST(BlobCipherTest, RoundTripVariousSizes) {
+  BlobCipher cipher = MakeCipher();
+  SecureRandom rng(1);
+  for (size_t len : {0u, 1u, 15u, 16u, 1000u, 65536u}) {
+    Bytes plaintext(len);
+    rng.Fill(plaintext);
+    Result<Bytes> sealed = cipher.Seal(plaintext, rng);
+    ASSERT_TRUE(sealed.ok());
+    EXPECT_EQ(sealed->size(), len + BlobCipher::kOverhead);
+    Result<Bytes> opened = cipher.Open(*sealed);
+    ASSERT_TRUE(opened.ok());
+    EXPECT_EQ(*opened, plaintext) << "len " << len;
+  }
+}
+
+TEST(BlobCipherTest, TamperingDetected) {
+  BlobCipher cipher = MakeCipher();
+  SecureRandom rng(2);
+  Bytes sealed = *cipher.Seal(Bytes(100, 0x55), rng);
+  for (size_t pos : {size_t{0}, size_t{50}, sealed.size() - 1}) {
+    Bytes tampered = sealed;
+    tampered[pos] ^= 1;
+    Result<Bytes> opened = cipher.Open(tampered);
+    EXPECT_FALSE(opened.ok()) << pos;
+    EXPECT_EQ(opened.status().code(), StatusCode::kDataLoss);
+  }
+}
+
+TEST(BlobCipherTest, TruncatedBlobRejected) {
+  BlobCipher cipher = MakeCipher();
+  EXPECT_FALSE(cipher.Open(Bytes(BlobCipher::kOverhead - 1, 0)).ok());
+}
+
+TEST(BlobCipherTest, FreshNoncePerSeal) {
+  BlobCipher cipher = MakeCipher();
+  SecureRandom rng(3);
+  const Bytes plaintext(64, 0x42);
+  EXPECT_NE(*cipher.Seal(plaintext, rng), *cipher.Seal(plaintext, rng));
+}
+
+TEST(BlobCipherTest, PassphraseDerivation) {
+  SecureRandom rng(4);
+  Result<BlobCipher> a = BlobCipher::FromPassphrase("correct horse");
+  Result<BlobCipher> b = BlobCipher::FromPassphrase("correct horse");
+  Result<BlobCipher> c = BlobCipher::FromPassphrase("wrong horse");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(c.ok());
+  const Bytes secret = {1, 2, 3};
+  Bytes sealed = *a->Seal(secret, rng);
+  EXPECT_EQ(*b->Open(sealed), secret);   // Same passphrase opens.
+  EXPECT_FALSE(c->Open(sealed).ok());    // Different passphrase fails.
+}
+
+TEST(BlobCipherTest, RejectsBadKeys) {
+  EXPECT_FALSE(BlobCipher::Create(Bytes(10, 0), Bytes(32, 0)).ok());
+}
+
+}  // namespace
+}  // namespace shpir::crypto

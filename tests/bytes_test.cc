@@ -1,0 +1,67 @@
+#include "common/bytes.h"
+
+#include <gtest/gtest.h>
+
+namespace shpir {
+namespace {
+
+TEST(BytesTest, HexEncodeBasic) {
+  const Bytes data = {0x00, 0x01, 0xab, 0xff};
+  EXPECT_EQ(HexEncode(data), "0001abff");
+  EXPECT_EQ(HexEncode(Bytes{}), "");
+}
+
+TEST(BytesTest, HexDecodeBasic) {
+  EXPECT_EQ(HexDecode("0001abff"), (Bytes{0x00, 0x01, 0xab, 0xff}));
+  EXPECT_EQ(HexDecode("ABCD"), (Bytes{0xab, 0xcd}));
+  EXPECT_EQ(HexDecode(""), Bytes{});
+}
+
+TEST(BytesTest, HexDecodeRejectsMalformed) {
+  EXPECT_TRUE(HexDecode("abc").empty());   // Odd length.
+  EXPECT_TRUE(HexDecode("zz").empty());    // Non-hex chars.
+  EXPECT_TRUE(HexDecode("0g").empty());
+}
+
+TEST(BytesTest, HexRoundTrip) {
+  Bytes data(256);
+  for (int i = 0; i < 256; ++i) {
+    data[i] = static_cast<uint8_t>(i);
+  }
+  EXPECT_EQ(HexDecode(HexEncode(data)), data);
+}
+
+TEST(BytesTest, LittleEndianRoundTrip) {
+  uint8_t buf[8];
+  StoreLE32(0x12345678u, buf);
+  EXPECT_EQ(buf[0], 0x78);
+  EXPECT_EQ(buf[3], 0x12);
+  EXPECT_EQ(LoadLE32(buf), 0x12345678u);
+  StoreLE64(0x0123456789abcdefull, buf);
+  EXPECT_EQ(LoadLE64(buf), 0x0123456789abcdefull);
+}
+
+TEST(BytesTest, BigEndianRoundTrip) {
+  uint8_t buf[8];
+  StoreBE32(0x12345678u, buf);
+  EXPECT_EQ(buf[0], 0x12);
+  EXPECT_EQ(buf[3], 0x78);
+  EXPECT_EQ(LoadBE32(buf), 0x12345678u);
+  StoreBE64(0x0123456789abcdefull, buf);
+  EXPECT_EQ(LoadBE64(buf), 0x0123456789abcdefull);
+  EXPECT_EQ(buf[0], 0x01);
+  EXPECT_EQ(buf[7], 0xef);
+}
+
+TEST(BytesTest, EndianExtremes) {
+  uint8_t buf[8];
+  StoreLE64(0, buf);
+  EXPECT_EQ(LoadLE64(buf), 0u);
+  StoreLE64(UINT64_MAX, buf);
+  EXPECT_EQ(LoadLE64(buf), UINT64_MAX);
+  StoreBE64(UINT64_MAX, buf);
+  EXPECT_EQ(LoadBE64(buf), UINT64_MAX);
+}
+
+}  // namespace
+}  // namespace shpir

@@ -1,0 +1,86 @@
+#include "crypto/chacha20.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/bytes.h"
+
+namespace shpir::crypto {
+namespace {
+
+// RFC 8439 section 2.3.2: keystream block test vector.
+TEST(ChaCha20Test, Rfc8439KeystreamBlock) {
+  const Bytes key = HexDecode(
+      "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f");
+  const Bytes nonce = HexDecode("000000090000004a00000000");
+  Result<ChaCha20> cipher = ChaCha20::Create(key);
+  ASSERT_TRUE(cipher.ok());
+  uint8_t block[ChaCha20::kBlockSize];
+  ASSERT_TRUE(cipher->KeystreamBlock(nonce, 1, block).ok());
+  EXPECT_EQ(HexEncode(ByteSpan(block, 64)),
+            "10f1e7e4d13b5915500fdd1fa32071c4c7d1f4c733c068030422aa9ac3d46c4e"
+            "d2826446079faa0914c2d705d98b02a2b5129cd1de164eb9cbd083e8a2503c4e");
+}
+
+// RFC 8439 section 2.4.2: full encryption test.
+TEST(ChaCha20Test, Rfc8439Encryption) {
+  const Bytes key = HexDecode(
+      "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f");
+  const Bytes nonce = HexDecode("000000000000004a00000000");
+  const std::string msg =
+      "Ladies and Gentlemen of the class of '99: If I could offer you only "
+      "one tip for the future, sunscreen would be it.";
+  const Bytes pt(msg.begin(), msg.end());
+  Result<ChaCha20> cipher = ChaCha20::Create(key);
+  ASSERT_TRUE(cipher.ok());
+  Bytes ct(pt.size());
+  ASSERT_TRUE(cipher->Crypt(nonce, 1, pt, ct).ok());
+  EXPECT_EQ(HexEncode(ct),
+            "6e2e359a2568f98041ba0728dd0d6981e97e7aec1d4360c20a27afccfd9fae0b"
+            "f91b65c5524733ab8f593dabcd62b3571639d624e65152ab8f530c359f0861d8"
+            "07ca0dbf500d6a6156a38e088a22b65e52bc514d16ccf806818ce91ab7793736"
+            "5af90bbf74a35be6b40b8eedf2785e42874d");
+}
+
+TEST(ChaCha20Test, RoundTrip) {
+  const Bytes key(32, 0x77);
+  Result<ChaCha20> cipher = ChaCha20::Create(key);
+  ASSERT_TRUE(cipher.ok());
+  const Bytes nonce(12, 0x05);
+  for (size_t len : {0u, 1u, 63u, 64u, 65u, 1000u}) {
+    Bytes pt(len, 0x3c);
+    Bytes ct(len), back(len);
+    ASSERT_TRUE(cipher->Crypt(nonce, 0, pt, ct).ok());
+    ASSERT_TRUE(cipher->Crypt(nonce, 0, ct, back).ok());
+    EXPECT_EQ(pt, back) << "len " << len;
+  }
+}
+
+TEST(ChaCha20Test, RejectsBadKeyAndNonce) {
+  EXPECT_FALSE(ChaCha20::Create(Bytes(16, 0)).ok());
+  EXPECT_FALSE(ChaCha20::Create(Bytes(31, 0)).ok());
+  Result<ChaCha20> cipher = ChaCha20::Create(Bytes(32, 0));
+  ASSERT_TRUE(cipher.ok());
+  uint8_t block[64];
+  EXPECT_FALSE(cipher->KeystreamBlock(Bytes(8, 0), 0, block).ok());
+}
+
+TEST(ChaCha20Test, CounterAdvancesKeystream) {
+  Result<ChaCha20> cipher = ChaCha20::Create(Bytes(32, 0x01));
+  ASSERT_TRUE(cipher.ok());
+  const Bytes nonce(12, 0);
+  uint8_t b0[64], b1[64];
+  ASSERT_TRUE(cipher->KeystreamBlock(nonce, 0, b0).ok());
+  ASSERT_TRUE(cipher->KeystreamBlock(nonce, 1, b1).ok());
+  EXPECT_NE(HexEncode(ByteSpan(b0, 64)), HexEncode(ByteSpan(b1, 64)));
+  // Crypt over 128 zero bytes equals the two keystream blocks concatenated.
+  Bytes zeros(128, 0), out(128);
+  ASSERT_TRUE(cipher->Crypt(nonce, 0, zeros, out).ok());
+  EXPECT_EQ(HexEncode(ByteSpan(out.data(), 64)), HexEncode(ByteSpan(b0, 64)));
+  EXPECT_EQ(HexEncode(ByteSpan(out.data() + 64, 64)),
+            HexEncode(ByteSpan(b1, 64)));
+}
+
+}  // namespace
+}  // namespace shpir::crypto

@@ -1,0 +1,184 @@
+#include "hardware/coprocessor.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "storage/disk.h"
+
+namespace shpir::hardware {
+namespace {
+
+using storage::MemoryDisk;
+using storage::Page;
+
+constexpr size_t kPageSize = 32;
+// nonce 12 + (8 + 32) + tag 32.
+constexpr size_t kSealedSize = 84;
+
+TEST(HardwareProfileTest, Ibm4764MatchesTable2) {
+  const HardwareProfile p = HardwareProfile::Ibm4764();
+  EXPECT_DOUBLE_EQ(p.seek_time_s, 0.005);
+  EXPECT_DOUBLE_EQ(p.disk_rate, 100e6);
+  EXPECT_DOUBLE_EQ(p.link_rate, 80e6);
+  EXPECT_DOUBLE_EQ(p.crypto_rate, 10e6);
+  EXPECT_EQ(p.secure_memory_bytes, 64u * kMB);
+  EXPECT_DOUBLE_EQ(p.network_rtt_s, 0.0);
+}
+
+TEST(HardwareProfileTest, ArrayScalesOnlyMemory) {
+  const HardwareProfile p = HardwareProfile::Ibm4764Array(10);
+  EXPECT_EQ(p.secure_memory_bytes, 640u * kMB);
+  EXPECT_DOUBLE_EQ(p.crypto_rate, 10e6);
+}
+
+TEST(HardwareProfileTest, ModernTeeIsStrictlyFaster) {
+  const HardwareProfile old_hw = HardwareProfile::Ibm4764();
+  const HardwareProfile new_hw = HardwareProfile::ModernTee();
+  EXPECT_LT(new_hw.seek_time_s, old_hw.seek_time_s);
+  EXPECT_GT(new_hw.disk_rate, old_hw.disk_rate);
+  EXPECT_GT(new_hw.link_rate, old_hw.link_rate);
+  EXPECT_GT(new_hw.crypto_rate, old_hw.crypto_rate);
+  EXPECT_GT(new_hw.secure_memory_bytes, old_hw.secure_memory_bytes);
+}
+
+TEST(HardwareProfileTest, TwoPartyOwnerHasNetworkNoLink) {
+  const HardwareProfile p = HardwareProfile::TwoPartyOwner(6 * kGB);
+  EXPECT_EQ(p.secure_memory_bytes, 6u * kGB);
+  EXPECT_DOUBLE_EQ(p.network_rtt_s, 0.050);
+  EXPECT_DOUBLE_EQ(p.link_rate, 0.0);
+  EXPECT_GT(p.network_rate, 0.0);
+}
+
+TEST(CostAccountantTest, SecondsFollowsEq8Structure) {
+  // 4 seeks + known byte volumes must give ts*4 + bytes/rates.
+  CostAccountant cost;
+  cost.AddSeeks(4);
+  cost.AddDiskBytes(1000000);
+  cost.AddLinkBytes(1000000);
+  cost.AddCryptoBytes(1000000);
+  const HardwareProfile p = HardwareProfile::Ibm4764();
+  const double expected =
+      4 * 0.005 + 1e6 / 100e6 + 1e6 / 80e6 + 1e6 / 10e6;
+  EXPECT_DOUBLE_EQ(cost.Seconds(p), expected);
+}
+
+TEST(CostAccountantTest, ZeroRatesContributeNoTime) {
+  CostAccountant cost;
+  cost.AddLinkBytes(12345);
+  HardwareProfile p = HardwareProfile::Ibm4764();
+  p.link_rate = 0.0;
+  EXPECT_DOUBLE_EQ(cost.Seconds(p), 0.0);
+}
+
+TEST(CostAccountantTest, NetworkCosts) {
+  CostAccountant cost;
+  cost.AddNetworkRoundTrips(2);
+  cost.AddNetworkBytes(1000000);
+  HardwareProfile p;
+  p.network_rtt_s = 0.05;
+  p.network_rate = 2e6;
+  p.seek_time_s = 0;
+  EXPECT_DOUBLE_EQ(cost.Seconds(p), 2 * 0.05 + 0.5);
+}
+
+TEST(CostAccountantTest, SnapshotDeltas) {
+  CostAccountant cost;
+  cost.AddSeeks(1);
+  const CostAccountant::Counters before = cost.Snapshot();
+  cost.AddSeeks(3);
+  cost.AddDiskBytes(100);
+  const CostAccountant::Counters delta = cost.Snapshot() - before;
+  EXPECT_EQ(delta.seeks, 3u);
+  EXPECT_EQ(delta.disk_bytes, 100u);
+}
+
+class CoprocessorTest : public ::testing::Test {
+ protected:
+  CoprocessorTest() : disk_(16, kSealedSize) {
+    Result<std::unique_ptr<SecureCoprocessor>> cpu = SecureCoprocessor::Create(
+        HardwareProfile::Ibm4764(), &disk_, kPageSize, 7);
+    SHPIR_CHECK(cpu.ok());
+    cpu_ = std::move(cpu).value();
+  }
+
+  MemoryDisk disk_;
+  std::unique_ptr<SecureCoprocessor> cpu_;
+};
+
+TEST_F(CoprocessorTest, SealOpenRoundTripThroughDisk) {
+  Page page(3, Bytes(kPageSize, 0x44));
+  Result<Bytes> sealed = cpu_->SealPage(page);
+  ASSERT_TRUE(sealed.ok());
+  ASSERT_TRUE(cpu_->WriteSlot(5, *sealed).ok());
+  Result<Bytes> raw = cpu_->ReadSlot(5);
+  ASSERT_TRUE(raw.ok());
+  Result<Page> back = cpu_->OpenPage(*raw);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, page);
+}
+
+TEST_F(CoprocessorTest, RunAccountsOneSeek) {
+  std::vector<Bytes> slots(4, Bytes(kSealedSize, 0));
+  ASSERT_TRUE(cpu_->WriteRun(0, slots).ok());
+  EXPECT_EQ(cpu_->cost().counters().seeks, 1u);
+  EXPECT_EQ(cpu_->cost().counters().disk_bytes, 4u * kSealedSize);
+  EXPECT_EQ(cpu_->cost().counters().link_bytes, 4u * kSealedSize);
+  std::vector<Bytes> out;
+  ASSERT_TRUE(cpu_->ReadRun(0, 4, out).ok());
+  EXPECT_EQ(cpu_->cost().counters().seeks, 2u);
+}
+
+TEST_F(CoprocessorTest, CryptoAccountsPageBytes) {
+  Page page(1, Bytes(kPageSize, 0));
+  ASSERT_TRUE(cpu_->SealPage(page).ok());
+  EXPECT_EQ(cpu_->cost().counters().crypto_bytes, kPageSize);
+}
+
+TEST_F(CoprocessorTest, SecureMemoryBudget) {
+  EXPECT_EQ(cpu_->secure_memory_used(), 0u);
+  ASSERT_TRUE(cpu_->ReserveSecureMemory(1000, "test").ok());
+  EXPECT_EQ(cpu_->secure_memory_used(), 1000u);
+  const Status too_big =
+      cpu_->ReserveSecureMemory(cpu_->secure_memory_capacity(), "big");
+  EXPECT_EQ(too_big.code(), StatusCode::kResourceExhausted);
+  cpu_->ReleaseSecureMemory(1000);
+  EXPECT_EQ(cpu_->secure_memory_used(), 0u);
+}
+
+TEST_F(CoprocessorTest, DeterministicSeedsGiveSameKeys) {
+  MemoryDisk disk2(16, kSealedSize);
+  Result<std::unique_ptr<SecureCoprocessor>> cpu2 = SecureCoprocessor::Create(
+      HardwareProfile::Ibm4764(), &disk2, kPageSize, 7);
+  ASSERT_TRUE(cpu2.ok());
+  // Same seed => same keys and same RNG stream => identical sealed bytes.
+  Page page(9, Bytes(kPageSize, 0x12));
+  Result<Bytes> a = cpu_->SealPage(page);
+  Result<Bytes> b = (*cpu2)->SealPage(page);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*a, *b);
+}
+
+TEST(CoprocessorCreateTest, RejectsMismatchedSlotSize) {
+  MemoryDisk disk(4, 100);  // Not the sealed size for 32-byte pages.
+  Result<std::unique_ptr<SecureCoprocessor>> cpu = SecureCoprocessor::Create(
+      HardwareProfile::Ibm4764(), &disk, kPageSize, 1);
+  EXPECT_FALSE(cpu.ok());
+  EXPECT_EQ(cpu.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CoprocessorCreateTest, RejectsNullDisk) {
+  Result<std::unique_ptr<SecureCoprocessor>> cpu = SecureCoprocessor::Create(
+      HardwareProfile::Ibm4764(), nullptr, kPageSize, 1);
+  EXPECT_FALSE(cpu.ok());
+}
+
+TEST_F(CoprocessorTest, ElapsedSecondsReflectsActivity) {
+  EXPECT_DOUBLE_EQ(cpu_->ElapsedSeconds(), 0.0);
+  std::vector<Bytes> out;
+  ASSERT_TRUE(cpu_->ReadRun(0, 2, out).ok());
+  EXPECT_GT(cpu_->ElapsedSeconds(), 0.005);  // At least the seek.
+}
+
+}  // namespace
+}  // namespace shpir::hardware

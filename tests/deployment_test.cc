@@ -1,0 +1,119 @@
+// Deployment-level scenarios: multi-coprocessor capacity, end-to-end
+// Fig. 4 shape on the real simulator, and Eq. 8 cross-validation sweeps.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/check.h"
+#include "core/capprox_pir.h"
+#include "core/security_parameter.h"
+#include "crypto/secure_random.h"
+#include "hardware/coprocessor.h"
+#include "model/cost_model.h"
+#include "storage/disk.h"
+
+namespace shpir {
+namespace {
+
+constexpr size_t kPageSize = 1000;
+constexpr size_t kSealedSize = 12 + 8 + kPageSize + 32;
+
+/// Simulated mean per-query seconds for a (n, m, k) geometry.
+double MeasureQuerySeconds(uint64_t n, uint64_t m, uint64_t k,
+                           uint64_t seed) {
+  core::CApproxPir::Options options;
+  options.num_pages = n;
+  options.page_size = kPageSize;
+  options.cache_pages = m;
+  options.block_size = k;
+  Result<uint64_t> slots = core::CApproxPir::DiskSlots(options);
+  SHPIR_CHECK(slots.ok());
+  storage::MemoryDisk disk(*slots, kSealedSize);
+  auto cpu = hardware::SecureCoprocessor::Create(
+      hardware::HardwareProfile::Ibm4764(), &disk, kPageSize, seed);
+  SHPIR_CHECK(cpu.ok());
+  auto engine = core::CApproxPir::Create(cpu->get(), options);
+  SHPIR_CHECK(engine.ok());
+  SHPIR_CHECK_OK((*engine)->Initialize({}));
+  crypto::SecureRandom rng(seed + 1);
+  const auto before = (*cpu)->cost().Snapshot();
+  constexpr int kQueries = 30;
+  for (int i = 0; i < kQueries; ++i) {
+    SHPIR_CHECK((*engine)->Retrieve(rng.UniformInt(n)).ok());
+  }
+  const auto delta = (*cpu)->cost().Snapshot() - before;
+  return hardware::CostAccountant::Seconds(
+             delta, hardware::HardwareProfile::Ibm4764()) /
+         kQueries;
+}
+
+TEST(DeploymentTest, MultiUnitArrayUnlocksBiggerCaches) {
+  // A geometry whose Eq. 7 footprint exceeds one 64MB unit but fits
+  // two: pageMap is tiny here, so the cache dominates.
+  core::CApproxPir::Options options;
+  options.num_pages = 200000;
+  options.page_size = kPageSize;
+  options.cache_pages = 100000;  // 100MB of cache pages.
+  options.block_size = 16;
+  Result<uint64_t> slots = core::CApproxPir::DiskSlots(options);
+  ASSERT_TRUE(slots.ok());
+
+  storage::MemoryDisk disk1(*slots, kSealedSize);
+  auto one_unit = hardware::SecureCoprocessor::Create(
+      hardware::HardwareProfile::Ibm4764(), &disk1, kPageSize, 1);
+  ASSERT_TRUE(one_unit.ok());
+  Result<std::unique_ptr<core::CApproxPir>> too_big =
+      core::CApproxPir::Create(one_unit->get(), options);
+  EXPECT_FALSE(too_big.ok());
+  EXPECT_EQ(too_big.status().code(), StatusCode::kResourceExhausted);
+
+  storage::MemoryDisk disk2(*slots, kSealedSize);
+  auto two_units = hardware::SecureCoprocessor::Create(
+      hardware::HardwareProfile::Ibm4764Array(2), &disk2, kPageSize, 2);
+  ASSERT_TRUE(two_units.ok());
+  Result<std::unique_ptr<core::CApproxPir>> fits =
+      core::CApproxPir::Create(two_units->get(), options);
+  EXPECT_TRUE(fits.ok()) << fits.status();
+}
+
+TEST(DeploymentTest, Fig4ShapeHoldsOnTheSimulator) {
+  // Larger cache (at fixed privacy c = 2) means smaller k and lower
+  // simulated response time — Fig. 4's downward curve, measured on the
+  // actual engine rather than the closed form.
+  const uint64_t n = 4096;
+  double prev = 1e9;
+  for (uint64_t m : {64u, 128u, 256u, 512u}) {
+    auto k = core::SecurityParameter::BlockSize(n, m, 2.0);
+    ASSERT_TRUE(k.ok());
+    const double seconds = MeasureQuerySeconds(n, m, *k, m);
+    EXPECT_LT(seconds, prev) << "m=" << m;
+    prev = seconds;
+  }
+}
+
+class Eq8CrossValidation
+    : public ::testing::TestWithParam<std::tuple<uint64_t, uint64_t>> {};
+
+TEST_P(Eq8CrossValidation, SimulatorTracksClosedForm) {
+  const auto [n, k] = GetParam();
+  const double simulated = MeasureQuerySeconds(n, 32, k, n + k);
+  const double analytic = model::CostModel::QuerySeconds(
+      k, kPageSize, hardware::HardwareProfile::Ibm4764());
+  // Allow the sealed-page overhead (52B on 1000B pages, < 6%).
+  EXPECT_NEAR(simulated, analytic, analytic * 0.06)
+      << "n=" << n << " k=" << k;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, Eq8CrossValidation,
+    ::testing::Values(std::tuple{512u, 4u}, std::tuple{512u, 16u},
+                      std::tuple{2048u, 8u}, std::tuple{2048u, 64u},
+                      std::tuple{8192u, 32u}, std::tuple{8192u, 128u}),
+    [](const auto& info) {
+      return "n" + std::to_string(std::get<0>(info.param)) + "k" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace shpir

@@ -1,0 +1,162 @@
+#include "storage/disk.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "storage/access_trace.h"
+#include "storage/file_disk.h"
+
+namespace shpir::storage {
+namespace {
+
+TEST(MemoryDiskTest, ReadBackWhatWasWritten) {
+  MemoryDisk disk(10, 8);
+  Bytes data(8, 0x5a);
+  ASSERT_TRUE(disk.Write(3, data).ok());
+  Bytes out(8);
+  ASSERT_TRUE(disk.Read(3, out).ok());
+  EXPECT_EQ(out, data);
+}
+
+TEST(MemoryDiskTest, FreshDiskIsZeroed) {
+  MemoryDisk disk(4, 16);
+  Bytes out(16, 0xff);
+  ASSERT_TRUE(disk.Read(0, out).ok());
+  EXPECT_EQ(out, Bytes(16, 0));
+}
+
+TEST(MemoryDiskTest, BoundsChecked) {
+  MemoryDisk disk(4, 16);
+  Bytes buf(16);
+  EXPECT_EQ(disk.Read(4, buf).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(disk.Write(4, buf).code(), StatusCode::kOutOfRange);
+}
+
+TEST(MemoryDiskTest, SizeChecked) {
+  MemoryDisk disk(4, 16);
+  Bytes wrong(15);
+  EXPECT_EQ(disk.Read(0, wrong).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(disk.Write(0, wrong).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(MemoryDiskTest, RunsReadAndWriteConsecutiveSlots) {
+  MemoryDisk disk(10, 4);
+  std::vector<Bytes> slots;
+  for (int i = 0; i < 3; ++i) {
+    slots.push_back(Bytes(4, static_cast<uint8_t>(i + 1)));
+  }
+  ASSERT_TRUE(disk.WriteRun(5, slots).ok());
+  std::vector<Bytes> out;
+  ASSERT_TRUE(disk.ReadRun(5, 3, out).ok());
+  EXPECT_EQ(out, slots);
+  // Slot 4 and 8 untouched.
+  Bytes z(4);
+  ASSERT_TRUE(disk.Read(4, z).ok());
+  EXPECT_EQ(z, Bytes(4, 0));
+}
+
+TEST(MemoryDiskTest, RunPastEndRejected) {
+  MemoryDisk disk(10, 4);
+  std::vector<Bytes> out;
+  EXPECT_EQ(disk.ReadRun(8, 3, out).code(), StatusCode::kOutOfRange);
+  std::vector<Bytes> slots(3, Bytes(4, 0));
+  EXPECT_EQ(disk.WriteRun(8, slots).code(), StatusCode::kOutOfRange);
+}
+
+class FileDiskTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "/shpir_file_disk_test.bin";
+    std::remove(path_.c_str());
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_;
+};
+
+TEST_F(FileDiskTest, CreateWriteReadReopen) {
+  {
+    Result<std::unique_ptr<FileDisk>> disk = FileDisk::Create(path_, 8, 32);
+    ASSERT_TRUE(disk.ok()) << disk.status();
+    Bytes data(32, 0x77);
+    ASSERT_TRUE((*disk)->Write(5, data).ok());
+  }
+  Result<std::unique_ptr<FileDisk>> disk = FileDisk::Open(path_, 8, 32);
+  ASSERT_TRUE(disk.ok()) << disk.status();
+  Bytes out(32);
+  ASSERT_TRUE((*disk)->Read(5, out).ok());
+  EXPECT_EQ(out, Bytes(32, 0x77));
+}
+
+TEST_F(FileDiskTest, OpenMissingFileFails) {
+  Result<std::unique_ptr<FileDisk>> disk = FileDisk::Open(path_, 8, 32);
+  EXPECT_FALSE(disk.ok());
+  EXPECT_EQ(disk.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(FileDiskTest, GeometryMismatchRejected) {
+  {
+    Result<std::unique_ptr<FileDisk>> disk = FileDisk::Create(path_, 8, 32);
+    ASSERT_TRUE(disk.ok());
+  }
+  Result<std::unique_ptr<FileDisk>> disk = FileDisk::Open(path_, 9, 32);
+  EXPECT_FALSE(disk.ok());
+  EXPECT_EQ(disk.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(FileDiskTest, BoundsChecked) {
+  Result<std::unique_ptr<FileDisk>> disk = FileDisk::Create(path_, 4, 16);
+  ASSERT_TRUE(disk.ok());
+  Bytes buf(16);
+  EXPECT_EQ((*disk)->Read(4, buf).code(), StatusCode::kOutOfRange);
+}
+
+TEST(TracingDiskTest, RecordsReadsAndWritesWithRequestIndex) {
+  MemoryDisk inner(10, 4);
+  AccessTrace trace;
+  TracingDisk disk(&inner, &trace);
+  Bytes buf(4);
+
+  trace.BeginRequest();
+  ASSERT_TRUE(disk.Read(2, buf).ok());
+  ASSERT_TRUE(disk.Write(7, buf).ok());
+  trace.BeginRequest();
+  ASSERT_TRUE(disk.Read(1, buf).ok());
+
+  ASSERT_EQ(trace.events().size(), 3u);
+  EXPECT_EQ(trace.events()[0],
+            (AccessEvent{AccessEvent::Op::kRead, 2, 0}));
+  EXPECT_EQ(trace.events()[1],
+            (AccessEvent{AccessEvent::Op::kWrite, 7, 0}));
+  EXPECT_EQ(trace.events()[2],
+            (AccessEvent{AccessEvent::Op::kRead, 1, 1}));
+  EXPECT_EQ(trace.num_requests(), 2u);
+}
+
+TEST(TracingDiskTest, PassesDataThrough) {
+  MemoryDisk inner(4, 8);
+  AccessTrace trace;
+  TracingDisk disk(&inner, &trace);
+  trace.BeginRequest();
+  Bytes data(8, 0x42);
+  ASSERT_TRUE(disk.Write(0, data).ok());
+  Bytes out(8);
+  ASSERT_TRUE(inner.Read(0, out).ok());
+  EXPECT_EQ(out, data);
+}
+
+TEST(TracingDiskTest, ClearResetsTrace) {
+  MemoryDisk inner(4, 8);
+  AccessTrace trace;
+  TracingDisk disk(&inner, &trace);
+  trace.BeginRequest();
+  Bytes buf(8);
+  ASSERT_TRUE(disk.Read(0, buf).ok());
+  trace.Clear();
+  EXPECT_TRUE(trace.events().empty());
+  EXPECT_EQ(trace.num_requests(), 0u);
+}
+
+}  // namespace
+}  // namespace shpir::storage

@@ -1,0 +1,107 @@
+#include "storage/page_cipher.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+namespace shpir::storage {
+namespace {
+
+PageCipher MakeCipher(size_t page_size) {
+  Result<PageCipher> cipher =
+      PageCipher::Create(Bytes(32, 0x01), Bytes(32, 0x02), page_size);
+  SHPIR_CHECK(cipher.ok());
+  return std::move(cipher).value();
+}
+
+TEST(PageCipherTest, SealOpenRoundTrip) {
+  PageCipher cipher = MakeCipher(64);
+  crypto::SecureRandom rng(1);
+  Page page(42, Bytes(64, 0x99));
+  Result<Bytes> sealed = cipher.Seal(page, rng);
+  ASSERT_TRUE(sealed.ok());
+  EXPECT_EQ(sealed->size(), cipher.sealed_size());
+  Result<Page> back = cipher.Open(*sealed);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, page);
+}
+
+TEST(PageCipherTest, SealedSizeLayout) {
+  PageCipher cipher = MakeCipher(100);
+  // nonce (12) + id (8) + payload (100) + tag (32).
+  EXPECT_EQ(cipher.sealed_size(), 152u);
+}
+
+TEST(PageCipherTest, ResealingIsUnlinkable) {
+  // The same page sealed twice must give completely different ciphertexts
+  // (fresh nonce) — this is what hides which of the k+1 rewritten pages
+  // actually changed.
+  PageCipher cipher = MakeCipher(32);
+  crypto::SecureRandom rng(2);
+  Page page(7, Bytes(32, 0x55));
+  Result<Bytes> a = cipher.Seal(page, rng);
+  Result<Bytes> b = cipher.Seal(page, rng);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(*a, *b);
+  // Both decrypt to the same page.
+  EXPECT_EQ(*cipher.Open(*a), page);
+  EXPECT_EQ(*cipher.Open(*b), page);
+}
+
+TEST(PageCipherTest, TamperedCiphertextRejected) {
+  PageCipher cipher = MakeCipher(32);
+  crypto::SecureRandom rng(3);
+  Page page(1, Bytes(32, 0x11));
+  Bytes sealed = *cipher.Seal(page, rng);
+  for (size_t pos : {size_t{0}, size_t{12}, size_t{30}, sealed.size() - 1}) {
+    Bytes tampered = sealed;
+    tampered[pos] ^= 0x01;
+    Result<Page> result = cipher.Open(tampered);
+    EXPECT_FALSE(result.ok()) << "tamper at " << pos;
+    EXPECT_EQ(result.status().code(), StatusCode::kDataLoss);
+  }
+}
+
+TEST(PageCipherTest, WrongSizeRejected) {
+  PageCipher cipher = MakeCipher(32);
+  Bytes wrong(cipher.sealed_size() - 1, 0);
+  EXPECT_EQ(cipher.Open(wrong).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(PageCipherTest, DifferentKeysCannotOpen) {
+  crypto::SecureRandom rng(4);
+  PageCipher a = MakeCipher(16);
+  Result<PageCipher> b =
+      PageCipher::Create(Bytes(32, 0x0a), Bytes(32, 0x0b), 16);
+  ASSERT_TRUE(b.ok());
+  Page page(3, Bytes(16, 0x33));
+  Bytes sealed = *a.Seal(page, rng);
+  EXPECT_FALSE(b->Open(sealed).ok());
+}
+
+TEST(PageCipherTest, CiphertextHidesPlaintextStructure) {
+  // An all-zeros page must not produce an all-zeros ciphertext body.
+  PageCipher cipher = MakeCipher(64);
+  crypto::SecureRandom rng(5);
+  Page page(0, Bytes(64, 0x00));
+  Bytes sealed = *cipher.Seal(page, rng);
+  int zeros = 0;
+  for (size_t i = PageCipher::kNonceSize; i < sealed.size(); ++i) {
+    if (sealed[i] == 0) {
+      ++zeros;
+    }
+  }
+  EXPECT_LT(zeros, 16);  // Random-looking: expect ~ (size/256) zeros.
+}
+
+TEST(PageCipherTest, RejectsZeroPageSize) {
+  EXPECT_FALSE(PageCipher::Create(Bytes(32, 0), Bytes(32, 0), 0).ok());
+}
+
+TEST(PageCipherTest, RejectsBadKey) {
+  EXPECT_FALSE(PageCipher::Create(Bytes(10, 0), Bytes(32, 0), 16).ok());
+}
+
+}  // namespace
+}  // namespace shpir::storage

@@ -1,0 +1,77 @@
+#include "storage/page_codec.h"
+
+#include <gtest/gtest.h>
+
+namespace shpir::storage {
+namespace {
+
+TEST(PageCodecTest, RoundTrip) {
+  PageCodec codec(64);
+  Page page(7, Bytes(64, 0xab));
+  Bytes buf(codec.serialized_size());
+  ASSERT_TRUE(codec.Serialize(page, buf).ok());
+  Result<Page> back = codec.Deserialize(buf);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, page);
+}
+
+TEST(PageCodecTest, SerializedSizeIsHeaderPlusPayload) {
+  PageCodec codec(100);
+  EXPECT_EQ(codec.serialized_size(), 108u);
+  EXPECT_EQ(codec.page_size(), 100u);
+}
+
+TEST(PageCodecTest, ShortPayloadIsZeroPadded) {
+  PageCodec codec(16);
+  Page page(1, Bytes{1, 2, 3});
+  Bytes buf(codec.serialized_size(), 0xff);
+  ASSERT_TRUE(codec.Serialize(page, buf).ok());
+  Result<Page> back = codec.Deserialize(buf);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->id, 1u);
+  ASSERT_EQ(back->data.size(), 16u);
+  EXPECT_EQ(back->data[0], 1);
+  EXPECT_EQ(back->data[2], 3);
+  for (size_t i = 3; i < 16; ++i) {
+    EXPECT_EQ(back->data[i], 0) << i;
+  }
+}
+
+TEST(PageCodecTest, OversizedPayloadRejected) {
+  PageCodec codec(8);
+  Page page(1, Bytes(9, 0));
+  Bytes buf(codec.serialized_size());
+  EXPECT_EQ(codec.Serialize(page, buf).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(PageCodecTest, WrongBufferSizesRejected) {
+  PageCodec codec(8);
+  Page page(1, Bytes(8, 0));
+  Bytes small(codec.serialized_size() - 1);
+  EXPECT_FALSE(codec.Serialize(page, small).ok());
+  EXPECT_FALSE(codec.Deserialize(small).ok());
+}
+
+TEST(PageCodecTest, DummyPageIdSurvives) {
+  PageCodec codec(4);
+  Page dummy(kDummyPageId, Bytes(4, 0));
+  EXPECT_TRUE(dummy.is_dummy());
+  Bytes buf(codec.serialized_size());
+  ASSERT_TRUE(codec.Serialize(dummy, buf).ok());
+  Result<Page> back = codec.Deserialize(buf);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back->is_dummy());
+}
+
+TEST(PageCodecTest, LargeIdsRoundTrip) {
+  PageCodec codec(4);
+  for (PageId id : {0ull, 1ull, 1ull << 32, (1ull << 63) + 5}) {
+    Page page(id, Bytes(4, 1));
+    Bytes buf(codec.serialized_size());
+    ASSERT_TRUE(codec.Serialize(page, buf).ok());
+    EXPECT_EQ(codec.Deserialize(buf)->id, id);
+  }
+}
+
+}  // namespace
+}  // namespace shpir::storage

@@ -1,0 +1,49 @@
+#include "core/page_map.h"
+
+#include <gtest/gtest.h>
+
+namespace shpir::core {
+namespace {
+
+TEST(PageMapTest, DiskLocations) {
+  PageMap map(10);
+  map.SetDiskLocation(3, 77);
+  EXPECT_FALSE(map.IsCached(3));
+  EXPECT_EQ(map.DiskLocation(3), 77u);
+}
+
+TEST(PageMapTest, CacheIndices) {
+  PageMap map(10);
+  map.SetCacheIndex(5, 2);
+  EXPECT_TRUE(map.IsCached(5));
+  EXPECT_EQ(map.CacheIndex(5), 2u);
+}
+
+TEST(PageMapTest, TransitionsBetweenStates) {
+  PageMap map(4);
+  map.SetDiskLocation(0, 9);
+  map.SetCacheIndex(0, 1);
+  EXPECT_TRUE(map.IsCached(0));
+  EXPECT_EQ(map.CacheIndex(0), 1u);
+  map.SetDiskLocation(0, 3);
+  EXPECT_FALSE(map.IsCached(0));
+  EXPECT_EQ(map.DiskLocation(0), 3u);
+}
+
+TEST(PageMapTest, SizeReported) {
+  PageMap map(123);
+  EXPECT_EQ(map.size(), 123u);
+}
+
+TEST(PageMapTest, StorageBytesMatchesEq7) {
+  // n * (log2(n) + 1) bits. For n = 1e6: 1e6 * 21 bits = 2.625 MB.
+  EXPECT_EQ(PageMap::StorageBytes(1000000), 2625000u);
+  // For n = 1e9: 1e9 * 31 bits = 3.875 GB.
+  EXPECT_EQ(PageMap::StorageBytes(1000000000), 3875000000u);
+  EXPECT_EQ(PageMap::StorageBytes(0), 0u);
+  // Exact power of two: log2(1024) = 10, 1024 * 11 / 8 = 1408.
+  EXPECT_EQ(PageMap::StorageBytes(1024), 1408u);
+}
+
+}  // namespace
+}  // namespace shpir::core

@@ -1,0 +1,81 @@
+#include "crypto/permutation.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+namespace shpir::crypto {
+namespace {
+
+TEST(PermutationTest, IsValidPermutation) {
+  SecureRandom rng(1);
+  for (uint64_t n : {0ull, 1ull, 2ull, 10ull, 1000ull}) {
+    const std::vector<uint64_t> perm = RandomPermutation(n, rng);
+    ASSERT_EQ(perm.size(), n);
+    EXPECT_TRUE(IsPermutation(perm)) << "n=" << n;
+  }
+}
+
+TEST(PermutationTest, InverseComposesToIdentity) {
+  SecureRandom rng(2);
+  const std::vector<uint64_t> perm = RandomPermutation(500, rng);
+  const std::vector<uint64_t> inv = InvertPermutation(perm);
+  for (uint64_t i = 0; i < perm.size(); ++i) {
+    EXPECT_EQ(inv[perm[i]], i);
+    EXPECT_EQ(perm[inv[i]], i);
+  }
+}
+
+TEST(PermutationTest, IsPermutationRejectsNonPermutations) {
+  EXPECT_FALSE(IsPermutation({0, 0}));
+  EXPECT_FALSE(IsPermutation({1, 2}));
+  EXPECT_FALSE(IsPermutation({0, 1, 3}));
+  EXPECT_TRUE(IsPermutation({}));
+  EXPECT_TRUE(IsPermutation({2, 0, 1}));
+}
+
+TEST(PermutationTest, ShuffleIsUniformOverSmallDomain) {
+  // All 6 permutations of 3 elements should appear with equal frequency.
+  SecureRandom rng(3);
+  std::map<std::vector<int>, int> counts;
+  constexpr int kTrials = 60000;
+  for (int t = 0; t < kTrials; ++t) {
+    std::vector<int> v = {0, 1, 2};
+    Shuffle(v, rng);
+    counts[v]++;
+  }
+  ASSERT_EQ(counts.size(), 6u);
+  for (const auto& [perm, count] : counts) {
+    EXPECT_GT(count, 9200);
+    EXPECT_LT(count, 10800);
+  }
+}
+
+TEST(PermutationTest, EachElementEquallyLikelyInEachSlot) {
+  SecureRandom rng(4);
+  constexpr uint64_t kN = 8;
+  constexpr int kTrials = 40000;
+  std::vector<std::vector<int>> slot_counts(kN, std::vector<int>(kN, 0));
+  for (int t = 0; t < kTrials; ++t) {
+    const std::vector<uint64_t> perm = RandomPermutation(kN, rng);
+    for (uint64_t i = 0; i < kN; ++i) {
+      slot_counts[i][perm[i]]++;
+    }
+  }
+  const double expected = static_cast<double>(kTrials) / kN;
+  for (uint64_t i = 0; i < kN; ++i) {
+    for (uint64_t j = 0; j < kN; ++j) {
+      EXPECT_GT(slot_counts[i][j], expected * 0.85);
+      EXPECT_LT(slot_counts[i][j], expected * 1.15);
+    }
+  }
+}
+
+TEST(PermutationTest, DeterministicWithSeed) {
+  SecureRandom a(99), b(99);
+  EXPECT_EQ(RandomPermutation(100, a), RandomPermutation(100, b));
+}
+
+}  // namespace
+}  // namespace shpir::crypto

@@ -1,0 +1,235 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+
+#include "common/check.h"
+#include "core/capprox_pir.h"
+#include "crypto/blob_cipher.h"
+#include "crypto/secure_random.h"
+#include "hardware/coprocessor.h"
+#include "storage/disk.h"
+#include "storage/file_disk.h"
+
+namespace shpir::core {
+namespace {
+
+using storage::Page;
+using storage::PageId;
+
+constexpr size_t kPageSize = 32;
+constexpr size_t kSealedSize = 12 + 8 + kPageSize + 32;
+constexpr uint64_t kDeviceSeed = 777;
+
+CApproxPir::Options MakeOptions() {
+  CApproxPir::Options options;
+  options.num_pages = 40;
+  options.page_size = kPageSize;
+  options.cache_pages = 6;
+  options.block_size = 8;
+  options.insert_reserve = 4;
+  return options;
+}
+
+Bytes PayloadFor(PageId id) { return Bytes(kPageSize, static_cast<uint8_t>(id + 1)); }
+
+TEST(PersistenceTest, StateRoundTripsAcrossEngineInstances) {
+  const CApproxPir::Options options = MakeOptions();
+  Result<uint64_t> slots = CApproxPir::DiskSlots(options);
+  ASSERT_TRUE(slots.ok());
+  storage::MemoryDisk disk(*slots, kSealedSize);
+
+  Bytes state;
+  {
+    auto cpu = hardware::SecureCoprocessor::Create(
+        hardware::HardwareProfile::Ibm4764(), &disk, kPageSize, kDeviceSeed);
+    ASSERT_TRUE(cpu.ok());
+    auto engine = CApproxPir::Create(cpu->get(), options);
+    ASSERT_TRUE(engine.ok());
+    std::vector<Page> pages;
+    for (PageId id = 0; id < options.num_pages; ++id) {
+      pages.emplace_back(id, PayloadFor(id));
+    }
+    ASSERT_TRUE((*engine)->Initialize(pages).ok());
+    // Churn, plus an update and a delete so the state is non-trivial.
+    crypto::SecureRandom rng(1);
+    for (int i = 0; i < 200; ++i) {
+      ASSERT_TRUE((*engine)->Retrieve(rng.UniformInt(40)).ok());
+    }
+    ASSERT_TRUE((*engine)->Modify(5, PayloadFor(99)).ok());
+    ASSERT_TRUE((*engine)->Remove(6).ok());
+    Result<Bytes> serialized = (*engine)->SerializeState();
+    ASSERT_TRUE(serialized.ok());
+    state = *serialized;
+  }
+
+  // New session: same disk contents, same device seed (same keys).
+  auto cpu = hardware::SecureCoprocessor::Create(
+      hardware::HardwareProfile::Ibm4764(), &disk, kPageSize, kDeviceSeed);
+  ASSERT_TRUE(cpu.ok());
+  auto engine = CApproxPir::Create(cpu->get(), options);
+  ASSERT_TRUE(engine.ok());
+  ASSERT_TRUE((*engine)->RestoreState(state).ok());
+
+  EXPECT_EQ(*(*engine)->Retrieve(5), PayloadFor(99));
+  EXPECT_FALSE((*engine)->Retrieve(6).ok());
+  crypto::SecureRandom rng(2);
+  for (int i = 0; i < 200; ++i) {
+    PageId id = rng.UniformInt(40);
+    if (id == 6) {
+      continue;
+    }
+    const Bytes expected = id == 5 ? PayloadFor(99) : PayloadFor(id);
+    ASSERT_EQ(*(*engine)->Retrieve(id), expected) << "id " << id;
+  }
+  // Stats carried over (200 queries before + the sweep here).
+  EXPECT_GT((*engine)->stats().queries, 200u);
+}
+
+TEST(PersistenceTest, SurvivesFileDiskReopen) {
+  const std::string path = ::testing::TempDir() + "/shpir_persist.bin";
+  std::remove(path.c_str());
+  const CApproxPir::Options options = MakeOptions();
+  Result<uint64_t> slots = CApproxPir::DiskSlots(options);
+  ASSERT_TRUE(slots.ok());
+
+  Bytes state;
+  {
+    auto disk = storage::FileDisk::Create(path, *slots, kSealedSize);
+    ASSERT_TRUE(disk.ok());
+    auto cpu = hardware::SecureCoprocessor::Create(
+        hardware::HardwareProfile::Ibm4764(), disk->get(), kPageSize,
+        kDeviceSeed);
+    ASSERT_TRUE(cpu.ok());
+    auto engine = CApproxPir::Create(cpu->get(), options);
+    ASSERT_TRUE(engine.ok());
+    std::vector<Page> pages;
+    for (PageId id = 0; id < options.num_pages; ++id) {
+      pages.emplace_back(id, PayloadFor(id));
+    }
+    ASSERT_TRUE((*engine)->Initialize(pages).ok());
+    for (int i = 0; i < 50; ++i) {
+      ASSERT_TRUE((*engine)->Retrieve(static_cast<PageId>(i % 40)).ok());
+    }
+    state = *(*engine)->SerializeState();
+  }
+
+  {
+    auto disk = storage::FileDisk::Open(path, *slots, kSealedSize);
+    ASSERT_TRUE(disk.ok());
+    auto cpu = hardware::SecureCoprocessor::Create(
+        hardware::HardwareProfile::Ibm4764(), disk->get(), kPageSize,
+        kDeviceSeed);
+    ASSERT_TRUE(cpu.ok());
+    auto engine = CApproxPir::Create(cpu->get(), options);
+    ASSERT_TRUE(engine.ok());
+    ASSERT_TRUE((*engine)->RestoreState(state).ok());
+    for (PageId id = 0; id < 40; ++id) {
+      ASSERT_EQ(*(*engine)->Retrieve(id), PayloadFor(id)) << id;
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(PersistenceTest, SealedStateBlobRoundTrip) {
+  // The snapshot wrapped with BlobCipher, as a deployment would store it.
+  const CApproxPir::Options options = MakeOptions();
+  Result<uint64_t> slots = CApproxPir::DiskSlots(options);
+  ASSERT_TRUE(slots.ok());
+  storage::MemoryDisk disk(*slots, kSealedSize);
+  auto cpu = hardware::SecureCoprocessor::Create(
+      hardware::HardwareProfile::Ibm4764(), &disk, kPageSize, kDeviceSeed);
+  ASSERT_TRUE(cpu.ok());
+  auto engine = CApproxPir::Create(cpu->get(), options);
+  ASSERT_TRUE(engine.ok());
+  ASSERT_TRUE((*engine)->Initialize({}).ok());
+  const Bytes state = *(*engine)->SerializeState();
+
+  auto cipher = crypto::BlobCipher::FromPassphrase("device escrow");
+  ASSERT_TRUE(cipher.ok());
+  crypto::SecureRandom rng(9);
+  const Bytes sealed = *cipher->Seal(state, rng);
+  EXPECT_EQ(*cipher->Open(sealed), state);
+}
+
+TEST(PersistenceTest, GeometryMismatchRejected) {
+  CApproxPir::Options options = MakeOptions();
+  Result<uint64_t> slots = CApproxPir::DiskSlots(options);
+  ASSERT_TRUE(slots.ok());
+  storage::MemoryDisk disk(*slots, kSealedSize);
+  auto cpu = hardware::SecureCoprocessor::Create(
+      hardware::HardwareProfile::Ibm4764(), &disk, kPageSize, 1);
+  ASSERT_TRUE(cpu.ok());
+  auto engine = CApproxPir::Create(cpu->get(), options);
+  ASSERT_TRUE(engine.ok());
+  ASSERT_TRUE((*engine)->Initialize({}).ok());
+  Bytes state = *(*engine)->SerializeState();
+
+  // Different cache size -> geometry check must fire.
+  CApproxPir::Options other = options;
+  other.cache_pages = 8;
+  Result<uint64_t> slots2 = CApproxPir::DiskSlots(other);
+  ASSERT_TRUE(slots2.ok());
+  storage::MemoryDisk disk2(*slots2, kSealedSize);
+  auto cpu2 = hardware::SecureCoprocessor::Create(
+      hardware::HardwareProfile::Ibm4764(), &disk2, kPageSize, 1);
+  ASSERT_TRUE(cpu2.ok());
+  auto engine2 = CApproxPir::Create(cpu2->get(), other);
+  ASSERT_TRUE(engine2.ok());
+  EXPECT_EQ((*engine2)->RestoreState(state).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(PersistenceTest, CorruptStateRejected) {
+  const CApproxPir::Options options = MakeOptions();
+  Result<uint64_t> slots = CApproxPir::DiskSlots(options);
+  ASSERT_TRUE(slots.ok());
+  storage::MemoryDisk disk(*slots, kSealedSize);
+  auto cpu = hardware::SecureCoprocessor::Create(
+      hardware::HardwareProfile::Ibm4764(), &disk, kPageSize, 1);
+  ASSERT_TRUE(cpu.ok());
+  auto engine = CApproxPir::Create(cpu->get(), options);
+  ASSERT_TRUE(engine.ok());
+  ASSERT_TRUE((*engine)->Initialize({}).ok());
+  Bytes state = *(*engine)->SerializeState();
+
+  auto restore_into_fresh = [&](const Bytes& blob) -> Status {
+    storage::MemoryDisk d(*slots, kSealedSize);
+    auto c = hardware::SecureCoprocessor::Create(
+        hardware::HardwareProfile::Ibm4764(), &d, kPageSize, 1);
+    SHPIR_CHECK(c.ok());
+    auto e = CApproxPir::Create(c->get(), options);
+    SHPIR_CHECK(e.ok());
+    return (*e)->RestoreState(blob);
+  };
+
+  // Truncated.
+  Bytes truncated(state.begin(), state.begin() + 40);
+  EXPECT_FALSE(restore_into_fresh(truncated).ok());
+  // Bad magic.
+  Bytes bad_magic = state;
+  bad_magic[0] ^= 0xff;
+  EXPECT_FALSE(restore_into_fresh(bad_magic).ok());
+  // Trailing garbage.
+  Bytes trailing = state;
+  trailing.push_back(0);
+  EXPECT_FALSE(restore_into_fresh(trailing).ok());
+  // The pristine blob still restores.
+  EXPECT_TRUE(restore_into_fresh(state).ok());
+}
+
+TEST(PersistenceTest, SerializeRequiresInitialized) {
+  const CApproxPir::Options options = MakeOptions();
+  Result<uint64_t> slots = CApproxPir::DiskSlots(options);
+  ASSERT_TRUE(slots.ok());
+  storage::MemoryDisk disk(*slots, kSealedSize);
+  auto cpu = hardware::SecureCoprocessor::Create(
+      hardware::HardwareProfile::Ibm4764(), &disk, kPageSize, 1);
+  ASSERT_TRUE(cpu.ok());
+  auto engine = CApproxPir::Create(cpu->get(), options);
+  ASSERT_TRUE(engine.ok());
+  EXPECT_FALSE((*engine)->SerializeState().ok());
+}
+
+}  // namespace
+}  // namespace shpir::core

@@ -1,0 +1,78 @@
+#include "model/related_work_model.h"
+
+#include <gtest/gtest.h>
+
+namespace shpir::model {
+namespace {
+
+const SchemeCost* Find(const std::vector<SchemeCost>& schemes,
+                       const std::string& name) {
+  for (const auto& scheme : schemes) {
+    if (scheme.name == name) {
+      return &scheme;
+    }
+  }
+  return nullptr;
+}
+
+TEST(RelatedWorkModelTest, AllFamiliesPresent) {
+  const auto schemes = CompareSchemes(1000000, 10000, 145);
+  EXPECT_EQ(schemes.size(), 5u);
+  for (const char* name :
+       {"trivial", "wang06", "sqrt-oram", "pyramid-oram", "c-approx"}) {
+    EXPECT_NE(Find(schemes, name), nullptr) << name;
+  }
+}
+
+TEST(RelatedWorkModelTest, CApproxWorstEqualsAmortized) {
+  const auto schemes = CompareSchemes(1000000, 10000, 145);
+  const SchemeCost* capprox = Find(schemes, "c-approx");
+  ASSERT_NE(capprox, nullptr);
+  EXPECT_DOUBLE_EQ(capprox->worst_case_pages, capprox->amortized_pages);
+  EXPECT_DOUBLE_EQ(capprox->amortized_pages, 2.0 * 146);
+  EXPECT_FALSE(capprox->perfect_privacy);
+}
+
+TEST(RelatedWorkModelTest, PerfectPrivacySchemesHaveLinearWorstCase) {
+  const uint64_t n = 1000000;
+  const auto schemes = CompareSchemes(n, 10000, 145);
+  for (const char* name : {"wang06", "sqrt-oram", "pyramid-oram"}) {
+    const SchemeCost* scheme = Find(schemes, name);
+    ASSERT_NE(scheme, nullptr);
+    EXPECT_TRUE(scheme->perfect_privacy);
+    EXPECT_GE(scheme->worst_case_pages, static_cast<double>(n)) << name;
+    EXPECT_LT(scheme->amortized_pages, static_cast<double>(n)) << name;
+  }
+}
+
+TEST(RelatedWorkModelTest, WangAmortizedMatchesFormula) {
+  // 1 page/query + 2n-page reshuffle every m queries.
+  const auto schemes = CompareSchemes(1000, 100, 10);
+  const SchemeCost* wang = Find(schemes, "wang06");
+  ASSERT_NE(wang, nullptr);
+  EXPECT_DOUBLE_EQ(wang->amortized_pages, 1.0 + 2.0 * 1000 / 100);
+}
+
+TEST(RelatedWorkModelTest, PagesToSecondsStructure) {
+  hardware::HardwareProfile profile = hardware::HardwareProfile::Ibm4764();
+  // 1 page of 1KB with 0 seeks: transfer + link + crypto terms.
+  const double seconds = PagesToSeconds(1.0, 1000, 0, profile);
+  EXPECT_NEAR(seconds, 1000.0 * (1 / 100e6 + 1 / 80e6 + 1 / 10e6), 1e-12);
+  // Seeks add linearly.
+  EXPECT_NEAR(PagesToSeconds(1.0, 1000, 4, profile) - seconds, 0.02,
+              1e-12);
+}
+
+TEST(RelatedWorkModelTest, BiggerDatabasesWidenTheGap) {
+  const auto small = CompareSchemes(1000000, 10000, 145);
+  const auto big = CompareSchemes(100000000, 1000000, 145);
+  const double small_gap =
+      Find(small, "pyramid-oram")->worst_case_pages /
+      Find(small, "c-approx")->worst_case_pages;
+  const double big_gap = Find(big, "pyramid-oram")->worst_case_pages /
+                         Find(big, "c-approx")->worst_case_pages;
+  EXPECT_GT(big_gap, small_gap);
+}
+
+}  // namespace
+}  // namespace shpir::model

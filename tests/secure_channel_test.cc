@@ -1,0 +1,202 @@
+#include "net/secure_channel.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/check.h"
+#include "core/capprox_pir.h"
+#include "crypto/secure_random.h"
+#include "hardware/coprocessor.h"
+#include "net/pir_service.h"
+#include "storage/disk.h"
+
+namespace shpir::net {
+namespace {
+
+struct SessionPair {
+  SecureSession client;
+  SecureSession server;
+};
+
+SessionPair MakePair(const Bytes& psk = Bytes(32, 0x42)) {
+  crypto::SecureRandom rng(1);
+  Bytes client_nonce(SecureSession::kNonceSize);
+  Bytes server_nonce(SecureSession::kNonceSize);
+  rng.Fill(client_nonce);
+  rng.Fill(server_nonce);
+  Result<SecureSession> client = SecureSession::Establish(
+      psk, SecureSession::Role::kClient, client_nonce, server_nonce);
+  Result<SecureSession> server = SecureSession::Establish(
+      psk, SecureSession::Role::kServer, client_nonce, server_nonce);
+  SHPIR_CHECK(client.ok());
+  SHPIR_CHECK(server.ok());
+  return SessionPair{std::move(client).value(), std::move(server).value()};
+}
+
+TEST(SecureSessionTest, BidirectionalRoundTrip) {
+  SessionPair pair = MakePair();
+  const Bytes request = {1, 2, 3, 4, 5};
+  Result<Bytes> sealed = pair.client.Seal(request);
+  ASSERT_TRUE(sealed.ok());
+  Result<Bytes> opened = pair.server.Open(*sealed);
+  ASSERT_TRUE(opened.ok());
+  EXPECT_EQ(*opened, request);
+
+  const Bytes response = {9, 8, 7};
+  Result<Bytes> sealed_back = pair.server.Seal(response);
+  ASSERT_TRUE(sealed_back.ok());
+  Result<Bytes> opened_back = pair.client.Open(*sealed_back);
+  ASSERT_TRUE(opened_back.ok());
+  EXPECT_EQ(*opened_back, response);
+}
+
+TEST(SecureSessionTest, ManyMessagesKeepSequence) {
+  SessionPair pair = MakePair();
+  for (int i = 0; i < 100; ++i) {
+    Bytes msg(10, static_cast<uint8_t>(i));
+    Result<Bytes> sealed = pair.client.Seal(msg);
+    ASSERT_TRUE(sealed.ok());
+    Result<Bytes> opened = pair.server.Open(*sealed);
+    ASSERT_TRUE(opened.ok()) << i << ": " << opened.status();
+    EXPECT_EQ(*opened, msg);
+  }
+  EXPECT_EQ(pair.client.send_sequence(), 100u);
+  EXPECT_EQ(pair.server.recv_sequence(), 100u);
+}
+
+TEST(SecureSessionTest, ReplayRejected) {
+  SessionPair pair = MakePair();
+  Bytes sealed = *pair.client.Seal(Bytes{1});
+  ASSERT_TRUE(pair.server.Open(sealed).ok());
+  Result<Bytes> replayed = pair.server.Open(sealed);
+  EXPECT_FALSE(replayed.ok());
+  EXPECT_EQ(replayed.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(SecureSessionTest, ReorderingRejected) {
+  SessionPair pair = MakePair();
+  Bytes first = *pair.client.Seal(Bytes{1});
+  Bytes second = *pair.client.Seal(Bytes{2});
+  EXPECT_FALSE(pair.server.Open(second).ok());
+  // The in-order record still works.
+  EXPECT_TRUE(pair.server.Open(first).ok());
+}
+
+TEST(SecureSessionTest, TamperingRejected) {
+  SessionPair pair = MakePair();
+  Bytes sealed = *pair.client.Seal(Bytes(32, 0x11));
+  for (size_t pos : {size_t{0}, size_t{10}, sealed.size() - 1}) {
+    Bytes tampered = sealed;
+    tampered[pos] ^= 1;
+    EXPECT_FALSE(pair.server.Open(tampered).ok()) << pos;
+  }
+}
+
+TEST(SecureSessionTest, WrongPskCannotTalk) {
+  crypto::SecureRandom rng(2);
+  Bytes cn(16), sn(16);
+  rng.Fill(cn);
+  rng.Fill(sn);
+  auto client = SecureSession::Establish(Bytes(32, 0x01),
+                                         SecureSession::Role::kClient, cn, sn);
+  auto server = SecureSession::Establish(Bytes(32, 0x02),
+                                         SecureSession::Role::kServer, cn, sn);
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(server.ok());
+  Bytes sealed = *client->Seal(Bytes{1, 2, 3});
+  EXPECT_FALSE(server->Open(sealed).ok());
+}
+
+TEST(SecureSessionTest, DirectionsUseDistinctKeys) {
+  SessionPair pair = MakePair();
+  // A record sealed by the client must not open as a server record on
+  // the client itself (directional keys differ).
+  Bytes sealed = *pair.client.Seal(Bytes{5});
+  EXPECT_FALSE(pair.client.Open(sealed).ok());
+}
+
+TEST(SecureSessionTest, Validation) {
+  EXPECT_FALSE(SecureSession::Establish(Bytes{}, SecureSession::Role::kClient,
+                                        Bytes(16, 0), Bytes(16, 0))
+                   .ok());
+  EXPECT_FALSE(SecureSession::Establish(Bytes(32, 1),
+                                        SecureSession::Role::kClient,
+                                        Bytes(15, 0), Bytes(16, 0))
+                   .ok());
+}
+
+TEST(PirServiceTest, EndToEndThreePartyModel) {
+  // Full Fig. 1: client <-> (relay) <-> secure hardware hosting the
+  // engine. The relay (this test) sees only sealed records.
+  constexpr size_t kPageSize = 32;
+  core::CApproxPir::Options options;
+  options.num_pages = 30;
+  options.page_size = kPageSize;
+  options.cache_pages = 4;
+  options.block_size = 5;
+  options.insert_reserve = 4;
+  auto slots = core::CApproxPir::DiskSlots(options);
+  ASSERT_TRUE(slots.ok());
+  storage::MemoryDisk disk(*slots, 12 + 8 + kPageSize + 32);
+  auto cpu = hardware::SecureCoprocessor::Create(
+      hardware::HardwareProfile::Ibm4764(), &disk, kPageSize, 3);
+  ASSERT_TRUE(cpu.ok());
+  auto engine = core::CApproxPir::Create(cpu->get(), options);
+  ASSERT_TRUE(engine.ok());
+  std::vector<storage::Page> pages;
+  for (uint64_t id = 0; id < 30; ++id) {
+    pages.emplace_back(id, Bytes(kPageSize, static_cast<uint8_t>(id + 1)));
+  }
+  ASSERT_TRUE((*engine)->Initialize(pages).ok());
+
+  SessionPair sessions = MakePair();
+  PirServiceServer server(engine->get(), std::move(sessions.server));
+  PirServiceClient client(
+      std::move(sessions.client),
+      [&server](ByteSpan record) { return server.HandleRecord(record); });
+
+  // Retrieve.
+  Result<Bytes> data = client.Retrieve(7);
+  ASSERT_TRUE(data.ok()) << data.status();
+  EXPECT_EQ(*data, Bytes(kPageSize, 8));
+  // Modify.
+  ASSERT_TRUE(client.Modify(7, Bytes(kPageSize, 0xEE)).ok());
+  EXPECT_EQ(*client.Retrieve(7), Bytes(kPageSize, 0xEE));
+  // Insert.
+  Result<storage::PageId> id = client.Insert(Bytes(kPageSize, 0xAB));
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(*client.Retrieve(*id), Bytes(kPageSize, 0xAB));
+  // Remove.
+  ASSERT_TRUE(client.Remove(3).ok());
+  Result<Bytes> gone = client.Retrieve(3);
+  EXPECT_FALSE(gone.ok());
+  EXPECT_NE(gone.status().message().find("NOT_FOUND"), std::string::npos);
+}
+
+TEST(PirServiceTest, MalformedRecordsRejected) {
+  constexpr size_t kPageSize = 32;
+  core::CApproxPir::Options options;
+  options.num_pages = 10;
+  options.page_size = kPageSize;
+  options.cache_pages = 2;
+  options.block_size = 2;
+  auto slots = core::CApproxPir::DiskSlots(options);
+  ASSERT_TRUE(slots.ok());
+  storage::MemoryDisk disk(*slots, 12 + 8 + kPageSize + 32);
+  auto cpu = hardware::SecureCoprocessor::Create(
+      hardware::HardwareProfile::Ibm4764(), &disk, kPageSize, 4);
+  ASSERT_TRUE(cpu.ok());
+  auto engine = core::CApproxPir::Create(cpu->get(), options);
+  ASSERT_TRUE(engine.ok());
+  ASSERT_TRUE((*engine)->Initialize({}).ok());
+
+  SessionPair sessions = MakePair();
+  PirServiceServer server(engine->get(), std::move(sessions.server));
+  // Garbage that is not even a valid record.
+  EXPECT_FALSE(server.HandleRecord(Bytes(3, 0)).ok());
+  EXPECT_FALSE(server.HandleRecord(Bytes(100, 0x55)).ok());
+}
+
+}  // namespace
+}  // namespace shpir::net

@@ -1,0 +1,106 @@
+#include "crypto/secure_random.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace shpir::crypto {
+namespace {
+
+TEST(SecureRandomTest, DeterministicSeedsReproduce) {
+  SecureRandom a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(SecureRandomTest, DifferentSeedsDiffer) {
+  SecureRandom a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextUint64() == b.NextUint64()) {
+      ++equal;
+    }
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(SecureRandomTest, FillCoversArbitraryLengths) {
+  SecureRandom rng(3);
+  // Fill in odd-sized chunks must match one big fill from the same seed.
+  Bytes big(257);
+  SecureRandom rng2(3);
+  rng2.Fill(big);
+  Bytes pieced;
+  for (size_t chunk : {1u, 7u, 64u, 63u, 122u}) {
+    Bytes piece(chunk);
+    rng.Fill(piece);
+    pieced.insert(pieced.end(), piece.begin(), piece.end());
+  }
+  ASSERT_EQ(pieced.size(), big.size());
+  EXPECT_EQ(pieced, big);
+}
+
+TEST(SecureRandomTest, UniformIntStaysInRange) {
+  SecureRandom rng(9);
+  for (uint64_t bound : {1ull, 2ull, 3ull, 10ull, 100ull, 1ull << 33}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.UniformInt(bound), bound);
+    }
+  }
+}
+
+TEST(SecureRandomTest, UniformIntBoundOneIsAlwaysZero) {
+  SecureRandom rng(5);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(rng.UniformInt(1), 0u);
+  }
+}
+
+TEST(SecureRandomTest, UniformIntIsRoughlyUniform) {
+  SecureRandom rng(17);
+  constexpr uint64_t kBound = 10;
+  constexpr int kDraws = 100000;
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < kDraws; ++i) {
+    counts[rng.UniformInt(kBound)]++;
+  }
+  ASSERT_EQ(counts.size(), kBound);
+  // Each bucket expects 10000; allow 10% deviation (well beyond 5 sigma).
+  for (const auto& [value, count] : counts) {
+    EXPECT_GT(count, 9000) << "value " << value;
+    EXPECT_LT(count, 11000) << "value " << value;
+  }
+}
+
+TEST(SecureRandomTest, UniformDoubleInUnitInterval) {
+  SecureRandom rng(23);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.UniformDouble();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(SecureRandomTest, EntropySeededInstancesDiffer) {
+  SecureRandom a, b;
+  EXPECT_NE(a.NextUint64(), b.NextUint64());
+}
+
+TEST(SecureRandomTest, ByteValuesCoverFullRange) {
+  SecureRandom rng(31);
+  Bytes data(65536);
+  rng.Fill(data);
+  std::set<uint8_t> seen(data.begin(), data.end());
+  EXPECT_EQ(seen.size(), 256u);
+}
+
+}  // namespace
+}  // namespace shpir::crypto

@@ -1,0 +1,171 @@
+#include "core/security_parameter.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace shpir::core {
+namespace {
+
+TEST(SecurityParameterTest, PaperSpotCheck1GB) {
+  // §5: 1GB database (n = 1e6), m = 50000, c = 2 gives k ~= 29
+  // (log(1/2)/log(1-1/50000) + 1 = 34658.3; 1e6 / 34658.3 = 28.85).
+  Result<uint64_t> k = SecurityParameter::BlockSize(1000000, 50000, 2.0);
+  ASSERT_TRUE(k.ok());
+  EXPECT_EQ(*k, 29u);
+}
+
+TEST(SecurityParameterTest, PaperSpotCheck10GB) {
+  // §5: 10GB (n = 1e7) with m = 20000 gives k ~= 722, producing the
+  // quoted 197ms with one coprocessor.
+  Result<uint64_t> k = SecurityParameter::BlockSize(10000000, 20000, 2.0);
+  ASSERT_TRUE(k.ok());
+  EXPECT_NEAR(static_cast<double>(*k), 722.0, 2.0);
+}
+
+TEST(SecurityParameterTest, CEqualsOneMeansWholeDatabase) {
+  Result<uint64_t> k = SecurityParameter::BlockSize(1000, 10, 1.0);
+  ASSERT_TRUE(k.ok());
+  EXPECT_EQ(*k, 1000u);
+}
+
+TEST(SecurityParameterTest, LargerCacheMeansSmallerBlocks) {
+  uint64_t prev = UINT64_MAX;
+  for (uint64_t m : {100u, 1000u, 10000u, 100000u}) {
+    Result<uint64_t> k = SecurityParameter::BlockSize(1000000, m, 2.0);
+    ASSERT_TRUE(k.ok());
+    EXPECT_LT(*k, prev) << "m=" << m;
+    prev = *k;
+  }
+}
+
+TEST(SecurityParameterTest, StricterPrivacyMeansLargerBlocks) {
+  uint64_t prev = 0;
+  for (double c : {2.0, 1.5, 1.1, 1.05, 1.01}) {
+    Result<uint64_t> k = SecurityParameter::BlockSize(1000000, 50000, c);
+    ASSERT_TRUE(k.ok());
+    EXPECT_GT(*k, prev) << "c=" << c;
+    prev = *k;
+  }
+}
+
+TEST(SecurityParameterTest, PrivacyOfInvertsBlockSize) {
+  // The c actually achieved by the k from Eq. 6 must be at most the
+  // requested c (k was rounded up).
+  for (double c : {1.05, 1.1, 1.5, 2.0, 4.0}) {
+    for (uint64_t m : {1000u, 50000u}) {
+      const uint64_t n = 1000000;
+      Result<uint64_t> k = SecurityParameter::BlockSize(n, m, c);
+      ASSERT_TRUE(k.ok());
+      Result<double> achieved = SecurityParameter::PrivacyOf(n, m, *k);
+      ASSERT_TRUE(achieved.ok());
+      EXPECT_LE(*achieved, c * 1.0001) << "c=" << c << " m=" << m;
+      EXPECT_GT(*achieved, 1.0);
+    }
+  }
+}
+
+TEST(SecurityParameterTest, InvalidInputsRejected) {
+  EXPECT_FALSE(SecurityParameter::BlockSize(1, 10, 2.0).ok());
+  EXPECT_FALSE(SecurityParameter::BlockSize(100, 1, 2.0).ok());
+  EXPECT_FALSE(SecurityParameter::BlockSize(100, 10, 0.5).ok());
+  EXPECT_FALSE(SecurityParameter::PrivacyOf(100, 10, 0).ok());
+  EXPECT_FALSE(SecurityParameter::PrivacyOf(100, 10, 101).ok());
+  EXPECT_FALSE(SecurityParameter::PrivacyOf(100, 1, 10).ok());
+}
+
+TEST(SecurityParameterTest, ScanPeriod) {
+  EXPECT_EQ(SecurityParameter::ScanPeriod(100, 10), 10u);
+  EXPECT_EQ(SecurityParameter::ScanPeriod(101, 10), 11u);
+  EXPECT_EQ(SecurityParameter::ScanPeriod(10, 10), 1u);
+}
+
+TEST(SecurityParameterTest, EvictionProbabilitySumsToOne) {
+  // Eq. 1 is a geometric distribution; partial sums approach 1.
+  const uint64_t m = 50;
+  double sum = 0;
+  for (uint64_t t = 1; t <= 5000; ++t) {
+    sum += SecurityParameter::EvictionProbability(m, t);
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(SecurityParameterTest, EvictionProbabilityDecreasesInT) {
+  const uint64_t m = 10;
+  double prev = 1.0;
+  for (uint64_t t = 1; t <= 20; ++t) {
+    const double p = SecurityParameter::EvictionProbability(m, t);
+    EXPECT_LT(p, prev);
+    prev = p;
+  }
+  EXPECT_DOUBLE_EQ(SecurityParameter::EvictionProbability(m, 1), 0.1);
+}
+
+TEST(SecurityParameterTest, BlockDistributionSumsToOne) {
+  for (uint64_t m : {10u, 100u}) {
+    for (uint64_t T : {2u, 10u, 50u}) {
+      const std::vector<double> dist =
+          SecurityParameter::BlockDistribution(m, 7, T);
+      ASSERT_EQ(dist.size(), T);
+      double sum = 0;
+      for (double p : dist) {
+        sum += p;
+      }
+      EXPECT_NEAR(sum, 1.0, 1e-9) << "m=" << m << " T=" << T;
+    }
+  }
+}
+
+TEST(SecurityParameterTest, LocationProbabilityRatioEqualsC) {
+  // Definition 1: the max/min location-probability ratio is exactly the
+  // c from Eq. 5.
+  const uint64_t n = 10000, m = 100, k = 250;
+  const uint64_t T = SecurityParameter::ScanPeriod(n, k);
+  const double hi = SecurityParameter::LocationProbability(m, k, T, 1);
+  const double lo = SecurityParameter::LocationProbability(m, k, T, T);
+  Result<double> c = SecurityParameter::PrivacyOf(n, m, k);
+  ASSERT_TRUE(c.ok());
+  EXPECT_NEAR(hi / lo, *c, 1e-9);
+}
+
+TEST(SecurityParameterTest, LocationProbabilityMonotoneDecreasing) {
+  const uint64_t m = 50, k = 10, T = 20;
+  double prev = 1.0;
+  for (uint64_t b = 1; b <= T; ++b) {
+    const double p = SecurityParameter::LocationProbability(m, k, T, b);
+    EXPECT_LT(p, prev) << "b=" << b;
+    prev = p;
+  }
+}
+
+TEST(SecurityParameterTest, LocationProbabilityOutOfRangeIsZero) {
+  EXPECT_DOUBLE_EQ(SecurityParameter::LocationProbability(10, 5, 8, 0), 0.0);
+  EXPECT_DOUBLE_EQ(SecurityParameter::LocationProbability(10, 5, 8, 9), 0.0);
+}
+
+class BlockSizeSweepTest
+    : public ::testing::TestWithParam<std::tuple<uint64_t, uint64_t, double>> {
+};
+
+TEST_P(BlockSizeSweepTest, AchievedPrivacyNeverWorseThanRequested) {
+  const auto [n, m, c] = GetParam();
+  Result<uint64_t> k = SecurityParameter::BlockSize(n, m, c);
+  ASSERT_TRUE(k.ok());
+  EXPECT_GE(*k, 1u);
+  EXPECT_LE(*k, n);
+  if (*k < n) {
+    Result<double> achieved = SecurityParameter::PrivacyOf(n, m, *k);
+    ASSERT_TRUE(achieved.ok());
+    EXPECT_LE(*achieved, c * 1.0001);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BlockSizeSweepTest,
+    ::testing::Combine(::testing::Values(100ull, 10000ull, 1000000ull,
+                                         100000000ull),
+                       ::testing::Values(10ull, 1000ull, 100000ull),
+                       ::testing::Values(1.01, 1.1, 1.5, 2.0, 10.0)));
+
+}  // namespace
+}  // namespace shpir::core

@@ -1,0 +1,207 @@
+#include "net/service_hub.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+
+#include "common/check.h"
+#include "net/tcp_transport.h"
+#include "crypto/secure_random.h"
+#include "hardware/coprocessor.h"
+#include "storage/disk.h"
+
+namespace shpir::net {
+namespace {
+
+constexpr size_t kPageSize = 32;
+constexpr size_t kSealedSize = 12 + 8 + kPageSize + 32;
+
+struct Rig {
+  std::unique_ptr<storage::MemoryDisk> disk;
+  std::unique_ptr<hardware::SecureCoprocessor> cpu;
+  std::unique_ptr<core::CApproxPir> engine;
+  std::unique_ptr<ServiceHub> hub;
+  Bytes psk = Bytes(32, 0x66);
+
+  static Rig Make(uint64_t seed) {
+    core::CApproxPir::Options options;
+    options.num_pages = 40;
+    options.page_size = kPageSize;
+    options.cache_pages = 4;
+    options.block_size = 8;
+    Rig rig;
+    Result<uint64_t> slots = core::CApproxPir::DiskSlots(options);
+    SHPIR_CHECK(slots.ok());
+    rig.disk = std::make_unique<storage::MemoryDisk>(*slots, kSealedSize);
+    auto cpu = hardware::SecureCoprocessor::Create(
+        hardware::HardwareProfile::Ibm4764(), rig.disk.get(), kPageSize,
+        seed);
+    SHPIR_CHECK(cpu.ok());
+    rig.cpu = std::move(cpu).value();
+    auto engine = core::CApproxPir::Create(rig.cpu.get(), options);
+    SHPIR_CHECK(engine.ok());
+    rig.engine = std::move(engine).value();
+    std::vector<storage::Page> pages;
+    for (uint64_t id = 0; id < 40; ++id) {
+      pages.emplace_back(id, Bytes(kPageSize, static_cast<uint8_t>(id + 1)));
+    }
+    SHPIR_CHECK_OK(rig.engine->Initialize(pages));
+    rig.hub = std::make_unique<ServiceHub>(rig.engine.get(), rig.psk,
+                                           seed + 1);
+    return rig;
+  }
+};
+
+/// Connects a client through the hub's handshake.
+PirServiceClient MakeClient(Rig& rig, uint64_t client_id, uint64_t seed) {
+  crypto::SecureRandom rng(seed);
+  Bytes nonce(SecureSession::kNonceSize);
+  rng.Fill(nonce);
+  Result<Bytes> reply =
+      rig.hub->HandleFrame(ServiceHub::MakeHello(client_id, nonce));
+  SHPIR_CHECK(reply.ok());
+  Result<SecureSession> session =
+      ServiceHub::CompleteHandshake(*reply, rig.psk, client_id, nonce);
+  SHPIR_CHECK(session.ok());
+  ServiceHub* hub = rig.hub.get();
+  return PirServiceClient(
+      std::move(session).value(), [hub, client_id](ByteSpan record) {
+        return hub->HandleFrame(ServiceHub::MakeData(client_id, record));
+      });
+}
+
+TEST(ServiceHubTest, SingleClientRoundTrip) {
+  Rig rig = Rig::Make(1);
+  PirServiceClient client = MakeClient(rig, 101, 2);
+  Result<Bytes> data = client.Retrieve(7);
+  ASSERT_TRUE(data.ok()) << data.status();
+  EXPECT_EQ(*data, Bytes(kPageSize, 8));
+  EXPECT_EQ(rig.hub->sessions(), 1u);
+}
+
+TEST(ServiceHubTest, MultipleClientsInterleave) {
+  Rig rig = Rig::Make(3);
+  PirServiceClient alice = MakeClient(rig, 1, 4);
+  PirServiceClient bob = MakeClient(rig, 2, 5);
+  EXPECT_EQ(rig.hub->sessions(), 2u);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(*alice.Retrieve(static_cast<uint64_t>(i)),
+              Bytes(kPageSize, static_cast<uint8_t>(i + 1)));
+    EXPECT_EQ(*bob.Retrieve(static_cast<uint64_t>(39 - i)),
+              Bytes(kPageSize, static_cast<uint8_t>(40 - i)));
+  }
+}
+
+TEST(ServiceHubTest, UnknownClientRejected) {
+  Rig rig = Rig::Make(6);
+  Result<Bytes> reply =
+      rig.hub->HandleFrame(ServiceHub::MakeData(999, Bytes(50, 0)));
+  EXPECT_FALSE(reply.ok());
+  EXPECT_EQ(reply.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(ServiceHubTest, WrongPskClientCannotOperate) {
+  Rig rig = Rig::Make(7);
+  crypto::SecureRandom rng(8);
+  Bytes nonce(SecureSession::kNonceSize);
+  rng.Fill(nonce);
+  Result<Bytes> reply =
+      rig.hub->HandleFrame(ServiceHub::MakeHello(55, nonce));
+  ASSERT_TRUE(reply.ok());
+  // Client derives its session from the WRONG psk.
+  Result<SecureSession> session = ServiceHub::CompleteHandshake(
+      *reply, Bytes(32, 0xBA), 55, nonce);
+  ASSERT_TRUE(session.ok());
+  PirServiceClient client(
+      std::move(session).value(), [&](ByteSpan record) {
+        return rig.hub->HandleFrame(ServiceHub::MakeData(55, record));
+      });
+  EXPECT_FALSE(client.Retrieve(0).ok());
+}
+
+TEST(ServiceHubTest, ClientsCannotCrossStreams) {
+  Rig rig = Rig::Make(9);
+  PirServiceClient alice = MakeClient(rig, 1, 10);
+  ASSERT_TRUE(alice.Retrieve(0).ok());
+  // Bob replays Alice's style of frame under his id without a
+  // handshake-derived key for it.
+  crypto::SecureRandom rng(11);
+  Bytes nonce(SecureSession::kNonceSize);
+  rng.Fill(nonce);
+  Result<Bytes> reply =
+      rig.hub->HandleFrame(ServiceHub::MakeHello(2, nonce));
+  ASSERT_TRUE(reply.ok());
+  // Bob (id 2) tries to decrypt/forge using Alice's client key (id 1).
+  Result<SecureSession> forged = ServiceHub::CompleteHandshake(
+      *reply, rig.psk, /*client_id=*/1, nonce);  // Wrong id in KDF.
+  ASSERT_TRUE(forged.ok());
+  PirServiceClient bob(
+      std::move(forged).value(), [&](ByteSpan record) {
+        return rig.hub->HandleFrame(ServiceHub::MakeData(2, record));
+      });
+  EXPECT_FALSE(bob.Retrieve(0).ok());
+}
+
+TEST(ServiceHubTest, MalformedFramesRejected) {
+  Rig rig = Rig::Make(12);
+  EXPECT_FALSE(rig.hub->HandleFrame(Bytes{}).ok());
+  EXPECT_FALSE(rig.hub->HandleFrame(Bytes(5, 0)).ok());
+  Bytes bad_tag(20, 0);
+  bad_tag[0] = 'X';
+  EXPECT_FALSE(rig.hub->HandleFrame(bad_tag).ok());
+  Bytes short_hello(10, 0);
+  short_hello[0] = 'H';
+  EXPECT_FALSE(rig.hub->HandleFrame(short_hello).ok());
+}
+
+TEST(ServiceHubTest, FullThreePartyStackOverTcp) {
+  // Fig. 1 over a real socket: the relay is a TcpFrameListener feeding
+  // hub frames to the coprocessor-side ServiceHub.
+  Rig rig = Rig::Make(20);
+  ServiceHub* hub = rig.hub.get();
+  auto listener = TcpFrameListener::Listen(
+      [hub](ByteSpan frame) { return hub->HandleFrame(frame); }, 0);
+  ASSERT_TRUE(listener.ok()) << listener.status();
+  std::thread server_thread([&] { (*listener)->Run(); });
+
+  {
+    auto transport = TcpTransport::Connect("127.0.0.1", (*listener)->port());
+    ASSERT_TRUE(transport.ok()) << transport.status();
+    crypto::SecureRandom rng(21);
+    Bytes nonce(SecureSession::kNonceSize);
+    rng.Fill(nonce);
+    Result<Bytes> reply =
+        (*transport)->RoundTrip(ServiceHub::MakeHello(77, nonce));
+    ASSERT_TRUE(reply.ok());
+    Result<SecureSession> session =
+        ServiceHub::CompleteHandshake(*reply, rig.psk, 77, nonce);
+    ASSERT_TRUE(session.ok());
+    Transport* wire = transport->get();
+    PirServiceClient client(
+        std::move(session).value(), [wire](ByteSpan record) {
+          return wire->RoundTrip(ServiceHub::MakeData(77, record));
+        });
+    for (uint64_t id = 0; id < 10; ++id) {
+      Result<Bytes> data = client.Retrieve(id);
+      ASSERT_TRUE(data.ok()) << data.status();
+      EXPECT_EQ(*data, Bytes(kPageSize, static_cast<uint8_t>(id + 1)));
+    }
+  }
+  (*listener)->Stop();
+  server_thread.join();
+}
+
+TEST(ServiceHubTest, RehandshakeReplacesSession) {
+  Rig rig = Rig::Make(13);
+  PirServiceClient first = MakeClient(rig, 7, 14);
+  ASSERT_TRUE(first.Retrieve(0).ok());
+  PirServiceClient second = MakeClient(rig, 7, 15);
+  EXPECT_EQ(rig.hub->sessions(), 1u);
+  EXPECT_TRUE(second.Retrieve(1).ok());
+  // The first session's keys are gone.
+  EXPECT_FALSE(first.Retrieve(2).ok());
+}
+
+}  // namespace
+}  // namespace shpir::net

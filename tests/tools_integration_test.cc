@@ -1,0 +1,174 @@
+// End-to-end integration of the deployment CLIs: launches the real
+// shpir_provider binary, drives it with the real shpir_owner binary,
+// and checks data survives across invocations and provider restarts.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace shpir {
+namespace {
+
+std::string BinDir() {
+  // Tests run from build/tests/<binary>; the tools live in build/tools.
+  return std::string(TOOLS_DIR);
+}
+
+struct CommandResult {
+  int exit_code;
+  std::string output;
+};
+
+CommandResult RunShell(const std::string& command) {
+  std::FILE* pipe = ::popen((command + " 2>&1").c_str(), "r");
+  if (pipe == nullptr) {
+    return {-1, "popen failed"};
+  }
+  std::string output;
+  std::array<char, 512> buffer;
+  while (std::fgets(buffer.data(), buffer.size(), pipe) != nullptr) {
+    output += buffer.data();
+  }
+  const int status = ::pclose(pipe);
+  return {WEXITSTATUS(status), output};
+}
+
+
+// Finds and parses the "geometry: X slots x Y bytes" line anywhere in
+// the output (stderr/stdout interleaving is not deterministic).
+bool ParseGeometry(const std::string& output, uint64_t* slots,
+                   uint64_t* slot_size) {
+  const size_t pos = output.find("geometry:");
+  if (pos == std::string::npos) {
+    return false;
+  }
+  return std::sscanf(output.c_str() + pos,
+                     "geometry: %llu slots x %llu bytes",
+                     reinterpret_cast<unsigned long long*>(slots),
+                     reinterpret_cast<unsigned long long*>(slot_size)) == 2;
+}
+
+class ToolsIntegrationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    disk_ = ::testing::TempDir() + "/shpir_tools_disk.bin";
+    state_ = ::testing::TempDir() + "/shpir_tools.state";
+    std::remove(disk_.c_str());
+    std::remove(state_.c_str());
+    port_ = 19800 + (::getpid() % 150);
+  }
+
+  void TearDown() override {
+    StopProvider();
+    std::remove(disk_.c_str());
+    std::remove(state_.c_str());
+  }
+
+  void StartProvider(uint64_t slots, uint64_t slot_size) {
+    const std::string command =
+        BinDir() + "/shpir_provider " + disk_ + " " +
+        std::to_string(slots) + " " + std::to_string(slot_size) + " " +
+        std::to_string(port_) + " > /dev/null 2>&1 & echo $!";
+    const CommandResult result = RunShell(command);
+    provider_pid_ = std::stoi(result.output);
+    // Give it a moment to bind.
+    RunShell("sleep 0.3");
+  }
+
+  void StopProvider() {
+    if (provider_pid_ > 0) {
+      RunShell("kill " + std::to_string(provider_pid_) + " 2>/dev/null");
+      provider_pid_ = 0;
+      RunShell("sleep 0.1");
+    }
+  }
+
+  CommandResult Owner(const std::string& args) {
+    return RunShell(BinDir() + "/shpir_owner " + args + " --port " +
+               std::to_string(port_) + " --state " + state_ +
+               " --passphrase testpass");
+  }
+
+  std::string disk_;
+  std::string state_;
+  uint16_t port_;
+  int provider_pid_ = 0;
+};
+
+TEST_F(ToolsIntegrationTest, FullLifecycle) {
+  // The geometry for 200 x 256B pages, cache 16, c=2: ask init (it
+  // prints the numbers even when the provider is absent).
+  const CommandResult probe =
+      Owner("init --pages 200 --page-size 256 --cache 16");
+  uint64_t slots = 0, slot_size = 0;
+  ASSERT_TRUE(ParseGeometry(probe.output, &slots, &slot_size))
+      << probe.output;
+
+  StartProvider(slots, slot_size);
+  const CommandResult init =
+      Owner("init --pages 200 --page-size 256 --cache 16");
+  ASSERT_EQ(init.exit_code, 0) << init.output;
+  ASSERT_NE(init.output.find("initialized"), std::string::npos);
+
+  // Write and read back.
+  CommandResult put = Owner("put --id 42 --data secret-report");
+  ASSERT_EQ(put.exit_code, 0) << put.output;
+  CommandResult get = Owner("get --id 42");
+  ASSERT_EQ(get.exit_code, 0) << get.output;
+  EXPECT_NE(get.output.find("secret-report"), std::string::npos);
+
+  // Insert, remove.
+  CommandResult insert = Owner("insert --data appended");
+  ASSERT_EQ(insert.exit_code, 0) << insert.output;
+  uint64_t new_id = 0;
+  ASSERT_EQ(std::sscanf(insert.output.c_str(), "id %llu",
+                        (unsigned long long*)&new_id),
+            1);
+  CommandResult got_new = Owner("get --id " + std::to_string(new_id));
+  EXPECT_NE(got_new.output.find("appended"), std::string::npos);
+  CommandResult removed = Owner("remove --id 7");
+  ASSERT_EQ(removed.exit_code, 0) << removed.output;
+  CommandResult gone = Owner("get --id 7");
+  EXPECT_NE(gone.exit_code, 0);
+
+  // Restart the provider: the file-backed disk plus sealed state must
+  // carry everything across.
+  StopProvider();
+  StartProvider(slots, slot_size);
+  CommandResult after = Owner("get --id 42");
+  ASSERT_EQ(after.exit_code, 0) << after.output;
+  EXPECT_NE(after.output.find("secret-report"), std::string::npos);
+  CommandResult stats = Owner("stats");
+  EXPECT_NE(stats.output.find("queries="), std::string::npos);
+}
+
+TEST_F(ToolsIntegrationTest, WrongPassphraseRejected) {
+  const CommandResult probe =
+      Owner("init --pages 50 --page-size 128 --cache 8");
+  uint64_t slots = 0, slot_size = 0;
+  ASSERT_TRUE(ParseGeometry(probe.output, &slots, &slot_size))
+      << probe.output;
+  StartProvider(slots, slot_size);
+  ASSERT_EQ(Owner("init --pages 50 --page-size 128 --cache 8").exit_code,
+            0);
+  ASSERT_EQ(Owner("put --id 1 --data x").exit_code, 0);
+  // Same state file, wrong passphrase.
+  const CommandResult wrong =
+      RunShell(BinDir() + "/shpir_owner get --id 1 --port " +
+          std::to_string(port_) + " --state " + state_ +
+          " --passphrase wrongpass");
+  EXPECT_NE(wrong.exit_code, 0);
+  EXPECT_NE(wrong.output.find("MAC"), std::string::npos) << wrong.output;
+}
+
+TEST_F(ToolsIntegrationTest, ProviderRefusesBadArgs) {
+  const CommandResult result = RunShell(BinDir() + "/shpir_provider");
+  EXPECT_NE(result.exit_code, 0);
+  EXPECT_NE(result.output.find("usage"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace shpir

@@ -1,0 +1,134 @@
+#include "workload/workload.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "model/queueing.h"
+
+namespace shpir::workload {
+namespace {
+
+TEST(WorkloadTest, UniformStaysInRangeAndIsFlat) {
+  UniformWorkload wl(100, 1);
+  std::map<storage::PageId, int> counts;
+  for (int i = 0; i < 100000; ++i) {
+    const storage::PageId id = wl.Next();
+    ASSERT_LT(id, 100u);
+    counts[id]++;
+  }
+  EXPECT_EQ(counts.size(), 100u);
+  for (const auto& [id, count] : counts) {
+    EXPECT_GT(count, 700) << id;
+    EXPECT_LT(count, 1300) << id;
+  }
+  const std::vector<double> dist = wl.Distribution();
+  EXPECT_DOUBLE_EQ(dist[0], 0.01);
+}
+
+TEST(WorkloadTest, ZipfIsSkewedAndMatchesDistribution) {
+  ZipfWorkload wl(100, 1.0, 2);
+  std::map<storage::PageId, int> counts;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    counts[wl.Next()]++;
+  }
+  // Page 0 is the most popular; empirical frequency tracks the density.
+  const std::vector<double> dist = wl.Distribution();
+  EXPECT_GT(dist[0], dist[1]);
+  EXPECT_GT(dist[1], dist[50]);
+  EXPECT_NEAR(static_cast<double>(counts[0]) / kDraws, dist[0], 0.01);
+  EXPECT_NEAR(static_cast<double>(counts[10]) / kDraws, dist[10], 0.01);
+  double sum = 0;
+  for (double p : dist) {
+    sum += p;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(WorkloadTest, HotspotConcentratesTraffic) {
+  HotspotWorkload wl(1000, 10, 0.9, 3);
+  int hot = 0;
+  constexpr int kDraws = 50000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (wl.Next() < 10) {
+      ++hot;
+    }
+  }
+  // 90% explicit + ~1% incidental from the uniform tail.
+  EXPECT_NEAR(static_cast<double>(hot) / kDraws, 0.901, 0.02);
+  double sum = 0;
+  for (double p : wl.Distribution()) {
+    sum += p;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(WorkloadTest, ScanCyclesInOrder) {
+  ScanWorkload wl(5);
+  for (int round = 0; round < 3; ++round) {
+    for (uint64_t i = 0; i < 5; ++i) {
+      EXPECT_EQ(wl.Next(), i);
+    }
+  }
+}
+
+TEST(WorkloadTest, DeterministicGivenSeed) {
+  ZipfWorkload a(100, 1.2, 7), b(100, 1.2, 7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+}  // namespace
+}  // namespace shpir::workload
+
+namespace shpir::model {
+namespace {
+
+TEST(QueueingTest, EmptyAndInvalidInputs) {
+  EXPECT_DOUBLE_EQ(SimulateFifoQueue({}, 1.0, 1).mean_s, 0.0);
+  EXPECT_DOUBLE_EQ(SimulateFifoQueue({1.0}, 0.0, 1).mean_s, 0.0);
+}
+
+TEST(QueueingTest, LightLoadSojournNearService) {
+  // At negligible load, sojourn ~= service time.
+  std::vector<double> service(5000, 0.010);
+  const QueueStats stats = SimulateFifoQueue(service, 1.0, 2);
+  EXPECT_NEAR(stats.utilization, 0.010, 1e-9);
+  EXPECT_NEAR(stats.p50_s, 0.010, 0.002);
+  EXPECT_LT(stats.p99_s, 0.05);
+}
+
+TEST(QueueingTest, MD1MeanWaitMatchesTheory) {
+  // M/D/1: W_q = rho * s / (2 (1 - rho)). At rho = 0.5, s = 10ms:
+  // W_q = 5ms, sojourn = 15ms.
+  std::vector<double> service(200000, 0.010);
+  const QueueStats stats = SimulateFifoQueue(service, 50.0, 3);
+  EXPECT_NEAR(stats.utilization, 0.5, 1e-9);
+  EXPECT_NEAR(stats.mean_s, 0.015, 0.002);
+}
+
+TEST(QueueingTest, ServiceSpikesInflateTheTail) {
+  // Identical mean service; one stream has rare 100x spikes.
+  std::vector<double> flat(20000, 0.010);
+  std::vector<double> spiky = flat;
+  for (size_t i = 0; i < spiky.size(); i += 200) {
+    spiky[i] = 1.0;  // One 1s spike per 200 queries.
+  }
+  const double rate = 20.0;
+  const QueueStats flat_stats = SimulateFifoQueue(flat, rate, 4);
+  const QueueStats spiky_stats = SimulateFifoQueue(spiky, rate, 4);
+  EXPECT_GT(spiky_stats.p99_s, 10 * flat_stats.p99_s);
+}
+
+TEST(QueueingTest, HigherLoadMeansLongerQueues) {
+  std::vector<double> service(50000, 0.010);
+  const QueueStats low = SimulateFifoQueue(service, 30.0, 5);
+  const QueueStats high = SimulateFifoQueue(service, 90.0, 5);
+  EXPECT_GT(high.mean_s, low.mean_s);
+  EXPECT_GT(high.p99_s, low.p99_s);
+}
+
+}  // namespace
+}  // namespace shpir::model

@@ -1,0 +1,65 @@
+// Storage-provider daemon for the two-party model: hosts a file-backed
+// block store and serves the shpir wire protocol over TCP. The provider
+// only ever sees sealed pages.
+//
+//   shpir_provider <disk-file> <slots> <slot-size> [port]
+//
+// Creates the disk file if it does not exist. Prints the bound port and
+// serves until killed.
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "net/storage_server.h"
+#include "net/tcp_transport.h"
+#include "storage/file_disk.h"
+
+int main(int argc, char** argv) {
+  using namespace shpir;
+  if (argc < 4 || argc > 5) {
+    std::fprintf(stderr,
+                 "usage: %s <disk-file> <slots> <slot-size> [port]\n",
+                 argv[0]);
+    return 2;
+  }
+  const std::string path = argv[1];
+  const uint64_t slots = std::strtoull(argv[2], nullptr, 10);
+  const uint64_t slot_size = std::strtoull(argv[3], nullptr, 10);
+  const uint16_t port =
+      argc == 5 ? static_cast<uint16_t>(std::strtoul(argv[4], nullptr, 10))
+                : 0;
+  if (slots == 0 || slot_size == 0) {
+    std::fprintf(stderr, "error: slots and slot-size must be positive\n");
+    return 2;
+  }
+
+  // Open if present, else create.
+  Result<std::unique_ptr<storage::FileDisk>> disk =
+      storage::FileDisk::Open(path, slots, slot_size);
+  if (!disk.ok()) {
+    disk = storage::FileDisk::Create(path, slots, slot_size);
+    if (!disk.ok()) {
+      std::fprintf(stderr, "error: %s\n", disk.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("created %s (%llu x %llu bytes)\n", path.c_str(),
+                (unsigned long long)slots, (unsigned long long)slot_size);
+  } else {
+    std::printf("opened %s\n", path.c_str());
+  }
+
+  net::StorageServer server(disk->get());
+  Result<std::unique_ptr<net::TcpStorageListener>> listener =
+      net::TcpStorageListener::Listen(&server, port);
+  if (!listener.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 listener.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("serving on 127.0.0.1:%u\n", (*listener)->port());
+  std::fflush(stdout);
+  (*listener)->Run();
+  return 0;
+}
