@@ -132,6 +132,51 @@ CApproxPir::~CApproxPir() {
   }
 }
 
+void CApproxPir::EnableMetrics(obs::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    instruments_ = Instruments{};
+    return;
+  }
+  instruments_.queries =
+      registry->FindOrCreateCounter("shpir_engine_queries_total");
+  instruments_.cache_hits =
+      registry->FindOrCreateCounter("shpir_engine_cache_hits_total");
+  instruments_.block_hits =
+      registry->FindOrCreateCounter("shpir_engine_block_hits_total");
+  instruments_.evictions =
+      registry->FindOrCreateCounter("shpir_engine_evictions_total");
+  instruments_.inserts =
+      registry->FindOrCreateCounter("shpir_engine_inserts_total");
+  instruments_.removes =
+      registry->FindOrCreateCounter("shpir_engine_removes_total");
+  instruments_.modifies =
+      registry->FindOrCreateCounter("shpir_engine_modifies_total");
+  instruments_.reshuffles =
+      registry->FindOrCreateCounter("shpir_engine_reshuffles_total");
+  instruments_.key_rotations =
+      registry->FindOrCreateCounter("shpir_engine_key_rotations_total");
+  instruments_.block_cursor =
+      registry->FindOrCreateGauge("shpir_engine_block_cursor");
+  instruments_.achieved_privacy_c =
+      registry->FindOrCreateGauge("shpir_engine_achieved_privacy_c");
+  instruments_.block_size_k =
+      registry->FindOrCreateGauge("shpir_engine_block_size_k");
+  instruments_.cache_pages_m =
+      registry->FindOrCreateGauge("shpir_engine_cache_pages_m");
+  instruments_.query_latency_ns =
+      registry->FindOrCreateHistogram("shpir_engine_query_latency_ns");
+  for (int i = 0; i < obs::kNumPhases; ++i) {
+    instruments_.phases[static_cast<size_t>(i)] =
+        registry->FindOrCreateHistogram(
+            std::string("shpir_engine_phase_") +
+            obs::PhaseName(static_cast<obs::Phase>(i)) + "_ns");
+  }
+  instruments_.block_cursor->Set(static_cast<double>(next_block_));
+  instruments_.achieved_privacy_c->Set(achieved_privacy());
+  instruments_.block_size_k->Set(static_cast<double>(block_size_));
+  instruments_.cache_pages_m->Set(static_cast<double>(options_.cache_pages));
+}
+
 double CApproxPir::achieved_privacy() const {
   Result<double> c = SecurityParameter::PrivacyOf(
       disk_slots_, options_.cache_pages, block_size_);
@@ -221,16 +266,33 @@ Result<CApproxPir::RoundOutcome> CApproxPir::RunRound(
     trace_->BeginRequest();
   }
   const uint64_t request_index = stats_.queries++;
+  // Destructors run last: the latency timer covers the whole round and
+  // the trace flushes one sample per phase. Both are no-ops (no clock
+  // reads, no allocations) when metrics are disabled.
+  obs::ScopedLatencyTimer round_timer(instruments_.query_latency_ns);
+  obs::QueryTrace qtrace(metered() ? &instruments_.phases : nullptr);
+  if (metered()) {
+    instruments_.queries->Increment();
+  }
 
   // Step 1: read the next block of k pages, round-robin.
   const Location block_start = next_block_ * block_size_;
   next_block_ = (next_block_ + 1) % scan_period();
+  if (metered()) {
+    instruments_.block_cursor->Set(static_cast<double>(next_block_));
+  }
   std::vector<Bytes> sealed_block;
-  SHPIR_RETURN_IF_ERROR(
-      cpu_->ReadRun(block_start, block_size_, sealed_block));
+  {
+    obs::Span span(qtrace, obs::Phase::kBlockRead);
+    SHPIR_RETURN_IF_ERROR(
+        cpu_->ReadRun(block_start, block_size_, sealed_block));
+  }
   std::vector<Page> block(block_size_ + 1);
-  for (uint64_t i = 0; i < block_size_; ++i) {
-    SHPIR_ASSIGN_OR_RETURN(block[i], cpu_->OpenPage(sealed_block[i]));
+  {
+    obs::Span span(qtrace, obs::Phase::kDecrypt);
+    for (uint64_t i = 0; i < block_size_; ++i) {
+      SHPIR_ASSIGN_OR_RETURN(block[i], cpu_->OpenPage(sealed_block[i]));
+    }
   }
 
   // Step 2: pick the (k+1)-th page and locate the requested page.
@@ -238,24 +300,41 @@ Result<CApproxPir::RoundOutcome> CApproxPir::RunRound(
   PageId extra;
   uint64_t q = block_size_;
   bool request_cached = false;
-  if (insert_mode) {
-    // The extra page is the chosen spare; its content is replaced by the
-    // new page below.
-    extra = insert_id;
-  } else if (page_map_.IsCached(request)) {
-    request_cached = true;
-    stats_.cache_hits++;
-    extra = RandomUncachedOutsideBlock(block_start);
-  } else if (InBlock(page_map_.DiskLocation(request), block_start)) {
-    stats_.block_hits++;
-    q = page_map_.DiskLocation(request) - block_start;
-    extra = RandomUncachedOutsideBlock(block_start);
-  } else {
-    extra = request;
+  {
+    obs::Span span(qtrace, obs::Phase::kPageMapLookup);
+    if (insert_mode) {
+      // The extra page is the chosen spare; its content is replaced by
+      // the new page below.
+      extra = insert_id;
+    } else if (page_map_.IsCached(request)) {
+      request_cached = true;
+      stats_.cache_hits++;
+      if (metered()) {
+        instruments_.cache_hits->Increment();
+      }
+      extra = RandomUncachedOutsideBlock(block_start);
+    } else if (InBlock(page_map_.DiskLocation(request), block_start)) {
+      stats_.block_hits++;
+      if (metered()) {
+        instruments_.block_hits->Increment();
+      }
+      q = page_map_.DiskLocation(request) - block_start;
+      extra = RandomUncachedOutsideBlock(block_start);
+    } else {
+      extra = request;
+    }
   }
   const Location extra_loc = page_map_.DiskLocation(extra);
-  SHPIR_ASSIGN_OR_RETURN(Bytes sealed_extra, cpu_->ReadSlot(extra_loc));
-  SHPIR_ASSIGN_OR_RETURN(block[block_size_], cpu_->OpenPage(sealed_extra));
+  Bytes sealed_extra;
+  {
+    obs::Span span(qtrace, obs::Phase::kBlockRead);
+    SHPIR_ASSIGN_OR_RETURN(sealed_extra, cpu_->ReadSlot(extra_loc));
+  }
+  {
+    obs::Span span(qtrace, obs::Phase::kDecrypt);
+    SHPIR_ASSIGN_OR_RETURN(block[block_size_],
+                           cpu_->OpenPage(sealed_extra));
+  }
 
   // Step 3: extract the requested payload (before any modification).
   RoundOutcome outcome;
@@ -282,31 +361,45 @@ Result<CApproxPir::RoundOutcome> CApproxPir::RunRound(
 
   // Step 4 (Fig. 3 lines 17-20): uniformize the target slot, then swap
   // with a random cache entry.
-  const uint64_t r = options_.ablation_skip_uniform_swap
-                         ? 0
-                         : cpu_->rng().UniformInt(block_size_);
-  std::swap(block[r], block[q]);
+  uint64_t r;
   uint64_t s;
-  if (force_evict) {
-    s = page_map_.CacheIndex(request);
-  } else if (options_.ablation_round_robin_eviction) {
-    s = request_index % options_.cache_pages;
-  } else {
-    s = cpu_->rng().UniformInt(options_.cache_pages);
+  {
+    obs::Span span(qtrace, obs::Phase::kCacheEvict);
+    r = options_.ablation_skip_uniform_swap
+            ? 0
+            : cpu_->rng().UniformInt(block_size_);
+    std::swap(block[r], block[q]);
+    if (force_evict) {
+      s = page_map_.CacheIndex(request);
+    } else if (options_.ablation_round_robin_eviction) {
+      s = request_index % options_.cache_pages;
+    } else {
+      s = cpu_->rng().UniformInt(options_.cache_pages);
+    }
+    std::swap(page_cache_[s], block[r]);
+    if (metered()) {
+      instruments_.evictions->Increment();
+    }
   }
-  std::swap(page_cache_[s], block[r]);
 
   // Step 5: re-encrypt everything with fresh nonces and write back.
   std::vector<Bytes> sealed_out(block_size_);
-  for (uint64_t i = 0; i < block_size_; ++i) {
-    SHPIR_ASSIGN_OR_RETURN(sealed_out[i], cpu_->SealPage(block[i]));
+  Bytes sealed_last;
+  {
+    obs::Span span(qtrace, obs::Phase::kReencrypt);
+    for (uint64_t i = 0; i < block_size_; ++i) {
+      SHPIR_ASSIGN_OR_RETURN(sealed_out[i], cpu_->SealPage(block[i]));
+    }
+    SHPIR_ASSIGN_OR_RETURN(sealed_last, cpu_->SealPage(block[block_size_]));
   }
-  SHPIR_RETURN_IF_ERROR(cpu_->WriteRun(block_start, sealed_out));
-  SHPIR_ASSIGN_OR_RETURN(Bytes sealed_last,
-                         cpu_->SealPage(block[block_size_]));
-  SHPIR_RETURN_IF_ERROR(cpu_->WriteSlot(extra_loc, sealed_last));
+  {
+    obs::Span span(qtrace, obs::Phase::kWriteBack);
+    SHPIR_RETURN_IF_ERROR(cpu_->WriteRun(block_start, sealed_out));
+    SHPIR_RETURN_IF_ERROR(cpu_->WriteSlot(extra_loc, sealed_last));
+  }
 
   // Step 6: update the look-up table for the three moved pages.
+  obs::Span span(qtrace, obs::Phase::kPageMapLookup);
   page_map_.SetCacheIndex(page_cache_[s].id, s);
   if (cache_entry_observer_) {
     cache_entry_observer_(page_cache_[s].id, request_index);
@@ -349,6 +442,9 @@ Status CApproxPir::Modify(PageId id, Bytes data) {
   }
   data.resize(options_.page_size, 0);
   stats_.modifies++;
+  if (metered()) {
+    instruments_.modifies->Increment();
+  }
   SHPIR_ASSIGN_OR_RETURN(
       RoundOutcome outcome,
       RunRound(id, &data, /*force_evict=*/false, /*insert_mode=*/false, 0,
@@ -365,6 +461,9 @@ Status CApproxPir::Remove(PageId id) {
     return NotFoundError("no such page: " + std::to_string(id));
   }
   stats_.removes++;
+  if (metered()) {
+    instruments_.removes->Increment();
+  }
   // §4.3: deletions run as cache hits (random (k+1)-th page); a cached
   // victim is forced out of the cache so the dead page never lingers in
   // secure memory.
@@ -424,6 +523,9 @@ Result<storage::PageId> CApproxPir::Insert(Bytes data) {
         "and retry");
   }
   stats_.inserts++;
+  if (metered()) {
+    instruments_.inserts->Increment();
+  }
   SHPIR_ASSIGN_OR_RETURN(
       RoundOutcome outcome,
       RunRound(spare, /*replace_data=*/nullptr, /*force_evict=*/false,
@@ -492,6 +594,13 @@ Status CApproxPir::ReshuffleInternal(bool rotate_keys) {
     page_map_.SetCacheIndex(id, j);
   }
   next_block_ = 0;
+  if (metered()) {
+    instruments_.reshuffles->Increment();
+    if (rotate_keys) {
+      instruments_.key_rotations->Increment();
+    }
+    instruments_.block_cursor->Set(0.0);
+  }
   return OkStatus();
 }
 

@@ -9,6 +9,7 @@
 #include "core/page_map.h"
 #include "core/pir_engine.h"
 #include "hardware/coprocessor.h"
+#include "obs/span.h"
 #include "storage/access_trace.h"
 #include "storage/page.h"
 
@@ -153,6 +154,22 @@ class CApproxPir : public PirEngine {
   double achieved_privacy() const;
   const Stats& stats() const { return stats_; }
 
+  /// --- Observability -----------------------------------------------------
+
+  /// Registers the engine's aggregate instruments in `registry` (unowned;
+  /// must outlive the engine) and starts per-query tracing: event
+  /// counters, shuffle-epoch/block-cursor gauges, a whole-query latency
+  /// histogram and one histogram per protocol phase (pageMap lookup,
+  /// block read, decrypt, evict, re-encrypt, write-back). Everything
+  /// exported is an aggregate over all requests — per-request page ids
+  /// and request indices never reach the registry, so the stats surface
+  /// adds nothing to what Eq. 5 already concedes to the adversary.
+  ///
+  /// All allocation happens here; the per-query cost is a handful of
+  /// relaxed atomic ops and clock reads. Pass nullptr to disable, which
+  /// restores the zero-overhead, zero-allocation path.
+  void EnableMetrics(obs::MetricsRegistry* registry);
+
   /// Registers an observer called for every cache eviction to disk.
   void set_relocation_observer(RelocationObserver observer) {
     relocation_observer_ = std::move(observer);
@@ -239,6 +256,27 @@ class CApproxPir : public PirEngine {
   Stats stats_;
   RelocationObserver relocation_observer_;
   CacheEntryObserver cache_entry_observer_;
+
+  /// Aggregate instruments; all null until EnableMetrics().
+  struct Instruments {
+    obs::Counter* queries = nullptr;
+    obs::Counter* cache_hits = nullptr;
+    obs::Counter* block_hits = nullptr;
+    obs::Counter* evictions = nullptr;
+    obs::Counter* inserts = nullptr;
+    obs::Counter* removes = nullptr;
+    obs::Counter* modifies = nullptr;
+    obs::Counter* reshuffles = nullptr;
+    obs::Counter* key_rotations = nullptr;
+    obs::Gauge* block_cursor = nullptr;
+    obs::Gauge* achieved_privacy_c = nullptr;
+    obs::Gauge* block_size_k = nullptr;
+    obs::Gauge* cache_pages_m = nullptr;
+    obs::Histogram* query_latency_ns = nullptr;
+    obs::PhaseHistograms phases{};
+  };
+  Instruments instruments_;
+  bool metered() const { return instruments_.queries != nullptr; }
 };
 
 }  // namespace shpir::core

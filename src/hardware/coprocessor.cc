@@ -24,6 +24,45 @@ Result<std::unique_ptr<SecureCoprocessor>> SecureCoprocessor::Create(
       profile, disk, std::move(cipher), std::move(rng)));
 }
 
+void SecureCoprocessor::AttachMetrics(obs::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    instruments_ = Instruments{};
+    return;
+  }
+  instruments_.seeks = registry->FindOrCreateCounter("shpir_hw_seeks_total");
+  instruments_.disk_bytes =
+      registry->FindOrCreateCounter("shpir_hw_disk_bytes_total");
+  instruments_.link_bytes =
+      registry->FindOrCreateCounter("shpir_hw_link_bytes_total");
+  instruments_.crypto_bytes =
+      registry->FindOrCreateCounter("shpir_hw_crypto_bytes_total");
+  instruments_.pages_sealed =
+      registry->FindOrCreateCounter("shpir_hw_pages_sealed_total");
+  instruments_.pages_opened =
+      registry->FindOrCreateCounter("shpir_hw_pages_opened_total");
+  instruments_.simulated_seconds =
+      registry->FindOrCreateGauge("shpir_hw_simulated_seconds");
+  instruments_.secure_memory_used =
+      registry->FindOrCreateGauge("shpir_hw_secure_memory_used_bytes");
+  instruments_.secure_memory_capacity =
+      registry->FindOrCreateGauge("shpir_hw_secure_memory_capacity_bytes");
+  instruments_.simulated_seconds->Set(cost_.Seconds(profile_));
+  instruments_.secure_memory_used->Set(
+      static_cast<double>(secure_memory_used_));
+  instruments_.secure_memory_capacity->Set(
+      static_cast<double>(profile_.secure_memory_bytes));
+}
+
+void SecureCoprocessor::MeterIo(uint64_t bytes) {
+  if (!metered()) {
+    return;
+  }
+  instruments_.seeks->Increment();
+  instruments_.disk_bytes->Increment(bytes);
+  instruments_.link_bytes->Increment(bytes);
+  instruments_.simulated_seconds->Set(cost_.Seconds(profile_));
+}
+
 Status SecureCoprocessor::ReserveSecureMemory(uint64_t bytes,
                                               const std::string& what) {
   if (secure_memory_used_ + bytes > profile_.secure_memory_bytes) {
@@ -34,6 +73,10 @@ Status SecureCoprocessor::ReserveSecureMemory(uint64_t bytes,
         std::to_string(profile_.secure_memory_bytes) + ")");
   }
   secure_memory_used_ += bytes;
+  if (metered()) {
+    instruments_.secure_memory_used->Set(
+        static_cast<double>(secure_memory_used_));
+  }
   return OkStatus();
 }
 
@@ -41,6 +84,10 @@ void SecureCoprocessor::ReleaseSecureMemory(uint64_t bytes) {
   secure_memory_used_ = bytes > secure_memory_used_
                             ? 0
                             : secure_memory_used_ - bytes;
+  if (metered()) {
+    instruments_.secure_memory_used->Set(
+        static_cast<double>(secure_memory_used_));
+  }
 }
 
 Status SecureCoprocessor::ReadRun(storage::Location start, uint64_t count,
@@ -49,6 +96,7 @@ Status SecureCoprocessor::ReadRun(storage::Location start, uint64_t count,
   const uint64_t bytes = count * disk_->slot_size();
   cost_.AddDiskBytes(bytes);
   cost_.AddLinkBytes(bytes);
+  MeterIo(bytes);
   return disk_->ReadRun(start, count, out);
 }
 
@@ -58,6 +106,7 @@ Status SecureCoprocessor::WriteRun(storage::Location start,
   const uint64_t bytes = slots.size() * disk_->slot_size();
   cost_.AddDiskBytes(bytes);
   cost_.AddLinkBytes(bytes);
+  MeterIo(bytes);
   return disk_->WriteRun(start, slots);
 }
 
@@ -65,6 +114,7 @@ Result<Bytes> SecureCoprocessor::ReadSlot(storage::Location loc) {
   cost_.AddSeeks(1);
   cost_.AddDiskBytes(disk_->slot_size());
   cost_.AddLinkBytes(disk_->slot_size());
+  MeterIo(disk_->slot_size());
   Bytes out(disk_->slot_size());
   SHPIR_RETURN_IF_ERROR(disk_->Read(loc, out));
   return out;
@@ -74,6 +124,7 @@ Status SecureCoprocessor::WriteSlot(storage::Location loc, ByteSpan data) {
   cost_.AddSeeks(1);
   cost_.AddDiskBytes(disk_->slot_size());
   cost_.AddLinkBytes(disk_->slot_size());
+  MeterIo(disk_->slot_size());
   return disk_->Write(loc, data);
 }
 
@@ -90,11 +141,21 @@ Status SecureCoprocessor::InstallFreshKeys() {
 
 Result<Bytes> SecureCoprocessor::SealPage(const storage::Page& page) {
   cost_.AddCryptoBytes(cipher_.page_size());
+  if (metered()) {
+    instruments_.crypto_bytes->Increment(cipher_.page_size());
+    instruments_.pages_sealed->Increment();
+    instruments_.simulated_seconds->Set(cost_.Seconds(profile_));
+  }
   return cipher_.Seal(page, rng_);
 }
 
 Result<storage::Page> SecureCoprocessor::OpenPage(ByteSpan sealed) {
   cost_.AddCryptoBytes(cipher_.page_size());
+  if (metered()) {
+    instruments_.crypto_bytes->Increment(cipher_.page_size());
+    instruments_.pages_opened->Increment();
+    instruments_.simulated_seconds->Set(cost_.Seconds(profile_));
+  }
   return cipher_.Open(sealed);
 }
 

@@ -10,6 +10,7 @@
 #include "crypto/secure_random.h"
 #include "hardware/cost_accountant.h"
 #include "hardware/profile.h"
+#include "obs/metrics.h"
 #include "storage/disk.h"
 #include "storage/page.h"
 #include "storage/page_cipher.h"
@@ -82,6 +83,16 @@ class SecureCoprocessor {
   /// (CApproxPir::RotateKeys) must re-seal everything in the same pass.
   Status InstallFreshKeys();
 
+  /// --- Observability -----------------------------------------------------
+
+  /// Bridges the device's cost accounting into `registry` (unowned; must
+  /// outlive the device): every accounted seek/byte also bumps aggregate
+  /// shpir_hw_* counters, and shpir_hw_simulated_seconds is kept in sync
+  /// with ElapsedSeconds(). Only volume aggregates leave the device —
+  /// never locations, page ids or per-request data. Pass nullptr to
+  /// detach.
+  void AttachMetrics(obs::MetricsRegistry* registry);
+
   /// --- Device internals --------------------------------------------------
 
   crypto::SecureRandom& rng() { return rng_; }
@@ -101,12 +112,32 @@ class SecureCoprocessor {
         cipher_(std::move(cipher)),
         rng_(std::move(rng)) {}
 
+  /// Aggregate instruments mirroring the CostAccountant; all null until
+  /// AttachMetrics().
+  struct Instruments {
+    obs::Counter* seeks = nullptr;
+    obs::Counter* disk_bytes = nullptr;
+    obs::Counter* link_bytes = nullptr;
+    obs::Counter* crypto_bytes = nullptr;
+    obs::Counter* pages_sealed = nullptr;
+    obs::Counter* pages_opened = nullptr;
+    obs::Gauge* simulated_seconds = nullptr;
+    obs::Gauge* secure_memory_used = nullptr;
+    obs::Gauge* secure_memory_capacity = nullptr;
+  };
+
+  bool metered() const { return instruments_.seeks != nullptr; }
+  /// Mirrors one accounted disk access (a seek moving `bytes` over disk
+  /// and link) into the instruments.
+  void MeterIo(uint64_t bytes);
+
   HardwareProfile profile_;
   storage::Disk* disk_;
   storage::PageCipher cipher_;
   crypto::SecureRandom rng_;
   CostAccountant cost_;
   uint64_t secure_memory_used_ = 0;
+  Instruments instruments_;
 };
 
 }  // namespace shpir::hardware

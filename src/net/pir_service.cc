@@ -8,6 +8,7 @@ constexpr uint8_t kOpRetrieve = 1;
 constexpr uint8_t kOpModify = 2;
 constexpr uint8_t kOpInsert = 3;
 constexpr uint8_t kOpRemove = 4;
+constexpr uint8_t kOpStats = 5;
 
 constexpr uint8_t kStatusOk = 0;
 constexpr uint8_t kStatusError = 1;
@@ -71,6 +72,16 @@ Result<Bytes> PirServiceServer::HandleRecord(ByteSpan record) {
         response = status.ok() ? OkResponse() : ErrorResponse(status);
         break;
       }
+      case kOpStats: {
+        if (stats_) {
+          const Bytes snapshot = stats_();
+          response = OkResponse(snapshot);
+        } else {
+          response = ErrorResponse(
+              UnimplementedError("stats are not enabled on this service"));
+        }
+        break;
+      }
       default:
         response = ErrorResponse(InvalidArgumentError("unknown op"));
     }
@@ -122,5 +133,7 @@ Status PirServiceClient::Remove(storage::PageId id) {
   Result<Bytes> response = Call(kOpRemove, id, {});
   return response.ok() ? OkStatus() : response.status();
 }
+
+Result<Bytes> PirServiceClient::Stats() { return Call(kOpStats, 0, {}); }
 
 }  // namespace shpir::net

@@ -21,10 +21,21 @@ namespace shpir::net {
 /// Runs inside the trusted boundary next to the engine.
 class PirServiceServer {
  public:
+  /// Produces the service's observability snapshot (JSON). Because the
+  /// STATS op travels inside the sealed session records, only
+  /// authenticated clients can fetch it. The provider must return
+  /// aggregate, request-index-free data only — it is the one sanctioned
+  /// crossing of the trust boundary (see docs/OBSERVABILITY.md).
+  using StatsProvider = std::function<Bytes()>;
+
   /// Neither pointer is owned. The session must be the server side of
-  /// the handshake with this client.
-  PirServiceServer(core::CApproxPir* engine, SecureSession session)
-      : engine_(engine), session_(std::move(session)) {}
+  /// the handshake with this client. `stats` may be null, in which case
+  /// STATS requests are answered with an error.
+  PirServiceServer(core::CApproxPir* engine, SecureSession session,
+                   StatsProvider stats = nullptr)
+      : engine_(engine),
+        session_(std::move(session)),
+        stats_(std::move(stats)) {}
 
   /// Decrypts one request record, executes it, returns the sealed
   /// response record. Protocol-level failures (bad record) are errors;
@@ -34,6 +45,7 @@ class PirServiceServer {
  private:
   core::CApproxPir* engine_;
   SecureSession session_;
+  StatsProvider stats_;
 };
 
 /// The client side. `deliver` sends a sealed request record through the
@@ -56,6 +68,10 @@ class PirServiceClient {
 
   /// Deletes page `id`.
   Status Remove(storage::PageId id);
+
+  /// Fetches the service's observability snapshot as JSON (the
+  /// obs::ToJson schema; parse with obs::ParseJsonSnapshot).
+  Result<Bytes> Stats();
 
  private:
   Result<Bytes> Call(uint8_t op, storage::PageId id, ByteSpan payload);

@@ -1,6 +1,7 @@
 #include "net/service_hub.h"
 
 #include "crypto/hmac.h"
+#include "obs/export.h"
 
 namespace shpir::net {
 
@@ -11,11 +12,34 @@ constexpr size_t kNonce = SecureSession::kNonceSize;
 }  // namespace
 
 ServiceHub::ServiceHub(core::CApproxPir* engine, Bytes pre_shared_key,
-                       uint64_t rng_seed)
+                       uint64_t rng_seed, obs::MetricsRegistry* metrics)
     : engine_(engine),
       pre_shared_key_(std::move(pre_shared_key)),
       rng_(rng_seed == 0 ? crypto::SecureRandom()
-                         : crypto::SecureRandom(rng_seed)) {}
+                         : crypto::SecureRandom(rng_seed)),
+      metrics_(metrics) {
+  if (metrics_ != nullptr) {
+    instruments_.hellos =
+        metrics_->FindOrCreateCounter("shpir_net_hellos_total");
+    instruments_.handshake_failures =
+        metrics_->FindOrCreateCounter("shpir_net_handshake_failures_total");
+    instruments_.data_frames =
+        metrics_->FindOrCreateCounter("shpir_net_data_frames_total");
+    instruments_.frames_rejected =
+        metrics_->FindOrCreateCounter("shpir_net_frames_rejected_total");
+    instruments_.frame_bytes_in =
+        metrics_->FindOrCreateCounter("shpir_net_frame_bytes_in_total");
+    instruments_.frame_bytes_out =
+        metrics_->FindOrCreateCounter("shpir_net_frame_bytes_out_total");
+    instruments_.sessions = metrics_->FindOrCreateGauge("shpir_net_sessions");
+    instruments_.sessions->Set(0.0);
+  }
+}
+
+Bytes ServiceHub::SnapshotJson() const {
+  const std::string json = obs::ToJson(metrics_->Snapshot());
+  return Bytes(json.begin(), json.end());
+}
 
 Bytes ServiceHub::ClientKey(ByteSpan pre_shared_key, uint64_t client_id) {
   crypto::HmacSha256 kdf(pre_shared_key);
@@ -55,37 +79,83 @@ Bytes ServiceHub::MakeData(uint64_t client_id, ByteSpan record) {
 }
 
 Result<Bytes> ServiceHub::HandleFrame(ByteSpan frame) {
+  if (metered()) {
+    instruments_.frame_bytes_in->Increment(frame.size());
+  }
   if (frame.size() < 9) {
+    if (metered()) {
+      instruments_.frames_rejected->Increment();
+    }
     return DataLossError("truncated hub frame");
   }
   const uint64_t client_id = LoadLE64(frame.data() + 1);
   std::lock_guard<std::mutex> lock(mutex_);
   if (frame[0] == kHelloTag) {
+    if (metered()) {
+      instruments_.hellos->Increment();
+    }
     if (frame.size() != 1 + 8 + kNonce) {
+      if (metered()) {
+        instruments_.handshake_failures->Increment();
+      }
       return DataLossError("malformed HELLO frame");
     }
     const ByteSpan client_nonce(frame.data() + 9, kNonce);
     Bytes server_nonce(kNonce);
     rng_.Fill(server_nonce);
     const Bytes key = ClientKey(pre_shared_key_, client_id);
-    SHPIR_ASSIGN_OR_RETURN(
-        SecureSession session,
-        SecureSession::Establish(key, SecureSession::Role::kServer,
-                                 client_nonce, server_nonce));
-    servers_[client_id] =
-        std::make_unique<PirServiceServer>(engine_, std::move(session));
+    Result<SecureSession> session = SecureSession::Establish(
+        key, SecureSession::Role::kServer, client_nonce, server_nonce);
+    if (!session.ok()) {
+      if (metered()) {
+        instruments_.handshake_failures->Increment();
+      }
+      return session.status();
+    }
+    // STATS travels inside the sealed session, so only authenticated
+    // clients reach the snapshot; the snapshot itself is aggregate-only
+    // by construction of the registry.
+    PirServiceServer::StatsProvider stats;
+    if (metrics_ != nullptr) {
+      stats = [this] { return SnapshotJson(); };
+    }
+    servers_[client_id] = std::make_unique<PirServiceServer>(
+        engine_, std::move(session).value(), std::move(stats));
+    if (metered()) {
+      instruments_.sessions->Set(static_cast<double>(servers_.size()));
+    }
     Bytes reply(1 + kNonce);
     reply[0] = kHelloTag;
     std::copy(server_nonce.begin(), server_nonce.end(), reply.begin() + 1);
+    if (metered()) {
+      instruments_.frame_bytes_out->Increment(reply.size());
+    }
     return reply;
   }
   if (frame[0] == kDataTag) {
+    if (metered()) {
+      instruments_.data_frames->Increment();
+    }
     auto it = servers_.find(client_id);
     if (it == servers_.end()) {
+      if (metered()) {
+        instruments_.frames_rejected->Increment();
+      }
       return FailedPreconditionError("unknown client; handshake first");
     }
-    return it->second->HandleRecord(
+    Result<Bytes> reply = it->second->HandleRecord(
         ByteSpan(frame.data() + 9, frame.size() - 9));
+    if (metered()) {
+      if (reply.ok()) {
+        instruments_.frame_bytes_out->Increment(reply->size());
+      } else {
+        instruments_.frames_rejected->Increment();
+      }
+    }
+    return reply;
+  }
+  if (metered()) {
+    instruments_.frames_rejected->Increment();
   }
   return InvalidArgumentError("unknown hub frame tag");
 }

@@ -10,6 +10,7 @@
 #include "crypto/secure_random.h"
 #include "net/pir_service.h"
 #include "net/secure_channel.h"
+#include "obs/metrics.h"
 
 namespace shpir::net {
 
@@ -29,14 +30,22 @@ namespace shpir::net {
 class ServiceHub {
  public:
   /// `engine` is unowned; `pre_shared_key` is the key clients hold.
+  /// `metrics` (optional, unowned, must outlive the hub) enables the
+  /// hub's shpir_net_* instruments and turns on the authenticated STATS
+  /// op: sessions established by the hub answer PirServiceClient::Stats()
+  /// with a JSON snapshot of the registry.
   ServiceHub(core::CApproxPir* engine, Bytes pre_shared_key,
-             uint64_t rng_seed = 0);
+             uint64_t rng_seed = 0,
+             obs::MetricsRegistry* metrics = nullptr);
 
   /// Handles one wire frame from any client; returns the reply frame.
   Result<Bytes> HandleFrame(ByteSpan frame);
 
-  /// Number of established client sessions.
-  size_t sessions() const { return servers_.size(); }
+  /// Number of established client sessions. Thread-safe.
+  size_t sessions() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return servers_.size();
+  }
 
   /// Client-side helper: builds the HELLO frame for `client_id`.
   static Bytes MakeHello(uint64_t client_id, ByteSpan client_nonce);
@@ -55,10 +64,28 @@ class ServiceHub {
   static Bytes ClientKey(ByteSpan pre_shared_key, uint64_t client_id);
 
  private:
+  /// Snapshot of the attached registry as JSON; called with mutex_ held
+  /// by the serving thread.
+  Bytes SnapshotJson() const;
+
+  /// Aggregate instruments; all null when the hub has no registry.
+  struct Instruments {
+    obs::Counter* hellos = nullptr;
+    obs::Counter* handshake_failures = nullptr;
+    obs::Counter* data_frames = nullptr;
+    obs::Counter* frames_rejected = nullptr;
+    obs::Counter* frame_bytes_in = nullptr;
+    obs::Counter* frame_bytes_out = nullptr;
+    obs::Gauge* sessions = nullptr;
+  };
+  bool metered() const { return instruments_.hellos != nullptr; }
+
   core::CApproxPir* engine_;
   Bytes pre_shared_key_;
   crypto::SecureRandom rng_;
-  std::mutex mutex_;
+  obs::MetricsRegistry* metrics_;
+  Instruments instruments_;
+  mutable std::mutex mutex_;
   std::unordered_map<uint64_t, std::unique_ptr<PirServiceServer>> servers_;
 };
 

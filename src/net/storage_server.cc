@@ -1,15 +1,48 @@
 #include "net/storage_server.h"
 
+#include "obs/export.h"
+
 namespace shpir::net {
 
+StorageServer::StorageServer(storage::Disk* disk,
+                             obs::MetricsRegistry* metrics)
+    : disk_(disk), metrics_(metrics) {
+  if (metrics_ != nullptr) {
+    instruments_.requests =
+        metrics_->FindOrCreateCounter("shpir_provider_requests_total");
+    instruments_.read_slots =
+        metrics_->FindOrCreateCounter("shpir_provider_read_slots_total");
+    instruments_.write_slots =
+        metrics_->FindOrCreateCounter("shpir_provider_write_slots_total");
+    instruments_.errors =
+        metrics_->FindOrCreateCounter("shpir_provider_errors_total");
+  }
+}
+
 Bytes StorageServer::Handle(ByteSpan request_frame) {
+  if (metered()) {
+    instruments_.requests->Increment();
+  }
   Result<Request> decoded = DecodeRequest(request_frame);
   if (!decoded.ok()) {
+    if (metered()) {
+      instruments_.errors->Increment();
+    }
     return EncodeErrorResponse(decoded.status());
   }
   const Request& request = *decoded;
   const size_t slot_size = disk_->slot_size();
   switch (request.op) {
+    case Op::kStats: {
+      if (metrics_ == nullptr) {
+        return EncodeErrorResponse(
+            UnimplementedError("stats are not enabled on this provider"));
+      }
+      const std::string json = obs::ToJson(metrics_->Snapshot());
+      return EncodeOkResponse(
+          ByteSpan(reinterpret_cast<const uint8_t*>(json.data()),
+                   json.size()));
+    }
     case Op::kGeometry: {
       Bytes payload(16);
       StoreLE64(disk_->num_slots(), payload.data());
@@ -20,18 +53,33 @@ Bytes StorageServer::Handle(ByteSpan request_frame) {
       Bytes slot(slot_size);
       const Status status = disk_->Read(request.location, slot);
       if (!status.ok()) {
+        if (metered()) {
+          instruments_.errors->Increment();
+        }
         return EncodeErrorResponse(status);
+      }
+      if (metered()) {
+        instruments_.read_slots->Increment();
       }
       return EncodeOkResponse(slot);
     }
     case Op::kWrite: {
       if (request.payload.size() != slot_size) {
+        if (metered()) {
+          instruments_.errors->Increment();
+        }
         return EncodeErrorResponse(
             InvalidArgumentError("write payload size mismatch"));
       }
       const Status status = disk_->Write(request.location, request.payload);
       if (!status.ok()) {
+        if (metered()) {
+          instruments_.errors->Increment();
+        }
         return EncodeErrorResponse(status);
+      }
+      if (metered()) {
+        instruments_.write_slots->Increment();
       }
       return EncodeOkResponse({});
     }
@@ -40,7 +88,13 @@ Bytes StorageServer::Handle(ByteSpan request_frame) {
       const Status status =
           disk_->ReadRun(request.location, request.count, slots);
       if (!status.ok()) {
+        if (metered()) {
+          instruments_.errors->Increment();
+        }
         return EncodeErrorResponse(status);
+      }
+      if (metered()) {
+        instruments_.read_slots->Increment(request.count);
       }
       Bytes payload;
       payload.reserve(request.count * slot_size);
@@ -51,6 +105,9 @@ Bytes StorageServer::Handle(ByteSpan request_frame) {
     }
     case Op::kWriteRun: {
       if (request.payload.size() != request.count * slot_size) {
+        if (metered()) {
+          instruments_.errors->Increment();
+        }
         return EncodeErrorResponse(
             InvalidArgumentError("write-run payload size mismatch"));
       }
@@ -63,7 +120,13 @@ Bytes StorageServer::Handle(ByteSpan request_frame) {
       }
       const Status status = disk_->WriteRun(request.location, slots);
       if (!status.ok()) {
+        if (metered()) {
+          instruments_.errors->Increment();
+        }
         return EncodeErrorResponse(status);
+      }
+      if (metered()) {
+        instruments_.write_slots->Increment(request.count);
       }
       return EncodeOkResponse({});
     }

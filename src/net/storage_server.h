@@ -4,6 +4,7 @@
 #include "common/result.h"
 #include "net/transport.h"
 #include "net/wire.h"
+#include "obs/metrics.h"
 #include "storage/disk.h"
 
 namespace shpir::net {
@@ -14,15 +15,30 @@ namespace shpir::net {
 /// owner.
 class StorageServer {
  public:
-  /// `disk` is unowned and must outlive the server.
-  explicit StorageServer(storage::Disk* disk) : disk_(disk) {}
+  /// `disk` is unowned and must outlive the server. `metrics` (optional,
+  /// unowned) enables the shpir_provider_* instruments and the kStats
+  /// wire op, which returns a JSON snapshot of the registry. The
+  /// provider is untrusted, so everything in its registry is public by
+  /// assumption; it must only ever hold volume aggregates.
+  explicit StorageServer(storage::Disk* disk,
+                         obs::MetricsRegistry* metrics = nullptr);
 
   /// Executes one request frame and returns the response frame. Errors
   /// are encoded into the response (the transport never fails).
   Bytes Handle(ByteSpan request_frame);
 
  private:
+  struct Instruments {
+    obs::Counter* requests = nullptr;
+    obs::Counter* read_slots = nullptr;
+    obs::Counter* write_slots = nullptr;
+    obs::Counter* errors = nullptr;
+  };
+  bool metered() const { return instruments_.requests != nullptr; }
+
   storage::Disk* disk_;
+  obs::MetricsRegistry* metrics_;
+  Instruments instruments_;
 };
 
 /// Transport that dispatches directly into an in-process StorageServer.

@@ -10,6 +10,7 @@
 #include <cstring>
 
 #include "common/bytes.h"
+#include "obs/metrics.h"
 
 namespace shpir::net {
 
@@ -17,6 +18,31 @@ namespace {
 
 // Largest frame we will accept: geometry-independent safety bound.
 constexpr uint32_t kMaxFrame = 1u << 30;
+
+// Process-wide socket instruments in the global registry. Everything is
+// a plain volume aggregate; the frames themselves are opaque to this
+// layer (sealed pages, sealed records).
+struct TcpInstruments {
+  obs::Counter* connections;
+  obs::Counter* frames;
+  obs::Counter* bytes_in;
+  obs::Counter* bytes_out;
+  obs::Counter* round_trips;
+};
+
+const TcpInstruments& TcpMetrics() {
+  static const TcpInstruments instruments = [] {
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+    return TcpInstruments{
+        registry.FindOrCreateCounter("shpir_tcp_connections_total"),
+        registry.FindOrCreateCounter("shpir_tcp_frames_total"),
+        registry.FindOrCreateCounter("shpir_tcp_bytes_in_total"),
+        registry.FindOrCreateCounter("shpir_tcp_bytes_out_total"),
+        registry.FindOrCreateCounter("shpir_tcp_client_round_trips_total"),
+    };
+  }();
+  return instruments;
+}
 
 Status SendAll(int fd, const uint8_t* data, size_t size) {
   size_t sent = 0;
@@ -57,7 +83,11 @@ Status SendFrame(int fd, ByteSpan payload) {
   uint8_t header[4];
   StoreLE32(static_cast<uint32_t>(payload.size()), header);
   SHPIR_RETURN_IF_ERROR(SendAll(fd, header, 4));
-  return SendAll(fd, payload.data(), payload.size());
+  SHPIR_RETURN_IF_ERROR(SendAll(fd, payload.data(), payload.size()));
+  const TcpInstruments& m = TcpMetrics();
+  m.frames->Increment();
+  m.bytes_out->Increment(4 + payload.size());
+  return OkStatus();
 }
 
 Result<Bytes> RecvFrame(int fd) {
@@ -71,6 +101,9 @@ Result<Bytes> RecvFrame(int fd) {
   if (length > 0) {
     SHPIR_RETURN_IF_ERROR(RecvAll(fd, payload.data(), length));
   }
+  const TcpInstruments& m = TcpMetrics();
+  m.frames->Increment();
+  m.bytes_in->Increment(4 + static_cast<uint64_t>(length));
   return payload;
 }
 
@@ -97,6 +130,7 @@ Result<std::unique_ptr<TcpTransport>> TcpTransport::Connect(
   }
   const int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  TcpMetrics().connections->Increment();
   return std::unique_ptr<TcpTransport>(new TcpTransport(fd));
 }
 
@@ -108,7 +142,11 @@ TcpTransport::~TcpTransport() {
 
 Result<Bytes> TcpTransport::RoundTrip(ByteSpan request) {
   SHPIR_RETURN_IF_ERROR(SendFrame(fd_, request));
-  return RecvFrame(fd_);
+  Result<Bytes> response = RecvFrame(fd_);
+  if (response.ok()) {
+    TcpMetrics().round_trips->Increment();
+  }
+  return response;
 }
 
 Result<std::unique_ptr<TcpFrameListener>> TcpFrameListener::Listen(
@@ -149,13 +187,14 @@ TcpFrameListener::~TcpFrameListener() {
 }
 
 Status TcpFrameListener::ServeOneConnection() {
-  const int conn = ::accept(listen_fd_, nullptr, nullptr);
+  const int conn = ::accept(listen_fd_.load(), nullptr, nullptr);
   if (conn < 0) {
     return InternalError(std::string("accept failed: ") +
                          std::strerror(errno));
   }
   const int one = 1;
   ::setsockopt(conn, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  TcpMetrics().connections->Increment();
   while (true) {
     Result<Bytes> request = RecvFrame(conn);
     if (!request.ok()) {
@@ -186,10 +225,10 @@ void TcpFrameListener::Run() {
 
 void TcpFrameListener::Stop() {
   stopping_.store(true);
-  if (listen_fd_ >= 0) {
-    ::shutdown(listen_fd_, SHUT_RDWR);
-    ::close(listen_fd_);
-    listen_fd_ = -1;
+  const int fd = listen_fd_.exchange(-1);
+  if (fd >= 0) {
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
   }
 }
 

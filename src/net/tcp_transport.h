@@ -74,7 +74,9 @@ class TcpFrameListener {
         port_(port) {}
 
   Handler handler_;
-  int listen_fd_;
+  // Written by Stop() from another thread while the serving thread
+  // accepts on it, so reads and the close handoff must be atomic.
+  std::atomic<int> listen_fd_;
   uint16_t port_;
   std::atomic<bool> stopping_{false};
 };

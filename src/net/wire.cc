@@ -29,6 +29,7 @@ Result<Request> DecodeRequest(ByteSpan frame) {
     case static_cast<uint8_t>(Op::kReadRun):
     case static_cast<uint8_t>(Op::kWriteRun):
     case static_cast<uint8_t>(Op::kGeometry):
+    case static_cast<uint8_t>(Op::kStats):
       request.op = static_cast<Op>(frame[0]);
       break;
     default:

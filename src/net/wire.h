@@ -21,6 +21,7 @@ enum class Op : uint8_t {
   kReadRun = 3,   // Read count consecutive slots.
   kWriteRun = 4,  // Write count consecutive slots.
   kGeometry = 5,  // Query (num_slots, slot_size).
+  kStats = 6,     // Fetch the provider's metrics snapshot (JSON).
 };
 
 struct Request {

@@ -1,0 +1,305 @@
+#include "obs/export.h"
+
+#include <cctype>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace shpir::obs {
+
+namespace {
+
+// Shortest round-tripping representation of a double.
+std::string FormatDouble(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  // Prefer a shorter form when it round-trips.
+  for (int precision = 1; precision < 17; ++precision) {
+    char shorter[64];
+    std::snprintf(shorter, sizeof(shorter), "%.*g", precision, value);
+    if (std::strtod(shorter, nullptr) == value) {
+      return shorter;
+    }
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string ToPrometheusText(const MetricsSnapshot& snapshot) {
+  std::ostringstream out;
+  for (const SnapshotCounter& counter : snapshot.counters) {
+    out << "# TYPE " << counter.name << " counter\n";
+    out << counter.name << " " << counter.value << "\n";
+  }
+  for (const SnapshotGauge& gauge : snapshot.gauges) {
+    out << "# TYPE " << gauge.name << " gauge\n";
+    out << gauge.name << " " << FormatDouble(gauge.value) << "\n";
+  }
+  for (const SnapshotHistogram& histogram : snapshot.histograms) {
+    out << "# TYPE " << histogram.name << " summary\n";
+    out << histogram.name << "{quantile=\"0.5\"} "
+        << FormatDouble(histogram.p50) << "\n";
+    out << histogram.name << "{quantile=\"0.95\"} "
+        << FormatDouble(histogram.p95) << "\n";
+    out << histogram.name << "{quantile=\"0.99\"} "
+        << FormatDouble(histogram.p99) << "\n";
+    out << histogram.name << "_sum " << histogram.sum << "\n";
+    out << histogram.name << "_count " << histogram.count << "\n";
+  }
+  return out.str();
+}
+
+std::string ToJson(const MetricsSnapshot& snapshot) {
+  std::ostringstream out;
+  out << "{\"counters\":[";
+  for (size_t i = 0; i < snapshot.counters.size(); ++i) {
+    if (i > 0) {
+      out << ",";
+    }
+    out << "{\"name\":\"" << snapshot.counters[i].name << "\",\"value\":"
+        << snapshot.counters[i].value << "}";
+  }
+  out << "],\"gauges\":[";
+  for (size_t i = 0; i < snapshot.gauges.size(); ++i) {
+    if (i > 0) {
+      out << ",";
+    }
+    out << "{\"name\":\"" << snapshot.gauges[i].name << "\",\"value\":"
+        << FormatDouble(snapshot.gauges[i].value) << "}";
+  }
+  out << "],\"histograms\":[";
+  for (size_t i = 0; i < snapshot.histograms.size(); ++i) {
+    const SnapshotHistogram& h = snapshot.histograms[i];
+    if (i > 0) {
+      out << ",";
+    }
+    out << "{\"name\":\"" << h.name << "\",\"count\":" << h.count
+        << ",\"sum\":" << h.sum << ",\"min\":" << h.min << ",\"max\":"
+        << h.max << ",\"p50\":" << FormatDouble(h.p50) << ",\"p95\":"
+        << FormatDouble(h.p95) << ",\"p99\":" << FormatDouble(h.p99)
+        << "}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+namespace {
+
+/// Tiny recursive-descent parser for the closed snapshot schema. Metric
+/// names are already restricted to [a-z0-9_], so strings need no escape
+/// handling.
+class SnapshotParser {
+ public:
+  explicit SnapshotParser(const std::string& text) : text_(text) {}
+
+  Result<MetricsSnapshot> Parse() {
+    MetricsSnapshot snapshot;
+    SHPIR_RETURN_IF_ERROR(Expect('{'));
+    SHPIR_RETURN_IF_ERROR(ExpectKey("counters"));
+    SHPIR_RETURN_IF_ERROR(ParseArray([&]() -> Status {
+      SnapshotCounter counter;
+      SHPIR_RETURN_IF_ERROR(Expect('{'));
+      SHPIR_RETURN_IF_ERROR(ExpectKey("name"));
+      SHPIR_ASSIGN_OR_RETURN(counter.name, ParseString());
+      SHPIR_RETURN_IF_ERROR(Expect(','));
+      SHPIR_RETURN_IF_ERROR(ExpectKey("value"));
+      SHPIR_ASSIGN_OR_RETURN(counter.value, ParseU64());
+      SHPIR_RETURN_IF_ERROR(Expect('}'));
+      snapshot.counters.push_back(std::move(counter));
+      return OkStatus();
+    }));
+    SHPIR_RETURN_IF_ERROR(Expect(','));
+    SHPIR_RETURN_IF_ERROR(ExpectKey("gauges"));
+    SHPIR_RETURN_IF_ERROR(ParseArray([&]() -> Status {
+      SnapshotGauge gauge;
+      SHPIR_RETURN_IF_ERROR(Expect('{'));
+      SHPIR_RETURN_IF_ERROR(ExpectKey("name"));
+      SHPIR_ASSIGN_OR_RETURN(gauge.name, ParseString());
+      SHPIR_RETURN_IF_ERROR(Expect(','));
+      SHPIR_RETURN_IF_ERROR(ExpectKey("value"));
+      SHPIR_ASSIGN_OR_RETURN(gauge.value, ParseDouble());
+      SHPIR_RETURN_IF_ERROR(Expect('}'));
+      snapshot.gauges.push_back(std::move(gauge));
+      return OkStatus();
+    }));
+    SHPIR_RETURN_IF_ERROR(Expect(','));
+    SHPIR_RETURN_IF_ERROR(ExpectKey("histograms"));
+    SHPIR_RETURN_IF_ERROR(ParseArray([&]() -> Status {
+      SnapshotHistogram h;
+      SHPIR_RETURN_IF_ERROR(Expect('{'));
+      SHPIR_RETURN_IF_ERROR(ExpectKey("name"));
+      SHPIR_ASSIGN_OR_RETURN(h.name, ParseString());
+      SHPIR_RETURN_IF_ERROR(Expect(','));
+      SHPIR_RETURN_IF_ERROR(ExpectKey("count"));
+      SHPIR_ASSIGN_OR_RETURN(h.count, ParseU64());
+      SHPIR_RETURN_IF_ERROR(Expect(','));
+      SHPIR_RETURN_IF_ERROR(ExpectKey("sum"));
+      SHPIR_ASSIGN_OR_RETURN(h.sum, ParseU64());
+      SHPIR_RETURN_IF_ERROR(Expect(','));
+      SHPIR_RETURN_IF_ERROR(ExpectKey("min"));
+      SHPIR_ASSIGN_OR_RETURN(h.min, ParseU64());
+      SHPIR_RETURN_IF_ERROR(Expect(','));
+      SHPIR_RETURN_IF_ERROR(ExpectKey("max"));
+      SHPIR_ASSIGN_OR_RETURN(h.max, ParseU64());
+      SHPIR_RETURN_IF_ERROR(Expect(','));
+      SHPIR_RETURN_IF_ERROR(ExpectKey("p50"));
+      SHPIR_ASSIGN_OR_RETURN(h.p50, ParseDouble());
+      SHPIR_RETURN_IF_ERROR(Expect(','));
+      SHPIR_RETURN_IF_ERROR(ExpectKey("p95"));
+      SHPIR_ASSIGN_OR_RETURN(h.p95, ParseDouble());
+      SHPIR_RETURN_IF_ERROR(Expect(','));
+      SHPIR_RETURN_IF_ERROR(ExpectKey("p99"));
+      SHPIR_ASSIGN_OR_RETURN(h.p99, ParseDouble());
+      SHPIR_RETURN_IF_ERROR(Expect('}'));
+      snapshot.histograms.push_back(std::move(h));
+      return OkStatus();
+    }));
+    SHPIR_RETURN_IF_ERROR(Expect('}'));
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return DataLossError("trailing bytes after snapshot JSON");
+    }
+    return snapshot;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  Status Expect(char c) {
+    SkipSpace();
+    if (pos_ >= text_.size() || text_[pos_] != c) {
+      return DataLossError(std::string("snapshot JSON: expected '") + c +
+                           "' at offset " + std::to_string(pos_));
+    }
+    ++pos_;
+    return OkStatus();
+  }
+
+  Status ExpectKey(const std::string& key) {
+    SHPIR_ASSIGN_OR_RETURN(const std::string got, ParseString());
+    if (got != key) {
+      return DataLossError("snapshot JSON: expected key \"" + key +
+                           "\", got \"" + got + "\"");
+    }
+    return Expect(':');
+  }
+
+  Result<std::string> ParseString() {
+    SHPIR_RETURN_IF_ERROR(Expect('"'));
+    const size_t start = pos_;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\') {
+        return DataLossError("snapshot JSON: escapes not supported");
+      }
+      ++pos_;
+    }
+    if (pos_ >= text_.size()) {
+      return DataLossError("snapshot JSON: unterminated string");
+    }
+    std::string value = text_.substr(start, pos_ - start);
+    ++pos_;  // Closing quote.
+    return value;
+  }
+
+  Result<uint64_t> ParseU64() {
+    SkipSpace();
+    const size_t start = pos_;
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      return DataLossError("snapshot JSON: expected integer at offset " +
+                           std::to_string(start));
+    }
+    return std::strtoull(text_.c_str() + start, nullptr, 10);
+  }
+
+  Result<double> ParseDouble() {
+    SkipSpace();
+    const char* begin = text_.c_str() + pos_;
+    char* end = nullptr;
+    const double value = std::strtod(begin, &end);
+    if (end == begin) {
+      return DataLossError("snapshot JSON: expected number at offset " +
+                           std::to_string(pos_));
+    }
+    pos_ += static_cast<size_t>(end - begin);
+    return value;
+  }
+
+  template <typename ElementFn>
+  Status ParseArray(ElementFn element) {
+    SHPIR_RETURN_IF_ERROR(Expect('['));
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return OkStatus();
+    }
+    while (true) {
+      SHPIR_RETURN_IF_ERROR(element());
+      SkipSpace();
+      if (pos_ < text_.size() && text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      return Expect(']');
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<MetricsSnapshot> ParseJsonSnapshot(const std::string& json) {
+  return SnapshotParser(json).Parse();
+}
+
+std::string RenderTable(const MetricsSnapshot& snapshot) {
+  std::ostringstream out;
+  if (!snapshot.counters.empty()) {
+    out << "counters:\n";
+    for (const SnapshotCounter& counter : snapshot.counters) {
+      char line[192];
+      std::snprintf(line, sizeof(line), "  %-48s %" PRIu64 "\n",
+                    counter.name.c_str(), counter.value);
+      out << line;
+    }
+  }
+  if (!snapshot.gauges.empty()) {
+    out << "gauges:\n";
+    for (const SnapshotGauge& gauge : snapshot.gauges) {
+      char line[192];
+      std::snprintf(line, sizeof(line), "  %-48s %s\n", gauge.name.c_str(),
+                    FormatDouble(gauge.value).c_str());
+      out << line;
+    }
+  }
+  if (!snapshot.histograms.empty()) {
+    out << "histograms:\n";
+    for (const SnapshotHistogram& h : snapshot.histograms) {
+      char line[256];
+      std::snprintf(line, sizeof(line),
+                    "  %-48s count=%" PRIu64 " p50=%.0f p95=%.0f p99=%.0f"
+                    " min=%" PRIu64 " max=%" PRIu64 "\n",
+                    h.name.c_str(), h.count, h.p50, h.p95, h.p99, h.min,
+                    h.max);
+      out << line;
+    }
+  }
+  if (out.str().empty()) {
+    return "(no metrics)\n";
+  }
+  return out.str();
+}
+
+}  // namespace shpir::obs

@@ -1,0 +1,31 @@
+#ifndef SHPIR_OBS_EXPORT_H_
+#define SHPIR_OBS_EXPORT_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "obs/metrics.h"
+
+namespace shpir::obs {
+
+/// Prometheus text exposition (version 0.0.4): counters and gauges as
+/// single samples, histograms as summaries with precomputed quantiles.
+std::string ToPrometheusText(const MetricsSnapshot& snapshot);
+
+/// Compact JSON snapshot — the wire format of the STATS ops:
+///   {"counters":[{"name":...,"value":...}],
+///    "gauges":[...],
+///    "histograms":[{"name":...,"count":...,"sum":...,"min":...,
+///                   "max":...,"p50":...,"p95":...,"p99":...}]}
+std::string ToJson(const MetricsSnapshot& snapshot);
+
+/// Parses a snapshot produced by ToJson (unknown keys are rejected; the
+/// format is a closed schema, not general JSON).
+Result<MetricsSnapshot> ParseJsonSnapshot(const std::string& json);
+
+/// Human-readable table for the shpir_stats CLI.
+std::string RenderTable(const MetricsSnapshot& snapshot);
+
+}  // namespace shpir::obs
+
+#endif  // SHPIR_OBS_EXPORT_H_

@@ -1,0 +1,208 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace shpir::obs {
+
+namespace {
+
+// CAS loop updating an atomic with min/max semantics.
+template <typename Cmp>
+void AtomicExtreme(std::atomic<uint64_t>& slot, uint64_t value, Cmp better) {
+  uint64_t observed = slot.load(std::memory_order_relaxed);
+  while (better(value, observed) &&
+         !slot.compare_exchange_weak(observed, value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+void Histogram::Record(uint64_t value) {
+  buckets_[static_cast<size_t>(BucketIndex(value))].fetch_add(
+      1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  AtomicExtreme(min_, value, std::less<uint64_t>());
+  AtomicExtreme(max_, value, std::greater<uint64_t>());
+}
+
+uint64_t Histogram::Min() const {
+  const uint64_t v = min_.load(std::memory_order_relaxed);
+  return v == UINT64_MAX ? 0 : v;
+}
+
+uint64_t Histogram::Max() const {
+  return max_.load(std::memory_order_relaxed);
+}
+
+int Histogram::BucketIndex(uint64_t value) {
+  if (value < kLinearBuckets) {
+    return static_cast<int>(value);
+  }
+  const int exponent = 63 - std::countl_zero(value);  // >= 4.
+  const int sub = static_cast<int>((value >> (exponent - 2)) & 3);
+  return kLinearBuckets + (exponent - 4) * kSubBuckets + sub;
+}
+
+uint64_t Histogram::BucketLowerBound(int index) {
+  if (index < kLinearBuckets) {
+    return static_cast<uint64_t>(index);
+  }
+  const int exponent = 4 + (index - kLinearBuckets) / kSubBuckets;
+  const int sub = (index - kLinearBuckets) % kSubBuckets;
+  return (uint64_t{1} << exponent) +
+         static_cast<uint64_t>(sub) * (uint64_t{1} << (exponent - 2));
+}
+
+uint64_t Histogram::BucketUpperBound(int index) {
+  if (index < kLinearBuckets) {
+    return static_cast<uint64_t>(index);
+  }
+  const int exponent = 4 + (index - kLinearBuckets) / kSubBuckets;
+  const int sub = (index - kLinearBuckets) % kSubBuckets;
+  return (uint64_t{1} << exponent) +
+         static_cast<uint64_t>(sub + 1) * (uint64_t{1} << (exponent - 2)) - 1;
+}
+
+double Histogram::Quantile(double q) const {
+  q = std::clamp(q, 0.0, 1.0);
+  // Use the bucket totals themselves so the scan is self-consistent even
+  // while other threads record.
+  std::array<uint64_t, kNumBuckets> copy;
+  uint64_t total = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    copy[static_cast<size_t>(i)] =
+        buckets_[static_cast<size_t>(i)].load(std::memory_order_relaxed);
+    total += copy[static_cast<size_t>(i)];
+  }
+  if (total == 0) {
+    return 0.0;
+  }
+  // Rank of the q-quantile order statistic (nearest-rank definition).
+  uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(total - 1));
+  for (int i = 0; i < kNumBuckets; ++i) {
+    const uint64_t in_bucket = copy[static_cast<size_t>(i)];
+    if (rank < in_bucket) {
+      const double mid = (static_cast<double>(BucketLowerBound(i)) +
+                          static_cast<double>(BucketUpperBound(i))) /
+                         2.0;
+      return std::clamp(mid, static_cast<double>(Min()),
+                        static_cast<double>(Max()));
+    }
+    rank -= in_bucket;
+  }
+  return static_cast<double>(Max());
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+bool MetricsRegistry::IsValidName(std::string_view name) {
+  if (name.empty() || name.size() > 120) {
+    return false;
+  }
+  if (name.front() < 'a' || name.front() > 'z') {
+    return false;
+  }
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+                    c == '_';
+    if (!ok) {
+      return false;
+    }
+  }
+  // Aggregate-only vocabulary: identifier-bearing names are the easiest
+  // way to leak a per-request value through the stats surface.
+  for (const std::string_view forbidden :
+       {"page_id", "request_index", "client_id"}) {
+    if (name.find(forbidden) != std::string_view::npos) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Counter* MetricsRegistry::FindOrCreateCounter(std::string_view name) {
+  SHPIR_CHECK(IsValidName(name));
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name),
+                           std::unique_ptr<Counter>(new Counter()))
+             .first;
+  }
+  return it->second.get();
+}
+
+Gauge* MetricsRegistry::FindOrCreateGauge(std::string_view name) {
+  SHPIR_CHECK(IsValidName(name));
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name),
+                         std::unique_ptr<Gauge>(new Gauge()))
+             .first;
+  }
+  return it->second.get();
+}
+
+Histogram* MetricsRegistry::FindOrCreateHistogram(std::string_view name) {
+  SHPIR_CHECK(IsValidName(name));
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name),
+                             std::unique_ptr<Histogram>(new Histogram()))
+             .first;
+  }
+  return it->second.get();
+}
+
+void MetricsRegistry::RegisterCallbackGauge(std::string_view name,
+                                            std::function<double()> callback) {
+  SHPIR_CHECK(IsValidName(name));
+  SHPIR_CHECK(callback != nullptr);
+  std::lock_guard<std::mutex> lock(mutex_);
+  callback_gauges_[std::string(name)] = std::move(callback);
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot snapshot;
+  snapshot.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    snapshot.counters.push_back({name, counter->Value()});
+  }
+  snapshot.gauges.reserve(gauges_.size() + callback_gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    snapshot.gauges.push_back({name, gauge->Value()});
+  }
+  for (const auto& [name, callback] : callback_gauges_) {
+    snapshot.gauges.push_back({name, callback()});
+  }
+  std::sort(snapshot.gauges.begin(), snapshot.gauges.end(),
+            [](const SnapshotGauge& a, const SnapshotGauge& b) {
+              return a.name < b.name;
+            });
+  snapshot.histograms.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    SnapshotHistogram h;
+    h.name = name;
+    h.count = histogram->Count();
+    h.sum = histogram->Sum();
+    h.min = histogram->Min();
+    h.max = histogram->Max();
+    h.p50 = histogram->Quantile(0.50);
+    h.p95 = histogram->Quantile(0.95);
+    h.p99 = histogram->Quantile(0.99);
+    snapshot.histograms.push_back(std::move(h));
+  }
+  return snapshot;
+}
+
+}  // namespace shpir::obs

@@ -1,0 +1,23 @@
+#include "obs/span.h"
+
+namespace shpir::obs {
+
+const char* PhaseName(Phase phase) {
+  switch (phase) {
+    case Phase::kPageMapLookup:
+      return "pagemap";
+    case Phase::kBlockRead:
+      return "block_read";
+    case Phase::kDecrypt:
+      return "decrypt";
+    case Phase::kCacheEvict:
+      return "evict";
+    case Phase::kReencrypt:
+      return "reencrypt";
+    case Phase::kWriteBack:
+      return "writeback";
+  }
+  return "unknown";
+}
+
+}  // namespace shpir::obs

@@ -1,0 +1,125 @@
+#ifndef SHPIR_OBS_SPAN_H_
+#define SHPIR_OBS_SPAN_H_
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+
+#include "obs/metrics.h"
+
+namespace shpir::obs {
+
+/// Phases of one c-approximate PIR round, in protocol order (Fig. 3).
+enum class Phase : uint8_t {
+  kPageMapLookup = 0,  // Locating the request + pageMap updates.
+  kBlockRead,          // Disk reads (k-page block + extra page).
+  kDecrypt,            // OpenPage over the fetched pages.
+  kCacheEvict,         // Uniformization + cache eviction swaps.
+  kReencrypt,          // SealPage with fresh nonces.
+  kWriteBack,          // Disk write-back of the k+1 pages.
+};
+inline constexpr int kNumPhases = 6;
+
+const char* PhaseName(Phase phase);
+
+/// Per-phase latency histograms a QueryTrace flushes into.
+using PhaseHistograms = std::array<Histogram*, kNumPhases>;
+
+/// Accumulates per-phase wall-clock nanoseconds for one query and
+/// flushes one histogram sample per phase at destruction. Lives on the
+/// stack: when constructed with a null histogram array the trace — and
+/// every Span opened on it — is a no-op that never reads the clock and
+/// never allocates, which is what keeps the disabled-tracing hot path at
+/// zero overhead and zero allocations.
+class QueryTrace {
+ public:
+  explicit QueryTrace(const PhaseHistograms* phases) : phases_(phases) {}
+
+  QueryTrace(const QueryTrace&) = delete;
+  QueryTrace& operator=(const QueryTrace&) = delete;
+
+  ~QueryTrace() {
+    if (phases_ == nullptr) {
+      return;
+    }
+    for (int i = 0; i < kNumPhases; ++i) {
+      Histogram* histogram = (*phases_)[static_cast<size_t>(i)];
+      if (histogram != nullptr) {
+        histogram->Record(elapsed_ns_[static_cast<size_t>(i)]);
+      }
+    }
+  }
+
+  bool enabled() const { return phases_ != nullptr; }
+
+  /// Adds `ns` to the phase's running total; phases re-entered several
+  /// times in a round (e.g. the two disk reads) aggregate into one
+  /// sample.
+  void Add(Phase phase, uint64_t ns) {
+    elapsed_ns_[static_cast<size_t>(phase)] += ns;
+  }
+
+ private:
+  const PhaseHistograms* phases_;
+  std::array<uint64_t, kNumPhases> elapsed_ns_{};
+};
+
+/// RAII phase timer on a QueryTrace. Disabled traces make this a no-op.
+class Span {
+ public:
+  Span(QueryTrace& trace, Phase phase)
+      : trace_(trace.enabled() ? &trace : nullptr), phase_(phase) {
+    if (trace_ != nullptr) {
+      start_ = std::chrono::steady_clock::now();
+    }
+  }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  ~Span() {
+    if (trace_ != nullptr) {
+      const auto elapsed = std::chrono::steady_clock::now() - start_;
+      trace_->Add(phase_, static_cast<uint64_t>(
+                              std::chrono::duration_cast<
+                                  std::chrono::nanoseconds>(elapsed)
+                                  .count()));
+    }
+  }
+
+ private:
+  QueryTrace* trace_;
+  Phase phase_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// RAII timer recording elapsed nanoseconds straight into a histogram
+/// (or nothing when the histogram is null).
+class ScopedLatencyTimer {
+ public:
+  explicit ScopedLatencyTimer(Histogram* histogram) : histogram_(histogram) {
+    if (histogram_ != nullptr) {
+      start_ = std::chrono::steady_clock::now();
+    }
+  }
+
+  ScopedLatencyTimer(const ScopedLatencyTimer&) = delete;
+  ScopedLatencyTimer& operator=(const ScopedLatencyTimer&) = delete;
+
+  ~ScopedLatencyTimer() {
+    if (histogram_ != nullptr) {
+      const auto elapsed = std::chrono::steady_clock::now() - start_;
+      histogram_->Record(static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+              .count()));
+    }
+  }
+
+ private:
+  Histogram* histogram_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace shpir::obs
+
+#endif  // SHPIR_OBS_SPAN_H_

@@ -15,10 +15,16 @@ namespace shpir::storage {
 struct AccessEvent {
   enum class Op : uint8_t { kRead, kWrite };
 
+  /// request_index value for accesses made before any BeginRequest()
+  /// (bulk load, reshuffles, other setup I/O). Setup accesses are part
+  /// of no client request; analysis code must not attribute them to one.
+  static constexpr uint64_t kSetupIndex = UINT64_MAX;
+
   Op op;
   Location location;
   /// Index of the client request during which this access happened,
-  /// stamped by the PIR engine via AccessTrace::BeginRequest().
+  /// stamped by the PIR engine via AccessTrace::BeginRequest(), or
+  /// kSetupIndex for accesses preceding the first request.
   uint64_t request_index;
 
   friend bool operator==(const AccessEvent& a, const AccessEvent& b) {
@@ -37,10 +43,10 @@ class AccessTrace {
   uint64_t BeginRequest() { return current_request_++; }
 
   void RecordRead(Location loc) {
-    events_.push_back({AccessEvent::Op::kRead, loc, current_request_ - 1});
+    events_.push_back({AccessEvent::Op::kRead, loc, CurrentIndex()});
   }
   void RecordWrite(Location loc) {
-    events_.push_back({AccessEvent::Op::kWrite, loc, current_request_ - 1});
+    events_.push_back({AccessEvent::Op::kWrite, loc, CurrentIndex()});
   }
 
   const std::vector<AccessEvent>& events() const { return events_; }
@@ -52,6 +58,15 @@ class AccessTrace {
   }
 
  private:
+  /// Index to stamp on an access happening now. Before the first
+  /// BeginRequest() the subtraction below would underflow to an
+  /// arbitrary-looking huge index; such setup accesses get the explicit
+  /// kSetupIndex sentinel instead.
+  uint64_t CurrentIndex() const {
+    return current_request_ == 0 ? AccessEvent::kSetupIndex
+                                 : current_request_ - 1;
+  }
+
   std::vector<AccessEvent> events_;
   uint64_t current_request_ = 0;
 };

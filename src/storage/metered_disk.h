@@ -1,0 +1,80 @@
+#ifndef SHPIR_STORAGE_METERED_DISK_H_
+#define SHPIR_STORAGE_METERED_DISK_H_
+
+#include <atomic>
+
+#include "obs/metrics.h"
+#include "storage/disk.h"
+
+namespace shpir::storage {
+
+/// Disk decorator that exports aggregate I/O metrics (operation counts,
+/// bytes moved, head seeks) to an obs::MetricsRegistry. Safe outside the
+/// trusted boundary: it observes only what the untrusted server already
+/// sees — operation type and volume — never slot indices or contents.
+///
+/// A "seek" is counted whenever an access does not continue sequentially
+/// from the previous one, mirroring how the paper's cost model charges
+/// t_s per discontiguous access.
+class MeteredDisk : public Disk {
+ public:
+  /// `inner` and `registry` are unowned and must outlive the decorator.
+  MeteredDisk(Disk* inner, obs::MetricsRegistry* registry)
+      : inner_(inner),
+        reads_(registry->FindOrCreateCounter("shpir_disk_reads_total")),
+        writes_(registry->FindOrCreateCounter("shpir_disk_writes_total")),
+        read_bytes_(
+            registry->FindOrCreateCounter("shpir_disk_read_bytes_total")),
+        write_bytes_(
+            registry->FindOrCreateCounter("shpir_disk_write_bytes_total")),
+        seeks_(registry->FindOrCreateCounter("shpir_disk_seeks_total")) {}
+
+  uint64_t num_slots() const override { return inner_->num_slots(); }
+  size_t slot_size() const override { return inner_->slot_size(); }
+
+  Status Read(Location loc, MutableByteSpan out) override {
+    Account(loc, 1, reads_, read_bytes_);
+    return inner_->Read(loc, out);
+  }
+
+  Status Write(Location loc, ByteSpan data) override {
+    Account(loc, 1, writes_, write_bytes_);
+    return inner_->Write(loc, data);
+  }
+
+  Status ReadRun(Location start, uint64_t count,
+                 std::vector<Bytes>& out) override {
+    Account(start, count, reads_, read_bytes_);
+    return inner_->ReadRun(start, count, out);
+  }
+
+  Status WriteRun(Location start, const std::vector<Bytes>& slots) override {
+    Account(start, slots.size(), writes_, write_bytes_);
+    return inner_->WriteRun(start, slots);
+  }
+
+ private:
+  void Account(Location loc, uint64_t count, obs::Counter* ops,
+               obs::Counter* bytes) {
+    ops->Increment(count);
+    bytes->Increment(count * inner_->slot_size());
+    const uint64_t expected = next_sequential_.exchange(
+        loc + count, std::memory_order_relaxed);
+    if (loc != expected) {
+      seeks_->Increment();
+    }
+  }
+
+  Disk* inner_;
+  obs::Counter* reads_;
+  obs::Counter* writes_;
+  obs::Counter* read_bytes_;
+  obs::Counter* write_bytes_;
+  obs::Counter* seeks_;
+  // Location the head would reach next if access stayed sequential.
+  std::atomic<uint64_t> next_sequential_{UINT64_MAX};
+};
+
+}  // namespace shpir::storage
+
+#endif  // SHPIR_STORAGE_METERED_DISK_H_

@@ -1,0 +1,71 @@
+#include "storage/access_trace.h"
+
+#include <gtest/gtest.h>
+
+#include "storage/disk.h"
+
+namespace shpir::storage {
+namespace {
+
+TEST(AccessTrace, StampsRequestIndices) {
+  AccessTrace trace;
+  EXPECT_EQ(trace.BeginRequest(), 0u);
+  trace.RecordRead(10);
+  trace.RecordWrite(11);
+  EXPECT_EQ(trace.BeginRequest(), 1u);
+  trace.RecordRead(20);
+  ASSERT_EQ(trace.events().size(), 3u);
+  EXPECT_EQ(trace.events()[0].request_index, 0u);
+  EXPECT_EQ(trace.events()[1].request_index, 0u);
+  EXPECT_EQ(trace.events()[2].request_index, 1u);
+  EXPECT_EQ(trace.num_requests(), 2u);
+}
+
+// Regression: accesses recorded before any BeginRequest() (bulk load,
+// offline reshuffles) used to compute `current_request_ - 1`, which
+// underflowed to an arbitrary-looking huge index. They must carry the
+// explicit kSetupIndex sentinel so analysis code can recognize and
+// exclude them instead of attributing them to a phantom request.
+TEST(AccessTrace, SetupAccessesCarrySentinelIndex) {
+  AccessTrace trace;
+  trace.RecordRead(5);
+  trace.RecordWrite(6);
+  ASSERT_EQ(trace.events().size(), 2u);
+  EXPECT_EQ(trace.events()[0].request_index, AccessEvent::kSetupIndex);
+  EXPECT_EQ(trace.events()[1].request_index, AccessEvent::kSetupIndex);
+  // Once requests begin, the sentinel no longer appears.
+  trace.BeginRequest();
+  trace.RecordRead(7);
+  EXPECT_EQ(trace.events()[2].request_index, 0u);
+  EXPECT_NE(trace.events()[2].request_index, AccessEvent::kSetupIndex);
+}
+
+TEST(AccessTrace, ClearResetsToSetupState) {
+  AccessTrace trace;
+  trace.BeginRequest();
+  trace.RecordRead(1);
+  trace.Clear();
+  EXPECT_TRUE(trace.events().empty());
+  EXPECT_EQ(trace.num_requests(), 0u);
+  trace.RecordRead(2);
+  EXPECT_EQ(trace.events()[0].request_index, AccessEvent::kSetupIndex);
+}
+
+TEST(TracingDisk, ReportsAccessesToTrace) {
+  MemoryDisk inner(8, 16);
+  AccessTrace trace;
+  TracingDisk disk(&inner, &trace);
+  Bytes buffer(16, 0xAB);
+  ASSERT_TRUE(disk.Write(3, buffer).ok());
+  trace.BeginRequest();
+  ASSERT_TRUE(disk.Read(3, buffer).ok());
+  ASSERT_EQ(trace.events().size(), 2u);
+  EXPECT_EQ(trace.events()[0].op, AccessEvent::Op::kWrite);
+  EXPECT_EQ(trace.events()[0].location, 3u);
+  EXPECT_EQ(trace.events()[0].request_index, AccessEvent::kSetupIndex);
+  EXPECT_EQ(trace.events()[1].op, AccessEvent::Op::kRead);
+  EXPECT_EQ(trace.events()[1].request_index, 0u);
+}
+
+}  // namespace
+}  // namespace shpir::storage

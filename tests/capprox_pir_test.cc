@@ -9,6 +9,7 @@
 #include "common/check.h"
 #include "crypto/secure_random.h"
 #include "hardware/coprocessor.h"
+#include "obs/metrics.h"
 #include "storage/access_trace.h"
 #include "storage/disk.h"
 
@@ -531,6 +532,92 @@ TEST(CApproxPirTest, PartialLoadZeroFillsMissingPages) {
   ASSERT_TRUE(rig.engine->Initialize(pages).ok());
   EXPECT_EQ(*rig.engine->Retrieve(0), PayloadFor(0));
   EXPECT_EQ(*rig.engine->Retrieve(1), Bytes(kPageSize, 0));
+}
+
+TEST(CApproxPirTest, MetricsMirrorEngineActivity) {
+  CApproxPir::Options options = SmallOptions();
+  options.insert_reserve = 4;
+  // The registry must outlive the rig: destructors release secure memory
+  // through attached gauges.
+  obs::MetricsRegistry registry;
+  Rig rig = Rig::Make(options);
+  rig.engine->EnableMetrics(&registry);
+
+  for (PageId id = 0; id < 10; ++id) {
+    ASSERT_TRUE(rig.engine->Retrieve(id).ok());
+  }
+  ASSERT_TRUE(rig.engine->Modify(3, PayloadFor(3)).ok());
+  ASSERT_TRUE(rig.engine->Remove(5).ok());
+  Result<PageId> inserted = rig.engine->Insert(PayloadFor(7));
+  ASSERT_TRUE(inserted.ok());
+  ASSERT_TRUE(rig.engine->OfflineReshuffle().ok());
+  ASSERT_TRUE(rig.engine->RotateKeys().ok());
+
+  auto counter = [&](const std::string& name) {
+    return registry.FindOrCreateCounter(name)->Value();
+  };
+  // 10 retrieves + modify + remove + insert all run rounds.
+  EXPECT_EQ(counter("shpir_engine_queries_total"), 13u);
+  EXPECT_EQ(counter("shpir_engine_evictions_total"), 13u);
+  EXPECT_EQ(counter("shpir_engine_modifies_total"), 1u);
+  EXPECT_EQ(counter("shpir_engine_removes_total"), 1u);
+  EXPECT_EQ(counter("shpir_engine_inserts_total"), 1u);
+  EXPECT_EQ(counter("shpir_engine_reshuffles_total"), 2u);
+  EXPECT_EQ(counter("shpir_engine_key_rotations_total"), 1u);
+  // The counter mirrors agree with the legacy Stats struct.
+  EXPECT_EQ(counter("shpir_engine_cache_hits_total"),
+            rig.engine->stats().cache_hits);
+  EXPECT_EQ(counter("shpir_engine_block_hits_total"),
+            rig.engine->stats().block_hits);
+
+  // Gauges expose the round-robin cursor and the paper's parameters.
+  auto gauge = [&](const std::string& name) {
+    return registry.FindOrCreateGauge(name)->Value();
+  };
+  EXPECT_EQ(gauge("shpir_engine_block_cursor"), 0.0);  // Reshuffle reset.
+  EXPECT_DOUBLE_EQ(gauge("shpir_engine_achieved_privacy_c"),
+                   rig.engine->achieved_privacy());
+  EXPECT_DOUBLE_EQ(gauge("shpir_engine_block_size_k"),
+                   static_cast<double>(rig.engine->block_size()));
+  EXPECT_DOUBLE_EQ(gauge("shpir_engine_cache_pages_m"), 8.0);
+
+  // Latency histograms: one whole-query sample per round, one sample per
+  // phase per round.
+  obs::Histogram* latency =
+      registry.FindOrCreateHistogram("shpir_engine_query_latency_ns");
+  EXPECT_EQ(latency->Count(), 13u);
+  EXPECT_GT(latency->Sum(), 0u);
+  obs::Histogram* reencrypt =
+      registry.FindOrCreateHistogram("shpir_engine_phase_reencrypt_ns");
+  EXPECT_EQ(reencrypt->Count(), 13u);
+
+  // Disabling restores the unmetered path; counters stop moving.
+  rig.engine->EnableMetrics(nullptr);
+  ASSERT_TRUE(rig.engine->Retrieve(0).ok());
+  EXPECT_EQ(counter("shpir_engine_queries_total"), 13u);
+  EXPECT_EQ(latency->Count(), 13u);
+}
+
+TEST(CApproxPirTest, MetricsDoNotPerturbResults) {
+  // Instrumented and uninstrumented engines with the same seed must make
+  // identical RNG draws, hence identical disk layouts and results.
+  CApproxPir::Options options = SmallOptions();
+  obs::MetricsRegistry registry;
+  Rig plain = Rig::Make(options, 99);
+  Rig metered = Rig::Make(options, 99);
+  metered.engine->EnableMetrics(&registry);
+  for (PageId id = 0; id < 30; ++id) {
+    Result<Bytes> a = plain.engine->Retrieve(id % 50);
+    Result<Bytes> b = metered.engine->Retrieve(id % 50);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(*a, *b);
+  }
+  // Identical adversary-visible access sequences.
+  EXPECT_EQ(plain.trace.events().size(), metered.trace.events().size());
+  EXPECT_TRUE(std::equal(plain.trace.events().begin(),
+                         plain.trace.events().end(),
+                         metered.trace.events().begin()));
 }
 
 }  // namespace

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "common/check.h"
+#include "obs/metrics.h"
 #include "storage/disk.h"
 
 namespace shpir::hardware {
@@ -178,6 +179,58 @@ TEST_F(CoprocessorTest, ElapsedSecondsReflectsActivity) {
   std::vector<Bytes> out;
   ASSERT_TRUE(cpu_->ReadRun(0, 2, out).ok());
   EXPECT_GT(cpu_->ElapsedSeconds(), 0.005);  // At least the seek.
+}
+
+TEST_F(CoprocessorTest, AttachMetricsMirrorsCostAccounting) {
+  obs::MetricsRegistry registry;
+  cpu_->AttachMetrics(&registry);
+
+  std::vector<Bytes> out;
+  ASSERT_TRUE(cpu_->ReadRun(0, 2, out).ok());      // 1 seek, 2 slots.
+  ASSERT_TRUE(cpu_->WriteSlot(5, out[0]).ok());    // 1 seek, 1 slot.
+  Page page(1, Bytes(kPageSize, 0x33));
+  Result<Bytes> sealed = cpu_->SealPage(page);
+  ASSERT_TRUE(sealed.ok());
+  ASSERT_TRUE(cpu_->OpenPage(*sealed).ok());
+  ASSERT_TRUE(cpu_->ReserveSecureMemory(4096, "test structure").ok());
+
+  const obs::MetricsSnapshot snapshot = registry.Snapshot();
+  auto counter = [&](const std::string& name) -> uint64_t {
+    for (const auto& c : snapshot.counters) {
+      if (c.name == name) {
+        return c.value;
+      }
+    }
+    ADD_FAILURE() << "missing counter " << name;
+    return 0;
+  };
+  auto gauge = [&](const std::string& name) -> double {
+    for (const auto& g : snapshot.gauges) {
+      if (g.name == name) {
+        return g.value;
+      }
+    }
+    ADD_FAILURE() << "missing gauge " << name;
+    return -1;
+  };
+  EXPECT_EQ(counter("shpir_hw_seeks_total"), 2u);
+  EXPECT_EQ(counter("shpir_hw_disk_bytes_total"), 3 * kSealedSize);
+  EXPECT_EQ(counter("shpir_hw_link_bytes_total"), 3 * kSealedSize);
+  EXPECT_EQ(counter("shpir_hw_crypto_bytes_total"), 2 * kPageSize);
+  EXPECT_EQ(counter("shpir_hw_pages_sealed_total"), 1u);
+  EXPECT_EQ(counter("shpir_hw_pages_opened_total"), 1u);
+  EXPECT_DOUBLE_EQ(gauge("shpir_hw_simulated_seconds"),
+                   cpu_->ElapsedSeconds());
+  EXPECT_DOUBLE_EQ(gauge("shpir_hw_secure_memory_used_bytes"), 4096.0);
+  EXPECT_DOUBLE_EQ(
+      gauge("shpir_hw_secure_memory_capacity_bytes"),
+      static_cast<double>(cpu_->secure_memory_capacity()));
+
+  // Detach: further activity leaves the registry untouched.
+  cpu_->AttachMetrics(nullptr);
+  ASSERT_TRUE(cpu_->ReadRun(0, 2, out).ok());
+  EXPECT_EQ(registry.FindOrCreateCounter("shpir_hw_seeks_total")->Value(),
+            2u);
 }
 
 }  // namespace

@@ -5,8 +5,10 @@
 #include <cstdio>
 #include <string>
 
+#include "obs/metrics.h"
 #include "storage/access_trace.h"
 #include "storage/file_disk.h"
+#include "storage/metered_disk.h"
 
 namespace shpir::storage {
 namespace {
@@ -156,6 +158,46 @@ TEST(TracingDiskTest, ClearResetsTrace) {
   trace.Clear();
   EXPECT_TRUE(trace.events().empty());
   EXPECT_EQ(trace.num_requests(), 0u);
+}
+
+TEST(MeteredDiskTest, CountsOpsBytesAndSeeks) {
+  MemoryDisk inner(16, 8);
+  obs::MetricsRegistry registry;
+  MeteredDisk disk(&inner, &registry);
+  EXPECT_EQ(disk.num_slots(), 16u);
+  EXPECT_EQ(disk.slot_size(), 8u);
+
+  Bytes data(8, 0x11);
+  ASSERT_TRUE(disk.Write(0, data).ok());   // First access: one seek.
+  ASSERT_TRUE(disk.Write(1, data).ok());   // Sequential: no seek.
+  ASSERT_TRUE(disk.Write(7, data).ok());   // Jump: seek.
+  std::vector<Bytes> run;
+  ASSERT_TRUE(disk.ReadRun(8, 4, run).ok());  // Continues from 8: no seek.
+  Bytes out(8);
+  ASSERT_TRUE(disk.Read(3, out).ok());     // Jump back: seek.
+
+  auto counter = [&](const std::string& name) {
+    return registry.FindOrCreateCounter(name)->Value();
+  };
+  EXPECT_EQ(counter("shpir_disk_writes_total"), 3u);
+  EXPECT_EQ(counter("shpir_disk_reads_total"), 5u);  // 4-slot run + 1.
+  EXPECT_EQ(counter("shpir_disk_write_bytes_total"), 3u * 8);
+  EXPECT_EQ(counter("shpir_disk_read_bytes_total"), 5u * 8);
+  EXPECT_EQ(counter("shpir_disk_seeks_total"), 3u);
+}
+
+TEST(MeteredDiskTest, DelegatesDataFaithfully) {
+  MemoryDisk inner(4, 16);
+  obs::MetricsRegistry registry;
+  MeteredDisk disk(&inner, &registry);
+  Bytes data(16, 0xC3);
+  ASSERT_TRUE(disk.Write(2, data).ok());
+  Bytes direct(16);
+  ASSERT_TRUE(inner.Read(2, direct).ok());
+  EXPECT_EQ(direct, data);
+  Bytes via(16);
+  ASSERT_TRUE(disk.Read(2, via).ok());
+  EXPECT_EQ(via, data);
 }
 
 }  // namespace

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <memory>
 #include <thread>
 
@@ -9,6 +10,8 @@
 #include "net/tcp_transport.h"
 #include "crypto/secure_random.h"
 #include "hardware/coprocessor.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
 #include "storage/disk.h"
 
 namespace shpir::net {
@@ -24,7 +27,7 @@ struct Rig {
   std::unique_ptr<ServiceHub> hub;
   Bytes psk = Bytes(32, 0x66);
 
-  static Rig Make(uint64_t seed) {
+  static Rig Make(uint64_t seed, obs::MetricsRegistry* metrics = nullptr) {
     core::CApproxPir::Options options;
     options.num_pages = 40;
     options.page_size = kPageSize;
@@ -47,8 +50,12 @@ struct Rig {
       pages.emplace_back(id, Bytes(kPageSize, static_cast<uint8_t>(id + 1)));
     }
     SHPIR_CHECK_OK(rig.engine->Initialize(pages));
+    if (metrics != nullptr) {
+      rig.cpu->AttachMetrics(metrics);
+      rig.engine->EnableMetrics(metrics);
+    }
     rig.hub = std::make_unique<ServiceHub>(rig.engine.get(), rig.psk,
-                                           seed + 1);
+                                           seed + 1, metrics);
     return rig;
   }
 };
@@ -201,6 +208,125 @@ TEST(ServiceHubTest, RehandshakeReplacesSession) {
   EXPECT_TRUE(second.Retrieve(1).ok());
   // The first session's keys are gone.
   EXPECT_FALSE(first.Retrieve(2).ok());
+}
+
+TEST(ServiceHubTest, StatsOpReturnsParseableSnapshot) {
+  obs::MetricsRegistry metrics;
+  Rig rig = Rig::Make(30, &metrics);
+  PirServiceClient client = MakeClient(rig, 44, 31);
+  for (uint64_t id = 0; id < 5; ++id) {
+    ASSERT_TRUE(client.Retrieve(id).ok());
+  }
+  Result<Bytes> payload = client.Stats();
+  ASSERT_TRUE(payload.ok()) << payload.status();
+  Result<obs::MetricsSnapshot> snapshot = obs::ParseJsonSnapshot(
+      std::string(payload->begin(), payload->end()));
+  ASSERT_TRUE(snapshot.ok()) << snapshot.status();
+
+  auto counter = [&](const std::string& name) -> uint64_t {
+    for (const auto& c : snapshot->counters) {
+      if (c.name == name) {
+        return c.value;
+      }
+    }
+    ADD_FAILURE() << "missing counter " << name;
+    return 0;
+  };
+  EXPECT_EQ(counter("shpir_engine_queries_total"), 5u);
+  EXPECT_EQ(counter("shpir_engine_evictions_total"), 5u);
+  EXPECT_GE(counter("shpir_hw_seeks_total"), 5u * 4);
+  EXPECT_GE(counter("shpir_net_data_frames_total"), 5u);
+  EXPECT_EQ(counter("shpir_net_hellos_total"), 1u);
+
+  bool found_latency = false;
+  for (const auto& h : snapshot->histograms) {
+    if (h.name == "shpir_engine_query_latency_ns") {
+      found_latency = true;
+      EXPECT_EQ(h.count, 5u);
+      EXPECT_GT(h.p50, 0.0);
+      EXPECT_GE(h.p99, h.p50);
+    }
+  }
+  EXPECT_TRUE(found_latency);
+}
+
+TEST(ServiceHubTest, StatsWithoutRegistryIsAnError) {
+  Rig rig = Rig::Make(33);  // No metrics registry attached.
+  PirServiceClient client = MakeClient(rig, 9, 34);
+  EXPECT_FALSE(client.Stats().ok());
+}
+
+// Trust-boundary assertion (docs/OBSERVABILITY.md): everything that
+// crosses the STATS surface is an aggregate from a known namespace —
+// no per-request page ids, request indices, or client ids can appear,
+// in names or as high-cardinality name suffixes.
+TEST(ServiceHubTest, StatsPayloadStaysInsideTrustBoundary) {
+  obs::MetricsRegistry metrics;
+  Rig rig = Rig::Make(40, &metrics);
+  PirServiceClient client = MakeClient(rig, 5, 41);
+  ASSERT_TRUE(client.Retrieve(1).ok());
+  ASSERT_TRUE(client.Modify(2, Bytes(4, 0xAA)).ok());
+  Result<Bytes> payload = client.Stats();
+  ASSERT_TRUE(payload.ok()) << payload.status();
+  Result<obs::MetricsSnapshot> snapshot = obs::ParseJsonSnapshot(
+      std::string(payload->begin(), payload->end()));
+  ASSERT_TRUE(snapshot.ok()) << snapshot.status();
+
+  const std::vector<std::string> allowed_prefixes = {
+      "shpir_engine_", "shpir_hw_", "shpir_net_",
+      "shpir_disk_",   "shpir_provider_", "shpir_tcp_"};
+  const std::vector<std::string> forbidden = {"page_id", "request_index",
+                                              "client_id"};
+  std::vector<std::string> names;
+  for (const auto& c : snapshot->counters) {
+    names.push_back(c.name);
+  }
+  for (const auto& g : snapshot->gauges) {
+    names.push_back(g.name);
+  }
+  for (const auto& h : snapshot->histograms) {
+    names.push_back(h.name);
+  }
+  EXPECT_FALSE(names.empty());
+  for (const std::string& name : names) {
+    EXPECT_TRUE(obs::MetricsRegistry::IsValidName(name)) << name;
+    bool prefixed = false;
+    for (const std::string& prefix : allowed_prefixes) {
+      if (name.rfind(prefix, 0) == 0) {
+        prefixed = true;
+      }
+    }
+    EXPECT_TRUE(prefixed) << "metric outside known namespaces: " << name;
+    for (const std::string& bad : forbidden) {
+      EXPECT_EQ(name.find(bad), std::string::npos)
+          << "per-request identifier in metric name: " << name;
+    }
+  }
+}
+
+// The sessions() accessor must synchronize with handshakes mutating the
+// session map (it used to read without the mutex). Run under TSan.
+TEST(ServiceHubTest, SessionsIsSafeAgainstConcurrentHandshakes) {
+  Rig rig = Rig::Make(50);
+  std::atomic<bool> done{false};
+  std::thread reader([&] {
+    size_t last = 0;
+    while (!done.load()) {
+      const size_t now = rig.hub->sessions();
+      EXPECT_GE(now, last);
+      last = now;
+    }
+  });
+  crypto::SecureRandom rng(51);
+  Bytes nonce(SecureSession::kNonceSize);
+  for (uint64_t client_id = 0; client_id < 64; ++client_id) {
+    rng.Fill(nonce);
+    ASSERT_TRUE(
+        rig.hub->HandleFrame(ServiceHub::MakeHello(client_id, nonce)).ok());
+  }
+  done.store(true);
+  reader.join();
+  EXPECT_EQ(rig.hub->sessions(), 64u);
 }
 
 }  // namespace

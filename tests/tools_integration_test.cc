@@ -164,6 +164,46 @@ TEST_F(ToolsIntegrationTest, WrongPassphraseRejected) {
   EXPECT_NE(wrong.output.find("MAC"), std::string::npos) << wrong.output;
 }
 
+TEST_F(ToolsIntegrationTest, StatsCliPollsRunningProvider) {
+  const CommandResult probe =
+      Owner("init --pages 50 --page-size 128 --cache 8");
+  uint64_t slots = 0, slot_size = 0;
+  ASSERT_TRUE(ParseGeometry(probe.output, &slots, &slot_size))
+      << probe.output;
+  StartProvider(slots, slot_size);
+  ASSERT_EQ(Owner("init --pages 50 --page-size 128 --cache 8").exit_code,
+            0);
+  ASSERT_EQ(Owner("put --id 3 --data hello").exit_code, 0);
+
+  const std::string stats_cmd =
+      BinDir() + "/shpir_stats --port " + std::to_string(port_);
+  // Default table rendering: provider-side counters moved by the owner's
+  // traffic show up.
+  const CommandResult table = RunShell(stats_cmd);
+  ASSERT_EQ(table.exit_code, 0) << table.output;
+  EXPECT_NE(table.output.find("shpir_provider_requests_total"),
+            std::string::npos)
+      << table.output;
+  EXPECT_NE(table.output.find("shpir_disk_reads_total"), std::string::npos);
+  EXPECT_NE(table.output.find("shpir_tcp_frames_total"), std::string::npos);
+
+  // JSON mode emits the closed-schema wire payload.
+  const CommandResult json = RunShell(stats_cmd + " --json");
+  ASSERT_EQ(json.exit_code, 0) << json.output;
+  EXPECT_EQ(json.output.rfind("{\"counters\":[", 0), 0u) << json.output;
+
+  // Prometheus mode re-exports with type annotations.
+  const CommandResult prom = RunShell(stats_cmd + " --prometheus");
+  ASSERT_EQ(prom.exit_code, 0) << prom.output;
+  EXPECT_NE(prom.output.find("# TYPE shpir_provider_requests_total counter"),
+            std::string::npos)
+      << prom.output;
+
+  // The provider's registry never carries per-request identifiers.
+  EXPECT_EQ(table.output.find("page_id"), std::string::npos);
+  EXPECT_EQ(table.output.find("request_index"), std::string::npos);
+}
+
 TEST_F(ToolsIntegrationTest, ProviderRefusesBadArgs) {
   const CommandResult result = RunShell(BinDir() + "/shpir_provider");
   EXPECT_NE(result.exit_code, 0);

@@ -42,6 +42,8 @@
 #include "hardware/coprocessor.h"
 #include "net/remote_disk.h"
 #include "net/tcp_transport.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
 
 namespace {
 
@@ -170,6 +172,8 @@ Result<std::unique_ptr<Session>> Connect(
   SHPIR_ASSIGN_OR_RETURN(
       session->engine,
       core::CApproxPir::Create(session->cpu.get(), session->options));
+  session->cpu->AttachMetrics(&obs::MetricsRegistry::Global());
+  session->engine->EnableMetrics(&obs::MetricsRegistry::Global());
   return session;
 }
 
@@ -283,6 +287,9 @@ int CmdOp(const std::string& command, const Flags& flags) {
                 (unsigned long long)stats.modifies,
                 (unsigned long long)engine.block_size(),
                 engine.achieved_privacy());
+    std::fputs(
+        obs::RenderTable(obs::MetricsRegistry::Global().Snapshot()).c_str(),
+        stdout);
   } else {
     std::fprintf(stderr, "unknown command: %s\n", command.c_str());
     return 2;

@@ -14,7 +14,9 @@
 
 #include "net/storage_server.h"
 #include "net/tcp_transport.h"
+#include "obs/metrics.h"
 #include "storage/file_disk.h"
+#include "storage/metered_disk.h"
 
 int main(int argc, char** argv) {
   using namespace shpir;
@@ -50,7 +52,12 @@ int main(int argc, char** argv) {
     std::printf("opened %s\n", path.c_str());
   }
 
-  net::StorageServer server(disk->get());
+  // Everything the provider observes is public by assumption (it is the
+  // untrusted party), so its process-wide registry may be served to any
+  // client via the kStats wire op and the shpir_stats tool.
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  storage::MeteredDisk metered(disk->get(), &metrics);
+  net::StorageServer server(&metered, &metrics);
   Result<std::unique_ptr<net::TcpStorageListener>> listener =
       net::TcpStorageListener::Listen(&server, port);
   if (!listener.ok()) {

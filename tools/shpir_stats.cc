@@ -1,0 +1,109 @@
+// Observability CLI for the two-party model: polls a running
+// shpir_provider for its metrics snapshot over the kStats wire op and
+// renders it. The snapshot is aggregate-only by construction — the
+// provider's registry never holds per-request data.
+//
+//   shpir_stats [--host H] [--port P] [--json | --prometheus]
+//               [--watch SECONDS]
+//
+// Default output is a human-readable table; --json dumps the raw wire
+// payload; --prometheus re-exports it in Prometheus text format (for
+// scraping through a sidecar). --watch re-polls every SECONDS seconds
+// until interrupted.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "net/tcp_transport.h"
+#include "net/wire.h"
+#include "obs/export.h"
+
+namespace {
+
+using namespace shpir;
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+enum class Format { kTable, kJson, kPrometheus };
+
+int PollOnce(const std::string& host, uint16_t port, Format format) {
+  Result<std::unique_ptr<net::TcpTransport>> transport =
+      net::TcpTransport::Connect(host, port);
+  if (!transport.ok()) {
+    return Fail(transport.status());
+  }
+  net::Request request;
+  request.op = net::Op::kStats;
+  Result<Bytes> reply =
+      (*transport)->RoundTrip(net::EncodeRequest(request));
+  if (!reply.ok()) {
+    return Fail(reply.status());
+  }
+  Result<Bytes> payload = net::DecodeResponse(*reply);
+  if (!payload.ok()) {
+    return Fail(payload.status());
+  }
+  const std::string json(payload->begin(), payload->end());
+  if (format == Format::kJson) {
+    std::printf("%s\n", json.c_str());
+    return 0;
+  }
+  Result<obs::MetricsSnapshot> snapshot = obs::ParseJsonSnapshot(json);
+  if (!snapshot.ok()) {
+    return Fail(snapshot.status());
+  }
+  if (format == Format::kPrometheus) {
+    std::fputs(obs::ToPrometheusText(*snapshot).c_str(), stdout);
+  } else {
+    std::fputs(obs::RenderTable(*snapshot).c_str(), stdout);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  uint16_t port = 9000;
+  Format format = Format::kTable;
+  uint64_t watch_seconds = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      format = Format::kJson;
+    } else if (arg == "--prometheus") {
+      format = Format::kPrometheus;
+    } else if (arg == "--host" && i + 1 < argc) {
+      host = argv[++i];
+    } else if (arg == "--port" && i + 1 < argc) {
+      port = static_cast<uint16_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (arg == "--watch" && i + 1 < argc) {
+      watch_seconds = std::strtoull(argv[++i], nullptr, 10);
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--host H] [--port P] [--json | "
+                   "--prometheus] [--watch SECONDS]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (watch_seconds == 0) {
+    return PollOnce(host, port, format);
+  }
+  while (true) {
+    const int rc = PollOnce(host, port, format);
+    if (rc != 0) {
+      return rc;
+    }
+    std::fflush(stdout);
+    std::this_thread::sleep_for(std::chrono::seconds(watch_seconds));
+  }
+}
