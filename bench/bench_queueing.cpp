@@ -39,6 +39,13 @@ std::vector<double> ServiceTimes(core::PirEngine& engine,
   return service;
 }
 
+struct EngineRow {
+  const char* name;
+  model::QueueStats stats;
+};
+
+std::vector<EngineRow> g_rows;
+
 void Report(const char* name, const std::vector<double>& service,
             double arrival_rate) {
   const model::QueueStats stats =
@@ -46,6 +53,37 @@ void Report(const char* name, const std::vector<double>& service,
   std::printf("%-12s %8.3f %10.1f %10.1f %10.1f %12.1f\n", name,
               stats.utilization, 1000 * stats.p50_s, 1000 * stats.p95_s,
               1000 * stats.p99_s, 1000 * stats.max_s);
+  g_rows.push_back({name, stats});
+}
+
+void WriteQueueingJson(const char* path, double arrival_rate) {
+  std::FILE* out = std::fopen(path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "bench_queueing: cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(out, "{\n");
+  std::fprintf(out, "  \"benchmark\": \"bench_queueing\",\n");
+  std::fprintf(out, "  \"model\": \"mg1_fifo\",\n");
+  std::fprintf(out, "  \"num_pages\": %llu,\n",
+               (unsigned long long)kNumPages);
+  std::fprintf(out, "  \"page_size\": %zu,\n", kPageSize);
+  std::fprintf(out, "  \"queries\": %d,\n", kQueries);
+  std::fprintf(out, "  \"arrival_rate_qps\": %.6f,\n", arrival_rate);
+  std::fprintf(out, "  \"engines\": [\n");
+  for (size_t i = 0; i < g_rows.size(); ++i) {
+    const model::QueueStats& s = g_rows[i].stats;
+    std::fprintf(out,
+                 "    {\"engine\": \"%s\", \"utilization\": %.6f, "
+                 "\"mean_s\": %.9f, \"p50_s\": %.9f, \"p95_s\": %.9f, "
+                 "\"p99_s\": %.9f, \"max_s\": %.9f}%s\n",
+                 g_rows[i].name, s.utilization, s.mean_s, s.p50_s,
+                 s.p95_s, s.p99_s, s.max_s,
+                 i + 1 < g_rows.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("\nwrote %s\n", path);
 }
 
 }  // namespace
@@ -112,6 +150,7 @@ int main() {
     Report("pyramid-oram", ServiceTimes(**oram, **cpu, 102), arrival_rate);
   }
 
+  WriteQueueingJson("BENCH_queueing.json", arrival_rate);
   std::printf(
       "\nReading: identical arrivals, wildly different tails. The\n"
       "reshuffle-based engines may show lower medians (cheaper average\n"

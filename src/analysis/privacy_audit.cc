@@ -22,16 +22,23 @@ Result<PrivacyReport> RunPrivacyAudit(
   }
   engine.set_cache_entry_observer(nullptr);
   engine.set_relocation_observer(nullptr);
+  return BuildPrivacyReport(analyzer, num_requests, engine.cache_pages(),
+                            engine.block_size(),
+                            engine.achieved_privacy());
+}
 
+PrivacyReport BuildPrivacyReport(const RelocationAnalyzer& analyzer,
+                                 uint64_t requests, uint64_t cache_pages,
+                                 uint64_t block_size, double analytic_c) {
   PrivacyReport report;
-  report.requests = num_requests;
+  report.requests = requests;
   report.relocations = analyzer.samples();
-  report.analytic_c = engine.achieved_privacy();
+  report.analytic_c = analytic_c;
   Result<double> measured = analyzer.MeasuredPrivacy();
   report.measured_c = measured.ok() ? *measured : 0.0;
   report.max_relative_deviation =
-      analyzer.MaxRelativeDeviation(engine.cache_pages());
-  std::vector<uint64_t> slot_counts(engine.block_size(), 0);
+      analyzer.MaxRelativeDeviation(cache_pages);
+  std::vector<uint64_t> slot_counts(block_size, 0);
   const std::vector<double> slot_dist = analyzer.MeasuredSlotDistribution();
   for (size_t i = 0; i < slot_dist.size(); ++i) {
     slot_counts[i] =

@@ -37,6 +37,14 @@ Result<PrivacyReport> RunPrivacyAudit(
     core::CApproxPir& engine, uint64_t num_requests,
     const std::function<storage::PageId()>& next_id);
 
+/// Summarizes an already-fed analyzer into a PrivacyReport for an
+/// engine with the given geometry. Shared by the single-engine audit
+/// above and the sharded audit (analysis/sharded_audit.h), which feeds
+/// one analyzer per shard.
+PrivacyReport BuildPrivacyReport(const RelocationAnalyzer& analyzer,
+                                 uint64_t requests, uint64_t cache_pages,
+                                 uint64_t block_size, double analytic_c);
+
 /// Adversary's-eye statistics over a disk access trace: what the server
 /// actually observes.
 struct TraceStatistics {

@@ -1,0 +1,275 @@
+#include "analysis/sharded_audit.h"
+
+#include <algorithm>
+#include <memory>
+#include <unordered_map>
+#include <utility>
+
+#include "analysis/relocation_analyzer.h"
+
+namespace shpir::analysis {
+
+namespace {
+
+/// Per-logical-request driver with backpressure: a serially driven
+/// audit can outrun a starved shard queue (admission control then
+/// rejects the fan-out); draining and retrying once keeps the audit
+/// lossless without disabling the bounded queues it exercises.
+Status Drive(shard::ShardedPirEngine& engine, uint64_t num_logical_requests,
+             const std::function<storage::PageId()>& next_id) {
+  for (uint64_t i = 0; i < num_logical_requests; ++i) {
+    const storage::PageId id = next_id();
+    Result<Bytes> result = engine.Retrieve(id);
+    if (result.status().code() == StatusCode::kResourceExhausted) {
+      engine.WaitIdle();
+      result = engine.Retrieve(id);
+    }
+    SHPIR_RETURN_IF_ERROR(result.status());
+  }
+  return OkStatus();
+}
+
+/// What the target shard served in the observation window, in shard
+/// request order (the same order the shard's trace stamps).
+struct ShardObservation {
+  uint64_t first_request = 0;  // Trace request index of window start.
+  std::vector<storage::PageId> served;  // Local id per request.
+  std::vector<uint8_t> dummy;           // 1 = cover query.
+};
+
+/// Drives `num_logical_requests` retrieves while recording the target
+/// shard's ground truth via the shard-query observer.
+Status DriveAndObserve(shard::ShardedPirEngine& engine,
+                       uint64_t target_shard,
+                       uint64_t num_logical_requests,
+                       const std::function<storage::PageId()>& next_id,
+                       ShardObservation* observation) {
+  storage::AccessTrace* trace = engine.shard_trace(target_shard);
+  if (trace == nullptr) {
+    return FailedPreconditionError(
+        "sharded engine was created without enable_traces");
+  }
+  observation->first_request = trace->num_requests();
+  // Only the target shard's worker thread reaches the push_backs.
+  engine.set_shard_query_observer(
+      [observation, target_shard](uint64_t shard, uint64_t /*index*/,
+                                  storage::PageId local, bool dummy) {
+        if (shard != target_shard) {
+          return;
+        }
+        observation->served.push_back(local);
+        observation->dummy.push_back(dummy ? 1 : 0);
+      });
+  Status driven = Drive(engine, num_logical_requests, next_id);
+  engine.WaitIdle();
+  engine.set_shard_query_observer(nullptr);
+  return driven;
+}
+
+/// The adversary's parse of one shard request: k round-robin block
+/// reads, one extra (data-dependent) read, then the write-backs.
+struct ParsedRequest {
+  bool have_extra = false;
+  storage::Location extra = 0;
+  std::vector<storage::Location> writes;
+};
+
+/// Groups the shard's trace events from `first_request` onward by
+/// request. Pure adversary view: only opcodes and locations are used.
+std::vector<ParsedRequest> ParseRequests(const storage::AccessTrace& trace,
+                                         uint64_t k,
+                                         uint64_t first_request) {
+  std::vector<ParsedRequest> requests;
+  std::vector<uint64_t> reads_seen;
+  for (const storage::AccessEvent& event : trace.events()) {
+    if (event.request_index == storage::AccessEvent::kSetupIndex ||
+        event.request_index < first_request) {
+      continue;
+    }
+    const uint64_t r = event.request_index - first_request;
+    if (r >= requests.size()) {
+      requests.resize(r + 1);
+      reads_seen.resize(r + 1, 0);
+    }
+    if (event.op == storage::AccessEvent::Op::kRead) {
+      if (++reads_seen[r] == k + 1) {
+        requests[r].have_extra = true;
+        requests[r].extra = event.location;
+      }
+    } else {
+      requests[r].writes.push_back(event.location);
+    }
+  }
+  return requests;
+}
+
+}  // namespace
+
+Result<ShardedPrivacyReport> RunShardedPrivacyAudit(
+    shard::ShardedPirEngine& engine, uint64_t num_logical_requests,
+    const std::function<storage::PageId()>& next_id) {
+  const uint64_t shards = engine.shards();
+  std::vector<std::unique_ptr<RelocationAnalyzer>> analyzers;
+  analyzers.reserve(shards);
+  for (uint64_t s = 0; s < shards; ++s) {
+    core::CApproxPir* shard_engine = engine.shard_engine(s);
+    analyzers.push_back(std::make_unique<RelocationAnalyzer>(
+        shard_engine->scan_period(), shard_engine->block_size()));
+    RelocationAnalyzer* analyzer = analyzers.back().get();
+    // Each shard's observers fire only on that shard's worker thread,
+    // so every analyzer has exactly one writer.
+    shard_engine->set_cache_entry_observer(
+        [analyzer](storage::PageId id, uint64_t request) {
+          analyzer->OnCacheEntry(id, request);
+        });
+    shard_engine->set_relocation_observer(
+        [analyzer](storage::PageId id, storage::Location loc,
+                   uint64_t request) {
+          analyzer->OnRelocation(id, loc, request);
+        });
+  }
+  std::vector<uint64_t> real_queries(shards, 0);
+  std::vector<uint64_t> dummy_queries(shards, 0);
+  engine.set_shard_query_observer(
+      [&real_queries, &dummy_queries](uint64_t shard, uint64_t /*index*/,
+                                      storage::PageId /*local*/, bool dummy) {
+        (dummy ? dummy_queries : real_queries)[shard]++;
+      });
+
+  Status driven = Drive(engine, num_logical_requests, next_id);
+  engine.WaitIdle();
+  engine.set_shard_query_observer(nullptr);
+  for (uint64_t s = 0; s < shards; ++s) {
+    engine.shard_engine(s)->set_cache_entry_observer(nullptr);
+    engine.shard_engine(s)->set_relocation_observer(nullptr);
+  }
+  SHPIR_RETURN_IF_ERROR(driven);
+
+  ShardedPrivacyReport report;
+  report.logical_requests = num_logical_requests;
+  report.shards = shards;
+  report.target_c = engine.plan().target_c();
+  report.min_slot_entropy = 1.0;
+  report.min_shard_queries = UINT64_MAX;
+  report.per_shard.reserve(shards);
+  bool cover_uniform = true;
+  uint64_t total_real = 0;
+  for (uint64_t s = 0; s < shards; ++s) {
+    core::CApproxPir* shard_engine = engine.shard_engine(s);
+    PrivacyReport shard_report = BuildPrivacyReport(
+        *analyzers[s], real_queries[s] + dummy_queries[s],
+        shard_engine->cache_pages(), shard_engine->block_size(),
+        shard_engine->achieved_privacy());
+    report.worst_analytic_c =
+        std::max(report.worst_analytic_c, shard_report.analytic_c);
+    report.worst_measured_c =
+        std::max(report.worst_measured_c, shard_report.measured_c);
+    report.worst_max_relative_deviation =
+        std::max(report.worst_max_relative_deviation,
+                 shard_report.max_relative_deviation);
+    report.min_slot_entropy =
+        std::min(report.min_slot_entropy, shard_report.slot_entropy);
+    const uint64_t total = real_queries[s] + dummy_queries[s];
+    report.min_shard_queries = std::min(report.min_shard_queries, total);
+    report.max_shard_queries = std::max(report.max_shard_queries, total);
+    cover_uniform = cover_uniform && total == num_logical_requests;
+    total_real += real_queries[s];
+    report.per_shard.push_back(shard_report);
+  }
+  report.cover_uniform =
+      cover_uniform && total_real == num_logical_requests;
+  return report;
+}
+
+Result<LinkageAttackReport> RunShardedLinkageAttack(
+    shard::ShardedPirEngine& engine, uint64_t target_shard,
+    uint64_t num_logical_requests,
+    const std::function<storage::PageId()>& next_id) {
+  if (target_shard >= engine.shards()) {
+    return InvalidArgumentError("no such shard");
+  }
+  // Ground truth: which page each request evicted, keyed by the shard's
+  // trace request index (single writer: the shard's worker thread).
+  struct Eviction {
+    storage::PageId page;
+    storage::Location location;
+  };
+  std::unordered_map<uint64_t, Eviction> evictions;
+  core::CApproxPir* shard_engine = engine.shard_engine(target_shard);
+  shard_engine->set_relocation_observer(
+      [&evictions](storage::PageId page, storage::Location loc,
+                   uint64_t request) {
+        evictions[request] = Eviction{page, loc};
+      });
+
+  ShardObservation observation;
+  Status driven = DriveAndObserve(engine, target_shard,
+                                  num_logical_requests, next_id,
+                                  &observation);
+  shard_engine->set_relocation_observer(nullptr);
+  SHPIR_RETURN_IF_ERROR(driven);
+
+  const std::vector<ParsedRequest> parsed =
+      ParseRequests(*engine.shard_trace(target_shard),
+                    shard_engine->block_size(), observation.first_request);
+
+  // Same heuristic as RunLinkageAttack, replayed offline: link the
+  // extra read to the request that last rewrote its location and guess
+  // that request's evicted page. Real and dummy requests are
+  // indistinguishable in the trace, so both are scored — against the
+  // local page the shard actually served.
+  std::unordered_map<storage::Location, uint64_t> last_write;
+  LinkageAttackReport report;
+  for (size_t r = 0; r < parsed.size() && r < observation.served.size();
+       ++r) {
+    ++report.requests;
+    if (parsed[r].have_extra) {
+      auto it = last_write.find(parsed[r].extra);
+      if (it != last_write.end()) {
+        ++report.guesses;
+        auto truth = evictions.find(it->second);
+        if (truth != evictions.end() &&
+            truth->second.location == parsed[r].extra &&
+            truth->second.page == observation.served[r]) {
+          ++report.correct;
+        }
+      }
+    }
+    const uint64_t this_request = observation.first_request + r;
+    for (storage::Location loc : parsed[r].writes) {
+      last_write[loc] = this_request;
+    }
+  }
+  return report;
+}
+
+Result<FrequencyAttackReport> RunShardedFrequencyAttack(
+    shard::ShardedPirEngine& engine, uint64_t target_shard,
+    uint64_t num_logical_requests,
+    const std::function<storage::PageId()>& next_id,
+    const std::vector<double>& local_popularity) {
+  if (target_shard >= engine.shards()) {
+    return InvalidArgumentError("no such shard");
+  }
+  ShardObservation observation;
+  SHPIR_RETURN_IF_ERROR(DriveAndObserve(engine, target_shard,
+                                        num_logical_requests, next_id,
+                                        &observation));
+  const std::vector<ParsedRequest> parsed = ParseRequests(
+      *engine.shard_trace(target_shard),
+      engine.shard_engine(target_shard)->block_size(),
+      observation.first_request);
+  std::vector<storage::Location> observed;
+  std::vector<storage::PageId> ground_truth;
+  for (size_t r = 0; r < parsed.size() && r < observation.served.size();
+       ++r) {
+    if (!parsed[r].have_extra) {
+      continue;
+    }
+    observed.push_back(parsed[r].extra);
+    ground_truth.push_back(observation.served[r]);
+  }
+  return RunFrequencyAttack(observed, ground_truth, local_popularity);
+}
+
+}  // namespace shpir::analysis

@@ -1,0 +1,80 @@
+#ifndef SHPIR_ANALYSIS_SHARDED_AUDIT_H_
+#define SHPIR_ANALYSIS_SHARDED_AUDIT_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "analysis/frequency_attack.h"
+#include "analysis/linkage_attack.h"
+#include "analysis/privacy_audit.h"
+#include "common/result.h"
+#include "shard/sharded_engine.h"
+#include "storage/page.h"
+
+namespace shpir::analysis {
+
+/// Empirical privacy summary of the sharded serving runtime: the
+/// single-engine audit run against every shard at once, plus the
+/// cover-traffic invariants that make the shard choice itself leak
+/// nothing.
+struct ShardedPrivacyReport {
+  uint64_t logical_requests = 0;
+  uint64_t shards = 0;
+  double target_c = 0.0;
+  /// Worst per-shard values — the deployment's effective bound is the
+  /// worst shard's.
+  double worst_analytic_c = 0.0;
+  double worst_measured_c = 0.0;
+  double worst_max_relative_deviation = 0.0;
+  double min_slot_entropy = 0.0;
+  /// Queries (real + dummy) seen by the least/most loaded shard. Cover
+  /// traffic makes these equal.
+  uint64_t min_shard_queries = 0;
+  uint64_t max_shard_queries = 0;
+  /// True iff every shard served exactly one query per logical request
+  /// (one real on the owner + one dummy on each other shard) — the
+  /// adversary-visible load is target-independent.
+  bool cover_uniform = false;
+  /// Per-shard audits, indexed by shard.
+  std::vector<PrivacyReport> per_shard;
+};
+
+/// Drives the sharded engine with `num_logical_requests` logical
+/// retrieves drawn by `next_id` (global page ids), recording each
+/// shard's relocations and the real/dummy query mix, then audits every
+/// shard against the analytic model exactly like RunPrivacyAudit does
+/// for one engine. Replaces the engine's shard-query observer and the
+/// per-shard engines' relocation/cache-entry observers.
+Result<ShardedPrivacyReport> RunShardedPrivacyAudit(
+    shard::ShardedPirEngine& engine, uint64_t num_logical_requests,
+    const std::function<storage::PageId()>& next_id);
+
+/// The linkage attack (analysis/linkage_attack.h) mounted on ONE shard
+/// of the sharded runtime: the adversary watches that shard's disk
+/// trace — where real queries and cover dummies are indistinguishable —
+/// and tries to link each query's extra read to an earlier eviction.
+/// Guesses are scored against the local page the shard actually served
+/// (real or dummy; the adversary cannot tell and the per-shard c bound
+/// covers both). The engine must have been created with
+/// Options::enable_traces; the run appends to the shard's trace.
+Result<LinkageAttackReport> RunShardedLinkageAttack(
+    shard::ShardedPirEngine& engine, uint64_t target_shard,
+    uint64_t num_logical_requests,
+    const std::function<storage::PageId()>& next_id);
+
+/// The frequency-analysis attack mounted on one shard: ranks the
+/// shard's observed extra-read locations by frequency and aligns them
+/// with `local_popularity` (the adversary's prior over the shard's
+/// local pages), scoring against the local ids actually served. Cover
+/// dummies are uniform, so they flatten the observed frequencies on
+/// non-owner traffic. Requires Options::enable_traces.
+Result<FrequencyAttackReport> RunShardedFrequencyAttack(
+    shard::ShardedPirEngine& engine, uint64_t target_shard,
+    uint64_t num_logical_requests,
+    const std::function<storage::PageId()>& next_id,
+    const std::vector<double>& local_popularity);
+
+}  // namespace shpir::analysis
+
+#endif  // SHPIR_ANALYSIS_SHARDED_AUDIT_H_

@@ -24,6 +24,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "UNIMPLEMENTED";
     case StatusCode::kAlreadyExists:
       return "ALREADY_EXISTS";
+    case StatusCode::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
   }
   return "UNKNOWN";
 }
@@ -68,6 +70,9 @@ Status UnimplementedError(std::string message) {
 }
 Status AlreadyExistsError(std::string message) {
   return Status(StatusCode::kAlreadyExists, std::move(message));
+}
+Status DeadlineExceededError(std::string message) {
+  return Status(StatusCode::kDeadlineExceeded, std::move(message));
 }
 
 }  // namespace shpir

@@ -20,6 +20,7 @@ enum class StatusCode {
   kDataLoss = 7,
   kUnimplemented = 8,
   kAlreadyExists = 9,
+  kDeadlineExceeded = 10,
 };
 
 /// Returns the canonical name of `code` (e.g. "INVALID_ARGUMENT").
@@ -70,6 +71,7 @@ Status InternalError(std::string message);
 Status DataLossError(std::string message);
 Status UnimplementedError(std::string message);
 Status AlreadyExistsError(std::string message);
+Status DeadlineExceededError(std::string message);
 
 }  // namespace shpir
 

@@ -119,15 +119,15 @@ class CApproxPir : public PirEngine {
   /// --- Updates (§4.3) ----------------------------------------------------
 
   /// Replaces the payload of page `id`. Indistinguishable from Retrieve.
-  Status Modify(storage::PageId id, Bytes data);
+  Status Modify(storage::PageId id, Bytes data) override;
 
   /// Deletes page `id`; its slot becomes a spare for Insert().
   /// Indistinguishable from Retrieve.
-  Status Remove(storage::PageId id);
+  Status Remove(storage::PageId id) override;
 
   /// Inserts a new page, consuming a spare (insert_reserve or previously
   /// Removed) slot; returns its id. Indistinguishable from Retrieve.
-  Result<storage::PageId> Insert(Bytes data);
+  Result<storage::PageId> Insert(Bytes data) override;
 
   /// §4.3's offline maintenance: "if there are numerous page deletions,
   /// the owner may choose to reshuffle (offline) the whole database in

@@ -2,6 +2,7 @@
 #define SHPIR_CORE_PIR_ENGINE_H_
 
 #include <cstdint>
+#include <string>
 
 #include "common/bytes.h"
 #include "common/result.h"
@@ -20,6 +21,35 @@ class PirEngine {
 
   /// Retrieves the payload of page `id`.
   virtual Result<Bytes> Retrieve(storage::PageId id) = 0;
+
+  /// --- Updates (§4.3; optional) ---------------------------------------
+  ///
+  /// Engines that support private updates override these; the defaults
+  /// report Unimplemented so read-only baselines stay minimal. Every
+  /// override must make updates indistinguishable from Retrieve on the
+  /// adversary-visible access pattern.
+
+  /// Replaces the payload of page `id`.
+  virtual Status Modify(storage::PageId id, Bytes data) {
+    (void)id;
+    (void)data;
+    return UnimplementedError(std::string(name()) +
+                              " does not support Modify");
+  }
+
+  /// Deletes page `id`.
+  virtual Status Remove(storage::PageId id) {
+    (void)id;
+    return UnimplementedError(std::string(name()) +
+                              " does not support Remove");
+  }
+
+  /// Inserts a new page; returns its id.
+  virtual Result<storage::PageId> Insert(Bytes data) {
+    (void)data;
+    return UnimplementedError(std::string(name()) +
+                              " does not support Insert");
+  }
 
   /// Number of client-addressable pages.
   virtual uint64_t num_pages() const = 0;

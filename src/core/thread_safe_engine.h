@@ -2,6 +2,7 @@
 #define SHPIR_CORE_THREAD_SAFE_ENGINE_H_
 
 #include <mutex>
+#include <utility>
 
 #include "core/pir_engine.h"
 
@@ -22,6 +23,21 @@ class ThreadSafeEngine : public PirEngine {
   Result<Bytes> Retrieve(storage::PageId id) override {
     std::lock_guard<std::mutex> lock(mutex_);
     return inner_->Retrieve(id);
+  }
+
+  Status Modify(storage::PageId id, Bytes data) override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return inner_->Modify(id, std::move(data));
+  }
+
+  Status Remove(storage::PageId id) override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return inner_->Remove(id);
+  }
+
+  Result<storage::PageId> Insert(Bytes data) override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return inner_->Insert(std::move(data));
   }
 
   uint64_t num_pages() const override { return inner_->num_pages(); }

@@ -46,4 +46,67 @@ QueueStats SimulateFifoQueue(const std::vector<double>& service_times,
   return stats;
 }
 
+QueueStats SimulateShardedFanout(
+    const std::vector<std::vector<double>>& shard_service_times,
+    double arrival_rate, uint64_t seed) {
+  QueueStats stats;
+  if (shard_service_times.empty() || arrival_rate <= 0) {
+    return stats;
+  }
+  const size_t shards = shard_service_times.size();
+  const size_t queries = shard_service_times[0].size();
+  if (queries == 0) {
+    return stats;
+  }
+  for (const auto& service : shard_service_times) {
+    if (service.size() != queries) {
+      return stats;
+    }
+  }
+  crypto::SecureRandom arrivals_rng(seed);
+  // Separate stream so the S = 1 case reproduces SimulateFifoQueue
+  // bit-for-bit (there the owner draw is a no-op).
+  crypto::SecureRandom owner_rng(seed + 1);
+  std::vector<double> server_free(shards, 0.0);
+  std::vector<double> total_service(shards, 0.0);
+  std::vector<double> sojourns;
+  sojourns.reserve(queries);
+  double arrival = 0;
+  for (size_t i = 0; i < queries; ++i) {
+    const double u = arrivals_rng.UniformDouble();
+    arrival += -std::log1p(-u) / arrival_rate;
+    const uint64_t owner =
+        shards == 1 ? 0 : owner_rng.UniformInt(shards);
+    double owner_done = 0;
+    for (size_t s = 0; s < shards; ++s) {
+      const double service = shard_service_times[s][i];
+      const double start = std::max(arrival, server_free[s]);
+      server_free[s] = start + service;
+      total_service[s] += service;
+      if (s == owner) {
+        owner_done = server_free[s];
+      }
+    }
+    sojourns.push_back(owner_done - arrival);
+  }
+  std::sort(sojourns.begin(), sojourns.end());
+  double sum = 0;
+  for (double s : sojourns) {
+    sum += s;
+  }
+  auto pct = [&](double p) {
+    return sojourns[static_cast<size_t>(p * (sojourns.size() - 1))];
+  };
+  stats.mean_s = sum / sojourns.size();
+  stats.p50_s = pct(0.50);
+  stats.p95_s = pct(0.95);
+  stats.p99_s = pct(0.99);
+  stats.max_s = sojourns.back();
+  for (size_t s = 0; s < shards; ++s) {
+    stats.utilization = std::max(
+        stats.utilization, arrival_rate * total_service[s] / queries);
+  }
+  return stats;
+}
+
 }  // namespace shpir::model

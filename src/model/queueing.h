@@ -26,6 +26,21 @@ struct QueueStats {
 QueueStats SimulateFifoQueue(const std::vector<double>& service_times,
                              double arrival_rate, uint64_t seed);
 
+/// Fork-join extension for the sharded runtime (src/shard/): each
+/// logical query fans out one job to every shard's FIFO server (the
+/// real query to a uniformly drawn owner, cover dummies elsewhere) and
+/// the client's sojourn ends when the OWNER shard completes its job —
+/// dummies drain in the background and only contribute queueing
+/// pressure. `shard_service_times[s][i]` is shard s's service time for
+/// logical query i; all shards must provide the same query count.
+/// Arrivals are Poisson at `arrival_rate` drawn from `seed`, owners
+/// from seed + 1, so with a single shard the output matches
+/// SimulateFifoQueue(service_times[0], arrival_rate, seed) exactly.
+/// Utilization reports the bottleneck (most loaded) shard.
+QueueStats SimulateShardedFanout(
+    const std::vector<std::vector<double>>& shard_service_times,
+    double arrival_rate, uint64_t seed);
+
 }  // namespace shpir::model
 
 #endif  // SHPIR_MODEL_QUEUEING_H_

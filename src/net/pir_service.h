@@ -5,7 +5,7 @@
 #include <memory>
 
 #include "common/result.h"
-#include "core/capprox_pir.h"
+#include "core/pir_engine.h"
 #include "net/secure_channel.h"
 
 namespace shpir::net {
@@ -30,8 +30,11 @@ class PirServiceServer {
 
   /// Neither pointer is owned. The session must be the server side of
   /// the handshake with this client. `stats` may be null, in which case
-  /// STATS requests are answered with an error.
-  PirServiceServer(core::CApproxPir* engine, SecureSession session,
+  /// STATS requests are answered with an error. Any PirEngine works —
+  /// the paper's single engine, a ThreadSafeEngine wrapper, or the
+  /// sharded serving runtime; engines without update support answer the
+  /// update ops with Unimplemented.
+  PirServiceServer(core::PirEngine* engine, SecureSession session,
                    StatsProvider stats = nullptr)
       : engine_(engine),
         session_(std::move(session)),
@@ -43,7 +46,7 @@ class PirServiceServer {
   Result<Bytes> HandleRecord(ByteSpan record);
 
  private:
-  core::CApproxPir* engine_;
+  core::PirEngine* engine_;
   SecureSession session_;
   StatsProvider stats_;
 };

@@ -11,7 +11,7 @@ constexpr uint8_t kDataTag = 'D';
 constexpr size_t kNonce = SecureSession::kNonceSize;
 }  // namespace
 
-ServiceHub::ServiceHub(core::CApproxPir* engine, Bytes pre_shared_key,
+ServiceHub::ServiceHub(core::PirEngine* engine, Bytes pre_shared_key,
                        uint64_t rng_seed, obs::MetricsRegistry* metrics)
     : engine_(engine),
       pre_shared_key_(std::move(pre_shared_key)),

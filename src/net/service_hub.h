@@ -6,7 +6,7 @@
 #include <unordered_map>
 
 #include "common/result.h"
-#include "core/capprox_pir.h"
+#include "core/pir_engine.h"
 #include "crypto/secure_random.h"
 #include "net/pir_service.h"
 #include "net/secure_channel.h"
@@ -30,11 +30,14 @@ namespace shpir::net {
 class ServiceHub {
  public:
   /// `engine` is unowned; `pre_shared_key` is the key clients hold.
-  /// `metrics` (optional, unowned, must outlive the hub) enables the
-  /// hub's shpir_net_* instruments and turns on the authenticated STATS
-  /// op: sessions established by the hub answer PirServiceClient::Stats()
-  /// with a JSON snapshot of the registry.
-  ServiceHub(core::CApproxPir* engine, Bytes pre_shared_key,
+  /// Any PirEngine serves: the single paper engine (requests serialize
+  /// on the coprocessor) or the sharded runtime in src/shard/ (requests
+  /// fan out across shard workers). `metrics` (optional, unowned, must
+  /// outlive the hub) enables the hub's shpir_net_* instruments and
+  /// turns on the authenticated STATS op: sessions established by the
+  /// hub answer PirServiceClient::Stats() with a JSON snapshot of the
+  /// registry.
+  ServiceHub(core::PirEngine* engine, Bytes pre_shared_key,
              uint64_t rng_seed = 0,
              obs::MetricsRegistry* metrics = nullptr);
 
@@ -80,7 +83,7 @@ class ServiceHub {
   };
   bool metered() const { return instruments_.hellos != nullptr; }
 
-  core::CApproxPir* engine_;
+  core::PirEngine* engine_;
   Bytes pre_shared_key_;
   crypto::SecureRandom rng_;
   obs::MetricsRegistry* metrics_;

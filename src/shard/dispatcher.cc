@@ -1,0 +1,165 @@
+#include "shard/dispatcher.h"
+
+#include <utility>
+
+namespace shpir::shard {
+
+Dispatcher::Dispatcher(const Options& options)
+    : queue_depth_(options.queue_depth == 0 ? 1 : options.queue_depth),
+      queues_(options.queues == 0 ? 1 : options.queues),
+      ready_(queues_.size()) {
+  workers_.reserve(queues_.size());
+  for (size_t i = 0; i < queues_.size(); ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+Dispatcher::~Dispatcher() { Drain(); }
+
+Status Dispatcher::Submit(size_t queue, Job job,
+                          std::chrono::steady_clock::time_point deadline) {
+  if (queue >= queues_.size()) {
+    return InvalidArgumentError("no such dispatcher queue");
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (draining_) {
+      return FailedPreconditionError("dispatcher is draining");
+    }
+    if (queues_[queue].size() >= queue_depth_) {
+      if (metered()) {
+        instruments_.rejections->Increment();
+      }
+      return ResourceExhaustedError("shard queue full");
+    }
+    queues_[queue].push_back({std::move(job), deadline});
+    UpdateDepthGauge();
+  }
+  ready_[queue].notify_one();
+  return OkStatus();
+}
+
+Status Dispatcher::SubmitAll(std::vector<Job> jobs,
+                             std::chrono::steady_clock::time_point deadline) {
+  if (jobs.size() != queues_.size()) {
+    return InvalidArgumentError("SubmitAll needs one job per queue");
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (draining_) {
+      return FailedPreconditionError("dispatcher is draining");
+    }
+    for (const auto& queue : queues_) {
+      if (queue.size() >= queue_depth_) {
+        if (metered()) {
+          instruments_.rejections->Increment();
+        }
+        return ResourceExhaustedError("shard queue full");
+      }
+    }
+    for (size_t i = 0; i < jobs.size(); ++i) {
+      queues_[i].push_back({std::move(jobs[i]), deadline});
+    }
+    UpdateDepthGauge();
+  }
+  for (auto& cv : ready_) {
+    cv.notify_one();
+  }
+  return OkStatus();
+}
+
+void Dispatcher::WorkerLoop(size_t queue) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    ready_[queue].wait(lock, [this, queue] {
+      return !queues_[queue].empty() || draining_;
+    });
+    if (queues_[queue].empty()) {
+      return;  // Draining and nothing left.
+    }
+    Entry entry = std::move(queues_[queue].front());
+    queues_[queue].pop_front();
+    ++in_flight_;
+    UpdateDepthGauge();
+    lock.unlock();
+    Status admission = OkStatus();
+    if (entry.deadline != kNoDeadline &&
+        std::chrono::steady_clock::now() > entry.deadline) {
+      admission = DeadlineExceededError("request expired in shard queue");
+      if (metered()) {
+        instruments_.expirations->Increment();
+      }
+    }
+    entry.job(admission);
+    lock.lock();
+    --in_flight_;
+    idle_.notify_all();
+  }
+}
+
+void Dispatcher::WaitIdle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_.wait(lock, [this] {
+    if (in_flight_ != 0) {
+      return false;
+    }
+    for (const auto& queue : queues_) {
+      if (!queue.empty()) {
+        return false;
+      }
+    }
+    return true;
+  });
+}
+
+void Dispatcher::Drain() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (joined_) {
+      return;
+    }
+    draining_ = true;
+    joined_ = true;
+  }
+  for (auto& cv : ready_) {
+    cv.notify_all();
+  }
+  for (auto& worker : workers_) {
+    worker.join();
+  }
+}
+
+size_t Dispatcher::depth(size_t queue) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue < queues_.size() ? queues_[queue].size() : 0;
+}
+
+void Dispatcher::EnableMetrics(obs::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    instruments_ = Instruments{};
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  instruments_.depth = registry->FindOrCreateGauge("shpir_shard_queue_depth");
+  instruments_.capacity =
+      registry->FindOrCreateGauge("shpir_shard_queue_capacity");
+  instruments_.rejections =
+      registry->FindOrCreateCounter("shpir_shard_admission_rejections_total");
+  instruments_.expirations =
+      registry->FindOrCreateCounter("shpir_shard_deadline_expirations_total");
+  instruments_.capacity->Set(static_cast<double>(queue_depth_));
+  instruments_.depth->Set(0.0);
+}
+
+void Dispatcher::UpdateDepthGauge() {
+  if (!metered()) {
+    return;
+  }
+  size_t total = 0;
+  for (const auto& queue : queues_) {
+    total += queue.size();
+  }
+  instruments_.depth->Set(static_cast<double>(total));
+}
+
+}  // namespace shpir::shard

@@ -1,0 +1,118 @@
+#ifndef SHPIR_SHARD_DISPATCHER_H_
+#define SHPIR_SHARD_DISPATCHER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+#include "obs/metrics.h"
+
+namespace shpir::shard {
+
+/// Bounded-queue dispatcher for the sharded runtime: one worker thread
+/// and one FIFO queue per shard, mirroring the physical deployment of
+/// one secure device per shard. Admission is all-or-nothing across the
+/// fan-out (SubmitAll) and rejects with ResourceExhausted when any
+/// queue is full, so overload surfaces as an immediate typed error
+/// instead of unbounded queueing — the serving-side complement to the
+/// offered-load analysis in src/model/queueing.h.
+///
+/// Jobs carry an optional deadline. A job whose deadline has passed by
+/// the time its worker pops it is still invoked — with
+/// DeadlineExceeded — so it can fail its waiter without doing the disk
+/// work; jobs popped in time run with OkStatus.
+class Dispatcher {
+ public:
+  /// Invoked by the queue's worker exactly once: with OkStatus to run,
+  /// or with DeadlineExceeded if the job expired while queued.
+  using Job = std::function<void(const Status& admission)>;
+
+  /// Sentinel for "no deadline".
+  static constexpr std::chrono::steady_clock::time_point kNoDeadline =
+      std::chrono::steady_clock::time_point::max();
+
+  struct Options {
+    size_t queues = 1;       // One worker + FIFO per shard.
+    size_t queue_depth = 64; // Bounded capacity of each queue.
+  };
+
+  explicit Dispatcher(const Options& options);
+
+  /// Drains: stops admissions, runs everything already queued, joins.
+  ~Dispatcher();
+
+  Dispatcher(const Dispatcher&) = delete;
+  Dispatcher& operator=(const Dispatcher&) = delete;
+
+  /// Enqueues one job on `queue`. ResourceExhausted if the queue is
+  /// full, FailedPrecondition after Drain() began.
+  Status Submit(size_t queue, Job job,
+                std::chrono::steady_clock::time_point deadline = kNoDeadline);
+
+  /// Enqueues jobs[i] on queue i — the fan-out primitive; requires
+  /// jobs.size() == queues. All-or-nothing: if any queue lacks room,
+  /// nothing is enqueued and ResourceExhausted is returned, so a
+  /// rejected logical request leaves no partial (privacy-skewing)
+  /// residue on any shard.
+  Status SubmitAll(std::vector<Job> jobs,
+                   std::chrono::steady_clock::time_point deadline = kNoDeadline);
+
+  /// Blocks until every queue is empty and no job is running.
+  void WaitIdle();
+
+  /// Graceful shutdown: stops admissions, lets workers finish all
+  /// queued jobs, joins the workers. Idempotent.
+  void Drain();
+
+  size_t queues() const { return workers_.size(); }
+  size_t queue_depth() const { return queue_depth_; }
+
+  /// Jobs currently queued (not yet popped) on `queue`.
+  size_t depth(size_t queue) const;
+
+  /// Registers the dispatcher's aggregate instruments in `registry`
+  /// (unowned; must outlive the dispatcher): total queued jobs across
+  /// all queues (gauge), configured capacity (gauge), admission
+  /// rejections and deadline expirations (counters). Aggregates only —
+  /// no per-request data (docs/OBSERVABILITY.md).
+  void EnableMetrics(obs::MetricsRegistry* registry);
+
+ private:
+  struct Entry {
+    Job job;
+    std::chrono::steady_clock::time_point deadline;
+  };
+
+  void WorkerLoop(size_t queue);
+  bool metered() const { return instruments_.rejections != nullptr; }
+  void UpdateDepthGauge();  // Caller holds mutex_.
+
+  const size_t queue_depth_;
+  mutable std::mutex mutex_;
+  std::vector<std::deque<Entry>> queues_;
+  std::vector<std::condition_variable> ready_;  // One per queue.
+  std::condition_variable idle_;
+  size_t in_flight_ = 0;
+  bool draining_ = false;
+  bool joined_ = false;
+
+  struct Instruments {
+    obs::Gauge* depth = nullptr;
+    obs::Gauge* capacity = nullptr;
+    obs::Counter* rejections = nullptr;
+    obs::Counter* expirations = nullptr;
+  };
+  Instruments instruments_;
+
+  std::vector<std::thread> workers_;  // Last: joined before the rest dies.
+};
+
+}  // namespace shpir::shard
+
+#endif  // SHPIR_SHARD_DISPATCHER_H_

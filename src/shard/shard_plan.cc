@@ -1,0 +1,66 @@
+#include "shard/shard_plan.h"
+
+#include <algorithm>
+
+#include "core/security_parameter.h"
+
+namespace shpir::shard {
+
+Result<ShardPlan> ShardPlan::Compute(uint64_t total_pages,
+                                     uint64_t cache_pages, double c,
+                                     uint64_t shards, CacheMode mode) {
+  if (shards == 0) {
+    return InvalidArgumentError("shard count must be >= 1");
+  }
+  if (total_pages < shards) {
+    return InvalidArgumentError("need at least one page per shard");
+  }
+  if (c <= 1.0) {
+    return InvalidArgumentError(
+        "target privacy c must be > 1 (c == 1 is trivial PIR)");
+  }
+  uint64_t per_shard_cache = cache_pages;
+  if (mode == CacheMode::kSplitSingleDevice) {
+    per_shard_cache = cache_pages / shards;
+  }
+  if (per_shard_cache < 2) {
+    return InvalidArgumentError(
+        "per-shard cache must hold at least 2 pages");
+  }
+
+  ShardPlan plan;
+  plan.total_pages_ = total_pages;
+  plan.pages_per_shard_ = (total_pages + shards - 1) / shards;
+  plan.cache_mode_ = mode;
+  plan.target_c_ = c;
+  plan.specs_.reserve(shards);
+  uint64_t first = 0;
+  for (uint64_t i = 0; i < shards; ++i) {
+    ShardSpec spec;
+    spec.first_page = first;
+    spec.num_pages =
+        std::min(plan.pages_per_shard_, total_pages - first);
+    spec.cache_pages = per_shard_cache;
+    if (spec.num_pages < 2) {
+      // A one-page shard is trivially private: every query reads the
+      // whole shard (T = 1, c = 1).
+      spec.block_size = 1;
+      spec.achieved_c = 1.0;
+    } else {
+      SHPIR_ASSIGN_OR_RETURN(
+          spec.block_size,
+          core::SecurityParameter::BlockSize(spec.num_pages,
+                                             spec.cache_pages, c));
+      SHPIR_ASSIGN_OR_RETURN(
+          spec.achieved_c,
+          core::SecurityParameter::PrivacyOf(
+              spec.num_pages, spec.cache_pages, spec.block_size));
+    }
+    plan.worst_c_ = std::max(plan.worst_c_, spec.achieved_c);
+    first += spec.num_pages;
+    plan.specs_.push_back(spec);
+  }
+  return plan;
+}
+
+}  // namespace shpir::shard

@@ -1,0 +1,90 @@
+#ifndef SHPIR_SHARD_SHARD_PLAN_H_
+#define SHPIR_SHARD_SHARD_PLAN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/page.h"
+
+namespace shpir::shard {
+
+/// Static sizing of a sharded deployment: how a database of n pages with
+/// target privacy parameter c maps onto S independent c-approximate
+/// engines (paper §4, Eqs. 5–6, applied per shard).
+///
+/// Each shard runs the Fig. 3 protocol over its own n_i = n/S slice, so
+/// its per-query cost is 4 seeks + 2(k_i + 1) pages with k_i derived
+/// from Eq. 6 at (n_i, m_i, c). How the cache budget m is assigned
+/// decides whether sharding buys throughput:
+///
+///  - kPerDevice (default): every shard is its own secure device with
+///    its own m-page cache (cache is per-device hardware, so S devices
+///    bring S caches). Eq. 6 gives k_i ≈ n_i/(m·ln c) ≈ k_1/S — the
+///    per-query block shrinks with S and aggregate throughput grows
+///    ~linearly, at unchanged per-shard privacy c.
+///
+///  - kSplitSingleDevice: one device's m-page cache is partitioned
+///    m_i = m/S. Because k ≈ n/(m·ln c), dividing both n and m by S
+///    leaves k_i ≈ k_1: there is NO speedup — this mode exists to
+///    demonstrate exactly that trade-off (and for deployments where a
+///    single device hosts all shards). See docs/SHARDING.md.
+class ShardPlan {
+ public:
+  enum class CacheMode {
+    kPerDevice,
+    kSplitSingleDevice,
+  };
+
+  /// Geometry and privacy of one shard.
+  struct ShardSpec {
+    uint64_t first_page = 0;   // Global id of the shard's first page.
+    uint64_t num_pages = 0;    // n_i: client pages owned by this shard.
+    uint64_t cache_pages = 0;  // m_i.
+    uint64_t block_size = 0;   // k_i from Eq. 6 at (n_i, m_i, c).
+    double achieved_c = 1.0;   // Eq. 5 at (n_i, m_i, k_i).
+  };
+
+  /// Computes the plan for `total_pages` pages, cache budget
+  /// `cache_pages` (per device or to split, per `mode`), target privacy
+  /// `c` and `shards` shards. Requires shards >= 1, total_pages >=
+  /// shards, c > 1, and a per-shard cache of at least 2 pages.
+  static Result<ShardPlan> Compute(uint64_t total_pages,
+                                   uint64_t cache_pages, double c,
+                                   uint64_t shards,
+                                   CacheMode mode = CacheMode::kPerDevice);
+
+  /// Shard owning global page id `id` (contiguous range partition).
+  uint64_t OwnerOf(storage::PageId id) const {
+    return id / pages_per_shard_;
+  }
+
+  /// Local id of `id` inside its owning shard.
+  storage::PageId LocalId(storage::PageId id) const {
+    return id - specs_[OwnerOf(id)].first_page;
+  }
+
+  uint64_t total_pages() const { return total_pages_; }
+  uint64_t shards() const { return specs_.size(); }
+  uint64_t pages_per_shard() const { return pages_per_shard_; }
+  CacheMode cache_mode() const { return cache_mode_; }
+  double target_c() const { return target_c_; }
+  /// Worst (largest) achieved c over all shards; the deployment's bound.
+  double worst_c() const { return worst_c_; }
+  const std::vector<ShardSpec>& specs() const { return specs_; }
+  const ShardSpec& spec(uint64_t shard) const { return specs_[shard]; }
+
+ private:
+  ShardPlan() = default;
+
+  uint64_t total_pages_ = 0;
+  uint64_t pages_per_shard_ = 0;
+  CacheMode cache_mode_ = CacheMode::kPerDevice;
+  double target_c_ = 0;
+  double worst_c_ = 1.0;
+  std::vector<ShardSpec> specs_;
+};
+
+}  // namespace shpir::shard
+
+#endif  // SHPIR_SHARD_SHARD_PLAN_H_

@@ -1,0 +1,262 @@
+#include "shard/sharded_engine.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <mutex>
+#include <utility>
+
+#include "storage/page_cipher.h"
+
+namespace shpir::shard {
+
+namespace {
+
+/// Ciphertext slot size for payload size B: nonce + (id + payload) + tag.
+size_t SealedSlotSize(size_t page_size) {
+  return storage::PageCipher::kNonceSize + 8 + page_size +
+         storage::PageCipher::kTagSize;
+}
+
+/// Offset for deriving per-shard dummy-generator seeds, far from the
+/// per-shard device seeds (seed + i) so the streams never collide for
+/// any realistic shard count.
+constexpr uint64_t kDummySeedOffset = 1000000;
+
+}  // namespace
+
+ShardedPirEngine::ShardedPirEngine(ShardPlan plan, size_t page_size,
+                                   Options options)
+    : plan_(std::move(plan)),
+      page_size_(page_size),
+      options_(std::move(options)) {}
+
+Result<std::unique_ptr<ShardedPirEngine>> ShardedPirEngine::Create(
+    const Options& options) {
+  if (options.page_size == 0) {
+    return InvalidArgumentError("page_size must be nonzero");
+  }
+  SHPIR_ASSIGN_OR_RETURN(
+      ShardPlan plan,
+      ShardPlan::Compute(options.num_pages, options.cache_pages,
+                         options.privacy_c, options.shards,
+                         options.cache_mode));
+  std::unique_ptr<ShardedPirEngine> engine(
+      new ShardedPirEngine(std::move(plan), options.page_size, options));
+  const ShardPlan& p = engine->plan_;
+  for (uint64_t i = 0; i < p.shards(); ++i) {
+    const ShardPlan::ShardSpec& spec = p.spec(i);
+    core::CApproxPir::Options eopts;
+    eopts.num_pages = spec.num_pages;
+    eopts.page_size = options.page_size;
+    eopts.cache_pages = spec.cache_pages;
+    eopts.privacy_c = options.privacy_c;
+    eopts.block_size = spec.block_size;  // From the plan (Eq. 6 at n_i).
+    eopts.enforce_secure_memory = options.enforce_secure_memory;
+    SHPIR_ASSIGN_OR_RETURN(uint64_t slots,
+                           core::CApproxPir::DiskSlots(eopts));
+
+    auto shard = std::make_unique<Shard>(
+        options.seed.has_value()
+            ? crypto::SecureRandom(*options.seed + kDummySeedOffset + i)
+            : crypto::SecureRandom());
+    shard->disk = std::make_unique<storage::MemoryDisk>(
+        slots, SealedSlotSize(options.page_size));
+    storage::Disk* target = shard->disk.get();
+    if (options.enable_traces) {
+      shard->trace = std::make_unique<storage::AccessTrace>();
+      shard->traced_disk = std::make_unique<storage::TracingDisk>(
+          shard->disk.get(), shard->trace.get());
+      target = shard->traced_disk.get();
+    }
+    SHPIR_ASSIGN_OR_RETURN(
+        shard->device,
+        hardware::SecureCoprocessor::Create(
+            options.profile, target, options.page_size,
+            options.seed.has_value()
+                ? std::optional<uint64_t>(*options.seed + i)
+                : std::nullopt));
+    SHPIR_ASSIGN_OR_RETURN(shard->engine,
+                           core::CApproxPir::Create(shard->device.get(),
+                                                    eopts,
+                                                    shard->trace.get()));
+    engine->shards_.push_back(std::move(shard));
+  }
+  Dispatcher::Options dopts;
+  dopts.queues = p.shards();
+  dopts.queue_depth = options.queue_depth;
+  engine->dispatcher_ = std::make_unique<Dispatcher>(dopts);
+  return engine;
+}
+
+Status ShardedPirEngine::Initialize(const std::vector<storage::Page>& pages) {
+  if (pages.size() > plan_.total_pages()) {
+    return InvalidArgumentError("more pages than the plan holds");
+  }
+  for (uint64_t i = 0; i < plan_.shards(); ++i) {
+    const ShardPlan::ShardSpec& spec = plan_.spec(i);
+    std::vector<storage::Page> local;
+    local.reserve(spec.num_pages);
+    for (uint64_t g = spec.first_page;
+         g < spec.first_page + spec.num_pages && g < pages.size(); ++g) {
+      local.emplace_back(g - spec.first_page, pages[g].data);
+    }
+    SHPIR_RETURN_IF_ERROR(shards_[i]->engine->Initialize(local));
+  }
+  return OkStatus();
+}
+
+Result<Bytes> ShardedPirEngine::Retrieve(storage::PageId id) {
+  return FanOut(id,
+                [](core::CApproxPir* engine, storage::PageId local) {
+                  return engine->Retrieve(local);
+                });
+}
+
+Status ShardedPirEngine::Modify(storage::PageId id, Bytes data) {
+  Result<Bytes> result = FanOut(
+      id, [data = std::move(data)](core::CApproxPir* engine,
+                                   storage::PageId local) -> Result<Bytes> {
+        SHPIR_RETURN_IF_ERROR(engine->Modify(local, data));
+        return Bytes();
+      });
+  return result.status();
+}
+
+Status ShardedPirEngine::Remove(storage::PageId id) {
+  Result<Bytes> result = FanOut(
+      id, [](core::CApproxPir* engine,
+             storage::PageId local) -> Result<Bytes> {
+        SHPIR_RETURN_IF_ERROR(engine->Remove(local));
+        return Bytes();
+      });
+  return result.status();
+}
+
+Result<Bytes> ShardedPirEngine::FanOut(
+    storage::PageId id,
+    std::function<Result<Bytes>(core::CApproxPir*, storage::PageId)> real) {
+  if (id >= plan_.total_pages()) {
+    return NotFoundError("page id out of range");
+  }
+  const uint64_t owner = plan_.OwnerOf(id);
+  const storage::PageId local = plan_.LocalId(id);
+
+  // The caller blocks on `join` until the owner shard's worker fulfills
+  // it, so stack storage is safe: no job referencing it can outlive this
+  // frame (queued jobs always run, even during Drain).
+  struct Join {
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::optional<Result<Bytes>> result;
+  } join;
+
+  const auto start = std::chrono::steady_clock::now();
+  const auto deadline = options_.deadline.count() > 0
+                            ? start + options_.deadline
+                            : Dispatcher::kNoDeadline;
+
+  std::vector<Dispatcher::Job> jobs(plan_.shards());
+  for (uint64_t s = 0; s < plan_.shards(); ++s) {
+    if (s == owner) {
+      continue;
+    }
+    jobs[s] = [this, s](const Status& admission) {
+      if (admission.ok()) {
+        RunDummy(s);
+      }
+    };
+  }
+  jobs[owner] = [this, owner, local, &join, &real](const Status& admission) {
+    Result<Bytes> outcome = admission.ok()
+                                ? [&]() -> Result<Bytes> {
+                                    Shard* shard = shards_[owner].get();
+                                    if (observer_) {
+                                      observer_(owner, shard->requests_served,
+                                                local, /*dummy=*/false);
+                                    }
+                                    ++shard->requests_served;
+                                    return real(shard->engine.get(), local);
+                                  }()
+                                : Result<Bytes>(admission);
+    {
+      std::lock_guard<std::mutex> lock(join.mutex);
+      join.result = std::move(outcome);
+      // Notify under the lock: the waiter owns `join`'s stack frame and
+      // may destroy it the instant it observes `result` unlocked.
+      join.cv.notify_one();
+    }
+  };
+
+  SHPIR_RETURN_IF_ERROR(dispatcher_->SubmitAll(std::move(jobs), deadline));
+
+  std::unique_lock<std::mutex> lock(join.mutex);
+  join.cv.wait(lock, [&join] { return join.result.has_value(); });
+  if (metered()) {
+    instruments_.logical_queries->Increment();
+    instruments_.fanout_latency_ns->Record(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count()));
+  }
+  return *std::move(join.result);
+}
+
+void ShardedPirEngine::RunDummy(uint64_t shard_index) {
+  Shard* shard = shards_[shard_index].get();
+  const storage::PageId local =
+      shard->dummy_rng.UniformInt(plan_.spec(shard_index).num_pages);
+  if (observer_) {
+    observer_(shard_index, shard->requests_served, local, /*dummy=*/true);
+  }
+  ++shard->requests_served;
+  if (metered()) {
+    instruments_.dummy_queries->Increment();
+  }
+  const Result<Bytes> discarded = shard->engine->Retrieve(local);
+  if (!discarded.ok() && metered()) {
+    // A dummy can hit a Removed id; the round still ran, the payload is
+    // discarded either way.
+    instruments_.dummy_failures->Increment();
+  }
+}
+
+void ShardedPirEngine::EnableMetrics(obs::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    instruments_ = Instruments{};
+    dispatcher_->EnableMetrics(nullptr);
+    for (auto& shard : shards_) {
+      shard->engine->EnableMetrics(nullptr);
+    }
+    return;
+  }
+  instruments_.logical_queries =
+      registry->FindOrCreateCounter("shpir_shard_logical_queries_total");
+  instruments_.dummy_queries =
+      registry->FindOrCreateCounter("shpir_shard_dummy_queries_total");
+  instruments_.dummy_failures =
+      registry->FindOrCreateCounter("shpir_shard_dummy_failures_total");
+  instruments_.fanout_latency_ns =
+      registry->FindOrCreateHistogram("shpir_shard_fanout_latency_ns");
+  instruments_.shard_count =
+      registry->FindOrCreateGauge("shpir_shard_count");
+  instruments_.block_size_k =
+      registry->FindOrCreateGauge("shpir_shard_block_size_k");
+  instruments_.achieved_privacy_c =
+      registry->FindOrCreateGauge("shpir_shard_achieved_privacy_c");
+  instruments_.shard_count->Set(static_cast<double>(plan_.shards()));
+  uint64_t max_k = 0;
+  for (const auto& spec : plan_.specs()) {
+    max_k = std::max(max_k, spec.block_size);
+  }
+  instruments_.block_size_k->Set(static_cast<double>(max_k));
+  instruments_.achieved_privacy_c->Set(plan_.worst_c());
+  dispatcher_->EnableMetrics(registry);
+  // Shard engines share one set of shpir_engine_* instruments: their
+  // counters and histograms export fleet-wide aggregates, never a
+  // per-shard breakdown.
+  for (auto& shard : shards_) {
+    shard->engine->EnableMetrics(registry);
+  }
+}
+
+}  // namespace shpir::shard

@@ -1,0 +1,200 @@
+#ifndef SHPIR_SHARD_SHARDED_ENGINE_H_
+#define SHPIR_SHARD_SHARDED_ENGINE_H_
+
+#include <chrono>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/result.h"
+#include "core/capprox_pir.h"
+#include "core/pir_engine.h"
+#include "crypto/secure_random.h"
+#include "hardware/coprocessor.h"
+#include "hardware/profile.h"
+#include "obs/metrics.h"
+#include "shard/dispatcher.h"
+#include "shard/shard_plan.h"
+#include "storage/access_trace.h"
+#include "storage/disk.h"
+
+namespace shpir::shard {
+
+/// Sharded serving runtime: n pages range-partitioned across S
+/// independent c-approximate engines (one secure device, disk and
+/// worker thread each), behind a bounded-queue Dispatcher.
+///
+/// Privacy. Every logical Retrieve fans out one query to EVERY shard:
+/// the real (local) id to the owning shard and an independently uniform
+/// dummy id to each other shard. The adversary watching all S disks
+/// therefore sees one Fig. 3 round per shard per logical request,
+/// regardless of which shard owns the target — the *choice of shard*
+/// leaks nothing, and within each shard the relocation distribution
+/// stays bounded by that shard's c (Eq. 5 at (n_i, m_i, k_i)). Updates
+/// fan out the same way and are indistinguishable from Retrieve on
+/// every shard.
+///
+/// Cost. With per-device caches (ShardPlan::CacheMode::kPerDevice),
+/// k_i ≈ k_1/S, so even though all S shards do work per logical query,
+/// each shard's round costs ~1/S of the unsharded round and the shards
+/// run in parallel: aggregate throughput grows ~S× (bench_sharding
+/// measures this in simulated device time).
+class ShardedPirEngine : public core::PirEngine {
+ public:
+  struct Options {
+    /// Client-addressable pages n, payload size B.
+    uint64_t num_pages = 0;
+    size_t page_size = 0;
+    /// Cache budget m: per shard device (kPerDevice) or split across
+    /// shards (kSplitSingleDevice) — see ShardPlan.
+    uint64_t cache_pages = 0;
+    double privacy_c = 2.0;
+    uint64_t shards = 1;
+    ShardPlan::CacheMode cache_mode = ShardPlan::CacheMode::kPerDevice;
+    /// Admission control: per-shard FIFO capacity.
+    size_t queue_depth = 64;
+    /// Per-request deadline measured from submission; zero disables.
+    std::chrono::nanoseconds deadline{0};
+    /// Hardware simulated per shard device.
+    hardware::HardwareProfile profile = hardware::HardwareProfile::Ibm4764();
+    /// Deterministic seed; shard i's device seeds with seed + i and its
+    /// dummy generator with seed + 1e6 + i. nullopt draws OS entropy.
+    std::optional<uint64_t> seed;
+    /// Record each shard's adversary-visible access trace (analysis
+    /// builds; costs memory per access).
+    bool enable_traces = false;
+    /// Forwarded to each shard's CApproxPir (Eq. 7 accounting).
+    bool enforce_secure_memory = true;
+  };
+
+  /// Ground-truth hook for privacy analysis: shard `shard` served its
+  /// `shard_request_index`-th query for local page `local_id`;
+  /// `dummy` distinguishes cover traffic from real queries. Invoked on
+  /// the shard's worker thread — the callback must be thread-safe
+  /// across shards. This is an analysis-side oracle, NOT part of the
+  /// adversary's view.
+  using ShardQueryObserver =
+      std::function<void(uint64_t shard, uint64_t shard_request_index,
+                         storage::PageId local_id, bool dummy)>;
+
+  static Result<std::unique_ptr<ShardedPirEngine>> Create(
+      const Options& options);
+
+  /// Owner-side bulk load; `pages[i]` becomes global id i. Splits the
+  /// pages across shards and initializes each engine.
+  Status Initialize(const std::vector<storage::Page>& pages);
+
+  /// --- PirEngine ------------------------------------------------------
+
+  /// Fans out to every shard (real query + S-1 dummies), blocks on the
+  /// real result. ResourceExhausted when any shard queue is full;
+  /// DeadlineExceeded when the real query expired in its queue.
+  Result<Bytes> Retrieve(storage::PageId id) override;
+
+  /// §4.3 update, fanned out like Retrieve (dummies on other shards).
+  Status Modify(storage::PageId id, Bytes data) override;
+  Status Remove(storage::PageId id) override;
+  // Insert is not supported (global id allocation across shards would
+  // need an owner-side directory); inherits Unimplemented.
+
+  uint64_t num_pages() const override { return plan_.total_pages(); }
+  size_t page_size() const override { return page_size_; }
+  const char* name() const override { return "sharded-c-approx"; }
+
+  /// --- Runtime --------------------------------------------------------
+
+  /// Blocks until all shard queues are empty and workers idle.
+  void WaitIdle() { dispatcher_->WaitIdle(); }
+
+  /// Graceful shutdown: stop admissions, run queued work, join workers.
+  /// Subsequent Retrieves fail with FailedPrecondition.
+  void Drain() { dispatcher_->Drain(); }
+
+  /// --- Introspection --------------------------------------------------
+
+  const ShardPlan& plan() const { return plan_; }
+  uint64_t shards() const { return plan_.shards(); }
+  Dispatcher& dispatcher() { return *dispatcher_; }
+
+  /// Per-shard internals, exposed for analysis and benches (ground
+  /// truth a deployment would keep inside each device).
+  core::CApproxPir* shard_engine(uint64_t shard) {
+    return shards_[shard]->engine.get();
+  }
+  hardware::SecureCoprocessor* shard_device(uint64_t shard) {
+    return shards_[shard]->device.get();
+  }
+  /// Null unless Options::enable_traces.
+  storage::AccessTrace* shard_trace(uint64_t shard) {
+    return shards_[shard]->trace.get();
+  }
+
+  void set_shard_query_observer(ShardQueryObserver observer) {
+    observer_ = std::move(observer);
+  }
+
+  /// --- Observability --------------------------------------------------
+
+  /// Registers shard-level aggregate instruments (queue depth,
+  /// admission rejections, dummy/logical query counters, fan-out
+  /// latency) plus each shard engine's instruments in `registry`
+  /// (unowned; must outlive the engine). Per-shard engine counters
+  /// share names, so they export as fleet-wide totals — no per-shard
+  /// (let alone per-request) breakdown leaves the trust boundary.
+  void EnableMetrics(obs::MetricsRegistry* registry);
+
+ private:
+  /// One shard's stack, in destruction-order-sensitive member order.
+  struct Shard {
+    std::unique_ptr<storage::MemoryDisk> disk;
+    std::unique_ptr<storage::AccessTrace> trace;        // Optional.
+    std::unique_ptr<storage::TracingDisk> traced_disk;  // Optional.
+    std::unique_ptr<hardware::SecureCoprocessor> device;
+    std::unique_ptr<core::CApproxPir> engine;
+    /// Touched only by this shard's worker thread.
+    crypto::SecureRandom dummy_rng;
+    uint64_t requests_served = 0;
+
+    explicit Shard(crypto::SecureRandom rng) : dummy_rng(std::move(rng)) {}
+  };
+
+  ShardedPirEngine(ShardPlan plan, size_t page_size, Options options);
+
+  /// Shared fan-out body for Retrieve/Modify/Remove. `real` runs on the
+  /// owner shard's worker with the local id; its Status/payload is
+  /// joined on. Dummies run everywhere else.
+  Result<Bytes> FanOut(
+      storage::PageId id,
+      std::function<Result<Bytes>(core::CApproxPir*, storage::PageId)> real);
+
+  /// Runs one dummy query on shard `shard` (worker thread).
+  void RunDummy(uint64_t shard);
+
+  bool metered() const { return instruments_.logical_queries != nullptr; }
+
+  ShardPlan plan_;
+  size_t page_size_;
+  Options options_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  ShardQueryObserver observer_;
+
+  struct Instruments {
+    obs::Counter* logical_queries = nullptr;
+    obs::Counter* dummy_queries = nullptr;
+    obs::Counter* dummy_failures = nullptr;
+    obs::Histogram* fanout_latency_ns = nullptr;
+    obs::Gauge* shard_count = nullptr;
+    obs::Gauge* block_size_k = nullptr;
+    obs::Gauge* achieved_privacy_c = nullptr;
+  };
+  Instruments instruments_;
+
+  /// Declared last: its destructor drains and joins the workers while
+  /// the shard stacks above are still alive.
+  std::unique_ptr<Dispatcher> dispatcher_;
+};
+
+}  // namespace shpir::shard
+
+#endif  // SHPIR_SHARD_SHARDED_ENGINE_H_

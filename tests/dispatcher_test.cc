@@ -1,0 +1,187 @@
+#include "shard/dispatcher.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace shpir::shard {
+namespace {
+
+Dispatcher::Options MakeOptions(size_t queues, size_t depth) {
+  Dispatcher::Options options;
+  options.queues = queues;
+  options.queue_depth = depth;
+  return options;
+}
+
+TEST(DispatcherTest, RunsSubmittedJobs) {
+  Dispatcher dispatcher(MakeOptions(2, 8));
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(dispatcher
+                    .Submit(i % 2,
+                            [&ran](const Status& admission) {
+                              EXPECT_TRUE(admission.ok());
+                              ++ran;
+                            })
+                    .ok());
+  }
+  dispatcher.WaitIdle();
+  EXPECT_EQ(ran.load(), 10);
+}
+
+TEST(DispatcherTest, PreservesFifoOrderPerQueue) {
+  Dispatcher dispatcher(MakeOptions(1, 32));
+  std::vector<int> order;
+  for (int i = 0; i < 16; ++i) {
+    ASSERT_TRUE(dispatcher
+                    .Submit(0,
+                            [&order, i](const Status&) {
+                              order.push_back(i);
+                            })
+                    .ok());
+  }
+  dispatcher.WaitIdle();
+  ASSERT_EQ(order.size(), 16u);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(order[i], i);
+  }
+}
+
+TEST(DispatcherTest, RejectsWhenQueueFull) {
+  obs::MetricsRegistry registry;
+  Dispatcher dispatcher(MakeOptions(1, 2));
+  dispatcher.EnableMetrics(&registry);
+  // Block the worker so submissions pile up.
+  std::atomic<bool> release{false};
+  ASSERT_TRUE(dispatcher
+                  .Submit(0,
+                          [&release](const Status&) {
+                            while (!release.load()) {
+                              std::this_thread::yield();
+                            }
+                          })
+                  .ok());
+  // The worker can pop at most the blocker before parking in it, so 8
+  // submissions against a depth-2 queue must see rejections.
+  int rejected = 0;
+  for (int i = 0; i < 8; ++i) {
+    const Status status = dispatcher.Submit(0, [](const Status&) {});
+    if (!status.ok()) {
+      EXPECT_EQ(status.code(), StatusCode::kResourceExhausted);
+      ++rejected;
+    }
+  }
+  EXPECT_GE(rejected, 1);
+  release.store(true);
+  dispatcher.WaitIdle();
+  uint64_t counted = 0;
+  for (const auto& counter : registry.Snapshot().counters) {
+    if (counter.name == "shpir_shard_admission_rejections_total") {
+      counted = counter.value;
+    }
+  }
+  EXPECT_EQ(counted, static_cast<uint64_t>(rejected));
+}
+
+TEST(DispatcherTest, SubmitAllIsAllOrNothing) {
+  Dispatcher dispatcher(MakeOptions(2, 1));
+  std::atomic<bool> release{false};
+  std::atomic<int> ran{0};
+  // Saturate queue 1: one job in flight, one queued.
+  ASSERT_TRUE(dispatcher
+                  .Submit(1,
+                          [&release](const Status&) {
+                            while (!release.load()) {
+                              std::this_thread::yield();
+                            }
+                          })
+                  .ok());
+  Status filler;
+  for (;;) {
+    filler = dispatcher.Submit(1, [](const Status&) {});
+    if (filler.ok()) {
+      break;
+    }
+  }
+  // Fan-out must fail atomically: queue 0 stays empty.
+  std::vector<Dispatcher::Job> jobs;
+  jobs.push_back([&ran](const Status&) { ++ran; });
+  jobs.push_back([&ran](const Status&) { ++ran; });
+  const Status rejected = dispatcher.SubmitAll(std::move(jobs));
+  EXPECT_EQ(rejected.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(dispatcher.depth(0), 0u);
+  release.store(true);
+  dispatcher.WaitIdle();
+  EXPECT_EQ(ran.load(), 0);
+}
+
+TEST(DispatcherTest, ExpiredJobsAreInvokedWithDeadlineExceeded) {
+  Dispatcher dispatcher(MakeOptions(1, 8));
+  std::atomic<bool> release{false};
+  ASSERT_TRUE(dispatcher
+                  .Submit(0,
+                          [&release](const Status&) {
+                            while (!release.load()) {
+                              std::this_thread::yield();
+                            }
+                          })
+                  .ok());
+  std::atomic<int> expired{0};
+  std::atomic<int> ok{0};
+  // Deadline already in the past: must surface as DeadlineExceeded by
+  // the time the worker pops it.
+  ASSERT_TRUE(dispatcher
+                  .Submit(0,
+                          [&](const Status& admission) {
+                            (admission.code() ==
+                                     StatusCode::kDeadlineExceeded
+                                 ? expired
+                                 : ok)
+                                .fetch_add(1);
+                          },
+                          std::chrono::steady_clock::now() -
+                              std::chrono::milliseconds(1))
+                  .ok());
+  release.store(true);
+  dispatcher.WaitIdle();
+  EXPECT_EQ(expired.load(), 1);
+  EXPECT_EQ(ok.load(), 0);
+}
+
+TEST(DispatcherTest, DrainRunsQueuedJobsThenRejectsNewOnes) {
+  Dispatcher dispatcher(MakeOptions(2, 16));
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(dispatcher
+                    .Submit(i % 2, [&ran](const Status&) { ++ran; })
+                    .ok());
+  }
+  dispatcher.Drain();
+  EXPECT_EQ(ran.load(), 8);
+  const Status after = dispatcher.Submit(0, [](const Status&) {});
+  EXPECT_EQ(after.code(), StatusCode::kFailedPrecondition);
+  dispatcher.Drain();  // Idempotent.
+}
+
+TEST(DispatcherTest, DepthGaugeTracksQueuedJobs) {
+  obs::MetricsRegistry registry;
+  Dispatcher dispatcher(MakeOptions(1, 8));
+  dispatcher.EnableMetrics(&registry);
+  dispatcher.WaitIdle();
+  double capacity = 0;
+  for (const auto& gauge : registry.Snapshot().gauges) {
+    if (gauge.name == "shpir_shard_queue_capacity") {
+      capacity = gauge.value;
+    }
+  }
+  EXPECT_EQ(capacity, 8.0);
+}
+
+}  // namespace
+}  // namespace shpir::shard

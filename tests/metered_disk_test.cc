@@ -1,0 +1,122 @@
+#include "storage/metered_disk.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "storage/disk.h"
+
+namespace shpir::storage {
+namespace {
+
+constexpr size_t kSlotSize = 16;
+
+struct Rig {
+  MemoryDisk inner{32, kSlotSize};
+  obs::MetricsRegistry registry;
+  MeteredDisk disk{&inner, &registry};
+
+  uint64_t Counter(const std::string& name) {
+    for (const auto& counter : registry.Snapshot().counters) {
+      if (counter.name == name) {
+        return counter.value;
+      }
+    }
+    return 0;
+  }
+};
+
+TEST(MeteredDiskTest, ForwardsGeometryAndData) {
+  Rig rig;
+  EXPECT_EQ(rig.disk.num_slots(), 32u);
+  EXPECT_EQ(rig.disk.slot_size(), kSlotSize);
+  const Bytes payload(kSlotSize, 0xAB);
+  ASSERT_TRUE(rig.disk.Write(5, payload).ok());
+  Bytes out(kSlotSize);
+  ASSERT_TRUE(rig.disk.Read(5, out).ok());
+  EXPECT_EQ(out, payload);
+  // The decorator writes through: the inner disk holds the data.
+  Bytes inner_out(kSlotSize);
+  ASSERT_TRUE(
+      rig.inner.Read(5, inner_out)
+          .ok());
+  EXPECT_EQ(inner_out, payload);
+}
+
+TEST(MeteredDiskTest, CountsOperationsAndBytes) {
+  Rig rig;
+  const Bytes payload(kSlotSize, 1);
+  Bytes out(kSlotSize);
+  for (uint64_t i = 0; i < 3; ++i) {
+    ASSERT_TRUE(rig.disk.Write(i, payload).ok());
+  }
+  for (uint64_t i = 0; i < 5; ++i) {
+    ASSERT_TRUE(
+        rig.disk.Read(i, out).ok());
+  }
+  EXPECT_EQ(rig.Counter("shpir_disk_writes_total"), 3u);
+  EXPECT_EQ(rig.Counter("shpir_disk_reads_total"), 5u);
+  EXPECT_EQ(rig.Counter("shpir_disk_write_bytes_total"), 3u * kSlotSize);
+  EXPECT_EQ(rig.Counter("shpir_disk_read_bytes_total"), 5u * kSlotSize);
+}
+
+TEST(MeteredDiskTest, FirstAccessCountsAsSeek) {
+  // The head starts at an unknown position (UINT64_MAX sentinel), so
+  // even an access to slot 0 is discontiguous.
+  Rig rig;
+  Bytes out(kSlotSize);
+  ASSERT_TRUE(rig.disk.Read(0, out).ok());
+  EXPECT_EQ(rig.Counter("shpir_disk_seeks_total"), 1u);
+}
+
+TEST(MeteredDiskTest, SequentialRunsCostOneSeek) {
+  Rig rig;
+  Bytes out(kSlotSize);
+  // 4, 5, 6: one repositioning, then the head stays on track — exactly
+  // how the paper's cost model charges t_s once per discontiguity.
+  for (uint64_t i = 4; i < 7; ++i) {
+    ASSERT_TRUE(
+        rig.disk.Read(i, out).ok());
+  }
+  EXPECT_EQ(rig.Counter("shpir_disk_seeks_total"), 1u);
+  // Jump backwards: one more seek.
+  ASSERT_TRUE(rig.disk.Read(0, out).ok());
+  EXPECT_EQ(rig.Counter("shpir_disk_seeks_total"), 2u);
+  // Mixed op types continue the run: a write at slot 1 follows the
+  // read at slot 0 sequentially.
+  ASSERT_TRUE(rig.disk.Write(1, Bytes(kSlotSize, 2)).ok());
+  EXPECT_EQ(rig.Counter("shpir_disk_seeks_total"), 2u);
+}
+
+TEST(MeteredDiskTest, RunsAccountAsSingleAccess) {
+  Rig rig;
+  std::vector<Bytes> slots(4, Bytes(kSlotSize, 7));
+  ASSERT_TRUE(rig.disk.WriteRun(8, slots).ok());
+  EXPECT_EQ(rig.Counter("shpir_disk_writes_total"), 4u);
+  EXPECT_EQ(rig.Counter("shpir_disk_write_bytes_total"), 4u * kSlotSize);
+  EXPECT_EQ(rig.Counter("shpir_disk_seeks_total"), 1u);
+  std::vector<Bytes> out;
+  // Continues right after the run: no new seek.
+  ASSERT_TRUE(rig.disk.ReadRun(12, 3, out).ok());
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0], Bytes(kSlotSize));  // Untouched slot reads zeros.
+  EXPECT_EQ(rig.Counter("shpir_disk_reads_total"), 3u);
+  EXPECT_EQ(rig.Counter("shpir_disk_seeks_total"), 1u);
+  // A run that starts elsewhere seeks once, regardless of length.
+  ASSERT_TRUE(rig.disk.ReadRun(0, 8, out).ok());
+  EXPECT_EQ(rig.Counter("shpir_disk_seeks_total"), 2u);
+}
+
+TEST(MeteredDiskTest, PropagatesInnerErrors) {
+  Rig rig;
+  Bytes out(kSlotSize);
+  EXPECT_FALSE(
+      rig.disk.Read(99, out).ok());
+  Bytes wrong_size(kSlotSize - 1, 0);
+  EXPECT_FALSE(rig.disk.Write(0, wrong_size).ok());
+}
+
+}  // namespace
+}  // namespace shpir::storage

@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "common/check.h"
+#include "core/capprox_pir.h"
 #include "net/tcp_transport.h"
 #include "crypto/secure_random.h"
 #include "hardware/coprocessor.h"
@@ -273,8 +274,8 @@ TEST(ServiceHubTest, StatsPayloadStaysInsideTrustBoundary) {
   ASSERT_TRUE(snapshot.ok()) << snapshot.status();
 
   const std::vector<std::string> allowed_prefixes = {
-      "shpir_engine_", "shpir_hw_", "shpir_net_",
-      "shpir_disk_",   "shpir_provider_", "shpir_tcp_"};
+      "shpir_engine_", "shpir_hw_",       "shpir_net_",  "shpir_disk_",
+      "shpir_provider_", "shpir_tcp_", "shpir_shard_"};
   const std::vector<std::string> forbidden = {"page_id", "request_index",
                                               "client_id"};
   std::vector<std::string> names;

@@ -1,0 +1,101 @@
+#include "shard/shard_plan.h"
+
+#include <gtest/gtest.h>
+
+#include "core/security_parameter.h"
+
+namespace shpir::shard {
+namespace {
+
+TEST(ShardPlanTest, SingleShardMatchesUnshardedGeometry) {
+  auto plan = ShardPlan::Compute(16384, 64, 2.0, 1);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->shards(), 1u);
+  EXPECT_EQ(plan->spec(0).num_pages, 16384u);
+  EXPECT_EQ(plan->spec(0).cache_pages, 64u);
+  auto k = core::SecurityParameter::BlockSize(16384, 64, 2.0);
+  ASSERT_TRUE(k.ok());
+  EXPECT_EQ(plan->spec(0).block_size, *k);
+  EXPECT_LE(plan->worst_c(), 2.0 + 1e-9);
+}
+
+TEST(ShardPlanTest, PerDeviceCachesShrinkBlockLinearly) {
+  // Each shard gets the full per-device cache, so k_S ~ k_1 / S: the
+  // throughput mechanism behind the sharded runtime.
+  auto one = ShardPlan::Compute(16384, 64, 2.0, 1);
+  auto four = ShardPlan::Compute(16384, 64, 2.0, 4);
+  ASSERT_TRUE(one.ok());
+  ASSERT_TRUE(four.ok());
+  const double ratio =
+      static_cast<double>(one->spec(0).block_size) /
+      static_cast<double>(four->spec(0).block_size);
+  EXPECT_GT(ratio, 3.5);
+  EXPECT_LT(ratio, 4.5);
+  // Every shard still honors the target c.
+  for (const auto& spec : four->specs()) {
+    EXPECT_LE(spec.achieved_c, 2.0 + 1e-9);
+  }
+}
+
+TEST(ShardPlanTest, SplitCacheModeBuysNoSpeedup) {
+  // Splitting one device's cache divides n and m together, which
+  // leaves k essentially unchanged (Eq. 6: k ~ n / (m ln c)) — the
+  // no-free-lunch case documented in docs/SHARDING.md.
+  auto one = ShardPlan::Compute(16384, 64, 2.0, 1);
+  auto four = ShardPlan::Compute(16384, 64, 2.0, 4,
+                                 ShardPlan::CacheMode::kSplitSingleDevice);
+  ASSERT_TRUE(one.ok());
+  ASSERT_TRUE(four.ok());
+  EXPECT_EQ(four->spec(0).cache_pages, 16u);
+  const double ratio =
+      static_cast<double>(one->spec(0).block_size) /
+      static_cast<double>(four->spec(0).block_size);
+  EXPECT_GT(ratio, 0.8);
+  EXPECT_LT(ratio, 1.3);
+}
+
+TEST(ShardPlanTest, OwnerMappingCoversRaggedPartition) {
+  // 10 pages over 3 shards: 4 + 4 + 2.
+  auto plan = ShardPlan::Compute(10, 4, 2.0, 3);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->pages_per_shard(), 4u);
+  EXPECT_EQ(plan->spec(0).num_pages, 4u);
+  EXPECT_EQ(plan->spec(1).num_pages, 4u);
+  EXPECT_EQ(plan->spec(2).num_pages, 2u);
+  uint64_t covered = 0;
+  for (const auto& spec : plan->specs()) {
+    covered += spec.num_pages;
+  }
+  EXPECT_EQ(covered, 10u);
+  for (storage::PageId id = 0; id < 10; ++id) {
+    const uint64_t owner = plan->OwnerOf(id);
+    ASSERT_LT(owner, 3u);
+    const auto& spec = plan->spec(owner);
+    EXPECT_GE(id, spec.first_page);
+    EXPECT_LT(id, spec.first_page + spec.num_pages);
+    EXPECT_EQ(plan->LocalId(id), id - spec.first_page);
+  }
+}
+
+TEST(ShardPlanTest, OnePageShardIsTriviallyPrivate) {
+  auto plan = ShardPlan::Compute(4, 4, 2.0, 4);
+  ASSERT_TRUE(plan.ok());
+  for (const auto& spec : plan->specs()) {
+    EXPECT_EQ(spec.num_pages, 1u);
+    EXPECT_EQ(spec.block_size, 1u);
+    EXPECT_EQ(spec.achieved_c, 1.0);
+  }
+}
+
+TEST(ShardPlanTest, RejectsDegenerateInputs) {
+  EXPECT_FALSE(ShardPlan::Compute(100, 8, 2.0, 0).ok());
+  EXPECT_FALSE(ShardPlan::Compute(3, 8, 2.0, 4).ok());
+  EXPECT_FALSE(ShardPlan::Compute(100, 8, 1.0, 2).ok());
+  // Split mode: 8-page cache over 8 shards leaves 1 page per shard.
+  EXPECT_FALSE(ShardPlan::Compute(100, 8, 2.0, 8,
+                                  ShardPlan::CacheMode::kSplitSingleDevice)
+                   .ok());
+}
+
+}  // namespace
+}  // namespace shpir::shard

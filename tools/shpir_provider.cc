@@ -6,24 +6,138 @@
 //
 // Creates the disk file if it does not exist. Prints the bound port and
 // serves until killed.
+//
+// Hub mode instead runs the full three-party service in-process over
+// the sharded serving runtime (src/shard/): S independent c-approximate
+// engines behind a bounded-queue dispatcher, serving the ServiceHub
+// frame protocol. Clients speak the same sealed-record protocol as
+// against a single engine; the sharding (and its cover traffic) is
+// invisible to them.
+//
+//   shpir_provider hub --pages N [--page-size B] [--cache M] [--c C]
+//                      [--shards S] [--queue-depth D] [--deadline-ms T]
+//                      [--port P] [--psk STR] [--seed X]
+//
+// --cache is the per-shard (per-device) cache m; see docs/SHARDING.md.
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <map>
 #include <memory>
 #include <string>
 
+#include "net/service_hub.h"
 #include "net/storage_server.h"
 #include "net/tcp_transport.h"
 #include "obs/metrics.h"
+#include "shard/sharded_engine.h"
 #include "storage/file_disk.h"
 #include "storage/metered_disk.h"
 
-int main(int argc, char** argv) {
-  using namespace shpir;
+namespace {
+
+using namespace shpir;
+
+struct Flags {
+  std::map<std::string, std::string> values;
+
+  std::string Get(const std::string& key,
+                  const std::string& fallback = "") const {
+    auto it = values.find(key);
+    return it == values.end() ? fallback : it->second;
+  }
+  uint64_t GetU64(const std::string& key, uint64_t fallback) const {
+    auto it = values.find(key);
+    return it == values.end() ? fallback
+                              : std::strtoull(it->second.c_str(), nullptr,
+                                              10);
+  }
+  double GetDouble(const std::string& key, double fallback) const {
+    auto it = values.find(key);
+    return it == values.end() ? fallback
+                              : std::strtod(it->second.c_str(), nullptr);
+  }
+};
+
+Flags ParseFlags(int argc, char** argv, int first) {
+  Flags flags;
+  for (int i = first; i + 1 < argc; i += 2) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--", 2) == 0) {
+      flags.values[arg + 2] = argv[i + 1];
+    }
+  }
+  return flags;
+}
+
+int ServeHub(int argc, char** argv) {
+  const Flags flags = ParseFlags(argc, argv, 2);
+  shard::ShardedPirEngine::Options options;
+  options.num_pages = flags.GetU64("pages", 0);
+  options.page_size = flags.GetU64("page-size", 1024);
+  options.cache_pages = flags.GetU64("cache", 64);
+  options.privacy_c = flags.GetDouble("c", 2.0);
+  options.shards = flags.GetU64("shards", 1);
+  options.queue_depth = flags.GetU64("queue-depth", 64);
+  const uint64_t deadline_ms = flags.GetU64("deadline-ms", 0);
+  if (deadline_ms > 0) {
+    options.deadline = std::chrono::milliseconds(deadline_ms);
+  }
+  const uint64_t seed = flags.GetU64("seed", 0);
+  if (seed != 0) {
+    options.seed = seed;
+  }
+  if (options.num_pages == 0) {
+    std::fprintf(stderr, "error: hub mode requires --pages\n");
+    return 2;
+  }
+  const uint16_t port =
+      static_cast<uint16_t>(flags.GetU64("port", 0));
+  const std::string psk_text = flags.Get("psk", "shpir");
+  Bytes psk(psk_text.begin(), psk_text.end());
+
+  Result<std::unique_ptr<shard::ShardedPirEngine>> engine =
+      shard::ShardedPirEngine::Create(options);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 engine.status().ToString().c_str());
+    return 1;
+  }
+  Status loaded = (*engine)->Initialize({});
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "error: %s\n", loaded.ToString().c_str());
+    return 1;
+  }
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  (*engine)->EnableMetrics(&metrics);
+
+  net::ServiceHub hub(engine->get(), std::move(psk), /*rng_seed=*/0,
+                      &metrics);
+  Result<std::unique_ptr<net::TcpFrameListener>> listener =
+      net::TcpFrameListener::Listen(
+          [&hub](ByteSpan frame) { return hub.HandleFrame(frame); }, port);
+  if (!listener.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 listener.status().ToString().c_str());
+    return 1;
+  }
+  const shard::ShardPlan& plan = (*engine)->plan();
+  std::printf("sharded hub: %llu pages x %zuB over %llu shard(s), "
+              "per-shard k = %llu, worst c = %.4f, queue depth %zu\n",
+              (unsigned long long)plan.total_pages(), options.page_size,
+              (unsigned long long)plan.shards(),
+              (unsigned long long)plan.spec(0).block_size, plan.worst_c(),
+              options.queue_depth);
+  std::printf("serving on 127.0.0.1:%u\n", (*listener)->port());
+  std::fflush(stdout);
+  (*listener)->Run();
+  (*engine)->Drain();
+  return 0;
+}
+
+int ServeStorage(int argc, char** argv) {
   if (argc < 4 || argc > 5) {
-    std::fprintf(stderr,
-                 "usage: %s <disk-file> <slots> <slot-size> [port]\n",
-                 argv[0]);
     return 2;
   }
   const std::string path = argv[1];
@@ -69,4 +183,23 @@ int main(int argc, char** argv) {
   std::fflush(stdout);
   (*listener)->Run();
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc >= 2 && std::strcmp(argv[1], "hub") == 0) {
+    return ServeHub(argc, argv);
+  }
+  const int code = ServeStorage(argc, argv);
+  if (code == 2) {
+    std::fprintf(
+        stderr,
+        "usage: %s <disk-file> <slots> <slot-size> [port]\n"
+        "       %s hub --pages N [--page-size B] [--cache M] [--c C]\n"
+        "          [--shards S] [--queue-depth D] [--deadline-ms T]\n"
+        "          [--port P] [--psk STR] [--seed X]\n",
+        argv[0], argv[0]);
+  }
+  return code;
 }
