@@ -11,7 +11,6 @@
 
 int main() {
   using namespace shpir;
-  using hardware::kGB;
   using hardware::kKB;
 
   const auto old_hw = hardware::HardwareProfile::Ibm4764();

@@ -33,8 +33,8 @@ Bytes HexDecode(const std::string& hex) {
   Bytes out;
   out.reserve(hex.size() / 2);
   for (size_t i = 0; i < hex.size(); i += 2) {
-    int hi = HexValue(hex[i]);
-    int lo = HexValue(hex[i + 1]);
+    const int hi = HexValue(hex[i]);
+    const int lo = HexValue(hex[i + 1]);
     if (hi < 0 || lo < 0) {
       return {};
     }

@@ -1,0 +1,72 @@
+#ifndef SHPIR_COMMON_MUTEX_H_
+#define SHPIR_COMMON_MUTEX_H_
+
+#include <condition_variable>
+#include <mutex>
+
+#include "common/thread_annotations.h"
+
+namespace shpir::common {
+
+/// std::mutex carrying the Clang `capability` attribute, so members can
+/// be GUARDED_BY it and -Wthread-safety can prove lock discipline at
+/// compile time. Same cost and semantics as std::mutex; native() exposes
+/// the underlying handle for condition-variable waits.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ACQUIRE() { mutex_.lock(); }
+  void unlock() RELEASE() { mutex_.unlock(); }
+  bool try_lock() TRY_ACQUIRE(true) { return mutex_.try_lock(); }
+
+  /// The analysis treats the capability as held for the scope that
+  /// acquired it; waits that unlock/relock through native() (CondVar)
+  /// preserve that invariant at wakeup, which is what the analysis
+  /// actually relies on.
+  std::mutex& native() { return mutex_; }
+
+ private:
+  std::mutex mutex_;
+};
+
+/// RAII lock for Mutex (scoped capability). Supports the mid-scope
+/// Unlock()/Lock() pattern worker loops use around job execution.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) ACQUIRE(mutex) : lock_(mutex.native()) {}
+  ~MutexLock() RELEASE() = default;  // unique_lock releases if held.
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  void Unlock() RELEASE() { lock_.unlock(); }
+  void Lock() ACQUIRE() { lock_.lock(); }
+
+  /// For CondVar::Wait only.
+  std::unique_lock<std::mutex>& native() { return lock_; }
+
+ private:
+  std::unique_lock<std::mutex> lock_;
+};
+
+/// Condition variable usable with MutexLock. Waits must be wrapped in an
+/// explicit `while (!condition) cv.Wait(lock);` loop in the waiting
+/// function itself — not a predicate lambda — so the guarded reads in
+/// the condition stay inside the scope the analysis knows holds the
+/// lock.
+class CondVar {
+ public:
+  void Wait(MutexLock& lock) { cv_.wait(lock.native()); }
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace shpir::common
+
+#endif  // SHPIR_COMMON_MUTEX_H_

@@ -1,0 +1,64 @@
+#ifndef SHPIR_COMMON_SECRET_H_
+#define SHPIR_COMMON_SECRET_H_
+
+#include <utility>
+
+/// Secret-flow annotation layer for the trust boundary (the simulated
+/// secure coprocessor and everything that runs inside it). The paper's
+/// privacy guarantee (Def. 1 / Eq. 6) bounds what the adversary learns
+/// from the *disk access pattern*; code inside the boundary must not
+/// re-leak the secrets — the requested page id, pageMap contents, cache
+/// membership — through side channels the model does not price:
+/// branches or array indexing into adversary-visible state, logging,
+/// metrics, early-exit comparisons, or predictable randomness.
+///
+/// `SHPIR_SECRET` marks a declaration (parameter, member, local) as
+/// holding secret state. Under Clang it emits a [[clang::annotate]]
+/// attribute (visible to AST tooling); under every compiler it is the
+/// marker `tools/shpir_lint` keys on: any banned pattern involving a
+/// secret-marked identifier — or one tainted by assignment from it — is
+/// a lint error unless it carries an audited
+/// `// shpir-lint-allow(<rule>): <why>` justification.
+/// docs/STATIC_ANALYSIS.md documents the rules and suppression policy.
+
+#if defined(__clang__)
+#define SHPIR_SECRET [[clang::annotate("shpir::secret")]]
+#else
+#define SHPIR_SECRET
+#endif
+
+namespace shpir::common {
+
+/// Thin wrapper forcing secret values through a loud, greppable access
+/// point. A Secret<T> cannot be compared, streamed, or implicitly
+/// converted; the only way out is ExposeSecret(), and shpir_lint
+/// propagates secret taint to whatever the exposed value is stored in.
+/// Used for the in-flight query index on its way into the engine round.
+template <typename T>
+class Secret {
+ public:
+  constexpr explicit Secret(T value) : value_(std::move(value)) {}
+
+  Secret(const Secret&) = default;
+  Secret(Secret&&) = default;
+  Secret& operator=(const Secret&) = default;
+  Secret& operator=(Secret&&) = default;
+
+  /// Deliberate declassification point inside the trust boundary. The
+  /// receiving identifier inherits the secret taint in shpir_lint.
+  constexpr const T& ExposeSecret() const { return value_; }
+  constexpr T& ExposeSecret() { return value_; }
+
+  /// A secret must never feed an early-exit comparison; use
+  /// crypto::ConstantTimeEquals on the exposed bytes if equality inside
+  /// the boundary is genuinely needed.
+  friend bool operator==(const Secret&, const Secret&) = delete;
+  friend bool operator!=(const Secret&, const Secret&) = delete;
+
+ private:
+  T value_;
+};
+
+}  // namespace shpir::common
+
+#endif  // SHPIR_COMMON_SECRET_H_

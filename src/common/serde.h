@@ -42,15 +42,19 @@ class ByteReader {
  public:
   explicit ByteReader(ByteSpan data) : data_(data) {}
 
+  // All bounds checks compare against the remaining byte count instead
+  // of computing pos_ + len, which could wrap for an adversarial length
+  // read out of a corrupt blob and defeat the check.
+
   Result<uint8_t> ReadU8() {
-    if (pos_ + 1 > data_.size()) {
+    if (remaining() < 1) {
       return DataLossError("truncated state: u8");
     }
     return data_[pos_++];
   }
 
   Result<uint64_t> ReadU64() {
-    if (pos_ + 8 > data_.size()) {
+    if (remaining() < 8) {
       return DataLossError("truncated state: u64");
     }
     const uint64_t v = LoadLE64(data_.data() + pos_);
@@ -60,7 +64,7 @@ class ByteReader {
 
   Result<Bytes> ReadBytes() {
     SHPIR_ASSIGN_OR_RETURN(const uint64_t len, ReadU64());
-    if (pos_ + len > data_.size()) {
+    if (len > remaining()) {
       return DataLossError("truncated state: bytes");
     }
     Bytes out(data_.begin() + static_cast<ptrdiff_t>(pos_),
@@ -71,7 +75,7 @@ class ByteReader {
 
   /// Raw read of exactly `len` bytes.
   Result<Bytes> ReadRaw(size_t len) {
-    if (pos_ + len > data_.size()) {
+    if (len > remaining()) {
       return DataLossError("truncated state: raw");
     }
     Bytes out(data_.begin() + static_cast<ptrdiff_t>(pos_),

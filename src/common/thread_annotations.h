@@ -1,0 +1,54 @@
+#ifndef SHPIR_COMMON_THREAD_ANNOTATIONS_H_
+#define SHPIR_COMMON_THREAD_ANNOTATIONS_H_
+
+/// Clang thread-safety-analysis attribute macros (the -Wthread-safety
+/// vocabulary). Under Clang these let the compiler prove, per
+/// translation unit, that every access to a GUARDED_BY member happens
+/// with its mutex held — turning the lock-misuse class of races (the
+/// kind TSan catches dynamically, when a test happens to interleave)
+/// into compile errors on every build. Under other compilers they
+/// expand to nothing, so GCC builds are unaffected.
+///
+/// The annotated capability types these attach to live in
+/// common/mutex.h (shpir::common::Mutex / MutexLock); std::mutex itself
+/// carries no capability attributes, so the analysis cannot see it.
+///
+/// Conventions (see docs/STATIC_ANALYSIS.md):
+///  - Every member written or read under a mutex is GUARDED_BY(mu).
+///  - Private helpers called with the lock held are REQUIRES(mu).
+///  - Public entry points that take the lock themselves are
+///    EXCLUDES(mu) when reentry would self-deadlock.
+
+#if defined(__clang__) && defined(__has_attribute)
+#define SHPIR_THREAD_ANNOTATION__(x) __attribute__((x))
+#else
+#define SHPIR_THREAD_ANNOTATION__(x)  // No-op outside Clang.
+#endif
+
+#define CAPABILITY(x) SHPIR_THREAD_ANNOTATION__(capability(x))
+#define SCOPED_CAPABILITY SHPIR_THREAD_ANNOTATION__(scoped_lockable)
+
+#define GUARDED_BY(x) SHPIR_THREAD_ANNOTATION__(guarded_by(x))
+#define PT_GUARDED_BY(x) SHPIR_THREAD_ANNOTATION__(pt_guarded_by(x))
+
+#define REQUIRES(...) \
+  SHPIR_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) \
+  SHPIR_THREAD_ANNOTATION__(requires_shared_capability(__VA_ARGS__))
+#define EXCLUDES(...) SHPIR_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+
+#define ACQUIRE(...) SHPIR_THREAD_ANNOTATION__(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) \
+  SHPIR_THREAD_ANNOTATION__(acquire_shared_capability(__VA_ARGS__))
+#define RELEASE(...) SHPIR_THREAD_ANNOTATION__(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) \
+  SHPIR_THREAD_ANNOTATION__(release_shared_capability(__VA_ARGS__))
+#define TRY_ACQUIRE(...) \
+  SHPIR_THREAD_ANNOTATION__(try_acquire_capability(__VA_ARGS__))
+
+#define ASSERT_CAPABILITY(x) SHPIR_THREAD_ANNOTATION__(assert_capability(x))
+#define RETURN_CAPABILITY(x) SHPIR_THREAD_ANNOTATION__(lock_returned(x))
+#define NO_THREAD_SAFETY_ANALYSIS \
+  SHPIR_THREAD_ANNOTATION__(no_thread_safety_analysis)
+
+#endif  // SHPIR_COMMON_THREAD_ANNOTATIONS_H_

@@ -246,9 +246,14 @@ storage::PageId CApproxPir::RandomUncachedOutsideBlock(
     Location block_start) {
   while (true) {
     const PageId p = cpu_->rng().UniformInt(id_space_);
+    // Rejection sampling against the secret cache state runs inside the
+    // device; only the accepted (uniform, non-revealing) draw is ever
+    // turned into a disk access.
+    // shpir-lint-allow-next-line(secret-branch): in-enclave rejection sampling
     if (page_map_.IsCached(p)) {
       continue;
     }
+    // shpir-lint-allow-next-line(secret-branch): in-enclave rejection sampling
     if (InBlock(page_map_.DiskLocation(p), block_start)) {
       continue;
     }
@@ -257,8 +262,13 @@ storage::PageId CApproxPir::RandomUncachedOutsideBlock(
 }
 
 Result<CApproxPir::RoundOutcome> CApproxPir::RunRound(
-    PageId request, const Bytes* replace_data, bool force_evict,
-    bool insert_mode, PageId insert_id, const Bytes* insert_data) {
+    common::Secret<PageId> request_secret, const Bytes* replace_data,
+    bool force_evict, bool insert_mode, PageId insert_id,
+    const Bytes* insert_data) {
+  // The query index is unwrapped only here: everything below runs
+  // inside the device, and every secret-dependent branch the Fig. 3
+  // protocol takes carries an audited shpir-lint-allow.
+  const PageId request = request_secret.ExposeSecret();
   if (!initialized_) {
     return FailedPreconditionError("engine not initialized");
   }
@@ -287,7 +297,10 @@ Result<CApproxPir::RoundOutcome> CApproxPir::RunRound(
     SHPIR_RETURN_IF_ERROR(
         cpu_->ReadRun(block_start, block_size_, sealed_block));
   }
-  std::vector<Page> block(block_size_ + 1);
+  // The decrypted block lives in device memory; it is a secret
+  // container, so secret-indexed accesses into it stay inside the
+  // boundary.
+  SHPIR_SECRET std::vector<Page> block(block_size_ + 1);
   {
     obs::Span span(qtrace, obs::Phase::kDecrypt);
     for (uint64_t i = 0; i < block_size_; ++i) {
@@ -299,13 +312,18 @@ Result<CApproxPir::RoundOutcome> CApproxPir::RunRound(
   // q indexes the requested page within `block` when it is not cached.
   PageId extra;
   uint64_t q = block_size_;
-  bool request_cached = false;
+  SHPIR_SECRET bool request_cached = false;
   {
     obs::Span span(qtrace, obs::Phase::kPageMapLookup);
     if (insert_mode) {
       // The extra page is the chosen spare; its content is replaced by
       // the new page below.
       extra = insert_id;
+      // The Fig. 3 case split below is the protocol's one deliberate
+      // secret-dependent branch: which case ran decides the extra page,
+      // and Eq. 5 is exactly the bound on what the resulting disk
+      // access pattern reveals.
+      // shpir-lint-allow-next-line(secret-branch): Fig. 3 cache-hit case split
     } else if (page_map_.IsCached(request)) {
       request_cached = true;
       stats_.cache_hits++;
@@ -313,6 +331,7 @@ Result<CApproxPir::RoundOutcome> CApproxPir::RunRound(
         instruments_.cache_hits->Increment();
       }
       extra = RandomUncachedOutsideBlock(block_start);
+      // shpir-lint-allow-next-line(secret-branch): Fig. 3 block-hit case split
     } else if (InBlock(page_map_.DiskLocation(request), block_start)) {
       stats_.block_hits++;
       if (metered()) {
@@ -341,9 +360,11 @@ Result<CApproxPir::RoundOutcome> CApproxPir::RunRound(
   if (insert_mode) {
     // Overwrite the spare's content with the new page (same id).
     block[block_size_] = Page(insert_id, *insert_data);
+    // shpir-lint-allow-next-line(secret-branch): in-enclave payload extraction
   } else if (request_cached) {
     outcome.result = page_cache_[page_map_.CacheIndex(request)].data;
   } else {
+    // shpir-lint-allow-next-line(secret-branch, secret-compare): in-enclave integrity check; aborts the whole round either way
     if (block[q].id != request) {
       return InternalError("pageMap/disk disagree on page position");
     }
@@ -352,6 +373,7 @@ Result<CApproxPir::RoundOutcome> CApproxPir::RunRound(
 
   // Apply Modify() semantics wherever the page currently lives.
   if (replace_data != nullptr && !insert_mode) {
+    // shpir-lint-allow-next-line(secret-branch): in-enclave Modify placement
     if (request_cached) {
       page_cache_[page_map_.CacheIndex(request)].data = *replace_data;
     } else {
@@ -408,9 +430,10 @@ Result<CApproxPir::RoundOutcome> CApproxPir::RunRound(
   if (relocation_observer_) {
     relocation_observer_(block[r].id, block_start + r, request_index);
   }
+  // shpir-lint-allow-next-line(secret-branch, secret-compare): in-enclave pageMap bookkeeping for the swapped slots
   if (q != r) {
-    const Location loc_q =
-        q < block_size_ ? block_start + q : extra_loc;
+    // shpir-lint-allow-next-line(secret-branch): in-enclave location select
+    const Location loc_q = q < block_size_ ? block_start + q : extra_loc;
     page_map_.SetDiskLocation(block[q].id, loc_q);
   }
   return outcome;
@@ -425,8 +448,8 @@ Result<Bytes> CApproxPir::Retrieve(PageId id) {
   }
   SHPIR_ASSIGN_OR_RETURN(
       RoundOutcome outcome,
-      RunRound(id, /*replace_data=*/nullptr, /*force_evict=*/false,
-               /*insert_mode=*/false, 0, nullptr));
+      RunRound(common::Secret<PageId>(id), /*replace_data=*/nullptr,
+               /*force_evict=*/false, /*insert_mode=*/false, 0, nullptr));
   return std::move(outcome.result);
 }
 
@@ -447,8 +470,8 @@ Status CApproxPir::Modify(PageId id, Bytes data) {
   }
   SHPIR_ASSIGN_OR_RETURN(
       RoundOutcome outcome,
-      RunRound(id, &data, /*force_evict=*/false, /*insert_mode=*/false, 0,
-               nullptr));
+      RunRound(common::Secret<PageId>(id), &data, /*force_evict=*/false,
+               /*insert_mode=*/false, 0, nullptr));
   (void)outcome;
   return OkStatus();
 }
@@ -469,6 +492,7 @@ Status CApproxPir::Remove(PageId id) {
   // secure memory.
   const bool cached = page_map_.IsCached(id);
   PageId round_target = id;
+  // shpir-lint-allow-next-line(secret-branch): §4.3 delete case split runs in-enclave; both arms produce identical access patterns
   if (!cached) {
     // The page stays wherever it is on disk; run an ordinary-looking
     // round driven by a random page so the adversary sees nothing
@@ -479,8 +503,9 @@ Status CApproxPir::Remove(PageId id) {
   }
   SHPIR_ASSIGN_OR_RETURN(
       RoundOutcome outcome,
-      RunRound(round_target, /*replace_data=*/nullptr,
-               /*force_evict=*/cached, /*insert_mode=*/false, 0, nullptr));
+      RunRound(common::Secret<PageId>(round_target),
+               /*replace_data=*/nullptr, /*force_evict=*/cached,
+               /*insert_mode=*/false, 0, nullptr));
   (void)outcome;
   live_[id] = false;
   free_ids_.push_back(id);
@@ -507,9 +532,14 @@ Result<storage::PageId> CApproxPir::Insert(Bytes data) {
   for (size_t step = 0; step < free_ids_.size(); ++step) {
     const size_t pos = (start + step) % free_ids_.size();
     const PageId candidate = free_ids_[pos];
+    // Spare selection consults the secret pageMap inside the device;
+    // the adversary sees only the ordinary round the chosen spare
+    // drives.
+    // shpir-lint-allow-next-line(secret-branch): in-enclave spare selection
     if (page_map_.IsCached(candidate)) {
       continue;
     }
+    // shpir-lint-allow-next-line(secret-branch): in-enclave spare selection
     if (InBlock(page_map_.DiskLocation(candidate), next_block_start)) {
       continue;
     }
@@ -528,8 +558,8 @@ Result<storage::PageId> CApproxPir::Insert(Bytes data) {
   }
   SHPIR_ASSIGN_OR_RETURN(
       RoundOutcome outcome,
-      RunRound(spare, /*replace_data=*/nullptr, /*force_evict=*/false,
-               /*insert_mode=*/true, spare, &data));
+      RunRound(common::Secret<PageId>(spare), /*replace_data=*/nullptr,
+               /*force_evict=*/false, /*insert_mode=*/true, spare, &data));
   (void)outcome;
   free_ids_.erase(free_ids_.begin() + static_cast<ptrdiff_t>(spare_pos));
   live_[spare] = true;
@@ -561,6 +591,7 @@ Status CApproxPir::ReshuffleInternal(bool rotate_keys) {
     }
   }
   for (const Page& cached : page_cache_) {
+    // shpir-lint-allow-next-line(secret-index): offline reshuffle runs wholly inside the device; `all` is device-resident scratch
     all[cached.id] = cached;
   }
   // Physically destroy dead contents.
@@ -630,11 +661,13 @@ Result<Bytes> CApproxPir::SerializeState() const {
   writer.WriteU64(stats_.modifies);
   for (PageId id = 0; id < id_space_; ++id) {
     const bool cached = page_map_.IsCached(id);
+    // shpir-lint-allow-next-line(secret-branch): serialization of the secret state itself; the blob never leaves the boundary unsealed
     uint8_t flags = cached ? 1 : 0;
     if (live_[id]) {
       flags |= 2;
     }
     writer.WriteU8(flags);
+    // shpir-lint-allow-next-line(secret-branch): serialization of the secret state itself; the blob never leaves the boundary unsealed
     writer.WriteU64(cached ? page_map_.CacheIndex(id)
                            : page_map_.DiskLocation(id));
   }
@@ -680,9 +713,9 @@ Status CApproxPir::RestoreState(ByteSpan state) {
   SHPIR_ASSIGN_OR_RETURN(stats_.removes, reader.ReadU64());
   SHPIR_ASSIGN_OR_RETURN(stats_.modifies, reader.ReadU64());
   for (PageId id = 0; id < id_space_; ++id) {
-    SHPIR_ASSIGN_OR_RETURN(const uint8_t flags, reader.ReadU8());
+    SHPIR_ASSIGN_OR_RETURN(const uint8_t entry_flags, reader.ReadU8());
     SHPIR_ASSIGN_OR_RETURN(const uint64_t position, reader.ReadU64());
-    if (flags & 1) {
+    if (entry_flags & 1) {
       if (position >= options_.cache_pages) {
         return DataLossError("corrupt state: cache index out of range");
       }
@@ -693,7 +726,7 @@ Status CApproxPir::RestoreState(ByteSpan state) {
       }
       page_map_.SetDiskLocation(id, position);
     }
-    live_[id] = (flags & 2) != 0;
+    live_[id] = (entry_flags & 2) != 0;
   }
   SHPIR_ASSIGN_OR_RETURN(const uint64_t free_count, reader.ReadU64());
   if (free_count > id_space_) {
@@ -722,6 +755,7 @@ Result<storage::Location> CApproxPir::DebugLocation(PageId id) const {
   if (id >= id_space_) {
     return NotFoundError("id out of range");
   }
+  // shpir-lint-allow-next-line(secret-branch): test/analysis hook; a physical device would not expose this
   if (page_map_.IsCached(id)) {
     return FailedPreconditionError("page is cached");
   }

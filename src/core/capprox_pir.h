@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/secret.h"
 #include "core/page_map.h"
 #include "core/pir_engine.h"
 #include "hardware/coprocessor.h"
@@ -212,12 +213,15 @@ class CApproxPir : public PirEngine {
              uint64_t disk_slots, uint64_t reserved_bytes);
 
   /// One round of the Fig. 3 protocol. `request` is the id driving the
-  /// round (the real target, or a forced spare for Insert). The hooks
-  /// customize the update operations; see the .cc for the contract.
+  /// round (the real target, or a forced spare for Insert); it crosses
+  /// into the round wrapped in Secret<> — the round is the trust
+  /// boundary within which secret-dependent control flow is permitted
+  /// (and audited via shpir-lint-allow). The hooks customize the update
+  /// operations; see the .cc for the contract.
   struct RoundOutcome {
     Bytes result;  // Payload of the requested page (pre-modification).
   };
-  Result<RoundOutcome> RunRound(storage::PageId request,
+  Result<RoundOutcome> RunRound(common::Secret<storage::PageId> request,
                                 const Bytes* replace_data, bool force_evict,
                                 bool insert_mode, storage::PageId insert_id,
                                 const Bytes* insert_data);
@@ -246,8 +250,11 @@ class CApproxPir : public PirEngine {
   uint64_t id_space_;     // disk_slots_ + m.
   uint64_t reserved_bytes_;  // Secure memory charged at Create.
 
-  PageMap page_map_;
-  std::vector<storage::Page> page_cache_;  // m pages.
+  /// The pageMap and pageCache are the secret state of the protocol:
+  /// which ids are cached (and where anything lives) is exactly what
+  /// Eq. 5 bounds the adversary's knowledge of.
+  SHPIR_SECRET PageMap page_map_;
+  SHPIR_SECRET std::vector<storage::Page> page_cache_;  // m pages.
   std::vector<bool> live_;                 // Client-visible ids.
   std::vector<storage::PageId> free_ids_;  // Spares available to Insert.
   uint64_t next_block_ = 0;                // Round-robin block cursor.

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "common/secret.h"
 #include "storage/page.h"
 
 namespace shpir::core {
@@ -58,8 +59,10 @@ class PageMap {
   static uint64_t StorageBytes(uint64_t num_ids);
 
  private:
-  std::vector<bool> in_cache_;
-  std::vector<uint64_t> position_;
+  /// Both tables live in secure memory and key on the (secret) page id;
+  /// their contents decide cache hits, so every read is secret-derived.
+  SHPIR_SECRET std::vector<bool> in_cache_;
+  SHPIR_SECRET std::vector<uint64_t> position_;
 };
 
 }  // namespace shpir::core

@@ -1,9 +1,9 @@
 #ifndef SHPIR_CORE_THREAD_SAFE_ENGINE_H_
 #define SHPIR_CORE_THREAD_SAFE_ENGINE_H_
 
-#include <mutex>
 #include <utility>
 
+#include "common/mutex.h"
 #include "core/pir_engine.h"
 
 namespace shpir::core {
@@ -21,32 +21,43 @@ class ThreadSafeEngine : public PirEngine {
   explicit ThreadSafeEngine(PirEngine* inner) : inner_(inner) {}
 
   Result<Bytes> Retrieve(storage::PageId id) override {
-    std::lock_guard<std::mutex> lock(mutex_);
+    common::MutexLock lock(mutex_);
     return inner_->Retrieve(id);
   }
 
   Status Modify(storage::PageId id, Bytes data) override {
-    std::lock_guard<std::mutex> lock(mutex_);
+    common::MutexLock lock(mutex_);
     return inner_->Modify(id, std::move(data));
   }
 
   Status Remove(storage::PageId id) override {
-    std::lock_guard<std::mutex> lock(mutex_);
+    common::MutexLock lock(mutex_);
     return inner_->Remove(id);
   }
 
   Result<storage::PageId> Insert(Bytes data) override {
-    std::lock_guard<std::mutex> lock(mutex_);
+    common::MutexLock lock(mutex_);
     return inner_->Insert(std::move(data));
   }
 
-  uint64_t num_pages() const override { return inner_->num_pages(); }
-  size_t page_size() const override { return inner_->page_size(); }
-  const char* name() const override { return inner_->name(); }
+  uint64_t num_pages() const override {
+    common::MutexLock lock(mutex_);
+    return inner_->num_pages();
+  }
+  size_t page_size() const override {
+    common::MutexLock lock(mutex_);
+    return inner_->page_size();
+  }
+  const char* name() const override {
+    common::MutexLock lock(mutex_);
+    return inner_->name();
+  }
 
  private:
-  PirEngine* inner_;
-  std::mutex mutex_;
+  /// The pointer is fixed at construction; the engine behind it is what
+  /// the mutex serializes.
+  PirEngine* const inner_ PT_GUARDED_BY(mutex_);
+  mutable common::Mutex mutex_;
 };
 
 }  // namespace shpir::core

@@ -6,6 +6,7 @@
 
 #include "common/bytes.h"
 #include "common/result.h"
+#include "common/secret.h"
 
 namespace shpir::crypto {
 
@@ -32,7 +33,8 @@ class ChaCha20 {
  private:
   ChaCha20() = default;
 
-  std::array<uint32_t, 8> key_words_{};
+  /// The expanded cipher key.
+  SHPIR_SECRET std::array<uint32_t, 8> key_words_{};
 };
 
 }  // namespace shpir::crypto

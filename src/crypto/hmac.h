@@ -4,6 +4,7 @@
 #include <array>
 
 #include "common/bytes.h"
+#include "common/secret.h"
 #include "crypto/sha256.h"
 
 namespace shpir::crypto {
@@ -25,8 +26,10 @@ class HmacSha256 {
   bool Verify(ByteSpan data, ByteSpan tag) const;
 
  private:
-  std::array<uint8_t, Sha256::kBlockSize> ipad_key_;
-  std::array<uint8_t, Sha256::kBlockSize> opad_key_;
+  /// Derived MAC key material: comparisons against anything computed
+  /// from these must go through crypto::ConstantTimeEquals.
+  SHPIR_SECRET std::array<uint8_t, Sha256::kBlockSize> ipad_key_;
+  SHPIR_SECRET std::array<uint8_t, Sha256::kBlockSize> opad_key_;
 };
 
 }  // namespace shpir::crypto

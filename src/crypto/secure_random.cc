@@ -8,6 +8,7 @@
 namespace shpir::crypto {
 
 SecureRandom::SecureRandom() {
+  // shpir-lint-allow-next-line(insecure-rng): random_device only seeds the ChaCha20 DRBG; it is the OS entropy source, not the generator
   std::random_device rd;
   std::array<uint8_t, 32> seed;
   for (size_t i = 0; i < seed.size(); i += 4) {

@@ -15,9 +15,9 @@ ServiceHub::ServiceHub(core::PirEngine* engine, Bytes pre_shared_key,
                        uint64_t rng_seed, obs::MetricsRegistry* metrics)
     : engine_(engine),
       pre_shared_key_(std::move(pre_shared_key)),
+      metrics_(metrics),
       rng_(rng_seed == 0 ? crypto::SecureRandom()
-                         : crypto::SecureRandom(rng_seed)),
-      metrics_(metrics) {
+                         : crypto::SecureRandom(rng_seed)) {
   if (metrics_ != nullptr) {
     instruments_.hellos =
         metrics_->FindOrCreateCounter("shpir_net_hellos_total");
@@ -89,7 +89,7 @@ Result<Bytes> ServiceHub::HandleFrame(ByteSpan frame) {
     return DataLossError("truncated hub frame");
   }
   const uint64_t client_id = LoadLE64(frame.data() + 1);
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   if (frame[0] == kHelloTag) {
     if (metered()) {
       instruments_.hellos->Increment();

@@ -2,9 +2,9 @@
 #define SHPIR_NET_SERVICE_HUB_H_
 
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 
+#include "common/mutex.h"
 #include "common/result.h"
 #include "core/pir_engine.h"
 #include "crypto/secure_random.h"
@@ -46,7 +46,7 @@ class ServiceHub {
 
   /// Number of established client sessions. Thread-safe.
   size_t sessions() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    common::MutexLock lock(mutex_);
     return servers_.size();
   }
 
@@ -85,11 +85,13 @@ class ServiceHub {
 
   core::PirEngine* engine_;
   Bytes pre_shared_key_;
-  crypto::SecureRandom rng_;
   obs::MetricsRegistry* metrics_;
-  Instruments instruments_;
-  mutable std::mutex mutex_;
-  std::unordered_map<uint64_t, std::unique_ptr<PirServiceServer>> servers_;
+  Instruments instruments_;  // Written by the ctor only; const afterwards.
+  mutable common::Mutex mutex_;
+  /// Server-nonce generator; drawn from under mutex_ in HandleFrame.
+  crypto::SecureRandom rng_ GUARDED_BY(mutex_);
+  std::unordered_map<uint64_t, std::unique_ptr<PirServiceServer>> servers_
+      GUARDED_BY(mutex_);
 };
 
 }  // namespace shpir::net

@@ -129,7 +129,7 @@ bool MetricsRegistry::IsValidName(std::string_view name) {
 
 Counter* MetricsRegistry::FindOrCreateCounter(std::string_view name) {
   SHPIR_CHECK(IsValidName(name));
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
     it = counters_.emplace(std::string(name),
@@ -141,7 +141,7 @@ Counter* MetricsRegistry::FindOrCreateCounter(std::string_view name) {
 
 Gauge* MetricsRegistry::FindOrCreateGauge(std::string_view name) {
   SHPIR_CHECK(IsValidName(name));
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
     it = gauges_.emplace(std::string(name),
@@ -153,7 +153,7 @@ Gauge* MetricsRegistry::FindOrCreateGauge(std::string_view name) {
 
 Histogram* MetricsRegistry::FindOrCreateHistogram(std::string_view name) {
   SHPIR_CHECK(IsValidName(name));
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
     it = histograms_.emplace(std::string(name),
@@ -167,12 +167,12 @@ void MetricsRegistry::RegisterCallbackGauge(std::string_view name,
                                             std::function<double()> callback) {
   SHPIR_CHECK(IsValidName(name));
   SHPIR_CHECK(callback != nullptr);
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   callback_gauges_[std::string(name)] = std::move(callback);
 }
 
 MetricsSnapshot MetricsRegistry::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   MetricsSnapshot snapshot;
   snapshot.counters.reserve(counters_.size());
   for (const auto& [name, counter] : counters_) {

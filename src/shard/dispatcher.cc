@@ -18,11 +18,11 @@ Dispatcher::~Dispatcher() { Drain(); }
 
 Status Dispatcher::Submit(size_t queue, Job job,
                           std::chrono::steady_clock::time_point deadline) {
-  if (queue >= queues_.size()) {
-    return InvalidArgumentError("no such dispatcher queue");
-  }
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    common::MutexLock lock(mutex_);
+    if (queue >= queues_.size()) {
+      return InvalidArgumentError("no such dispatcher queue");
+    }
     if (draining_) {
       return FailedPreconditionError("dispatcher is draining");
     }
@@ -35,17 +35,17 @@ Status Dispatcher::Submit(size_t queue, Job job,
     queues_[queue].push_back({std::move(job), deadline});
     UpdateDepthGauge();
   }
-  ready_[queue].notify_one();
+  ready_[queue].NotifyOne();
   return OkStatus();
 }
 
 Status Dispatcher::SubmitAll(std::vector<Job> jobs,
                              std::chrono::steady_clock::time_point deadline) {
-  if (jobs.size() != queues_.size()) {
-    return InvalidArgumentError("SubmitAll needs one job per queue");
-  }
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    common::MutexLock lock(mutex_);
+    if (jobs.size() != queues_.size()) {
+      return InvalidArgumentError("SubmitAll needs one job per queue");
+    }
     if (draining_) {
       return FailedPreconditionError("dispatcher is draining");
     }
@@ -63,17 +63,17 @@ Status Dispatcher::SubmitAll(std::vector<Job> jobs,
     UpdateDepthGauge();
   }
   for (auto& cv : ready_) {
-    cv.notify_one();
+    cv.NotifyOne();
   }
   return OkStatus();
 }
 
 void Dispatcher::WorkerLoop(size_t queue) {
-  std::unique_lock<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   for (;;) {
-    ready_[queue].wait(lock, [this, queue] {
-      return !queues_[queue].empty() || draining_;
-    });
+    while (queues_[queue].empty() && !draining_) {
+      ready_[queue].Wait(lock);
+    }
     if (queues_[queue].empty()) {
       return;  // Draining and nothing left.
     }
@@ -81,40 +81,48 @@ void Dispatcher::WorkerLoop(size_t queue) {
     queues_[queue].pop_front();
     ++in_flight_;
     UpdateDepthGauge();
-    lock.unlock();
+    // Snapshot the instrument pointer while the lock is held; the job
+    // itself runs unlocked.
+    obs::Counter* const expirations =
+        metered() ? instruments_.expirations : nullptr;
+    lock.Unlock();
     Status admission = OkStatus();
     if (entry.deadline != kNoDeadline &&
         std::chrono::steady_clock::now() > entry.deadline) {
       admission = DeadlineExceededError("request expired in shard queue");
-      if (metered()) {
-        instruments_.expirations->Increment();
+      if (expirations != nullptr) {
+        expirations->Increment();
       }
     }
     entry.job(admission);
-    lock.lock();
+    lock.Lock();
     --in_flight_;
-    idle_.notify_all();
+    idle_.NotifyAll();
   }
 }
 
-void Dispatcher::WaitIdle() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  idle_.wait(lock, [this] {
-    if (in_flight_ != 0) {
+bool Dispatcher::IdleLocked() const {
+  if (in_flight_ != 0) {
+    return false;
+  }
+  for (const auto& queue : queues_) {
+    if (!queue.empty()) {
       return false;
     }
-    for (const auto& queue : queues_) {
-      if (!queue.empty()) {
-        return false;
-      }
-    }
-    return true;
-  });
+  }
+  return true;
+}
+
+void Dispatcher::WaitIdle() {
+  common::MutexLock lock(mutex_);
+  while (!IdleLocked()) {
+    idle_.Wait(lock);
+  }
 }
 
 void Dispatcher::Drain() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    common::MutexLock lock(mutex_);
     if (joined_) {
       return;
     }
@@ -122,7 +130,7 @@ void Dispatcher::Drain() {
     joined_ = true;
   }
   for (auto& cv : ready_) {
-    cv.notify_all();
+    cv.NotifyAll();
   }
   for (auto& worker : workers_) {
     worker.join();
@@ -130,16 +138,16 @@ void Dispatcher::Drain() {
 }
 
 size_t Dispatcher::depth(size_t queue) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   return queue < queues_.size() ? queues_[queue].size() : 0;
 }
 
 void Dispatcher::EnableMetrics(obs::MetricsRegistry* registry) {
+  common::MutexLock lock(mutex_);
   if (registry == nullptr) {
     instruments_ = Instruments{};
     return;
   }
-  std::lock_guard<std::mutex> lock(mutex_);
   instruments_.depth = registry->FindOrCreateGauge("shpir_shard_queue_depth");
   instruments_.capacity =
       registry->FindOrCreateGauge("shpir_shard_queue_capacity");

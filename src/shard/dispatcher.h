@@ -2,14 +2,13 @@
 #define SHPIR_SHARD_DISPATCHER_H_
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/result.h"
 #include "obs/metrics.h"
 
@@ -90,17 +89,20 @@ class Dispatcher {
   };
 
   void WorkerLoop(size_t queue);
-  bool metered() const { return instruments_.rejections != nullptr; }
-  void UpdateDepthGauge();  // Caller holds mutex_.
+  bool metered() const REQUIRES(mutex_) {
+    return instruments_.rejections != nullptr;
+  }
+  void UpdateDepthGauge() REQUIRES(mutex_);
+  bool IdleLocked() const REQUIRES(mutex_);
 
   const size_t queue_depth_;
-  mutable std::mutex mutex_;
-  std::vector<std::deque<Entry>> queues_;
-  std::vector<std::condition_variable> ready_;  // One per queue.
-  std::condition_variable idle_;
-  size_t in_flight_ = 0;
-  bool draining_ = false;
-  bool joined_ = false;
+  mutable common::Mutex mutex_;
+  std::vector<std::deque<Entry>> queues_ GUARDED_BY(mutex_);
+  std::vector<common::CondVar> ready_;  // One per queue.
+  common::CondVar idle_;
+  size_t in_flight_ GUARDED_BY(mutex_) = 0;
+  bool draining_ GUARDED_BY(mutex_) = false;
+  bool joined_ GUARDED_BY(mutex_) = false;
 
   struct Instruments {
     obs::Gauge* depth = nullptr;
@@ -108,7 +110,9 @@ class Dispatcher {
     obs::Counter* rejections = nullptr;
     obs::Counter* expirations = nullptr;
   };
-  Instruments instruments_;
+  /// The instrument pointers are re-pointed by EnableMetrics, which can
+  /// race the workers: reads outside the lock must copy under it first.
+  Instruments instruments_ GUARDED_BY(mutex_);
 
   std::vector<std::thread> workers_;  // Last: joined before the rest dies.
 };

@@ -1,10 +1,9 @@
 #include "shard/sharded_engine.h"
 
 #include <algorithm>
-#include <condition_variable>
-#include <mutex>
 #include <utility>
 
+#include "common/mutex.h"
 #include "storage/page_cipher.h"
 
 namespace shpir::shard {
@@ -145,9 +144,9 @@ Result<Bytes> ShardedPirEngine::FanOut(
   // it, so stack storage is safe: no job referencing it can outlive this
   // frame (queued jobs always run, even during Drain).
   struct Join {
-    std::mutex mutex;
-    std::condition_variable cv;
-    std::optional<Result<Bytes>> result;
+    common::Mutex mutex;
+    common::CondVar cv;
+    std::optional<Result<Bytes>> result GUARDED_BY(mutex);
   } join;
 
   const auto start = std::chrono::steady_clock::now();
@@ -179,18 +178,20 @@ Result<Bytes> ShardedPirEngine::FanOut(
                                   }()
                                 : Result<Bytes>(admission);
     {
-      std::lock_guard<std::mutex> lock(join.mutex);
+      common::MutexLock lock(join.mutex);
       join.result = std::move(outcome);
       // Notify under the lock: the waiter owns `join`'s stack frame and
       // may destroy it the instant it observes `result` unlocked.
-      join.cv.notify_one();
+      join.cv.NotifyOne();
     }
   };
 
   SHPIR_RETURN_IF_ERROR(dispatcher_->SubmitAll(std::move(jobs), deadline));
 
-  std::unique_lock<std::mutex> lock(join.mutex);
-  join.cv.wait(lock, [&join] { return join.result.has_value(); });
+  common::MutexLock lock(join.mutex);
+  while (!join.result.has_value()) {
+    join.cv.Wait(lock);
+  }
   if (metered()) {
     instruments_.logical_queries->Increment();
     instruments_.fanout_latency_ns->Record(static_cast<uint64_t>(

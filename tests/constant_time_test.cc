@@ -1,0 +1,59 @@
+#include "crypto/constant_time.h"
+
+#include <gtest/gtest.h>
+
+#include "common/bytes.h"
+
+namespace shpir::crypto {
+namespace {
+
+TEST(ConstantTimeEquals, EqualBuffers) {
+  const Bytes a = {1, 2, 3, 4};
+  const Bytes b = {1, 2, 3, 4};
+  EXPECT_TRUE(ConstantTimeEquals(a, b));
+}
+
+TEST(ConstantTimeEquals, ZeroLengthBuffersAreEqual) {
+  const Bytes empty_a;
+  const Bytes empty_b;
+  EXPECT_TRUE(ConstantTimeEquals(empty_a, empty_b));
+  EXPECT_TRUE(ConstantTimeEquals(ByteSpan(), ByteSpan()));
+}
+
+TEST(ConstantTimeEquals, LengthMismatchIsUnequal) {
+  const Bytes a = {1, 2, 3};
+  const Bytes b = {1, 2, 3, 0};
+  EXPECT_FALSE(ConstantTimeEquals(a, b));
+  EXPECT_FALSE(ConstantTimeEquals(b, a));
+  EXPECT_FALSE(ConstantTimeEquals(a, ByteSpan()));
+}
+
+TEST(ConstantTimeEquals, SingleDifferingByteAtFirstPosition) {
+  Bytes a(32, 0xAB);
+  Bytes b = a;
+  b[0] ^= 0x01;
+  EXPECT_FALSE(ConstantTimeEquals(a, b));
+}
+
+TEST(ConstantTimeEquals, SingleDifferingByteAtLastPosition) {
+  Bytes a(32, 0xAB);
+  Bytes b = a;
+  b[31] ^= 0x80;
+  EXPECT_FALSE(ConstantTimeEquals(a, b));
+}
+
+TEST(ConstantTimeEquals, SingleByteBuffers) {
+  const Bytes x = {0x00};
+  const Bytes y = {0xFF};
+  EXPECT_TRUE(ConstantTimeEquals(x, x));
+  EXPECT_FALSE(ConstantTimeEquals(x, y));
+}
+
+TEST(ConstantTimeEquals, DifferenceInEveryByte) {
+  Bytes a(16, 0x55);
+  Bytes b(16, 0xAA);
+  EXPECT_FALSE(ConstantTimeEquals(a, b));
+}
+
+}  // namespace
+}  // namespace shpir::crypto

@@ -1,0 +1,13 @@
+// Lint fixture: a suppression without a justification neither
+// suppresses nor passes. Expected: one bad-suppression diagnostic AND
+// the original secret-branch diagnostic.
+#include "common/secret.h"
+
+int Unjustified(shpir::common::Secret<int> key_secret) {
+  int key = key_secret.ExposeSecret();
+  // shpir-lint-allow-next-line(secret-branch)
+  if (key > 0) {
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,8 @@
+// Lint fixture: a non-cryptographic RNG inside the trust boundary.
+// Expected: exactly one insecure-rng diagnostic (the mt19937).
+#include <random>
+
+unsigned DrawSlot() {
+  std::mt19937 generator(42);
+  return generator();
+}

@@ -1,0 +1,36 @@
+// Lint fixture: the approved patterns, all clean. Expected: zero
+// diagnostics.
+//
+//  - Secret index into a container that is itself SHPIR_SECRET
+//    (in-enclave secure memory) stays inside the boundary.
+//  - Secret byte comparison through crypto::ConstantTimeEquals.
+//  - A deliberate secret branch carrying an audited suppression with a
+//    justification.
+#include "common/secret.h"
+
+namespace shpir {
+
+bool ConstantTimeEquals(const unsigned char* a, const unsigned char* b,
+                        unsigned long n);
+
+SHPIR_SECRET extern int page_table[64];
+
+int Lookup(common::Secret<int> index_secret) {
+  int index = index_secret.ExposeSecret();
+  return page_table[index];
+}
+
+bool Verify(const unsigned char* mac, const unsigned char* expected_mac) {
+  return ConstantTimeEquals(mac, expected_mac, 16);
+}
+
+int Audited(common::Secret<int> key_secret) {
+  int key = key_secret.ExposeSecret();
+  // shpir-lint-allow-next-line(secret-branch): fixture for an audited in-enclave branch
+  if (key > 0) {
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace shpir

@@ -1,0 +1,12 @@
+// Lint fixture: branching on a secret-derived value. Expected: exactly
+// one secret-branch diagnostic (the `if`). Never compiled — only
+// scanned by shpir_lint_test.
+#include "common/secret.h"
+
+int CachePolicy(shpir::common::Secret<int> key_secret) {
+  int key = key_secret.ExposeSecret();
+  if (key > 4) {
+    return 1;
+  }
+  return 0;
+}

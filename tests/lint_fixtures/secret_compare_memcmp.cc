@@ -1,0 +1,11 @@
+// Lint fixture: the classic early-exit MAC check — memcmp over secret
+// bytes. Expected: exactly one secret-compare diagnostic (on the
+// memcmp; the == on its public int result is not reported separately).
+#include <cstring>
+
+#include "common/secret.h"
+
+bool VerifyTag(const unsigned char* tag) {
+  SHPIR_SECRET unsigned char expected_tag[16] = {0};
+  return std::memcmp(tag, expected_tag, 16) == 0;
+}

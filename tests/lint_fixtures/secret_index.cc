@@ -1,0 +1,11 @@
+// Lint fixture: secret-dependent array subscript into a non-secret
+// container (the address bus leaks the index). Expected: exactly one
+// secret-index diagnostic.
+#include "common/secret.h"
+
+extern int lookup_table[64];
+
+int Leaky(shpir::common::Secret<int> index_secret) {
+  int index = index_secret.ExposeSecret();
+  return lookup_table[index];
+}

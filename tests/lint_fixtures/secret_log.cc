@@ -1,0 +1,10 @@
+// Lint fixture: a secret value reaching a logging sink. Expected:
+// exactly one secret-log diagnostic (the printf).
+#include <cstdio>
+
+#include "common/secret.h"
+
+void ServePage(shpir::common::Secret<unsigned> page_secret) {
+  unsigned page = page_secret.ExposeSecret();
+  std::printf("serving page %u\n", page);
+}

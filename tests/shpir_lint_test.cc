@@ -1,0 +1,225 @@
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "lint/lint.h"
+
+namespace shpir::lint {
+namespace {
+
+std::vector<Finding> LintFixture(const std::string& name) {
+  Linter linter;
+  const std::string path = std::string(FIXTURES_DIR) + "/" + name;
+  EXPECT_TRUE(linter.AddFile(path)) << "cannot read " << path;
+  return linter.Run();
+}
+
+std::vector<std::string> Rules(const std::vector<Finding>& findings) {
+  std::vector<std::string> rules;
+  rules.reserve(findings.size());
+  for (const Finding& finding : findings) {
+    rules.push_back(finding.rule);
+  }
+  return rules;
+}
+
+// --- Fixture files: each banned pattern produces exactly its one
+// --- diagnostic, and the known-good file produces none.
+
+TEST(LintFixtures, SecretBranchProducesExactlyOneDiagnostic) {
+  const auto findings = LintFixture("secret_branch.cc");
+  ASSERT_EQ(findings.size(), 1u) << FormatFinding(findings[0]);
+  EXPECT_EQ(findings[0].rule, "secret-branch");
+}
+
+TEST(LintFixtures, SecretIndexProducesExactlyOneDiagnostic) {
+  const auto findings = LintFixture("secret_index.cc");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "secret-index");
+}
+
+TEST(LintFixtures, SecretLogProducesExactlyOneDiagnostic) {
+  const auto findings = LintFixture("secret_log.cc");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "secret-log");
+}
+
+TEST(LintFixtures, MemcmpOnSecretsProducesExactlyOneDiagnostic) {
+  const auto findings = LintFixture("secret_compare_memcmp.cc");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "secret-compare");
+}
+
+TEST(LintFixtures, InsecureRngProducesExactlyOneDiagnostic) {
+  const auto findings = LintFixture("insecure_rng.cc");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "insecure-rng");
+}
+
+TEST(LintFixtures, SuppressionWithoutJustificationDoesNotSuppress) {
+  const auto findings = LintFixture("bad_suppression.cc");
+  const auto rules = Rules(findings);
+  EXPECT_EQ(findings.size(), 2u);
+  EXPECT_NE(std::find(rules.begin(), rules.end(), "bad-suppression"),
+            rules.end());
+  EXPECT_NE(std::find(rules.begin(), rules.end(), "secret-branch"),
+            rules.end());
+}
+
+TEST(LintFixtures, KnownGoodProducesZeroDiagnostics) {
+  const auto findings = LintFixture("known_good.cc");
+  EXPECT_TRUE(findings.empty())
+      << "first: " << FormatFinding(findings[0]);
+}
+
+// --- In-memory sources: the analysis itself.
+
+std::vector<Finding> LintSource(const std::string& source) {
+  Linter linter;
+  linter.AddSource("test.cc", source);
+  return linter.Run();
+}
+
+TEST(LintAnalysis, TaintFlowsThroughAssignments) {
+  const auto findings = LintSource(R"(
+    #include "common/secret.h"
+    int F(shpir::common::Secret<int> id_secret) {
+      int id = id_secret.ExposeSecret();
+      int shifted = id + 7;
+      int alias = shifted;
+      switch (alias) { default: return 0; }
+    }
+  )");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "secret-branch");
+}
+
+TEST(LintAnalysis, EqualityOnSecretIsSecretCompare) {
+  const auto findings = LintSource(R"(
+    int F(shpir::common::Secret<unsigned> key_secret, unsigned guess) {
+      unsigned key = key_secret.ExposeSecret();
+      return key == guess ? 1 : 0;
+    }
+  )");
+  const auto rules = Rules(findings);
+  // Both the early-exit == and the ternary on its result are flagged.
+  EXPECT_NE(std::find(rules.begin(), rules.end(), "secret-compare"),
+            rules.end());
+}
+
+TEST(LintAnalysis, JustifiedSuppressionSilencesOnlyItsRule) {
+  const auto findings = LintSource(R"(
+    int F(shpir::common::Secret<int> key_secret) {
+      int key = key_secret.ExposeSecret();
+      // shpir-lint-allow-next-line(secret-branch): documented in-enclave split
+      if (key > 0) { return 1; }
+      return 0;
+    }
+  )");
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(LintAnalysis, SuppressionForADifferentRuleDoesNotSilence) {
+  const auto findings = LintSource(R"(
+    int F(shpir::common::Secret<int> key_secret) {
+      int key = key_secret.ExposeSecret();
+      // shpir-lint-allow-next-line(secret-log): wrong rule
+      if (key > 0) { return 1; }
+      return 0;
+    }
+  )");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "secret-branch");
+}
+
+TEST(LintAnalysis, HeaderSecretsAreVisibleAcrossFiles) {
+  Linter linter;
+  linter.AddSource("engine.h", R"(
+    class Engine {
+      SHPIR_SECRET unsigned long cursor_;
+    };
+  )");
+  linter.AddSource("engine.cc", R"(
+    int Engine_Step(unsigned long limit) {
+      while (cursor_ < limit) { return 1; }
+      return 0;
+    }
+  )");
+  const auto findings = linter.Run();
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "secret-branch");
+  EXPECT_EQ(findings[0].file, "engine.cc");
+  EXPECT_EQ(linter.global_secrets().count("cursor_"), 1u);
+}
+
+TEST(LintAnalysis, SecretLocalInCcStaysFileScoped) {
+  Linter linter;
+  linter.AddSource("a.cc", R"(
+    void F() { SHPIR_SECRET int block = 3; }
+  )");
+  linter.AddSource("b.cc", R"(
+    int G(int block) { if (block > 0) { return 1; } return 0; }
+  )");
+  EXPECT_TRUE(linter.Run().empty());
+}
+
+TEST(LintAnalysis, IndexingSecretContainerWithSecretIsAllowed) {
+  const auto findings = LintSource(R"(
+    #include "common/secret.h"
+    SHPIR_SECRET extern int cache[8];
+    int F(shpir::common::Secret<int> slot_secret) {
+      int slot = slot_secret.ExposeSecret();
+      return cache[slot];
+    }
+  )");
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(LintAnalysis, StreamInsertionOfSecretIsSecretLog) {
+  const auto findings = LintSource(R"(
+    #include <iostream>
+    void F(shpir::common::Secret<int> id_secret) {
+      int id = id_secret.ExposeSecret();
+      std::cerr << "id=" << id << "\n";
+    }
+  )");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "secret-log");
+}
+
+// Regression for the constant-time audit: the pre-ConstantTimeEquals
+// MAC check (early-exit memcmp on the computed tag) must keep tripping
+// the linter so it can never quietly come back.
+TEST(LintAnalysis, CatchesTheOldHmacVerifyPattern) {
+  const auto findings = LintSource(R"(
+    #include <cstring>
+    class Hmac {
+      bool Verify(const unsigned char* tag, unsigned long len) {
+        return std::memcmp(computed_mac_, tag, len) == 0;
+      }
+      SHPIR_SECRET unsigned char computed_mac_[32];
+    };
+  )");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "secret-compare");
+}
+
+TEST(LintAnalysis, PublicDataIsNotFlagged) {
+  const auto findings = LintSource(R"(
+    #include <cstring>
+    #include <cstdio>
+    int F(int n, const char* a, const char* b) {
+      if (n > 3 && std::memcmp(a, b, 4) == 0) {
+        std::printf("match %d\n", n);
+      }
+      for (int i = 0; i < n; ++i) { n += i; }
+      return n == 7 ? 1 : 0;
+    }
+  )");
+  EXPECT_TRUE(findings.empty());
+}
+
+}  // namespace
+}  // namespace shpir::lint

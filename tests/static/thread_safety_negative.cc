@@ -1,0 +1,40 @@
+// Negative compile check for the thread-safety annotations.
+//
+// This file re-introduces the dispatcher race pattern the annotations
+// exist to catch: touching a GUARDED_BY member without holding its
+// mutex. It is NOT part of any CMake target. The static-analysis CI
+// job compiles it with
+//
+//   clang++ -std=c++20 -Isrc -Werror=thread-safety -fsyntax-only \
+//       tests/static/thread_safety_negative.cc
+//
+// and requires the compilation to FAIL. If it ever compiles cleanly
+// under clang, the annotation layer has been neutered (macros defined
+// empty under clang, capability stripped from common::Mutex, ...) and
+// the gate must go red.
+//
+// Under gcc the macros expand to nothing and the file is valid C++;
+// only the clang job gives it meaning.
+
+#include <cstddef>
+#include <deque>
+
+#include "common/mutex.h"
+
+namespace shpir {
+
+class BrokenDispatcher {
+ public:
+  // Unlocked read of a guarded queue: the exact shape of the PR 2
+  // dispatcher bug (instruments_ read while the mutex was dropped).
+  size_t UnlockedDepth() const { return queue_.size(); }
+
+  // Unlocked write, racing any locked reader.
+  void UnlockedPush(int job) { queue_.push_back(job); }
+
+ private:
+  mutable common::Mutex mutex_;
+  std::deque<int> queue_ GUARDED_BY(mutex_);
+};
+
+}  // namespace shpir

@@ -1,0 +1,94 @@
+#ifndef SHPIR_TOOLS_LINT_LINT_H_
+#define SHPIR_TOOLS_LINT_LINT_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+/// shpir_lint: the secret-flow lint behind the trust-boundary rules in
+/// docs/OBSERVABILITY.md and docs/STATIC_ANALYSIS.md.
+///
+/// The linter is a purpose-built token-level analyzer (no compiler
+/// dependency, so it runs on every build host and in the fixture
+/// tests). It knows two things about the code:
+///
+///  1. Which identifiers hold secrets: declarations marked SHPIR_SECRET
+///     (header declarations are collected across every scanned file,
+///     since members are declared in headers and used in .cc files;
+///     SHPIR_SECRET on a local in a .cc file stays file-scoped),
+///     variables of type Secret<T> (file-local), and — per file, to a
+///     fixed point — any identifier assigned from an expression that
+///     mentions a secret.
+///
+///  2. Which patterns are banned when a secret is involved:
+///       secret-branch   if/else-if/switch/while/for-condition/ternary
+///                       on a secret
+///       secret-index    subscripting a non-secret container with an
+///                       expression mentioning a secret (indexing a
+///                       container that is itself SHPIR_SECRET stays
+///                       inside the boundary and is allowed)
+///       secret-compare  ==/!=/memcmp/str*cmp touching a secret — use
+///                       crypto::ConstantTimeEquals
+///       secret-log      a secret reaching a logging/metrics sink
+///                       (printf family, LOG/Log*, cout/cerr, or the
+///                       obs instrument methods Record/Increment/Set/
+///                       Add/Observe)
+///       insecure-rng    rand()/std::mt19937/std::random_device &c.
+///                       anywhere in the boundary — use
+///                       crypto::SecureRandom
+///
+/// A finding on a line carrying
+///   // shpir-lint-allow(rule[, rule...]): <justification>
+/// (or ...-allow-next-line on the preceding line) is suppressed; the
+/// justification is mandatory and a suppression without one is itself
+/// reported (rule "bad-suppression"). The set of suppressions in the
+/// tree is the audited list of places the protocol deliberately
+/// touches secret state inside the enclave.
+
+namespace shpir::lint {
+
+struct Finding {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+class Linter {
+ public:
+  /// Registers one source file (path is used for reporting only).
+  void AddSource(const std::string& path, const std::string& content);
+
+  /// Reads a file from disk and registers it. Returns false (and
+  /// reports nothing) if the file cannot be read.
+  bool AddFile(const std::string& path);
+
+  /// Recursively adds *.h/*.cc/*.cpp under `dir`. Returns number added.
+  int AddTree(const std::string& dir);
+
+  /// Runs the analysis over everything added, in two passes (global
+  /// secret roots, then per-file checks). Findings are sorted by
+  /// file/line.
+  std::vector<Finding> Run();
+
+  /// Names collected as global secret roots (debugging / tests).
+  const std::set<std::string>& global_secrets() const {
+    return global_secrets_;
+  }
+
+ private:
+  struct File {
+    std::string path;
+    std::string content;
+  };
+  std::vector<File> files_;
+  std::set<std::string> global_secrets_;
+};
+
+/// Formats one finding as "path:line: error: [rule] message".
+std::string FormatFinding(const Finding& finding);
+
+}  // namespace shpir::lint
+
+#endif  // SHPIR_TOOLS_LINT_LINT_H_

@@ -1,0 +1,67 @@
+// shpir_lint: secret-flow lint for the trust boundary.
+//
+// Usage: shpir_lint [--print-secrets] <file-or-dir>...
+//
+// Scans the given files (or *.h/*.cc/*.cpp under the given directories)
+// and reports violations of the secret-flow rules documented in
+// docs/STATIC_ANALYSIS.md. Exits 0 when clean, 1 when any finding
+// survives its suppressions, 2 on usage or I/O errors.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <filesystem>
+
+#include "lint/lint.h"
+
+int main(int argc, char** argv) {
+  bool print_secrets = false;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--print-secrets") {
+      print_secrets = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf("usage: shpir_lint [--print-secrets] <file-or-dir>...\n");
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "shpir_lint: unknown flag '%s'\n", arg.c_str());
+      return 2;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) {
+    std::fprintf(stderr, "usage: shpir_lint [--print-secrets] <file-or-dir>...\n");
+    return 2;
+  }
+
+  shpir::lint::Linter linter;
+  int scanned = 0;
+  for (const std::string& path : paths) {
+    std::error_code ec;
+    if (std::filesystem::is_directory(path, ec)) {
+      scanned += linter.AddTree(path);
+    } else if (linter.AddFile(path)) {
+      ++scanned;
+    } else {
+      std::fprintf(stderr, "shpir_lint: cannot read '%s'\n", path.c_str());
+      return 2;
+    }
+  }
+
+  const std::vector<shpir::lint::Finding> findings = linter.Run();
+  for (const shpir::lint::Finding& finding : findings) {
+    std::fprintf(stderr, "%s\n",
+                 shpir::lint::FormatFinding(finding).c_str());
+  }
+  if (print_secrets) {
+    for (const std::string& name : linter.global_secrets()) {
+      std::printf("secret: %s\n", name.c_str());
+    }
+  }
+  std::fprintf(stderr, "shpir_lint: %zu finding(s) in %d file(s)\n",
+               findings.size(), scanned);
+  return findings.empty() ? 0 : 1;
+}
