@@ -1,6 +1,7 @@
 #include "core/capprox_pir.h"
 
 #include <algorithm>
+#include <optional>
 
 #include "common/serde.h"
 #include "core/security_parameter.h"
@@ -281,6 +282,15 @@ Result<CApproxPir::RoundOutcome> CApproxPir::RunRound(
   // reads, no allocations) when metrics are disabled.
   obs::ScopedLatencyTimer round_timer(instruments_.query_latency_ns);
   obs::QueryTrace qtrace(metered() ? &instruments_.phases : nullptr);
+  // Distributed tracing: under a sampled context the round gets an
+  // "engine_round" span and each protocol phase becomes a child span.
+  // The context holds only public trace ids — never the request.
+  std::optional<obs::TraceSpan> round_span;
+  if (tracer_ != nullptr && pending_trace_.active()) {
+    round_span.emplace(tracer_, pending_trace_, "engine_round",
+                       trace_shard_);
+    qtrace.SetSpanSink(tracer_, round_span->context(), trace_shard_);
+  }
   if (metered()) {
     instruments_.queries->Increment();
   }
@@ -426,9 +436,15 @@ Result<CApproxPir::RoundOutcome> CApproxPir::RunRound(
   if (cache_entry_observer_) {
     cache_entry_observer_(page_cache_[s].id, request_index);
   }
+  if (privacy_monitor_ != nullptr) {
+    privacy_monitor_->OnCacheEntry(page_cache_[s].id, request_index);
+  }
   page_map_.SetDiskLocation(block[r].id, block_start + r);
   if (relocation_observer_) {
     relocation_observer_(block[r].id, block_start + r, request_index);
+  }
+  if (privacy_monitor_ != nullptr) {
+    privacy_monitor_->OnRelocation(block[r].id, request_index);
   }
   // shpir-lint-allow-next-line(secret-branch, secret-compare): in-enclave pageMap bookkeeping for the swapped slots
   if (q != r) {
@@ -451,6 +467,22 @@ Result<Bytes> CApproxPir::Retrieve(PageId id) {
       RunRound(common::Secret<PageId>(id), /*replace_data=*/nullptr,
                /*force_evict=*/false, /*insert_mode=*/false, 0, nullptr));
   return std::move(outcome.result);
+}
+
+Result<Bytes> CApproxPir::TracedRetrieve(PageId id,
+                                         const obs::TraceContext& ctx) {
+  // Park the context for the round; the engine is single-threaded per
+  // instance so a plain member hand-off is safe. Cleared on every exit
+  // path so an untraced follow-up query cannot inherit it.
+  pending_trace_ = ctx;
+  Result<Bytes> result = Retrieve(id);
+  pending_trace_ = obs::TraceContext{};
+  return result;
+}
+
+void CApproxPir::EnableTracing(obs::Tracer* tracer, int32_t trace_shard) {
+  tracer_ = tracer;
+  trace_shard_ = trace_shard;
 }
 
 Status CApproxPir::Modify(PageId id, Bytes data) {

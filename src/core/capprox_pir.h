@@ -10,7 +10,9 @@
 #include "core/page_map.h"
 #include "core/pir_engine.h"
 #include "hardware/coprocessor.h"
+#include "obs/privacy_monitor.h"
 #include "obs/span.h"
+#include "obs/trace.h"
 #include "storage/access_trace.h"
 #include "storage/page.h"
 
@@ -113,6 +115,13 @@ class CApproxPir : public PirEngine {
   /// Fig. 3 Retrieve. Constant cost per call.
   Result<Bytes> Retrieve(storage::PageId id) override;
 
+  /// Retrieve under a distributed-tracing context: when tracing is
+  /// enabled (EnableTracing) and `ctx` is active, the round emits an
+  /// "engine_round" span with the protocol phases as children. The
+  /// context carries only public trace/span ids — never the page id.
+  Result<Bytes> TracedRetrieve(storage::PageId id,
+                               const obs::TraceContext& ctx) override;
+
   uint64_t num_pages() const override { return options_.num_pages; }
   size_t page_size() const override { return options_.page_size; }
   const char* name() const override { return "c-approx"; }
@@ -179,6 +188,21 @@ class CApproxPir : public PirEngine {
   /// Registers an observer called for every page entering the cache.
   void set_cache_entry_observer(CacheEntryObserver observer) {
     cache_entry_observer_ = std::move(observer);
+  }
+
+  /// Attaches a span collector (unowned; must outlive the engine, pass
+  /// nullptr to detach). Rounds entered via TracedRetrieve with an
+  /// active context then emit "engine_round" + per-phase spans labelled
+  /// with `trace_shard` (-1 when the engine is not part of a fleet).
+  void EnableTracing(obs::Tracer* tracer, int32_t trace_shard = -1);
+
+  /// Attaches the online privacy monitor (unowned; must outlive the
+  /// engine, nullptr detaches). The engine feeds it every cache entry
+  /// and relocation — inside the trusted boundary, alongside the
+  /// analysis observers — and the monitor publishes only window
+  /// aggregates (the live c-estimate).
+  void AttachPrivacyMonitor(obs::PrivacyMonitor* monitor) {
+    privacy_monitor_ = monitor;
   }
 
   /// --- Persistence ---------------------------------------------------
@@ -263,6 +287,14 @@ class CApproxPir : public PirEngine {
   Stats stats_;
   RelocationObserver relocation_observer_;
   CacheEntryObserver cache_entry_observer_;
+  obs::PrivacyMonitor* privacy_monitor_ = nullptr;
+
+  /// Distributed tracing: TracedRetrieve parks the caller's context
+  /// here for the duration of the round (the engine is single-threaded
+  /// per instance; see ThreadSafeEngine / the shard dispatcher).
+  obs::Tracer* tracer_ = nullptr;
+  int32_t trace_shard_ = -1;
+  obs::TraceContext pending_trace_;
 
   /// Aggregate instruments; all null until EnableMetrics().
   struct Instruments {

@@ -6,6 +6,7 @@
 
 #include "common/bytes.h"
 #include "common/result.h"
+#include "obs/trace.h"
 #include "storage/page.h"
 
 namespace shpir::core {
@@ -21,6 +22,16 @@ class PirEngine {
 
   /// Retrieves the payload of page `id`.
   virtual Result<Bytes> Retrieve(storage::PageId id) = 0;
+
+  /// Retrieve with a distributed-tracing context: engines that emit
+  /// spans parent them under `ctx`. The default ignores the context so
+  /// baselines stay trace-oblivious. The context is public metadata
+  /// (trace/span ids, sampling flag) — never derived from `id`.
+  virtual Result<Bytes> TracedRetrieve(storage::PageId id,
+                                       const obs::TraceContext& ctx) {
+    (void)ctx;
+    return Retrieve(id);
+  }
 
   /// --- Updates (§4.3; optional) ---------------------------------------
   ///

@@ -25,6 +25,12 @@ class ThreadSafeEngine : public PirEngine {
     return inner_->Retrieve(id);
   }
 
+  Result<Bytes> TracedRetrieve(storage::PageId id,
+                               const obs::TraceContext& ctx) override {
+    common::MutexLock lock(mutex_);
+    return inner_->TracedRetrieve(id, ctx);
+  }
+
   Status Modify(storage::PageId id, Bytes data) override {
     common::MutexLock lock(mutex_);
     return inner_->Modify(id, std::move(data));

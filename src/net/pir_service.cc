@@ -9,6 +9,8 @@ constexpr uint8_t kOpModify = 2;
 constexpr uint8_t kOpInsert = 3;
 constexpr uint8_t kOpRemove = 4;
 constexpr uint8_t kOpStats = 5;
+constexpr uint8_t kOpTraceDump = 6;
+constexpr uint8_t kOpTraced = 7;  // Envelope: ctx(17) | inner request.
 
 constexpr uint8_t kStatusOk = 0;
 constexpr uint8_t kStatusError = 1;
@@ -32,19 +34,56 @@ Bytes ErrorResponse(const Status& status) {
 
 }  // namespace
 
-Result<Bytes> PirServiceServer::HandleRecord(ByteSpan record) {
+Result<Bytes> PirServiceServer::HandleRecord(ByteSpan record,
+                                             const QueueTiming* timing) {
   SHPIR_ASSIGN_OR_RETURN(Bytes request, session_.Open(record));
+  // Unwrap a TRACED envelope into the propagated context. A malformed
+  // envelope fails the whole record (it is inside the authenticated
+  // session, so garbage here means a broken peer, not line noise).
+  obs::TraceContext trace_ctx;
+  ByteSpan plaintext(request);
+  if (!plaintext.empty() && plaintext[0] == kOpTraced) {
+    if (plaintext.size() < 1 + obs::TraceContext::kWireSize) {
+      return InvalidArgumentError("truncated traced envelope");
+    }
+    SHPIR_ASSIGN_OR_RETURN(trace_ctx,
+                           obs::TraceContext::Decode(plaintext.subspan(1)));
+    plaintext = plaintext.subspan(1 + obs::TraceContext::kWireSize);
+    if (!plaintext.empty() && plaintext[0] == kOpTraced) {
+      return InvalidArgumentError("nested traced envelope");
+    }
+  }
+  // Retroactive queue-wait span: the relay recorded when the frame
+  // arrived and when it was dequeued; with a sampled context that gap
+  // becomes a "hub_queue_wait" span under the client's root.
+  if (tracer_ != nullptr && trace_ctx.active() && timing != nullptr &&
+      timing->dequeue_ns > timing->arrival_ns) {
+    obs::SpanRecord wait;
+    wait.trace_id = trace_ctx.trace_id;
+    wait.span_id = tracer_->NewSpanId();
+    wait.parent_span_id = trace_ctx.span_id;
+    wait.name = "hub_queue_wait";
+    wait.start_ns = timing->arrival_ns;
+    wait.duration_ns = timing->dequeue_ns - timing->arrival_ns;
+    tracer_->Record(wait);
+  }
+  // Service-side span covering decode + engine work; the engine parents
+  // its own spans under this one.
+  obs::TraceSpan service_span(tracer_, trace_ctx, "service_handle");
   Bytes response;
-  if (request.size() < kRequestHeader) {
+  if (plaintext.size() < kRequestHeader) {
     response = ErrorResponse(InvalidArgumentError("truncated request"));
   } else {
-    const uint8_t op = request[0];
-    const storage::PageId id = LoadLE64(request.data() + 1);
-    const ByteSpan payload(request.data() + kRequestHeader,
-                           request.size() - kRequestHeader);
+    const uint8_t op = plaintext[0];
+    const storage::PageId id = LoadLE64(plaintext.data() + 1);
+    const ByteSpan payload(plaintext.data() + kRequestHeader,
+                           plaintext.size() - kRequestHeader);
     switch (op) {
       case kOpRetrieve: {
-        Result<Bytes> data = engine_->Retrieve(id);
+        Result<Bytes> data =
+            service_span.context().active()
+                ? engine_->TracedRetrieve(id, service_span.context())
+                : engine_->Retrieve(id);
         response = data.ok() ? OkResponse(*data)
                              : ErrorResponse(data.status());
         break;
@@ -82,6 +121,16 @@ Result<Bytes> PirServiceServer::HandleRecord(ByteSpan record) {
         }
         break;
       }
+      case kOpTraceDump: {
+        if (trace_dump_) {
+          const Bytes dump = trace_dump_();
+          response = OkResponse(dump);
+        } else {
+          response = ErrorResponse(UnimplementedError(
+              "tracing is not enabled on this service"));
+        }
+        break;
+      }
       default:
         response = ErrorResponse(InvalidArgumentError("unknown op"));
     }
@@ -91,12 +140,26 @@ Result<Bytes> PirServiceServer::HandleRecord(ByteSpan record) {
 
 Result<Bytes> PirServiceClient::Call(uint8_t op, storage::PageId id,
                                      ByteSpan payload) {
-  Bytes request(kRequestHeader + payload.size());
-  request[0] = op;
-  StoreLE64(id, request.data() + 1);
+  // Root span for the whole logical query: the head sampling decision
+  // made here is inherited by every downstream span. Unsampled queries
+  // send no envelope and pay zero wire overhead.
+  obs::TraceSpan root(tracer_, "client_query");
+  Bytes request;
+  if (root.context().active()) {
+    request.push_back(kOpTraced);
+    root.context().EncodeTo(request);
+  }
+  const size_t inner = request.size();
+  request.resize(inner + kRequestHeader + payload.size());
+  request[inner] = op;
+  StoreLE64(id, request.data() + inner + 1);
   std::copy(payload.begin(), payload.end(),
-            request.begin() + kRequestHeader);
-  SHPIR_ASSIGN_OR_RETURN(Bytes sealed, session_.Seal(request));
+            request.begin() + static_cast<ptrdiff_t>(inner) + kRequestHeader);
+  Result<Bytes> sealed_or = [&]() -> Result<Bytes> {
+    obs::TraceSpan encode(tracer_, root.context(), "client_encode");
+    return session_.Seal(request);
+  }();
+  SHPIR_ASSIGN_OR_RETURN(Bytes sealed, std::move(sealed_or));
   SHPIR_ASSIGN_OR_RETURN(Bytes response_record, deliver_(sealed));
   SHPIR_ASSIGN_OR_RETURN(Bytes response, session_.Open(response_record));
   if (response.empty()) {
@@ -135,5 +198,9 @@ Status PirServiceClient::Remove(storage::PageId id) {
 }
 
 Result<Bytes> PirServiceClient::Stats() { return Call(kOpStats, 0, {}); }
+
+Result<Bytes> PirServiceClient::TraceDump() {
+  return Call(kOpTraceDump, 0, {});
+}
 
 }  // namespace shpir::net

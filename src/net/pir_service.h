@@ -7,6 +7,7 @@
 #include "common/result.h"
 #include "core/pir_engine.h"
 #include "net/secure_channel.h"
+#include "obs/trace.h"
 
 namespace shpir::net {
 
@@ -17,6 +18,11 @@ namespace shpir::net {
 ///
 /// Request plaintext:  op(1) | id(8) | payload...
 /// Response plaintext: status(1) | payload...
+///
+/// Trace propagation: a client with tracing enabled wraps the request
+/// plaintext in a TRACED envelope — op(1, kOpTraced) | context(17) |
+/// inner request — inside the sealed record, so the relay sees nothing
+/// and untraced requests stay byte-identical.
 
 /// Runs inside the trusted boundary next to the engine.
 class PirServiceServer {
@@ -28,27 +34,50 @@ class PirServiceServer {
   /// crossing of the trust boundary (see docs/OBSERVABILITY.md).
   using StatsProvider = std::function<Bytes()>;
 
+  /// Produces the trace dump (Chrome trace-event JSON) for the
+  /// TRACE_DUMP op. Authenticated like StatsProvider; span payloads are
+  /// public by construction (static names, shard indices, timing).
+  using TraceProvider = std::function<Bytes()>;
+
+  /// Relay-side timestamps for one request: when its frame arrived and
+  /// when the hub dequeued it for handling. Used to reconstruct a
+  /// retroactive "hub_queue_wait" span for sampled traces.
+  struct QueueTiming {
+    uint64_t arrival_ns = 0;
+    uint64_t dequeue_ns = 0;
+  };
+
   /// Neither pointer is owned. The session must be the server side of
   /// the handshake with this client. `stats` may be null, in which case
-  /// STATS requests are answered with an error. Any PirEngine works —
-  /// the paper's single engine, a ThreadSafeEngine wrapper, or the
-  /// sharded serving runtime; engines without update support answer the
-  /// update ops with Unimplemented.
+  /// STATS requests are answered with an error; likewise `trace_dump`
+  /// for TRACE_DUMP. `tracer` (optional, unowned) records service-side
+  /// spans for requests arriving in a sampled TRACED envelope. Any
+  /// PirEngine works — the paper's single engine, a ThreadSafeEngine
+  /// wrapper, or the sharded serving runtime; engines without update
+  /// support answer the update ops with Unimplemented.
   PirServiceServer(core::PirEngine* engine, SecureSession session,
-                   StatsProvider stats = nullptr)
+                   StatsProvider stats = nullptr,
+                   TraceProvider trace_dump = nullptr,
+                   obs::Tracer* tracer = nullptr)
       : engine_(engine),
         session_(std::move(session)),
-        stats_(std::move(stats)) {}
+        stats_(std::move(stats)),
+        trace_dump_(std::move(trace_dump)),
+        tracer_(tracer) {}
 
   /// Decrypts one request record, executes it, returns the sealed
   /// response record. Protocol-level failures (bad record) are errors;
-  /// engine-level failures are encoded into the response.
-  Result<Bytes> HandleRecord(ByteSpan record);
+  /// engine-level failures are encoded into the response. `timing`
+  /// (optional) carries the relay-side queue timestamps.
+  Result<Bytes> HandleRecord(ByteSpan record,
+                             const QueueTiming* timing = nullptr);
 
  private:
   core::PirEngine* engine_;
   SecureSession session_;
   StatsProvider stats_;
+  TraceProvider trace_dump_;
+  obs::Tracer* tracer_;
 };
 
 /// The client side. `deliver` sends a sealed request record through the
@@ -76,11 +105,20 @@ class PirServiceClient {
   /// obs::ToJson schema; parse with obs::ParseJsonSnapshot).
   Result<Bytes> Stats();
 
+  /// Fetches the service's buffered spans as Chrome trace-event JSON.
+  Result<Bytes> TraceDump();
+
+  /// Attaches a span collector (unowned; nullptr detaches). Sampled
+  /// calls then emit "client_query"/"client_encode" spans and propagate
+  /// their context to the service inside the sealed record.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
  private:
   Result<Bytes> Call(uint8_t op, storage::PageId id, ByteSpan payload);
 
   SecureSession session_;
   Deliver deliver_;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace shpir::net

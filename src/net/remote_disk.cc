@@ -23,7 +23,13 @@ Result<std::unique_ptr<RemoteDisk>> RemoteDisk::Connect(
       new RemoteDisk(transport, num_slots, slot_size));
 }
 
-Result<Bytes> RemoteDisk::Call(const Request& request) {
+Result<Bytes> RemoteDisk::Call(Request request) {
+  // Wrap the round trip in a span and propagate its context so the
+  // provider's spans nest under this RTT in the assembled trace.
+  obs::TraceSpan rtt_span(tracer_, trace_ctx_, "remote_disk_rtt");
+  if (rtt_span.context().active()) {
+    request.trace = rtt_span.context();
+  }
   const Bytes frame = EncodeRequest(request);
   SHPIR_ASSIGN_OR_RETURN(Bytes response, transport_->RoundTrip(frame));
   if (accountant_ != nullptr) {

@@ -6,6 +6,7 @@
 #include "hardware/cost_accountant.h"
 #include "net/transport.h"
 #include "net/wire.h"
+#include "obs/trace.h"
 #include "storage/disk.h"
 
 namespace shpir::net {
@@ -30,6 +31,16 @@ class RemoteDisk : public storage::Disk {
     accountant_ = accountant;
   }
 
+  /// Attaches a span collector (unowned; nullptr detaches): each round
+  /// trip under an active context then emits a "remote_disk_rtt" span
+  /// and forwards the context to the provider via the kTraced envelope.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
+  /// Parents subsequent round trips under `ctx`. Like SpanDisk, the
+  /// context hand-off relies on the caller serializing queries.
+  void set_trace_context(const obs::TraceContext& ctx) { trace_ctx_ = ctx; }
+  void clear_trace_context() { trace_ctx_ = obs::TraceContext{}; }
+
   uint64_t num_slots() const override { return num_slots_; }
   size_t slot_size() const override { return slot_size_; }
   Status Read(storage::Location loc, MutableByteSpan out) override;
@@ -44,12 +55,14 @@ class RemoteDisk : public storage::Disk {
       : transport_(transport), num_slots_(num_slots), slot_size_(slot_size) {}
 
   /// Sends one frame, accounting the RTT and bytes both ways.
-  Result<Bytes> Call(const Request& request);
+  Result<Bytes> Call(Request request);
 
   Transport* transport_;
   uint64_t num_slots_;
   size_t slot_size_;
   hardware::CostAccountant* accountant_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
+  obs::TraceContext trace_ctx_;
 };
 
 }  // namespace shpir::net

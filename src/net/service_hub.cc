@@ -12,10 +12,12 @@ constexpr size_t kNonce = SecureSession::kNonceSize;
 }  // namespace
 
 ServiceHub::ServiceHub(core::PirEngine* engine, Bytes pre_shared_key,
-                       uint64_t rng_seed, obs::MetricsRegistry* metrics)
+                       uint64_t rng_seed, obs::MetricsRegistry* metrics,
+                       obs::Tracer* tracer)
     : engine_(engine),
       pre_shared_key_(std::move(pre_shared_key)),
       metrics_(metrics),
+      tracer_(tracer),
       rng_(rng_seed == 0 ? crypto::SecureRandom()
                          : crypto::SecureRandom(rng_seed)) {
   if (metrics_ != nullptr) {
@@ -79,6 +81,11 @@ Bytes ServiceHub::MakeData(uint64_t client_id, ByteSpan record) {
 }
 
 Result<Bytes> ServiceHub::HandleFrame(ByteSpan frame) {
+  // Arrival timestamp for the queue-wait span: taken before the hub
+  // lock, so the measured gap covers lock contention (the hub's queue).
+  // Only read when a tracer is attached — the clock read is the whole
+  // cost for untraced hubs.
+  const uint64_t arrival_ns = tracer_ != nullptr ? obs::Tracer::NowNs() : 0;
   if (metered()) {
     instruments_.frame_bytes_in->Increment(frame.size());
   }
@@ -119,8 +126,18 @@ Result<Bytes> ServiceHub::HandleFrame(ByteSpan frame) {
     if (metrics_ != nullptr) {
       stats = [this] { return SnapshotJson(); };
     }
+    // TRACE_DUMP likewise travels inside the session; span payloads are
+    // public by construction (static names, shard indices, timing).
+    PirServiceServer::TraceProvider trace_dump;
+    if (tracer_ != nullptr) {
+      trace_dump = [this] {
+        const std::string json = obs::ToChromeTraceJson(tracer_->Snapshot());
+        return Bytes(json.begin(), json.end());
+      };
+    }
     servers_[client_id] = std::make_unique<PirServiceServer>(
-        engine_, std::move(session).value(), std::move(stats));
+        engine_, std::move(session).value(), std::move(stats),
+        std::move(trace_dump), tracer_);
     if (metered()) {
       instruments_.sessions->Set(static_cast<double>(servers_.size()));
     }
@@ -143,8 +160,15 @@ Result<Bytes> ServiceHub::HandleFrame(ByteSpan frame) {
       }
       return FailedPreconditionError("unknown client; handshake first");
     }
+    PirServiceServer::QueueTiming timing;
+    const PirServiceServer::QueueTiming* timing_ptr = nullptr;
+    if (tracer_ != nullptr) {
+      timing.arrival_ns = arrival_ns;
+      timing.dequeue_ns = obs::Tracer::NowNs();  // Past the hub lock.
+      timing_ptr = &timing;
+    }
     Result<Bytes> reply = it->second->HandleRecord(
-        ByteSpan(frame.data() + 9, frame.size() - 9));
+        ByteSpan(frame.data() + 9, frame.size() - 9), timing_ptr);
     if (metered()) {
       if (reply.ok()) {
         instruments_.frame_bytes_out->Increment(reply->size());

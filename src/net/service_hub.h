@@ -11,6 +11,7 @@
 #include "net/pir_service.h"
 #include "net/secure_channel.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace shpir::net {
 
@@ -36,10 +37,14 @@ class ServiceHub {
   /// outlive the hub) enables the hub's shpir_net_* instruments and
   /// turns on the authenticated STATS op: sessions established by the
   /// hub answer PirServiceClient::Stats() with a JSON snapshot of the
-  /// registry.
+  /// registry. `tracer` (optional, unowned, must outlive the hub)
+  /// enables distributed tracing: sampled requests get hub_queue_wait /
+  /// service_handle spans and the authenticated TRACE_DUMP op returns
+  /// the buffered spans as Chrome trace JSON.
   ServiceHub(core::PirEngine* engine, Bytes pre_shared_key,
              uint64_t rng_seed = 0,
-             obs::MetricsRegistry* metrics = nullptr);
+             obs::MetricsRegistry* metrics = nullptr,
+             obs::Tracer* tracer = nullptr);
 
   /// Handles one wire frame from any client; returns the reply frame.
   Result<Bytes> HandleFrame(ByteSpan frame);
@@ -86,6 +91,7 @@ class ServiceHub {
   core::PirEngine* engine_;
   Bytes pre_shared_key_;
   obs::MetricsRegistry* metrics_;
+  obs::Tracer* tracer_;
   Instruments instruments_;  // Written by the ctor only; const afterwards.
   mutable common::Mutex mutex_;
   /// Server-nonce generator; drawn from under mutex_ in HandleFrame.

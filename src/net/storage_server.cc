@@ -4,9 +4,31 @@
 
 namespace shpir::net {
 
+namespace {
+
+/// Static span name for a provider-side request (span names must have
+/// static storage). The op is public wire metadata.
+const char* ProviderSpanName(Op op) {
+  switch (op) {
+    case Op::kRead:
+      return "provider_read";
+    case Op::kWrite:
+      return "provider_write";
+    case Op::kReadRun:
+      return "provider_read_run";
+    case Op::kWriteRun:
+      return "provider_write_run";
+    default:
+      return "provider_request";
+  }
+}
+
+}  // namespace
+
 StorageServer::StorageServer(storage::Disk* disk,
-                             obs::MetricsRegistry* metrics)
-    : disk_(disk), metrics_(metrics) {
+                             obs::MetricsRegistry* metrics,
+                             obs::Tracer* tracer)
+    : disk_(disk), metrics_(metrics), tracer_(tracer) {
   if (metrics_ != nullptr) {
     instruments_.requests =
         metrics_->FindOrCreateCounter("shpir_provider_requests_total");
@@ -32,7 +54,20 @@ Bytes StorageServer::Handle(ByteSpan request_frame) {
   }
   const Request& request = *decoded;
   const size_t slot_size = disk_->slot_size();
+  // Provider-side span, parented on the propagated context (inert when
+  // no tracer is attached or the request was not sampled).
+  obs::TraceSpan span(tracer_, request.trace, ProviderSpanName(request.op));
   switch (request.op) {
+    case Op::kTraceDump: {
+      if (tracer_ == nullptr) {
+        return EncodeErrorResponse(
+            UnimplementedError("tracing is not enabled on this provider"));
+      }
+      const std::string json = obs::ToChromeTraceJson(tracer_->Snapshot());
+      return EncodeOkResponse(
+          ByteSpan(reinterpret_cast<const uint8_t*>(json.data()),
+                   json.size()));
+    }
     case Op::kStats: {
       if (metrics_ == nullptr) {
         return EncodeErrorResponse(
@@ -130,6 +165,8 @@ Bytes StorageServer::Handle(ByteSpan request_frame) {
       }
       return EncodeOkResponse({});
     }
+    case Op::kTraced:
+      break;  // DecodeRequest unwraps envelopes; never surfaces here.
   }
   return EncodeErrorResponse(InternalError("unhandled op"));
 }

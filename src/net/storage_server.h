@@ -5,6 +5,7 @@
 #include "net/transport.h"
 #include "net/wire.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "storage/disk.h"
 
 namespace shpir::net {
@@ -19,9 +20,13 @@ class StorageServer {
   /// unowned) enables the shpir_provider_* instruments and the kStats
   /// wire op, which returns a JSON snapshot of the registry. The
   /// provider is untrusted, so everything in its registry is public by
-  /// assumption; it must only ever hold volume aggregates.
+  /// assumption; it must only ever hold volume aggregates. `tracer`
+  /// (optional, unowned) records one provider_* span per request that
+  /// arrives in a sampled kTraced envelope and enables the kTraceDump
+  /// op, which returns the buffered spans as Chrome trace JSON.
   explicit StorageServer(storage::Disk* disk,
-                         obs::MetricsRegistry* metrics = nullptr);
+                         obs::MetricsRegistry* metrics = nullptr,
+                         obs::Tracer* tracer = nullptr);
 
   /// Executes one request frame and returns the response frame. Errors
   /// are encoded into the response (the transport never fails).
@@ -38,6 +43,7 @@ class StorageServer {
 
   storage::Disk* disk_;
   obs::MetricsRegistry* metrics_;
+  obs::Tracer* tracer_;
   Instruments instruments_;
 };
 

@@ -8,7 +8,11 @@ constexpr uint8_t kStatusOk = 0;
 constexpr uint8_t kStatusError = 1;
 }  // namespace
 
-Bytes EncodeRequest(const Request& request) {
+namespace {
+
+constexpr uint8_t kTraceFlagSampled = 0x01;
+
+Bytes EncodeFrame(const Request& request) {
   Bytes frame(kRequestHeader + request.payload.size());
   frame[0] = static_cast<uint8_t>(request.op);
   StoreLE64(request.location, frame.data() + 1);
@@ -18,9 +22,47 @@ Bytes EncodeRequest(const Request& request) {
   return frame;
 }
 
+}  // namespace
+
+Bytes EncodeRequest(const Request& request) {
+  Bytes inner = EncodeFrame(request);
+  if (!request.trace.valid() || request.op == Op::kTraced) {
+    return inner;
+  }
+  // Wrap in the kTraced envelope: the context rides the header fields
+  // and one flags byte, the inner frame is carried verbatim.
+  Bytes frame(kRequestHeader + 1 + inner.size());
+  frame[0] = static_cast<uint8_t>(Op::kTraced);
+  StoreLE64(request.trace.trace_id, frame.data() + 1);
+  StoreLE64(request.trace.span_id, frame.data() + 9);
+  frame[kRequestHeader] = request.trace.sampled ? kTraceFlagSampled : 0;
+  std::copy(inner.begin(), inner.end(), frame.begin() + kRequestHeader + 1);
+  return frame;
+}
+
 Result<Request> DecodeRequest(ByteSpan frame) {
   if (frame.size() < kRequestHeader) {
     return DataLossError("truncated request frame");
+  }
+  obs::TraceContext trace;
+  if (frame[0] == static_cast<uint8_t>(Op::kTraced)) {
+    trace.trace_id = LoadLE64(frame.data() + 1);
+    trace.span_id = LoadLE64(frame.data() + 9);
+    if (trace.trace_id == 0) {
+      return InvalidArgumentError("traced envelope with zero trace id");
+    }
+    if (frame.size() < kRequestHeader + 1 + kRequestHeader) {
+      return DataLossError("truncated traced envelope");
+    }
+    const uint8_t flags = frame[kRequestHeader];
+    if ((flags & ~kTraceFlagSampled) != 0) {
+      return InvalidArgumentError("unknown trace flags");
+    }
+    trace.sampled = (flags & kTraceFlagSampled) != 0;
+    frame = frame.subspan(kRequestHeader + 1);
+    if (frame[0] == static_cast<uint8_t>(Op::kTraced)) {
+      return InvalidArgumentError("nested traced envelope");
+    }
   }
   Request request;
   switch (frame[0]) {
@@ -30,6 +72,7 @@ Result<Request> DecodeRequest(ByteSpan frame) {
     case static_cast<uint8_t>(Op::kWriteRun):
     case static_cast<uint8_t>(Op::kGeometry):
     case static_cast<uint8_t>(Op::kStats):
+    case static_cast<uint8_t>(Op::kTraceDump):
       request.op = static_cast<Op>(frame[0]);
       break;
     default:
@@ -38,6 +81,7 @@ Result<Request> DecodeRequest(ByteSpan frame) {
   request.location = LoadLE64(frame.data() + 1);
   request.count = LoadLE64(frame.data() + 9);
   request.payload.assign(frame.begin() + kRequestHeader, frame.end());
+  request.trace = trace;
   return request;
 }
 

@@ -6,6 +6,7 @@
 
 #include "common/bytes.h"
 #include "common/result.h"
+#include "obs/trace.h"
 #include "storage/page.h"
 
 namespace shpir::net {
@@ -15,6 +16,12 @@ namespace shpir::net {
 ///
 /// Request:  op(1) | location(8) | count(8) | payload (count * slot_size)
 /// Response: status(1) | payload
+///
+/// Trace propagation: a request carrying a valid TraceContext is sent as
+/// a kTraced wrapper — location := trace_id, count := span_id, payload
+/// := flags(1) | inner frame — so existing ops stay byte-identical when
+/// tracing is off. DecodeRequest unwraps the envelope back into
+/// Request::trace; nested envelopes are rejected.
 enum class Op : uint8_t {
   kRead = 1,      // Read one slot.
   kWrite = 2,     // Write one slot.
@@ -22,6 +29,8 @@ enum class Op : uint8_t {
   kWriteRun = 4,  // Write count consecutive slots.
   kGeometry = 5,  // Query (num_slots, slot_size).
   kStats = 6,     // Fetch the provider's metrics snapshot (JSON).
+  kTraceDump = 7, // Fetch the provider's span buffer (Chrome trace JSON).
+  kTraced = 8,    // Envelope: a traced inner request (see above).
 };
 
 struct Request {
@@ -29,6 +38,9 @@ struct Request {
   storage::Location location = 0;
   uint64_t count = 0;
   Bytes payload;
+  /// Distributed-tracing context; propagated on the wire when valid().
+  /// Carries only public trace/span ids — never request-derived data.
+  obs::TraceContext trace;
 };
 
 /// Serializes a request.

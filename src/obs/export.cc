@@ -27,6 +27,46 @@ std::string FormatDouble(double value) {
 
 }  // namespace
 
+std::string EscapeJsonString(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
 std::string ToPrometheusText(const MetricsSnapshot& snapshot) {
   std::ostringstream out;
   for (const SnapshotCounter& counter : snapshot.counters) {
@@ -58,16 +98,16 @@ std::string ToJson(const MetricsSnapshot& snapshot) {
     if (i > 0) {
       out << ",";
     }
-    out << "{\"name\":\"" << snapshot.counters[i].name << "\",\"value\":"
-        << snapshot.counters[i].value << "}";
+    out << "{\"name\":\"" << EscapeJsonString(snapshot.counters[i].name)
+        << "\",\"value\":" << snapshot.counters[i].value << "}";
   }
   out << "],\"gauges\":[";
   for (size_t i = 0; i < snapshot.gauges.size(); ++i) {
     if (i > 0) {
       out << ",";
     }
-    out << "{\"name\":\"" << snapshot.gauges[i].name << "\",\"value\":"
-        << FormatDouble(snapshot.gauges[i].value) << "}";
+    out << "{\"name\":\"" << EscapeJsonString(snapshot.gauges[i].name)
+        << "\",\"value\":" << FormatDouble(snapshot.gauges[i].value) << "}";
   }
   out << "],\"histograms\":[";
   for (size_t i = 0; i < snapshot.histograms.size(); ++i) {
@@ -75,7 +115,8 @@ std::string ToJson(const MetricsSnapshot& snapshot) {
     if (i > 0) {
       out << ",";
     }
-    out << "{\"name\":\"" << h.name << "\",\"count\":" << h.count
+    out << "{\"name\":\"" << EscapeJsonString(h.name)
+        << "\",\"count\":" << h.count
         << ",\"sum\":" << h.sum << ",\"min\":" << h.min << ",\"max\":"
         << h.max << ",\"p50\":" << FormatDouble(h.p50) << ",\"p95\":"
         << FormatDouble(h.p95) << ",\"p99\":" << FormatDouble(h.p99)
@@ -87,9 +128,9 @@ std::string ToJson(const MetricsSnapshot& snapshot) {
 
 namespace {
 
-/// Tiny recursive-descent parser for the closed snapshot schema. Metric
-/// names are already restricted to [a-z0-9_], so strings need no escape
-/// handling.
+/// Tiny recursive-descent parser for the closed snapshot schema.
+/// Strings decode the escape sequences ToJson can emit (remote peers
+/// are not trusted to stick to registry-legal names).
 class SnapshotParser {
  public:
   explicit SnapshotParser(const std::string& text) : text_(text) {}
@@ -193,17 +234,79 @@ class SnapshotParser {
 
   Result<std::string> ParseString() {
     SHPIR_RETURN_IF_ERROR(Expect('"'));
-    const size_t start = pos_;
+    std::string value;
     while (pos_ < text_.size() && text_[pos_] != '"') {
-      if (text_[pos_] == '\\') {
-        return DataLossError("snapshot JSON: escapes not supported");
+      char c = text_[pos_];
+      if (c != '\\') {
+        value += c;
+        ++pos_;
+        continue;
       }
-      ++pos_;
+      ++pos_;  // Backslash.
+      if (pos_ >= text_.size()) {
+        break;  // Unterminated; fall through to the error below.
+      }
+      const char escape = text_[pos_++];
+      switch (escape) {
+        case '"':
+          value += '"';
+          break;
+        case '\\':
+          value += '\\';
+          break;
+        case '/':
+          value += '/';
+          break;
+        case 'b':
+          value += '\b';
+          break;
+        case 'f':
+          value += '\f';
+          break;
+        case 'n':
+          value += '\n';
+          break;
+        case 'r':
+          value += '\r';
+          break;
+        case 't':
+          value += '\t';
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            return DataLossError("snapshot JSON: truncated \\u escape");
+          }
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_ + static_cast<size_t>(i)];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return DataLossError("snapshot JSON: bad \\u escape");
+            }
+          }
+          pos_ += 4;
+          if (code > 0x7f) {
+            // ToJson only \u-escapes control characters; anything wider
+            // is outside the closed schema.
+            return DataLossError(
+                "snapshot JSON: non-ASCII \\u escape not supported");
+          }
+          value += static_cast<char>(code);
+          break;
+        }
+        default:
+          return DataLossError("snapshot JSON: unknown escape");
+      }
     }
     if (pos_ >= text_.size()) {
       return DataLossError("snapshot JSON: unterminated string");
     }
-    std::string value = text_.substr(start, pos_ - start);
     ++pos_;  // Closing quote.
     return value;
   }

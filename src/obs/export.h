@@ -2,6 +2,7 @@
 #define SHPIR_OBS_EXPORT_H_
 
 #include <string>
+#include <string_view>
 
 #include "common/result.h"
 #include "obs/metrics.h"
@@ -22,6 +23,13 @@ std::string ToJson(const MetricsSnapshot& snapshot);
 /// Parses a snapshot produced by ToJson (unknown keys are rejected; the
 /// format is a closed schema, not general JSON).
 Result<MetricsSnapshot> ParseJsonSnapshot(const std::string& json);
+
+/// Escapes `value` for embedding inside a JSON string literal: quotes,
+/// backslashes, and control characters become their escape sequences.
+/// Registry names are already [a-z0-9_]-restricted, but values that
+/// originate elsewhere (trace span names, remote snapshots) must not be
+/// able to break the produced JSON.
+std::string EscapeJsonString(std::string_view value);
 
 /// Human-readable table for the shpir_stats CLI.
 std::string RenderTable(const MetricsSnapshot& snapshot);

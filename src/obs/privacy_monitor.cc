@@ -1,0 +1,150 @@
+#include "obs/privacy_monitor.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace shpir::obs {
+
+PrivacyMonitor::PrivacyMonitor(const Options& options) : options_(options) {
+  SHPIR_CHECK(options_.scan_period > 0);
+  SHPIR_CHECK(options_.window > 0);
+  common::MutexLock lock(mutex_);
+  offset_counts_.assign(options_.scan_period, 0);
+  window_ring_.assign(options_.window, 0);
+}
+
+void PrivacyMonitor::OnCacheEntry(uint64_t id, uint64_t request_index) {
+  common::MutexLock lock(mutex_);
+  entry_request_[id] = request_index;
+}
+
+void PrivacyMonitor::OnRelocation(uint64_t id, uint64_t request_index) {
+  common::MutexLock lock(mutex_);
+  auto it = entry_request_.find(id);
+  if (it == entry_request_.end()) {
+    return;  // Entered the cache before monitoring began.
+  }
+  const uint64_t delay = request_index - it->second;
+  entry_request_.erase(it);
+  if (delay == 0) {
+    // Same-request enter+evict: the page never resided across requests,
+    // so it contributes nothing to the residency distribution (the
+    // offline RelocationAnalyzer skips these identically).
+    return;
+  }
+  // The binning of Eq. 5: residency delay folded onto the scan period.
+  // The delay is secret-derived; the audited aggregation below is the
+  // monitor's entire purpose — per-sample data never leaves this class,
+  // only >= window-sized bin statistics do.
+  // shpir-lint-allow-next-line(secret-index): Eq. 5 residency histogram bin update; only window aggregates are ever published
+  const uint64_t offset = (delay - 1) % options_.scan_period;
+  if (windowed_ == options_.window) {
+    // Slide: the oldest sample leaves its bin.
+    // shpir-lint-allow-next-line(secret-index): sliding-window eviction of the same audited histogram
+    --offset_counts_[window_ring_[window_pos_]];
+  } else {
+    ++windowed_;
+  }
+  // shpir-lint-allow-next-line(secret-index): Eq. 5 residency histogram bin update; only window aggregates are ever published
+  ++offset_counts_[offset];
+  window_ring_[window_pos_] = offset;
+  window_pos_ = (window_pos_ + 1) % options_.window;
+  ++total_;
+  if (relocation_counter_ != nullptr) {
+    relocation_counter_->Increment();
+  }
+  if (total_ % options_.check_interval == 0) {
+    CheckLocked();
+  }
+}
+
+double PrivacyMonitor::EstimateLocked() const {
+  uint64_t min_count = 0;
+  uint64_t max_count = 0;
+  bool first = true;
+  for (const uint64_t count : offset_counts_) {
+    if (first) {
+      min_count = max_count = count;
+      first = false;
+    } else {
+      min_count = std::min(min_count, count);
+      max_count = std::max(max_count, count);
+    }
+  }
+  if (min_count == 0) {
+    return 0.0;  // Some bin is empty: not enough data yet.
+  }
+  return static_cast<double>(max_count) / static_cast<double>(min_count);
+}
+
+void PrivacyMonitor::CheckLocked() {
+  const double estimate = EstimateLocked();
+  if (c_gauge_ != nullptr) {
+    // The estimate aggregates >= check_interval (typically >= window)
+    // relocations; publishing it is this monitor's contract.
+    // shpir-lint-allow-next-line(secret-log): window-aggregate empirical c — the statistic Eq. 5 bounds, with no per-request content
+    c_gauge_->Set(estimate);
+  }
+  if (options_.configured_c > 0.0 && estimate > 0.0) {
+    if (estimate > options_.configured_c) {
+      if (!in_breach_) {
+        in_breach_ = true;
+        ++breaches_;
+        if (breach_counter_ != nullptr) {
+          breach_counter_->Increment();
+        }
+      }
+    } else {
+      in_breach_ = false;
+    }
+  }
+}
+
+Result<double> PrivacyMonitor::Estimate() const {
+  common::MutexLock lock(mutex_);
+  const double estimate = EstimateLocked();
+  if (estimate == 0.0) {
+    return FailedPreconditionError(
+        "privacy monitor: window does not yet cover every residency bin");
+  }
+  return estimate;
+}
+
+double PrivacyMonitor::EstimateOrZero() const {
+  common::MutexLock lock(mutex_);
+  return EstimateLocked();
+}
+
+void PrivacyMonitor::EnableMetrics(MetricsRegistry* registry) {
+  common::MutexLock lock(mutex_);
+  if (registry == nullptr) {
+    c_gauge_ = nullptr;
+    breach_counter_ = nullptr;
+    relocation_counter_ = nullptr;
+    return;
+  }
+  c_gauge_ = registry->FindOrCreateGauge("shpir_privacy_c_estimate");
+  breach_counter_ =
+      registry->FindOrCreateCounter("shpir_privacy_breaches_total");
+  relocation_counter_ =
+      registry->FindOrCreateCounter("shpir_privacy_relocations_total");
+  c_gauge_->Set(0.0);
+}
+
+void PrivacyMonitor::PublishNow() {
+  common::MutexLock lock(mutex_);
+  CheckLocked();
+}
+
+uint64_t PrivacyMonitor::relocations() const {
+  common::MutexLock lock(mutex_);
+  return total_;
+}
+
+uint64_t PrivacyMonitor::breaches() const {
+  common::MutexLock lock(mutex_);
+  return breaches_;
+}
+
+}  // namespace shpir::obs

@@ -1,0 +1,114 @@
+#ifndef SHPIR_OBS_PRIVACY_MONITOR_H_
+#define SHPIR_OBS_PRIVACY_MONITOR_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/result.h"
+#include "common/secret.h"
+#include "obs/metrics.h"
+
+namespace shpir::obs {
+
+/// Online privacy monitor: the runtime counterpart of the offline
+/// privacy audit (src/analysis/relocation_analyzer.h). The engine's
+/// statically configured c (Eq. 6 picks k from it) is a *promise*; this
+/// monitor measures what the running system actually delivers, live.
+///
+/// It maintains a sliding window over the engine's relocations. For
+/// each relocated page it bins the cache residency delay — the number
+/// of requests between the page entering the cache and being evicted
+/// back to disk — by `offset = (delay - 1) mod T` (T = scan period),
+/// exactly the statistic whose max/min ratio Eq. 5 bounds by c. The
+/// ratio over the current window is the empirical c-estimate published
+/// as the `shpir_privacy_c_estimate` gauge; crossing the configured c
+/// bumps `shpir_privacy_breaches_total`.
+///
+/// Trust boundary: the monitor runs INSIDE the coprocessor boundary —
+/// its inputs (page ids, request indices) are secrets and its
+/// `entry_request_` map is secret state. Only window aggregates leave:
+/// the c-estimate and breach count summarize >= `window` relocations
+/// and reveal nothing about any single request (they are statistics of
+/// the very distribution Eq. 5 already publishes a bound on).
+///
+/// Thread safety: all entry points lock, so one monitor can serve an
+/// engine whose observers fire on a shard worker while another thread
+/// snapshots the estimate.
+class PrivacyMonitor {
+ public:
+  struct Options {
+    /// The engine's scan period T = disk_slots / k. Required non-zero.
+    uint64_t scan_period = 0;
+    /// Sliding window size in relocations. Smaller windows react faster
+    /// but need ~window >= 50 * T samples for a stable estimate.
+    uint64_t window = 1 << 16;
+    /// Configured privacy parameter c; estimates above it count as
+    /// breaches. 0 disables breach detection.
+    double configured_c = 0.0;
+    /// Breach detection and gauge refresh run every `check_interval`
+    /// relocations (the estimate scan is O(T); amortize it).
+    uint64_t check_interval = 256;
+  };
+
+  explicit PrivacyMonitor(const Options& options);
+
+  PrivacyMonitor(const PrivacyMonitor&) = delete;
+  PrivacyMonitor& operator=(const PrivacyMonitor&) = delete;
+
+  /// Wire these to CApproxPir::AttachPrivacyMonitor (or call them from
+  /// analysis observers). `id`/`request_index` stay inside the monitor.
+  void OnCacheEntry(uint64_t id, uint64_t request_index);
+  void OnRelocation(uint64_t id, uint64_t request_index);
+
+  /// Empirical c over the current window: max/min of the offset bins.
+  /// FailedPrecondition until every bin has at least one sample.
+  Result<double> Estimate() const;
+
+  /// Estimate(), or 0.0 while there is not yet enough data.
+  double EstimateOrZero() const;
+
+  /// Registers `shpir_privacy_c_estimate` (gauge, refreshed every
+  /// check_interval relocations and on PublishNow) plus the
+  /// `shpir_privacy_breaches_total` and
+  /// `shpir_privacy_relocations_total` counters. Pass nullptr to
+  /// detach. For a fleet of per-shard monitors sharing the instruments,
+  /// attach the same registry to each: the gauge then tracks the most
+  /// recently refreshed shard and the counters aggregate.
+  void EnableMetrics(MetricsRegistry* registry);
+
+  /// Forces a gauge refresh + breach check now (deterministic tests,
+  /// pre-snapshot refresh).
+  void PublishNow();
+
+  uint64_t relocations() const;
+  uint64_t breaches() const;
+  const Options& options() const { return options_; }
+
+ private:
+  double EstimateLocked() const REQUIRES(mutex_);
+  void CheckLocked() REQUIRES(mutex_);
+
+  const Options options_;
+  mutable common::Mutex mutex_;
+  /// Secret state: when each page entered the cache. Everything derived
+  /// from it stays under the lock until aggregated over the window.
+  SHPIR_SECRET std::unordered_map<uint64_t, uint64_t> entry_request_
+      GUARDED_BY(mutex_);
+  std::vector<uint64_t> offset_counts_ GUARDED_BY(mutex_);  // T bins.
+  std::vector<uint64_t> window_ring_ GUARDED_BY(mutex_);    // Offsets.
+  size_t window_pos_ GUARDED_BY(mutex_) = 0;
+  uint64_t windowed_ GUARDED_BY(mutex_) = 0;  // Samples currently held.
+  uint64_t total_ GUARDED_BY(mutex_) = 0;
+  uint64_t breaches_ GUARDED_BY(mutex_) = 0;
+  bool in_breach_ GUARDED_BY(mutex_) = false;
+
+  Gauge* c_gauge_ GUARDED_BY(mutex_) = nullptr;
+  Counter* breach_counter_ GUARDED_BY(mutex_) = nullptr;
+  Counter* relocation_counter_ GUARDED_BY(mutex_) = nullptr;
+};
+
+}  // namespace shpir::obs
+
+#endif  // SHPIR_OBS_PRIVACY_MONITOR_H_

@@ -6,6 +6,7 @@
 #include <cstdint>
 
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace shpir::obs {
 
@@ -27,10 +28,15 @@ using PhaseHistograms = std::array<Histogram*, kNumPhases>;
 
 /// Accumulates per-phase wall-clock nanoseconds for one query and
 /// flushes one histogram sample per phase at destruction. Lives on the
-/// stack: when constructed with a null histogram array the trace — and
-/// every Span opened on it — is a no-op that never reads the clock and
-/// never allocates, which is what keeps the disabled-tracing hot path at
-/// zero overhead and zero allocations.
+/// stack: when constructed with a null histogram array (and no span
+/// sink attached) the trace — and every Span opened on it — is a no-op
+/// that never reads the clock and never allocates, which is what keeps
+/// the disabled-tracing hot path at zero overhead and zero allocations.
+///
+/// With SetSpanSink() attached, each Span additionally emits one
+/// distributed-tracing SpanRecord (obs/trace.h) per phase occurrence,
+/// parented under the enclosing engine-round span — the histograms stay
+/// aggregate while the sampled trace gets the per-occurrence timeline.
 class QueryTrace {
  public:
   explicit QueryTrace(const PhaseHistograms* phases) : phases_(phases) {}
@@ -50,7 +56,16 @@ class QueryTrace {
     }
   }
 
-  bool enabled() const { return phases_ != nullptr; }
+  bool enabled() const { return phases_ != nullptr || tracer_ != nullptr; }
+
+  /// Routes each phase occurrence to `tracer` as a span under `parent`.
+  /// Only call with an active (sampled) parent context.
+  void SetSpanSink(Tracer* tracer, const TraceContext& parent,
+                   int32_t shard) {
+    tracer_ = tracer;
+    parent_ = parent;
+    shard_ = shard;
+  }
 
   /// Adds `ns` to the phase's running total; phases re-entered several
   /// times in a round (e.g. the two disk reads) aggregate into one
@@ -59,9 +74,36 @@ class QueryTrace {
     elapsed_ns_[static_cast<size_t>(phase)] += ns;
   }
 
+  /// Span completion: aggregates into the phase histogram and, with a
+  /// sink attached, records one trace span for this occurrence.
+  void OnSpanEnd(Phase phase, std::chrono::steady_clock::time_point start,
+                 std::chrono::steady_clock::time_point end) {
+    const uint64_t ns = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(end - start)
+            .count());
+    Add(phase, ns);
+    if (tracer_ != nullptr) {
+      SpanRecord record;
+      record.trace_id = parent_.trace_id;
+      record.span_id = tracer_->NewSpanId();
+      record.parent_span_id = parent_.span_id;
+      record.name = PhaseName(phase);
+      record.start_ns = static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              start.time_since_epoch())
+              .count());
+      record.duration_ns = ns;
+      record.shard = shard_;
+      tracer_->Record(record);
+    }
+  }
+
  private:
   const PhaseHistograms* phases_;
   std::array<uint64_t, kNumPhases> elapsed_ns_{};
+  Tracer* tracer_ = nullptr;
+  TraceContext parent_;
+  int32_t shard_ = -1;
 };
 
 /// RAII phase timer on a QueryTrace. Disabled traces make this a no-op.
@@ -79,11 +121,7 @@ class Span {
 
   ~Span() {
     if (trace_ != nullptr) {
-      const auto elapsed = std::chrono::steady_clock::now() - start_;
-      trace_->Add(phase_, static_cast<uint64_t>(
-                              std::chrono::duration_cast<
-                                  std::chrono::nanoseconds>(elapsed)
-                                  .count()));
+      trace_->OnSpanEnd(phase_, start_, std::chrono::steady_clock::now());
     }
   }
 

@@ -1,0 +1,198 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "obs/export.h"
+
+namespace shpir::obs {
+
+namespace {
+
+constexpr uint8_t kFlagSampled = 0x01;
+
+/// splitmix64: a fixed, well-mixed id stream. Trace/span ids name
+/// public spans and carry no secret material, so a deterministic
+/// non-cryptographic generator is deliberate — it keeps the sampler
+/// test-reproducible and the hot path free of crypto.
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+void TraceContext::EncodeTo(Bytes& out) const {
+  const size_t base = out.size();
+  out.resize(base + kWireSize);
+  StoreLE64(trace_id, out.data() + base);
+  StoreLE64(span_id, out.data() + base + 8);
+  out[base + 16] = sampled ? kFlagSampled : 0;
+}
+
+Bytes TraceContext::Encode() const {
+  Bytes out;
+  EncodeTo(out);
+  return out;
+}
+
+Result<TraceContext> TraceContext::Decode(ByteSpan bytes) {
+  if (bytes.size() < kWireSize) {
+    return DataLossError("truncated trace context");
+  }
+  TraceContext ctx;
+  ctx.trace_id = LoadLE64(bytes.data());
+  ctx.span_id = LoadLE64(bytes.data() + 8);
+  const uint8_t flags = bytes[16];
+  if ((flags & ~kFlagSampled) != 0) {
+    return InvalidArgumentError("unknown trace context flags");
+  }
+  ctx.sampled = (flags & kFlagSampled) != 0;
+  if (ctx.trace_id == 0) {
+    return InvalidArgumentError("zero trace id");
+  }
+  return ctx;
+}
+
+Tracer::Tracer(const Options& options)
+    : options_(options),
+      lane_capacity_(std::max<size_t>(
+          1, (options.buffer_capacity == 0 ? 4096 : options.buffer_capacity) /
+                 std::max<size_t>(1, options.buffer_lanes))),
+      lanes_(std::max<size_t>(1, options.buffer_lanes)),
+      id_state_(options.seed != 0 ? options.seed
+                                  : NowNs() ^ 0x5851f42d4c957f2dULL) {
+  for (Lane& lane : lanes_) {
+    common::MutexLock lock(lane.mutex);
+    lane.ring.resize(lane_capacity_);
+  }
+}
+
+uint64_t Tracer::NewSpanId() {
+  uint64_t id =
+      SplitMix64(id_state_.fetch_add(1, std::memory_order_relaxed));
+  if (id == 0) {
+    id = 1;  // 0 is the "no trace / no parent" sentinel.
+  }
+  return id;
+}
+
+TraceContext Tracer::StartTrace() {
+  started_.fetch_add(1, std::memory_order_relaxed);
+  TraceContext ctx;
+  ctx.trace_id = NewSpanId();
+  ctx.span_id = NewSpanId();
+  const uint64_t every = options_.sample_every;
+  bool sample =
+      every != 0 &&
+      sample_counter_.fetch_add(1, std::memory_order_relaxed) % every == 0;
+  if (sample && options_.max_sampled_per_sec > 0) {
+    // Token bucket over steady-clock seconds: a sampled head beyond the
+    // budget is demoted to unsampled (its whole tree stays silent).
+    const uint64_t now = NowNs();
+    common::MutexLock lock(rate_mutex_);
+    if (now - rate_window_start_ns_ >= 1000000000ULL) {
+      rate_window_start_ns_ = now;
+      rate_window_count_ = 0;
+    }
+    if (rate_window_count_ >= options_.max_sampled_per_sec) {
+      sample = false;
+    } else {
+      ++rate_window_count_;
+    }
+  }
+  ctx.sampled = sample;
+  if (sample) {
+    sampled_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return ctx;
+}
+
+void Tracer::Record(const SpanRecord& record) {
+  Lane& lane = lanes_[record.span_id % lanes_.size()];
+  bool overwrote = false;
+  {
+    common::MutexLock lock(lane.mutex);
+    lane.ring[lane.next] = record;
+    lane.next = (lane.next + 1) % lane_capacity_;
+    if (lane.count < lane_capacity_) {
+      ++lane.count;
+    } else {
+      overwrote = true;
+    }
+  }
+  recorded_.fetch_add(1, std::memory_order_relaxed);
+  if (overwrote) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+std::vector<SpanRecord> Tracer::Snapshot() const {
+  std::vector<SpanRecord> out;
+  out.reserve(lanes_.size() * lane_capacity_);
+  for (const Lane& lane : lanes_) {
+    common::MutexLock lock(lane.mutex);
+    // Oldest-first within the lane: the ring's logical start is `next`
+    // once it has wrapped, 0 before.
+    const size_t start = lane.count == lane_capacity_ ? lane.next : 0;
+    for (size_t i = 0; i < lane.count; ++i) {
+      out.push_back(lane.ring[(start + i) % lane_capacity_]);
+    }
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const SpanRecord& a, const SpanRecord& b) {
+                     return a.start_ns < b.start_ns;
+                   });
+  return out;
+}
+
+void Tracer::Clear() {
+  for (Lane& lane : lanes_) {
+    common::MutexLock lock(lane.mutex);
+    lane.next = 0;
+    lane.count = 0;
+  }
+}
+
+uint64_t Tracer::NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::string ToChromeTraceJson(const std::vector<SpanRecord>& spans) {
+  // Complete ("X") events, ts/dur in microseconds as doubles. Shards
+  // map to tids (shard s -> tid s+2; non-shard spans on tid 1) so the
+  // per-shard fan-out renders as parallel tracks under one process.
+  std::string out = "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+  char buf[512];
+  bool first = true;
+  for (const SpanRecord& span : spans) {
+    if (!first) {
+      out += ",";
+    }
+    first = false;
+    const int64_t tid = span.shard >= 0 ? span.shard + 2 : 1;
+    std::snprintf(
+        buf, sizeof(buf),
+        "{\"name\":\"%s\",\"cat\":\"shpir\",\"ph\":\"X\",\"ts\":%.3f,"
+        "\"dur\":%.3f,\"pid\":1,\"tid\":%lld,\"args\":{"
+        "\"trace_id\":\"%016llx\",\"span_id\":\"%016llx\","
+        "\"parent_span_id\":\"%016llx\",\"shard\":%d}}",
+        EscapeJsonString(span.name).c_str(),
+        static_cast<double>(span.start_ns) / 1000.0,
+        static_cast<double>(span.duration_ns) / 1000.0,
+        static_cast<long long>(tid),
+        static_cast<unsigned long long>(span.trace_id),
+        static_cast<unsigned long long>(span.span_id),
+        static_cast<unsigned long long>(span.parent_span_id), span.shard);
+    out += buf;
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace shpir::obs

@@ -29,10 +29,12 @@ Status Dispatcher::Submit(size_t queue, Job job,
     if (queues_[queue].size() >= queue_depth_) {
       if (metered()) {
         instruments_.rejections->Increment();
+        RecordRejectedWaitLocked(queues_[queue]);
       }
       return ResourceExhaustedError("shard queue full");
     }
-    queues_[queue].push_back({std::move(job), deadline});
+    queues_[queue].push_back(
+        {std::move(job), deadline, std::chrono::steady_clock::now()});
     UpdateDepthGauge();
   }
   ready_[queue].NotifyOne();
@@ -53,12 +55,14 @@ Status Dispatcher::SubmitAll(std::vector<Job> jobs,
       if (queue.size() >= queue_depth_) {
         if (metered()) {
           instruments_.rejections->Increment();
+          RecordRejectedWaitLocked(queue);
         }
         return ResourceExhaustedError("shard queue full");
       }
     }
+    const auto enqueue = std::chrono::steady_clock::now();
     for (size_t i = 0; i < jobs.size(); ++i) {
-      queues_[i].push_back({std::move(jobs[i]), deadline});
+      queues_[i].push_back({std::move(jobs[i]), deadline, enqueue});
     }
     UpdateDepthGauge();
   }
@@ -81,14 +85,25 @@ void Dispatcher::WorkerLoop(size_t queue) {
     queues_[queue].pop_front();
     ++in_flight_;
     UpdateDepthGauge();
-    // Snapshot the instrument pointer while the lock is held; the job
+    // Snapshot the instrument pointers while the lock is held; the job
     // itself runs unlocked.
     obs::Counter* const expirations =
         metered() ? instruments_.expirations : nullptr;
+    obs::Histogram* const queue_wait =
+        metered() ? instruments_.queue_wait_ns : nullptr;
     lock.Unlock();
+    const auto now = std::chrono::steady_clock::now();
+    if (queue_wait != nullptr) {
+      // Recorded for expired jobs too: an expired request waited, and
+      // hiding its wait would bias the histogram low exactly when the
+      // system is overloaded.
+      queue_wait->Record(static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              now - entry.enqueue)
+              .count()));
+    }
     Status admission = OkStatus();
-    if (entry.deadline != kNoDeadline &&
-        std::chrono::steady_clock::now() > entry.deadline) {
+    if (entry.deadline != kNoDeadline && now > entry.deadline) {
       admission = DeadlineExceededError("request expired in shard queue");
       if (expirations != nullptr) {
         expirations->Increment();
@@ -155,8 +170,20 @@ void Dispatcher::EnableMetrics(obs::MetricsRegistry* registry) {
       registry->FindOrCreateCounter("shpir_shard_admission_rejections_total");
   instruments_.expirations =
       registry->FindOrCreateCounter("shpir_shard_deadline_expirations_total");
+  instruments_.queue_wait_ns =
+      registry->FindOrCreateHistogram("shpir_shard_queue_wait_ns");
   instruments_.capacity->Set(static_cast<double>(queue_depth_));
   instruments_.depth->Set(0.0);
+}
+
+void Dispatcher::RecordRejectedWaitLocked(const std::deque<Entry>& queue) {
+  if (instruments_.queue_wait_ns == nullptr || queue.empty()) {
+    return;
+  }
+  instruments_.queue_wait_ns->Record(static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - queue.front().enqueue)
+          .count()));
 }
 
 void Dispatcher::UpdateDepthGauge() {

@@ -78,14 +78,20 @@ class Dispatcher {
   /// Registers the dispatcher's aggregate instruments in `registry`
   /// (unowned; must outlive the dispatcher): total queued jobs across
   /// all queues (gauge), configured capacity (gauge), admission
-  /// rejections and deadline expirations (counters). Aggregates only —
-  /// no per-request data (docs/OBSERVABILITY.md).
+  /// rejections and deadline expirations (counters), and the queue-wait
+  /// histogram (shpir_shard_queue_wait_ns). The histogram covers EVERY
+  /// fate a request can meet: jobs that ran, jobs that expired in the
+  /// queue, and — as the age of the oldest entry in the full queue, a
+  /// lower bound on the wait a rejected request observed — admission
+  /// rejections, so overload does not silently censor the latency tail.
+  /// Aggregates only — no per-request data (docs/OBSERVABILITY.md).
   void EnableMetrics(obs::MetricsRegistry* registry);
 
  private:
   struct Entry {
     Job job;
     std::chrono::steady_clock::time_point deadline;
+    std::chrono::steady_clock::time_point enqueue;
   };
 
   void WorkerLoop(size_t queue);
@@ -109,7 +115,12 @@ class Dispatcher {
     obs::Gauge* capacity = nullptr;
     obs::Counter* rejections = nullptr;
     obs::Counter* expirations = nullptr;
+    obs::Histogram* queue_wait_ns = nullptr;
   };
+  /// Records the age of the oldest entry of the (full) queue into the
+  /// wait histogram — the lower bound on the rejected request's wait.
+  void RecordRejectedWaitLocked(const std::deque<Entry>& queue)
+      REQUIRES(mutex_);
   /// The instrument pointers are re-pointed by EnableMetrics, which can
   /// race the workers: reads outside the lock must copy under it first.
   Instruments instruments_ GUARDED_BY(mutex_);

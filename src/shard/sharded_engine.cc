@@ -67,6 +67,10 @@ Result<std::unique_ptr<ShardedPirEngine>> ShardedPirEngine::Create(
           shard->disk.get(), shard->trace.get());
       target = shard->traced_disk.get();
     }
+    // Always in the stack: a pure pass-through until EnableTracing
+    // attaches a collector.
+    shard->span_disk = std::make_unique<storage::SpanDisk>(target);
+    target = shard->span_disk.get();
     SHPIR_ASSIGN_OR_RETURN(
         shard->device,
         hardware::SecureCoprocessor::Create(
@@ -105,16 +109,25 @@ Status ShardedPirEngine::Initialize(const std::vector<storage::Page>& pages) {
 }
 
 Result<Bytes> ShardedPirEngine::Retrieve(storage::PageId id) {
-  return FanOut(id,
-                [](core::CApproxPir* engine, storage::PageId local) {
-                  return engine->Retrieve(local);
+  return TracedRetrieve(id, obs::TraceContext{});
+}
+
+Result<Bytes> ShardedPirEngine::TracedRetrieve(storage::PageId id,
+                                               const obs::TraceContext& ctx) {
+  return FanOut(id, ctx,
+                [](core::CApproxPir* engine, storage::PageId local,
+                   const obs::TraceContext& qctx) {
+                  return engine->TracedRetrieve(local, qctx);
                 });
 }
 
 Status ShardedPirEngine::Modify(storage::PageId id, Bytes data) {
   Result<Bytes> result = FanOut(
-      id, [data = std::move(data)](core::CApproxPir* engine,
-                                   storage::PageId local) -> Result<Bytes> {
+      id, obs::TraceContext{},
+      [data = std::move(data)](
+          core::CApproxPir* engine, storage::PageId local,
+          const obs::TraceContext& qctx) -> Result<Bytes> {
+        (void)qctx;
         SHPIR_RETURN_IF_ERROR(engine->Modify(local, data));
         return Bytes();
       });
@@ -123,8 +136,10 @@ Status ShardedPirEngine::Modify(storage::PageId id, Bytes data) {
 
 Status ShardedPirEngine::Remove(storage::PageId id) {
   Result<Bytes> result = FanOut(
-      id, [](core::CApproxPir* engine,
-             storage::PageId local) -> Result<Bytes> {
+      id, obs::TraceContext{},
+      [](core::CApproxPir* engine, storage::PageId local,
+         const obs::TraceContext& qctx) -> Result<Bytes> {
+        (void)qctx;
         SHPIR_RETURN_IF_ERROR(engine->Remove(local));
         return Bytes();
       });
@@ -132,13 +147,23 @@ Status ShardedPirEngine::Remove(storage::PageId id) {
 }
 
 Result<Bytes> ShardedPirEngine::FanOut(
-    storage::PageId id,
-    std::function<Result<Bytes>(core::CApproxPir*, storage::PageId)> real) {
+    storage::PageId id, const obs::TraceContext& ctx,
+    std::function<Result<Bytes>(core::CApproxPir*, storage::PageId,
+                                const obs::TraceContext&)>
+        real) {
   if (id >= plan_.total_pages()) {
     return NotFoundError("page id out of range");
   }
   const uint64_t owner = plan_.OwnerOf(id);
   const storage::PageId local = plan_.LocalId(id);
+
+  // Span covering the whole fan-out (inert without an active context).
+  // Its context is copied into every shard job by value: the jobs may
+  // outlive nothing here — the join below blocks — but copying keeps
+  // the capture self-contained.
+  obs::TraceSpan fan_span(tracer_, ctx, "shard_fanout");
+  const obs::TraceContext fan_ctx = fan_span.context();
+  const uint64_t submit_ns = fan_ctx.active() ? obs::Tracer::NowNs() : 0;
 
   // The caller blocks on `join` until the owner shard's worker fulfills
   // it, so stack storage is safe: no job referencing it can outlive this
@@ -159,24 +184,38 @@ Result<Bytes> ShardedPirEngine::FanOut(
     if (s == owner) {
       continue;
     }
-    jobs[s] = [this, s](const Status& admission) {
+    jobs[s] = [this, s, fan_ctx, submit_ns](const Status& admission) {
+      // The wait span is recorded even for expired admissions: the
+      // request *did* wait, and that wait is the interesting part.
+      RecordShardQueueWait(fan_ctx, submit_ns, static_cast<int32_t>(s));
       if (admission.ok()) {
-        RunDummy(s);
+        RunDummy(s, fan_ctx);
       }
     };
   }
-  jobs[owner] = [this, owner, local, &join, &real](const Status& admission) {
-    Result<Bytes> outcome = admission.ok()
-                                ? [&]() -> Result<Bytes> {
-                                    Shard* shard = shards_[owner].get();
-                                    if (observer_) {
-                                      observer_(owner, shard->requests_served,
-                                                local, /*dummy=*/false);
-                                    }
-                                    ++shard->requests_served;
-                                    return real(shard->engine.get(), local);
-                                  }()
-                                : Result<Bytes>(admission);
+  jobs[owner] = [this, owner, local, fan_ctx, submit_ns, &join,
+                 &real](const Status& admission) {
+    RecordShardQueueWait(fan_ctx, submit_ns, static_cast<int32_t>(owner));
+    Result<Bytes> outcome =
+        admission.ok()
+            ? [&]() -> Result<Bytes> {
+                Shard* shard = shards_[owner].get();
+                // Same span name as the covers: real-vs-dummy must stay
+                // invisible in the trace (it would name the owner).
+                obs::TraceSpan query_span(tracer_, fan_ctx, "shard_query",
+                                          static_cast<int32_t>(owner));
+                shard->span_disk->set_context(query_span.context());
+                if (observer_) {
+                  observer_(owner, shard->requests_served, local,
+                            /*dummy=*/false);
+                }
+                ++shard->requests_served;
+                Result<Bytes> r =
+                    real(shard->engine.get(), local, query_span.context());
+                shard->span_disk->clear_context();
+                return r;
+              }()
+            : Result<Bytes>(admission);
     {
       common::MutexLock lock(join.mutex);
       join.result = std::move(outcome);
@@ -202,10 +241,15 @@ Result<Bytes> ShardedPirEngine::FanOut(
   return *std::move(join.result);
 }
 
-void ShardedPirEngine::RunDummy(uint64_t shard_index) {
+void ShardedPirEngine::RunDummy(uint64_t shard_index,
+                                const obs::TraceContext& fan_ctx) {
   Shard* shard = shards_[shard_index].get();
   const storage::PageId local =
       shard->dummy_rng.UniformInt(plan_.spec(shard_index).num_pages);
+  // Identical span name to the real query (see FanOut).
+  obs::TraceSpan query_span(tracer_, fan_ctx, "shard_query",
+                            static_cast<int32_t>(shard_index));
+  shard->span_disk->set_context(query_span.context());
   if (observer_) {
     observer_(shard_index, shard->requests_served, local, /*dummy=*/true);
   }
@@ -213,11 +257,60 @@ void ShardedPirEngine::RunDummy(uint64_t shard_index) {
   if (metered()) {
     instruments_.dummy_queries->Increment();
   }
-  const Result<Bytes> discarded = shard->engine->Retrieve(local);
+  const Result<Bytes> discarded =
+      shard->engine->TracedRetrieve(local, query_span.context());
+  shard->span_disk->clear_context();
   if (!discarded.ok() && metered()) {
     // A dummy can hit a Removed id; the round still ran, the payload is
     // discarded either way.
     instruments_.dummy_failures->Increment();
+  }
+}
+
+void ShardedPirEngine::RecordShardQueueWait(const obs::TraceContext& fan_ctx,
+                                            uint64_t submit_ns,
+                                            int32_t shard) {
+  if (tracer_ == nullptr || !fan_ctx.active()) {
+    return;
+  }
+  obs::SpanRecord wait;
+  wait.trace_id = fan_ctx.trace_id;
+  wait.span_id = tracer_->NewSpanId();
+  wait.parent_span_id = fan_ctx.span_id;
+  wait.name = "queue_wait";
+  wait.start_ns = submit_ns;
+  const uint64_t now = obs::Tracer::NowNs();
+  wait.duration_ns = now > submit_ns ? now - submit_ns : 0;
+  wait.shard = shard;
+  tracer_->Record(wait);
+}
+
+void ShardedPirEngine::EnableTracing(obs::Tracer* tracer) {
+  tracer_ = tracer;
+  for (uint64_t i = 0; i < shards_.size(); ++i) {
+    shards_[i]->engine->EnableTracing(tracer, static_cast<int32_t>(i));
+    shards_[i]->span_disk->set_tracer(tracer, static_cast<int32_t>(i));
+  }
+}
+
+void ShardedPirEngine::EnablePrivacyMonitor(obs::MetricsRegistry* registry,
+                                            uint64_t window) {
+  for (auto& shard : shards_) {
+    obs::PrivacyMonitor::Options mopts;
+    mopts.scan_period = shard->engine->scan_period();
+    mopts.window = window;
+    mopts.configured_c = shard->engine->achieved_privacy();
+    shard->monitor = std::make_unique<obs::PrivacyMonitor>(mopts);
+    shard->monitor->EnableMetrics(registry);
+    shard->engine->AttachPrivacyMonitor(shard->monitor.get());
+  }
+}
+
+void ShardedPirEngine::PublishPrivacyEstimates() {
+  for (auto& shard : shards_) {
+    if (shard->monitor != nullptr) {
+      shard->monitor->PublishNow();
+    }
   }
 }
 

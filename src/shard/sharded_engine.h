@@ -14,10 +14,13 @@
 #include "hardware/coprocessor.h"
 #include "hardware/profile.h"
 #include "obs/metrics.h"
+#include "obs/privacy_monitor.h"
+#include "obs/trace.h"
 #include "shard/dispatcher.h"
 #include "shard/shard_plan.h"
 #include "storage/access_trace.h"
 #include "storage/disk.h"
+#include "storage/span_disk.h"
 
 namespace shpir::shard {
 
@@ -92,6 +95,15 @@ class ShardedPirEngine : public core::PirEngine {
   /// DeadlineExceeded when the real query expired in its queue.
   Result<Bytes> Retrieve(storage::PageId id) override;
 
+  /// Retrieve under a distributed-tracing context: with tracing enabled
+  /// (EnableTracing) and an active `ctx`, the fan-out emits a
+  /// "shard_fanout" span whose children are, per shard, a retroactive
+  /// "queue_wait" span and a "shard_query" span — identical in name for
+  /// the real and cover queries, because distinguishing them would
+  /// reveal the owning shard and thereby bits of the page id.
+  Result<Bytes> TracedRetrieve(storage::PageId id,
+                               const obs::TraceContext& ctx) override;
+
   /// §4.3 update, fanned out like Retrieve (dummies on other shards).
   Status Modify(storage::PageId id, Bytes data) override;
   Status Remove(storage::PageId id) override;
@@ -144,13 +156,40 @@ class ShardedPirEngine : public core::PirEngine {
   /// (let alone per-request) breakdown leaves the trust boundary.
   void EnableMetrics(obs::MetricsRegistry* registry);
 
+  /// Attaches a span collector (unowned; must outlive the engine, pass
+  /// nullptr to detach) to the fan-out path, every shard engine and
+  /// every shard disk: sampled queries entered via TracedRetrieve then
+  /// produce the full span tree down to per-shard disk I/O.
+  void EnableTracing(obs::Tracer* tracer);
+
+  /// Creates one online PrivacyMonitor per shard (scan period and
+  /// configured c taken from that shard's engine) and attaches the
+  /// monitors' aggregate instruments to `registry` (may be null: the
+  /// monitors still run, for Estimate()/breaches() polling). The shared
+  /// gauge tracks the most recently refreshed shard; the counters
+  /// aggregate fleet-wide. `window` is the per-shard sliding window in
+  /// relocations.
+  void EnablePrivacyMonitor(obs::MetricsRegistry* registry,
+                            uint64_t window = 1 << 16);
+
+  /// Forces every shard monitor to refresh its gauge and breach check
+  /// now (deterministic reads before a snapshot).
+  void PublishPrivacyEstimates();
+
+  /// Null until EnablePrivacyMonitor.
+  obs::PrivacyMonitor* shard_monitor(uint64_t shard) {
+    return shards_[shard]->monitor.get();
+  }
+
  private:
   /// One shard's stack, in destruction-order-sensitive member order.
   struct Shard {
     std::unique_ptr<storage::MemoryDisk> disk;
     std::unique_ptr<storage::AccessTrace> trace;        // Optional.
     std::unique_ptr<storage::TracingDisk> traced_disk;  // Optional.
+    std::unique_ptr<storage::SpanDisk> span_disk;
     std::unique_ptr<hardware::SecureCoprocessor> device;
+    std::unique_ptr<obs::PrivacyMonitor> monitor;  // Optional; pre-engine.
     std::unique_ptr<core::CApproxPir> engine;
     /// Touched only by this shard's worker thread.
     crypto::SecureRandom dummy_rng;
@@ -162,14 +201,24 @@ class ShardedPirEngine : public core::PirEngine {
   ShardedPirEngine(ShardPlan plan, size_t page_size, Options options);
 
   /// Shared fan-out body for Retrieve/Modify/Remove. `real` runs on the
-  /// owner shard's worker with the local id; its Status/payload is
-  /// joined on. Dummies run everywhere else.
+  /// owner shard's worker with the local id and that shard's
+  /// "shard_query" span context; its Status/payload is joined on.
+  /// Dummies run everywhere else. `ctx` parents the fan-out spans
+  /// (inactive context = no tracing).
   Result<Bytes> FanOut(
-      storage::PageId id,
-      std::function<Result<Bytes>(core::CApproxPir*, storage::PageId)> real);
+      storage::PageId id, const obs::TraceContext& ctx,
+      std::function<Result<Bytes>(core::CApproxPir*, storage::PageId,
+                                  const obs::TraceContext&)>
+          real);
 
-  /// Runs one dummy query on shard `shard` (worker thread).
-  void RunDummy(uint64_t shard);
+  /// Runs one dummy query on shard `shard` (worker thread), with its
+  /// spans parented under `fan_ctx`.
+  void RunDummy(uint64_t shard, const obs::TraceContext& fan_ctx);
+
+  /// Records the retroactive per-shard "queue_wait" span (submission to
+  /// worker pickup). No-op without an active context.
+  void RecordShardQueueWait(const obs::TraceContext& fan_ctx,
+                            uint64_t submit_ns, int32_t shard);
 
   bool metered() const { return instruments_.logical_queries != nullptr; }
 
@@ -178,6 +227,7 @@ class ShardedPirEngine : public core::PirEngine {
   Options options_;
   std::vector<std::unique_ptr<Shard>> shards_;
   ShardQueryObserver observer_;
+  obs::Tracer* tracer_ = nullptr;
 
   struct Instruments {
     obs::Counter* logical_queries = nullptr;

@@ -1,0 +1,72 @@
+#ifndef SHPIR_STORAGE_SPAN_DISK_H_
+#define SHPIR_STORAGE_SPAN_DISK_H_
+
+#include "obs/trace.h"
+#include "storage/disk.h"
+
+namespace shpir::storage {
+
+/// Disk decorator emitting one distributed-tracing span per I/O batch
+/// ("disk_read" / "disk_write", obs/trace.h) when a sampled trace
+/// context is attached. Like MeteredDisk it lives outside the trusted
+/// boundary and observes only what the untrusted server already sees —
+/// operation type, batch size and timing — never slot indices in the
+/// span payload.
+///
+/// Context handling: set_context() attaches the current query's context
+/// before the engine round and clear_context() detaches it after. The
+/// decorator is NOT internally synchronized — it relies on the caller
+/// serializing queries per disk, which CApproxPir (single logical
+/// thread per engine, enforced upstream by ThreadSafePirEngine or the
+/// shard dispatcher's per-shard serialization) already guarantees.
+class SpanDisk : public Disk {
+ public:
+  /// `inner` is unowned and must outlive the decorator.
+  explicit SpanDisk(Disk* inner) : inner_(inner) {}
+
+  /// Attaches the span sink; `shard` labels the emitted spans (-1 when
+  /// not shard-specific). Null detaches.
+  void set_tracer(obs::Tracer* tracer, int32_t shard = -1) {
+    tracer_ = tracer;
+    shard_ = shard;
+  }
+
+  /// Parents subsequent I/O spans under `ctx` (no-op spans unless the
+  /// context is active AND a tracer is attached).
+  void set_context(const obs::TraceContext& ctx) { ctx_ = ctx; }
+  void clear_context() { ctx_ = obs::TraceContext{}; }
+
+  uint64_t num_slots() const override { return inner_->num_slots(); }
+  size_t slot_size() const override { return inner_->slot_size(); }
+
+  Status Read(Location loc, MutableByteSpan out) override {
+    obs::TraceSpan span(tracer_, ctx_, "disk_read", shard_);
+    return inner_->Read(loc, out);
+  }
+
+  Status Write(Location loc, ByteSpan data) override {
+    obs::TraceSpan span(tracer_, ctx_, "disk_write", shard_);
+    return inner_->Write(loc, data);
+  }
+
+  Status ReadRun(Location start, uint64_t count,
+                 std::vector<Bytes>& out) override {
+    obs::TraceSpan span(tracer_, ctx_, "disk_read", shard_);
+    return inner_->ReadRun(start, count, out);
+  }
+
+  Status WriteRun(Location start, const std::vector<Bytes>& slots) override {
+    obs::TraceSpan span(tracer_, ctx_, "disk_write", shard_);
+    return inner_->WriteRun(start, slots);
+  }
+
+ private:
+  Disk* inner_;
+  obs::Tracer* tracer_ = nullptr;
+  int32_t shard_ = -1;
+  obs::TraceContext ctx_;
+};
+
+}  // namespace shpir::storage
+
+#endif  // SHPIR_STORAGE_SPAN_DISK_H_

@@ -154,6 +154,61 @@ TEST(DispatcherTest, ExpiredJobsAreInvokedWithDeadlineExceeded) {
   EXPECT_EQ(ok.load(), 0);
 }
 
+TEST(DispatcherTest, QueueWaitHistogramCoversEveryRequestFate) {
+  obs::MetricsRegistry registry;
+  Dispatcher dispatcher(MakeOptions(1, 2));
+  dispatcher.EnableMetrics(&registry);
+  // Park the worker in a blocker so subsequent jobs queue up.
+  std::atomic<bool> release{false};
+  std::atomic<bool> started{false};
+  ASSERT_TRUE(dispatcher
+                  .Submit(0,
+                          [&](const Status&) {
+                            started.store(true);
+                            while (!release.load()) {
+                              std::this_thread::yield();
+                            }
+                          })
+                  .ok());
+  while (!started.load()) {
+    std::this_thread::yield();
+  }
+  // One job that will expire in the queue, one that will run, one that
+  // is rejected outright (depth 2 is full) — ALL THREE must land in the
+  // wait histogram, or overload would censor the latency tail.
+  ASSERT_TRUE(dispatcher
+                  .Submit(0, [](const Status&) {},
+                          std::chrono::steady_clock::now() -
+                              std::chrono::milliseconds(1))
+                  .ok());
+  ASSERT_TRUE(dispatcher.Submit(0, [](const Status&) {}).ok());
+  const Status rejected = dispatcher.Submit(0, [](const Status&) {});
+  ASSERT_EQ(rejected.code(), StatusCode::kResourceExhausted);
+  release.store(true);
+  dispatcher.WaitIdle();
+
+  const obs::MetricsSnapshot snapshot = registry.Snapshot();
+  uint64_t waits = 0;
+  for (const auto& histogram : snapshot.histograms) {
+    if (histogram.name == "shpir_shard_queue_wait_ns") {
+      waits = histogram.count;
+    }
+  }
+  // Blocker + expired + ran + rejected.
+  EXPECT_EQ(waits, 4u);
+  uint64_t expirations = 0, rejections = 0;
+  for (const auto& counter : snapshot.counters) {
+    if (counter.name == "shpir_shard_deadline_expirations_total") {
+      expirations = counter.value;
+    }
+    if (counter.name == "shpir_shard_admission_rejections_total") {
+      rejections = counter.value;
+    }
+  }
+  EXPECT_EQ(expirations, 1u);
+  EXPECT_EQ(rejections, 1u);
+}
+
 TEST(DispatcherTest, DrainRunsQueuedJobsThenRejectsNewOnes) {
   Dispatcher dispatcher(MakeOptions(2, 16));
   std::atomic<int> ran{0};

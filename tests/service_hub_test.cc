@@ -275,7 +275,7 @@ TEST(ServiceHubTest, StatsPayloadStaysInsideTrustBoundary) {
 
   const std::vector<std::string> allowed_prefixes = {
       "shpir_engine_", "shpir_hw_",       "shpir_net_",  "shpir_disk_",
-      "shpir_provider_", "shpir_tcp_", "shpir_shard_"};
+      "shpir_provider_", "shpir_tcp_", "shpir_shard_", "shpir_privacy_"};
   const std::vector<std::string> forbidden = {"page_id", "request_index",
                                               "client_id"};
   std::vector<std::string> names;

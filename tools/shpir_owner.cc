@@ -14,6 +14,10 @@
 // common flags: --host H (default 127.0.0.1) --port P
 //               --state FILE (default shpir_owner.state)
 //               --passphrase PASS (default "shpir")
+//               --trace-sample N (head-sample 1-in-N commands; 0 = off)
+//               --trace-out FILE (dump the owner-side spans as Chrome
+//                 trace JSON after the command; provider-side spans are
+//                 fetched separately with shpir_trace)
 //
 // Example session:
 //   slots=$(...)                         # printed by `init`
@@ -44,6 +48,7 @@
 #include "net/tcp_transport.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace {
 
@@ -109,6 +114,7 @@ struct Session {
   std::unique_ptr<net::TcpTransport> transport;
   std::unique_ptr<net::RemoteDisk> disk;
   std::unique_ptr<hardware::SecureCoprocessor> cpu;
+  std::unique_ptr<obs::Tracer> tracer;  // Null unless --trace-sample.
   std::unique_ptr<core::CApproxPir> engine;
   core::CApproxPir::Options options;
   crypto::BlobCipher cipher;
@@ -174,6 +180,14 @@ Result<std::unique_ptr<Session>> Connect(
       core::CApproxPir::Create(session->cpu.get(), session->options));
   session->cpu->AttachMetrics(&obs::MetricsRegistry::Global());
   session->engine->EnableMetrics(&obs::MetricsRegistry::Global());
+  const uint64_t trace_sample = flags.GetU64("trace-sample", 0);
+  if (trace_sample > 0) {
+    obs::Tracer::Options trace_options;
+    trace_options.sample_every = trace_sample;
+    session->tracer = std::make_unique<obs::Tracer>(trace_options);
+    session->disk->set_tracer(session->tracer.get());
+    session->engine->EnableTracing(session->tracer.get());
+  }
   return session;
 }
 
@@ -238,15 +252,11 @@ int CmdInit(const Flags& flags) {
   return 0;
 }
 
-int CmdOp(const std::string& command, const Flags& flags) {
-  Result<std::unique_ptr<Session>> session = Resume(flags);
-  if (!session.ok()) {
-    return Fail(session.status());
-  }
-  core::CApproxPir& engine = *(*session)->engine;
-  int rc = 0;
+int RunCommand(const std::string& command, const Flags& flags,
+               Session& session, const obs::TraceContext& ctx) {
+  core::CApproxPir& engine = *session.engine;
   if (command == "get") {
-    Result<Bytes> data = engine.Retrieve(flags.GetU64("id", 0));
+    Result<Bytes> data = engine.TracedRetrieve(flags.GetU64("id", 0), ctx);
     if (!data.ok()) {
       return Fail(data.status());
     }
@@ -294,11 +304,44 @@ int CmdOp(const std::string& command, const Flags& flags) {
     std::fprintf(stderr, "unknown command: %s\n", command.c_str());
     return 2;
   }
+  return 0;
+}
+
+int CmdOp(const std::string& command, const Flags& flags) {
+  Result<std::unique_ptr<Session>> session = Resume(flags);
+  if (!session.ok()) {
+    return Fail(session.status());
+  }
+  int rc;
+  {
+    // The root span covers the whole command; the context rides every
+    // remote disk op to the provider (inert unless sampled).
+    obs::TraceSpan root((*session)->tracer.get(), "client_query");
+    if (root.context().active()) {
+      (*session)->disk->set_trace_context(root.context());
+    }
+    rc = RunCommand(command, flags, **session, root.context());
+    (*session)->disk->clear_trace_context();
+  }
+  if (rc != 0) {
+    return rc;
+  }
   const Status saved = SaveWithMeta(**session);
   if (!saved.ok()) {
     return Fail(saved);
   }
-  return rc;
+  const std::string trace_out = flags.Get("trace-out");
+  if (!trace_out.empty() && (*session)->tracer != nullptr) {
+    const std::string json =
+        obs::ToChromeTraceJson((*session)->tracer->Snapshot());
+    const Status written = WriteFile(
+        trace_out, ByteSpan(reinterpret_cast<const uint8_t*>(json.data()),
+                            json.size()));
+    if (!written.ok()) {
+      return Fail(written);
+    }
+  }
+  return 0;
 }
 
 }  // namespace

@@ -3,9 +3,13 @@
 // only ever sees sealed pages.
 //
 //   shpir_provider <disk-file> <slots> <slot-size> [port]
+//                  [--trace-buffer SPANS]
 //
 // Creates the disk file if it does not exist. Prints the bound port and
-// serves until killed.
+// serves until killed. --trace-buffer enables distributed tracing with
+// a bounded span buffer: requests arriving in a sampled TRACED envelope
+// (an owner run with --trace-sample) record provider-side spans,
+// retrievable with shpir_trace via the TRACE_DUMP op.
 //
 // Hub mode instead runs the full three-party service in-process over
 // the sharded serving runtime (src/shard/): S independent c-approximate
@@ -17,8 +21,11 @@
 //   shpir_provider hub --pages N [--page-size B] [--cache M] [--c C]
 //                      [--shards S] [--queue-depth D] [--deadline-ms T]
 //                      [--port P] [--psk STR] [--seed X]
+//                      [--trace-buffer SPANS]
 //
 // --cache is the per-shard (per-device) cache m; see docs/SHARDING.md.
+// --trace-buffer enables tracing across the hub and every shard; fetch
+// dumps with `shpir_trace hub` (authenticated TRACE_DUMP op).
 
 #include <cstdio>
 #include <cstdlib>
@@ -26,11 +33,13 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "net/service_hub.h"
 #include "net/storage_server.h"
 #include "net/tcp_transport.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "shard/sharded_engine.h"
 #include "storage/file_disk.h"
 #include "storage/metered_disk.h"
@@ -112,8 +121,19 @@ int ServeHub(int argc, char** argv) {
   obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
   (*engine)->EnableMetrics(&metrics);
 
+  // Sampling is decided by clients (head sampling at the root span);
+  // the hub-side tracer only buffers spans for propagated contexts.
+  std::unique_ptr<obs::Tracer> tracer;
+  const uint64_t trace_buffer = flags.GetU64("trace-buffer", 0);
+  if (trace_buffer > 0) {
+    obs::Tracer::Options trace_options;
+    trace_options.buffer_capacity = trace_buffer;
+    tracer = std::make_unique<obs::Tracer>(trace_options);
+    (*engine)->EnableTracing(tracer.get());
+  }
+
   net::ServiceHub hub(engine->get(), std::move(psk), /*rng_seed=*/0,
-                      &metrics);
+                      &metrics, tracer.get());
   Result<std::unique_ptr<net::TcpFrameListener>> listener =
       net::TcpFrameListener::Listen(
           [&hub](ByteSpan frame) { return hub.HandleFrame(frame); }, port);
@@ -137,15 +157,27 @@ int ServeHub(int argc, char** argv) {
 }
 
 int ServeStorage(int argc, char** argv) {
-  if (argc < 4 || argc > 5) {
+  std::vector<std::string> positional;
+  uint64_t trace_buffer = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace-buffer") == 0 && i + 1 < argc) {
+      trace_buffer = std::strtoull(argv[++i], nullptr, 10);
+    } else {
+      positional.emplace_back(argv[i]);
+    }
+  }
+  if (positional.size() < 3 || positional.size() > 4) {
     return 2;
   }
-  const std::string path = argv[1];
-  const uint64_t slots = std::strtoull(argv[2], nullptr, 10);
-  const uint64_t slot_size = std::strtoull(argv[3], nullptr, 10);
+  const std::string path = positional[0];
+  const uint64_t slots = std::strtoull(positional[1].c_str(), nullptr, 10);
+  const uint64_t slot_size =
+      std::strtoull(positional[2].c_str(), nullptr, 10);
   const uint16_t port =
-      argc == 5 ? static_cast<uint16_t>(std::strtoul(argv[4], nullptr, 10))
-                : 0;
+      positional.size() == 4
+          ? static_cast<uint16_t>(
+                std::strtoul(positional[3].c_str(), nullptr, 10))
+          : 0;
   if (slots == 0 || slot_size == 0) {
     std::fprintf(stderr, "error: slots and slot-size must be positive\n");
     return 2;
@@ -171,7 +203,13 @@ int ServeStorage(int argc, char** argv) {
   // client via the kStats wire op and the shpir_stats tool.
   obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
   storage::MeteredDisk metered(disk->get(), &metrics);
-  net::StorageServer server(&metered, &metrics);
+  std::unique_ptr<obs::Tracer> tracer;
+  if (trace_buffer > 0) {
+    obs::Tracer::Options trace_options;
+    trace_options.buffer_capacity = trace_buffer;
+    tracer = std::make_unique<obs::Tracer>(trace_options);
+  }
+  net::StorageServer server(&metered, &metrics, tracer.get());
   Result<std::unique_ptr<net::TcpStorageListener>> listener =
       net::TcpStorageListener::Listen(&server, port);
   if (!listener.ok()) {
@@ -196,9 +234,11 @@ int main(int argc, char** argv) {
     std::fprintf(
         stderr,
         "usage: %s <disk-file> <slots> <slot-size> [port]\n"
+        "          [--trace-buffer SPANS]\n"
         "       %s hub --pages N [--page-size B] [--cache M] [--c C]\n"
         "          [--shards S] [--queue-depth D] [--deadline-ms T]\n"
-        "          [--port P] [--psk STR] [--seed X]\n",
+        "          [--port P] [--psk STR] [--seed X]\n"
+        "          [--trace-buffer SPANS]\n",
         argv[0], argv[0]);
   }
   return code;

@@ -9,7 +9,9 @@
 // Default output is a human-readable table; --json dumps the raw wire
 // payload; --prometheus re-exports it in Prometheus text format (for
 // scraping through a sidecar). --watch re-polls every SECONDS seconds
-// until interrupted.
+// until interrupted; transient poll failures (provider restarting,
+// connection refused) are reported and retried, and the tool only gives
+// up after several consecutive failures.
 
 #include <chrono>
 #include <cstdio>
@@ -98,10 +100,28 @@ int main(int argc, char** argv) {
   if (watch_seconds == 0) {
     return PollOnce(host, port, format);
   }
+  // Watch mode rides out transient failures: a provider mid-restart
+  // should not kill the watcher, but a dead endpoint should not spin
+  // forever either.
+  constexpr int kMaxConsecutiveFailures = 5;
+  int consecutive_failures = 0;
+  bool first = true;
   while (true) {
+    // Separate successive tables; error lines separate themselves.
+    if (!first && consecutive_failures == 0 && format == Format::kTable) {
+      std::printf("---\n");
+      std::fflush(stdout);
+    }
+    first = false;
     const int rc = PollOnce(host, port, format);
     if (rc != 0) {
-      return rc;
+      if (++consecutive_failures >= kMaxConsecutiveFailures) {
+        std::fprintf(stderr, "giving up after %d consecutive failures\n",
+                     consecutive_failures);
+        return rc;
+      }
+    } else {
+      consecutive_failures = 0;
     }
     std::fflush(stdout);
     std::this_thread::sleep_for(std::chrono::seconds(watch_seconds));

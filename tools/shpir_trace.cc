@@ -1,0 +1,160 @@
+// Trace-dump CLI: fetches the buffered distributed-tracing spans from a
+// running shpir endpoint as Chrome trace-event JSON (load the output in
+// Perfetto / chrome://tracing; see docs/OBSERVABILITY.md).
+//
+// Two-party model — polls a shpir_provider's storage server over the
+// plaintext TRACE_DUMP wire op:
+//
+//   shpir_trace [--host H] [--port P] [--out FILE]
+//
+// Three-party model — performs the hub handshake and fetches the dump
+// through the sealed session, so only holders of the pre-shared key can
+// read the (aggregate, public-by-construction) span buffer:
+//
+//   shpir_trace hub [--host H] [--port P] [--psk STR] [--client-id N]
+//                   [--out FILE]
+//
+// Default output is stdout; --out writes the JSON to FILE.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "crypto/secure_random.h"
+#include "net/pir_service.h"
+#include "net/service_hub.h"
+#include "net/tcp_transport.h"
+#include "net/wire.h"
+
+namespace {
+
+using namespace shpir;
+
+struct Flags {
+  std::map<std::string, std::string> values;
+
+  std::string Get(const std::string& key,
+                  const std::string& fallback = "") const {
+    auto it = values.find(key);
+    return it == values.end() ? fallback : it->second;
+  }
+  uint64_t GetU64(const std::string& key, uint64_t fallback) const {
+    auto it = values.find(key);
+    return it == values.end() ? fallback
+                              : std::strtoull(it->second.c_str(), nullptr,
+                                              10);
+  }
+};
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int Emit(const Flags& flags, const Bytes& json) {
+  const std::string out_path = flags.Get("out");
+  if (out_path.empty()) {
+    std::fwrite(json.data(), 1, json.size(), stdout);
+    std::fputc('\n', stdout);
+    return 0;
+  }
+  std::ofstream out(out_path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(json.data()),
+            static_cast<std::streamsize>(json.size()));
+  if (!out) {
+    std::fprintf(stderr, "error: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "wrote %zu bytes to %s\n", json.size(),
+               out_path.c_str());
+  return 0;
+}
+
+/// Two-party model: the provider's trace buffer is served plaintext —
+/// the provider is the untrusted party, so its own spans (request kinds
+/// and timing it already observes) are public by definition.
+int DumpStorage(const Flags& flags) {
+  Result<std::unique_ptr<net::TcpTransport>> transport =
+      net::TcpTransport::Connect(
+          flags.Get("host", "127.0.0.1"),
+          static_cast<uint16_t>(flags.GetU64("port", 9000)));
+  if (!transport.ok()) {
+    return Fail(transport.status());
+  }
+  net::Request request;
+  request.op = net::Op::kTraceDump;
+  Result<Bytes> reply =
+      (*transport)->RoundTrip(net::EncodeRequest(request));
+  if (!reply.ok()) {
+    return Fail(reply.status());
+  }
+  Result<Bytes> payload = net::DecodeResponse(*reply);
+  if (!payload.ok()) {
+    return Fail(payload.status());
+  }
+  return Emit(flags, *payload);
+}
+
+/// Three-party model: handshake with the hub, then fetch the dump
+/// through the sealed session (authenticated TRACE_DUMP op).
+int DumpHub(const Flags& flags) {
+  Result<std::unique_ptr<net::TcpTransport>> transport =
+      net::TcpTransport::Connect(
+          flags.Get("host", "127.0.0.1"),
+          static_cast<uint16_t>(flags.GetU64("port", 9000)));
+  if (!transport.ok()) {
+    return Fail(transport.status());
+  }
+  const std::string psk_text = flags.Get("psk", "shpir");
+  const Bytes psk(psk_text.begin(), psk_text.end());
+  crypto::SecureRandom rng;  // OS entropy.
+  const uint64_t client_id = flags.values.count("client-id")
+                                 ? flags.GetU64("client-id", 0)
+                                 : rng.NextUint64();
+  Bytes nonce(net::SecureSession::kNonceSize);
+  rng.Fill(nonce);
+  Result<Bytes> hello_reply = (*transport)->RoundTrip(
+      net::ServiceHub::MakeHello(client_id, nonce));
+  if (!hello_reply.ok()) {
+    return Fail(hello_reply.status());
+  }
+  Result<net::SecureSession> session = net::ServiceHub::CompleteHandshake(
+      *hello_reply, psk, client_id, nonce);
+  if (!session.ok()) {
+    return Fail(session.status());
+  }
+  net::TcpTransport* wire = transport->get();
+  net::PirServiceClient client(
+      std::move(session).value(), [wire, client_id](ByteSpan record) {
+        return wire->RoundTrip(net::ServiceHub::MakeData(client_id, record));
+      });
+  Result<Bytes> json = client.TraceDump();
+  if (!json.ok()) {
+    return Fail(json.status());
+  }
+  return Emit(flags, *json);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool hub = argc >= 2 && std::strcmp(argv[1], "hub") == 0;
+  Flags flags;
+  for (int i = hub ? 2 : 1; i < argc; i += 2) {
+    if (std::strncmp(argv[i], "--", 2) != 0 || i + 1 >= argc) {
+      std::fprintf(
+          stderr,
+          "usage: %s [--host H] [--port P] [--out FILE]\n"
+          "       %s hub [--host H] [--port P] [--psk STR] "
+          "[--client-id N] [--out FILE]\n",
+          argv[0], argv[0]);
+      return 2;
+    }
+    flags.values[argv[i] + 2] = argv[i + 1];
+  }
+  return hub ? DumpHub(flags) : DumpStorage(flags);
+}
