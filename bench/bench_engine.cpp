@@ -12,9 +12,12 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <vector>
 
 #include "baselines/pyramid_oram.h"
 #include "baselines/wang_pir.h"
+#include "bench/bench_report.h"
 #include "bench/bench_util.h"
 #include "crypto/secure_random.h"
 #include "index/bplus_tree.h"
@@ -205,28 +208,13 @@ BENCHMARK(BM_PrivateIndexLookup)
     ->Arg(0)   // B+-tree.
     ->Arg(1);  // Hash index.
 
-// Timed pass of `queries` retrieves over a fresh rig; returns wall ns/query.
-double TimedRetrievePass(bool instrumented, uint64_t queries,
-                         obs::MetricsRegistry* registry) {
-  core::CApproxPir::Options options;
-  options.num_pages = 4096;
-  options.page_size = 1024;
-  options.cache_pages = 256;
-  options.privacy_c = 2.0;
-  auto rig = bench::MakeEngineRig(options, 42);
-  if (instrumented) {
-    rig->cpu->AttachMetrics(registry);
-    rig->engine->EnableMetrics(registry);
-  }
-  crypto::SecureRandom rng(1);
-  // Warm up caches and the page map before timing.
-  for (int i = 0; i < 64; ++i) {
-    auto data = rig->engine->Retrieve(rng.UniformInt(options.num_pages));
-    benchmark::DoNotOptimize(data);
-  }
+// Timed chunk of `queries` retrieves over an existing rig, drawing
+// page ids from `rng`; returns wall ns/query.
+double TimedRetrieveChunk(bench::EngineRig& rig, uint64_t queries,
+                          crypto::SecureRandom& rng) {
   const auto start = std::chrono::steady_clock::now();
   for (uint64_t i = 0; i < queries; ++i) {
-    auto data = rig->engine->Retrieve(rng.UniformInt(options.num_pages));
+    auto data = rig.engine->Retrieve(rng.UniformInt(4096));
     benchmark::DoNotOptimize(data);
   }
   const auto stop = std::chrono::steady_clock::now();
@@ -238,20 +226,49 @@ double TimedRetrievePass(bool instrumented, uint64_t queries,
 // Writes BENCH_engine.json: throughput and latency quantiles from the
 // engine's own shpir_engine_query_latency_ns histogram, plus the overhead
 // of running instrumented vs. plain.
-void WriteEngineJson(const char* path) {
-  constexpr uint64_t kQueries = 1000;
-  constexpr int kReps = 5;
+void WriteEngineJson(const char* path, uint64_t kQueries, int kReps) {
   obs::MetricsRegistry registry;
-  // Interleave repetitions and keep the fastest of each so transient
-  // system load does not masquerade as instrumentation overhead.
-  double plain_ns = 0;
-  double inst_ns = 0;
-  for (int rep = 0; rep < kReps; ++rep) {
-    const double p = TimedRetrievePass(false, kQueries, nullptr);
-    const double i = TimedRetrievePass(true, kQueries, &registry);
-    plain_ns = rep == 0 ? p : std::min(plain_ns, p);
-    inst_ns = rep == 0 ? i : std::min(inst_ns, i);
+  // Two persistent rigs (plain / instrumented), fast-interleaved in
+  // ~25-query chunks; the overhead is the median of the per-chunk
+  // paired ratios. Adjacent-in-time pairing plus a median keeps a
+  // shared machine's heavy-tailed stalls from masquerading as
+  // instrumentation overhead — fresh-rig best-of passes gated on
+  // allocation layout and drift instead.
+  core::CApproxPir::Options options;
+  options.num_pages = 4096;
+  options.page_size = 1024;
+  options.cache_pages = 256;
+  options.privacy_c = 2.0;
+  auto plain_rig = bench::MakeEngineRig(options, 42);
+  auto inst_rig = bench::MakeEngineRig(options, 42);
+  inst_rig->cpu->AttachMetrics(&registry);
+  inst_rig->engine->EnableMetrics(&registry);
+
+  constexpr uint64_t kChunkQueries = 25;
+  const int chunks = static_cast<int>(
+      std::max<uint64_t>(1, kQueries * static_cast<uint64_t>(kReps) /
+                                kChunkQueries));
+  crypto::SecureRandom plain_rng(1);
+  crypto::SecureRandom inst_rng(1);
+  // Warm both rigs' caches and page maps before timing.
+  (void)TimedRetrieveChunk(*plain_rig, 64, plain_rng);
+  (void)TimedRetrieveChunk(*inst_rig, 64, inst_rng);
+
+  std::vector<double> plain_chunks, ratios;
+  for (int chunk = 0; chunk < chunks; ++chunk) {
+    const double p = TimedRetrieveChunk(*plain_rig, kChunkQueries,
+                                        plain_rng);
+    const double i = TimedRetrieveChunk(*inst_rig, kChunkQueries,
+                                        inst_rng);
+    plain_chunks.push_back(p);
+    ratios.push_back(i / p);
   }
+  const auto median = [](std::vector<double> v) {
+    std::nth_element(v.begin(), v.begin() + v.size() / 2, v.end());
+    return v[v.size() / 2];
+  };
+  const double plain_ns = median(plain_chunks);
+  const double inst_ns = plain_ns * median(ratios);
 
   const obs::MetricsSnapshot snapshot = registry.Snapshot();
   double p50 = 0, p95 = 0, p99 = 0;
@@ -268,29 +285,32 @@ void WriteEngineJson(const char* path) {
       ? 100.0 * (inst_ns - plain_ns) / plain_ns
       : 0.0;
 
-  std::FILE* out = std::fopen(path, "w");
-  if (out == nullptr) {
-    std::fprintf(stderr, "bench_engine: cannot write %s\n", path);
+  using bench::BenchReport;
+  BenchReport report("bench_engine");
+  report.SetHardwareProfile(hardware::HardwareProfile::Ibm4764());
+  report.SetParam("num_pages", uint64_t{4096});
+  report.SetParam("page_size", uint64_t{1024});
+  report.SetParam("queries", count);
+  report.SetParam("chunk_queries", kChunkQueries);
+  report.SetParam("chunks", static_cast<uint64_t>(chunks));
+  report.SetParam("time_base", std::string("wall_clock"));
+  // Wall-clock throughput/latency depend on the CI machine, so they are
+  // informational; the instrumented/plain ratio is machine-relative and
+  // holds the seed PR's <= 5% observability budget.
+  report.AddMetric("queries_per_sec", 1e9 / inst_ns,
+                   BenchReport::Direction::kNone, 0.0);
+  report.AddMetric("latency_p50_ns", p50, BenchReport::Direction::kNone, 0.0);
+  report.AddMetric("latency_p95_ns", p95, BenchReport::Direction::kNone, 0.0);
+  report.AddMetric("latency_p99_ns", p99, BenchReport::Direction::kNone, 0.0);
+  report.AddMetric("baseline_ns_per_query", plain_ns,
+                   BenchReport::Direction::kNone, 0.0);
+  report.AddMetric("instrumented_ns_per_query", inst_ns,
+                   BenchReport::Direction::kNone, 0.0);
+  report.AddBudgetMetric("observability_overhead_percent", overhead_pct,
+                         5.0);
+  if (!report.WriteJson(path)) {
     return;
   }
-  std::fprintf(out, "{\n");
-  std::fprintf(out, "  \"benchmark\": \"bench_engine\",\n");
-  std::fprintf(out, "  \"num_pages\": 4096,\n");
-  std::fprintf(out, "  \"page_size\": 1024,\n");
-  std::fprintf(out, "  \"queries\": %llu,\n",
-               static_cast<unsigned long long>(count));
-  std::fprintf(out, "  \"queries_per_sec\": %.1f,\n", 1e9 / inst_ns);
-  std::fprintf(out, "  \"latency_ns\": {\n");
-  std::fprintf(out, "    \"p50\": %.1f,\n", p50);
-  std::fprintf(out, "    \"p95\": %.1f,\n", p95);
-  std::fprintf(out, "    \"p99\": %.1f\n", p99);
-  std::fprintf(out, "  },\n");
-  std::fprintf(out, "  \"baseline_ns_per_query\": %.1f,\n", plain_ns);
-  std::fprintf(out, "  \"instrumented_ns_per_query\": %.1f,\n", inst_ns);
-  std::fprintf(out, "  \"observability_overhead_percent\": %.2f\n",
-               overhead_pct);
-  std::fprintf(out, "}\n");
-  std::fclose(out);
   std::printf("wrote %s (%.0f queries/sec, p50=%.0fns, overhead=%.2f%%)\n",
               path, 1e9 / inst_ns, p50, overhead_pct);
 }
@@ -298,12 +318,28 @@ void WriteEngineJson(const char* path) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // --short: CI smoke mode — skip the google-benchmark suite and take a
+  // reduced measurement pass for BENCH_engine.json.
+  bool short_mode = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--short") == 0) {
+      short_mode = true;
+      for (int j = i; j + 1 < argc; ++j) {
+        argv[j] = argv[j + 1];
+      }
+      --argc;
+      break;
+    }
+  }
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
     return 1;
   }
-  benchmark::RunSpecifiedBenchmarks();
+  if (!short_mode) {
+    benchmark::RunSpecifiedBenchmarks();
+  }
   benchmark::Shutdown();
-  WriteEngineJson("BENCH_engine.json");
+  WriteEngineJson("BENCH_engine.json", short_mode ? 250 : 1000,
+                  short_mode ? 3 : 5);
   return 0;
 }

@@ -7,10 +7,13 @@
 // the same offered load.
 
 #include <cstdio>
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include "baselines/pyramid_oram.h"
 #include "baselines/wang_pir.h"
+#include "bench/bench_report.h"
 #include "bench/bench_util.h"
 #include "model/queueing.h"
 #include "workload/workload.h"
@@ -21,15 +24,15 @@ using namespace shpir;
 
 constexpr uint64_t kNumPages = 4096;
 constexpr size_t kPageSize = 256;
-constexpr int kQueries = 3000;
+int g_queries = 3000;  // Reduced by --short.
 
 std::vector<double> ServiceTimes(core::PirEngine& engine,
                                  hardware::SecureCoprocessor& cpu,
                                  uint64_t seed) {
   workload::UniformWorkload wl(kNumPages, seed);
   std::vector<double> service;
-  service.reserve(kQueries);
-  for (int i = 0; i < kQueries; ++i) {
+  service.reserve(g_queries);
+  for (int i = 0; i < g_queries; ++i) {
     const auto before = cpu.cost().Snapshot();
     SHPIR_CHECK(engine.Retrieve(wl.Next()).ok());
     const auto delta = cpu.cost().Snapshot() - before;
@@ -57,43 +60,60 @@ void Report(const char* name, const std::vector<double>& service,
 }
 
 void WriteQueueingJson(const char* path, double arrival_rate) {
-  std::FILE* out = std::fopen(path, "w");
-  if (out == nullptr) {
-    std::fprintf(stderr, "bench_queueing: cannot write %s\n", path);
-    return;
+  using bench::BenchReport;
+  BenchReport report("bench_queueing");
+  report.SetHardwareProfile(hardware::HardwareProfile::Ibm4764());
+  report.SetParam("model", std::string("mg1_fifo"));
+  report.SetParam("num_pages", kNumPages);
+  report.SetParam("page_size", static_cast<uint64_t>(kPageSize));
+  report.SetParam("queries", static_cast<uint64_t>(g_queries));
+  report.SetParam("arrival_rate_qps", arrival_rate);
+  report.SetParam("time_base", std::string("simulated_ibm4764"));
+  // Simulated-time sojourns off seeded workloads are deterministic; a
+  // tail regression here means the engine's service-time distribution
+  // changed (e.g. an accidental blocking phase), so gate tightly on the
+  // paper engine's tail.
+  for (const EngineRow& row : g_rows) {
+    if (std::strcmp(row.name, "c-approx") == 0) {
+      report.AddMetric("capprox_p99_s", row.stats.p99_s,
+                       BenchReport::Direction::kLowerBetter, 2.0);
+      report.AddMetric("capprox_utilization", row.stats.utilization,
+                       BenchReport::Direction::kNone, 0.0);
+    }
   }
-  std::fprintf(out, "{\n");
-  std::fprintf(out, "  \"benchmark\": \"bench_queueing\",\n");
-  std::fprintf(out, "  \"model\": \"mg1_fifo\",\n");
-  std::fprintf(out, "  \"num_pages\": %llu,\n",
-               (unsigned long long)kNumPages);
-  std::fprintf(out, "  \"page_size\": %zu,\n", kPageSize);
-  std::fprintf(out, "  \"queries\": %d,\n", kQueries);
-  std::fprintf(out, "  \"arrival_rate_qps\": %.6f,\n", arrival_rate);
-  std::fprintf(out, "  \"engines\": [\n");
+  std::string engines = "[\n";
   for (size_t i = 0; i < g_rows.size(); ++i) {
     const model::QueueStats& s = g_rows[i].stats;
-    std::fprintf(out,
-                 "    {\"engine\": \"%s\", \"utilization\": %.6f, "
-                 "\"mean_s\": %.9f, \"p50_s\": %.9f, \"p95_s\": %.9f, "
-                 "\"p99_s\": %.9f, \"max_s\": %.9f}%s\n",
-                 g_rows[i].name, s.utilization, s.mean_s, s.p50_s,
-                 s.p95_s, s.p99_s, s.max_s,
-                 i + 1 < g_rows.size() ? "," : "");
+    char line[256];
+    std::snprintf(line, sizeof(line),
+                  "      {\"engine\": \"%s\", \"utilization\": %.6f, "
+                  "\"mean_s\": %.9f, \"p50_s\": %.9f, \"p95_s\": %.9f, "
+                  "\"p99_s\": %.9f, \"max_s\": %.9f}%s\n",
+                  g_rows[i].name, s.utilization, s.mean_s, s.p50_s,
+                  s.p95_s, s.p99_s, s.max_s,
+                  i + 1 < g_rows.size() ? "," : "");
+    engines += line;
   }
-  std::fprintf(out, "  ]\n}\n");
-  std::fclose(out);
-  std::printf("\nwrote %s\n", path);
+  engines += "    ]";
+  report.AddSection("engines", engines);
+  if (report.WriteJson(path)) {
+    std::printf("\nwrote %s\n", path);
+  }
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--short") == 0) {
+      g_queries = 800;
+    }
+  }
   const auto profile = hardware::HardwareProfile::Ibm4764();
   std::printf(
       "Client-perceived sojourn time (queueing + service) at a shared\n"
       "arrival rate, n = %llu x %zuB, %d queries, M/G/1 FIFO:\n\n",
-      (unsigned long long)kNumPages, kPageSize, kQueries);
+      (unsigned long long)kNumPages, kPageSize, g_queries);
 
   // c-approximate engine sets the pace: load it to ~60%.
   std::vector<double> capprox_service;

@@ -1,0 +1,194 @@
+#ifndef SHPIR_BENCH_BENCH_REPORT_H_
+#define SHPIR_BENCH_BENCH_REPORT_H_
+
+// Shared schema-versioned reporter behind every BENCH_*.json artifact.
+// Each report stamps provenance — schema version, git SHA (injected by
+// CMake as SHPIR_GIT_SHA), UTC timestamp, the active
+// hardware::HardwareProfile — next to two kinds of content:
+//
+//  - metrics: flat name/value pairs with a regression direction and a
+//    noise tolerance (plus optional absolute budget bounds). This is
+//    the surface tools/shpir_benchdiff gates CI on.
+//  - sections: free-form JSON blobs (sweep tables, audit reports) kept
+//    for humans and dashboards; benchdiff ignores them.
+//
+// Wall-clock metrics measured on shared CI machines should use
+// direction "none" (informational) or a generous tolerance; the gate
+// is for deterministic, simulated-time, and budgeted metrics.
+
+#include <cstdint>
+#include <cstdio>
+#include <ctime>
+#include <string>
+#include <vector>
+
+#include "hardware/profile.h"
+
+#ifndef SHPIR_GIT_SHA
+#define SHPIR_GIT_SHA "unknown"
+#endif
+
+namespace shpir::bench {
+
+class BenchReport {
+ public:
+  static constexpr int kSchemaVersion = 1;
+
+  /// Regression direction for a metric: which way is a failure.
+  enum class Direction {
+    kNone,          // Informational; never gated.
+    kLowerBetter,   // Fails when value rises past tolerance.
+    kHigherBetter,  // Fails when value drops past tolerance.
+  };
+
+  explicit BenchReport(std::string benchmark) : benchmark_(std::move(benchmark)) {}
+
+  void SetHardwareProfile(const hardware::HardwareProfile& profile) {
+    hardware_json_ =
+        "{\"seek_time_s\":" + Num(profile.seek_time_s) +
+        ",\"disk_rate\":" + Num(profile.disk_rate) +
+        ",\"link_rate\":" + Num(profile.link_rate) +
+        ",\"crypto_rate\":" + Num(profile.crypto_rate) +
+        ",\"secure_memory_bytes\":" +
+        std::to_string(profile.secure_memory_bytes) +
+        ",\"network_rtt_s\":" + Num(profile.network_rtt_s) +
+        ",\"network_rate\":" + Num(profile.network_rate) + "}";
+  }
+
+  void SetParam(const std::string& key, uint64_t value) {
+    params_.push_back({key, std::to_string(value)});
+  }
+  void SetParam(const std::string& key, double value) {
+    params_.push_back({key, Num(value)});
+  }
+  void SetParam(const std::string& key, const std::string& value) {
+    params_.push_back({key, "\"" + value + "\""});
+  }
+
+  /// Gated metric: benchdiff fails when the value moved against
+  /// `direction` by more than `tolerance_pct` percent of the baseline.
+  void AddMetric(const std::string& name, double value,
+                 Direction direction, double tolerance_pct) {
+    metrics_.push_back({name, value, direction, tolerance_pct,
+                        /*has_budget=*/false, 0.0});
+  }
+
+  /// Budgeted metric: fails whenever value > budget_max, baseline or
+  /// not (used for the profiler's <=1% / <=5% overhead acceptance).
+  void AddBudgetMetric(const std::string& name, double value,
+                       double budget_max) {
+    metrics_.push_back({name, value, Direction::kNone, 0.0,
+                        /*has_budget=*/true, budget_max});
+  }
+
+  /// Free-form JSON passthrough under "sections" (must be valid JSON).
+  void AddSection(const std::string& key, const std::string& raw_json) {
+    sections_.push_back({key, raw_json});
+  }
+
+  std::string ToJson() const {
+    std::string out = "{\n";
+    out += "  \"schema_version\": " + std::to_string(kSchemaVersion) + ",\n";
+    out += "  \"benchmark\": \"" + benchmark_ + "\",\n";
+    out += "  \"git_sha\": \"" SHPIR_GIT_SHA "\",\n";
+    out += "  \"timestamp_utc\": \"" + TimestampUtc() + "\",\n";
+    if (!hardware_json_.empty()) {
+      out += "  \"hardware_profile\": " + hardware_json_ + ",\n";
+    }
+    out += "  \"params\": {";
+    for (size_t i = 0; i < params_.size(); ++i) {
+      out += (i > 0 ? ", " : "") + ("\"" + params_[i].key + "\": ") +
+             params_[i].value;
+    }
+    out += "},\n";
+    out += "  \"metrics\": [\n";
+    for (size_t i = 0; i < metrics_.size(); ++i) {
+      const Metric& m = metrics_[i];
+      out += "    {\"name\": \"" + m.name + "\", \"value\": " +
+             Num(m.value) + ", \"direction\": \"" +
+             DirectionName(m.direction) +
+             "\", \"tolerance_pct\": " + Num(m.tolerance_pct);
+      if (m.has_budget) {
+        out += ", \"budget_max\": " + Num(m.budget_max);
+      }
+      out += "}";
+      out += i + 1 < metrics_.size() ? ",\n" : "\n";
+    }
+    out += "  ]";
+    if (!sections_.empty()) {
+      out += ",\n  \"sections\": {\n";
+      for (size_t i = 0; i < sections_.size(); ++i) {
+        out += "    \"" + sections_[i].key + "\": " + sections_[i].value;
+        out += i + 1 < sections_.size() ? ",\n" : "\n";
+      }
+      out += "  }";
+    }
+    out += "\n}\n";
+    return out;
+  }
+
+  /// Writes the report; returns false (and prints to stderr) on I/O
+  /// failure.
+  bool WriteJson(const std::string& path) const {
+    std::FILE* out = std::fopen(path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "%s: cannot write %s\n", benchmark_.c_str(),
+                   path.c_str());
+      return false;
+    }
+    const std::string json = ToJson();
+    std::fwrite(json.data(), 1, json.size(), out);
+    std::fclose(out);
+    return true;
+  }
+
+ private:
+  struct Param {
+    std::string key;
+    std::string value;  // Pre-rendered JSON.
+  };
+  struct Metric {
+    std::string name;
+    double value;
+    Direction direction;
+    double tolerance_pct;
+    bool has_budget;
+    double budget_max;
+  };
+
+  static std::string Num(double value) {
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%.9g", value);
+    return buffer;
+  }
+
+  static const char* DirectionName(Direction direction) {
+    switch (direction) {
+      case Direction::kLowerBetter:
+        return "lower_better";
+      case Direction::kHigherBetter:
+        return "higher_better";
+      default:
+        return "none";
+    }
+  }
+
+  static std::string TimestampUtc() {
+    const std::time_t now = std::time(nullptr);
+    std::tm utc{};
+    gmtime_r(&now, &utc);
+    char buffer[32];
+    std::strftime(buffer, sizeof(buffer), "%Y-%m-%dT%H:%M:%SZ", &utc);
+    return buffer;
+  }
+
+  std::string benchmark_;
+  std::string hardware_json_;
+  std::vector<Param> params_;
+  std::vector<Metric> metrics_;
+  std::vector<Param> sections_;
+};
+
+}  // namespace shpir::bench
+
+#endif  // SHPIR_BENCH_BENCH_REPORT_H_

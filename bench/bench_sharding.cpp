@@ -19,9 +19,12 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include "analysis/sharded_audit.h"
+#include "bench/bench_report.h"
 #include "bench/bench_util.h"
 #include "model/queueing.h"
 #include "shard/sharded_engine.h"
@@ -35,7 +38,8 @@ constexpr uint64_t kNumPages = 16384;
 constexpr size_t kPageSize = 1024;
 constexpr uint64_t kCachePerDevice = 64;
 constexpr double kPrivacyC = 2.0;
-constexpr int kQueries = 160;
+int g_queries = 160;        // Reduced by --short.
+int g_audit_queries = 12000;
 constexpr int kSimTile = 12;  // Tile measured services for stable p99.
 
 const uint64_t kShardCounts[] = {1, 2, 4, 8};
@@ -100,14 +104,14 @@ Row RunShardCount(uint64_t shards, double arrival_rate) {
   options.cache_pages = kCachePerDevice;
   options.privacy_c = kPrivacyC;
   options.shards = shards;
-  options.queue_depth = 4 * kQueries;  // Measurement never trips admission.
+  options.queue_depth = 4 * g_queries;  // Measurement never trips admission.
   options.seed = 7;
   auto engine = shard::ShardedPirEngine::Create(options);
   SHPIR_CHECK(engine.ok());
   SHPIR_CHECK_OK((*engine)->Initialize({}));
 
   const auto service =
-      MeasureServiceTimes(**engine, kQueries, 100 + shards);
+      MeasureServiceTimes(**engine, g_queries, 100 + shards);
 
   Row row;
   row.shards = shards;
@@ -124,7 +128,7 @@ Row RunShardCount(uint64_t shards, double arrival_rate) {
     bottleneck_mean = std::max(bottleneck_mean, total / s.size());
   }
   row.mean_service_s = bottleneck_mean;
-  row.sim_qps = kQueries / makespan;
+  row.sim_qps = g_queries / makespan;
   row.sojourn =
       model::SimulateShardedFanout(Tile(service), arrival_rate, 42);
   (*engine)->Drain();
@@ -140,7 +144,7 @@ bool ValidateAgainstFifo(double arrival_rate) {
   options.cache_pages = 32;
   options.privacy_c = kPrivacyC;
   options.shards = 1;
-  options.queue_depth = 4 * kQueries;
+  options.queue_depth = 4 * g_queries;
   options.seed = 11;
   auto engine = shard::ShardedPirEngine::Create(options);
   SHPIR_CHECK(engine.ok());
@@ -173,7 +177,7 @@ analysis::ShardedPrivacyReport RunAudit() {
   SHPIR_CHECK_OK((*engine)->Initialize({}));
   workload::UniformWorkload wl(options.num_pages, 77);
   auto report = analysis::RunShardedPrivacyAudit(
-      **engine, 12000, [&wl] { return wl.Next(); });
+      **engine, g_audit_queries, [&wl] { return wl.Next(); });
   SHPIR_CHECK(report.ok());
   (*engine)->Drain();
   return *report;
@@ -182,30 +186,45 @@ analysis::ShardedPrivacyReport RunAudit() {
 void WriteJson(const char* path, const std::vector<Row>& rows,
                double arrival_rate, bool fifo_ok,
                const analysis::ShardedPrivacyReport& audit) {
-  std::FILE* out = std::fopen(path, "w");
-  if (out == nullptr) {
-    std::fprintf(stderr, "bench_sharding: cannot write %s\n", path);
-    return;
-  }
-  std::fprintf(out, "{\n");
-  std::fprintf(out, "  \"benchmark\": \"bench_sharding\",\n");
-  std::fprintf(out, "  \"num_pages\": %llu,\n",
-               (unsigned long long)kNumPages);
-  std::fprintf(out, "  \"page_size\": %zu,\n", kPageSize);
-  std::fprintf(out, "  \"cache_per_device\": %llu,\n",
-               (unsigned long long)kCachePerDevice);
-  std::fprintf(out, "  \"target_c\": %.2f,\n", kPrivacyC);
-  std::fprintf(out, "  \"queries\": %d,\n", kQueries);
-  std::fprintf(out, "  \"time_base\": \"simulated_ibm4764\",\n");
-  std::fprintf(out, "  \"arrival_rate_qps\": %.6f,\n", arrival_rate);
-  std::fprintf(out, "  \"fifo_validation_passed\": %s,\n",
-               fifo_ok ? "true" : "false");
-  std::fprintf(out, "  \"sweep\": [\n");
+  using bench::BenchReport;
+  BenchReport report("bench_sharding");
+  report.SetHardwareProfile(hardware::HardwareProfile::Ibm4764());
+  report.SetParam("num_pages", kNumPages);
+  report.SetParam("page_size", static_cast<uint64_t>(kPageSize));
+  report.SetParam("cache_per_device", kCachePerDevice);
+  report.SetParam("target_c", kPrivacyC);
+  report.SetParam("queries", static_cast<uint64_t>(g_queries));
+  report.SetParam("time_base", std::string("simulated_ibm4764"));
+  report.SetParam("arrival_rate_qps", arrival_rate);
+  // Everything below runs in simulated device time off seeded RNGs, so
+  // the values are deterministic: tight tolerances catch real cost
+  // regressions (extra disk reads, larger blocks), not machine noise.
+  report.AddMetric("fifo_validation_passed", fifo_ok ? 1.0 : 0.0,
+                   BenchReport::Direction::kHigherBetter, 0.0);
+  const Row& last = rows.back();
+  report.AddMetric("sim_qps_s1", rows.front().sim_qps,
+                   BenchReport::Direction::kHigherBetter, 2.0);
+  report.AddMetric("sim_qps_max_shards", last.sim_qps,
+                   BenchReport::Direction::kHigherBetter, 2.0);
+  report.AddMetric("speedup_max_shards", last.speedup,
+                   BenchReport::Direction::kHigherBetter, 5.0);
+  report.AddMetric("sojourn_p99_s_max_shards", last.sojourn.p99_s,
+                   BenchReport::Direction::kLowerBetter, 5.0);
+  // Privacy bounds: the per-shard c must never drift above the target.
+  report.AddBudgetMetric("worst_analytic_c", audit.worst_analytic_c,
+                         audit.target_c);
+  report.AddBudgetMetric("worst_measured_c", audit.worst_measured_c,
+                         1.10 * audit.target_c);
+  report.AddMetric("cover_uniform", audit.cover_uniform ? 1.0 : 0.0,
+                   BenchReport::Direction::kHigherBetter, 0.0);
+
+  std::string sweep = "[\n";
   for (size_t i = 0; i < rows.size(); ++i) {
     const Row& r = rows[i];
-    std::fprintf(
-        out,
-        "    {\"shards\": %llu, \"block_size_k\": %llu, "
+    char line[320];
+    std::snprintf(
+        line, sizeof(line),
+        "      {\"shards\": %llu, \"block_size_k\": %llu, "
         "\"worst_c\": %.6f, \"mean_service_s\": %.9f, "
         "\"sim_queries_per_s\": %.3f, \"speedup_vs_1\": %.3f, "
         "\"sojourn_p50_s\": %.9f, \"sojourn_p95_s\": %.9f, "
@@ -214,37 +233,45 @@ void WriteJson(const char* path, const std::vector<Row>& rows,
         r.worst_c, r.mean_service_s, r.sim_qps, r.speedup,
         r.sojourn.p50_s, r.sojourn.p95_s, r.sojourn.p99_s,
         r.sojourn.utilization, i + 1 < rows.size() ? "," : "");
+    sweep += line;
   }
-  std::fprintf(out, "  ],\n");
-  std::fprintf(out, "  \"privacy_audit\": {\n");
-  std::fprintf(out, "    \"logical_requests\": %llu,\n",
-               (unsigned long long)audit.logical_requests);
-  std::fprintf(out, "    \"shards\": %llu,\n",
-               (unsigned long long)audit.shards);
-  std::fprintf(out, "    \"target_c\": %.2f,\n", audit.target_c);
-  std::fprintf(out, "    \"worst_analytic_c\": %.6f,\n",
-               audit.worst_analytic_c);
-  std::fprintf(out, "    \"worst_measured_c\": %.6f,\n",
-               audit.worst_measured_c);
-  std::fprintf(out, "    \"min_slot_entropy\": %.6f,\n",
-               audit.min_slot_entropy);
-  std::fprintf(out, "    \"cover_uniform\": %s\n",
-               audit.cover_uniform ? "true" : "false");
-  std::fprintf(out, "  }\n}\n");
-  std::fclose(out);
-  std::printf("\nwrote %s\n", path);
+  sweep += "    ]";
+  report.AddSection("sweep", sweep);
+
+  char audit_json[384];
+  std::snprintf(
+      audit_json, sizeof(audit_json),
+      "{\"logical_requests\": %llu, \"shards\": %llu, "
+      "\"target_c\": %.2f, \"worst_analytic_c\": %.6f, "
+      "\"worst_measured_c\": %.6f, \"min_slot_entropy\": %.6f, "
+      "\"cover_uniform\": %s}",
+      (unsigned long long)audit.logical_requests,
+      (unsigned long long)audit.shards, audit.target_c,
+      audit.worst_analytic_c, audit.worst_measured_c,
+      audit.min_slot_entropy, audit.cover_uniform ? "true" : "false");
+  report.AddSection("privacy_audit", audit_json);
+
+  if (report.WriteJson(path)) {
+    std::printf("\nwrote %s\n", path);
+  }
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--short") == 0) {
+      g_queries = 40;
+      g_audit_queries = 4000;
+    }
+  }
   bench::PrintTable2(hardware::HardwareProfile::Ibm4764());
   std::printf(
       "Sharded serving runtime: n = %llu x %zuB, per-device cache m = "
       "%llu,\ntarget c = %.1f, %d logical queries per point, simulated "
       "device time.\n\n",
       (unsigned long long)kNumPages, kPageSize,
-      (unsigned long long)kCachePerDevice, kPrivacyC, kQueries);
+      (unsigned long long)kCachePerDevice, kPrivacyC, g_queries);
 
   // Arrival rate: 60% of the UNSHARDED engine's capacity, shared by
   // every sweep point so latency improvements show at equal load.
@@ -272,8 +299,8 @@ int main() {
   std::printf("\nfork-join vs M/G/1 FIFO at S = 1: %s\n",
               fifo_ok ? "EXACT MATCH" : "MISMATCH");
 
-  std::printf("\nsharded privacy audit (n = 256, S = 4, 12000 logical "
-              "queries):\n");
+  std::printf("\nsharded privacy audit (n = 256, S = 4, %d logical "
+              "queries):\n", g_audit_queries);
   const analysis::ShardedPrivacyReport audit = RunAudit();
   std::printf("  worst analytic c %.4f, worst measured c %.4f "
               "(target %.1f)\n",

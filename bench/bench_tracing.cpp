@@ -1,9 +1,12 @@
 // Overhead of the distributed-tracing subsystem (src/obs/trace.h) on
 // the sharded serving runtime, plus a sample end-to-end trace.
 //
-// Three configurations over identical engines (same seed, same query
-// stream), interleaved and scored best-of-kPasses to suppress machine
-// noise:
+// Three configurations over ONE engine (same seed, same query stream,
+// same memory layout), toggled via EnableTracing in rapidly cycled
+// ~12-query chunks; each overhead is the median of the per-chunk
+// paired ratios. Fast cycling plus a median keeps a shared machine's
+// heavy-tailed stalls out of the 1% budget — per-config passes and
+// best-of floors gate on drift instead:
 //
 //   base      — no tracer attached (plain Retrieve);
 //   disabled  — tracer attached with sample_every = 0: every query pays
@@ -24,10 +27,12 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "bench/bench_report.h"
 #include "common/check.h"
 #include "crypto/secure_random.h"
 #include "net/pir_service.h"
@@ -45,8 +50,8 @@ constexpr size_t kPageSize = 256;
 constexpr uint64_t kCachePerDevice = 32;
 constexpr double kPrivacyC = 2.0;
 constexpr uint64_t kShards = 2;
-constexpr int kQueriesPerPass = 200;
-constexpr int kPasses = 5;
+constexpr int kChunkQueries = 12;  // ~10 ms per chunk on this rig.
+int g_chunks_per_config = 250;     // Reduced by --short.
 constexpr uint64_t kSampleEvery = 64;
 constexpr double kBudgetDisabledPct = 1.0;
 constexpr double kBudgetSampledPct = 5.0;
@@ -66,14 +71,14 @@ std::unique_ptr<shard::ShardedPirEngine> MakeEngine() {
   return std::move(engine).value();
 }
 
-/// One timed pass of kQueriesPerPass logical retrieves. With a tracer,
-/// each query opens a root span and goes through TracedRetrieve — the
-/// production client path; without, it is the plain Retrieve path.
-double TimePassSeconds(shard::ShardedPirEngine& engine, obs::Tracer* tracer,
-                       uint64_t workload_seed) {
-  workload::UniformWorkload wl(kNumPages, workload_seed);
+/// One timed chunk of kChunkQueries logical retrieves drawn from `wl`.
+/// With a tracer, each query opens a root span and goes through
+/// TracedRetrieve — the production client path; without, it is the
+/// plain Retrieve path.
+double TimeChunkSeconds(shard::ShardedPirEngine& engine, obs::Tracer* tracer,
+                        workload::UniformWorkload& wl) {
   const auto start = std::chrono::steady_clock::now();
-  for (int q = 0; q < kQueriesPerPass; ++q) {
+  for (int q = 0; q < kChunkQueries; ++q) {
     if (tracer != nullptr) {
       obs::TraceSpan root(tracer, "client_query");
       SHPIR_CHECK_OK(engine.TracedRetrieve(wl.Next(), root.context()).status());
@@ -142,96 +147,109 @@ void WriteJson(const char* path, double base_ns, double disabled_ns,
                double sampled_ns, double overhead_disabled_pct,
                double overhead_sampled_pct, uint64_t traces_sampled,
                size_t sample_spans) {
-  std::FILE* out = std::fopen(path, "w");
-  if (out == nullptr) {
-    std::fprintf(stderr, "bench_tracing: cannot write %s\n", path);
-    return;
+  using bench::BenchReport;
+  BenchReport report("bench_tracing");
+  report.SetHardwareProfile(hardware::HardwareProfile::Ibm4764());
+  report.SetParam("num_pages", kNumPages);
+  report.SetParam("page_size", static_cast<uint64_t>(kPageSize));
+  report.SetParam("shards", kShards);
+  report.SetParam("chunk_queries", static_cast<uint64_t>(kChunkQueries));
+  report.SetParam("chunks_per_config",
+                  static_cast<uint64_t>(g_chunks_per_config));
+  report.SetParam("sample_every", kSampleEvery);
+  report.SetParam("time_base", std::string("wall_clock"));
+  report.SetParam("sample_trace_file",
+                  std::string("BENCH_trace_sample.json"));
+  report.AddMetric("base_ns_per_query", base_ns,
+                   BenchReport::Direction::kNone, 0.0);
+  report.AddMetric("disabled_ns_per_query", disabled_ns,
+                   BenchReport::Direction::kNone, 0.0);
+  report.AddMetric("sampled_ns_per_query", sampled_ns,
+                   BenchReport::Direction::kNone, 0.0);
+  // The overhead ratios are machine-relative: both numerator and
+  // denominator ran interleaved on the same machine, so the budget
+  // bound is meaningful on any CI host.
+  report.AddBudgetMetric("overhead_disabled_pct", overhead_disabled_pct,
+                         kBudgetDisabledPct);
+  report.AddBudgetMetric("overhead_sampled_pct", overhead_sampled_pct,
+                         kBudgetSampledPct);
+  report.AddMetric("traces_sampled", static_cast<double>(traces_sampled),
+                   BenchReport::Direction::kNone, 0.0);
+  // The sample trace must keep covering the full fan-out; a drop means
+  // spans were lost or a subsystem stopped emitting.
+  report.AddMetric("sample_trace_spans", static_cast<double>(sample_spans),
+                   BenchReport::Direction::kHigherBetter, 25.0);
+  if (report.WriteJson(path)) {
+    std::printf("wrote %s\n", path);
   }
-  std::fprintf(out, "{\n");
-  std::fprintf(out, "  \"benchmark\": \"bench_tracing\",\n");
-  std::fprintf(out, "  \"num_pages\": %llu,\n",
-               (unsigned long long)kNumPages);
-  std::fprintf(out, "  \"page_size\": %zu,\n", kPageSize);
-  std::fprintf(out, "  \"shards\": %llu,\n", (unsigned long long)kShards);
-  std::fprintf(out, "  \"queries_per_pass\": %d,\n", kQueriesPerPass);
-  std::fprintf(out, "  \"passes_best_of\": %d,\n", kPasses);
-  std::fprintf(out, "  \"sample_every\": %llu,\n",
-               (unsigned long long)kSampleEvery);
-  std::fprintf(out, "  \"time_base\": \"wall_clock\",\n");
-  std::fprintf(out, "  \"base_ns_per_query\": %.1f,\n", base_ns);
-  std::fprintf(out, "  \"disabled_ns_per_query\": %.1f,\n", disabled_ns);
-  std::fprintf(out, "  \"sampled_ns_per_query\": %.1f,\n", sampled_ns);
-  std::fprintf(out, "  \"overhead_disabled_pct\": %.3f,\n",
-               overhead_disabled_pct);
-  std::fprintf(out, "  \"overhead_sampled_pct\": %.3f,\n",
-               overhead_sampled_pct);
-  std::fprintf(out, "  \"budget_disabled_pct\": %.1f,\n",
-               kBudgetDisabledPct);
-  std::fprintf(out, "  \"budget_sampled_pct\": %.1f,\n", kBudgetSampledPct);
-  std::fprintf(out, "  \"within_budget\": %s,\n",
-               overhead_disabled_pct <= kBudgetDisabledPct &&
-                       overhead_sampled_pct <= kBudgetSampledPct
-                   ? "true"
-                   : "false");
-  std::fprintf(out, "  \"traces_sampled\": %llu,\n",
-               (unsigned long long)traces_sampled);
-  std::fprintf(out, "  \"sample_trace_file\": \"BENCH_trace_sample.json\",\n");
-  std::fprintf(out, "  \"sample_trace_spans\": %zu\n", sample_spans);
-  std::fprintf(out, "}\n");
-  std::fclose(out);
-  std::printf("wrote %s\n", path);
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--short") == 0) {
+      g_chunks_per_config = 60;
+    }
+  }
   std::printf(
       "Tracing overhead on the sharded runtime: n = %llu x %zuB, S = %llu, "
-      "%d queries/pass, best of %d interleaved passes.\n\n",
+      "%d chunks x %d queries per config, fast-interleaved.\n\n",
       (unsigned long long)kNumPages, kPageSize, (unsigned long long)kShards,
-      kQueriesPerPass, kPasses);
+      g_chunks_per_config, kChunkQueries);
 
-  auto base_engine = MakeEngine();
-  auto disabled_engine = MakeEngine();
-  auto sampled_engine = MakeEngine();
+  auto engine = MakeEngine();
 
   obs::Tracer::Options disabled_options;
   disabled_options.sample_every = 0;  // Attached but never samples.
   disabled_options.seed = 1;
   obs::Tracer disabled_tracer(disabled_options);
-  disabled_engine->EnableTracing(&disabled_tracer);
 
   obs::Tracer::Options sampled_options;
   sampled_options.sample_every = kSampleEvery;
   sampled_options.seed = 1;
   obs::Tracer sampled_tracer(sampled_options);
-  sampled_engine->EnableTracing(&sampled_tracer);
 
-  // Warmup: one untimed pass per configuration fills the caches.
-  (void)TimePassSeconds(*base_engine, nullptr, 1000);
-  (void)TimePassSeconds(*disabled_engine, &disabled_tracer, 1000);
-  (void)TimePassSeconds(*sampled_engine, &sampled_tracer, 1000);
-
-  // Interleave the configurations within each pass so slow machine
-  // phases (thermal, noisy neighbors) hit all three equally.
-  double base_s = 1e300, disabled_s = 1e300, sampled_s = 1e300;
-  for (int pass = 0; pass < kPasses; ++pass) {
-    const uint64_t seed = 2000 + pass;
-    base_s = std::min(base_s, TimePassSeconds(*base_engine, nullptr, seed));
-    disabled_s = std::min(
-        disabled_s, TimePassSeconds(*disabled_engine, &disabled_tracer, seed));
-    sampled_s = std::min(
-        sampled_s, TimePassSeconds(*sampled_engine, &sampled_tracer, seed));
+  // Warmup: a few untimed chunks fill the caches.
+  {
+    workload::UniformWorkload warmup(kNumPages, 1000);
+    for (int i = 0; i < 8; ++i) {
+      (void)TimeChunkSeconds(*engine, nullptr, warmup);
+    }
   }
-  base_engine->Drain();
-  disabled_engine->Drain();
-  sampled_engine->Drain();
 
-  const double base_ns = base_s * 1e9 / kQueriesPerPass;
-  const double disabled_ns = disabled_s * 1e9 / kQueriesPerPass;
-  const double sampled_ns = sampled_s * 1e9 / kQueriesPerPass;
-  const double overhead_disabled_pct = 100.0 * (disabled_ns - base_ns) / base_ns;
-  const double overhead_sampled_pct = 100.0 * (sampled_ns - base_ns) / base_ns;
+  // Per-chunk paired ratios, reduced by median.
+  workload::UniformWorkload base_wl(kNumPages, 2000);
+  workload::UniformWorkload disabled_wl(kNumPages, 2000);
+  workload::UniformWorkload sampled_wl(kNumPages, 2000);
+  std::vector<double> base_chunks, disabled_ratios, sampled_ratios;
+  for (int chunk = 0; chunk < g_chunks_per_config; ++chunk) {
+    engine->EnableTracing(nullptr);
+    const double base = TimeChunkSeconds(*engine, nullptr, base_wl);
+    engine->EnableTracing(&disabled_tracer);
+    const double disabled =
+        TimeChunkSeconds(*engine, &disabled_tracer, disabled_wl);
+    engine->EnableTracing(&sampled_tracer);
+    const double sampled =
+        TimeChunkSeconds(*engine, &sampled_tracer, sampled_wl);
+    base_chunks.push_back(base);
+    disabled_ratios.push_back(disabled / base);
+    sampled_ratios.push_back(sampled / base);
+  }
+  engine->EnableTracing(nullptr);
+  engine->Drain();
+
+  const auto median = [](std::vector<double> v) {
+    std::nth_element(v.begin(), v.begin() + v.size() / 2, v.end());
+    return v[v.size() / 2];
+  };
+  const double base_ns = median(base_chunks) * 1e9 / kChunkQueries;
+  const double disabled_ns = base_ns * median(disabled_ratios);
+  const double sampled_ns = base_ns * median(sampled_ratios);
+  const double overhead_disabled_pct =
+      100.0 * (median(disabled_ratios) - 1.0);
+  const double overhead_sampled_pct =
+      100.0 * (median(sampled_ratios) - 1.0);
 
   std::printf("%10s %16s %10s\n", "config", "ns/query", "overhead");
   std::printf("%10s %16.0f %10s\n", "base", base_ns, "-");

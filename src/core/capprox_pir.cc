@@ -291,6 +291,17 @@ Result<CApproxPir::RoundOutcome> CApproxPir::RunRound(
                        trace_shard_);
     qtrace.SetSpanSink(tracer_, round_span->context(), trace_shard_);
   }
+  // Continuous profiling: head-sampled rounds open an "engine_round"
+  // root frame and every phase Span below pushes a child frame. The
+  // sampling counter ticks for every round (target-independent) and
+  // unsampled rounds never touch the profiler again.
+  obs::ProfileScope profile_scope(
+      profiler_ != nullptr && profiler_->SampleQuery() ? profiler_
+                                                       : nullptr,
+      "engine_round");
+  if (profile_scope.active()) {
+    qtrace.SetProfileSink(profiler_);
+  }
   if (metered()) {
     instruments_.queries->Increment();
   }

@@ -196,6 +196,14 @@ class CApproxPir : public PirEngine {
   /// with `trace_shard` (-1 when the engine is not part of a fleet).
   void EnableTracing(obs::Tracer* tracer, int32_t trace_shard = -1);
 
+  /// Attaches the sampling profiler (unowned; must outlive the engine,
+  /// nullptr detaches). Head-sampled rounds then push an
+  /// "engine_round" root frame with every protocol phase as a child,
+  /// giving folded stacks for flame graphs. The sampling decision is
+  /// counter-based and the Fig. 3 round has a constant span shape, so
+  /// the profile is independent of which page was requested.
+  void EnableProfiling(obs::Profiler* profiler) { profiler_ = profiler; }
+
   /// Attaches the online privacy monitor (unowned; must outlive the
   /// engine, nullptr detaches). The engine feeds it every cache entry
   /// and relocation — inside the trusted boundary, alongside the
@@ -295,6 +303,9 @@ class CApproxPir : public PirEngine {
   obs::Tracer* tracer_ = nullptr;
   int32_t trace_shard_ = -1;
   obs::TraceContext pending_trace_;
+
+  /// Continuous profiling; null until EnableProfiling().
+  obs::Profiler* profiler_ = nullptr;
 
   /// Aggregate instruments; all null until EnableMetrics().
   struct Instruments {

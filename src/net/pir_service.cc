@@ -11,6 +11,10 @@ constexpr uint8_t kOpRemove = 4;
 constexpr uint8_t kOpStats = 5;
 constexpr uint8_t kOpTraceDump = 6;
 constexpr uint8_t kOpTraced = 7;  // Envelope: ctx(17) | inner request.
+// Profiling dump; payload byte 0 selects the format (0 = JSON stack
+// table, 1 = flame-graph collapsed text; absent = 0).
+constexpr uint8_t kOpProfileDump = 8;
+constexpr uint8_t kOpSloStatus = 9;  // SLO/error-budget state (JSON).
 
 constexpr uint8_t kStatusOk = 0;
 constexpr uint8_t kStatusError = 1;
@@ -131,6 +135,27 @@ Result<Bytes> PirServiceServer::HandleRecord(ByteSpan record,
         }
         break;
       }
+      case kOpProfileDump: {
+        if (profile_dump_) {
+          const bool folded = !payload.empty() && payload[0] == 1;
+          const Bytes dump = profile_dump_(folded);
+          response = OkResponse(dump);
+        } else {
+          response = ErrorResponse(UnimplementedError(
+              "profiling is not enabled on this service"));
+        }
+        break;
+      }
+      case kOpSloStatus: {
+        if (slo_status_) {
+          const Bytes status_json = slo_status_();
+          response = OkResponse(status_json);
+        } else {
+          response = ErrorResponse(UnimplementedError(
+              "SLO tracking is not enabled on this service"));
+        }
+        break;
+      }
       default:
         response = ErrorResponse(InvalidArgumentError("unknown op"));
     }
@@ -201,6 +226,15 @@ Result<Bytes> PirServiceClient::Stats() { return Call(kOpStats, 0, {}); }
 
 Result<Bytes> PirServiceClient::TraceDump() {
   return Call(kOpTraceDump, 0, {});
+}
+
+Result<Bytes> PirServiceClient::ProfileDump(bool folded) {
+  const uint8_t format = folded ? 1 : 0;
+  return Call(kOpProfileDump, 0, ByteSpan(&format, 1));
+}
+
+Result<Bytes> PirServiceClient::SloStatus() {
+  return Call(kOpSloStatus, 0, {});
 }
 
 }  // namespace shpir::net

@@ -39,6 +39,18 @@ class PirServiceServer {
   /// public by construction (static names, shard indices, timing).
   using TraceProvider = std::function<Bytes()>;
 
+  /// Produces the profiling dump for the PROFILE_DUMP op — folded
+  /// flame-graph text when `folded`, else the JSON stack table.
+  /// Authenticated like StatsProvider; profiles carry only static
+  /// frame names and aggregate timing (target-independent by the
+  /// constant-shape argument in obs/profiler.h).
+  using ProfileProvider = std::function<Bytes(bool folded)>;
+
+  /// Produces the SLO/error-budget status document (JSON) for the
+  /// SLO_STATUS op. Authenticated like StatsProvider; the tracker
+  /// stores only aggregate good/bad counts per time bucket.
+  using SloProvider = std::function<Bytes()>;
+
   /// Relay-side timestamps for one request: when its frame arrived and
   /// when the hub dequeued it for handling. Used to reconstruct a
   /// retroactive "hub_queue_wait" span for sampled traces.
@@ -58,11 +70,15 @@ class PirServiceServer {
   PirServiceServer(core::PirEngine* engine, SecureSession session,
                    StatsProvider stats = nullptr,
                    TraceProvider trace_dump = nullptr,
-                   obs::Tracer* tracer = nullptr)
+                   obs::Tracer* tracer = nullptr,
+                   ProfileProvider profile_dump = nullptr,
+                   SloProvider slo_status = nullptr)
       : engine_(engine),
         session_(std::move(session)),
         stats_(std::move(stats)),
         trace_dump_(std::move(trace_dump)),
+        profile_dump_(std::move(profile_dump)),
+        slo_status_(std::move(slo_status)),
         tracer_(tracer) {}
 
   /// Decrypts one request record, executes it, returns the sealed
@@ -77,6 +93,8 @@ class PirServiceServer {
   SecureSession session_;
   StatsProvider stats_;
   TraceProvider trace_dump_;
+  ProfileProvider profile_dump_;
+  SloProvider slo_status_;
   obs::Tracer* tracer_;
 };
 
@@ -107,6 +125,13 @@ class PirServiceClient {
 
   /// Fetches the service's buffered spans as Chrome trace-event JSON.
   Result<Bytes> TraceDump();
+
+  /// Fetches the service's continuous-profiling dump: folded
+  /// flame-graph text when `folded`, else the JSON stack table.
+  Result<Bytes> ProfileDump(bool folded = false);
+
+  /// Fetches the service's SLO/error-budget status document (JSON).
+  Result<Bytes> SloStatus();
 
   /// Attaches a span collector (unowned; nullptr detaches). Sampled
   /// calls then emit "client_query"/"client_encode" spans and propagate

@@ -13,11 +13,15 @@ constexpr size_t kNonce = SecureSession::kNonceSize;
 
 ServiceHub::ServiceHub(core::PirEngine* engine, Bytes pre_shared_key,
                        uint64_t rng_seed, obs::MetricsRegistry* metrics,
-                       obs::Tracer* tracer)
+                       obs::Tracer* tracer,
+                       PirServiceServer::ProfileProvider profile_dump,
+                       PirServiceServer::SloProvider slo_status)
     : engine_(engine),
       pre_shared_key_(std::move(pre_shared_key)),
       metrics_(metrics),
       tracer_(tracer),
+      profile_dump_(std::move(profile_dump)),
+      slo_status_(std::move(slo_status)),
       rng_(rng_seed == 0 ? crypto::SecureRandom()
                          : crypto::SecureRandom(rng_seed)) {
   if (metrics_ != nullptr) {
@@ -137,7 +141,7 @@ Result<Bytes> ServiceHub::HandleFrame(ByteSpan frame) {
     }
     servers_[client_id] = std::make_unique<PirServiceServer>(
         engine_, std::move(session).value(), std::move(stats),
-        std::move(trace_dump), tracer_);
+        std::move(trace_dump), tracer_, profile_dump_, slo_status_);
     if (metered()) {
       instruments_.sessions->Set(static_cast<double>(servers_.size()));
     }

@@ -41,10 +41,16 @@ class ServiceHub {
   /// enables distributed tracing: sampled requests get hub_queue_wait /
   /// service_handle spans and the authenticated TRACE_DUMP op returns
   /// the buffered spans as Chrome trace JSON.
+  /// `profile_dump` / `slo_status` (optional) back the authenticated
+  /// PROFILE_DUMP / SLO_STATUS ops for every session the hub
+  /// establishes; both must be thread-safe and return aggregate,
+  /// target-independent data only (see obs/profiler.h, obs/slo.h).
   ServiceHub(core::PirEngine* engine, Bytes pre_shared_key,
              uint64_t rng_seed = 0,
              obs::MetricsRegistry* metrics = nullptr,
-             obs::Tracer* tracer = nullptr);
+             obs::Tracer* tracer = nullptr,
+             PirServiceServer::ProfileProvider profile_dump = nullptr,
+             PirServiceServer::SloProvider slo_status = nullptr);
 
   /// Handles one wire frame from any client; returns the reply frame.
   Result<Bytes> HandleFrame(ByteSpan frame);
@@ -92,6 +98,8 @@ class ServiceHub {
   Bytes pre_shared_key_;
   obs::MetricsRegistry* metrics_;
   obs::Tracer* tracer_;
+  PirServiceServer::ProfileProvider profile_dump_;
+  PirServiceServer::SloProvider slo_status_;
   Instruments instruments_;  // Written by the ctor only; const afterwards.
   mutable common::Mutex mutex_;
   /// Server-nonce generator; drawn from under mutex_ in HandleFrame.

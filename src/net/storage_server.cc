@@ -1,5 +1,7 @@
 #include "net/storage_server.h"
 
+#include <chrono>
+
 #include "obs/export.h"
 
 namespace shpir::net {
@@ -27,8 +29,13 @@ const char* ProviderSpanName(Op op) {
 
 StorageServer::StorageServer(storage::Disk* disk,
                              obs::MetricsRegistry* metrics,
-                             obs::Tracer* tracer)
-    : disk_(disk), metrics_(metrics), tracer_(tracer) {
+                             obs::Tracer* tracer, obs::Profiler* profiler,
+                             obs::SloTracker* slo)
+    : disk_(disk),
+      metrics_(metrics),
+      tracer_(tracer),
+      profiler_(profiler),
+      slo_(slo) {
   if (metrics_ != nullptr) {
     instruments_.requests =
         metrics_->FindOrCreateCounter("shpir_provider_requests_total");
@@ -50,13 +57,44 @@ Bytes StorageServer::Handle(ByteSpan request_frame) {
     if (metered()) {
       instruments_.errors->Increment();
     }
+    if (slo_ != nullptr) {
+      slo_->Record(0, /*ok=*/false);
+    }
     return EncodeErrorResponse(decoded.status());
   }
   const Request& request = *decoded;
-  const size_t slot_size = disk_->slot_size();
+  const auto start = std::chrono::steady_clock::now();
   // Provider-side span, parented on the propagated context (inert when
   // no tracer is attached or the request was not sampled).
   obs::TraceSpan span(tracer_, request.trace, ProviderSpanName(request.op));
+  Bytes response;
+  {
+    // Head-sampled requests profile as provider_handle;<op-name> —
+    // both frames name wire metadata the provider observes anyway.
+    obs::ProfileScope handle_scope(
+        profiler_ != nullptr && profiler_->SampleQuery() ? profiler_
+                                                         : nullptr,
+        "provider_handle");
+    obs::ProfileScope op_scope(
+        handle_scope.active() ? profiler_ : nullptr,
+        ProviderSpanName(request.op));
+    response = Dispatch(request);
+  }
+  if (slo_ != nullptr) {
+    // Response byte 0 is the wire status (0 = OK).
+    const bool ok = !response.empty() && response[0] == 0;
+    slo_->Record(
+        static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - start)
+                .count()),
+        ok);
+  }
+  return response;
+}
+
+Bytes StorageServer::Dispatch(const Request& request) {
+  const size_t slot_size = disk_->slot_size();
   switch (request.op) {
     case Op::kTraceDump: {
       if (tracer_ == nullptr) {
@@ -64,6 +102,29 @@ Bytes StorageServer::Handle(ByteSpan request_frame) {
             UnimplementedError("tracing is not enabled on this provider"));
       }
       const std::string json = obs::ToChromeTraceJson(tracer_->Snapshot());
+      return EncodeOkResponse(
+          ByteSpan(reinterpret_cast<const uint8_t*>(json.data()),
+                   json.size()));
+    }
+    case Op::kProfileDump: {
+      if (profiler_ == nullptr) {
+        return EncodeErrorResponse(UnimplementedError(
+            "profiling is not enabled on this provider"));
+      }
+      const bool folded =
+          !request.payload.empty() && request.payload[0] == 1;
+      const std::string text =
+          folded ? profiler_->ToCollapsed() : profiler_->ToJson();
+      return EncodeOkResponse(
+          ByteSpan(reinterpret_cast<const uint8_t*>(text.data()),
+                   text.size()));
+    }
+    case Op::kSloStatus: {
+      if (slo_ == nullptr) {
+        return EncodeErrorResponse(UnimplementedError(
+            "SLO tracking is not enabled on this provider"));
+      }
+      const std::string json = slo_->ToJson();
       return EncodeOkResponse(
           ByteSpan(reinterpret_cast<const uint8_t*>(json.data()),
                    json.size()));

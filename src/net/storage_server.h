@@ -5,6 +5,8 @@
 #include "net/transport.h"
 #include "net/wire.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
+#include "obs/slo.h"
 #include "obs/trace.h"
 #include "storage/disk.h"
 
@@ -24,9 +26,16 @@ class StorageServer {
   /// (optional, unowned) records one provider_* span per request that
   /// arrives in a sampled kTraced envelope and enables the kTraceDump
   /// op, which returns the buffered spans as Chrome trace JSON.
+  /// `profiler` (optional, unowned) head-samples provider requests into
+  /// provider_* folded stacks and enables the kProfileDump op; `slo`
+  /// (optional, unowned) records every request's handle latency and
+  /// outcome and enables the kSloStatus op. Both observe only wire-level
+  /// metadata the provider already sees.
   explicit StorageServer(storage::Disk* disk,
                          obs::MetricsRegistry* metrics = nullptr,
-                         obs::Tracer* tracer = nullptr);
+                         obs::Tracer* tracer = nullptr,
+                         obs::Profiler* profiler = nullptr,
+                         obs::SloTracker* slo = nullptr);
 
   /// Executes one request frame and returns the response frame. Errors
   /// are encoded into the response (the transport never fails).
@@ -41,9 +50,15 @@ class StorageServer {
   };
   bool metered() const { return instruments_.requests != nullptr; }
 
+  /// Dispatches one decoded request (the body of Handle, so the
+  /// profiling/SLO wrapper can observe the outcome uniformly).
+  Bytes Dispatch(const Request& request);
+
   storage::Disk* disk_;
   obs::MetricsRegistry* metrics_;
   obs::Tracer* tracer_;
+  obs::Profiler* profiler_;
+  obs::SloTracker* slo_;
   Instruments instruments_;
 };
 

@@ -73,6 +73,8 @@ Result<Request> DecodeRequest(ByteSpan frame) {
     case static_cast<uint8_t>(Op::kGeometry):
     case static_cast<uint8_t>(Op::kStats):
     case static_cast<uint8_t>(Op::kTraceDump):
+    case static_cast<uint8_t>(Op::kProfileDump):
+    case static_cast<uint8_t>(Op::kSloStatus):
       request.op = static_cast<Op>(frame[0]);
       break;
     default:

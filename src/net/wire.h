@@ -31,6 +31,10 @@ enum class Op : uint8_t {
   kStats = 6,     // Fetch the provider's metrics snapshot (JSON).
   kTraceDump = 7, // Fetch the provider's span buffer (Chrome trace JSON).
   kTraced = 8,    // Envelope: a traced inner request (see above).
+  // Continuous-profiling dump: payload byte 0 selects the format
+  // (0 = JSON stack table, 1 = flame-graph collapsed text; absent = 0).
+  kProfileDump = 9,
+  kSloStatus = 10,  // Fetch the provider's SLO/error-budget state (JSON).
 };
 
 struct Request {

@@ -1,0 +1,391 @@
+#include "obs/profiler.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <sstream>
+
+#include "obs/metrics.h"
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace shpir::obs {
+
+namespace {
+
+uint64_t WallNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// One boundary reading: wall clock plus, when the hardware backend is
+/// open, the calling thread's cycle/instruction counts.
+struct Reading {
+  uint64_t wall_ns = 0;
+  uint64_t cycles = 0;
+  uint64_t instructions = 0;
+};
+
+/// Per-thread cycle/instruction counters. On Linux this is a
+/// perf_event_open group — cycles as leader, retired instructions as a
+/// sibling — so one read(2) returns both atomically. Opening can fail
+/// for unprivileged processes (kernel.perf_event_paranoid) or absent
+/// PMUs (VMs, containers); the fallback reports zeros and the profiler
+/// keeps wall-time attribution only.
+class CpuCounters {
+ public:
+  ~CpuCounters() { Close(); }
+
+  /// Attempts the hardware backend once per thread; returns true when
+  /// hardware counters are live.
+  bool EnsureOpen(bool use_hw) {
+#if defined(__linux__)
+    if (!attempted_) {
+      attempted_ = true;
+      if (use_hw) {
+        Open();
+      }
+    }
+#else
+    (void)use_hw;
+    attempted_ = true;
+#endif
+    return leader_fd_ >= 0;
+  }
+
+  Reading Read() {
+    Reading reading;
+    reading.wall_ns = WallNs();
+#if defined(__linux__)
+    if (leader_fd_ >= 0) {
+      // PERF_FORMAT_GROUP layout: nr, then one value per member in
+      // group order (cycles first, instructions second).
+      uint64_t buffer[3] = {0, 0, 0};
+      const ssize_t got = read(leader_fd_, buffer, sizeof(buffer));
+      if (got == static_cast<ssize_t>(sizeof(buffer)) && buffer[0] == 2) {
+        reading.cycles = buffer[1];
+        reading.instructions = buffer[2];
+      }
+    }
+#endif
+    return reading;
+  }
+
+ private:
+#if defined(__linux__)
+  static int PerfOpen(uint32_t config, int group_fd) {
+    perf_event_attr attr;
+    std::memset(&attr, 0, sizeof(attr));
+    attr.type = PERF_TYPE_HARDWARE;
+    attr.size = sizeof(attr);
+    attr.config = config;
+    attr.read_format = PERF_FORMAT_GROUP;
+    attr.disabled = group_fd == -1 ? 1 : 0;
+    attr.exclude_kernel = 1;
+    attr.exclude_hv = 1;
+    return static_cast<int>(syscall(__NR_perf_event_open, &attr,
+                                    /*pid=*/0, /*cpu=*/-1, group_fd,
+                                    /*flags=*/0));
+  }
+
+  void Open() {
+    leader_fd_ = PerfOpen(PERF_COUNT_HW_CPU_CYCLES, -1);
+    if (leader_fd_ < 0) {
+      leader_fd_ = -1;
+      return;
+    }
+    instr_fd_ = PerfOpen(PERF_COUNT_HW_INSTRUCTIONS, leader_fd_);
+    if (instr_fd_ < 0) {
+      Close();
+      return;
+    }
+    ioctl(leader_fd_, PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP);
+    if (ioctl(leader_fd_, PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP) != 0) {
+      Close();
+    }
+  }
+#endif
+
+  void Close() {
+#if defined(__linux__)
+    if (instr_fd_ >= 0) {
+      close(instr_fd_);
+      instr_fd_ = -1;
+    }
+    if (leader_fd_ >= 0) {
+      close(leader_fd_);
+      leader_fd_ = -1;
+    }
+#endif
+  }
+
+  bool attempted_ = false;
+  int leader_fd_ = -1;
+  int instr_fd_ = -1;
+};
+
+/// Per-thread frame stack. Threads profile for one Profiler at a time;
+/// the owner pointer pairs pushes from a second instance with their
+/// pops without attributing anything to it.
+struct ThreadState {
+  Profiler* owner = nullptr;
+  std::array<const char*, Profiler::kMaxDepth> frames{};
+  size_t depth = 0;       // Logical depth (may exceed kMaxDepth).
+  size_t foreign = 0;     // Open pushes from a non-owner profiler.
+  Reading last{};
+  CpuCounters counters;
+};
+
+thread_local ThreadState tls_state;
+
+}  // namespace
+
+Profiler::Profiler(const Options& options) : options_(options) {}
+
+bool Profiler::SampleQuery() {
+  queries_.fetch_add(1, std::memory_order_relaxed);
+  if (options_.sample_every == 0) {
+    return false;
+  }
+  const uint64_t n =
+      sample_counter_.fetch_add(1, std::memory_order_relaxed);
+  if (n % options_.sample_every != 0) {
+    return false;
+  }
+  sampled_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void Profiler::Push(const char* frame) {
+  ThreadState& t = tls_state;
+  if (t.depth == 0) {
+    t.owner = this;
+    const bool hw = t.counters.EnsureOpen(options_.use_hw_counters);
+    int expected = 0;
+    backend_state_.compare_exchange_strong(expected, hw ? 1 : 2,
+                                           std::memory_order_relaxed);
+    if (hw) {
+      // A later thread may get hardware counters after an earlier one
+      // failed; prefer reporting the stronger backend.
+      backend_state_.store(1, std::memory_order_relaxed);
+    }
+    t.last = t.counters.Read();
+  } else {
+    if (t.owner != this) {
+      ++t.foreign;
+      return;
+    }
+    const Reading now = t.counters.Read();
+    PathKey key;
+    key.depth = t.depth < kMaxDepth ? t.depth : kMaxDepth;
+    for (size_t i = 0; i < key.depth; ++i) {
+      key.frames[i] = t.frames[i];
+    }
+    Attribute(key, now.wall_ns - t.last.wall_ns,
+              now.cycles - t.last.cycles,
+              now.instructions - t.last.instructions, /*samples=*/0);
+    t.last = now;
+  }
+  if (t.depth < kMaxDepth) {
+    t.frames[t.depth] = frame;
+  }
+  ++t.depth;
+}
+
+void Profiler::Pop() {
+  ThreadState& t = tls_state;
+  if (t.owner != this) {
+    if (t.foreign > 0) {
+      --t.foreign;
+    }
+    return;
+  }
+  if (t.depth == 0) {
+    return;
+  }
+  const Reading now = t.counters.Read();
+  PathKey key;
+  key.depth = t.depth < kMaxDepth ? t.depth : kMaxDepth;
+  for (size_t i = 0; i < key.depth; ++i) {
+    key.frames[i] = t.frames[i];
+  }
+  // Frames beyond kMaxDepth fold into their deepest kept ancestor, so
+  // only a pop that closes a kept frame counts a completed sample.
+  const uint64_t samples = t.depth <= kMaxDepth ? 1 : 0;
+  Attribute(key, now.wall_ns - t.last.wall_ns, now.cycles - t.last.cycles,
+            now.instructions - t.last.instructions, samples);
+  t.last = now;
+  --t.depth;
+  if (t.depth == 0) {
+    t.owner = nullptr;
+  }
+}
+
+void Profiler::AddExternalSample(
+    std::initializer_list<const char*> frames, uint64_t wall_ns) {
+  PathKey key;
+  for (const char* frame : frames) {
+    if (key.depth == kMaxDepth) {
+      break;
+    }
+    key.frames[key.depth++] = frame;
+  }
+  if (key.depth == 0) {
+    return;
+  }
+  Attribute(key, wall_ns, /*cycles=*/0, /*instructions=*/0, /*samples=*/1);
+}
+
+void Profiler::Attribute(const PathKey& key, uint64_t wall_ns,
+                         uint64_t cycles, uint64_t instructions,
+                         uint64_t samples) {
+  common::MutexLock lock(mutex_);
+  PathTotals& totals = paths_[key];
+  totals.samples += samples;
+  totals.wall_ns += wall_ns;
+  totals.cycles += cycles;
+  totals.instructions += instructions;
+}
+
+std::vector<Profiler::StackSample> Profiler::Snapshot() const {
+  std::vector<StackSample> out;
+  {
+    common::MutexLock lock(mutex_);
+    out.reserve(paths_.size());
+    for (const auto& [key, totals] : paths_) {
+      StackSample sample;
+      for (size_t i = 0; i < key.depth; ++i) {
+        if (i > 0) {
+          sample.stack += ';';
+        }
+        sample.stack += key.frames[i];
+      }
+      sample.samples = totals.samples;
+      sample.wall_ns = totals.wall_ns;
+      sample.cycles = totals.cycles;
+      sample.instructions = totals.instructions;
+      out.push_back(std::move(sample));
+    }
+  }
+  // The map orders by pointer identity; exports must not depend on
+  // allocation addresses, so order by the joined name instead.
+  std::sort(out.begin(), out.end(),
+            [](const StackSample& a, const StackSample& b) {
+              return a.stack < b.stack;
+            });
+  return out;
+}
+
+std::string Profiler::ToCollapsed() const {
+  std::string out;
+  for (const StackSample& sample : Snapshot()) {
+    out += sample.stack;
+    out += ' ';
+    out += std::to_string(sample.wall_ns);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string Profiler::ToCollapsedShape() const {
+  std::string out;
+  for (const StackSample& sample : Snapshot()) {
+    out += sample.stack;
+    out += ' ';
+    out += std::to_string(sample.samples);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string Profiler::ToJson() const {
+  std::ostringstream out;
+  out << "{\"backend\":\"" << backend() << "\",\"sample_every\":"
+      << options_.sample_every << ",\"queries\":" << queries()
+      << ",\"sampled\":" << sampled() << ",\"stacks\":[";
+  bool first = true;
+  for (const StackSample& sample : Snapshot()) {
+    if (!first) {
+      out << ',';
+    }
+    first = false;
+    // Stack names come from the closed static vocabulary
+    // ([a-z_;] only), so no JSON escaping is required.
+    out << "{\"stack\":\"" << sample.stack
+        << "\",\"samples\":" << sample.samples
+        << ",\"wall_ns\":" << sample.wall_ns
+        << ",\"cycles\":" << sample.cycles
+        << ",\"instructions\":" << sample.instructions << "}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+void Profiler::PublishMetrics(MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    return;
+  }
+  registry->RegisterCallbackGauge(
+      "shpir_profile_queries_total",
+      [this] { return static_cast<double>(queries()); });
+  registry->RegisterCallbackGauge(
+      "shpir_profile_sampled_total",
+      [this] { return static_cast<double>(sampled()); });
+  registry->RegisterCallbackGauge("shpir_profile_stacks", [this] {
+    common::MutexLock lock(mutex_);
+    return static_cast<double>(paths_.size());
+  });
+  registry->RegisterCallbackGauge("shpir_profile_wall_ns_total", [this] {
+    common::MutexLock lock(mutex_);
+    uint64_t total = 0;
+    for (const auto& [key, totals] : paths_) {
+      total += totals.wall_ns;
+    }
+    return static_cast<double>(total);
+  });
+  registry->RegisterCallbackGauge("shpir_profile_cycles_total", [this] {
+    common::MutexLock lock(mutex_);
+    uint64_t total = 0;
+    for (const auto& [key, totals] : paths_) {
+      total += totals.cycles;
+    }
+    return static_cast<double>(total);
+  });
+  registry->RegisterCallbackGauge(
+      "shpir_profile_instructions_total", [this] {
+        common::MutexLock lock(mutex_);
+        uint64_t total = 0;
+        for (const auto& [key, totals] : paths_) {
+          total += totals.instructions;
+        }
+        return static_cast<double>(total);
+      });
+  registry->RegisterCallbackGauge("shpir_profile_hw_backend", [this] {
+    return backend_state_.load(std::memory_order_relaxed) == 1 ? 1.0 : 0.0;
+  });
+}
+
+const char* Profiler::backend() const {
+  switch (backend_state_.load(std::memory_order_relaxed)) {
+    case 1:
+      return "perf_event";
+    case 2:
+      return "steady_clock";
+    default:
+      return "unattempted";
+  }
+}
+
+void Profiler::Clear() {
+  common::MutexLock lock(mutex_);
+  paths_.clear();
+}
+
+}  // namespace shpir::obs

@@ -1,0 +1,257 @@
+#include "obs/slo.h"
+
+#include <algorithm>
+#include <chrono>
+#include <sstream>
+
+#include "obs/metrics.h"
+
+namespace shpir::obs {
+
+namespace {
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+constexpr uint64_t kNsPerSec = 1'000'000'000ull;
+
+double BurnRate(uint64_t bad, uint64_t total, double objective) {
+  if (total == 0) {
+    return 0.0;
+  }
+  const double budget = 1.0 - objective;
+  if (budget <= 0.0) {
+    return bad > 0 ? 1e18 : 0.0;  // A zero-budget SLO burns instantly.
+  }
+  return (static_cast<double>(bad) / static_cast<double>(total)) / budget;
+}
+
+void AppendJsonDouble(std::ostringstream& out, double value) {
+  // Burn rates can be the 1e18 sentinel; keep the emitted text finite
+  // and parseable.
+  out << std::min(value, 1e18);
+}
+
+}  // namespace
+
+constexpr std::array<SloTracker::BurnRule, SloTracker::kNumRules>
+    SloTracker::kDefaultRules;
+
+SloTracker::SloTracker(const Objectives& objectives)
+    : objectives_(objectives) {
+  if (objectives_.bucket_seconds == 0) {
+    objectives_.bucket_seconds = 1;
+  }
+  if (objectives_.num_buckets == 0) {
+    objectives_.num_buckets = 1;
+  }
+  common::MutexLock lock(mutex_);
+  buckets_.resize(objectives_.num_buckets);
+}
+
+void SloTracker::Record(uint64_t latency_ns, bool ok) {
+  RecordAt(NowNs(), latency_ns, ok);
+}
+
+void SloTracker::RecordAt(uint64_t now_ns, uint64_t latency_ns, bool ok) {
+  common::MutexLock lock(mutex_);
+  Bucket& bucket = BucketFor(now_ns);
+  bucket.total += 1;
+  requests_total_ += 1;
+  if (!ok) {
+    bucket.errors += 1;
+    errors_total_ += 1;
+  } else if (latency_ns > objectives_.latency_threshold_ns) {
+    bucket.slow += 1;
+    slow_total_ += 1;
+  }
+}
+
+SloTracker::Bucket& SloTracker::BucketFor(uint64_t now_ns) {
+  // Epoch 0 marks an unused slot, so bucket indices start at 1.
+  const uint64_t epoch =
+      now_ns / (objectives_.bucket_seconds * kNsPerSec) + 1;
+  Bucket& bucket = buckets_[epoch % buckets_.size()];
+  if (bucket.epoch != epoch) {
+    bucket = Bucket{};
+    bucket.epoch = epoch;
+  }
+  return bucket;
+}
+
+SloTracker::WindowCounts SloTracker::CountWindow(
+    uint64_t now_ns, uint64_t window_s) const {
+  const uint64_t now_epoch =
+      now_ns / (objectives_.bucket_seconds * kNsPerSec) + 1;
+  // Windows shorter than one bucket still cover the current bucket;
+  // windows longer than the horizon clamp to it.
+  uint64_t span = (window_s + objectives_.bucket_seconds - 1) /
+                  objectives_.bucket_seconds;
+  span = std::max<uint64_t>(1, std::min<uint64_t>(span, buckets_.size()));
+  WindowCounts counts;
+  for (const Bucket& bucket : buckets_) {
+    if (bucket.epoch == 0 || bucket.epoch > now_epoch ||
+        bucket.epoch + span <= now_epoch) {
+      continue;
+    }
+    counts.total += bucket.total;
+    counts.errors += bucket.errors;
+    counts.slow += bucket.slow;
+  }
+  return counts;
+}
+
+SloTracker::Snapshot SloTracker::EvaluateLocked(uint64_t now_ns) {
+  Snapshot snapshot;
+  snapshot.requests_total = requests_total_;
+  snapshot.errors_total = errors_total_;
+  snapshot.slow_total = slow_total_;
+
+  const uint64_t horizon_s =
+      objectives_.bucket_seconds * buckets_.size();
+  const WindowCounts horizon = CountWindow(now_ns, horizon_s);
+
+  // sli 0 = availability (bad = errors, denominator = all requests);
+  // sli 1 = latency (bad = slow, denominator = successful requests).
+  for (int sli = 0; sli < 2; ++sli) {
+    SliState& state = sli == 0 ? snapshot.availability : snapshot.latency;
+    state.sli = sli == 0 ? "availability" : "latency";
+    state.objective = sli == 0 ? objectives_.availability_objective
+                               : objectives_.latency_objective;
+    state.total = sli == 0 ? horizon.total : horizon.total - horizon.errors;
+    state.bad = sli == 0 ? horizon.errors : horizon.slow;
+    const double horizon_burn =
+        BurnRate(state.bad, state.total, state.objective);
+    state.budget_remaining = std::max(0.0, 1.0 - horizon_burn);
+
+    for (size_t r = 0; r < kNumRules; ++r) {
+      const BurnRule& rule = kDefaultRules[r];
+      RuleState& rule_state = state.rules[r];
+      rule_state.rule = rule.name;
+      const WindowCounts short_w = CountWindow(now_ns, rule.short_window_s);
+      const WindowCounts long_w = CountWindow(now_ns, rule.long_window_s);
+      const uint64_t short_bad = sli == 0 ? short_w.errors : short_w.slow;
+      const uint64_t short_total =
+          sli == 0 ? short_w.total : short_w.total - short_w.errors;
+      const uint64_t long_bad = sli == 0 ? long_w.errors : long_w.slow;
+      const uint64_t long_total =
+          sli == 0 ? long_w.total : long_w.total - long_w.errors;
+      rule_state.short_burn =
+          BurnRate(short_bad, short_total, state.objective);
+      rule_state.long_burn = BurnRate(long_bad, long_total, state.objective);
+      rule_state.firing = rule_state.short_burn >= rule.burn_threshold &&
+                          rule_state.long_burn >= rule.burn_threshold;
+      bool& latch = firing_[static_cast<size_t>(sli)][r];
+      if (rule_state.firing && !latch) {
+        alert_transitions_ += 1;  // Edge-triggered: fire once per episode.
+      }
+      latch = rule_state.firing;
+    }
+  }
+  snapshot.alert_transitions = alert_transitions_;
+  return snapshot;
+}
+
+SloTracker::Snapshot SloTracker::Evaluate() { return EvaluateAt(NowNs()); }
+
+SloTracker::Snapshot SloTracker::EvaluateAt(uint64_t now_ns) {
+  common::MutexLock lock(mutex_);
+  return EvaluateLocked(now_ns);
+}
+
+std::string SloTracker::SnapshotJson(const Snapshot& snapshot) {
+  std::ostringstream out;
+  out << "{\"requests_total\":" << snapshot.requests_total
+      << ",\"errors_total\":" << snapshot.errors_total
+      << ",\"slow_total\":" << snapshot.slow_total
+      << ",\"alert_transitions\":" << snapshot.alert_transitions;
+  for (const SliState* state :
+       {&snapshot.availability, &snapshot.latency}) {
+    out << ",\"" << state->sli << "\":{\"objective\":";
+    AppendJsonDouble(out, state->objective);
+    out << ",\"window_total\":" << state->total
+        << ",\"window_bad\":" << state->bad << ",\"budget_remaining\":";
+    AppendJsonDouble(out, state->budget_remaining);
+    out << ",\"rules\":[";
+    for (size_t r = 0; r < kNumRules; ++r) {
+      if (r > 0) {
+        out << ',';
+      }
+      const RuleState& rule = state->rules[r];
+      out << "{\"rule\":\"" << rule.rule << "\",\"short_burn\":";
+      AppendJsonDouble(out, rule.short_burn);
+      out << ",\"long_burn\":";
+      AppendJsonDouble(out, rule.long_burn);
+      out << ",\"firing\":" << (rule.firing ? "true" : "false") << "}";
+    }
+    out << "]}";
+  }
+  out << "}";
+  return out.str();
+}
+
+std::string SloTracker::ToJson() { return ToJsonAt(NowNs()); }
+
+std::string SloTracker::ToJsonAt(uint64_t now_ns) {
+  return SnapshotJson(EvaluateAt(now_ns));
+}
+
+void SloTracker::PublishMetrics(MetricsRegistry* registry,
+                                const std::string& prefix) {
+  if (registry == nullptr) {
+    return;
+  }
+  const std::string base =
+      prefix.empty() ? "shpir_slo_" : "shpir_slo_" + prefix + "_";
+  registry->RegisterCallbackGauge(base + "requests_total", [this] {
+    return static_cast<double>(Evaluate().requests_total);
+  });
+  registry->RegisterCallbackGauge(base + "errors_total", [this] {
+    return static_cast<double>(Evaluate().errors_total);
+  });
+  registry->RegisterCallbackGauge(base + "slow_total", [this] {
+    return static_cast<double>(Evaluate().slow_total);
+  });
+  registry->RegisterCallbackGauge(base + "alert_transitions_total", [this] {
+    return static_cast<double>(Evaluate().alert_transitions);
+  });
+  struct GaugeSpec {
+    const char* name;
+    int sli;  // 0 = availability, 1 = latency.
+    int rule;  // -1 = budget remaining.
+    bool firing;
+  };
+  static constexpr GaugeSpec kSpecs[] = {
+      {"availability_budget_remaining", 0, -1, false},
+      {"latency_budget_remaining", 1, -1, false},
+      {"availability_fast_burn_short", 0, 0, false},
+      {"availability_slow_burn_short", 0, 1, false},
+      {"latency_fast_burn_short", 1, 0, false},
+      {"latency_slow_burn_short", 1, 1, false},
+      {"availability_fast_firing", 0, 0, true},
+      {"availability_slow_firing", 0, 1, true},
+      {"latency_fast_firing", 1, 0, true},
+      {"latency_slow_firing", 1, 1, true},
+  };
+  for (const GaugeSpec& spec : kSpecs) {
+    registry->RegisterCallbackGauge(base + spec.name, [this, spec] {
+      const Snapshot snapshot = Evaluate();
+      const SliState& state =
+          spec.sli == 0 ? snapshot.availability : snapshot.latency;
+      if (spec.rule < 0) {
+        return state.budget_remaining;
+      }
+      const RuleState& rule = state.rules[static_cast<size_t>(spec.rule)];
+      if (spec.firing) {
+        return rule.firing ? 1.0 : 0.0;
+      }
+      return std::min(rule.short_burn, 1e18);
+    });
+  }
+}
+
+}  // namespace shpir::obs

@@ -6,6 +6,7 @@
 #include <cstdint>
 
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 
 namespace shpir::obs {
@@ -56,7 +57,9 @@ class QueryTrace {
     }
   }
 
-  bool enabled() const { return phases_ != nullptr || tracer_ != nullptr; }
+  bool enabled() const {
+    return phases_ != nullptr || tracer_ != nullptr || profiler_ != nullptr;
+  }
 
   /// Routes each phase occurrence to `tracer` as a span under `parent`.
   /// Only call with an active (sampled) parent context.
@@ -65,6 +68,19 @@ class QueryTrace {
     tracer_ = tracer;
     parent_ = parent;
     shard_ = shard;
+  }
+
+  /// Routes each phase occurrence to `profiler` as a pushed/popped
+  /// frame under the caller's current stack (the engine's
+  /// "engine_round" root scope). Only call for head-sampled rounds.
+  void SetProfileSink(Profiler* profiler) { profiler_ = profiler; }
+
+  /// Span start: opens the phase frame on the profiler stack (no-op
+  /// without a profile sink).
+  void OnSpanBegin(Phase phase) {
+    if (profiler_ != nullptr) {
+      profiler_->Push(PhaseName(phase));
+    }
   }
 
   /// Adds `ns` to the phase's running total; phases re-entered several
@@ -96,6 +112,9 @@ class QueryTrace {
       record.shard = shard_;
       tracer_->Record(record);
     }
+    if (profiler_ != nullptr) {
+      profiler_->Pop();
+    }
   }
 
  private:
@@ -104,6 +123,7 @@ class QueryTrace {
   Tracer* tracer_ = nullptr;
   TraceContext parent_;
   int32_t shard_ = -1;
+  Profiler* profiler_ = nullptr;
 };
 
 /// RAII phase timer on a QueryTrace. Disabled traces make this a no-op.
@@ -112,6 +132,7 @@ class Span {
   Span(QueryTrace& trace, Phase phase)
       : trace_(trace.enabled() ? &trace : nullptr), phase_(phase) {
     if (trace_ != nullptr) {
+      trace_->OnSpanBegin(phase_);
       start_ = std::chrono::steady_clock::now();
     }
   }

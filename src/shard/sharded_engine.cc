@@ -21,6 +21,13 @@ size_t SealedSlotSize(size_t page_size) {
 /// any realistic shard count.
 constexpr uint64_t kDummySeedOffset = 1000000;
 
+uint64_t ElapsedNs(std::chrono::steady_clock::time_point start) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+}
+
 }  // namespace
 
 ShardedPirEngine::ShardedPirEngine(ShardPlan plan, size_t page_size,
@@ -163,7 +170,11 @@ Result<Bytes> ShardedPirEngine::FanOut(
   // the capture self-contained.
   obs::TraceSpan fan_span(tracer_, ctx, "shard_fanout");
   const obs::TraceContext fan_ctx = fan_span.context();
-  const uint64_t submit_ns = fan_ctx.active() ? obs::Tracer::NowNs() : 0;
+  // The submit timestamp feeds both the retroactive queue-wait trace
+  // span and the profiler's queue-wait attribution.
+  const uint64_t submit_ns = fan_ctx.active() || profiler_ != nullptr
+                                 ? obs::Tracer::NowNs()
+                                 : 0;
 
   // The caller blocks on `join` until the owner shard's worker fulfills
   // it, so stack storage is safe: no job referencing it can outlive this
@@ -190,12 +201,17 @@ Result<Bytes> ShardedPirEngine::FanOut(
       RecordShardQueueWait(fan_ctx, submit_ns, static_cast<int32_t>(s));
       if (admission.ok()) {
         RunDummy(s, fan_ctx);
+      } else if (shards_[s]->slo != nullptr) {
+        // Expired covers burn this shard's availability budget exactly
+        // like an expired real query would.
+        shards_[s]->slo->Record(0, /*ok=*/false);
       }
     };
   }
   jobs[owner] = [this, owner, local, fan_ctx, submit_ns, &join,
                  &real](const Status& admission) {
     RecordShardQueueWait(fan_ctx, submit_ns, static_cast<int32_t>(owner));
+    const auto query_start = std::chrono::steady_clock::now();
     Result<Bytes> outcome =
         admission.ok()
             ? [&]() -> Result<Bytes> {
@@ -216,6 +232,9 @@ Result<Bytes> ShardedPirEngine::FanOut(
                 return r;
               }()
             : Result<Bytes>(admission);
+    if (shards_[owner]->slo != nullptr) {
+      shards_[owner]->slo->Record(ElapsedNs(query_start), outcome.ok());
+    }
     {
       common::MutexLock lock(join.mutex);
       join.result = std::move(outcome);
@@ -225,11 +244,22 @@ Result<Bytes> ShardedPirEngine::FanOut(
     }
   };
 
-  SHPIR_RETURN_IF_ERROR(dispatcher_->SubmitAll(std::move(jobs), deadline));
+  const Status submitted = dispatcher_->SubmitAll(std::move(jobs), deadline);
+  if (!submitted.ok()) {
+    // Admission rejection is the availability failure the SLO exists to
+    // catch (the queue was full; no shard ever saw the request).
+    if (logical_slo_ != nullptr) {
+      logical_slo_->Record(ElapsedNs(start), /*ok=*/false);
+    }
+    return submitted;
+  }
 
   common::MutexLock lock(join.mutex);
   while (!join.result.has_value()) {
     join.cv.Wait(lock);
+  }
+  if (logical_slo_ != nullptr) {
+    logical_slo_->Record(ElapsedNs(start), join.result->ok());
   }
   if (metered()) {
     instruments_.logical_queries->Increment();
@@ -257,8 +287,15 @@ void ShardedPirEngine::RunDummy(uint64_t shard_index,
   if (metered()) {
     instruments_.dummy_queries->Increment();
   }
+  const auto query_start = std::chrono::steady_clock::now();
   const Result<Bytes> discarded =
       shard->engine->TracedRetrieve(local, query_span.context());
+  if (shard->slo != nullptr) {
+    // Covers record into the shard SLO exactly like real queries —
+    // skipping them would make the tracker's counts a function of
+    // where the real targets live.
+    shard->slo->Record(ElapsedNs(query_start), discarded.ok());
+  }
   shard->span_disk->clear_context();
   if (!discarded.ok() && metered()) {
     // A dummy can hit a Removed id; the round still ran, the payload is
@@ -270,6 +307,15 @@ void ShardedPirEngine::RunDummy(uint64_t shard_index,
 void ShardedPirEngine::RecordShardQueueWait(const obs::TraceContext& fan_ctx,
                                             uint64_t submit_ns,
                                             int32_t shard) {
+  if (submit_ns == 0) {
+    return;
+  }
+  if (profiler_ != nullptr) {
+    const uint64_t picked_up = obs::Tracer::NowNs();
+    profiler_->AddExternalSample(
+        {"shard_fanout", "queue_wait"},
+        picked_up > submit_ns ? picked_up - submit_ns : 0);
+  }
   if (tracer_ == nullptr || !fan_ctx.active()) {
     return;
   }
@@ -291,6 +337,62 @@ void ShardedPirEngine::EnableTracing(obs::Tracer* tracer) {
     shards_[i]->engine->EnableTracing(tracer, static_cast<int32_t>(i));
     shards_[i]->span_disk->set_tracer(tracer, static_cast<int32_t>(i));
   }
+}
+
+void ShardedPirEngine::EnableProfiling(obs::Profiler* profiler) {
+  profiler_ = profiler;
+  for (auto& shard : shards_) {
+    shard->engine->EnableProfiling(profiler);
+  }
+}
+
+void ShardedPirEngine::EnableSlo(const obs::SloTracker::Objectives& objectives,
+                                 obs::MetricsRegistry* registry) {
+  logical_slo_ = std::make_unique<obs::SloTracker>(objectives);
+  for (auto& shard : shards_) {
+    shard->slo = std::make_unique<obs::SloTracker>(objectives);
+  }
+  if (registry != nullptr) {
+    // Only the logical tracker exports gauges: per-shard trackers
+    // would collide on the flat name space, and the fleet view plus
+    // the worst-shard indicator below is what alerting needs. Shard
+    // detail stays on the SLO_STATUS wire op.
+    logical_slo_->PublishMetrics(registry);
+    registry->RegisterCallbackGauge("shpir_slo_shards_firing", [this] {
+      double firing = 0;
+      for (auto& shard : shards_) {
+        const obs::SloTracker::Snapshot snapshot = shard->slo->Evaluate();
+        bool any = false;
+        for (const auto& rule : snapshot.availability.rules) {
+          any = any || rule.firing;
+        }
+        for (const auto& rule : snapshot.latency.rules) {
+          any = any || rule.firing;
+        }
+        if (any) {
+          firing += 1.0;
+        }
+      }
+      return firing;
+    });
+  }
+}
+
+std::string ShardedPirEngine::SloStatusJson() {
+  if (logical_slo_ == nullptr) {
+    return "{}";
+  }
+  std::string out = "{\"logical\":";
+  out += logical_slo_->ToJson();
+  out += ",\"shards\":[";
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    if (i > 0) {
+      out += ',';
+    }
+    out += shards_[i]->slo->ToJson();
+  }
+  out += "]}";
+  return out;
 }
 
 void ShardedPirEngine::EnablePrivacyMonitor(obs::MetricsRegistry* registry,

@@ -15,6 +15,8 @@
 #include "hardware/profile.h"
 #include "obs/metrics.h"
 #include "obs/privacy_monitor.h"
+#include "obs/profiler.h"
+#include "obs/slo.h"
 #include "obs/trace.h"
 #include "shard/dispatcher.h"
 #include "shard/shard_plan.h"
@@ -181,6 +183,33 @@ class ShardedPirEngine : public core::PirEngine {
     return shards_[shard]->monitor.get();
   }
 
+  /// Attaches the sampling profiler (unowned; must outlive the engine)
+  /// to every shard engine, and folds dispatcher queue waits in as
+  /// "shard_fanout;queue_wait" external samples. Real and cover
+  /// queries profile identically — same head-sampling counter, same
+  /// frame vocabulary — so the profile stays target-independent.
+  void EnableProfiling(obs::Profiler* profiler);
+
+  /// Creates one SloTracker per shard plus a logical-request tracker
+  /// at the fan-out level. Every shard query — real or cover — records
+  /// into its shard's tracker identically; admission rejections and
+  /// deadline expiries count against availability. Only the logical
+  /// tracker exports shpir_slo_* gauges on `registry` (may be null);
+  /// per-shard state is served by SloStatusJson() / the SLO_STATUS
+  /// wire op, keyed by public shard index.
+  void EnableSlo(const obs::SloTracker::Objectives& objectives,
+                 obs::MetricsRegistry* registry = nullptr);
+
+  /// Closed-schema status document: logical tracker plus one entry per
+  /// shard. Empty "{}" until EnableSlo.
+  std::string SloStatusJson();
+
+  /// Null until EnableSlo.
+  obs::SloTracker* shard_slo(uint64_t shard) {
+    return shards_[shard]->slo.get();
+  }
+  obs::SloTracker* logical_slo() { return logical_slo_.get(); }
+
  private:
   /// One shard's stack, in destruction-order-sensitive member order.
   struct Shard {
@@ -190,6 +219,7 @@ class ShardedPirEngine : public core::PirEngine {
     std::unique_ptr<storage::SpanDisk> span_disk;
     std::unique_ptr<hardware::SecureCoprocessor> device;
     std::unique_ptr<obs::PrivacyMonitor> monitor;  // Optional; pre-engine.
+    std::unique_ptr<obs::SloTracker> slo;          // Optional.
     std::unique_ptr<core::CApproxPir> engine;
     /// Touched only by this shard's worker thread.
     crypto::SecureRandom dummy_rng;
@@ -228,6 +258,8 @@ class ShardedPirEngine : public core::PirEngine {
   std::vector<std::unique_ptr<Shard>> shards_;
   ShardQueryObserver observer_;
   obs::Tracer* tracer_ = nullptr;
+  obs::Profiler* profiler_ = nullptr;
+  std::unique_ptr<obs::SloTracker> logical_slo_;
 
   struct Instruments {
     obs::Counter* logical_queries = nullptr;

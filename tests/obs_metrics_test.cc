@@ -165,6 +165,62 @@ TEST(Histogram, QuantileWithinOneBucketOfExact) {
   }
 }
 
+TEST(Histogram, QuantileOfEmptyHistogramIsZero) {
+  MetricsRegistry registry;
+  Histogram* histogram = registry.FindOrCreateHistogram("test_latency_ns");
+  for (double q : {0.0, 0.5, 0.99, 1.0}) {
+    EXPECT_EQ(histogram->Quantile(q), 0.0) << "q=" << q;
+  }
+}
+
+TEST(Histogram, QuantileOfSingleSampleIsExact) {
+  // With one sample the [Min, Max] clamp collapses the bucket midpoint
+  // to the recorded value, for every q — including one far into the
+  // exponential range where the raw midpoint would be off by ~12%.
+  for (uint64_t value : {0ull, 5ull, 37ull, 1000000ull}) {
+    MetricsRegistry registry;
+    Histogram* histogram = registry.FindOrCreateHistogram("test_latency_ns");
+    histogram->Record(value);
+    for (double q : {0.0, 0.5, 1.0}) {
+      EXPECT_EQ(histogram->Quantile(q), static_cast<double>(value))
+          << "value=" << value << " q=" << q;
+    }
+  }
+}
+
+TEST(Histogram, QuantileAtBucketEdges) {
+  MetricsRegistry registry;
+  Histogram* histogram = registry.FindOrCreateHistogram("test_latency_ns");
+  // 15 is the last exact linear bucket; 16 starts the exponential
+  // range (bucket [16, 19]). The estimate for each must stay inside
+  // the recorded value's own bucket.
+  for (int i = 0; i < 100; ++i) {
+    histogram->Record(15);
+  }
+  EXPECT_EQ(histogram->Quantile(0.5), 15.0);
+  for (int i = 0; i < 300; ++i) {
+    histogram->Record(16);
+  }
+  // Median now falls in the [16, 19] bucket; the midpoint 17.5 is
+  // within the documented one-bucket error of the exact value 16.
+  const double median = histogram->Quantile(0.5);
+  EXPECT_GE(median, 16.0);
+  EXPECT_LE(median, 19.0);
+}
+
+TEST(Histogram, QuantileExtremesReturnMinAndMax) {
+  MetricsRegistry registry;
+  Histogram* histogram = registry.FindOrCreateHistogram("test_latency_ns");
+  // Values in the linear range have exact single-value buckets, so the
+  // extremes are exact, and out-of-range q must clamp, not crash.
+  histogram->Record(10);
+  histogram->Record(12);
+  EXPECT_EQ(histogram->Quantile(0.0), 10.0);
+  EXPECT_EQ(histogram->Quantile(1.0), 12.0);
+  EXPECT_EQ(histogram->Quantile(-1.0), 10.0);
+  EXPECT_EQ(histogram->Quantile(2.0), 12.0);
+}
+
 TEST(Histogram, ConcurrentRecordsLandExactly) {
   MetricsRegistry registry;
   Histogram* histogram = registry.FindOrCreateHistogram("test_latency_ns");

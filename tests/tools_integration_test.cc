@@ -1,13 +1,23 @@
 // End-to-end integration of the deployment CLIs: launches the real
-// shpir_provider binary, drives it with the real shpir_owner binary,
-// and checks data survives across invocations and provider restarts.
+// shpir_provider binary, drives it with the real shpir_owner binary
+// (two-party) or an in-process PirServiceClient (three-party hub), and
+// checks data survives restarts and that the observability CLIs
+// (shpir_stats, shpir_trace, shpir_profile, shpir_benchdiff) speak the
+// wire protocols end to end.
 
 #include <gtest/gtest.h>
 
 #include <array>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <memory>
 #include <string>
+
+#include "crypto/secure_random.h"
+#include "net/pir_service.h"
+#include "net/service_hub.h"
+#include "net/tcp_transport.h"
 
 namespace shpir {
 namespace {
@@ -67,15 +77,61 @@ class ToolsIntegrationTest : public ::testing::Test {
     std::remove(state_.c_str());
   }
 
-  void StartProvider(uint64_t slots, uint64_t slot_size) {
+  void StartProvider(uint64_t slots, uint64_t slot_size,
+                     const std::string& extra_args = "") {
     const std::string command =
         BinDir() + "/shpir_provider " + disk_ + " " +
         std::to_string(slots) + " " + std::to_string(slot_size) + " " +
-        std::to_string(port_) + " > /dev/null 2>&1 & echo $!";
+        std::to_string(port_) + " " + extra_args +
+        " > /dev/null 2>&1 & echo $!";
     const CommandResult result = RunShell(command);
     provider_pid_ = std::stoi(result.output);
     // Give it a moment to bind.
     RunShell("sleep 0.3");
+  }
+
+  void StartHub(const std::string& extra_args = "") {
+    const std::string command =
+        BinDir() + "/shpir_provider hub --pages 64 --page-size 128 "
+        "--cache 8 --port " + std::to_string(port_) +
+        " --psk testpsk " + extra_args + " > /dev/null 2>&1 & echo $!";
+    const CommandResult result = RunShell(command);
+    provider_pid_ = std::stoi(result.output);
+    RunShell("sleep 0.5");
+  }
+
+  /// Three-party client: handshakes with the live hub binary and
+  /// returns a sealed-session service client.
+  Result<std::unique_ptr<net::PirServiceClient>> ConnectHubClient(
+      std::unique_ptr<net::TcpTransport>* transport_out) {
+    Result<std::unique_ptr<net::TcpTransport>> transport =
+        net::TcpTransport::Connect("127.0.0.1", port_);
+    if (!transport.ok()) {
+      return transport.status();
+    }
+    const std::string psk_text = "testpsk";
+    const Bytes psk(psk_text.begin(), psk_text.end());
+    crypto::SecureRandom rng;
+    const uint64_t client_id = rng.NextUint64();
+    Bytes nonce(net::SecureSession::kNonceSize);
+    rng.Fill(nonce);
+    Result<Bytes> hello = (*transport)->RoundTrip(
+        net::ServiceHub::MakeHello(client_id, nonce));
+    if (!hello.ok()) {
+      return hello.status();
+    }
+    Result<net::SecureSession> session =
+        net::ServiceHub::CompleteHandshake(*hello, psk, client_id, nonce);
+    if (!session.ok()) {
+      return session.status();
+    }
+    net::TcpTransport* wire = transport->get();
+    *transport_out = std::move(transport).value();
+    return std::make_unique<net::PirServiceClient>(
+        std::move(session).value(), [wire, client_id](ByteSpan record) {
+          return wire->RoundTrip(
+              net::ServiceHub::MakeData(client_id, record));
+        });
   }
 
   void StopProvider() {
@@ -202,6 +258,196 @@ TEST_F(ToolsIntegrationTest, StatsCliPollsRunningProvider) {
   // The provider's registry never carries per-request identifiers.
   EXPECT_EQ(table.output.find("page_id"), std::string::npos);
   EXPECT_EQ(table.output.find("request_index"), std::string::npos);
+}
+
+TEST_F(ToolsIntegrationTest, ProfileAndSloCliAgainstStorageProvider) {
+  const CommandResult probe =
+      Owner("init --pages 50 --page-size 128 --cache 8");
+  uint64_t slots = 0, slot_size = 0;
+  ASSERT_TRUE(ParseGeometry(probe.output, &slots, &slot_size))
+      << probe.output;
+  StartProvider(slots, slot_size, "--profile-sample 1 --slo-latency-ms 50");
+  ASSERT_EQ(Owner("init --pages 50 --page-size 128 --cache 8").exit_code,
+            0);
+  ASSERT_EQ(Owner("put --id 3 --data hello").exit_code, 0);
+  ASSERT_EQ(Owner("get --id 3").exit_code, 0);
+
+  // PROFILE_DUMP, JSON schema: sampling config plus a stack table fed
+  // by the owner's traffic.
+  const std::string profile_cmd =
+      BinDir() + "/shpir_profile --port " + std::to_string(port_);
+  const CommandResult json = RunShell(profile_cmd);
+  ASSERT_EQ(json.exit_code, 0) << json.output;
+  EXPECT_NE(json.output.find("\"sample_every\":1"), std::string::npos)
+      << json.output;
+  EXPECT_NE(json.output.find("provider_handle"), std::string::npos)
+      << json.output;
+
+  // PROFILE_DUMP, collapsed flame-graph text.
+  const CommandResult folded = RunShell(profile_cmd + " --format collapsed");
+  ASSERT_EQ(folded.exit_code, 0) << folded.output;
+  EXPECT_NE(folded.output.find("provider_handle;"), std::string::npos)
+      << folded.output;
+
+  // Profiles are aggregate-only: frame names come from a closed
+  // vocabulary, so no page id or request index can appear.
+  EXPECT_EQ(json.output.find("page_id"), std::string::npos);
+
+  // SLO_STATUS via shpir_stats --slo: the owner's requests all
+  // succeeded, so the budget is intact and nothing fires.
+  const CommandResult slo = RunShell(
+      BinDir() + "/shpir_stats --port " + std::to_string(port_) + " --slo");
+  ASSERT_EQ(slo.exit_code, 0) << slo.output;
+  EXPECT_NE(slo.output.find("\"availability\":"), std::string::npos)
+      << slo.output;
+  EXPECT_NE(slo.output.find("\"budget_remaining\":1"), std::string::npos)
+      << slo.output;
+  EXPECT_NE(slo.output.find("\"alert_transitions\":0"), std::string::npos)
+      << slo.output;
+}
+
+TEST_F(ToolsIntegrationTest, ObservabilityCliSuiteAgainstLiveHub) {
+  StartHub("--trace-buffer 256 --profile-sample 1 --slo-latency-ms 50");
+
+  // Drive real queries through the sealed session so the hub's
+  // profiler, tracer, and SLO tracker all see traffic. The listener
+  // serves one connection at a time, so all in-process client work —
+  // including the sealed SLO_STATUS fetch — happens before the CLIs
+  // connect, and the transport is closed in between.
+  std::string slo_json;
+  {
+    std::unique_ptr<net::TcpTransport> transport;
+    Result<std::unique_ptr<net::PirServiceClient>> client =
+        ConnectHubClient(&transport);
+    ASSERT_TRUE(client.ok()) << client.status().ToString();
+    for (storage::PageId id = 0; id < 8; ++id) {
+      Result<Bytes> page = (*client)->Retrieve(id);
+      ASSERT_TRUE(page.ok()) << page.status().ToString();
+    }
+    Result<Bytes> slo = (*client)->SloStatus();
+    ASSERT_TRUE(slo.ok()) << slo.status().ToString();
+    slo_json.assign(slo->begin(), slo->end());
+  }
+
+  // SLO_STATUS through the sealed session: per-shard documents under
+  // the fleet rollup, all healthy.
+  EXPECT_NE(slo_json.find("\"availability\":"), std::string::npos)
+      << slo_json;
+  EXPECT_NE(slo_json.find("\"alert_transitions\":0"), std::string::npos)
+      << slo_json;
+
+  // shpir_profile hub: authenticated PROFILE_DUMP through the
+  // handshake, both formats.
+  const std::string hub_args = " --port " + std::to_string(port_) +
+                               " --psk testpsk";
+  const CommandResult json =
+      RunShell(BinDir() + "/shpir_profile hub" + hub_args);
+  ASSERT_EQ(json.exit_code, 0) << json.output;
+  EXPECT_NE(json.output.find("\"stacks\":["), std::string::npos)
+      << json.output;
+  const CommandResult folded = RunShell(
+      BinDir() + "/shpir_profile hub" + hub_args + " --format collapsed");
+  ASSERT_EQ(folded.exit_code, 0) << folded.output;
+  EXPECT_NE(folded.output.find("engine_round"), std::string::npos)
+      << folded.output;
+
+  // shpir_trace hub: the span buffer renders as Chrome trace JSON.
+  const CommandResult trace =
+      RunShell(BinDir() + "/shpir_trace hub" + hub_args);
+  ASSERT_EQ(trace.exit_code, 0) << trace.output;
+  EXPECT_NE(trace.output.find("\"traceEvents\""), std::string::npos)
+      << trace.output;
+
+  // A wrong key cannot read profiles: the handshake fails before the
+  // op is ever decoded.
+  const CommandResult denied =
+      RunShell(BinDir() + "/shpir_profile hub --port " +
+               std::to_string(port_) + " --psk wrongpsk");
+  EXPECT_NE(denied.exit_code, 0);
+}
+
+class BenchDiffTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Per-test-case file names: ctest runs each case as its own
+    // process, concurrently, so shared paths would race.
+    const std::string name =
+        ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    baseline_ = ::testing::TempDir() + "/benchdiff_" + name + "_baseline.json";
+    current_ = ::testing::TempDir() + "/benchdiff_" + name + "_current.json";
+  }
+  void TearDown() override {
+    std::remove(baseline_.c_str());
+    std::remove(current_.c_str());
+  }
+
+  static void WriteReport(const std::string& path, double qps,
+                          double p99_ns, double overhead_pct) {
+    std::ofstream out(path, std::ios::trunc);
+    out << "{\"schema_version\":1,\"benchmark\":\"bench_fixture\","
+           "\"git_sha\":\"test\",\"timestamp_utc\":\"2026-01-01T00:00:00Z\","
+           "\"params\":{},\"metrics\":["
+           "{\"name\":\"qps\",\"value\":" << qps
+        << ",\"direction\":\"higher_better\",\"tolerance_pct\":5},"
+           "{\"name\":\"p99_ns\",\"value\":" << p99_ns
+        << ",\"direction\":\"lower_better\",\"tolerance_pct\":5},"
+           "{\"name\":\"overhead_pct\",\"value\":" << overhead_pct
+        << ",\"direction\":\"lower_better\",\"tolerance_pct\":0,"
+           "\"budget_max\":5}]}";
+  }
+
+  CommandResult Diff() {
+    return RunShell(BinDir() + "/shpir_benchdiff --baseline " + baseline_ +
+                    " --current " + current_);
+  }
+
+  std::string baseline_;
+  std::string current_;
+};
+
+TEST_F(BenchDiffTest, IdenticalReportsPass) {
+  WriteReport(baseline_, 1000.0, 500000.0, 1.0);
+  WriteReport(current_, 1000.0, 500000.0, 1.0);
+  const CommandResult result = Diff();
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("all metrics within tolerance"),
+            std::string::npos)
+      << result.output;
+}
+
+TEST_F(BenchDiffTest, SmallDriftWithinTolerancePasses) {
+  WriteReport(baseline_, 1000.0, 500000.0, 1.0);
+  // 2% drift on the tolerance-gated metrics, under their 5%; the
+  // zero-tolerance overhead budget metric stays flat.
+  WriteReport(current_, 980.0, 510000.0, 1.0);
+  EXPECT_EQ(Diff().exit_code, 0);
+}
+
+TEST_F(BenchDiffTest, InjectedRegressionFailsTheGate) {
+  WriteReport(baseline_, 1000.0, 500000.0, 1.0);
+  // 20% throughput loss and 25% latency regression: both must trip.
+  WriteReport(current_, 800.0, 625000.0, 1.0);
+  const CommandResult result = Diff();
+  EXPECT_EQ(result.exit_code, 1) << result.output;
+  EXPECT_NE(result.output.find("regressed"), std::string::npos)
+      << result.output;
+}
+
+TEST_F(BenchDiffTest, BudgetOverrunFailsEvenWithMatchingBaseline) {
+  // The overhead budget is absolute: a current value over budget_max
+  // fails even when the baseline carried the same (bad) number.
+  WriteReport(baseline_, 1000.0, 500000.0, 9.0);
+  WriteReport(current_, 1000.0, 500000.0, 9.0);
+  EXPECT_EQ(Diff().exit_code, 1);
+}
+
+TEST_F(BenchDiffTest, MismatchedBenchmarksAreAUsageError) {
+  WriteReport(baseline_, 1000.0, 500000.0, 1.0);
+  std::ofstream out(current_, std::ios::trunc);
+  out << "{\"schema_version\":1,\"benchmark\":\"other_bench\","
+         "\"metrics\":[]}";
+  out.close();
+  EXPECT_EQ(Diff().exit_code, 2);
 }
 
 TEST_F(ToolsIntegrationTest, ProviderRefusesBadArgs) {

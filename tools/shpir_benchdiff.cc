@@ -1,0 +1,437 @@
+// Bench-regression gate: compares two bench_report.h JSON artifacts
+// (a committed baseline and a fresh run) and fails when a gated metric
+// moved against its declared direction by more than its noise
+// tolerance, or when a budgeted metric exceeds its absolute bound.
+//
+//   shpir_benchdiff --baseline FILE --current FILE
+//
+// Exit codes: 0 = within tolerances, 1 = regression detected,
+// 2 = usage / parse / schema mismatch.
+//
+// The tool reads only the schema_version / benchmark / metrics surface
+// of the report (sections are free-form and ignored), and the gating
+// policy lives in the producing benchmark: each metric carries its own
+// direction ("lower_better" / "higher_better" / "none"), tolerance_pct,
+// and optional budget_max. Metrics new in the current run pass with a
+// note; gated metrics that disappeared fail — a silently dropped gate
+// is itself a regression.
+//
+// Deliberately dependency-free: the parser below handles exactly the
+// JSON subset bench_report.h emits (objects, arrays, strings without
+// escapes we don't produce, numbers, booleans, null).
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal JSON value + recursive-descent parser.
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool bool_value = false;
+  double number = 0;
+  std::string string_value;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  const JsonValue* Find(const std::string& key) const {
+    auto it = object.find(key);
+    return it == object.end() ? nullptr : &it->second;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  bool Parse(JsonValue* out) {
+    pos_ = 0;
+    if (!ParseValue(out)) {
+      return false;
+    }
+    SkipSpace();
+    return pos_ == text_.size();
+  }
+
+  size_t error_pos() const { return pos_; }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Literal(const char* word) {
+    const size_t len = std::strlen(word);
+    if (text_.compare(pos_, len, word) != 0) {
+      return false;
+    }
+    pos_ += len;
+    return true;
+  }
+
+  bool ParseString(std::string* out) {
+    if (pos_ >= text_.size() || text_[pos_] != '"') {
+      return false;
+    }
+    ++pos_;
+    out->clear();
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\' && pos_ < text_.size()) {
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': c = '"'; break;
+          case '\\': c = '\\'; break;
+          case '/': c = '/'; break;
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case 'r': c = '\r'; break;
+          default: return false;  // \uXXXX etc.: not produced by us.
+        }
+      }
+      out->push_back(c);
+    }
+    if (pos_ >= text_.size()) {
+      return false;
+    }
+    ++pos_;  // Closing quote.
+    return true;
+  }
+
+  bool ParseValue(JsonValue* out) {
+    SkipSpace();
+    if (pos_ >= text_.size()) {
+      return false;
+    }
+    const char c = text_[pos_];
+    if (c == '{') {
+      out->kind = JsonValue::Kind::kObject;
+      ++pos_;
+      SkipSpace();
+      if (pos_ < text_.size() && text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      while (true) {
+        SkipSpace();
+        std::string key;
+        if (!ParseString(&key)) {
+          return false;
+        }
+        SkipSpace();
+        if (pos_ >= text_.size() || text_[pos_] != ':') {
+          return false;
+        }
+        ++pos_;
+        JsonValue value;
+        if (!ParseValue(&value)) {
+          return false;
+        }
+        out->object.emplace(std::move(key), std::move(value));
+        SkipSpace();
+        if (pos_ >= text_.size()) {
+          return false;
+        }
+        if (text_[pos_] == ',') {
+          ++pos_;
+          continue;
+        }
+        if (text_[pos_] == '}') {
+          ++pos_;
+          return true;
+        }
+        return false;
+      }
+    }
+    if (c == '[') {
+      out->kind = JsonValue::Kind::kArray;
+      ++pos_;
+      SkipSpace();
+      if (pos_ < text_.size() && text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      while (true) {
+        JsonValue value;
+        if (!ParseValue(&value)) {
+          return false;
+        }
+        out->array.push_back(std::move(value));
+        SkipSpace();
+        if (pos_ >= text_.size()) {
+          return false;
+        }
+        if (text_[pos_] == ',') {
+          ++pos_;
+          continue;
+        }
+        if (text_[pos_] == ']') {
+          ++pos_;
+          return true;
+        }
+        return false;
+      }
+    }
+    if (c == '"') {
+      out->kind = JsonValue::Kind::kString;
+      return ParseString(&out->string_value);
+    }
+    if (c == 't') {
+      out->kind = JsonValue::Kind::kBool;
+      out->bool_value = true;
+      return Literal("true");
+    }
+    if (c == 'f') {
+      out->kind = JsonValue::Kind::kBool;
+      out->bool_value = false;
+      return Literal("false");
+    }
+    if (c == 'n') {
+      out->kind = JsonValue::Kind::kNull;
+      return Literal("null");
+    }
+    // Number.
+    const size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      return false;
+    }
+    out->kind = JsonValue::Kind::kNumber;
+    out->number = std::strtod(text_.substr(start, pos_ - start).c_str(),
+                              nullptr);
+    return true;
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Report model.
+
+struct Metric {
+  std::string name;
+  double value = 0;
+  std::string direction;  // "lower_better" | "higher_better" | "none".
+  double tolerance_pct = 0;
+  bool has_budget = false;
+  double budget_max = 0;
+};
+
+struct Report {
+  int schema_version = 0;
+  std::string benchmark;
+  std::vector<Metric> metrics;
+};
+
+bool LoadReport(const std::string& path, Report* out, std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    *error = "cannot read " + path;
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+  JsonValue root;
+  JsonParser parser(text);
+  if (!parser.Parse(&root) || root.kind != JsonValue::Kind::kObject) {
+    *error = path + ": JSON parse error near byte " +
+             std::to_string(parser.error_pos());
+    return false;
+  }
+  const JsonValue* schema = root.Find("schema_version");
+  const JsonValue* benchmark = root.Find("benchmark");
+  const JsonValue* metrics = root.Find("metrics");
+  if (schema == nullptr || schema->kind != JsonValue::Kind::kNumber ||
+      benchmark == nullptr ||
+      benchmark->kind != JsonValue::Kind::kString || metrics == nullptr ||
+      metrics->kind != JsonValue::Kind::kArray) {
+    *error = path + ": not a bench_report.h artifact "
+             "(schema_version/benchmark/metrics missing)";
+    return false;
+  }
+  out->schema_version = static_cast<int>(schema->number);
+  out->benchmark = benchmark->string_value;
+  for (const JsonValue& entry : metrics->array) {
+    if (entry.kind != JsonValue::Kind::kObject) {
+      *error = path + ": metrics entries must be objects";
+      return false;
+    }
+    const JsonValue* name = entry.Find("name");
+    const JsonValue* value = entry.Find("value");
+    if (name == nullptr || name->kind != JsonValue::Kind::kString ||
+        value == nullptr || value->kind != JsonValue::Kind::kNumber) {
+      *error = path + ": metric missing name/value";
+      return false;
+    }
+    Metric m;
+    m.name = name->string_value;
+    m.value = value->number;
+    if (const JsonValue* d = entry.Find("direction");
+        d != nullptr && d->kind == JsonValue::Kind::kString) {
+      m.direction = d->string_value;
+    } else {
+      m.direction = "none";
+    }
+    if (const JsonValue* t = entry.Find("tolerance_pct");
+        t != nullptr && t->kind == JsonValue::Kind::kNumber) {
+      m.tolerance_pct = t->number;
+    }
+    if (const JsonValue* b = entry.Find("budget_max");
+        b != nullptr && b->kind == JsonValue::Kind::kNumber) {
+      m.has_budget = true;
+      m.budget_max = b->number;
+    }
+    out->metrics.push_back(std::move(m));
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Gate logic.
+
+bool IsGated(const Metric& m) {
+  return m.direction == "lower_better" || m.direction == "higher_better";
+}
+
+int Compare(const Report& baseline, const Report& current) {
+  if (baseline.schema_version != current.schema_version) {
+    std::fprintf(stderr,
+                 "error: schema_version mismatch (baseline %d, current "
+                 "%d) — regenerate the baseline\n",
+                 baseline.schema_version, current.schema_version);
+    return 2;
+  }
+  if (baseline.benchmark != current.benchmark) {
+    std::fprintf(stderr,
+                 "error: comparing different benchmarks (baseline "
+                 "\"%s\", current \"%s\")\n",
+                 baseline.benchmark.c_str(), current.benchmark.c_str());
+    return 2;
+  }
+
+  std::map<std::string, const Metric*> base_by_name;
+  for (const Metric& m : baseline.metrics) {
+    base_by_name[m.name] = &m;
+  }
+  std::map<std::string, const Metric*> current_by_name;
+  for (const Metric& m : current.metrics) {
+    current_by_name[m.name] = &m;
+  }
+
+  int failures = 0;
+  std::printf("benchmark: %s (schema v%d)\n", current.benchmark.c_str(),
+              current.schema_version);
+  std::printf("%-32s %14s %14s %9s  %s\n", "metric", "baseline", "current",
+              "delta", "verdict");
+
+  for (const Metric& cur : current.metrics) {
+    const Metric* base = nullptr;
+    if (auto it = base_by_name.find(cur.name); it != base_by_name.end()) {
+      base = it->second;
+    }
+    const double base_value = base != nullptr ? base->value : 0.0;
+    const double delta_pct =
+        base != nullptr && base->value != 0.0
+            ? 100.0 * (cur.value - base->value) / std::fabs(base->value)
+            : 0.0;
+
+    std::string verdict = "ok";
+    if (cur.has_budget && cur.value > cur.budget_max) {
+      verdict = "FAIL (budget " + std::to_string(cur.budget_max) + ")";
+      ++failures;
+    } else if (base == nullptr) {
+      verdict = IsGated(cur) || cur.has_budget ? "new (no baseline)"
+                                               : "info";
+    } else if (cur.direction == "lower_better") {
+      if (base->value == 0.0 ? cur.value > 0.0
+                             : delta_pct > cur.tolerance_pct) {
+        verdict = "FAIL (regressed)";
+        ++failures;
+      }
+    } else if (cur.direction == "higher_better") {
+      if (base->value == 0.0 ? cur.value < 0.0
+                             : delta_pct < -cur.tolerance_pct) {
+        verdict = "FAIL (regressed)";
+        ++failures;
+      }
+    } else if (!cur.has_budget) {
+      verdict = "info";
+    }
+    std::printf("%-32s %14.4f %14.4f %8.2f%%  %s\n", cur.name.c_str(),
+                base_value, cur.value, delta_pct, verdict.c_str());
+  }
+
+  // A gated metric that vanished is a silently dropped gate.
+  for (const Metric& base : baseline.metrics) {
+    if ((IsGated(base) || base.has_budget) &&
+        current_by_name.find(base.name) == current_by_name.end()) {
+      std::printf("%-32s %14.4f %14s %9s  FAIL (metric dropped)\n",
+                  base.name.c_str(), base.value, "-", "-");
+      ++failures;
+    }
+  }
+
+  if (failures > 0) {
+    std::printf("\n%d metric(s) regressed\n", failures);
+    return 1;
+  }
+  std::printf("\nall metrics within tolerance\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string baseline_path;
+  std::string current_path;
+  for (int i = 1; i + 1 < argc; i += 2) {
+    if (std::strcmp(argv[i], "--baseline") == 0) {
+      baseline_path = argv[i + 1];
+    } else if (std::strcmp(argv[i], "--current") == 0) {
+      current_path = argv[i + 1];
+    } else {
+      baseline_path.clear();
+      break;
+    }
+  }
+  if (baseline_path.empty() || current_path.empty()) {
+    std::fprintf(stderr,
+                 "usage: %s --baseline FILE --current FILE\n"
+                 "exit 0 = pass, 1 = regression, 2 = usage/parse error\n",
+                 argv[0]);
+    return 2;
+  }
+  Report baseline;
+  Report current;
+  std::string error;
+  if (!LoadReport(baseline_path, &baseline, &error) ||
+      !LoadReport(current_path, &current, &error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 2;
+  }
+  return Compare(baseline, current);
+}

@@ -18,6 +18,10 @@
 //               --trace-out FILE (dump the owner-side spans as Chrome
 //                 trace JSON after the command; provider-side spans are
 //                 fetched separately with shpir_trace)
+//               --profile-sample N (profile 1-in-N engine rounds; 0 =
+//                 off) and --profile-out FILE (write the owner-side
+//                 collapsed flame-graph profile after the command;
+//                 provider-side profiles come from shpir_profile)
 //
 // Example session:
 //   slots=$(...)                         # printed by `init`
@@ -48,6 +52,7 @@
 #include "net/tcp_transport.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 
 namespace {
@@ -115,6 +120,7 @@ struct Session {
   std::unique_ptr<net::RemoteDisk> disk;
   std::unique_ptr<hardware::SecureCoprocessor> cpu;
   std::unique_ptr<obs::Tracer> tracer;  // Null unless --trace-sample.
+  std::unique_ptr<obs::Profiler> profiler;  // Null unless --profile-sample.
   std::unique_ptr<core::CApproxPir> engine;
   core::CApproxPir::Options options;
   crypto::BlobCipher cipher;
@@ -187,6 +193,13 @@ Result<std::unique_ptr<Session>> Connect(
     session->tracer = std::make_unique<obs::Tracer>(trace_options);
     session->disk->set_tracer(session->tracer.get());
     session->engine->EnableTracing(session->tracer.get());
+  }
+  const uint64_t profile_sample = flags.GetU64("profile-sample", 0);
+  if (profile_sample > 0) {
+    obs::Profiler::Options profile_options;
+    profile_options.sample_every = profile_sample;
+    session->profiler = std::make_unique<obs::Profiler>(profile_options);
+    session->engine->EnableProfiling(session->profiler.get());
   }
   return session;
 }
@@ -337,6 +350,17 @@ int CmdOp(const std::string& command, const Flags& flags) {
     const Status written = WriteFile(
         trace_out, ByteSpan(reinterpret_cast<const uint8_t*>(json.data()),
                             json.size()));
+    if (!written.ok()) {
+      return Fail(written);
+    }
+  }
+  const std::string profile_out = flags.Get("profile-out");
+  if (!profile_out.empty() && (*session)->profiler != nullptr) {
+    const std::string folded = (*session)->profiler->ToCollapsed();
+    const Status written = WriteFile(
+        profile_out,
+        ByteSpan(reinterpret_cast<const uint8_t*>(folded.data()),
+                 folded.size()));
     if (!written.ok()) {
       return Fail(written);
     }

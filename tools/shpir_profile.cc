@@ -1,0 +1,175 @@
+// Continuous-profiling CLI: fetches the aggregated profile from a
+// running shpir endpoint, either as the closed-schema JSON stack table
+// or as flame-graph-compatible collapsed text (pipe the latter into
+// flamegraph.pl / speedscope; see docs/OBSERVABILITY.md).
+//
+// Two-party model — polls a shpir_provider's storage server over the
+// plaintext PROFILE_DUMP wire op:
+//
+//   shpir_profile [--host H] [--port P] [--format json|collapsed]
+//                 [--out FILE]
+//
+// Three-party model — performs the hub handshake and fetches the dump
+// through the sealed session, so only holders of the pre-shared key can
+// read the (aggregate, target-independent) profile:
+//
+//   shpir_profile hub [--host H] [--port P] [--psk STR] [--client-id N]
+//                     [--format json|collapsed] [--out FILE]
+//
+// Default output is stdout; --out writes to FILE.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "crypto/secure_random.h"
+#include "net/pir_service.h"
+#include "net/service_hub.h"
+#include "net/tcp_transport.h"
+#include "net/wire.h"
+
+namespace {
+
+using namespace shpir;
+
+struct Flags {
+  std::map<std::string, std::string> values;
+
+  std::string Get(const std::string& key,
+                  const std::string& fallback = "") const {
+    auto it = values.find(key);
+    return it == values.end() ? fallback : it->second;
+  }
+  uint64_t GetU64(const std::string& key, uint64_t fallback) const {
+    auto it = values.find(key);
+    return it == values.end() ? fallback
+                              : std::strtoull(it->second.c_str(), nullptr,
+                                              10);
+  }
+};
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+bool WantCollapsed(const Flags& flags) {
+  return flags.Get("format", "json") == "collapsed";
+}
+
+int Emit(const Flags& flags, const Bytes& body) {
+  const std::string out_path = flags.Get("out");
+  if (out_path.empty()) {
+    std::fwrite(body.data(), 1, body.size(), stdout);
+    if (body.empty() || body.back() != '\n') {
+      std::fputc('\n', stdout);
+    }
+    return 0;
+  }
+  std::ofstream out(out_path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(body.data()),
+            static_cast<std::streamsize>(body.size()));
+  if (!out) {
+    std::fprintf(stderr, "error: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "wrote %zu bytes to %s\n", body.size(),
+               out_path.c_str());
+  return 0;
+}
+
+/// Two-party model: the provider serves its own profile plaintext — the
+/// provider is the untrusted party, and its profile covers work it
+/// already observes (request kinds and timing), never page identities.
+int DumpStorage(const Flags& flags) {
+  Result<std::unique_ptr<net::TcpTransport>> transport =
+      net::TcpTransport::Connect(
+          flags.Get("host", "127.0.0.1"),
+          static_cast<uint16_t>(flags.GetU64("port", 9000)));
+  if (!transport.ok()) {
+    return Fail(transport.status());
+  }
+  net::Request request;
+  request.op = net::Op::kProfileDump;
+  request.payload.push_back(WantCollapsed(flags) ? 1 : 0);
+  Result<Bytes> reply =
+      (*transport)->RoundTrip(net::EncodeRequest(request));
+  if (!reply.ok()) {
+    return Fail(reply.status());
+  }
+  Result<Bytes> payload = net::DecodeResponse(*reply);
+  if (!payload.ok()) {
+    return Fail(payload.status());
+  }
+  return Emit(flags, *payload);
+}
+
+/// Three-party model: handshake with the hub, then fetch the dump
+/// through the sealed session (authenticated PROFILE_DUMP op).
+int DumpHub(const Flags& flags) {
+  Result<std::unique_ptr<net::TcpTransport>> transport =
+      net::TcpTransport::Connect(
+          flags.Get("host", "127.0.0.1"),
+          static_cast<uint16_t>(flags.GetU64("port", 9000)));
+  if (!transport.ok()) {
+    return Fail(transport.status());
+  }
+  const std::string psk_text = flags.Get("psk", "shpir");
+  const Bytes psk(psk_text.begin(), psk_text.end());
+  crypto::SecureRandom rng;  // OS entropy.
+  const uint64_t client_id = flags.values.count("client-id")
+                                 ? flags.GetU64("client-id", 0)
+                                 : rng.NextUint64();
+  Bytes nonce(net::SecureSession::kNonceSize);
+  rng.Fill(nonce);
+  Result<Bytes> hello_reply = (*transport)->RoundTrip(
+      net::ServiceHub::MakeHello(client_id, nonce));
+  if (!hello_reply.ok()) {
+    return Fail(hello_reply.status());
+  }
+  Result<net::SecureSession> session = net::ServiceHub::CompleteHandshake(
+      *hello_reply, psk, client_id, nonce);
+  if (!session.ok()) {
+    return Fail(session.status());
+  }
+  net::TcpTransport* wire = transport->get();
+  net::PirServiceClient client(
+      std::move(session).value(), [wire, client_id](ByteSpan record) {
+        return wire->RoundTrip(net::ServiceHub::MakeData(client_id, record));
+      });
+  Result<Bytes> body = client.ProfileDump(WantCollapsed(flags));
+  if (!body.ok()) {
+    return Fail(body.status());
+  }
+  return Emit(flags, *body);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool hub = argc >= 2 && std::strcmp(argv[1], "hub") == 0;
+  Flags flags;
+  for (int i = hub ? 2 : 1; i < argc; i += 2) {
+    if (std::strncmp(argv[i], "--", 2) != 0 || i + 1 >= argc) {
+      std::fprintf(
+          stderr,
+          "usage: %s [--host H] [--port P] [--format json|collapsed] "
+          "[--out FILE]\n"
+          "       %s hub [--host H] [--port P] [--psk STR] "
+          "[--client-id N] [--format json|collapsed] [--out FILE]\n",
+          argv[0], argv[0]);
+      return 2;
+    }
+    flags.values[argv[i] + 2] = argv[i + 1];
+  }
+  const std::string format = flags.Get("format", "json");
+  if (format != "json" && format != "collapsed") {
+    std::fprintf(stderr, "error: --format must be json or collapsed\n");
+    return 2;
+  }
+  return hub ? DumpHub(flags) : DumpStorage(flags);
+}

@@ -21,11 +21,19 @@
 //   shpir_provider hub --pages N [--page-size B] [--cache M] [--c C]
 //                      [--shards S] [--queue-depth D] [--deadline-ms T]
 //                      [--port P] [--psk STR] [--seed X]
-//                      [--trace-buffer SPANS]
+//                      [--trace-buffer SPANS] [--profile-sample N]
+//                      [--slo-latency-ms T]
 //
 // --cache is the per-shard (per-device) cache m; see docs/SHARDING.md.
 // --trace-buffer enables tracing across the hub and every shard; fetch
 // dumps with `shpir_trace hub` (authenticated TRACE_DUMP op).
+//
+// Both modes accept --profile-sample N (continuous profiling, 1-in-N
+// head sampling; fetch with shpir_profile / the PROFILE_DUMP op) and
+// --slo-latency-ms T (SLO tracking with latency threshold T; fetch with
+// `shpir_stats --slo 1` / the SLO_STATUS op). Profiles and SLO state
+// are aggregate and target-independent by construction (see
+// docs/OBSERVABILITY.md).
 
 #include <cstdio>
 #include <cstdlib>
@@ -39,6 +47,8 @@
 #include "net/storage_server.h"
 #include "net/tcp_transport.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
+#include "obs/slo.h"
 #include "obs/trace.h"
 #include "shard/sharded_engine.h"
 #include "storage/file_disk.h"
@@ -132,8 +142,38 @@ int ServeHub(int argc, char** argv) {
     (*engine)->EnableTracing(tracer.get());
   }
 
+  std::unique_ptr<obs::Profiler> profiler;
+  net::PirServiceServer::ProfileProvider profile_dump;
+  const uint64_t profile_sample = flags.GetU64("profile-sample", 0);
+  if (profile_sample > 0) {
+    obs::Profiler::Options profile_options;
+    profile_options.sample_every = profile_sample;
+    profiler = std::make_unique<obs::Profiler>(profile_options);
+    profiler->PublishMetrics(&metrics);
+    (*engine)->EnableProfiling(profiler.get());
+    obs::Profiler* p = profiler.get();
+    profile_dump = [p](bool folded) {
+      const std::string body = folded ? p->ToCollapsed() : p->ToJson();
+      return Bytes(body.begin(), body.end());
+    };
+  }
+
+  net::PirServiceServer::SloProvider slo_status;
+  const uint64_t slo_latency_ms = flags.GetU64("slo-latency-ms", 0);
+  if (slo_latency_ms > 0) {
+    obs::SloTracker::Objectives objectives;
+    objectives.latency_threshold_ns = slo_latency_ms * 1'000'000;
+    (*engine)->EnableSlo(objectives, &metrics);
+    shard::ShardedPirEngine* e = engine->get();
+    slo_status = [e] {
+      const std::string body = e->SloStatusJson();
+      return Bytes(body.begin(), body.end());
+    };
+  }
+
   net::ServiceHub hub(engine->get(), std::move(psk), /*rng_seed=*/0,
-                      &metrics, tracer.get());
+                      &metrics, tracer.get(), std::move(profile_dump),
+                      std::move(slo_status));
   Result<std::unique_ptr<net::TcpFrameListener>> listener =
       net::TcpFrameListener::Listen(
           [&hub](ByteSpan frame) { return hub.HandleFrame(frame); }, port);
@@ -159,9 +199,17 @@ int ServeHub(int argc, char** argv) {
 int ServeStorage(int argc, char** argv) {
   std::vector<std::string> positional;
   uint64_t trace_buffer = 0;
+  uint64_t profile_sample = 0;
+  uint64_t slo_latency_ms = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--trace-buffer") == 0 && i + 1 < argc) {
       trace_buffer = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--profile-sample") == 0 &&
+               i + 1 < argc) {
+      profile_sample = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--slo-latency-ms") == 0 &&
+               i + 1 < argc) {
+      slo_latency_ms = std::strtoull(argv[++i], nullptr, 10);
     } else {
       positional.emplace_back(argv[i]);
     }
@@ -209,7 +257,22 @@ int ServeStorage(int argc, char** argv) {
     trace_options.buffer_capacity = trace_buffer;
     tracer = std::make_unique<obs::Tracer>(trace_options);
   }
-  net::StorageServer server(&metered, &metrics, tracer.get());
+  std::unique_ptr<obs::Profiler> profiler;
+  if (profile_sample > 0) {
+    obs::Profiler::Options profile_options;
+    profile_options.sample_every = profile_sample;
+    profiler = std::make_unique<obs::Profiler>(profile_options);
+    profiler->PublishMetrics(&metrics);
+  }
+  std::unique_ptr<obs::SloTracker> slo;
+  if (slo_latency_ms > 0) {
+    obs::SloTracker::Objectives objectives;
+    objectives.latency_threshold_ns = slo_latency_ms * 1'000'000;
+    slo = std::make_unique<obs::SloTracker>(objectives);
+    slo->PublishMetrics(&metrics);
+  }
+  net::StorageServer server(&metered, &metrics, tracer.get(),
+                            profiler.get(), slo.get());
   Result<std::unique_ptr<net::TcpStorageListener>> listener =
       net::TcpStorageListener::Listen(&server, port);
   if (!listener.ok()) {
@@ -234,11 +297,13 @@ int main(int argc, char** argv) {
     std::fprintf(
         stderr,
         "usage: %s <disk-file> <slots> <slot-size> [port]\n"
-        "          [--trace-buffer SPANS]\n"
+        "          [--trace-buffer SPANS] [--profile-sample N]\n"
+        "          [--slo-latency-ms T]\n"
         "       %s hub --pages N [--page-size B] [--cache M] [--c C]\n"
         "          [--shards S] [--queue-depth D] [--deadline-ms T]\n"
         "          [--port P] [--psk STR] [--seed X]\n"
-        "          [--trace-buffer SPANS]\n",
+        "          [--trace-buffer SPANS] [--profile-sample N]\n"
+        "          [--slo-latency-ms T]\n",
         argv[0], argv[0]);
   }
   return code;

@@ -3,15 +3,17 @@
 // renders it. The snapshot is aggregate-only by construction — the
 // provider's registry never holds per-request data.
 //
-//   shpir_stats [--host H] [--port P] [--json | --prometheus]
+//   shpir_stats [--host H] [--port P] [--json | --prometheus | --slo]
 //               [--watch SECONDS]
 //
 // Default output is a human-readable table; --json dumps the raw wire
 // payload; --prometheus re-exports it in Prometheus text format (for
-// scraping through a sidecar). --watch re-polls every SECONDS seconds
-// until interrupted; transient poll failures (provider restarting,
-// connection refused) are reported and retried, and the tool only gives
-// up after several consecutive failures.
+// scraping through a sidecar); --slo fetches the provider's
+// SLO/error-budget status document instead (SLO_STATUS op, JSON —
+// requires the provider to run with --slo-latency-ms). --watch re-polls
+// every SECONDS seconds until interrupted; transient poll failures
+// (provider restarting, connection refused) are reported and retried,
+// and the tool only gives up after several consecutive failures.
 
 #include <chrono>
 #include <cstdio>
@@ -34,7 +36,7 @@ int Fail(const Status& status) {
   return 1;
 }
 
-enum class Format { kTable, kJson, kPrometheus };
+enum class Format { kTable, kJson, kPrometheus, kSlo };
 
 int PollOnce(const std::string& host, uint16_t port, Format format) {
   Result<std::unique_ptr<net::TcpTransport>> transport =
@@ -43,7 +45,8 @@ int PollOnce(const std::string& host, uint16_t port, Format format) {
     return Fail(transport.status());
   }
   net::Request request;
-  request.op = net::Op::kStats;
+  request.op = format == Format::kSlo ? net::Op::kSloStatus
+                                      : net::Op::kStats;
   Result<Bytes> reply =
       (*transport)->RoundTrip(net::EncodeRequest(request));
   if (!reply.ok()) {
@@ -54,7 +57,7 @@ int PollOnce(const std::string& host, uint16_t port, Format format) {
     return Fail(payload.status());
   }
   const std::string json(payload->begin(), payload->end());
-  if (format == Format::kJson) {
+  if (format == Format::kJson || format == Format::kSlo) {
     std::printf("%s\n", json.c_str());
     return 0;
   }
@@ -83,6 +86,8 @@ int main(int argc, char** argv) {
       format = Format::kJson;
     } else if (arg == "--prometheus") {
       format = Format::kPrometheus;
+    } else if (arg == "--slo") {
+      format = Format::kSlo;
     } else if (arg == "--host" && i + 1 < argc) {
       host = argv[++i];
     } else if (arg == "--port" && i + 1 < argc) {
@@ -92,7 +97,7 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: %s [--host H] [--port P] [--json | "
-                   "--prometheus] [--watch SECONDS]\n",
+                   "--prometheus | --slo] [--watch SECONDS]\n",
                    argv[0]);
       return 2;
     }
