@@ -1,0 +1,44 @@
+#include "keyword/keyword_client.h"
+
+#include <utility>
+
+namespace shpir::keyword {
+
+Result<std::unique_ptr<KeywordClient>> KeywordClient::Create(
+    ByteSpan manifest, Fetch fetch) {
+  if (!fetch) {
+    return InvalidArgumentError("keyword client needs a fetch function");
+  }
+  SHPIR_ASSIGN_OR_RETURN(std::unique_ptr<KeywordMap> parsed,
+                         KeywordMap::Deserialize(manifest));
+  return std::unique_ptr<KeywordClient>(
+      new KeywordClient(std::move(parsed), std::move(fetch)));
+}
+
+Result<std::optional<Bytes>> KeywordClient::Get(
+    common::Secret<Bytes> keyword_query) {
+  // The key is secret from here on: the digest and the candidate-page
+  // list inherit its taint under shpir_lint. Neither may influence the
+  // NUMBER of fetches (a public constant of the map), feed a log or
+  // metric, or index public state — only the PIR queries themselves,
+  // which the engine's Eq. 5/6 guarantee prices.
+  SHPIR_SECRET const Bytes& keyword_plain = keyword_query.ExposeSecret();
+  const KeywordDigest keyword_digest = DigestKey(keyword_plain, map_->seed());
+  const std::vector<storage::PageId> candidate_pages =
+      map_->Probes(keyword_digest);
+  std::vector<Bytes> fetched;
+  fetched.reserve(map_->probes_per_lookup());
+  for (const storage::PageId candidate : candidate_pages) {
+    SHPIR_ASSIGN_OR_RETURN(Bytes page, fetch_(candidate));
+    fetched.push_back(std::move(page));
+  }
+  ++lookups_;
+  pages_fetched_ += map_->probes_per_lookup();
+  return map_->Extract(keyword_digest, fetched);
+}
+
+KeywordClient::Fetch KeywordClient::EngineFetch(core::PirEngine* engine) {
+  return [engine](storage::PageId id) { return engine->Retrieve(id); };
+}
+
+}  // namespace shpir::keyword

@@ -1,0 +1,64 @@
+#ifndef SHPIR_KEYWORD_KEYWORD_CLIENT_H_
+#define SHPIR_KEYWORD_KEYWORD_CLIENT_H_
+
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "common/result.h"
+#include "common/secret.h"
+#include "core/pir_engine.h"
+#include "keyword/keyword_map.h"
+
+namespace shpir::keyword {
+
+/// Client-side private key-value lookups over a keyword store.
+///
+/// Trust boundary: the map/manifest is PUBLIC (the server shipped it);
+/// the looked-up KEY is SECRET. The client resolves key -> candidate
+/// pages locally and issues one full c-approximate PIR query per
+/// candidate, so the server observes probes_per_lookup() index queries
+/// — each individually protected by the engine's Eq. 5/6 guarantee —
+/// whose COUNT and SHAPE are key-independent constants of the map.
+/// Negative lookups run the identical probe sequence and are therefore
+/// indistinguishable from hits (tested at the trace level).
+class KeywordClient {
+ public:
+  /// Issues one private retrieval for a store page. Backed by a local
+  /// engine, a PirServiceClient, or anything else that hides the index.
+  using Fetch = std::function<Result<Bytes>(storage::PageId)>;
+
+  /// Parses the public manifest and wraps `fetch`. Fails cleanly on
+  /// truncated or unknown-version manifests.
+  static Result<std::unique_ptr<KeywordClient>> Create(ByteSpan manifest,
+                                                       Fetch fetch);
+
+  /// Private lookup. The key arrives wrapped in Secret<> — shpir_lint
+  /// taints everything derived from it inside the implementation.
+  /// Returns the value on a hit, nullopt on a miss; both paths issue
+  /// exactly map().probes_per_lookup() PIR queries.
+  Result<std::optional<Bytes>> Get(common::Secret<Bytes> keyword_query);
+
+  const KeywordMap& map() const { return *map_; }
+
+  /// Lifetime counters (public volume aggregates).
+  uint64_t lookups() const { return lookups_; }
+  uint64_t pages_fetched() const { return pages_fetched_; }
+
+  /// Convenience Fetch over a local engine (unowned; must outlive the
+  /// client).
+  static Fetch EngineFetch(core::PirEngine* engine);
+
+ private:
+  KeywordClient(std::unique_ptr<KeywordMap> map, Fetch fetch)
+      : map_(std::move(map)), fetch_(std::move(fetch)) {}
+
+  std::unique_ptr<KeywordMap> map_;
+  Fetch fetch_;
+  uint64_t lookups_ = 0;
+  uint64_t pages_fetched_ = 0;
+};
+
+}  // namespace shpir::keyword
+
+#endif  // SHPIR_KEYWORD_KEYWORD_CLIENT_H_

@@ -1,0 +1,97 @@
+#ifndef SHPIR_KEYWORD_KEYWORD_FUSE_H_
+#define SHPIR_KEYWORD_KEYWORD_FUSE_H_
+
+#include <memory>
+#include <vector>
+
+#include "keyword/keyword_map.h"
+
+namespace shpir::keyword {
+
+/// Binary-fuse-style keyword map: a 3-wise XOR construction (one hash
+/// per segment third, peeling-based assignment) storing, for key x with
+/// record r(x) = digest(16) | value_len(2) | value padded to a fixed
+/// value_size,
+///
+///   slots[h0(x)] ^ slots[h1(x)] ^ slots[h2(x)] = r(x).
+///
+/// Every slot is one store page; a lookup fetches exactly 3 pages,
+/// XORs them and checks the digest — membership and value in one shot,
+/// with a 2^-128 false-positive probability. Unassigned slots are
+/// filled with cryptographically random bytes so misses decode to
+/// uniform garbage. Space is ~1.23x the key count (versus the cuckoo
+/// table's >= 0.8 byte load but 2+stash probes) — the classic
+/// trade-off from SNIPPETS.md Snippet 1; see docs/KEYWORD.md.
+class FuseKeywordMap : public KeywordMap {
+ public:
+  struct Geometry {
+    uint64_t seed = 0;
+    uint64_t num_slots = 0;  // Multiple of 3 (three equal segments).
+    uint32_t value_size = 0;
+    uint64_t num_keys = 0;
+    uint32_t page_size = 0;
+  };
+
+  FuseKeywordMap(const Geometry& geometry, uint64_t build_version);
+
+  Kind kind() const override { return Kind::kFuse; }
+  const char* name() const override { return "fuse"; }
+  uint64_t seed() const override { return geometry_.seed; }
+  uint64_t build_version() const override { return build_version_; }
+  uint64_t num_keys() const override { return geometry_.num_keys; }
+  uint64_t num_pages() const override { return geometry_.num_slots; }
+  size_t page_size() const override { return geometry_.page_size; }
+  size_t probes_per_lookup() const override { return 3; }
+
+  std::vector<storage::PageId> Probes(
+      const KeywordDigest& digest) const override;
+  Result<std::optional<Bytes>> Extract(
+      const KeywordDigest& digest,
+      const std::vector<Bytes>& fetched_pages) const override;
+  Bytes Serialize() const override;
+
+  static Result<std::unique_ptr<KeywordMap>> FromManifestBody(
+      uint64_t build_version, ByteSpan body);
+
+  /// Bytes of slot payload at the head of each page.
+  size_t slot_bytes() const { return kEntryOverhead + geometry_.value_size; }
+
+  const Geometry& geometry() const { return geometry_; }
+
+ private:
+  Geometry geometry_;
+  uint64_t build_version_;
+};
+
+/// Offline builder options.
+struct FuseOptions {
+  /// Store page payload size; must fit digest + length + value_size.
+  size_t page_size = 64;
+  /// Fixed per-key value capacity (shorter values are padded; longer
+  /// ones are rejected — use the cuckoo map for variable-size values).
+  size_t value_size = 8;
+  /// Seed retries before the build fails (peeling failure triggers a
+  /// rebuild under the next derived seed; at 1.23x slots failures are
+  /// rare).
+  uint32_t max_build_attempts = 100;
+  uint64_t seed = 1;
+  uint64_t build_version = 1;
+};
+
+/// Build statistics.
+struct FuseBuildStats {
+  uint32_t attempts = 0;
+  uint64_t num_slots = 0;
+  /// num_slots / num_keys (~1.23).
+  double space_overhead = 0.0;
+};
+
+/// Builds a fuse keyword store over `entries`. Rejects duplicate keys
+/// and values longer than value_size.
+Result<BuiltKeywordStore> BuildFuseStore(const std::vector<KeyValue>& entries,
+                                         const FuseOptions& options,
+                                         FuseBuildStats* stats = nullptr);
+
+}  // namespace shpir::keyword
+
+#endif  // SHPIR_KEYWORD_KEYWORD_FUSE_H_

@@ -1,0 +1,135 @@
+#include "keyword/keyword_map.h"
+
+#include <algorithm>
+
+#include "crypto/constant_time.h"
+#include "crypto/sha256.h"
+#include "keyword/keyword_cuckoo.h"
+#include "keyword/keyword_fuse.h"
+
+namespace shpir::keyword {
+
+namespace {
+
+/// Manifest magic: "SHPIRKWM" little-endian.
+constexpr uint64_t kManifestMagic = 0x4D574B5249504853ULL;
+
+}  // namespace
+
+KeywordDigest DigestKey(ByteSpan key_bytes, uint64_t seed) {
+  crypto::Sha256 hasher;
+  uint8_t prefix[16] = {'s', 'h', 'p', 'i', 'r', '-', 'k', 'w'};
+  StoreLE64(seed, prefix + 8);
+  hasher.Update(ByteSpan(prefix, sizeof(prefix)));
+  hasher.Update(key_bytes);
+  const crypto::Sha256::Digest full = hasher.Finalize();
+  KeywordDigest digest;
+  std::copy(full.begin(), full.begin() + digest.size(), digest.begin());
+  return digest;
+}
+
+Bytes MakeManifestHeader(KeywordMap::Kind map_kind, uint64_t build_version) {
+  Bytes header(kManifestHeaderSize);
+  StoreLE64(kManifestMagic, header.data());
+  StoreLE32(kManifestFormatVersion, header.data() + 8);
+  StoreLE64(build_version, header.data() + 12);
+  header[20] = static_cast<uint8_t>(map_kind);
+  return header;
+}
+
+Result<ManifestHeader> ParseManifestHeader(ByteSpan manifest) {
+  if (manifest.size() < kManifestHeaderSize) {
+    return DataLossError("truncated keyword manifest");
+  }
+  if (LoadLE64(manifest.data()) != kManifestMagic) {
+    return InvalidArgumentError("not a keyword manifest (bad magic)");
+  }
+  const uint32_t format = LoadLE32(manifest.data() + 8);
+  if (format != kManifestFormatVersion) {
+    return InvalidArgumentError(
+        "unsupported keyword manifest format version " +
+        std::to_string(format));
+  }
+  ManifestHeader header;
+  header.build_version = LoadLE64(manifest.data() + 12);
+  const uint8_t kind_byte = manifest[20];
+  if (kind_byte != static_cast<uint8_t>(KeywordMap::Kind::kCuckoo) &&
+      kind_byte != static_cast<uint8_t>(KeywordMap::Kind::kFuse)) {
+    return InvalidArgumentError("unknown keyword map kind " +
+                                std::to_string(kind_byte));
+  }
+  header.map_kind = static_cast<KeywordMap::Kind>(kind_byte);
+  return header;
+}
+
+Result<std::unique_ptr<KeywordMap>> KeywordMap::Deserialize(
+    ByteSpan manifest) {
+  SHPIR_ASSIGN_OR_RETURN(const ManifestHeader header,
+                         ParseManifestHeader(manifest));
+  const ByteSpan body = manifest.subspan(kManifestHeaderSize);
+  switch (header.map_kind) {
+    case Kind::kCuckoo:
+      return CuckooKeywordMap::FromManifestBody(header.build_version, body);
+    case Kind::kFuse:
+      return FuseKeywordMap::FromManifestBody(header.build_version, body);
+  }
+  return InvalidArgumentError("unknown keyword map kind");
+}
+
+size_t BucketEntrySize(const KeyValue& entry) {
+  return kEntryOverhead + entry.value.size();
+}
+
+Bytes EncodeBucketPage(const std::vector<BucketEntry>& entries,
+                       size_t page_size) {
+  Bytes page(page_size, 0);
+  page[0] = kBucketPageTag;
+  page[1] = static_cast<uint8_t>(entries.size() & 0xFF);
+  page[2] = static_cast<uint8_t>((entries.size() >> 8) & 0xFF);
+  size_t offset = kBucketPageHeader;
+  for (const BucketEntry& entry : entries) {
+    std::copy(entry.digest.begin(), entry.digest.end(),
+              page.begin() + static_cast<ptrdiff_t>(offset));
+    offset += entry.digest.size();
+    page[offset] = static_cast<uint8_t>(entry.value.size() & 0xFF);
+    page[offset + 1] = static_cast<uint8_t>((entry.value.size() >> 8) & 0xFF);
+    offset += 2;
+    std::copy(entry.value.begin(), entry.value.end(),
+              page.begin() + static_cast<ptrdiff_t>(offset));
+    offset += entry.value.size();
+  }
+  return page;
+}
+
+Result<std::optional<Bytes>> ScanBucketPage(ByteSpan page,
+                                            const KeywordDigest& digest) {
+  if (page.size() < kBucketPageHeader || page[0] != kBucketPageTag) {
+    return DataLossError("malformed keyword bucket page");
+  }
+  const size_t count = page[1] | (static_cast<size_t>(page[2]) << 8);
+  // Fixed-shape scan: every entry is visited and compared in constant
+  // time; the hit (if any) is latched rather than returned early.
+  std::optional<Bytes> found;
+  size_t offset = kBucketPageHeader;
+  for (size_t i = 0; i < count; ++i) {
+    if (offset + kEntryOverhead > page.size()) {
+      return DataLossError("keyword bucket page overruns its payload");
+    }
+    const ByteSpan entry_digest = page.subspan(offset, digest.size());
+    const size_t value_len =
+        page[offset + 16] | (static_cast<size_t>(page[offset + 17]) << 8);
+    offset += kEntryOverhead;
+    if (offset + value_len > page.size()) {
+      return DataLossError("keyword bucket entry overruns its page");
+    }
+    if (crypto::ConstantTimeEquals(
+            entry_digest, ByteSpan(digest.data(), digest.size()))) {
+      found = Bytes(page.begin() + static_cast<ptrdiff_t>(offset),
+                    page.begin() + static_cast<ptrdiff_t>(offset + value_len));
+    }
+    offset += value_len;
+  }
+  return found;
+}
+
+}  // namespace shpir::keyword

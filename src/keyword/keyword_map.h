@@ -1,0 +1,158 @@
+#ifndef SHPIR_KEYWORD_KEYWORD_MAP_H_
+#define SHPIR_KEYWORD_KEYWORD_MAP_H_
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "storage/page.h"
+
+namespace shpir::keyword {
+
+/// Keyword front-end for the c-approximate engine: a public, owner-built
+/// structure mapping keys onto a fixed, key-count-independent set of
+/// store pages. The map itself carries no secrets — it is shipped to
+/// every client in the clear via the KEYWORD_MANIFEST op — while the key
+/// a client looks up is secret and never leaves the client: the client
+/// resolves key -> candidate pages locally and fetches each candidate
+/// with one full c-approximate PIR query. Because the probe count is a
+/// public constant of the map (probes_per_lookup()), hits, misses and
+/// stash hits are indistinguishable to the server. See docs/KEYWORD.md.
+
+/// Truncated SHA-256 of the seeded key; 128 bits keeps accidental and
+/// adversarial collisions negligible while fitting 16 bytes per entry.
+using KeywordDigest = std::array<uint8_t, 16>;
+
+/// Digest of `key_bytes` under the map's seed. Builder and client must
+/// agree on the seed (it is part of the public manifest).
+KeywordDigest DigestKey(ByteSpan key_bytes, uint64_t seed);
+
+/// One key/value pair handed to the offline builder.
+struct KeyValue {
+  Bytes key;
+  Bytes value;
+};
+
+/// The size of the fixed manifest header (magic, format version, build
+/// version, kind byte).
+inline constexpr size_t kManifestHeaderSize = 8 + 4 + 8 + 1;
+
+/// Wire format version of the serialized manifest. Bumped on
+/// incompatible layout changes; clients reject unknown versions.
+inline constexpr uint32_t kManifestFormatVersion = 1;
+
+/// Client-side resolver from key digests to store pages. Both
+/// implementations (cuckoo, binary fuse) are immutable after build.
+class KeywordMap {
+ public:
+  enum class Kind : uint8_t {
+    kCuckoo = 1,  // 2-choice bucketized cuckoo table + stash pages.
+    kFuse = 2,    // 3-wise XOR (binary-fuse-style) filter.
+  };
+
+  virtual ~KeywordMap() = default;
+
+  virtual Kind kind() const = 0;
+  virtual const char* name() const = 0;
+
+  /// Digest seed; changes on every rebuild attempt.
+  virtual uint64_t seed() const = 0;
+
+  /// Monotonic rebuild counter chosen by the owner; lets clients detect
+  /// that a cached manifest is stale (KEYWORD_MANIFEST is versioned).
+  virtual uint64_t build_version() const = 0;
+
+  /// Number of keys the store was built over.
+  virtual uint64_t num_keys() const = 0;
+
+  /// Number of store pages ([0, num_pages) are valid PIR page ids).
+  virtual uint64_t num_pages() const = 0;
+
+  /// Store page payload size in bytes.
+  virtual size_t page_size() const = 0;
+
+  /// Fixed number of pages fetched per lookup. Key-independent by
+  /// construction — this constant IS the privacy argument of the
+  /// front-end (the server sees probes_per_lookup() PIR queries per
+  /// Get, whatever the key and whether or not it exists).
+  virtual size_t probes_per_lookup() const = 0;
+
+  /// The candidate pages for `digest`, always exactly
+  /// probes_per_lookup() entries.
+  virtual std::vector<storage::PageId> Probes(
+      const KeywordDigest& digest) const = 0;
+
+  /// Resolves a lookup from the fetched candidate pages (same order as
+  /// Probes()). Returns the value on a hit, nullopt on a miss, an error
+  /// on malformed pages.
+  virtual Result<std::optional<Bytes>> Extract(
+      const KeywordDigest& digest,
+      const std::vector<Bytes>& fetched_pages) const = 0;
+
+  /// Serializes the public manifest (header + kind-specific body).
+  virtual Bytes Serialize() const = 0;
+
+  /// Parses a manifest produced by Serialize(), dispatching on the kind
+  /// byte. Rejects truncated input, bad magic, unknown format versions
+  /// and unknown kinds with a clean error.
+  static Result<std::unique_ptr<KeywordMap>> Deserialize(ByteSpan manifest);
+};
+
+/// A built keyword store: the public map, the store pages to load into
+/// the PIR engine (page i has id i), and the serialized manifest.
+struct BuiltKeywordStore {
+  std::unique_ptr<KeywordMap> map;
+  std::vector<storage::Page> pages;
+  Bytes manifest;
+};
+
+/// Serializes the shared manifest header.
+Bytes MakeManifestHeader(KeywordMap::Kind map_kind, uint64_t build_version);
+
+/// Parsed manifest header.
+struct ManifestHeader {
+  uint64_t build_version = 0;
+  KeywordMap::Kind map_kind = KeywordMap::Kind::kCuckoo;
+};
+
+/// Validates and parses the shared header; on success the body starts
+/// at offset kManifestHeaderSize.
+Result<ManifestHeader> ParseManifestHeader(ByteSpan manifest);
+
+/// --- Bucket page codec ------------------------------------------------
+///
+/// Cuckoo bucket pages and stash pages share one layout:
+///   tag(1) | entry_count(2, LE) | entries...
+/// where each entry is digest(16) | value_len(2, LE) | value bytes.
+/// The remainder of the page is zero padding.
+
+inline constexpr uint8_t kBucketPageTag = 0x4B;  // 'K'
+inline constexpr size_t kBucketPageHeader = 3;
+inline constexpr size_t kEntryOverhead = 16 + 2;
+
+/// Serialized size of one bucket entry.
+size_t BucketEntrySize(const KeyValue& entry);
+
+/// Encodes entries (digests precomputed by the caller) into a page of
+/// `page_size` bytes. The caller guarantees they fit.
+struct BucketEntry {
+  KeywordDigest digest{};
+  Bytes value;
+};
+Bytes EncodeBucketPage(const std::vector<BucketEntry>& entries,
+                       size_t page_size);
+
+/// Scans a bucket page for `digest`. The scan visits every entry (no
+/// early exit) and compares digests in constant time, mirroring the
+/// fixed-probe discipline used across the index layer. Returns the
+/// value on a hit, nullopt otherwise, an error on a malformed page.
+Result<std::optional<Bytes>> ScanBucketPage(ByteSpan page,
+                                            const KeywordDigest& digest);
+
+}  // namespace shpir::keyword
+
+#endif  // SHPIR_KEYWORD_KEYWORD_MAP_H_

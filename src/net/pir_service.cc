@@ -15,6 +15,9 @@ constexpr uint8_t kOpTraced = 7;  // Envelope: ctx(17) | inner request.
 // table, 1 = flame-graph collapsed text; absent = 0).
 constexpr uint8_t kOpProfileDump = 8;
 constexpr uint8_t kOpSloStatus = 9;  // SLO/error-budget state (JSON).
+// Keyword-store manifest fetch; payload is the shared wire codec
+// (EncodeKeywordManifestRequest / ...Response in net/wire.h).
+constexpr uint8_t kOpKeywordManifest = 10;
 
 constexpr uint8_t kStatusOk = 0;
 constexpr uint8_t kStatusError = 1;
@@ -156,6 +159,22 @@ Result<Bytes> PirServiceServer::HandleRecord(ByteSpan record,
         }
         break;
       }
+      case kOpKeywordManifest: {
+        if (!keyword_manifest_) {
+          response = ErrorResponse(UnimplementedError(
+              "no keyword manifest published on this service"));
+          break;
+        }
+        Result<uint64_t> cached = DecodeKeywordManifestRequest(payload);
+        if (!cached.ok()) {
+          response = ErrorResponse(cached.status());
+          break;
+        }
+        const KeywordManifest current = keyword_manifest_();
+        response = OkResponse(EncodeKeywordManifestResponse(
+            current, /*include_body=*/*cached != current.version));
+        break;
+      }
       default:
         response = ErrorResponse(InvalidArgumentError("unknown op"));
     }
@@ -235,6 +254,14 @@ Result<Bytes> PirServiceClient::ProfileDump(bool folded) {
 
 Result<Bytes> PirServiceClient::SloStatus() {
   return Call(kOpSloStatus, 0, {});
+}
+
+Result<KeywordManifest> PirServiceClient::FetchKeywordManifest(
+    uint64_t cached_version) {
+  const Bytes request = EncodeKeywordManifestRequest(cached_version);
+  SHPIR_ASSIGN_OR_RETURN(Bytes response,
+                         Call(kOpKeywordManifest, 0, request));
+  return DecodeKeywordManifestResponse(response);
 }
 
 }  // namespace shpir::net

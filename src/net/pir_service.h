@@ -7,6 +7,7 @@
 #include "common/result.h"
 #include "core/pir_engine.h"
 #include "net/secure_channel.h"
+#include "net/wire.h"
 #include "obs/trace.h"
 
 namespace shpir::net {
@@ -51,6 +52,12 @@ class PirServiceServer {
   /// stores only aggregate good/bad counts per time bucket.
   using SloProvider = std::function<Bytes()>;
 
+  /// Produces the current keyword-store manifest for the
+  /// KEYWORD_MANIFEST op. The manifest is public by design (every
+  /// client receives the same artifact); versioning lets cached clients
+  /// skip the body. Null means the op answers Unimplemented.
+  using KeywordManifestProvider = std::function<KeywordManifest()>;
+
   /// Relay-side timestamps for one request: when its frame arrived and
   /// when the hub dequeued it for handling. Used to reconstruct a
   /// retroactive "hub_queue_wait" span for sampled traces.
@@ -72,13 +79,15 @@ class PirServiceServer {
                    TraceProvider trace_dump = nullptr,
                    obs::Tracer* tracer = nullptr,
                    ProfileProvider profile_dump = nullptr,
-                   SloProvider slo_status = nullptr)
+                   SloProvider slo_status = nullptr,
+                   KeywordManifestProvider keyword_manifest = nullptr)
       : engine_(engine),
         session_(std::move(session)),
         stats_(std::move(stats)),
         trace_dump_(std::move(trace_dump)),
         profile_dump_(std::move(profile_dump)),
         slo_status_(std::move(slo_status)),
+        keyword_manifest_(std::move(keyword_manifest)),
         tracer_(tracer) {}
 
   /// Decrypts one request record, executes it, returns the sealed
@@ -95,6 +104,7 @@ class PirServiceServer {
   TraceProvider trace_dump_;
   ProfileProvider profile_dump_;
   SloProvider slo_status_;
+  KeywordManifestProvider keyword_manifest_;
   obs::Tracer* tracer_;
 };
 
@@ -132,6 +142,12 @@ class PirServiceClient {
 
   /// Fetches the service's SLO/error-budget status document (JSON).
   Result<Bytes> SloStatus();
+
+  /// Fetches the keyword-store manifest. `cached_version` is the build
+  /// version the client already holds (0 = none): when it is current
+  /// the response carries the version but no body, so rebuild polling
+  /// is one small sealed record.
+  Result<KeywordManifest> FetchKeywordManifest(uint64_t cached_version = 0);
 
   /// Attaches a span collector (unowned; nullptr detaches). Sampled
   /// calls then emit "client_query"/"client_encode" spans and propagate

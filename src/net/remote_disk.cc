@@ -102,4 +102,15 @@ Status RemoteDisk::WriteRun(storage::Location start,
   return response.ok() ? OkStatus() : response.status();
 }
 
+Result<KeywordManifest> FetchKeywordManifest(Transport& transport,
+                                             uint64_t cached_version) {
+  Request request;
+  request.op = Op::kKeywordManifest;
+  request.payload = EncodeKeywordManifestRequest(cached_version);
+  SHPIR_ASSIGN_OR_RETURN(Bytes frame,
+                         transport.RoundTrip(EncodeRequest(request)));
+  SHPIR_ASSIGN_OR_RETURN(Bytes payload, DecodeResponse(frame));
+  return DecodeKeywordManifestResponse(payload);
+}
+
 }  // namespace shpir::net

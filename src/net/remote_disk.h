@@ -65,6 +65,13 @@ class RemoteDisk : public storage::Disk {
   obs::TraceContext trace_ctx_;
 };
 
+/// Owner-side helper: fetches the provider's published keyword-store
+/// manifest over the storage protocol (Op::kKeywordManifest). Pass the
+/// build version already held to get a body-less "not modified" answer
+/// when it is current; 0 always fetches.
+Result<KeywordManifest> FetchKeywordManifest(Transport& transport,
+                                             uint64_t cached_version = 0);
+
 }  // namespace shpir::net
 
 #endif  // SHPIR_NET_REMOTE_DISK_H_

@@ -11,17 +11,19 @@ constexpr uint8_t kDataTag = 'D';
 constexpr size_t kNonce = SecureSession::kNonceSize;
 }  // namespace
 
-ServiceHub::ServiceHub(core::PirEngine* engine, Bytes pre_shared_key,
-                       uint64_t rng_seed, obs::MetricsRegistry* metrics,
-                       obs::Tracer* tracer,
-                       PirServiceServer::ProfileProvider profile_dump,
-                       PirServiceServer::SloProvider slo_status)
+ServiceHub::ServiceHub(
+    core::PirEngine* engine, Bytes pre_shared_key, uint64_t rng_seed,
+    obs::MetricsRegistry* metrics, obs::Tracer* tracer,
+    PirServiceServer::ProfileProvider profile_dump,
+    PirServiceServer::SloProvider slo_status,
+    PirServiceServer::KeywordManifestProvider keyword_manifest)
     : engine_(engine),
       pre_shared_key_(std::move(pre_shared_key)),
       metrics_(metrics),
       tracer_(tracer),
       profile_dump_(std::move(profile_dump)),
       slo_status_(std::move(slo_status)),
+      keyword_manifest_(std::move(keyword_manifest)),
       rng_(rng_seed == 0 ? crypto::SecureRandom()
                          : crypto::SecureRandom(rng_seed)) {
   if (metrics_ != nullptr) {
@@ -141,7 +143,8 @@ Result<Bytes> ServiceHub::HandleFrame(ByteSpan frame) {
     }
     servers_[client_id] = std::make_unique<PirServiceServer>(
         engine_, std::move(session).value(), std::move(stats),
-        std::move(trace_dump), tracer_, profile_dump_, slo_status_);
+        std::move(trace_dump), tracer_, profile_dump_, slo_status_,
+        keyword_manifest_);
     if (metered()) {
       instruments_.sessions->Set(static_cast<double>(servers_.size()));
     }

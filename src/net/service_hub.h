@@ -45,12 +45,17 @@ class ServiceHub {
   /// PROFILE_DUMP / SLO_STATUS ops for every session the hub
   /// establishes; both must be thread-safe and return aggregate,
   /// target-independent data only (see obs/profiler.h, obs/slo.h).
+  /// `keyword_manifest` (optional) backs the KEYWORD_MANIFEST op — it
+  /// returns the current public keyword-store manifest and its build
+  /// version (see src/keyword/); must be thread-safe.
   ServiceHub(core::PirEngine* engine, Bytes pre_shared_key,
              uint64_t rng_seed = 0,
              obs::MetricsRegistry* metrics = nullptr,
              obs::Tracer* tracer = nullptr,
              PirServiceServer::ProfileProvider profile_dump = nullptr,
-             PirServiceServer::SloProvider slo_status = nullptr);
+             PirServiceServer::SloProvider slo_status = nullptr,
+             PirServiceServer::KeywordManifestProvider keyword_manifest =
+                 nullptr);
 
   /// Handles one wire frame from any client; returns the reply frame.
   Result<Bytes> HandleFrame(ByteSpan frame);
@@ -100,6 +105,7 @@ class ServiceHub {
   obs::Tracer* tracer_;
   PirServiceServer::ProfileProvider profile_dump_;
   PirServiceServer::SloProvider slo_status_;
+  PirServiceServer::KeywordManifestProvider keyword_manifest_;
   Instruments instruments_;  // Written by the ctor only; const afterwards.
   mutable common::Mutex mutex_;
   /// Server-nonce generator; drawn from under mutex_ in HandleFrame.

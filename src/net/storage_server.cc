@@ -1,6 +1,7 @@
 #include "net/storage_server.h"
 
 #include <chrono>
+#include <utility>
 
 #include "obs/export.h"
 
@@ -93,9 +94,33 @@ Bytes StorageServer::Handle(ByteSpan request_frame) {
   return response;
 }
 
+void StorageServer::PublishKeywordManifest(Bytes manifest,
+                                           uint64_t version) {
+  keyword_manifest_.manifest = std::move(manifest);
+  keyword_manifest_.version = version;
+  keyword_manifest_published_ = true;
+}
+
 Bytes StorageServer::Dispatch(const Request& request) {
   const size_t slot_size = disk_->slot_size();
   switch (request.op) {
+    case Op::kKeywordManifest: {
+      if (!keyword_manifest_published_) {
+        return EncodeErrorResponse(UnimplementedError(
+            "no keyword manifest published on this provider"));
+      }
+      Result<uint64_t> cached =
+          DecodeKeywordManifestRequest(request.payload);
+      if (!cached.ok()) {
+        if (metered()) {
+          instruments_.errors->Increment();
+        }
+        return EncodeErrorResponse(cached.status());
+      }
+      const bool include_body = *cached != keyword_manifest_.version;
+      return EncodeOkResponse(
+          EncodeKeywordManifestResponse(keyword_manifest_, include_body));
+    }
     case Op::kTraceDump: {
       if (tracer_ == nullptr) {
         return EncodeErrorResponse(

@@ -41,6 +41,12 @@ class StorageServer {
   /// are encoded into the response (the transport never fails).
   Bytes Handle(ByteSpan request_frame);
 
+  /// Publishes the keyword-store manifest served by the kKeywordManifest
+  /// op. The manifest is a PUBLIC artifact (the owner ships it to every
+  /// client); `version` must increase across rebuilds so cached clients
+  /// refetch. Until published, the op answers Unimplemented.
+  void PublishKeywordManifest(Bytes manifest, uint64_t version);
+
  private:
   struct Instruments {
     obs::Counter* requests = nullptr;
@@ -60,6 +66,9 @@ class StorageServer {
   obs::Profiler* profiler_;
   obs::SloTracker* slo_;
   Instruments instruments_;
+  /// Published keyword manifest (empty until PublishKeywordManifest).
+  KeywordManifest keyword_manifest_;
+  bool keyword_manifest_published_ = false;
 };
 
 /// Transport that dispatches directly into an in-process StorageServer.

@@ -75,6 +75,7 @@ Result<Request> DecodeRequest(ByteSpan frame) {
     case static_cast<uint8_t>(Op::kTraceDump):
     case static_cast<uint8_t>(Op::kProfileDump):
     case static_cast<uint8_t>(Op::kSloStatus):
+    case static_cast<uint8_t>(Op::kKeywordManifest):
       request.op = static_cast<Op>(frame[0]);
       break;
     default:
@@ -114,6 +115,61 @@ Result<Bytes> DecodeResponse(ByteSpan frame) {
     return DataLossError("malformed response frame");
   }
   return Bytes(frame.begin() + 1, frame.end());
+}
+
+namespace {
+constexpr size_t kKeywordManifestRequestSize = 1 + 8;
+constexpr size_t kKeywordManifestResponseHeader = 8 + 1;
+}  // namespace
+
+Bytes EncodeKeywordManifestRequest(uint64_t cached_version) {
+  Bytes payload(kKeywordManifestRequestSize);
+  payload[0] = kKeywordManifestRequestVersion;
+  StoreLE64(cached_version, payload.data() + 1);
+  return payload;
+}
+
+Result<uint64_t> DecodeKeywordManifestRequest(ByteSpan payload) {
+  if (payload.size() != kKeywordManifestRequestSize) {
+    return DataLossError("malformed keyword-manifest request payload");
+  }
+  if (payload[0] != kKeywordManifestRequestVersion) {
+    return InvalidArgumentError(
+        "unknown keyword-manifest request version");
+  }
+  return LoadLE64(payload.data() + 1);
+}
+
+Bytes EncodeKeywordManifestResponse(const KeywordManifest& manifest,
+                                    bool include_body) {
+  Bytes payload(kKeywordManifestResponseHeader +
+                (include_body ? manifest.manifest.size() : 0));
+  StoreLE64(manifest.version, payload.data());
+  payload[8] = include_body ? 1 : 0;
+  if (include_body) {
+    std::copy(manifest.manifest.begin(), manifest.manifest.end(),
+              payload.begin() + kKeywordManifestResponseHeader);
+  }
+  return payload;
+}
+
+Result<KeywordManifest> DecodeKeywordManifestResponse(ByteSpan payload) {
+  if (payload.size() < kKeywordManifestResponseHeader) {
+    return DataLossError("truncated keyword-manifest response");
+  }
+  if (payload[8] > 1) {
+    return InvalidArgumentError("malformed keyword-manifest response flag");
+  }
+  KeywordManifest manifest;
+  manifest.version = LoadLE64(payload.data());
+  if (payload[8] == 1) {
+    manifest.manifest.assign(
+        payload.begin() + kKeywordManifestResponseHeader, payload.end());
+  } else if (payload.size() != kKeywordManifestResponseHeader) {
+    return DataLossError(
+        "keyword-manifest response carries bytes after an absent body");
+  }
+  return manifest;
 }
 
 }  // namespace shpir::net

@@ -35,6 +35,9 @@ enum class Op : uint8_t {
   // (0 = JSON stack table, 1 = flame-graph collapsed text; absent = 0).
   kProfileDump = 9,
   kSloStatus = 10,  // Fetch the provider's SLO/error-budget state (JSON).
+  // Fetch the public keyword-store manifest (versioned for rebuilds).
+  // Payload: EncodeKeywordManifestRequest / ...Response below.
+  kKeywordManifest = 11,
 };
 
 struct Request {
@@ -62,6 +65,34 @@ Bytes EncodeErrorResponse(const Status& status);
 /// Parses a response into its payload, converting wire errors back into
 /// a Status.
 Result<Bytes> DecodeResponse(ByteSpan frame);
+
+/// A published keyword-store manifest: the serialized KeywordMap (a
+/// public artifact — the owner built it, the client needs it to resolve
+/// keys to pages) plus a monotonically increasing build version so
+/// clients can detect rebuilds without re-downloading the body.
+struct KeywordManifest {
+  Bytes manifest;
+  uint64_t version = 0;
+};
+
+/// Version of the KEYWORD_MANIFEST request payload format. Servers
+/// reject unknown versions so the payload can grow fields later.
+inline constexpr uint8_t kKeywordManifestRequestVersion = 1;
+
+/// Request payload: format(1) | cached_version(8). A server whose
+/// current version equals `cached_version` answers with no body
+/// ("not modified"); pass 0 to always fetch. Exactly 9 bytes — both
+/// protocols reject anything else.
+Bytes EncodeKeywordManifestRequest(uint64_t cached_version);
+Result<uint64_t> DecodeKeywordManifestRequest(ByteSpan payload);
+
+/// Response payload: current_version(8) | body_present(1) | [manifest].
+/// The body is absent exactly when the requester's cached version is
+/// current. The codec is shared by the storage protocol and the sealed
+/// service protocol so both speak the same manifest format.
+Bytes EncodeKeywordManifestResponse(const KeywordManifest& manifest,
+                                    bool include_body);
+Result<KeywordManifest> DecodeKeywordManifestResponse(ByteSpan payload);
 
 }  // namespace shpir::net
 

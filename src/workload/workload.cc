@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
 namespace shpir::workload {
 
@@ -70,6 +71,33 @@ std::vector<double> HotspotWorkload::Distribution() const {
     dist[i] += hot_ratio_ / static_cast<double>(hot_pages_);
   }
   return dist;
+}
+
+Bytes KeyForIndex(uint64_t index) {
+  const std::string text = "key-" + std::to_string(index);
+  return Bytes(text.begin(), text.end());
+}
+
+ZipfKeyWorkload::ZipfKeyWorkload(uint64_t num_keys, double exponent,
+                                 double hit_ratio, uint64_t seed)
+    : index_source_(num_keys, exponent, seed),
+      hit_ratio_(hit_ratio),
+      rng_(seed ^ 0xA5A5A5A5A5A5A5A5ULL) {}
+
+KeyRequest ZipfKeyWorkload::Next() {
+  KeyRequest request;
+  if (rng_.UniformDouble() < hit_ratio_) {
+    request.hit = true;
+    request.key = KeyForIndex(index_source_.Next());
+    return request;
+  }
+  // Misses live in the "miss-" namespace, disjoint from KeyForIndex, so
+  // a fabricated key can never accidentally be present in the store.
+  request.hit = false;
+  const std::string text = "miss-" + std::to_string(rng_.UniformInt(
+                               0xFFFFFFFFFFFFULL));
+  request.key = Bytes(text.begin(), text.end());
+  return request;
 }
 
 }  // namespace shpir::workload

@@ -5,6 +5,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/bytes.h"
 #include "common/result.h"
 #include "crypto/secure_random.h"
 #include "storage/page.h"
@@ -91,6 +92,50 @@ class ScanWorkload : public Workload {
  private:
   uint64_t num_pages_;
   uint64_t cursor_ = 0;
+};
+
+/// One keyword-store request: a key plus whether the generator drew it
+/// from the store's key set (hit) or fabricated it (miss). The flag is
+/// generator-side ground truth for verification — a private client
+/// never reveals it.
+struct KeyRequest {
+  Bytes key;
+  bool hit = false;
+};
+
+/// A stream of keyword requests for the keyword PIR front-end
+/// (src/keyword/). Deterministic given the seed, like Workload.
+class KeyedWorkload {
+ public:
+  virtual ~KeyedWorkload() = default;
+
+  /// The next requested key.
+  virtual KeyRequest Next() = 0;
+
+  virtual const char* name() const = 0;
+};
+
+/// The canonical key for store index i ("key-<i>"): benches and tests
+/// build stores whose key set is KeyForIndex(0..num_keys) and the keyed
+/// generators draw hits from the same space.
+Bytes KeyForIndex(uint64_t index);
+
+/// Zipf(s)-skewed keys over KeyForIndex(0..num_keys), mixed with
+/// fabricated miss keys at rate (1 - hit_ratio). exponent 0 = uniform
+/// over the key set. Miss keys are drawn from a disjoint namespace so
+/// they never collide with store keys.
+class ZipfKeyWorkload : public KeyedWorkload {
+ public:
+  ZipfKeyWorkload(uint64_t num_keys, double exponent, double hit_ratio,
+                  uint64_t seed);
+
+  KeyRequest Next() override;
+  const char* name() const override { return "zipf-keys"; }
+
+ private:
+  ZipfWorkload index_source_;
+  double hit_ratio_;
+  crypto::SecureRandom rng_;
 };
 
 }  // namespace shpir::workload

@@ -1,0 +1,334 @@
+#include "keyword/keyword_map.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "keyword/keyword_cuckoo.h"
+#include "keyword/keyword_fuse.h"
+#include "workload/workload.h"
+
+namespace shpir::keyword {
+namespace {
+
+Bytes B(const std::string& text) { return Bytes(text.begin(), text.end()); }
+
+std::vector<KeyValue> MakeEntries(uint64_t count) {
+  std::vector<KeyValue> entries(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    entries[i].key = workload::KeyForIndex(i);
+    entries[i].value = B("value-" + std::to_string(i));
+  }
+  return entries;
+}
+
+/// Resolves a lookup straight against the built pages (no engine).
+Result<std::optional<Bytes>> DirectGet(const BuiltKeywordStore& store,
+                                       const Bytes& key) {
+  const KeywordDigest digest = DigestKey(key, store.map->seed());
+  std::vector<Bytes> fetched;
+  for (const storage::PageId id : store.map->Probes(digest)) {
+    fetched.push_back(store.pages[id].data);
+  }
+  return store.map->Extract(digest, fetched);
+}
+
+void ExpectAllPresent(const BuiltKeywordStore& store,
+                      const std::vector<KeyValue>& entries) {
+  for (const KeyValue& entry : entries) {
+    Result<std::optional<Bytes>> value = DirectGet(store, entry.key);
+    ASSERT_TRUE(value.ok()) << value.status();
+    ASSERT_TRUE(value->has_value())
+        << "missing key " << std::string(entry.key.begin(), entry.key.end());
+    EXPECT_EQ(**value, entry.value);
+  }
+}
+
+// --- Cuckoo -----------------------------------------------------------
+
+TEST(CuckooKeywordTest, BuildsAndLooksUpEveryKey) {
+  const auto entries = MakeEntries(5000);
+  CuckooOptions options;
+  CuckooBuildStats stats;
+  auto store = BuildCuckooStore(entries, options, &stats);
+  ASSERT_TRUE(store.ok()) << store.status();
+  ExpectAllPresent(*store, entries);
+  EXPECT_GE(stats.load_factor, 0.8);
+  EXPECT_EQ(store->map->num_keys(), entries.size());
+  EXPECT_EQ(store->map->probes_per_lookup(), 2u + options.stash_pages);
+  EXPECT_EQ(store->pages.size(), store->map->num_pages());
+}
+
+TEST(CuckooKeywordTest, MissesReturnNullopt) {
+  const auto entries = MakeEntries(500);
+  auto store = BuildCuckooStore(entries, CuckooOptions{});
+  ASSERT_TRUE(store.ok()) << store.status();
+  for (int i = 0; i < 50; ++i) {
+    Result<std::optional<Bytes>> value =
+        DirectGet(*store, B("absent-" + std::to_string(i)));
+    ASSERT_TRUE(value.ok()) << value.status();
+    EXPECT_FALSE(value->has_value());
+  }
+}
+
+TEST(CuckooKeywordTest, ProbesAreTwoDistinctBucketsPlusAllStashPages) {
+  const auto entries = MakeEntries(300);
+  CuckooOptions options;
+  options.stash_pages = 2;
+  auto store = BuildCuckooStore(entries, options);
+  ASSERT_TRUE(store.ok()) << store.status();
+  const uint64_t buckets = store->map->num_pages() - options.stash_pages;
+  for (const KeyValue& entry : entries) {
+    const auto probes =
+        store->map->Probes(DigestKey(entry.key, store->map->seed()));
+    ASSERT_EQ(probes.size(), store->map->probes_per_lookup());
+    EXPECT_NE(probes[0], probes[1]);
+    EXPECT_LT(probes[0], buckets);
+    EXPECT_LT(probes[1], buckets);
+    // Every lookup touches every stash page, at fixed ids.
+    EXPECT_EQ(probes[2], buckets);
+    EXPECT_EQ(probes[3], buckets + 1);
+  }
+}
+
+TEST(CuckooKeywordTest, DuplicateKeysRejected) {
+  auto entries = MakeEntries(10);
+  entries.push_back({entries[3].key, B("other")});
+  auto store = BuildCuckooStore(entries, CuckooOptions{});
+  EXPECT_FALSE(store.ok());
+  EXPECT_EQ(store.status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST(CuckooKeywordTest, OversizedEntryRejected) {
+  std::vector<KeyValue> entries = {{B("big"), Bytes(300, 0xAA)}};
+  CuckooOptions options;
+  options.page_size = 64;
+  auto store = BuildCuckooStore(entries, options);
+  EXPECT_FALSE(store.ok());
+  EXPECT_EQ(store.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CuckooKeywordTest, InsertionCyclesSpillToStash) {
+  // Force a table far too small for clean placement: overflow must land
+  // in the stash, and stashed keys must still be found (every lookup
+  // scans the stash pages).
+  const auto entries = MakeEntries(40);
+  CuckooOptions options;
+  options.page_size = 64;  // 61-byte buckets: 2 entries each.
+  options.forced_buckets = 18;
+  options.stash_pages = 4;
+  options.max_kicks = 50;
+  CuckooBuildStats stats;
+  auto store = BuildCuckooStore(entries, options, &stats);
+  ASSERT_TRUE(store.ok()) << store.status();
+  EXPECT_GT(stats.stash_entries, 0u);
+  ExpectAllPresent(*store, entries);
+}
+
+TEST(CuckooKeywordTest, StashOverflowRebuildsWithNewSeeds) {
+  const auto entries = MakeEntries(200);
+  CuckooOptions options;
+  options.simulate_failed_attempts = 3;
+  CuckooBuildStats stats;
+  auto store = BuildCuckooStore(entries, options, &stats);
+  ASSERT_TRUE(store.ok()) << store.status();
+  EXPECT_EQ(stats.attempts, 4u);
+  // The rebuild derived a fresh seed, so digests differ from attempt 0.
+  CuckooOptions clean = options;
+  clean.simulate_failed_attempts = 0;
+  auto first = BuildCuckooStore(entries, clean);
+  ASSERT_TRUE(first.ok());
+  EXPECT_NE(store->map->seed(), first->map->seed());
+  ExpectAllPresent(*store, entries);
+}
+
+TEST(CuckooKeywordTest, PersistentOverflowFailsCleanly) {
+  // 2 one-entry buckets + 1 stash page cannot hold 40 keys under any
+  // seed: the builder must exhaust its attempts and say so.
+  const auto entries = MakeEntries(40);
+  CuckooOptions options;
+  options.page_size = 32;
+  options.forced_buckets = 2;
+  options.stash_pages = 1;
+  options.max_build_attempts = 4;
+  CuckooBuildStats stats;
+  auto store = BuildCuckooStore(entries, options, &stats);
+  ASSERT_FALSE(store.ok());
+  EXPECT_EQ(store.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(stats.attempts, 4u);
+}
+
+// --- Fuse -------------------------------------------------------------
+
+TEST(FuseKeywordTest, BuildsAndLooksUpEveryKey) {
+  const auto entries = MakeEntries(5000);
+  FuseOptions options;
+  options.value_size = 16;
+  options.page_size = kEntryOverhead + options.value_size;
+  FuseBuildStats stats;
+  auto store = BuildFuseStore(entries, options, &stats);
+  ASSERT_TRUE(store.ok()) << store.status();
+  ExpectAllPresent(*store, entries);
+  EXPECT_EQ(store->map->probes_per_lookup(), 3u);
+  EXPECT_LT(stats.space_overhead, 1.3);
+  EXPECT_EQ(store->pages.size(), store->map->num_pages());
+}
+
+TEST(FuseKeywordTest, MissesReturnNullopt) {
+  const auto entries = MakeEntries(800);
+  FuseOptions options;
+  options.value_size = 16;
+  auto store = BuildFuseStore(entries, options);
+  ASSERT_TRUE(store.ok()) << store.status();
+  for (int i = 0; i < 100; ++i) {
+    Result<std::optional<Bytes>> value =
+        DirectGet(*store, B("absent-" + std::to_string(i)));
+    ASSERT_TRUE(value.ok()) << value.status();
+    EXPECT_FALSE(value->has_value());
+  }
+}
+
+TEST(FuseKeywordTest, ProbesHitThreeDistinctSegments) {
+  const auto entries = MakeEntries(600);
+  FuseOptions options;
+  options.value_size = 16;
+  auto store = BuildFuseStore(entries, options);
+  ASSERT_TRUE(store.ok()) << store.status();
+  const uint64_t segment = store->map->num_pages() / 3;
+  for (const KeyValue& entry : entries) {
+    const auto probes =
+        store->map->Probes(DigestKey(entry.key, store->map->seed()));
+    ASSERT_EQ(probes.size(), 3u);
+    EXPECT_LT(probes[0], segment);
+    EXPECT_GE(probes[1], segment);
+    EXPECT_LT(probes[1], 2 * segment);
+    EXPECT_GE(probes[2], 2 * segment);
+    EXPECT_LT(probes[2], 3 * segment);
+  }
+}
+
+TEST(FuseKeywordTest, ValueTooLargeRejected) {
+  std::vector<KeyValue> entries = {{B("k"), Bytes(64, 1)}};
+  FuseOptions options;
+  options.value_size = 16;
+  auto store = BuildFuseStore(entries, options);
+  EXPECT_FALSE(store.ok());
+  EXPECT_EQ(store.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FuseKeywordTest, DuplicateKeysRejected) {
+  auto entries = MakeEntries(10);
+  entries.push_back({entries[0].key, B("other")});
+  auto store = BuildFuseStore(entries, FuseOptions{});
+  EXPECT_FALSE(store.ok());
+  EXPECT_EQ(store.status().code(), StatusCode::kAlreadyExists);
+}
+
+// --- Manifest ---------------------------------------------------------
+
+TEST(KeywordManifestTest, CuckooRoundTrips) {
+  const auto entries = MakeEntries(200);
+  CuckooOptions options;
+  options.build_version = 7;
+  auto store = BuildCuckooStore(entries, options);
+  ASSERT_TRUE(store.ok()) << store.status();
+  auto parsed = KeywordMap::Deserialize(store->manifest);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ((*parsed)->kind(), KeywordMap::Kind::kCuckoo);
+  EXPECT_EQ((*parsed)->build_version(), 7u);
+  EXPECT_EQ((*parsed)->seed(), store->map->seed());
+  EXPECT_EQ((*parsed)->num_pages(), store->map->num_pages());
+  EXPECT_EQ((*parsed)->probes_per_lookup(),
+            store->map->probes_per_lookup());
+  // The reparsed map resolves lookups identically.
+  const KeywordDigest digest =
+      DigestKey(entries[5].key, (*parsed)->seed());
+  EXPECT_EQ((*parsed)->Probes(digest), store->map->Probes(digest));
+}
+
+TEST(KeywordManifestTest, FuseRoundTrips) {
+  const auto entries = MakeEntries(200);
+  FuseOptions options;
+  options.value_size = 16;
+  options.build_version = 9;
+  auto store = BuildFuseStore(entries, options);
+  ASSERT_TRUE(store.ok()) << store.status();
+  auto parsed = KeywordMap::Deserialize(store->manifest);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ((*parsed)->kind(), KeywordMap::Kind::kFuse);
+  EXPECT_EQ((*parsed)->build_version(), 9u);
+  const KeywordDigest digest =
+      DigestKey(entries[0].key, (*parsed)->seed());
+  EXPECT_EQ((*parsed)->Probes(digest), store->map->Probes(digest));
+}
+
+TEST(KeywordManifestTest, RejectsTruncatedManifest) {
+  const auto entries = MakeEntries(50);
+  auto store = BuildCuckooStore(entries, CuckooOptions{});
+  ASSERT_TRUE(store.ok());
+  for (size_t len : {size_t{0}, size_t{5}, kManifestHeaderSize - 1}) {
+    auto parsed = KeywordMap::Deserialize(
+        ByteSpan(store->manifest.data(), len));
+    EXPECT_FALSE(parsed.ok()) << "accepted " << len << " bytes";
+  }
+  // Truncated body (valid header).
+  auto parsed = KeywordMap::Deserialize(
+      ByteSpan(store->manifest.data(), store->manifest.size() - 4));
+  EXPECT_FALSE(parsed.ok());
+}
+
+TEST(KeywordManifestTest, RejectsBadMagicAndUnknownVersionAndKind) {
+  const auto entries = MakeEntries(50);
+  auto store = BuildCuckooStore(entries, CuckooOptions{});
+  ASSERT_TRUE(store.ok());
+
+  Bytes bad_magic = store->manifest;
+  bad_magic[0] ^= 0xFF;
+  EXPECT_FALSE(KeywordMap::Deserialize(bad_magic).ok());
+
+  Bytes bad_version = store->manifest;
+  bad_version[8] = 0xEE;  // format_version lives at offset 8.
+  EXPECT_FALSE(KeywordMap::Deserialize(bad_version).ok());
+
+  Bytes bad_kind = store->manifest;
+  bad_kind[kManifestHeaderSize - 1] = 0x7F;  // kind byte.
+  EXPECT_FALSE(KeywordMap::Deserialize(bad_kind).ok());
+}
+
+// --- Bucket page codec ------------------------------------------------
+
+TEST(BucketPageTest, ScanRejectsMalformedPages) {
+  const KeywordDigest digest{};
+  // Wrong tag.
+  Bytes page(64, 0);
+  EXPECT_FALSE(ScanBucketPage(page, digest).ok());
+  // Entry count overruns the page.
+  page[0] = kBucketPageTag;
+  page[1] = 0xFF;
+  page[2] = 0xFF;
+  EXPECT_FALSE(ScanBucketPage(page, digest).ok());
+}
+
+TEST(BucketPageTest, EncodeScanRoundTrip) {
+  std::vector<BucketEntry> entries(2);
+  entries[0].digest.fill(0x11);
+  entries[0].value = B("one");
+  entries[1].digest.fill(0x22);
+  entries[1].value = B("two");
+  const Bytes page = EncodeBucketPage(entries, 64);
+  ASSERT_EQ(page.size(), 64u);
+  auto hit = ScanBucketPage(page, entries[1].digest);
+  ASSERT_TRUE(hit.ok()) << hit.status();
+  ASSERT_TRUE(hit->has_value());
+  EXPECT_EQ(**hit, B("two"));
+  KeywordDigest absent;
+  absent.fill(0x33);
+  auto miss = ScanBucketPage(page, absent);
+  ASSERT_TRUE(miss.ok());
+  EXPECT_FALSE(miss->has_value());
+}
+
+}  // namespace
+}  // namespace shpir::keyword

@@ -1,0 +1,16 @@
+// Lint fixture: a keyword-client lookalike that logs the looked-up key
+// on a miss. The key is the secret of the keyword front-end (the map is
+// public; see docs/KEYWORD.md) — printing it hands the server exactly
+// what the per-candidate PIR queries were paid to hide. Expected:
+// exactly one secret-log diagnostic.
+#include <cstdio>
+#include <string>
+
+#include "common/secret.h"
+
+bool LookupOrLogMiss(shpir::common::Secret<std::string> keyword_query) {
+  const std::string& keyword_text = keyword_query.ExposeSecret();
+  // BUG: miss-path logging leaks the key to the (untrusted) operator.
+  std::printf("keyword miss: %s\n", keyword_text.c_str());
+  return false;
+}

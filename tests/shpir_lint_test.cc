@@ -68,6 +68,13 @@ TEST(LintFixtures, SuppressionWithoutJustificationDoesNotSuppress) {
             rules.end());
 }
 
+TEST(LintFixtures, KeywordKeyLeakProducesExactlyOneDiagnostic) {
+  const auto findings = LintFixture("keyword_key_leak.cc");
+  ASSERT_EQ(findings.size(), 1u)
+      << (findings.empty() ? "no findings" : FormatFinding(findings[0]));
+  EXPECT_EQ(findings[0].rule, "secret-log");
+}
+
 TEST(LintFixtures, KnownGoodProducesZeroDiagnostics) {
   const auto findings = LintFixture("known_good.cc");
   EXPECT_TRUE(findings.empty())

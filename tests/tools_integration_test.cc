@@ -450,6 +450,53 @@ TEST_F(BenchDiffTest, MismatchedBenchmarksAreAUsageError) {
   EXPECT_EQ(Diff().exit_code, 2);
 }
 
+// The keyword KV CLI: offline build from a TSV, then private lookups
+// over a fresh in-process engine — hits, misses, and both map kinds.
+TEST(KeywordKvCliTest, BuildAndGetRoundTrip) {
+  const std::string dir = ::testing::TempDir() + "/shpir_kv_store";
+  RunShell("rm -rf " + dir + " && mkdir -p " + dir);
+  const std::string tsv = dir + "/input.tsv";
+  {
+    std::ofstream out(tsv, std::ios::trunc);
+    for (int i = 0; i < 200; ++i) {
+      out << "key-" << i << "\tvalue-" << i << "\n";
+    }
+  }
+  for (const std::string kind : {"cuckoo", "fuse"}) {
+    const std::string store = dir + "/" + kind;
+    RunShell("mkdir -p " + store);
+    const CommandResult build = RunShell(
+        BinDir() + "/shpir_kv build --in " + tsv + " --store " + store +
+        " --kind " + kind + " --page-size 64");
+    ASSERT_EQ(build.exit_code, 0) << kind << ": " << build.output;
+    EXPECT_NE(build.output.find("built " + kind + " store: 200 keys"),
+              std::string::npos)
+        << build.output;
+
+    const CommandResult hit = RunShell(
+        BinDir() + "/shpir_kv get --store " + store + " --key key-123");
+    ASSERT_EQ(hit.exit_code, 0) << kind << ": " << hit.output;
+    EXPECT_NE(hit.output.find("value-123"), std::string::npos)
+        << hit.output;
+
+    const CommandResult miss = RunShell(
+        BinDir() + "/shpir_kv get --store " + store + " --key no-such-key");
+    EXPECT_EQ(miss.exit_code, 3) << kind << ": " << miss.output;
+    EXPECT_NE(miss.output.find("(not found)"), std::string::npos)
+        << miss.output;
+  }
+  RunShell("rm -rf " + dir);
+}
+
+TEST(KeywordKvCliTest, RefusesBadArgs) {
+  EXPECT_NE(RunShell(BinDir() + "/shpir_kv").exit_code, 0);
+  EXPECT_NE(RunShell(BinDir() + "/shpir_kv build").exit_code, 0);
+  const CommandResult bad_kind = RunShell(
+      BinDir() + "/shpir_kv bench --keys 10 --kind nope");
+  EXPECT_NE(bad_kind.exit_code, 0);
+  EXPECT_NE(bad_kind.output.find("unknown --kind"), std::string::npos);
+}
+
 TEST_F(ToolsIntegrationTest, ProviderRefusesBadArgs) {
   const CommandResult result = RunShell(BinDir() + "/shpir_provider");
   EXPECT_NE(result.exit_code, 0);

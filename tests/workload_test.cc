@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <set>
 
 #include "model/queueing.h"
 
@@ -77,6 +78,45 @@ TEST(WorkloadTest, DeterministicGivenSeed) {
   ZipfWorkload a(100, 1.2, 7), b(100, 1.2, 7);
   for (int i = 0; i < 100; ++i) {
     EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(KeyedWorkloadTest, KeyForIndexIsCanonical) {
+  EXPECT_EQ(KeyForIndex(0), Bytes({'k', 'e', 'y', '-', '0'}));
+  EXPECT_EQ(KeyForIndex(42), KeyForIndex(42));
+  EXPECT_NE(KeyForIndex(1), KeyForIndex(10));
+}
+
+TEST(KeyedWorkloadTest, ZipfKeysRespectHitRatioAndKeySpace) {
+  constexpr uint64_t kNumKeys = 200;
+  constexpr int kDraws = 20000;
+  ZipfKeyWorkload wl(kNumKeys, 0.99, 0.7, 5);
+  std::set<Bytes> key_space;
+  for (uint64_t i = 0; i < kNumKeys; ++i) {
+    key_space.insert(KeyForIndex(i));
+  }
+  int hits = 0;
+  for (int i = 0; i < kDraws; ++i) {
+    const KeyRequest request = wl.Next();
+    if (request.hit) {
+      ++hits;
+      EXPECT_TRUE(key_space.count(request.key))
+          << "hit key outside the key space";
+    } else {
+      EXPECT_FALSE(key_space.count(request.key))
+          << "miss key collides with a stored key";
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kDraws, 0.7, 0.02);
+}
+
+TEST(KeyedWorkloadTest, DeterministicGivenSeed) {
+  ZipfKeyWorkload a(100, 1.0, 0.5, 9), b(100, 1.0, 0.5, 9);
+  for (int i = 0; i < 200; ++i) {
+    const KeyRequest ra = a.Next();
+    const KeyRequest rb = b.Next();
+    EXPECT_EQ(ra.hit, rb.hit);
+    EXPECT_EQ(ra.key, rb.key);
   }
 }
 
