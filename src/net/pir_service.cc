@@ -18,6 +18,11 @@ constexpr uint8_t kOpSloStatus = 9;  // SLO/error-budget state (JSON).
 // Keyword-store manifest fetch; payload is the shared wire codec
 // (EncodeKeywordManifestRequest / ...Response in net/wire.h).
 constexpr uint8_t kOpKeywordManifest = 10;
+constexpr uint8_t kOpEventDump = 11;  // Structured event log (JSON).
+// Flight-recorder dump: payload byte 0 selects the mode (0 = list,
+// 1 = show; id rides the request id field).
+constexpr uint8_t kOpIncidentDump = 12;
+constexpr uint8_t kOpHealth = 13;  // Health/readiness document (JSON).
 
 constexpr uint8_t kStatusOk = 0;
 constexpr uint8_t kStatusError = 1;
@@ -175,6 +180,38 @@ Result<Bytes> PirServiceServer::HandleRecord(ByteSpan record,
             current, /*include_body=*/*cached != current.version));
         break;
       }
+      case kOpEventDump: {
+        if (event_dump_) {
+          const Bytes dump = event_dump_();
+          response = OkResponse(dump);
+        } else {
+          response = ErrorResponse(UnimplementedError(
+              "event logging is not enabled on this service"));
+        }
+        break;
+      }
+      case kOpIncidentDump: {
+        if (incident_dump_) {
+          const bool show = !payload.empty() && payload[0] == 1;
+          Result<Bytes> dump = incident_dump_(show, id);
+          response = dump.ok() ? OkResponse(*dump)
+                               : ErrorResponse(dump.status());
+        } else {
+          response = ErrorResponse(UnimplementedError(
+              "incident recording is not enabled on this service"));
+        }
+        break;
+      }
+      case kOpHealth: {
+        if (health_) {
+          const Bytes doc = health_();
+          response = OkResponse(doc);
+        } else {
+          response = ErrorResponse(UnimplementedError(
+              "health reporting is not enabled on this service"));
+        }
+        break;
+      }
       default:
         response = ErrorResponse(InvalidArgumentError("unknown op"));
     }
@@ -255,6 +292,22 @@ Result<Bytes> PirServiceClient::ProfileDump(bool folded) {
 Result<Bytes> PirServiceClient::SloStatus() {
   return Call(kOpSloStatus, 0, {});
 }
+
+Result<Bytes> PirServiceClient::EventDump() {
+  return Call(kOpEventDump, 0, {});
+}
+
+Result<Bytes> PirServiceClient::IncidentList() {
+  const uint8_t mode = 0;
+  return Call(kOpIncidentDump, 0, ByteSpan(&mode, 1));
+}
+
+Result<Bytes> PirServiceClient::IncidentShow(uint64_t id) {
+  const uint8_t mode = 1;
+  return Call(kOpIncidentDump, id, ByteSpan(&mode, 1));
+}
+
+Result<Bytes> PirServiceClient::Health() { return Call(kOpHealth, 0, {}); }
 
 Result<KeywordManifest> PirServiceClient::FetchKeywordManifest(
     uint64_t cached_version) {

@@ -58,6 +58,22 @@ class PirServiceServer {
   /// skip the body. Null means the op answers Unimplemented.
   using KeywordManifestProvider = std::function<KeywordManifest()>;
 
+  /// Produces the structured event-log dump (JSON) for the EVENT_DUMP
+  /// op. Authenticated like StatsProvider; events carry only static
+  /// names and numeric aggregates (obs/eventlog.h's trust-boundary
+  /// contract).
+  using EventProvider = std::function<Bytes()>;
+
+  /// Produces the flight-recorder dump for the INCIDENT_DUMP op:
+  /// `show == false` lists bundle summaries, `show == true` returns
+  /// the full bundle `id` (NotFound when evicted).
+  using IncidentProvider =
+      std::function<Result<Bytes>(bool show, uint64_t id)>;
+
+  /// Produces the health/readiness document (JSON) for the HEALTH op —
+  /// shard liveness + SLO + privacy state, the load-balancer surface.
+  using HealthProvider = std::function<Bytes()>;
+
   /// Relay-side timestamps for one request: when its frame arrived and
   /// when the hub dequeued it for handling. Used to reconstruct a
   /// retroactive "hub_queue_wait" span for sampled traces.
@@ -80,7 +96,10 @@ class PirServiceServer {
                    obs::Tracer* tracer = nullptr,
                    ProfileProvider profile_dump = nullptr,
                    SloProvider slo_status = nullptr,
-                   KeywordManifestProvider keyword_manifest = nullptr)
+                   KeywordManifestProvider keyword_manifest = nullptr,
+                   EventProvider event_dump = nullptr,
+                   IncidentProvider incident_dump = nullptr,
+                   HealthProvider health = nullptr)
       : engine_(engine),
         session_(std::move(session)),
         stats_(std::move(stats)),
@@ -88,6 +107,9 @@ class PirServiceServer {
         profile_dump_(std::move(profile_dump)),
         slo_status_(std::move(slo_status)),
         keyword_manifest_(std::move(keyword_manifest)),
+        event_dump_(std::move(event_dump)),
+        incident_dump_(std::move(incident_dump)),
+        health_(std::move(health)),
         tracer_(tracer) {}
 
   /// Decrypts one request record, executes it, returns the sealed
@@ -105,6 +127,9 @@ class PirServiceServer {
   ProfileProvider profile_dump_;
   SloProvider slo_status_;
   KeywordManifestProvider keyword_manifest_;
+  EventProvider event_dump_;
+  IncidentProvider incident_dump_;
+  HealthProvider health_;
   obs::Tracer* tracer_;
 };
 
@@ -148,6 +173,19 @@ class PirServiceClient {
   /// the response carries the version but no body, so rebuild polling
   /// is one small sealed record.
   Result<KeywordManifest> FetchKeywordManifest(uint64_t cached_version = 0);
+
+  /// Fetches the service's structured event-log dump (JSON).
+  Result<Bytes> EventDump();
+
+  /// Fetches the flight-recorder incident summaries (JSON).
+  Result<Bytes> IncidentList();
+
+  /// Fetches one full incident bundle by id (JSON; NotFound when the
+  /// bundle has been evicted from the bounded store).
+  Result<Bytes> IncidentShow(uint64_t id);
+
+  /// Fetches the health/readiness document (JSON).
+  Result<Bytes> Health();
 
   /// Attaches a span collector (unowned; nullptr detaches). Sampled
   /// calls then emit "client_query"/"client_encode" spans and propagate

@@ -16,7 +16,10 @@ ServiceHub::ServiceHub(
     obs::MetricsRegistry* metrics, obs::Tracer* tracer,
     PirServiceServer::ProfileProvider profile_dump,
     PirServiceServer::SloProvider slo_status,
-    PirServiceServer::KeywordManifestProvider keyword_manifest)
+    PirServiceServer::KeywordManifestProvider keyword_manifest,
+    PirServiceServer::EventProvider event_dump,
+    PirServiceServer::IncidentProvider incident_dump,
+    PirServiceServer::HealthProvider health)
     : engine_(engine),
       pre_shared_key_(std::move(pre_shared_key)),
       metrics_(metrics),
@@ -24,6 +27,9 @@ ServiceHub::ServiceHub(
       profile_dump_(std::move(profile_dump)),
       slo_status_(std::move(slo_status)),
       keyword_manifest_(std::move(keyword_manifest)),
+      event_dump_(std::move(event_dump)),
+      incident_dump_(std::move(incident_dump)),
+      health_(std::move(health)),
       rng_(rng_seed == 0 ? crypto::SecureRandom()
                          : crypto::SecureRandom(rng_seed)) {
   if (metrics_ != nullptr) {
@@ -144,7 +150,7 @@ Result<Bytes> ServiceHub::HandleFrame(ByteSpan frame) {
     servers_[client_id] = std::make_unique<PirServiceServer>(
         engine_, std::move(session).value(), std::move(stats),
         std::move(trace_dump), tracer_, profile_dump_, slo_status_,
-        keyword_manifest_);
+        keyword_manifest_, event_dump_, incident_dump_, health_);
     if (metered()) {
       instruments_.sessions->Set(static_cast<double>(servers_.size()));
     }

@@ -48,6 +48,10 @@ class ServiceHub {
   /// `keyword_manifest` (optional) backs the KEYWORD_MANIFEST op — it
   /// returns the current public keyword-store manifest and its build
   /// version (see src/keyword/); must be thread-safe.
+  /// `event_dump` / `incident_dump` / `health` (optional) back the
+  /// authenticated EVENT_DUMP / INCIDENT_DUMP / HEALTH ops; all must be
+  /// thread-safe and return aggregate, target-independent data only
+  /// (see obs/eventlog.h, obs/flight_recorder.h).
   ServiceHub(core::PirEngine* engine, Bytes pre_shared_key,
              uint64_t rng_seed = 0,
              obs::MetricsRegistry* metrics = nullptr,
@@ -55,7 +59,10 @@ class ServiceHub {
              PirServiceServer::ProfileProvider profile_dump = nullptr,
              PirServiceServer::SloProvider slo_status = nullptr,
              PirServiceServer::KeywordManifestProvider keyword_manifest =
-                 nullptr);
+                 nullptr,
+             PirServiceServer::EventProvider event_dump = nullptr,
+             PirServiceServer::IncidentProvider incident_dump = nullptr,
+             PirServiceServer::HealthProvider health = nullptr);
 
   /// Handles one wire frame from any client; returns the reply frame.
   Result<Bytes> HandleFrame(ByteSpan frame);
@@ -106,6 +113,9 @@ class ServiceHub {
   PirServiceServer::ProfileProvider profile_dump_;
   PirServiceServer::SloProvider slo_status_;
   PirServiceServer::KeywordManifestProvider keyword_manifest_;
+  PirServiceServer::EventProvider event_dump_;
+  PirServiceServer::IncidentProvider incident_dump_;
+  PirServiceServer::HealthProvider health_;
   Instruments instruments_;  // Written by the ctor only; const afterwards.
   mutable common::Mutex mutex_;
   /// Server-nonce generator; drawn from under mutex_ in HandleFrame.

@@ -1,8 +1,10 @@
 #include "net/storage_server.h"
 
 #include <chrono>
+#include <sstream>
 #include <utility>
 
+#include "obs/build_info.h"
 #include "obs/export.h"
 
 namespace shpir::net {
@@ -31,12 +33,20 @@ const char* ProviderSpanName(Op op) {
 StorageServer::StorageServer(storage::Disk* disk,
                              obs::MetricsRegistry* metrics,
                              obs::Tracer* tracer, obs::Profiler* profiler,
-                             obs::SloTracker* slo)
+                             obs::SloTracker* slo, obs::EventLog* eventlog,
+                             obs::FlightRecorder* recorder)
     : disk_(disk),
       metrics_(metrics),
       tracer_(tracer),
       profiler_(profiler),
-      slo_(slo) {
+      slo_(slo),
+      eventlog_(eventlog),
+      recorder_(recorder) {
+  if (eventlog_ != nullptr) {
+    eventlog_->Emit(obs::EventLevel::kInfo, "provider_started",
+                    {{"num_slots", disk_->num_slots()},
+                     {"slot_size", disk_->slot_size()}});
+  }
   if (metrics_ != nullptr) {
     instruments_.requests =
         metrics_->FindOrCreateCounter("shpir_provider_requests_total");
@@ -60,6 +70,15 @@ Bytes StorageServer::Handle(ByteSpan request_frame) {
     }
     if (slo_ != nullptr) {
       slo_->Record(0, /*ok=*/false);
+    }
+    if (eventlog_ != nullptr) {
+      // Frame-level metadata only: the size of a hostile frame is
+      // something the provider observes anyway.
+      eventlog_->Emit(obs::EventLevel::kWarn, "provider_bad_frame",
+                      {{"frame_bytes", request_frame.size()}});
+    }
+    if (recorder_ != nullptr) {
+      recorder_->Poll();
     }
     return EncodeErrorResponse(decoded.status());
   }
@@ -150,6 +169,45 @@ Bytes StorageServer::Dispatch(const Request& request) {
             "SLO tracking is not enabled on this provider"));
       }
       const std::string json = slo_->ToJson();
+      return EncodeOkResponse(
+          ByteSpan(reinterpret_cast<const uint8_t*>(json.data()),
+                   json.size()));
+    }
+    case Op::kEventDump: {
+      if (eventlog_ == nullptr) {
+        return EncodeErrorResponse(UnimplementedError(
+            "event logging is not enabled on this provider"));
+      }
+      const std::string json = obs::EventLogJson(*eventlog_);
+      return EncodeOkResponse(
+          ByteSpan(reinterpret_cast<const uint8_t*>(json.data()),
+                   json.size()));
+    }
+    case Op::kIncidentDump: {
+      if (recorder_ == nullptr) {
+        return EncodeErrorResponse(UnimplementedError(
+            "incident recording is not enabled on this provider"));
+      }
+      // Catch up on trigger edges before answering, so a dump taken
+      // right after a breach sees its bundle.
+      recorder_->Poll();
+      const bool show = !request.payload.empty() && request.payload[0] == 1;
+      std::string json;
+      if (show) {
+        json = recorder_->ShowJson(request.location);
+        if (json.empty()) {
+          return EncodeErrorResponse(
+              NotFoundError("no such incident in the store"));
+        }
+      } else {
+        json = recorder_->ListJson();
+      }
+      return EncodeOkResponse(
+          ByteSpan(reinterpret_cast<const uint8_t*>(json.data()),
+                   json.size()));
+    }
+    case Op::kHealth: {
+      const std::string json = HealthJson();
       return EncodeOkResponse(
           ByteSpan(reinterpret_cast<const uint8_t*>(json.data()),
                    json.size()));
@@ -255,6 +313,34 @@ Bytes StorageServer::Dispatch(const Request& request) {
       break;  // DecodeRequest unwraps envelopes; never surfaces here.
   }
   return EncodeErrorResponse(InternalError("unhandled op"));
+}
+
+std::string StorageServer::HealthJson() const {
+  // A storage provider is stateless, so it is ready whenever it can
+  // answer at all; "degraded" reflects a firing SLO burn rule.
+  bool degraded = false;
+  std::string slo_json = "null";
+  if (slo_ != nullptr) {
+    const obs::SloTracker::Snapshot snapshot = slo_->Evaluate();
+    for (const auto* sli : {&snapshot.availability, &snapshot.latency}) {
+      for (const auto& rule : sli->rules) {
+        degraded = degraded || rule.firing;
+      }
+    }
+    slo_json = obs::SloTracker::SnapshotJson(snapshot);
+  }
+  std::ostringstream out;
+  out << "{\"ready\":true,\"degraded\":" << (degraded ? "true" : "false")
+      << ",\"role\":\"storage\",\"build\":\""
+      << obs::EscapeJsonString(obs::BuildInfoSummary())
+      << "\",\"slo\":" << slo_json << ",\"eventlog_dropped\":"
+      << (eventlog_ != nullptr ? std::to_string(eventlog_->dropped())
+                               : "null")
+      << ",\"incidents_sealed\":"
+      << (recorder_ != nullptr ? std::to_string(recorder_->sealed())
+                               : "null")
+      << "}";
+  return out.str();
 }
 
 }  // namespace shpir::net

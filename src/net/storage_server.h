@@ -4,6 +4,8 @@
 #include "common/result.h"
 #include "net/transport.h"
 #include "net/wire.h"
+#include "obs/eventlog.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/profiler.h"
 #include "obs/slo.h"
@@ -30,12 +32,17 @@ class StorageServer {
   /// provider_* folded stacks and enables the kProfileDump op; `slo`
   /// (optional, unowned) records every request's handle latency and
   /// outcome and enables the kSloStatus op. Both observe only wire-level
-  /// metadata the provider already sees.
+  /// metadata the provider already sees. `eventlog` (optional, unowned)
+  /// records provider lifecycle events and enables the kEventDump op;
+  /// `recorder` (optional, unowned) enables the kIncidentDump op and is
+  /// polled on every error so trigger edges seal bundles promptly.
   explicit StorageServer(storage::Disk* disk,
                          obs::MetricsRegistry* metrics = nullptr,
                          obs::Tracer* tracer = nullptr,
                          obs::Profiler* profiler = nullptr,
-                         obs::SloTracker* slo = nullptr);
+                         obs::SloTracker* slo = nullptr,
+                         obs::EventLog* eventlog = nullptr,
+                         obs::FlightRecorder* recorder = nullptr);
 
   /// Executes one request frame and returns the response frame. Errors
   /// are encoded into the response (the transport never fails).
@@ -60,11 +67,16 @@ class StorageServer {
   /// profiling/SLO wrapper can observe the outcome uniformly).
   Bytes Dispatch(const Request& request);
 
+  /// Health/readiness JSON for the kHealth op (load-balancer surface).
+  std::string HealthJson() const;
+
   storage::Disk* disk_;
   obs::MetricsRegistry* metrics_;
   obs::Tracer* tracer_;
   obs::Profiler* profiler_;
   obs::SloTracker* slo_;
+  obs::EventLog* eventlog_;
+  obs::FlightRecorder* recorder_;
   Instruments instruments_;
   /// Published keyword manifest (empty until PublishKeywordManifest).
   KeywordManifest keyword_manifest_;

@@ -76,6 +76,9 @@ Result<Request> DecodeRequest(ByteSpan frame) {
     case static_cast<uint8_t>(Op::kProfileDump):
     case static_cast<uint8_t>(Op::kSloStatus):
     case static_cast<uint8_t>(Op::kKeywordManifest):
+    case static_cast<uint8_t>(Op::kEventDump):
+    case static_cast<uint8_t>(Op::kIncidentDump):
+    case static_cast<uint8_t>(Op::kHealth):
       request.op = static_cast<Op>(frame[0]);
       break;
     default:

@@ -38,6 +38,12 @@ enum class Op : uint8_t {
   // Fetch the public keyword-store manifest (versioned for rebuilds).
   // Payload: EncodeKeywordManifestRequest / ...Response below.
   kKeywordManifest = 11,
+  kEventDump = 12,  // Fetch the provider's event log (JSON).
+  // Incident flight-recorder dump. Payload byte 0 selects the mode
+  // (0 = list summaries, 1 = show one bundle, id in location; absent
+  // = 0).
+  kIncidentDump = 13,
+  kHealth = 14,  // Fetch the provider's health/readiness state (JSON).
 };
 
 struct Request {

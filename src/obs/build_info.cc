@@ -1,0 +1,73 @@
+#include "obs/build_info.h"
+
+#include "obs/metrics.h"
+
+#if !defined(SHPIR_BUILD_GIT_SHA)
+#define SHPIR_BUILD_GIT_SHA "unknown"
+#endif
+#if !defined(SHPIR_BUILD_TYPE)
+#define SHPIR_BUILD_TYPE "unknown"
+#endif
+#if !defined(SHPIR_BUILD_FLAGS)
+#define SHPIR_BUILD_FLAGS ""
+#endif
+
+namespace shpir::obs {
+
+namespace {
+
+// The repo has no release tags yet; the minor component tracks the PR
+// sequence the same way CHANGES.md does.
+constexpr const char* kVersion = "0.8.0";
+
+const char* CompilerString() {
+#if defined(__clang__)
+  return "clang " __VERSION__;
+#elif defined(__GNUC__)
+  return "gcc " __VERSION__;
+#else
+  return "unknown";
+#endif
+}
+
+}  // namespace
+
+const BuildInfo& GetBuildInfo() {
+  static const BuildInfo info = {
+      kVersion,
+      SHPIR_BUILD_GIT_SHA,
+      CompilerString(),
+      SHPIR_BUILD_TYPE,
+      SHPIR_BUILD_FLAGS,
+  };
+  return info;
+}
+
+void PublishBuildInfo(MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    return;
+  }
+  const BuildInfo& info = GetBuildInfo();
+  registry->RegisterInfo("shpir_build_info",
+                         {{"version", info.version},
+                          {"git_sha", info.git_sha},
+                          {"compiler", info.compiler},
+                          {"build_type", info.build_type},
+                          {"flags", info.flags}});
+}
+
+std::string BuildInfoSummary() {
+  const BuildInfo& info = GetBuildInfo();
+  std::string out = "shpir ";
+  out += info.version;
+  out += " (";
+  out += info.git_sha;
+  out += ", ";
+  out += info.compiler;
+  out += ", ";
+  out += info.build_type;
+  out += ")";
+  return out;
+}
+
+}  // namespace shpir::obs

@@ -1,0 +1,34 @@
+#ifndef SHPIR_OBS_BUILD_INFO_H_
+#define SHPIR_OBS_BUILD_INFO_H_
+
+#include <string>
+
+namespace shpir::obs {
+
+class MetricsRegistry;
+
+/// Build identity: which binary is actually serving. All values are
+/// compile-time constants (public by definition). The git sha and
+/// build type arrive as compile definitions from src/obs/CMakeLists;
+/// the compiler string comes from predefined macros.
+struct BuildInfo {
+  const char* version;
+  const char* git_sha;
+  const char* compiler;
+  const char* build_type;
+  const char* flags;
+};
+
+const BuildInfo& GetBuildInfo();
+
+/// Registers the shpir_build_info info metric (value-1 gauge with
+/// version/git_sha/compiler/build_type/flags labels) on `registry`.
+/// Both exporters render it; shpir_stats prints it as a header line.
+void PublishBuildInfo(MetricsRegistry* registry);
+
+/// One-line human form: "shpir <version> (<sha>, <compiler>, <type>)".
+std::string BuildInfoSummary();
+
+}  // namespace shpir::obs
+
+#endif  // SHPIR_OBS_BUILD_INFO_H_

@@ -1,0 +1,215 @@
+#include "obs/eventlog.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+
+#include "obs/export.h"
+#include "obs/metrics.h"
+
+namespace shpir::obs {
+
+namespace {
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+const char* EventLevelName(EventLevel level) {
+  switch (level) {
+    case EventLevel::kDebug:
+      return "debug";
+    case EventLevel::kInfo:
+      return "info";
+    case EventLevel::kWarn:
+      return "warn";
+    case EventLevel::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+EventLog::EventLog(const Options& options)
+    : options_(options),
+      lane_capacity_(std::max<size_t>(
+          1, (options.capacity == 0 ? 1024 : options.capacity) /
+                 std::max<size_t>(1, options.lanes))),
+      lanes_(std::max<size_t>(1, options.lanes)) {
+  for (Lane& lane : lanes_) {
+    common::MutexLock lock(lane.mutex);
+    lane.ring.resize(lane_capacity_);
+  }
+}
+
+void EventLog::Emit(EventLevel level, const char* name, int32_t shard,
+                    uint64_t trace_id,
+                    std::initializer_list<EventField> fields) {
+  emitted_.fetch_add(1, std::memory_order_relaxed);
+  if (level < options_.min_level) {
+    filtered_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  const uint64_t now = NowNs();
+  const auto level_index = static_cast<size_t>(level);
+  if (options_.max_per_sec[level_index] > 0) {
+    common::MutexLock lock(rate_mutex_);
+    RateBucket& bucket = rate_[level_index];
+    if (now - bucket.window_start_ns >= 1000000000ULL) {
+      bucket.window_start_ns = now;
+      bucket.count = 0;
+    }
+    if (bucket.count >= options_.max_per_sec[level_index]) {
+      rate_limited_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    ++bucket.count;
+  }
+
+  EventRecord record;
+  record.seq = seq_.fetch_add(1, std::memory_order_relaxed);
+  record.ts_ns = now;
+  record.level = level;
+  record.name = name;
+  record.shard = shard;
+  record.trace_id = trace_id;
+  for (const EventField& field : fields) {
+    if (record.num_fields == EventRecord::kMaxFields) {
+      break;  // Closed vocabulary; events carry at most kMaxFields.
+    }
+    record.fields[record.num_fields++] = field;
+  }
+
+  Lane& lane = lanes_[record.seq % lanes_.size()];
+  bool overwrote = false;
+  {
+    common::MutexLock lock(lane.mutex);
+    lane.ring[lane.next] = record;
+    lane.next = (lane.next + 1) % lane_capacity_;
+    if (lane.count < lane_capacity_) {
+      ++lane.count;
+    } else {
+      overwrote = true;
+    }
+  }
+  recorded_.fetch_add(1, std::memory_order_relaxed);
+  if (overwrote) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+std::vector<EventRecord> EventLog::Snapshot() const {
+  std::vector<EventRecord> out;
+  out.reserve(lanes_.size() * lane_capacity_);
+  for (const Lane& lane : lanes_) {
+    common::MutexLock lock(lane.mutex);
+    const size_t start = lane.count == lane_capacity_ ? lane.next : 0;
+    for (size_t i = 0; i < lane.count; ++i) {
+      out.push_back(lane.ring[(start + i) % lane_capacity_]);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const EventRecord& a, const EventRecord& b) {
+              return a.seq < b.seq;
+            });
+  return out;
+}
+
+void EventLog::Clear() {
+  for (Lane& lane : lanes_) {
+    common::MutexLock lock(lane.mutex);
+    lane.next = 0;
+    lane.count = 0;
+  }
+}
+
+void EventLog::PublishMetrics(MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    return;
+  }
+  registry->RegisterCallbackGauge(
+      "shpir_eventlog_emitted_total",
+      [this] { return static_cast<double>(emitted()); });
+  registry->RegisterCallbackGauge(
+      "shpir_eventlog_recorded_total",
+      [this] { return static_cast<double>(recorded()); });
+  registry->RegisterCallbackGauge(
+      "shpir_eventlog_dropped_total",
+      [this] { return static_cast<double>(dropped()); });
+  registry->RegisterCallbackGauge(
+      "shpir_eventlog_rate_limited_total",
+      [this] { return static_cast<double>(rate_limited()); });
+  registry->RegisterCallbackGauge(
+      "shpir_eventlog_filtered_total",
+      [this] { return static_cast<double>(filtered()); });
+}
+
+std::string EventLogJson(const EventLog& log) {
+  std::ostringstream out;
+  out << "{\"emitted\":" << log.emitted()
+      << ",\"recorded\":" << log.recorded()
+      << ",\"dropped\":" << log.dropped()
+      << ",\"rate_limited\":" << log.rate_limited()
+      << ",\"filtered\":" << log.filtered() << ",\"events\":[";
+  bool first = true;
+  char buf[64];
+  for (const EventRecord& event : log.Snapshot()) {
+    if (!first) {
+      out << ',';
+    }
+    first = false;
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(event.trace_id));
+    // Event and field names come from the closed static vocabulary
+    // but are escaped anyway — the dump crosses the wire.
+    out << "{\"seq\":" << event.seq << ",\"ts_ns\":" << event.ts_ns
+        << ",\"level\":\"" << EventLevelName(event.level) << "\",\"name\":\""
+        << EscapeJsonString(event.name) << "\",\"shard\":" << event.shard
+        << ",\"trace_id\":\"" << buf << "\",\"fields\":{";
+    for (size_t i = 0; i < event.num_fields; ++i) {
+      if (i > 0) {
+        out << ',';
+      }
+      std::snprintf(buf, sizeof(buf), "%.17g", event.fields[i].value);
+      out << "\"" << EscapeJsonString(event.fields[i].name)
+          << "\":" << buf;
+    }
+    out << "}}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+std::string EventShape(const std::vector<EventRecord>& events) {
+  std::vector<std::string> lines;
+  lines.reserve(events.size());
+  for (const EventRecord& event : events) {
+    std::string line = EventLevelName(event.level);
+    line += ':';
+    line += event.name;
+    line += ':';
+    line += std::to_string(event.shard);
+    line += ':';
+    for (size_t i = 0; i < event.num_fields; ++i) {
+      if (i > 0) {
+        line += ',';
+      }
+      line += event.fields[i].name;
+    }
+    lines.push_back(std::move(line));
+  }
+  std::sort(lines.begin(), lines.end());
+  std::string out;
+  for (const std::string& line : lines) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace shpir::obs

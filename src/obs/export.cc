@@ -25,6 +25,13 @@ std::string FormatDouble(double value) {
   return buf;
 }
 
+std::string TraceIdHex(uint64_t trace_id) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(trace_id));
+  return buf;
+}
+
 }  // namespace
 
 std::string EscapeJsonString(std::string_view value) {
@@ -67,6 +74,27 @@ std::string EscapeJsonString(std::string_view value) {
   return out;
 }
 
+std::string EscapePrometheusLabelValue(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
 std::string ToPrometheusText(const MetricsSnapshot& snapshot) {
   std::ostringstream out;
   for (const SnapshotCounter& counter : snapshot.counters) {
@@ -77,6 +105,19 @@ std::string ToPrometheusText(const MetricsSnapshot& snapshot) {
     out << "# TYPE " << gauge.name << " gauge\n";
     out << gauge.name << " " << FormatDouble(gauge.value) << "\n";
   }
+  for (const SnapshotInfo& info : snapshot.infos) {
+    out << "# TYPE " << info.name << " gauge\n";
+    out << info.name << "{";
+    bool first = true;
+    for (const auto& [key, value] : info.labels) {
+      if (!first) {
+        out << ",";
+      }
+      first = false;
+      out << key << "=\"" << EscapePrometheusLabelValue(value) << "\"";
+    }
+    out << "} 1\n";
+  }
   for (const SnapshotHistogram& histogram : snapshot.histograms) {
     out << "# TYPE " << histogram.name << " summary\n";
     out << histogram.name << "{quantile=\"0.5\"} "
@@ -86,7 +127,18 @@ std::string ToPrometheusText(const MetricsSnapshot& snapshot) {
     out << histogram.name << "{quantile=\"0.99\"} "
         << FormatDouble(histogram.p99) << "\n";
     out << histogram.name << "_sum " << histogram.sum << "\n";
-    out << histogram.name << "_count " << histogram.count << "\n";
+    out << histogram.name << "_count " << histogram.count;
+    if (!histogram.exemplars.empty()) {
+      // OpenMetrics exemplar syntax on the count sample; the
+      // highest-value (outlier) exemplar is the interesting one.
+      const SnapshotExemplar& exemplar = histogram.exemplars.back();
+      char ts[32];
+      std::snprintf(ts, sizeof(ts), "%.3f",
+                    static_cast<double>(exemplar.ts_ns) / 1e9);
+      out << " # {trace_id=\"" << TraceIdHex(exemplar.trace_id) << "\"} "
+          << exemplar.value << " " << ts;
+    }
+    out << "\n";
   }
   return out.str();
 }
@@ -119,10 +171,43 @@ std::string ToJson(const MetricsSnapshot& snapshot) {
         << "\",\"count\":" << h.count
         << ",\"sum\":" << h.sum << ",\"min\":" << h.min << ",\"max\":"
         << h.max << ",\"p50\":" << FormatDouble(h.p50) << ",\"p95\":"
-        << FormatDouble(h.p95) << ",\"p99\":" << FormatDouble(h.p99)
-        << "}";
+        << FormatDouble(h.p95) << ",\"p99\":" << FormatDouble(h.p99);
+    if (!h.exemplars.empty()) {
+      out << ",\"exemplars\":[";
+      for (size_t j = 0; j < h.exemplars.size(); ++j) {
+        if (j > 0) {
+          out << ",";
+        }
+        out << "{\"value\":" << h.exemplars[j].value << ",\"trace_id\":\""
+            << TraceIdHex(h.exemplars[j].trace_id)
+            << "\",\"ts_ns\":" << h.exemplars[j].ts_ns << "}";
+      }
+      out << "]";
+    }
+    out << "}";
   }
-  out << "]}";
+  out << "]";
+  if (!snapshot.infos.empty()) {
+    out << ",\"infos\":[";
+    for (size_t i = 0; i < snapshot.infos.size(); ++i) {
+      const SnapshotInfo& info = snapshot.infos[i];
+      if (i > 0) {
+        out << ",";
+      }
+      out << "{\"name\":\"" << EscapeJsonString(info.name)
+          << "\",\"labels\":{";
+      for (size_t j = 0; j < info.labels.size(); ++j) {
+        if (j > 0) {
+          out << ",";
+        }
+        out << "\"" << EscapeJsonString(info.labels[j].first) << "\":\""
+            << EscapeJsonString(info.labels[j].second) << "\"";
+      }
+      out << "}}";
+    }
+    out << "]";
+  }
+  out << "}";
   return out.str();
 }
 
@@ -193,10 +278,60 @@ class SnapshotParser {
       SHPIR_RETURN_IF_ERROR(Expect(','));
       SHPIR_RETURN_IF_ERROR(ExpectKey("p99"));
       SHPIR_ASSIGN_OR_RETURN(h.p99, ParseDouble());
+      if (ConsumeCommaIfPresent()) {
+        SHPIR_RETURN_IF_ERROR(ExpectKey("exemplars"));
+        SHPIR_RETURN_IF_ERROR(ParseArray([&]() -> Status {
+          SnapshotExemplar exemplar;
+          SHPIR_RETURN_IF_ERROR(Expect('{'));
+          SHPIR_RETURN_IF_ERROR(ExpectKey("value"));
+          SHPIR_ASSIGN_OR_RETURN(exemplar.value, ParseU64());
+          SHPIR_RETURN_IF_ERROR(Expect(','));
+          SHPIR_RETURN_IF_ERROR(ExpectKey("trace_id"));
+          SHPIR_ASSIGN_OR_RETURN(exemplar.trace_id, ParseTraceIdHex());
+          SHPIR_RETURN_IF_ERROR(Expect(','));
+          SHPIR_RETURN_IF_ERROR(ExpectKey("ts_ns"));
+          SHPIR_ASSIGN_OR_RETURN(exemplar.ts_ns, ParseU64());
+          SHPIR_RETURN_IF_ERROR(Expect('}'));
+          h.exemplars.push_back(exemplar);
+          return OkStatus();
+        }));
+      }
       SHPIR_RETURN_IF_ERROR(Expect('}'));
       snapshot.histograms.push_back(std::move(h));
       return OkStatus();
     }));
+    if (ConsumeCommaIfPresent()) {
+      SHPIR_RETURN_IF_ERROR(ExpectKey("infos"));
+      SHPIR_RETURN_IF_ERROR(ParseArray([&]() -> Status {
+        SnapshotInfo info;
+        SHPIR_RETURN_IF_ERROR(Expect('{'));
+        SHPIR_RETURN_IF_ERROR(ExpectKey("name"));
+        SHPIR_ASSIGN_OR_RETURN(info.name, ParseString());
+        SHPIR_RETURN_IF_ERROR(Expect(','));
+        SHPIR_RETURN_IF_ERROR(ExpectKey("labels"));
+        SHPIR_RETURN_IF_ERROR(Expect('{'));
+        SkipSpace();
+        if (pos_ < text_.size() && text_[pos_] == '}') {
+          ++pos_;
+        } else {
+          while (true) {
+            std::pair<std::string, std::string> label;
+            SHPIR_ASSIGN_OR_RETURN(label.first, ParseString());
+            SHPIR_RETURN_IF_ERROR(Expect(':'));
+            SHPIR_ASSIGN_OR_RETURN(label.second, ParseString());
+            info.labels.push_back(std::move(label));
+            if (ConsumeCommaIfPresent()) {
+              continue;
+            }
+            SHPIR_RETURN_IF_ERROR(Expect('}'));
+            break;
+          }
+        }
+        SHPIR_RETURN_IF_ERROR(Expect('}'));
+        snapshot.infos.push_back(std::move(info));
+        return OkStatus();
+      }));
+    }
     SHPIR_RETURN_IF_ERROR(Expect('}'));
     SkipSpace();
     if (pos_ != text_.size()) {
@@ -211,6 +346,37 @@ class SnapshotParser {
            std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
       ++pos_;
     }
+  }
+
+  /// Consumes a ',' when it is the next token; used for the optional
+  /// trailing keys ("exemplars", "infos") that older snapshots omit.
+  bool ConsumeCommaIfPresent() {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == ',') {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  /// A 1..16 lowercase-hex-digit string, as TraceIdHex produces.
+  Result<uint64_t> ParseTraceIdHex() {
+    SHPIR_ASSIGN_OR_RETURN(const std::string hex, ParseString());
+    if (hex.empty() || hex.size() > 16) {
+      return DataLossError("snapshot JSON: bad trace id length");
+    }
+    uint64_t value = 0;
+    for (const char c : hex) {
+      value <<= 4;
+      if (c >= '0' && c <= '9') {
+        value |= static_cast<uint64_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        value |= static_cast<uint64_t>(c - 'a' + 10);
+      } else {
+        return DataLossError("snapshot JSON: bad trace id digit");
+      }
+    }
+    return value;
   }
 
   Status Expect(char c) {

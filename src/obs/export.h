@@ -11,13 +11,20 @@ namespace shpir::obs {
 
 /// Prometheus text exposition (version 0.0.4): counters and gauges as
 /// single samples, histograms as summaries with precomputed quantiles.
+/// Info metrics render as value-1 gauges with escaped label values;
+/// histogram exemplars append OpenMetrics exemplar syntax
+/// (` # {trace_id="<16-hex>"} <value> <ts-seconds>`) to the _count
+/// sample.
 std::string ToPrometheusText(const MetricsSnapshot& snapshot);
 
 /// Compact JSON snapshot — the wire format of the STATS ops:
 ///   {"counters":[{"name":...,"value":...}],
 ///    "gauges":[...],
 ///    "histograms":[{"name":...,"count":...,"sum":...,"min":...,
-///                   "max":...,"p50":...,"p95":...,"p99":...}]}
+///                   "max":...,"p50":...,"p95":...,"p99":...,
+///                   "exemplars":[{"value":...,"trace_id":"<16-hex>",
+///                                 "ts_ns":...}]}],   // when non-empty
+///    "infos":[{"name":...,"labels":{...}}]}          // when non-empty
 std::string ToJson(const MetricsSnapshot& snapshot);
 
 /// Parses a snapshot produced by ToJson (unknown keys are rejected; the
@@ -30,6 +37,12 @@ Result<MetricsSnapshot> ParseJsonSnapshot(const std::string& json);
 /// originate elsewhere (trace span names, remote snapshots) must not be
 /// able to break the produced JSON.
 std::string EscapeJsonString(std::string_view value);
+
+/// Escapes `value` for a Prometheus/OpenMetrics label value position:
+/// backslash, double quote, and newline become \\, \", and \n (the
+/// full escape set the exposition formats define). Needed for info
+/// metric labels (compiler strings, build flags) and exemplar labels.
+std::string EscapePrometheusLabelValue(std::string_view value);
 
 /// Human-readable table for the shpir_stats CLI.
 std::string RenderTable(const MetricsSnapshot& snapshot);

@@ -1,6 +1,7 @@
 #include "obs/metrics.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/check.h"
 
@@ -27,6 +28,24 @@ void Histogram::Record(uint64_t value) {
   sum_.fetch_add(value, std::memory_order_relaxed);
   AtomicExtreme(min_, value, std::less<uint64_t>());
   AtomicExtreme(max_, value, std::greater<uint64_t>());
+}
+
+void Histogram::RecordWithExemplar(uint64_t value, uint64_t trace_id) {
+  Record(value);
+  if (trace_id == 0) {
+    return;
+  }
+  const int slot = BucketIndex(value) * kExemplarSlots / kNumBuckets;
+  const uint64_t now_ns = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+  common::MutexLock lock(exemplar_mutex_);
+  ExemplarSlot& exemplar = exemplar_slots_[static_cast<size_t>(slot)];
+  exemplar.value = value;
+  exemplar.trace_id = trace_id;
+  exemplar.ts_ns = now_ns;
+  exemplar.used = true;
 }
 
 uint64_t Histogram::Min() const {
@@ -171,6 +190,18 @@ void MetricsRegistry::RegisterCallbackGauge(std::string_view name,
   callback_gauges_[std::string(name)] = std::move(callback);
 }
 
+void MetricsRegistry::RegisterInfo(
+    std::string_view name,
+    std::vector<std::pair<std::string, std::string>> labels) {
+  SHPIR_CHECK(IsValidName(name));
+  for (const auto& [key, value] : labels) {
+    SHPIR_CHECK(IsValidName(key));
+    (void)value;  // Free-form; exporters escape it.
+  }
+  common::MutexLock lock(mutex_);
+  infos_[std::string(name)] = std::move(labels);
+}
+
 MetricsSnapshot MetricsRegistry::Snapshot() const {
   common::MutexLock lock(mutex_);
   MetricsSnapshot snapshot;
@@ -200,7 +231,23 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
     h.p50 = histogram->Quantile(0.50);
     h.p95 = histogram->Quantile(0.95);
     h.p99 = histogram->Quantile(0.99);
+    {
+      common::MutexLock exemplar_lock(histogram->exemplar_mutex_);
+      for (const Histogram::ExemplarSlot& slot : histogram->exemplar_slots_) {
+        if (slot.used) {
+          h.exemplars.push_back({slot.value, slot.trace_id, slot.ts_ns});
+        }
+      }
+    }
+    std::sort(h.exemplars.begin(), h.exemplars.end(),
+              [](const SnapshotExemplar& a, const SnapshotExemplar& b) {
+                return a.value < b.value;
+              });
     snapshot.histograms.push_back(std::move(h));
+  }
+  snapshot.infos.reserve(infos_.size());
+  for (const auto& [name, labels] : infos_) {
+    snapshot.infos.push_back({name, labels});
   }
   return snapshot;
 }

@@ -10,6 +10,7 @@
 #include <memory>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "common/mutex.h"
@@ -67,8 +68,18 @@ class Histogram {
   static constexpr int kSubBuckets = 4;
   static constexpr int kNumBuckets =
       kLinearBuckets + (64 - 4) * kSubBuckets;  // 256.
+  /// Exemplar slots, one per quarter of the bucket range, so both
+  /// typical and outlier observations keep a representative.
+  static constexpr int kExemplarSlots = 4;
 
   void Record(uint64_t value);
+
+  /// Record() plus exemplar retention: remembers (value, trace_id) in
+  /// the slot covering the value's bucket zone, overwriting the slot's
+  /// previous exemplar. Call only for traced observations — trace ids
+  /// are public (they name sampled spans), and the slot update takes a
+  /// mutex the plain Record() path never touches.
+  void RecordWithExemplar(uint64_t value, uint64_t trace_id);
 
   uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
   /// Sum of recorded values (saturating at 2^64 like any counter).
@@ -90,11 +101,21 @@ class Histogram {
   friend class MetricsRegistry;
   Histogram() = default;
 
+  struct ExemplarSlot {
+    uint64_t value = 0;
+    uint64_t trace_id = 0;
+    uint64_t ts_ns = 0;
+    bool used = false;
+  };
+
   std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
   std::atomic<uint64_t> count_{0};
   std::atomic<uint64_t> sum_{0};
   std::atomic<uint64_t> min_{UINT64_MAX};
   std::atomic<uint64_t> max_{0};
+  mutable common::Mutex exemplar_mutex_;
+  std::array<ExemplarSlot, kExemplarSlots> exemplar_slots_
+      GUARDED_BY(exemplar_mutex_);
 };
 
 /// One exported counter/gauge/histogram, aggregate-only by construction:
@@ -112,6 +133,17 @@ struct SnapshotGauge {
   double value = 0;
 };
 
+/// One retained observation with the public trace id that produced it
+/// — the handle that closes the metric → trace loop
+/// (`shpir_trace --lookup <trace-id>`). Values are aggregates and
+/// trace ids name sampled spans; nothing here is per-request secret
+/// state.
+struct SnapshotExemplar {
+  uint64_t value = 0;
+  uint64_t trace_id = 0;
+  uint64_t ts_ns = 0;
+};
+
 struct SnapshotHistogram {
   std::string name;
   uint64_t count = 0;
@@ -121,12 +153,22 @@ struct SnapshotHistogram {
   double p50 = 0;
   double p95 = 0;
   double p99 = 0;
+  std::vector<SnapshotExemplar> exemplars;  // Ascending by value.
+};
+
+/// A constant "info" metric: a value-1 gauge whose labels carry
+/// build/deploy identity (version, git sha, compiler). Label values
+/// are free-form strings, so exporters must escape them.
+struct SnapshotInfo {
+  std::string name;
+  std::vector<std::pair<std::string, std::string>> labels;
 };
 
 struct MetricsSnapshot {
   std::vector<SnapshotCounter> counters;
   std::vector<SnapshotGauge> gauges;
   std::vector<SnapshotHistogram> histograms;
+  std::vector<SnapshotInfo> infos;
 };
 
 /// Thread-safe registry of named instruments. Lookups (FindOrCreate*)
@@ -155,6 +197,14 @@ class MetricsRegistry {
   void RegisterCallbackGauge(std::string_view name,
                              std::function<double()> callback);
 
+  /// Registers a constant info metric (value-1 gauge with identity
+  /// labels, e.g. shpir_build_info). Name and label keys must pass
+  /// IsValidName; label values are arbitrary but must be build/deploy
+  /// constants, never per-request state. Re-registering a name
+  /// replaces its labels.
+  void RegisterInfo(std::string_view name,
+                    std::vector<std::pair<std::string, std::string>> labels);
+
   /// Consistent-enough point-in-time copy of every instrument, sorted by
   /// name. Counters/histograms are read with relaxed atomics; callback
   /// gauges are evaluated inline.
@@ -175,6 +225,9 @@ class MetricsRegistry {
       GUARDED_BY(mutex_);
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_
       GUARDED_BY(mutex_);
+  std::map<std::string, std::vector<std::pair<std::string, std::string>>,
+           std::less<>>
+      infos_ GUARDED_BY(mutex_);
 };
 
 }  // namespace shpir::obs

@@ -195,6 +195,8 @@ void Profiler::Push(const char* frame) {
   }
   if (t.depth < kMaxDepth) {
     t.frames[t.depth] = frame;
+  } else {
+    frames_dropped_.fetch_add(1, std::memory_order_relaxed);
   }
   ++t.depth;
 }
@@ -338,6 +340,9 @@ void Profiler::PublishMetrics(MetricsRegistry* registry) {
   registry->RegisterCallbackGauge(
       "shpir_profile_sampled_total",
       [this] { return static_cast<double>(sampled()); });
+  registry->RegisterCallbackGauge(
+      "shpir_profile_frames_dropped_total",
+      [this] { return static_cast<double>(frames_dropped()); });
   registry->RegisterCallbackGauge("shpir_profile_stacks", [this] {
     common::MutexLock lock(mutex_);
     return static_cast<double>(paths_.size());

@@ -136,6 +136,11 @@ class Profiler {
   uint64_t sampled() const {
     return sampled_.load(std::memory_order_relaxed);
   }
+  /// Frames pushed beyond kMaxDepth (attributed to their deepest kept
+  /// ancestor rather than recorded at their own depth).
+  uint64_t frames_dropped() const {
+    return frames_dropped_.load(std::memory_order_relaxed);
+  }
 
   /// Discards aggregated stacks (counters are kept).
   void Clear();
@@ -174,6 +179,7 @@ class Profiler {
   std::atomic<uint64_t> sample_counter_{0};
   std::atomic<uint64_t> queries_{0};
   std::atomic<uint64_t> sampled_{0};
+  std::atomic<uint64_t> frames_dropped_{0};
   // 0 = unattempted, 1 = hardware, 2 = steady-clock fallback.
   std::atomic<int> backend_state_{0};
 

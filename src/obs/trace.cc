@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "obs/export.h"
+#include "obs/metrics.h"
 
 namespace shpir::obs {
 
@@ -154,6 +155,24 @@ void Tracer::Clear() {
     lane.next = 0;
     lane.count = 0;
   }
+}
+
+void Tracer::PublishMetrics(MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    return;
+  }
+  registry->RegisterCallbackGauge(
+      "shpir_trace_started_total",
+      [this] { return static_cast<double>(started()); });
+  registry->RegisterCallbackGauge(
+      "shpir_trace_sampled_total",
+      [this] { return static_cast<double>(sampled()); });
+  registry->RegisterCallbackGauge(
+      "shpir_trace_spans_recorded_total",
+      [this] { return static_cast<double>(recorded()); });
+  registry->RegisterCallbackGauge(
+      "shpir_trace_spans_dropped_total",
+      [this] { return static_cast<double>(dropped()); });
 }
 
 uint64_t Tracer::NowNs() {

@@ -12,6 +12,8 @@
 
 namespace shpir::obs {
 
+class MetricsRegistry;
+
 /// Distributed request tracing for the sharded serving pipeline: one
 /// logical query produces a tree of spans — client encode, hub
 /// queue-wait, per-shard fan-out (real and cover queries are
@@ -124,6 +126,12 @@ class Tracer {
   /// Spans overwritten by ring wraparound.
   uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
   const Options& options() const { return options_; }
+
+  /// Registers shpir_trace_* callback gauges on `registry`, including
+  /// shpir_trace_spans_dropped_total (ring overwrites) so span loss is
+  /// observable without a TRACE_DUMP. The tracer must outlive the
+  /// registry's last Snapshot().
+  void PublishMetrics(MetricsRegistry* registry);
 
   /// Nanoseconds on the steady clock — the time base of every span.
   static uint64_t NowNs();

@@ -27,6 +27,7 @@ Status Dispatcher::Submit(size_t queue, Job job,
       return FailedPreconditionError("dispatcher is draining");
     }
     if (queues_[queue].size() >= queue_depth_) {
+      rejections_.fetch_add(1, std::memory_order_relaxed);
       if (metered()) {
         instruments_.rejections->Increment();
         RecordRejectedWaitLocked(queues_[queue]);
@@ -53,6 +54,7 @@ Status Dispatcher::SubmitAll(std::vector<Job> jobs,
     }
     for (const auto& queue : queues_) {
       if (queue.size() >= queue_depth_) {
+        rejections_.fetch_add(1, std::memory_order_relaxed);
         if (metered()) {
           instruments_.rejections->Increment();
           RecordRejectedWaitLocked(queue);
@@ -105,6 +107,7 @@ void Dispatcher::WorkerLoop(size_t queue) {
     Status admission = OkStatus();
     if (entry.deadline != kNoDeadline && now > entry.deadline) {
       admission = DeadlineExceededError("request expired in shard queue");
+      expirations_.fetch_add(1, std::memory_order_relaxed);
       if (expirations != nullptr) {
         expirations->Increment();
       }

@@ -1,6 +1,7 @@
 #ifndef SHPIR_SHARD_DISPATCHER_H_
 #define SHPIR_SHARD_DISPATCHER_H_
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <deque>
@@ -75,6 +76,22 @@ class Dispatcher {
   /// Jobs currently queued (not yet popped) on `queue`.
   size_t depth(size_t queue) const;
 
+  /// True once Drain() began (admissions are refused). Thread-safe.
+  bool draining() const {
+    common::MutexLock lock(mutex_);
+    return draining_;
+  }
+
+  /// Lifetime admission rejections / deadline expirations. Counted
+  /// unconditionally (independent of EnableMetrics) so overload can
+  /// feed edge-triggered consumers like the flight recorder.
+  uint64_t rejections() const {
+    return rejections_.load(std::memory_order_relaxed);
+  }
+  uint64_t expirations() const {
+    return expirations_.load(std::memory_order_relaxed);
+  }
+
   /// Registers the dispatcher's aggregate instruments in `registry`
   /// (unowned; must outlive the dispatcher): total queued jobs across
   /// all queues (gauge), configured capacity (gauge), admission
@@ -109,6 +126,8 @@ class Dispatcher {
   size_t in_flight_ GUARDED_BY(mutex_) = 0;
   bool draining_ GUARDED_BY(mutex_) = false;
   bool joined_ GUARDED_BY(mutex_) = false;
+  std::atomic<uint64_t> rejections_{0};
+  std::atomic<uint64_t> expirations_{0};
 
   struct Instruments {
     obs::Gauge* depth = nullptr;

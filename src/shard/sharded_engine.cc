@@ -1,9 +1,12 @@
 #include "shard/sharded_engine.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <utility>
 
 #include "common/mutex.h"
+#include "obs/build_info.h"
+#include "obs/export.h"
 #include "storage/page_cipher.h"
 
 namespace shpir::shard {
@@ -251,6 +254,16 @@ Result<Bytes> ShardedPirEngine::FanOut(
     if (logical_slo_ != nullptr) {
       logical_slo_->Record(ElapsedNs(start), /*ok=*/false);
     }
+    if (eventlog_ != nullptr) {
+      // Rejection happens before any shard sees the request, so the
+      // event carries only fleet-level facts.
+      eventlog_->Emit(obs::EventLevel::kWarn, "fanout_rejected",
+                      {{"shards", plan_.shards()}});
+    }
+    if (recorder_ != nullptr) {
+      // Poll immediately: the rejection itself is a trigger edge.
+      recorder_->Poll();
+    }
     return submitted;
   }
 
@@ -261,12 +274,33 @@ Result<Bytes> ShardedPirEngine::FanOut(
   if (logical_slo_ != nullptr) {
     logical_slo_->Record(ElapsedNs(start), join.result->ok());
   }
+  const uint64_t latency_ns = ElapsedNs(start);
   if (metered()) {
     instruments_.logical_queries->Increment();
-    instruments_.fanout_latency_ns->Record(static_cast<uint64_t>(
-        std::chrono::duration_cast<std::chrono::nanoseconds>(
-            std::chrono::steady_clock::now() - start)
-            .count()));
+    // Traced queries pin a trace-id exemplar to the latency histogram,
+    // so a p99 spike links straight to an example trace. The trace id
+    // is sampling metadata, independent of the target page.
+    if (fan_ctx.active()) {
+      instruments_.fanout_latency_ns->RecordWithExemplar(latency_ns,
+                                                         fan_ctx.trace_id);
+    } else {
+      instruments_.fanout_latency_ns->Record(latency_ns);
+    }
+  }
+  if (eventlog_ != nullptr) {
+    // One event per LOGICAL query, never per shard query: identical
+    // emission — level, name, field names — whichever shard owns the
+    // target, so event shapes are target-independent by construction.
+    eventlog_->Emit(obs::EventLevel::kDebug, "fanout_complete", /*shard=*/-1,
+                    fan_ctx.trace_id,
+                    {{"latency_ns", latency_ns},
+                     {"ok", join.result->ok() ? 1 : 0}});
+  }
+  if (recorder_ != nullptr &&
+      (fanout_count_.fetch_add(1, std::memory_order_relaxed) + 1) %
+              kRecorderPollPeriod ==
+          0) {
+    recorder_->Poll();
   }
   return *std::move(join.result);
 }
@@ -414,6 +448,122 @@ void ShardedPirEngine::PublishPrivacyEstimates() {
       shard->monitor->PublishNow();
     }
   }
+}
+
+void ShardedPirEngine::EnableEventLog(obs::EventLog* log) {
+  eventlog_ = log;
+  if (eventlog_ != nullptr) {
+    eventlog_->Emit(obs::EventLevel::kInfo, "shard_runtime_started",
+                    {{"shards", plan_.shards()},
+                     {"total_pages", plan_.total_pages()},
+                     {"queue_depth", options_.queue_depth}});
+  }
+}
+
+std::string ShardedPirEngine::ConfigFingerprint() const {
+  uint64_t max_k = 0;
+  for (const auto& spec : plan_.specs()) {
+    max_k = std::max(max_k, spec.block_size);
+  }
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "shards=%llu pages=%llu page_size=%zu k=%llu c=%.2f "
+                "queue_depth=%zu",
+                static_cast<unsigned long long>(plan_.shards()),
+                static_cast<unsigned long long>(plan_.total_pages()),
+                page_size_, static_cast<unsigned long long>(max_k),
+                plan_.worst_c(), options_.queue_depth);
+  return std::string(buf) + " | " + obs::BuildInfoSummary();
+}
+
+void ShardedPirEngine::EnableFlightRecorder(obs::FlightRecorder* recorder) {
+  recorder_ = recorder;
+  if (recorder_ == nullptr) {
+    return;
+  }
+  recorder_->SetConfigFingerprint(ConfigFingerprint());
+  // Register the triggers once per recorder: re-attaching the same
+  // recorder (config reload, bench toggling) must not accumulate
+  // duplicate trigger sources.
+  if (recorder_ == trigger_host_) {
+    return;
+  }
+  trigger_host_ = recorder_;
+  // Edge triggers read aggregate counters only; every callback is
+  // thread-safe and target-independent.
+  recorder_->AddTrigger("privacy_breach", [this] {
+    uint64_t breaches = 0;
+    for (auto& shard : shards_) {
+      if (shard->monitor != nullptr) {
+        breaches += shard->monitor->breaches();
+      }
+    }
+    return breaches;
+  });
+  if (logical_slo_ != nullptr) {
+    recorder_->AddTrigger("slo_burn_alert", [this] {
+      return logical_slo_->Evaluate().alert_transitions;
+    });
+  }
+  recorder_->AddTrigger("dispatcher_overload", [this] {
+    return dispatcher_->rejections() + dispatcher_->expirations();
+  });
+}
+
+std::string ShardedPirEngine::HealthJson() {
+  const bool draining = dispatcher_->draining();
+  size_t depth = 0;
+  for (size_t q = 0; q < dispatcher_->queues(); ++q) {
+    depth += dispatcher_->depth(q);
+  }
+  uint64_t breaches = 0;
+  bool monitored = false;
+  for (auto& shard : shards_) {
+    if (shard->monitor != nullptr) {
+      monitored = true;
+      breaches += shard->monitor->breaches();
+    }
+  }
+  bool degraded = false;
+  std::string slo_json = "null";
+  if (logical_slo_ != nullptr) {
+    const obs::SloTracker::Snapshot snapshot = logical_slo_->Evaluate();
+    for (const auto* sli : {&snapshot.availability, &snapshot.latency}) {
+      for (const auto& rule : sli->rules) {
+        degraded = degraded || rule.firing;
+      }
+    }
+    slo_json = obs::SloTracker::SnapshotJson(snapshot);
+  }
+  degraded = degraded || (monitored && breaches > 0);
+  std::string out = "{\"ready\":";
+  out += draining ? "false" : "true";
+  out += ",\"degraded\":";
+  out += degraded ? "true" : "false";
+  out += ",\"role\":\"shard\",\"build\":\"";
+  out += obs::EscapeJsonString(obs::BuildInfoSummary());
+  out += "\",\"dispatcher\":{\"queues\":";
+  out += std::to_string(dispatcher_->queues());
+  out += ",\"depth\":";
+  out += std::to_string(depth);
+  out += ",\"capacity\":";
+  out += std::to_string(dispatcher_->queue_depth());
+  out += ",\"draining\":";
+  out += draining ? "true" : "false";
+  out += ",\"rejections\":";
+  out += std::to_string(dispatcher_->rejections());
+  out += ",\"expirations\":";
+  out += std::to_string(dispatcher_->expirations());
+  out += "},\"privacy_breaches\":";
+  out += monitored ? std::to_string(breaches) : "null";
+  out += ",\"slo\":";
+  out += slo_json;
+  out += ",\"eventlog_dropped\":";
+  out += eventlog_ != nullptr ? std::to_string(eventlog_->dropped()) : "null";
+  out += ",\"incidents_sealed\":";
+  out += recorder_ != nullptr ? std::to_string(recorder_->sealed()) : "null";
+  out += "}";
+  return out;
 }
 
 void ShardedPirEngine::EnableMetrics(obs::MetricsRegistry* registry) {

@@ -1,10 +1,12 @@
 #ifndef SHPIR_SHARD_SHARDED_ENGINE_H_
 #define SHPIR_SHARD_SHARDED_ENGINE_H_
 
+#include <atomic>
 #include <chrono>
 #include <functional>
 #include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "common/result.h"
@@ -13,6 +15,8 @@
 #include "crypto/secure_random.h"
 #include "hardware/coprocessor.h"
 #include "hardware/profile.h"
+#include "obs/eventlog.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/privacy_monitor.h"
 #include "obs/profiler.h"
@@ -210,6 +214,32 @@ class ShardedPirEngine : public core::PirEngine {
   }
   obs::SloTracker* logical_slo() { return logical_slo_.get(); }
 
+  /// Attaches the structured event log (unowned; must outlive the
+  /// engine, nullptr detaches). The fan-out then emits one event per
+  /// logical query at kDebug plus kWarn events on admission rejection —
+  /// always at the logical level, never per real-vs-cover shard query,
+  /// so the emitted event *shapes* are identical whichever shard owns
+  /// the target (tests/incident_shape_test.cc).
+  void EnableEventLog(obs::EventLog* log);
+
+  /// Attaches the flight recorder (unowned; must outlive the engine,
+  /// nullptr detaches) and registers the runtime's edge triggers on it:
+  /// privacy-monitor breaches (summed across shards), logical SLO
+  /// alert transitions, and dispatcher overload (admission rejections +
+  /// deadline expirations). Also sets the recorder's config fingerprint
+  /// from the public plan parameters. The fan-out polls the recorder
+  /// every kRecorderPollPeriod logical queries and on every rejection.
+  void EnableFlightRecorder(obs::FlightRecorder* recorder);
+
+  /// Public plan/build description used as the incident config
+  /// fingerprint ("shards=4 pages=4096 k=16 c=2.00 ...").
+  std::string ConfigFingerprint() const;
+
+  /// Health/readiness JSON for the HEALTH op (load-balancer surface):
+  /// dispatcher liveness and depth, SLO/privacy state, build identity.
+  /// Aggregate-only, like every exported surface.
+  std::string HealthJson();
+
  private:
   /// One shard's stack, in destruction-order-sensitive member order.
   struct Shard {
@@ -259,6 +289,14 @@ class ShardedPirEngine : public core::PirEngine {
   ShardQueryObserver observer_;
   obs::Tracer* tracer_ = nullptr;
   obs::Profiler* profiler_ = nullptr;
+  obs::EventLog* eventlog_ = nullptr;
+  obs::FlightRecorder* recorder_ = nullptr;
+  /// Recorder that already holds this engine's triggers (registration
+  /// is once per recorder; re-attaching must not duplicate sources).
+  obs::FlightRecorder* trigger_host_ = nullptr;
+  /// Logical queries between recorder polls on the fan-out path.
+  static constexpr uint64_t kRecorderPollPeriod = 64;
+  std::atomic<uint64_t> fanout_count_{0};
   std::unique_ptr<obs::SloTracker> logical_slo_;
 
   struct Instruments {

@@ -1,0 +1,18 @@
+// Lint fixture: a secret page id formatted into a structured event
+// field. Event names and field values must be public aggregates
+// (obs/eventlog.h); Emit is a registered call sink, so a tainted value
+// flowing into it is exactly the leak the secret-log rule exists to
+// catch. Expected: exactly one secret-log diagnostic (the Emit call).
+#include <cstdint>
+
+#include "common/secret.h"
+#include "obs/eventlog.h"
+
+void RecordQuery(shpir::obs::EventLog* log,
+                 shpir::common::Secret<uint64_t> target_page) {
+  uint64_t page = target_page.ExposeSecret();
+  // BUG: the event field carries the target page id — the one value
+  // the whole PIR construction is paid to hide.
+  log->Emit(shpir::obs::EventLevel::kInfo, "query_served",
+            {{"page_id", page}});
+}

@@ -109,6 +109,29 @@ TEST(ProfilerTest, FramesBeyondMaxDepthFoldIntoAncestor) {
   EXPECT_LE(max_depth, Profiler::kMaxDepth);
 }
 
+TEST(ProfilerTest, OverDeepPushesCountAsDroppedFramesAndExport) {
+  Profiler profiler(SteadyClockOptions());
+  MetricsRegistry registry;
+  profiler.PublishMetrics(&registry);
+  constexpr size_t kDepth = Profiler::kMaxDepth + 4;
+  for (size_t i = 0; i < kDepth; ++i) {
+    profiler.Push("deep");
+  }
+  for (size_t i = 0; i < kDepth; ++i) {
+    profiler.Pop();
+  }
+  // Exactly the frames beyond the stack bound were dropped, and the
+  // loss is visible on the metrics surface without a PROFILE_DUMP.
+  EXPECT_EQ(profiler.frames_dropped(), 4u);
+  double exported = -1;
+  for (const SnapshotGauge& gauge : registry.Snapshot().gauges) {
+    if (gauge.name == "shpir_profile_frames_dropped_total") {
+      exported = gauge.value;
+    }
+  }
+  EXPECT_EQ(exported, 4.0);
+}
+
 TEST(ProfilerTest, ExternalSamplesFoldIntoProfile) {
   Profiler profiler(SteadyClockOptions());
   profiler.AddExternalSample({"dispatch", "queue_wait"}, 1234);

@@ -75,6 +75,13 @@ TEST(LintFixtures, KeywordKeyLeakProducesExactlyOneDiagnostic) {
   EXPECT_EQ(findings[0].rule, "secret-log");
 }
 
+TEST(LintFixtures, EventlogSecretLeakProducesExactlyOneDiagnostic) {
+  const auto findings = LintFixture("eventlog_secret_leak.cc");
+  ASSERT_EQ(findings.size(), 1u)
+      << (findings.empty() ? "no findings" : FormatFinding(findings[0]));
+  EXPECT_EQ(findings[0].rule, "secret-log");
+}
+
 TEST(LintFixtures, KnownGoodProducesZeroDiagnostics) {
   const auto findings = LintFixture("known_good.cc");
   EXPECT_TRUE(findings.empty())

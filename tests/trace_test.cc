@@ -270,6 +270,39 @@ TEST(TracerTest, RingWraparoundKeepsNewestSpans) {
   }
 }
 
+TEST(TracerTest, PublishMetricsExportsRingDropCounter) {
+  MetricsRegistry registry;
+  Tracer::Options options;
+  options.sample_every = 1;
+  options.buffer_capacity = 4;
+  options.buffer_lanes = 1;
+  options.seed = 7;
+  Tracer tracer(options);
+  tracer.PublishMetrics(&registry);
+  for (uint64_t i = 0; i < 10; ++i) {
+    SpanRecord span;
+    span.trace_id = 1;
+    span.span_id = i + 1;
+    span.name = "span";
+    span.start_ns = i;
+    tracer.Record(span);
+  }
+  // Ring saturation is observable on the metrics surface without a
+  // TRACE_DUMP: 10 recorded into 4 slots leaves 6 overwritten.
+  double recorded = -1;
+  double dropped = -1;
+  for (const SnapshotGauge& gauge : registry.Snapshot().gauges) {
+    if (gauge.name == "shpir_trace_spans_recorded_total") {
+      recorded = gauge.value;
+    }
+    if (gauge.name == "shpir_trace_spans_dropped_total") {
+      dropped = gauge.value;
+    }
+  }
+  EXPECT_EQ(recorded, 10.0);
+  EXPECT_EQ(dropped, 6.0);
+}
+
 TEST(TraceSpanTest, ChildOfInactiveParentRecordsNothing) {
   Tracer::Options options;
   options.sample_every = 1;

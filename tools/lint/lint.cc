@@ -333,7 +333,7 @@ const std::set<std::string>& CallSinks() {
       "puts",   "fputs",    "fwrite",     "perror",   "syslog",  "Log",
       "LogInfo", "LogWarning", "LogError", "LogDebug", "LOG",    "PLOG",
       "DLOG",   "VLOG",     "Record",     "Increment", "Set",    "Add",
-      "Observe"};
+      "Observe", "Emit"};
   return kSet;
 }
 

@@ -1,0 +1,237 @@
+// Flight-recorder CLI: lists, fetches and tails the incident bundles a
+// running shpir endpoint has sealed (see obs/flight_recorder.h and
+// docs/OBSERVABILITY.md).
+//
+// Two-party model — polls a shpir_provider's storage server over the
+// plaintext INCIDENT_DUMP wire op:
+//
+//   shpir_incident <list|show ID|watch> [--host H] [--port P]
+//
+// Three-party model — performs the hub handshake and fetches bundles
+// through the sealed session, so only holders of the pre-shared key can
+// read them:
+//
+//   shpir_incident hub <list|show ID|watch> [--host H] [--port P]
+//                      [--psk STR] [--client-id N]
+//
+// `list` prints the summary JSON; `show ID` prints one full bundle;
+// `watch` polls the summary every --interval-ms (default 1000) and
+// prints it whenever the sealed count grows (--iterations N bounds the
+// number of polls; 0 = forever). Default output is stdout; --out writes
+// to FILE instead.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "crypto/secure_random.h"
+#include "net/pir_service.h"
+#include "net/service_hub.h"
+#include "net/tcp_transport.h"
+#include "net/wire.h"
+
+namespace {
+
+using namespace shpir;
+
+struct Flags {
+  std::map<std::string, std::string> values;
+
+  std::string Get(const std::string& key,
+                  const std::string& fallback = "") const {
+    auto it = values.find(key);
+    return it == values.end() ? fallback : it->second;
+  }
+  uint64_t GetU64(const std::string& key, uint64_t fallback) const {
+    auto it = values.find(key);
+    return it == values.end() ? fallback
+                              : std::strtoull(it->second.c_str(), nullptr,
+                                              10);
+  }
+};
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int Emit(const Flags& flags, const Bytes& json) {
+  const std::string out_path = flags.Get("out");
+  if (out_path.empty()) {
+    std::fwrite(json.data(), 1, json.size(), stdout);
+    std::fputc('\n', stdout);
+    std::fflush(stdout);
+    return 0;
+  }
+  std::ofstream out(out_path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(json.data()),
+            static_cast<std::streamsize>(json.size()));
+  if (!out) {
+    std::fprintf(stderr, "error: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "wrote %zu bytes to %s\n", json.size(),
+               out_path.c_str());
+  return 0;
+}
+
+/// One connected endpoint, either model; `Fetch` speaks the
+/// INCIDENT_DUMP convention (mode byte 0 = list, 1 = show; the id rides
+/// the location/id field).
+class Endpoint {
+ public:
+  static Result<std::unique_ptr<Endpoint>> Connect(const Flags& flags,
+                                                   bool hub) {
+    SHPIR_ASSIGN_OR_RETURN(
+        std::unique_ptr<net::TcpTransport> transport,
+        net::TcpTransport::Connect(
+            flags.Get("host", "127.0.0.1"),
+            static_cast<uint16_t>(flags.GetU64("port", 9000))));
+    auto endpoint = std::unique_ptr<Endpoint>(new Endpoint());
+    endpoint->transport_ = std::move(transport);
+    if (!hub) {
+      return endpoint;
+    }
+    const std::string psk_text = flags.Get("psk", "shpir");
+    const Bytes psk(psk_text.begin(), psk_text.end());
+    crypto::SecureRandom rng;  // OS entropy.
+    const uint64_t client_id = flags.values.count("client-id")
+                                   ? flags.GetU64("client-id", 0)
+                                   : rng.NextUint64();
+    Bytes nonce(net::SecureSession::kNonceSize);
+    rng.Fill(nonce);
+    SHPIR_ASSIGN_OR_RETURN(
+        Bytes hello_reply,
+        endpoint->transport_->RoundTrip(
+            net::ServiceHub::MakeHello(client_id, nonce)));
+    SHPIR_ASSIGN_OR_RETURN(net::SecureSession session,
+                           net::ServiceHub::CompleteHandshake(
+                               hello_reply, psk, client_id, nonce));
+    net::TcpTransport* wire = endpoint->transport_.get();
+    endpoint->client_ = std::make_unique<net::PirServiceClient>(
+        std::move(session), [wire, client_id](ByteSpan record) {
+          return wire->RoundTrip(
+              net::ServiceHub::MakeData(client_id, record));
+        });
+    return endpoint;
+  }
+
+  Result<Bytes> Fetch(bool show, uint64_t id) {
+    if (client_ != nullptr) {
+      return show ? client_->IncidentShow(id) : client_->IncidentList();
+    }
+    net::Request request;
+    request.op = net::Op::kIncidentDump;
+    request.location = id;
+    request.payload = {static_cast<uint8_t>(show ? 1 : 0)};
+    SHPIR_ASSIGN_OR_RETURN(
+        Bytes reply, transport_->RoundTrip(net::EncodeRequest(request)));
+    return net::DecodeResponse(reply);
+  }
+
+ private:
+  Endpoint() = default;
+
+  std::unique_ptr<net::TcpTransport> transport_;
+  std::unique_ptr<net::PirServiceClient> client_;  // Hub mode only.
+};
+
+/// Reads the `"sealed":N` field out of the list JSON (closed schema,
+/// first key — see FlightRecorder::ListJson).
+uint64_t ParseSealedCount(const Bytes& json) {
+  const std::string text(json.begin(), json.end());
+  const size_t key = text.find("\"sealed\":");
+  if (key == std::string::npos) {
+    return 0;
+  }
+  return std::strtoull(text.c_str() + key + 9, nullptr, 10);
+}
+
+int Watch(const Flags& flags, Endpoint* endpoint) {
+  const uint64_t interval_ms = flags.GetU64("interval-ms", 1000);
+  const uint64_t iterations = flags.GetU64("iterations", 0);
+  uint64_t last_sealed = 0;
+  bool first = true;
+  for (uint64_t i = 0; iterations == 0 || i < iterations; ++i) {
+    if (!first) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+    }
+    first = false;
+    Result<Bytes> list = endpoint->Fetch(/*show=*/false, 0);
+    if (!list.ok()) {
+      return Fail(list.status());
+    }
+    const uint64_t sealed = ParseSealedCount(*list);
+    if (sealed > last_sealed) {
+      last_sealed = sealed;
+      const int code = Emit(flags, *list);
+      if (code != 0) {
+        return code;
+      }
+    }
+  }
+  return 0;
+}
+
+int Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [hub] list [--host H] [--port P] [--out FILE]\n"
+      "       %s [hub] show ID [--host H] [--port P] [--out FILE]\n"
+      "       %s [hub] watch [--interval-ms T] [--iterations N]\n"
+      "           [--host H] [--port P] [--out FILE]\n"
+      "hub mode also accepts [--psk STR] [--client-id N]\n",
+      argv0, argv0, argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int index = 1;
+  bool hub = false;
+  if (index < argc && std::strcmp(argv[index], "hub") == 0) {
+    hub = true;
+    ++index;
+  }
+  if (index >= argc) {
+    return Usage(argv[0]);
+  }
+  const std::string command = argv[index++];
+  uint64_t show_id = 0;
+  if (command == "show") {
+    if (index >= argc || std::strncmp(argv[index], "--", 2) == 0) {
+      return Usage(argv[0]);
+    }
+    show_id = std::strtoull(argv[index++], nullptr, 10);
+  } else if (command != "list" && command != "watch") {
+    return Usage(argv[0]);
+  }
+  Flags flags;
+  for (int i = index; i < argc; i += 2) {
+    if (std::strncmp(argv[i], "--", 2) != 0 || i + 1 >= argc) {
+      return Usage(argv[0]);
+    }
+    flags.values[argv[i] + 2] = argv[i + 1];
+  }
+  Result<std::unique_ptr<Endpoint>> endpoint =
+      Endpoint::Connect(flags, hub);
+  if (!endpoint.ok()) {
+    return Fail(endpoint.status());
+  }
+  if (command == "watch") {
+    return Watch(flags, endpoint->get());
+  }
+  Result<Bytes> json =
+      (*endpoint)->Fetch(/*show=*/command == "show", show_id);
+  if (!json.ok()) {
+    return Fail(json.status());
+  }
+  return Emit(flags, *json);
+}

@@ -34,6 +34,12 @@
 // `shpir_stats --slo 1` / the SLO_STATUS op). Profiles and SLO state
 // are aggregate and target-independent by construction (see
 // docs/OBSERVABILITY.md).
+//
+// Both modes also accept --eventlog N (structured event log with an
+// N-event ring; fetch with the EVENT_DUMP op) and --incidents K
+// (flight recorder keeping the last K incident bundles; fetch with
+// shpir_incident / the INCIDENT_DUMP op; bundles also spill to
+// $SHPIR_INCIDENT_DIR when set). The HEALTH op is always answered.
 
 #include <cstdio>
 #include <cstdlib>
@@ -46,6 +52,9 @@
 #include "net/service_hub.h"
 #include "net/storage_server.h"
 #include "net/tcp_transport.h"
+#include "obs/build_info.h"
+#include "obs/eventlog.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/profiler.h"
 #include "obs/slo.h"
@@ -129,6 +138,7 @@ int ServeHub(int argc, char** argv) {
     return 1;
   }
   obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  obs::PublishBuildInfo(&metrics);
   (*engine)->EnableMetrics(&metrics);
 
   // Sampling is decided by clients (head sampling at the root span);
@@ -171,9 +181,62 @@ int ServeHub(int argc, char** argv) {
     };
   }
 
+  std::unique_ptr<obs::EventLog> eventlog;
+  net::PirServiceServer::EventProvider event_dump;
+  const uint64_t eventlog_capacity = flags.GetU64("eventlog", 0);
+  if (eventlog_capacity > 0) {
+    obs::EventLog::Options elopts;
+    elopts.capacity = eventlog_capacity;
+    eventlog = std::make_unique<obs::EventLog>(elopts);
+    eventlog->PublishMetrics(&metrics);
+    (*engine)->EnableEventLog(eventlog.get());
+    event_dump = [log = eventlog.get()] {
+      const std::string body = obs::EventLogJson(*log);
+      return Bytes(body.begin(), body.end());
+    };
+  }
+
+  std::unique_ptr<obs::FlightRecorder> recorder;
+  net::PirServiceServer::IncidentProvider incident_dump;
+  const uint64_t incidents = flags.GetU64("incidents", 0);
+  if (incidents > 0) {
+    obs::FlightRecorder::Options fropts;
+    fropts.max_incidents = incidents;
+    recorder = std::make_unique<obs::FlightRecorder>(fropts);
+    recorder->AttachEventLog(eventlog.get());
+    recorder->AttachTracer(tracer.get());
+    recorder->AttachMetrics(&metrics);
+    recorder->AttachProfiler(profiler.get());
+    recorder->PublishMetrics(&metrics);
+    // Registers the runtime's triggers (privacy breach, SLO burn,
+    // dispatcher overload) and the config fingerprint. Must follow
+    // EnableSlo so the SLO trigger sees the logical tracker.
+    (*engine)->EnableFlightRecorder(recorder.get());
+    incident_dump = [r = recorder.get()](bool show,
+                                         uint64_t id) -> Result<Bytes> {
+      r->Poll();
+      if (show) {
+        const std::string body = r->ShowJson(id);
+        if (body.empty()) {
+          return NotFoundError("no such incident in the store");
+        }
+        return Bytes(body.begin(), body.end());
+      }
+      const std::string body = r->ListJson();
+      return Bytes(body.begin(), body.end());
+    };
+  }
+
+  net::PirServiceServer::HealthProvider health = [e = engine->get()] {
+    const std::string body = e->HealthJson();
+    return Bytes(body.begin(), body.end());
+  };
+
   net::ServiceHub hub(engine->get(), std::move(psk), /*rng_seed=*/0,
                       &metrics, tracer.get(), std::move(profile_dump),
-                      std::move(slo_status));
+                      std::move(slo_status), /*keyword_manifest=*/nullptr,
+                      std::move(event_dump), std::move(incident_dump),
+                      std::move(health));
   Result<std::unique_ptr<net::TcpFrameListener>> listener =
       net::TcpFrameListener::Listen(
           [&hub](ByteSpan frame) { return hub.HandleFrame(frame); }, port);
@@ -201,6 +264,8 @@ int ServeStorage(int argc, char** argv) {
   uint64_t trace_buffer = 0;
   uint64_t profile_sample = 0;
   uint64_t slo_latency_ms = 0;
+  uint64_t eventlog_capacity = 0;
+  uint64_t incidents = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--trace-buffer") == 0 && i + 1 < argc) {
       trace_buffer = std::strtoull(argv[++i], nullptr, 10);
@@ -210,6 +275,10 @@ int ServeStorage(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--slo-latency-ms") == 0 &&
                i + 1 < argc) {
       slo_latency_ms = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--eventlog") == 0 && i + 1 < argc) {
+      eventlog_capacity = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--incidents") == 0 && i + 1 < argc) {
+      incidents = std::strtoull(argv[++i], nullptr, 10);
     } else {
       positional.emplace_back(argv[i]);
     }
@@ -250,6 +319,7 @@ int ServeStorage(int argc, char** argv) {
   // untrusted party), so its process-wide registry may be served to any
   // client via the kStats wire op and the shpir_stats tool.
   obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  obs::PublishBuildInfo(&metrics);
   storage::MeteredDisk metered(disk->get(), &metrics);
   std::unique_ptr<obs::Tracer> tracer;
   if (trace_buffer > 0) {
@@ -271,8 +341,36 @@ int ServeStorage(int argc, char** argv) {
     slo = std::make_unique<obs::SloTracker>(objectives);
     slo->PublishMetrics(&metrics);
   }
+  std::unique_ptr<obs::EventLog> eventlog;
+  if (eventlog_capacity > 0) {
+    obs::EventLog::Options elopts;
+    elopts.capacity = eventlog_capacity;
+    eventlog = std::make_unique<obs::EventLog>(elopts);
+    eventlog->PublishMetrics(&metrics);
+  }
+  std::unique_ptr<obs::FlightRecorder> recorder;
+  if (incidents > 0) {
+    obs::FlightRecorder::Options fropts;
+    fropts.max_incidents = incidents;
+    recorder = std::make_unique<obs::FlightRecorder>(fropts);
+    recorder->AttachEventLog(eventlog.get());
+    recorder->AttachTracer(tracer.get());
+    recorder->AttachMetrics(&metrics);
+    recorder->AttachProfiler(profiler.get());
+    recorder->PublishMetrics(&metrics);
+    recorder->SetConfigFingerprint(
+        "slots=" + std::to_string(slots) +
+        " slot_size=" + std::to_string(slot_size) + " | " +
+        obs::BuildInfoSummary());
+    if (slo != nullptr) {
+      recorder->AddTrigger("slo_burn_alert", [s = slo.get()] {
+        return s->Evaluate().alert_transitions;
+      });
+    }
+  }
   net::StorageServer server(&metered, &metrics, tracer.get(),
-                            profiler.get(), slo.get());
+                            profiler.get(), slo.get(), eventlog.get(),
+                            recorder.get());
   Result<std::unique_ptr<net::TcpStorageListener>> listener =
       net::TcpStorageListener::Listen(&server, port);
   if (!listener.ok()) {
@@ -298,12 +396,12 @@ int main(int argc, char** argv) {
         stderr,
         "usage: %s <disk-file> <slots> <slot-size> [port]\n"
         "          [--trace-buffer SPANS] [--profile-sample N]\n"
-        "          [--slo-latency-ms T]\n"
+        "          [--slo-latency-ms T] [--eventlog N] [--incidents K]\n"
         "       %s hub --pages N [--page-size B] [--cache M] [--c C]\n"
         "          [--shards S] [--queue-depth D] [--deadline-ms T]\n"
         "          [--port P] [--psk STR] [--seed X]\n"
         "          [--trace-buffer SPANS] [--profile-sample N]\n"
-        "          [--slo-latency-ms T]\n",
+        "          [--slo-latency-ms T] [--eventlog N] [--incidents K]\n",
         argv[0], argv[0]);
   }
   return code;

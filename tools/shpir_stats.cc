@@ -3,14 +3,20 @@
 // renders it. The snapshot is aggregate-only by construction — the
 // provider's registry never holds per-request data.
 //
-//   shpir_stats [--host H] [--port P] [--json | --prometheus | --slo]
+//   shpir_stats [--host H] [--port P]
+//               [--json | --prometheus | --slo | --health | --events]
 //               [--watch SECONDS]
 //
-// Default output is a human-readable table; --json dumps the raw wire
-// payload; --prometheus re-exports it in Prometheus text format (for
-// scraping through a sidecar); --slo fetches the provider's
+// Default output is a human-readable table (headed by a build-identity
+// line when the provider publishes shpir_build_info); --json dumps the
+// raw wire payload; --prometheus re-exports it in Prometheus text
+// format (for scraping through a sidecar); --slo fetches the provider's
 // SLO/error-budget status document instead (SLO_STATUS op, JSON —
-// requires the provider to run with --slo-latency-ms). --watch re-polls
+// requires the provider to run with --slo-latency-ms); --health fetches
+// the readiness document (HEALTH op, JSON) and exits nonzero unless the
+// endpoint reports "ready":true; --events fetches the structured
+// event-log dump (EVENT_DUMP op, JSON — recent events plus the log's
+// own emit/drop/rate-limit counters). --watch re-polls
 // every SECONDS seconds until interrupted; transient poll failures
 // (provider restarting, connection refused) are reported and retried,
 // and the tool only gives up after several consecutive failures.
@@ -36,7 +42,7 @@ int Fail(const Status& status) {
   return 1;
 }
 
-enum class Format { kTable, kJson, kPrometheus, kSlo };
+enum class Format { kTable, kJson, kPrometheus, kSlo, kHealth, kEvents };
 
 int PollOnce(const std::string& host, uint16_t port, Format format) {
   Result<std::unique_ptr<net::TcpTransport>> transport =
@@ -45,8 +51,10 @@ int PollOnce(const std::string& host, uint16_t port, Format format) {
     return Fail(transport.status());
   }
   net::Request request;
-  request.op = format == Format::kSlo ? net::Op::kSloStatus
-                                      : net::Op::kStats;
+  request.op = format == Format::kSlo      ? net::Op::kSloStatus
+               : format == Format::kHealth ? net::Op::kHealth
+               : format == Format::kEvents ? net::Op::kEventDump
+                                           : net::Op::kStats;
   Result<Bytes> reply =
       (*transport)->RoundTrip(net::EncodeRequest(request));
   if (!reply.ok()) {
@@ -57,7 +65,14 @@ int PollOnce(const std::string& host, uint16_t port, Format format) {
     return Fail(payload.status());
   }
   const std::string json(payload->begin(), payload->end());
-  if (format == Format::kJson || format == Format::kSlo) {
+  if (format == Format::kHealth) {
+    std::printf("%s\n", json.c_str());
+    // Load-balancer convention: nonzero exit when the endpoint does
+    // not report itself ready.
+    return json.find("\"ready\":true") != std::string::npos ? 0 : 1;
+  }
+  if (format == Format::kJson || format == Format::kSlo ||
+      format == Format::kEvents) {
     std::printf("%s\n", json.c_str());
     return 0;
   }
@@ -68,6 +83,17 @@ int PollOnce(const std::string& host, uint16_t port, Format format) {
   if (format == Format::kPrometheus) {
     std::fputs(obs::ToPrometheusText(*snapshot).c_str(), stdout);
   } else {
+    // Identity header first: which binary produced these numbers.
+    for (const obs::SnapshotInfo& info : snapshot->infos) {
+      if (info.name != "shpir_build_info") {
+        continue;
+      }
+      std::fputs("build:", stdout);
+      for (const auto& [key, value] : info.labels) {
+        std::printf(" %s=%s", key.c_str(), value.c_str());
+      }
+      std::fputc('\n', stdout);
+    }
     std::fputs(obs::RenderTable(*snapshot).c_str(), stdout);
   }
   return 0;
@@ -88,6 +114,10 @@ int main(int argc, char** argv) {
       format = Format::kPrometheus;
     } else if (arg == "--slo") {
       format = Format::kSlo;
+    } else if (arg == "--health") {
+      format = Format::kHealth;
+    } else if (arg == "--events") {
+      format = Format::kEvents;
     } else if (arg == "--host" && i + 1 < argc) {
       host = argv[++i];
     } else if (arg == "--port" && i + 1 < argc) {
@@ -97,7 +127,8 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: %s [--host H] [--port P] [--json | "
-                   "--prometheus | --slo] [--watch SECONDS]\n",
+                   "--prometheus | --slo | --health | --events] "
+                   "[--watch SECONDS]\n",
                    argv[0]);
       return 2;
     }

@@ -15,7 +15,13 @@
 //                   [--out FILE]
 //
 // Default output is stdout; --out writes the JSON to FILE.
+//
+// --lookup TRACE_ID filters the fetched dump client-side down to the
+// spans of one trace (the 16-hex id shown in span args and in metric
+// exemplars), so an exemplar on a latency histogram links directly to
+// its example trace.
 
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -55,7 +61,77 @@ int Fail(const Status& status) {
   return 1;
 }
 
-int Emit(const Flags& flags, const Bytes& json) {
+/// Canonical 16-hex lowercase form of a user-supplied trace id
+/// (tolerates an 0x prefix, uppercase, and missing leading zeros).
+std::string NormalizeTraceId(std::string id) {
+  if (id.size() >= 2 && id[0] == '0' && (id[1] == 'x' || id[1] == 'X')) {
+    id.erase(0, 2);
+  }
+  for (char& c : id) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  while (id.size() < 16) {
+    id.insert(id.begin(), '0');
+  }
+  return id;
+}
+
+/// Client-side trace lookup: keeps only the traceEvents whose args
+/// carry `"trace_id":"<id>"`. The scan is string-aware (span names are
+/// JSON-escaped and may contain braces), with one nesting level for
+/// the args object.
+Bytes FilterTrace(const Bytes& json, const std::string& trace_id) {
+  const std::string text(json.begin(), json.end());
+  const std::string needle = "\"trace_id\":\"" + trace_id + "\"";
+  std::string out = "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+  bool first = true;
+  const size_t array = text.find("\"traceEvents\":[");
+  size_t i = array == std::string::npos ? text.size() : array + 15;
+  while (i < text.size() && text[i] != ']') {
+    if (text[i] == ',') {
+      ++i;
+      continue;
+    }
+    if (text[i] != '{') {
+      break;  // Malformed dump; emit what was matched so far.
+    }
+    const size_t start = i;
+    int depth = 0;
+    bool in_string = false;
+    for (; i < text.size(); ++i) {
+      const char c = text[i];
+      if (in_string) {
+        if (c == '\\') {
+          ++i;
+        } else if (c == '"') {
+          in_string = false;
+        }
+      } else if (c == '"') {
+        in_string = true;
+      } else if (c == '{') {
+        ++depth;
+      } else if (c == '}' && --depth == 0) {
+        ++i;
+        break;
+      }
+    }
+    const std::string event = text.substr(start, i - start);
+    if (event.find(needle) != std::string::npos) {
+      if (!first) {
+        out += ",";
+      }
+      first = false;
+      out += event;
+    }
+  }
+  out += "]}";
+  return Bytes(out.begin(), out.end());
+}
+
+int Emit(const Flags& flags, const Bytes& dump) {
+  const std::string lookup = flags.Get("lookup");
+  const Bytes json =
+      lookup.empty() ? dump : FilterTrace(dump, NormalizeTraceId(lookup));
   const std::string out_path = flags.Get("out");
   if (out_path.empty()) {
     std::fwrite(json.data(), 1, json.size(), stdout);
@@ -148,9 +224,10 @@ int main(int argc, char** argv) {
     if (std::strncmp(argv[i], "--", 2) != 0 || i + 1 >= argc) {
       std::fprintf(
           stderr,
-          "usage: %s [--host H] [--port P] [--out FILE]\n"
+          "usage: %s [--host H] [--port P] [--out FILE] "
+          "[--lookup TRACE_ID]\n"
           "       %s hub [--host H] [--port P] [--psk STR] "
-          "[--client-id N] [--out FILE]\n",
+          "[--client-id N] [--out FILE] [--lookup TRACE_ID]\n",
           argv[0], argv[0]);
       return 2;
     }
