@@ -138,6 +138,7 @@ Status PyramidOram::ReadBucket(const Level& level, uint64_t bucket,
                     options_.bucket_slots, sealed));
   for (const Bytes& blob : sealed) {
     SHPIR_ASSIGN_OR_RETURN(Page page, cpu_->OpenPage(blob));
+    // shpir-lint-allow-next-line(secret-compare): in-device latch-on-match over the full bucket; every slot of the probed bucket is read regardless
     if (!page.is_dummy() && page.id == want && !*found) {
       *found = true;
       *out = std::move(page);
@@ -160,6 +161,7 @@ Result<Bytes> PyramidOram::Retrieve(PageId id) {
   bool stash_hit = false;
   Page page;
   for (const Page& stashed : stash_) {
+    // shpir-lint-allow-next-line(secret-compare, secret-loop-bound): in-device stash scan; the provider-visible probe sequence is one bucket per level regardless of where (or whether) this matches
     if (stashed.id == id) {
       page = stashed;
       found = true;

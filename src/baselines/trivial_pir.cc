@@ -72,6 +72,7 @@ Result<Bytes> TrivialPir::Retrieve(PageId id) {
     SHPIR_RETURN_IF_ERROR(cpu_->ReadRun(start, count, sealed));
     for (uint64_t i = 0; i < count; ++i) {
       SHPIR_ASSIGN_OR_RETURN(Page page, cpu_->OpenPage(sealed[i]));
+      // shpir-lint-allow-next-line(secret-compare): latch-on-match inside the full linear scan; every page is read on every query, so the provider learns nothing
       if (page.id == id) {
         result = std::move(page.data);
       }

@@ -17,8 +17,8 @@
 /// attribute (visible to AST tooling); under every compiler it is the
 /// marker `tools/shpir_lint` keys on: any banned pattern involving a
 /// secret-marked identifier — or one tainted by assignment from it — is
-/// a lint error unless it carries an audited
-/// `// shpir-lint-allow(<rule>): <why>` justification.
+/// a lint error unless it carries an audited shpir-lint-allow
+/// comment naming the rule list and a justification.
 /// docs/STATIC_ANALYSIS.md documents the rules and suppression policy.
 
 #if defined(__clang__)

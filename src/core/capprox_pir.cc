@@ -250,11 +250,11 @@ storage::PageId CApproxPir::RandomUncachedOutsideBlock(
     // Rejection sampling against the secret cache state runs inside the
     // device; only the accepted (uniform, non-revealing) draw is ever
     // turned into a disk access.
-    // shpir-lint-allow-next-line(secret-branch): in-enclave rejection sampling
+    // shpir-lint-allow-next-line(secret-loop-bound): in-enclave rejection sampling; each retry stays inside the device, no disk access is issued until the uniform draw is accepted
     if (page_map_.IsCached(p)) {
       continue;
     }
-    // shpir-lint-allow-next-line(secret-branch): in-enclave rejection sampling
+    // shpir-lint-allow-next-line(secret-loop-bound): in-enclave rejection sampling; the accepted draw is uniform over eligible pages by construction
     if (InBlock(page_map_.DiskLocation(p), block_start)) {
       continue;
     }
@@ -578,11 +578,11 @@ Result<storage::PageId> CApproxPir::Insert(Bytes data) {
     // Spare selection consults the secret pageMap inside the device;
     // the adversary sees only the ordinary round the chosen spare
     // drives.
-    // shpir-lint-allow-next-line(secret-branch): in-enclave spare selection
+    // shpir-lint-allow-next-line(secret-loop-bound): in-enclave spare selection; the adversary sees only the ordinary round the chosen spare drives
     if (page_map_.IsCached(candidate)) {
       continue;
     }
-    // shpir-lint-allow-next-line(secret-branch): in-enclave spare selection
+    // shpir-lint-allow-next-line(secret-loop-bound): in-enclave spare selection retry inside the device
     if (InBlock(page_map_.DiskLocation(candidate), next_block_start)) {
       continue;
     }
@@ -634,7 +634,6 @@ Status CApproxPir::ReshuffleInternal(bool rotate_keys) {
     }
   }
   for (const Page& cached : page_cache_) {
-    // shpir-lint-allow-next-line(secret-index): offline reshuffle runs wholly inside the device; `all` is device-resident scratch
     all[cached.id] = cached;
   }
   // Physically destroy dead contents.
@@ -709,8 +708,9 @@ Result<Bytes> CApproxPir::SerializeState() const {
     if (live_[id]) {
       flags |= 2;
     }
+    // shpir-lint-allow-next-line(secret-wire): state snapshot written into an in-device buffer; the caller seals the blob before it crosses the trust boundary
     writer.WriteU8(flags);
-    // shpir-lint-allow-next-line(secret-branch): serialization of the secret state itself; the blob never leaves the boundary unsealed
+    // shpir-lint-allow-next-line(secret-branch, secret-wire): serialization of the secret state itself; the blob never leaves the boundary unsealed
     writer.WriteU64(cached ? page_map_.CacheIndex(id)
                            : page_map_.DiskLocation(id));
   }
@@ -719,7 +719,9 @@ Result<Bytes> CApproxPir::SerializeState() const {
     writer.WriteU64(id);
   }
   for (const Page& page : page_cache_) {
+    // shpir-lint-allow-next-line(secret-wire): cached page ids are part of the sealed state snapshot
     writer.WriteU64(page.id);
+    // shpir-lint-allow-next-line(secret-wire): cached page contents are part of the sealed state snapshot
     writer.WriteRaw(page.data);
   }
   return writer.Take();

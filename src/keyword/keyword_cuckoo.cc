@@ -49,6 +49,7 @@ std::pair<uint64_t, uint64_t> CuckooKeywordMap::Buckets(
   const uint64_t buckets = geometry_.num_buckets;
   const uint64_t first = LoadLE64(digest.data()) % buckets;
   uint64_t second = LoadLE64(digest.data() + 8) % buckets;
+  // shpir-lint-allow-next-line(secret-compare): client-local probe derivation; the bucket fetches themselves go through the PIR engine, so the provider never learns which buckets a keyword hashes to
   if (second == first) {
     // Keep the two probes distinct so every lookup touches exactly two
     // bucket pages (requires num_buckets >= 2, enforced by the builder).

@@ -246,10 +246,12 @@ Result<Bytes> PirServiceClient::Call(uint8_t op, storage::PageId id,
   if (response.empty()) {
     return DataLossError("empty service response");
   }
+  // shpir-lint-allow-next-line(secret-compare): the status byte is a public protocol header on the opened record
   if (response[0] == kStatusError) {
     return InternalError("service error: " +
                          std::string(response.begin() + 1, response.end()));
   }
+  // shpir-lint-allow-next-line(secret-compare): the status byte is a public protocol header on the opened record
   if (response[0] != kStatusOk) {
     return DataLossError("malformed service response");
   }

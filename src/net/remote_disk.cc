@@ -31,6 +31,7 @@ Result<Bytes> RemoteDisk::Call(Request request) {
     request.trace = rtt_span.context();
   }
   const Bytes frame = EncodeRequest(request);
+  // shpir-lint-allow-next-line(secret-arg): the request frame (op + slot location) is the scheme's priced observable: the provider is untrusted by design and privacy comes from the shuffle and cache policy (Eq. 5), while payloads cross only as sealed pages
   SHPIR_ASSIGN_OR_RETURN(Bytes response, transport_->RoundTrip(frame));
   if (accountant_ != nullptr) {
     accountant_->AddNetworkRoundTrips(1);
@@ -73,10 +74,13 @@ Status RemoteDisk::ReadRun(storage::Location start, uint64_t count,
   request.location = start;
   request.count = count;
   SHPIR_ASSIGN_OR_RETURN(Bytes payload, Call(request));
+  // shpir-lint-allow-next-line(secret-compare): length check against the public run length and slot size
   if (payload.size() != count * slot_size_) {
     return DataLossError("short remote read-run");
   }
+  // shpir-lint-allow-next-line(secret-alloc): run length is a public scheme parameter (c pages per round)
   out.resize(count);
+  // shpir-lint-allow-next-line(secret-loop-bound): iteration count equals the public run length
   for (uint64_t i = 0; i < count; ++i) {
     out[i].assign(
         payload.begin() + static_cast<ptrdiff_t>(i * slot_size_),

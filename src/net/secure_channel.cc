@@ -88,6 +88,7 @@ Result<Bytes> SecureSession::Open(ByteSpan record) {
     return DataLossError("record too short");
   }
   const uint64_t seq = LoadLE64(record.data());
+  // shpir-lint-allow-next-line(secret-compare): the sequence number is a public transport header (authenticated, not confidential); the taint is field-insensitive over the record
   if (seq != recv_seq_) {
     return DataLossError("record sequence mismatch (replay or loss)");
   }

@@ -26,6 +26,7 @@ Bytes EncodeFrame(const Request& request) {
 
 Bytes EncodeRequest(const Request& request) {
   Bytes inner = EncodeFrame(request);
+  // shpir-lint-allow-next-line(secret-compare): op and trace-envelope fields are public protocol headers; the taint is field-insensitive over the partially-secret Request
   if (!request.trace.valid() || request.op == Op::kTraced) {
     return inner;
   }
@@ -110,10 +111,12 @@ Result<Bytes> DecodeResponse(ByteSpan frame) {
   if (frame.empty()) {
     return DataLossError("empty response frame");
   }
+  // shpir-lint-allow-next-line(secret-compare): the status byte is a public protocol header; response payloads cross the wire sealed
   if (frame[0] == kStatusError) {
     return InternalError("remote error: " +
                          std::string(frame.begin() + 1, frame.end()));
   }
+  // shpir-lint-allow-next-line(secret-compare): the status byte is a public protocol header; response payloads cross the wire sealed
   if (frame[0] != kStatusOk) {
     return DataLossError("malformed response frame");
   }

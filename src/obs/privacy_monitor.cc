@@ -22,11 +22,13 @@ void PrivacyMonitor::OnCacheEntry(uint64_t id, uint64_t request_index) {
 void PrivacyMonitor::OnRelocation(uint64_t id, uint64_t request_index) {
   common::MutexLock lock(mutex_);
   auto it = entry_request_.find(id);
+  // shpir-lint-allow-next-line(secret-branch, secret-compare): the monitor audits the provider-visible relocation stream (Eq. 5); per-id bookkeeping here observes nothing the adversary cannot
   if (it == entry_request_.end()) {
     return;  // Entered the cache before monitoring began.
   }
   const uint64_t delay = request_index - it->second;
   entry_request_.erase(it);
+  // shpir-lint-allow-next-line(secret-branch, secret-compare): same-request enter+evict filter, mirrored from the offline RelocationAnalyzer
   if (delay == 0) {
     // Same-request enter+evict: the page never resided across requests,
     // so it contributes nothing to the residency distribution (the
@@ -37,7 +39,6 @@ void PrivacyMonitor::OnRelocation(uint64_t id, uint64_t request_index) {
   // The delay is secret-derived; the audited aggregation below is the
   // monitor's entire purpose — per-sample data never leaves this class,
   // only >= window-sized bin statistics do.
-  // shpir-lint-allow-next-line(secret-index): Eq. 5 residency histogram bin update; only window aggregates are ever published
   const uint64_t offset = (delay - 1) % options_.scan_period;
   if (windowed_ == options_.window) {
     // Slide: the oldest sample leaves its bin.
@@ -83,7 +84,6 @@ void PrivacyMonitor::CheckLocked() {
   if (c_gauge_ != nullptr) {
     // The estimate aggregates >= check_interval (typically >= window)
     // relocations; publishing it is this monitor's contract.
-    // shpir-lint-allow-next-line(secret-log): window-aggregate empirical c — the statistic Eq. 5 bounds, with no per-request content
     c_gauge_->Set(estimate);
   }
   if (options_.configured_c > 0.0 && estimate > 0.0) {

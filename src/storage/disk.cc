@@ -8,7 +8,9 @@ Status Disk::ReadRun(Location start, uint64_t count, std::vector<Bytes>& out) {
   if (start + count > num_slots()) {
     return OutOfRangeError("run extends past end of disk");
   }
+  // shpir-lint-allow-next-line(secret-alloc): run length is a public scheme parameter (c pages per round), not secret content
   out.resize(count);
+  // shpir-lint-allow-next-line(secret-loop-bound): iteration count equals the public run length; the run's start location is the priced observable (Eq. 5)
   for (uint64_t i = 0; i < count; ++i) {
     out[i].resize(slot_size());
     SHPIR_RETURN_IF_ERROR(Read(start + i, out[i]));

@@ -75,6 +75,7 @@ Status FileDisk::Write(Location loc, ByteSpan data) {
   if (std::fseek(file_, static_cast<long>(loc * slot_size_), SEEK_SET) != 0) {
     return InternalError("seek failed");
   }
+  // shpir-lint-allow-next-line(secret-log): fwrite here is the provider-side disk write, not logging (name-matched seed); pages reach this layer sealed
   if (std::fwrite(data.data(), 1, slot_size_, file_) != slot_size_) {
     return DataLossError("short write to disk file");
   }

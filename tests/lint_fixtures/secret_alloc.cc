@@ -1,0 +1,13 @@
+// Lint fixture: a secret-dependent size reaching an allocator. The
+// allocation size is observable to the host (paging, heap telemetry).
+// Expected: exactly one secret-alloc diagnostic (the resize).
+// Never compiled — only scanned by shpir_lint_test.
+#include <vector>
+
+#include "common/secret.h"
+
+void Grow(std::vector<unsigned char>& buf,
+          shpir::common::Secret<unsigned long> n_secret) {
+  unsigned long n = n_secret.ExposeSecret();
+  buf.resize(n);
+}

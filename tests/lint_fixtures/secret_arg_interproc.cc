@@ -1,0 +1,17 @@
+// Lint fixture: interprocedural secret-arg — the secret crosses TWO
+// function calls before reaching the sink. Relay() has no sink of its
+// own; its summary inherits Emit()'s, and the caller's call site is the
+// finding. Expected: exactly one secret-arg diagnostic (the Relay call
+// in Handle). Never compiled — only scanned by shpir_lint_test.
+#include <cstdio>
+
+#include "common/secret.h"
+
+static void Emit(unsigned long v) { std::printf("v=%lu\n", v); }
+
+static void Relay(unsigned long v) { Emit(v); }
+
+void Handle(shpir::common::Secret<unsigned long> id_secret) {
+  unsigned long id = id_secret.ExposeSecret();
+  Relay(id);
+}

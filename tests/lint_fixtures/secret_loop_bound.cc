@@ -1,0 +1,13 @@
+// Lint fixture: a loop whose iteration count depends on secret data.
+// Expected: exactly one secret-loop-bound diagnostic (the `for` bound).
+// Never compiled — only scanned by shpir_lint_test.
+#include "common/secret.h"
+
+int SumRun(shpir::common::Secret<unsigned> count_secret) {
+  unsigned count = count_secret.ExposeSecret();
+  int total = 0;
+  for (unsigned i = 0; i < count; ++i) {
+    total += 1;
+  }
+  return total;
+}

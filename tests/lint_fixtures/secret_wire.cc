@@ -1,0 +1,13 @@
+// Lint fixture: a secret value serialized onto the wire unsealed.
+// Expected: exactly one secret-wire diagnostic (the WriteU64).
+// Never compiled — only scanned by shpir_lint_test.
+#include "common/secret.h"
+
+struct Writer {
+  void WriteU64(unsigned long v);
+};
+
+void EncodeRequest(Writer& w, shpir::common::Secret<unsigned long> s) {
+  unsigned long location = s.ExposeSecret();
+  w.WriteU64(location);
+}

@@ -1,0 +1,9 @@
+// Lint fixture (pair with tu_boundary_caller.cc): the SINK half of a
+// cross-translation-unit flow. LogSlot's body lives here; the secret
+// that reaches it is exposed in the other file. Scanned together, the
+// pair must produce exactly one secret-arg diagnostic — in the CALLER
+// file. Alone, this file is clean (the parameter is not secret here).
+// Never compiled — only scanned by shpir_lint_test.
+#include <cstdio>
+
+void LogSlot(unsigned long slot) { std::printf("slot=%lu\n", slot); }

@@ -1,0 +1,15 @@
+// Lint fixture (pair with tu_boundary_callee.cc): the SOURCE half of a
+// cross-translation-unit flow. The secret is exposed here and passed to
+// LogSlot, whose printf sink lives in the other file; the whole-program
+// summary pass must carry the sink across the TU boundary. Expected
+// (when scanned with its pair): exactly one secret-arg diagnostic, on
+// the LogSlot call below. Never compiled — only scanned by
+// shpir_lint_test.
+#include "common/secret.h"
+
+void LogSlot(unsigned long slot);
+
+void Audit(shpir::common::Secret<unsigned long> slot_secret) {
+  unsigned long slot = slot_secret.ExposeSecret();
+  LogSlot(slot);
+}

@@ -1,0 +1,79 @@
+#include "lint/cache.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace shpir::lint {
+
+uint64_t Fnv1a64(const std::string& bytes) {
+  uint64_t hash = 1469598103934665603ull;
+  for (unsigned char c : bytes) {
+    hash ^= c;
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+FactsCache::FactsCache(std::string dir) : dir_(std::move(dir)) {
+  if (!dir_.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(dir_, ec);
+    if (ec) {
+      dir_.clear();  // Unwritable cache dir: run uncached.
+    }
+  }
+}
+
+std::string FactsCache::EntryPath(const std::string& content) const {
+  std::ostringstream name;
+  name << std::hex << Fnv1a64(content) << '-' << std::dec
+       << kFactsFormatVersion << ".facts";
+  return (std::filesystem::path(dir_) / name.str()).string();
+}
+
+bool FactsCache::Load(const std::string& path, const std::string& content,
+                      FileFacts* out) {
+  if (dir_.empty()) {
+    ++misses_;
+    return false;
+  }
+  std::ifstream in(EntryPath(content), std::ios::binary);
+  if (!in) {
+    ++misses_;
+    return false;
+  }
+  std::ostringstream blob;
+  blob << in.rdbuf();
+  FileFacts facts;
+  if (!DeserializeFacts(blob.str(), &facts)) {
+    ++misses_;
+    return false;
+  }
+  facts.path = path;
+  // Findings and allows carry the path too; rebind after a move between
+  // checkouts (the serialized form is path-free except these).
+  for (Finding& finding : facts.lex_findings) {
+    finding.file = path;
+  }
+  *out = std::move(facts);
+  ++hits_;
+  return true;
+}
+
+void FactsCache::Store(const std::string& content, const FileFacts& facts) {
+  if (dir_.empty()) {
+    return;
+  }
+  const std::string entry = EntryPath(content);
+  std::ofstream out(entry + ".tmp", std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return;
+  }
+  out << SerializeFacts(facts);
+  out.close();
+  std::error_code ec;
+  std::filesystem::rename(entry + ".tmp", entry, ec);  // Atomic publish.
+}
+
+}  // namespace shpir::lint

@@ -1,0 +1,50 @@
+#ifndef SHPIR_TOOLS_LINT_CACHE_H_
+#define SHPIR_TOOLS_LINT_CACHE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "lint/facts.h"
+
+/// Incremental facts cache.
+///
+/// FileFacts depend only on a file's bytes, so they are memoized under
+/// a key derived from the content hash (FNV-1a 64) and the facts format
+/// version. The global fixed point is recomputed on every run — only
+/// lexing and fact extraction are skipped — which keeps caching sound
+/// by construction: a change in one file can never invalidate another
+/// file's cached facts, and cross-file effects live entirely in the
+/// uncached global phase.
+
+namespace shpir::lint {
+
+uint64_t Fnv1a64(const std::string& bytes);
+
+class FactsCache {
+ public:
+  /// `dir` empty disables the cache (Load misses, Store is a no-op).
+  explicit FactsCache(std::string dir);
+
+  /// Loads facts for a file with the given content. On hit, `out` is
+  /// filled (with `out->path` rebound to `path`) and true is returned.
+  bool Load(const std::string& path, const std::string& content,
+            FileFacts* out);
+
+  /// Stores facts under the content key. Failures are silent: the cache
+  /// is an optimization, never a correctness dependency.
+  void Store(const std::string& content, const FileFacts& facts);
+
+  int hits() const { return hits_; }
+  int misses() const { return misses_; }
+
+ private:
+  std::string EntryPath(const std::string& content) const;
+
+  std::string dir_;
+  int hits_ = 0;
+  int misses_ = 0;
+};
+
+}  // namespace shpir::lint
+
+#endif  // SHPIR_TOOLS_LINT_CACHE_H_

@@ -1,0 +1,43 @@
+#!/bin/sh
+# lint-negative gate: scan every fixture set named in
+# tests/lint_fixtures/EXPECTED and fail unless shpir_lint exits 1 AND
+# reports a finding with the exact expected rule id. Run by both ctest
+# (shpir_lint_negative) and the static-analysis CI job, so a linter
+# that silently goes blind on a rule cannot merge.
+#
+# Usage: check_fixtures.sh <shpir_lint binary> <fixtures dir>
+set -u
+
+LINT=$1
+DIR=$2
+status=0
+checked=0
+
+while IFS='	' read -r files rule; do
+  case $files in '' | \#*) continue ;; esac
+  set --
+  for f in $files; do
+    set -- "$@" "$DIR/$f"
+  done
+  out=$("$LINT" "$@" 2>&1)
+  code=$?
+  checked=$((checked + 1))
+  if [ "$code" -ne 1 ]; then
+    echo "lint-negative: $files: expected exit 1 (findings), got $code" >&2
+    printf '%s\n' "$out" >&2
+    status=1
+    continue
+  fi
+  if ! printf '%s\n' "$out" | grep -q "\[$rule\]"; then
+    echo "lint-negative: $files: no [$rule] finding fired" >&2
+    printf '%s\n' "$out" >&2
+    status=1
+  fi
+done <"$DIR/EXPECTED"
+
+if [ "$checked" -eq 0 ]; then
+  echo "lint-negative: EXPECTED manifest is empty or unreadable" >&2
+  exit 1
+fi
+echo "lint-negative: $checked fixture expectations verified"
+exit $status

@@ -1,0 +1,630 @@
+#include "lint/engine.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <optional>
+#include <tuple>
+
+namespace shpir::lint {
+
+namespace {
+
+const std::set<std::string>& MemcmpFamily() {
+  static const std::set<std::string> kSet = {
+      "memcmp", "bcmp", "strcmp", "strncmp", "strcasecmp", "strncasecmp"};
+  return kSet;
+}
+
+const std::set<std::string>& LogSinks() {
+  static const std::set<std::string> kSet = {
+      "printf", "fprintf",  "sprintf",    "snprintf", "vprintf", "vfprintf",
+      "puts",   "fputs",    "fwrite",     "perror",   "syslog",  "Log",
+      "LogInfo", "LogWarning", "LogError", "LogDebug", "LOG",    "PLOG",
+      "DLOG",   "VLOG",     "Record",     "Increment", "Set",    "Add",
+      "Observe", "Emit"};
+  return kSet;
+}
+
+// Only the leaf wire primitives are seeded. Higher-level serializers
+// (Serialize/Append/...) are analyzed interprocedurally and inherit a
+// wire sink only if they transitively reach one of these, so codecs
+// that fill enclave-local buffers do not count as channel writes.
+const std::set<std::string>& WireSinks() {
+  static const std::set<std::string> kSet = {"WriteU8", "WriteU64",
+                                             "WriteBytes", "WriteRaw"};
+  return kSet;
+}
+
+/// Arity key for seeded external sinks: they apply to a call of any
+/// argument count, unlike in-tree definitions which only bind when the
+/// call's argument count is plausible for their parameter list.
+constexpr int kSeedArity = -1;
+
+/// A per-function taint summary, keyed by bare callee name and param
+/// count (virtual dispatch and same-arity overloads merge
+/// conservatively; a 3-param Open never poisons a 1-arg Open call).
+struct Summary {
+  bool returns_secret = false;
+  // External-sink seed: `sink_rule` fires directly when a tainted value
+  // reaches a sink param (sink_all) or a listed index.
+  std::string sink_rule;
+  bool sink_all = false;
+  std::set<int> sink_params;
+  // Computed: param index -> sink rules the param transitively reaches.
+  std::map<int, std::set<std::string>> param_sinks;
+  // Param indices whose value flows into the return value.
+  std::set<int> param_to_return;
+};
+
+/// Rules whose sites feed param summaries. secret-branch is
+/// deliberately absent: in-enclave case splits on secret state are
+/// pervasive and individually audited, and propagating them
+/// interprocedurally would drown the four observable-channel rules in
+/// noise (documented limitation in docs/STATIC_ANALYSIS.md).
+bool FeedsSummary(const std::string& rule) {
+  return rule == "secret-index" || rule == "secret-compare" ||
+         rule == "secret-loop-bound" || rule == "secret-log" ||
+         rule == "secret-alloc" || rule == "secret-wire";
+}
+
+class Engine {
+ public:
+  explicit Engine(const std::vector<FileFacts>& files) : files_(files) {
+    SeedSummaries();
+    for (const FileFacts& file : files_) {
+      for (const std::string& name : file.header_secrets) {
+        result_.global_secrets.insert(name);
+      }
+    }
+  }
+
+  EngineResult Run() {
+    for (int pass = 0; pass < 24; ++pass) {
+      changed_ = false;
+      merged_cache_.clear();
+      for (const FileFacts& file : files_) {
+        for (const FunctionFact& fn : file.functions) {
+          AnalyzeFunction(file, fn, /*report=*/false);
+        }
+        AnalyzeFunction(file, file.file_scope, /*report=*/false);
+      }
+      if (!changed_) {
+        break;
+      }
+    }
+    merged_cache_.clear();
+    for (const FileFacts& file : files_) {
+      for (const FunctionFact& fn : file.functions) {
+        AnalyzeFunction(file, fn, /*report=*/true);
+      }
+      AnalyzeFunction(file, file.file_scope, /*report=*/true);
+      for (const Finding& finding : file.lex_findings) {
+        Emit(finding);
+      }
+    }
+    if (std::getenv("SHPIR_LINT_DEBUG") != nullptr) {
+      for (const auto& [name, by_arity] : summaries_) {
+        for (const auto& [arity, s] : by_arity) {
+          if (arity == kSeedArity ||
+              (!s.returns_secret && s.param_sinks.empty())) {
+            continue;
+          }
+          std::fprintf(stderr, "summary %s/%d ret=%d sinks=", name.c_str(),
+                       arity, s.returns_secret ? 1 : 0);
+          for (const auto& [p, rules] : s.param_sinks) {
+            std::fprintf(stderr, "%d:", p);
+            for (const auto& r : rules) std::fprintf(stderr, "%s,", r.c_str());
+          }
+          std::fprintf(stderr, "\n");
+        }
+      }
+      for (const auto& [cls, members] : member_taint_) {
+        std::fprintf(stderr, "members %s:", cls.c_str());
+        for (const auto& m : members) std::fprintf(stderr, " %s", m.c_str());
+        std::fprintf(stderr, "\n");
+      }
+    }
+    EmitUnusedSuppressions();
+    std::sort(result_.findings.begin(), result_.findings.end(),
+              [](const Finding& a, const Finding& b) {
+                return std::tie(a.file, a.line, a.rule) <
+                       std::tie(b.file, b.line, b.rule);
+              });
+    BuildAudit();
+    return std::move(result_);
+  }
+
+ private:
+  void SeedSummaries() {
+    for (const std::string& name : MemcmpFamily()) {
+      Summary& s = summaries_[name][kSeedArity];
+      s.sink_rule = "secret-compare";
+      s.sink_all = true;
+    }
+    for (const std::string& name : LogSinks()) {
+      Summary& s = summaries_[name][kSeedArity];
+      s.sink_rule = "secret-log";
+      s.sink_all = true;
+    }
+    for (const std::string& name : WireSinks()) {
+      Summary& s = summaries_[name][kSeedArity];
+      s.sink_rule = "secret-wire";
+      s.sink_all = true;
+    }
+    // Allocation-size sinks: only the size argument is observable.
+    for (const char* name : {"resize", "reserve", "malloc", "alloca"}) {
+      Summary& s = summaries_[name][kSeedArity];
+      s.sink_rule = "secret-alloc";
+      s.sink_params.insert(0);
+    }
+    {
+      Summary& s = summaries_["calloc"][kSeedArity];
+      s.sink_rule = "secret-alloc";
+      s.sink_all = true;
+    }
+    {
+      Summary& s = summaries_["realloc"][kSeedArity];
+      s.sink_rule = "secret-alloc";
+      s.sink_params.insert(1);
+    }
+  }
+
+  static void MergeInto(Summary* out, const Summary& s) {
+    out->returns_secret |= s.returns_secret;
+    if (out->sink_rule.empty()) {
+      out->sink_rule = s.sink_rule;
+    }
+    out->sink_all |= s.sink_all;
+    out->sink_params.insert(s.sink_params.begin(), s.sink_params.end());
+    for (const auto& [p, rules] : s.param_sinks) {
+      out->param_sinks[p].insert(rules.begin(), rules.end());
+    }
+    out->param_to_return.insert(s.param_to_return.begin(),
+                                s.param_to_return.end());
+  }
+
+  /// The merged summary a call with `nargs` arguments binds to: the
+  /// exact-arity definitions when any exist, otherwise larger-arity
+  /// ones (trailing default arguments), otherwise everything under the
+  /// name (conservative fallback for misparsed argument lists). Seeded
+  /// external sinks always apply. Memoized per global pass.
+  const Summary* FindSummary(const std::string& callee, size_t nargs) {
+    const auto key = std::make_pair(callee, nargs);
+    auto hit = merged_cache_.find(key);
+    if (hit != merged_cache_.end()) {
+      return hit->second ? &hit->second.value() : nullptr;
+    }
+    std::optional<Summary>& slot = merged_cache_[key];
+    auto it = summaries_.find(callee);
+    if (it == summaries_.end()) {
+      return nullptr;
+    }
+    const int n = static_cast<int>(nargs);
+    const bool exact = it->second.count(n) != 0;
+    bool larger = false;
+    for (const auto& [arity, s] : it->second) {
+      larger |= arity > n;
+    }
+    Summary merged;
+    bool any = false;
+    for (const auto& [arity, s] : it->second) {
+      if (arity != kSeedArity && arity != n) {
+        if (exact || (larger && arity < n)) {
+          continue;
+        }
+      }
+      MergeInto(&merged, s);
+      any = true;
+    }
+    if (!any) {
+      return nullptr;
+    }
+    slot = std::move(merged);
+    return &slot.value();
+  }
+
+  /// Sink rules a tainted value reaches when passed as param `idx`.
+  static std::set<std::string> RulesForParam(const Summary& s, int idx) {
+    std::set<std::string> rules;
+    if (!s.sink_rule.empty() &&
+        (s.sink_all || s.sink_params.count(idx) != 0)) {
+      rules.insert(s.sink_rule);
+    }
+    auto it = s.param_sinks.find(idx);
+    if (it != s.param_sinks.end()) {
+      rules.insert(it->second.begin(), it->second.end());
+    }
+    return rules;
+  }
+
+  /// The rule a finding at a call site carries: the seed's own rule for
+  /// a direct external sink, secret-arg for a transitive flow.
+  static std::string FindingRule(const Summary& s, int idx,
+                                 const std::set<std::string>& rules) {
+    if (!s.sink_rule.empty() &&
+        (s.sink_all || s.sink_params.count(idx) != 0) &&
+        rules.count(s.sink_rule) != 0) {
+      return s.sink_rule;
+    }
+    return "secret-arg";
+  }
+
+  void AnalyzeFunction(const FileFacts& file, const FunctionFact& fn,
+                       bool report) {
+    std::set<std::string> tainted;
+    std::map<std::string, std::set<int>> symbolic;
+    tainted.insert(result_.global_secrets.begin(),
+                   result_.global_secrets.end());
+    tainted.insert(file.file_roots.begin(), file.file_roots.end());
+    tainted.insert(fn.local_roots.begin(), fn.local_roots.end());
+    for (int p : fn.secret_params) {
+      if (p >= 0 && p < static_cast<int>(fn.params.size()) &&
+          !fn.params[p].empty()) {
+        tainted.insert(fn.params[p]);
+      }
+    }
+    if (!fn.cls.empty()) {
+      auto it = member_taint_.find(fn.cls);
+      if (it != member_taint_.end()) {
+        tainted.insert(it->second.begin(), it->second.end());
+      }
+    }
+    for (size_t p = 0; p < fn.params.size(); ++p) {
+      if (!fn.params[p].empty()) {
+        symbolic[fn.params[p]].insert(static_cast<int>(p));
+      }
+    }
+
+    auto allowed = [&](int line, const std::string& rule) {
+      auto it = file.allows.find(line);
+      return it != file.allows.end() && it->second.rules.count(rule) != 0;
+    };
+    auto mark_used = [&](int line) { used_.insert({file.path, line}); };
+    auto symbolic_of = [&](const std::vector<std::string>& names) {
+      std::set<int> out;
+      for (const std::string& name : names) {
+        auto it = symbolic.find(name);
+        if (it != symbolic.end()) {
+          out.insert(it->second.begin(), it->second.end());
+        }
+      }
+      return out;
+    };
+    auto any_tainted = [&](const std::vector<std::string>& names) {
+      for (const std::string& name : names) {
+        if (tainted.count(name) != 0) {
+          return true;
+        }
+      }
+      return false;
+    };
+    auto merge_symbolic = [&](const std::string& dst,
+                              const std::set<int>& src) {
+      if (src.empty()) {
+        return false;
+      }
+      std::set<int>& slot = symbolic[dst];
+      const size_t before = slot.size();
+      slot.insert(src.begin(), src.end());
+      return slot.size() != before;
+    };
+
+    // Local fixed point over the function's dataflow facts.
+    bool local_changed = true;
+    for (int iter = 0; iter < 12 && local_changed; ++iter) {
+      local_changed = false;
+      for (const AssignFact& a : fn.assigns) {
+        const bool src_tainted = any_tainted(a.srcs);
+        if (src_tainted && tainted.count(a.dst) == 0) {
+          if (a.dst_is_member && allowed(a.line, "secret-member")) {
+            mark_used(a.line);
+          } else {
+            tainted.insert(a.dst);
+            local_changed = true;
+          }
+        }
+        if (src_tainted && a.dst_is_member && !fn.cls.empty() && !report &&
+            !allowed(a.line, "secret-member")) {
+          if (member_taint_[fn.cls].insert(a.dst).second) {
+            changed_ = true;
+          }
+        }
+        local_changed |= merge_symbolic(a.dst, symbolic_of(a.srcs));
+      }
+      for (const CallFact& c : fn.calls) {
+        const Summary* s = FindSummary(c.callee, c.args.size());
+        if (s == nullptr || c.dst.empty()) {
+          continue;
+        }
+        bool dst_secret = s->returns_secret;
+        std::set<int> sym;
+        for (int p : s->param_to_return) {
+          if (p >= 0 && p < static_cast<int>(c.args.size())) {
+            if (any_tainted(c.args[p])) {
+              dst_secret = true;
+            }
+            const std::set<int> arg_sym = symbolic_of(c.args[p]);
+            sym.insert(arg_sym.begin(), arg_sym.end());
+          }
+        }
+        if (dst_secret && tainted.count(c.dst) == 0) {
+          if (c.dst_is_member && allowed(c.line, "secret-member")) {
+            mark_used(c.line);
+          } else {
+            tainted.insert(c.dst);
+            local_changed = true;
+            if (c.dst_is_member && !fn.cls.empty() && !report &&
+                member_taint_[fn.cls].insert(c.dst).second) {
+              changed_ = true;
+            }
+          }
+        }
+        local_changed |= merge_symbolic(c.dst, sym);
+      }
+    }
+
+    if (!report) {
+      Summarize(file, fn, tainted, symbolic, allowed, mark_used, symbolic_of,
+                any_tainted);
+      return;
+    }
+
+    // Report phase: concrete findings only.
+    for (const SiteFact& site : fn.sites) {
+      std::vector<std::string> hits;
+      for (const std::string& name : site.names) {
+        if (tainted.count(name) != 0) {
+          hits.push_back(name);
+        }
+      }
+      bool fires = site.rule == "insecure-rng" || !hits.empty();
+      if (site.rule == "secret-index" && !site.container.empty() &&
+          tainted.count(site.container) != 0) {
+        fires = false;  // Secret-indexed secret container stays inside.
+      }
+      if (!fires) {
+        continue;
+      }
+      if (allowed(site.line, site.rule)) {
+        mark_used(site.line);
+        continue;
+      }
+      std::string message = site.message;
+      if (!hits.empty()) {
+        message += " (secret: '" + hits.front() + "')";
+      }
+      Emit({file.path, site.line, site.rule, message});
+    }
+    for (const CallFact& c : fn.calls) {
+      const Summary* s = FindSummary(c.callee, c.args.size());
+      if (s == nullptr) {
+        continue;
+      }
+      for (size_t i = 0; i < c.args.size(); ++i) {
+        const std::set<std::string> rules =
+            RulesForParam(*s, static_cast<int>(i));
+        if (rules.empty()) {
+          continue;
+        }
+        std::string hit;
+        for (const std::string& name : c.args[i]) {
+          if (tainted.count(name) != 0) {
+            hit = name;
+            break;
+          }
+        }
+        if (hit.empty()) {
+          continue;
+        }
+        const std::string rule =
+            FindingRule(*s, static_cast<int>(i), rules);
+        if (allowed(c.line, rule)) {
+          mark_used(c.line);
+          continue;
+        }
+        std::string message;
+        if (rule == "secret-arg") {
+          std::string sinks;
+          for (const std::string& r : rules) {
+            sinks += (sinks.empty() ? "" : ", ") + r;
+          }
+          message = "secret '" + hit + "' passed to '" + c.callee +
+                    "' argument " + std::to_string(i + 1) +
+                    ", which flows to a sink (" + sinks + ")";
+        } else if (rule == "secret-compare") {
+          message = "secret '" + hit + "' compared via '" + c.callee +
+                    "'; use crypto::ConstantTimeEquals";
+        } else if (rule == "secret-wire") {
+          message = "secret '" + hit + "' written to the wire via '" +
+                    c.callee + "'; seal before serializing";
+        } else if (rule == "secret-alloc") {
+          message = "secret-dependent size '" + hit +
+                    "' passed to allocator '" + c.callee + "'";
+        } else {
+          message = "secret '" + hit + "' passed to logging/metrics sink '" +
+                    c.callee + "'";
+        }
+        Emit({file.path, c.line, rule, message});
+      }
+    }
+  }
+
+  template <typename AllowedFn, typename MarkUsedFn, typename SymbolicFn,
+            typename TaintedFn>
+  void Summarize(const FileFacts& file, const FunctionFact& fn,
+                 const std::set<std::string>& tainted,
+                 const std::map<std::string, std::set<int>>& symbolic,
+                 AllowedFn allowed, MarkUsedFn mark_used,
+                 SymbolicFn symbolic_of, TaintedFn any_tainted) {
+    (void)symbolic;
+    bool returns_secret = false;
+    std::set<int> param_to_return;
+    for (const ReturnFact& r : fn.returns) {
+      const bool hot = any_tainted(r.names);
+      const std::set<int> sym = symbolic_of(r.names);
+      if (allowed(r.line, "secret-return")) {
+        if (hot || !sym.empty()) {
+          mark_used(r.line);  // Audited declassification.
+        }
+        continue;
+      }
+      returns_secret |= hot;
+      param_to_return.insert(sym.begin(), sym.end());
+    }
+    const bool debug = std::getenv("SHPIR_LINT_DEBUG") != nullptr;
+    std::map<int, std::set<std::string>> param_sinks;
+    auto feed = [&](int p, const std::string& rule, int line) {
+      if (param_sinks[p].insert(rule).second && debug) {
+        std::fprintf(stderr, "feed %s/%zu p%d %s @ %s:%d\n", fn.name.c_str(),
+                     fn.params.size(), p, rule.c_str(), file.path.c_str(),
+                     line);
+      }
+    };
+    for (const SiteFact& site : fn.sites) {
+      if (!FeedsSummary(site.rule)) {
+        continue;
+      }
+      if (site.rule == "secret-index" && !site.container.empty() &&
+          tainted.count(site.container) != 0) {
+        continue;
+      }
+      const std::set<int> sym = symbolic_of(site.names);
+      if (allowed(site.line, site.rule)) {
+        // A suppressed leak point does not feed summaries: the audit at
+        // the sink covers every caller-side path into it.
+        if (!sym.empty()) {
+          mark_used(site.line);
+        }
+        continue;
+      }
+      for (int p : sym) {
+        feed(p, site.rule, site.line);
+      }
+    }
+    for (const CallFact& c : fn.calls) {
+      const Summary* s = FindSummary(c.callee, c.args.size());
+      if (s == nullptr) {
+        continue;
+      }
+      if (c.in_return) {
+        if (allowed(c.line, "secret-return")) {
+          if (s->returns_secret) {
+            mark_used(c.line);
+          }
+        } else {
+          returns_secret |= s->returns_secret;
+          for (int p : s->param_to_return) {
+            if (p >= 0 && p < static_cast<int>(c.args.size())) {
+              const std::set<int> sym = symbolic_of(c.args[p]);
+              param_to_return.insert(sym.begin(), sym.end());
+            }
+          }
+        }
+      }
+      for (size_t i = 0; i < c.args.size(); ++i) {
+        const std::set<std::string> rules =
+            RulesForParam(*s, static_cast<int>(i));
+        if (rules.empty()) {
+          continue;
+        }
+        const std::set<int> sym = symbolic_of(c.args[i]);
+        if (sym.empty()) {
+          continue;
+        }
+        if (allowed(c.line, FindingRule(*s, static_cast<int>(i), rules))) {
+          mark_used(c.line);
+          continue;
+        }
+        for (int p : sym) {
+          for (const std::string& rule : rules) {
+            feed(p, rule, c.line);
+          }
+        }
+      }
+    }
+    if (fn.name.empty() || fn.name[0] == '<') {
+      return;  // File scope is not callable.
+    }
+    Summary& merged = summaries_[fn.name][static_cast<int>(fn.params.size())];
+    if (returns_secret && !merged.returns_secret) {
+      merged.returns_secret = true;
+      changed_ = true;
+    }
+    for (int p : param_to_return) {
+      if (merged.param_to_return.insert(p).second) {
+        changed_ = true;
+      }
+    }
+    for (const auto& [p, rules] : param_sinks) {
+      std::set<std::string>& slot = merged.param_sinks[p];
+      for (const std::string& rule : rules) {
+        if (slot.insert(rule).second) {
+          changed_ = true;
+        }
+      }
+    }
+    (void)file;
+  }
+
+  void Emit(const Finding& finding) {
+    if (emitted_.insert({finding.file, finding.line, finding.rule}).second) {
+      result_.findings.push_back(finding);
+    }
+  }
+
+  void EmitUnusedSuppressions() {
+    for (const FileFacts& file : files_) {
+      for (const auto& [line, allow] : file.allows) {
+        if (used_.count({file.path, line}) != 0) {
+          continue;
+        }
+        std::string rules;
+        for (const std::string& rule : allow.rules) {
+          rules += (rules.empty() ? "" : ", ") + rule;
+        }
+        Emit({file.path, line, "unused-suppression",
+              "shpir-lint-allow(" + rules +
+                  ") does not match any finding; delete it or fix the "
+                  "rule list"});
+      }
+    }
+  }
+
+  void BuildAudit() {
+    for (const FileFacts& file : files_) {
+      for (const auto& [line, allow] : file.allows) {
+        AuditEntry entry;
+        entry.file = file.path;
+        entry.line = line;
+        entry.rules.assign(allow.rules.begin(), allow.rules.end());
+        entry.reason = allow.reason;
+        entry.used = used_.count({file.path, line}) != 0;
+        result_.audit.push_back(std::move(entry));
+      }
+    }
+    std::sort(result_.audit.begin(), result_.audit.end(),
+              [](const AuditEntry& a, const AuditEntry& b) {
+                return std::tie(a.file, a.line) < std::tie(b.file, b.line);
+              });
+  }
+
+  const std::vector<FileFacts>& files_;
+  std::map<std::string, std::map<int, Summary>> summaries_;
+  std::map<std::pair<std::string, size_t>, std::optional<Summary>>
+      merged_cache_;
+  std::map<std::string, std::set<std::string>> member_taint_;
+  std::set<std::pair<std::string, int>> used_;
+  std::set<std::tuple<std::string, int, std::string>> emitted_;
+  bool changed_ = false;
+  EngineResult result_;
+};
+
+}  // namespace
+
+EngineResult Analyze(const std::vector<FileFacts>& files) {
+  return Engine(files).Run();
+}
+
+}  // namespace shpir::lint

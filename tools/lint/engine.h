@@ -1,0 +1,70 @@
+#ifndef SHPIR_TOOLS_LINT_ENGINE_H_
+#define SHPIR_TOOLS_LINT_ENGINE_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint/facts.h"
+
+/// Whole-program secret-flow analysis.
+///
+/// The engine consumes per-file FileFacts and runs two phases:
+///
+///  1. Summary phase: for every function, compute (a) whether its
+///     return value carries taint, (b) which parameters flow into an
+///     observable-channel sink (directly, or transitively through
+///     further calls), and (c) which members it taints. Summaries start
+///     from seeds for external sinks (printf family, memcmp family,
+///     serde writers, allocator sizes) and are iterated over the whole
+///     tree to a fixed point, so taint crosses calls, returns, member
+///     writes, and translation-unit boundaries.
+///
+///  2. Report phase: re-walk every function with the final summaries
+///     and emit findings for concrete taint reaching a site, applying
+///     suppressions. A suppression placed at a leak point also stops
+///     that site from feeding summaries, so one audited allow kills the
+///     whole upstream cascade.
+///
+/// Rules (see docs/STATIC_ANALYSIS.md):
+///   secret-branch      if/switch/ternary condition on a secret
+///   secret-loop-bound  loop condition / bound / early exit on a secret
+///   secret-index       secret subscript into a non-secret container
+///   secret-compare     ==/!=/memcmp-family on a secret
+///   secret-log         secret reaching a logging/metrics sink
+///   secret-wire        secret reaching a serde writer / wire encoder
+///   secret-alloc       secret-dependent allocation size
+///   secret-arg         secret passed to a parameter whose summary says
+///                      it flows to one of the sinks above
+///   insecure-rng       non-cryptographic RNG inside the boundary
+///   bad-suppression    malformed shpir-lint-allow
+///   unused-suppression an allow that no longer matches anything
+///
+/// Two rules are suppression-only (they never fire as findings):
+///   secret-return      declassifies a function's return value (MAC
+///                      tags, ciphertexts, DRBG output, client-bound
+///                      payloads) so callers are not tainted by it
+///   secret-member      blocks taint of a member at a specific write
+
+namespace shpir::lint {
+
+/// One suppression with its re-audit verdict.
+struct AuditEntry {
+  std::string file;
+  int line = 0;
+  std::vector<std::string> rules;
+  std::string reason;
+  bool used = false;
+};
+
+struct EngineResult {
+  std::vector<Finding> findings;  // Sorted by file/line/rule, deduped.
+  std::vector<AuditEntry> audit;  // Every suppression in the tree.
+  std::set<std::string> global_secrets;
+};
+
+EngineResult Analyze(const std::vector<FileFacts>& files);
+
+}  // namespace shpir::lint
+
+#endif  // SHPIR_TOOLS_LINT_ENGINE_H_

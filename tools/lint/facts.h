@@ -1,0 +1,103 @@
+#ifndef SHPIR_TOOLS_LINT_FACTS_H_
+#define SHPIR_TOOLS_LINT_FACTS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "lint/lex.h"
+
+/// Per-file intermediate representation for the interprocedural engine.
+///
+/// A FileFacts is everything the global analysis needs to know about one
+/// translation unit, extracted in a single pass over the token stream:
+/// declared secrets, function definitions with their parameter lists,
+/// and — per function — dataflow events (assignments, calls, returns)
+/// and candidate check sites (branches, loop bounds, subscripts,
+/// comparisons, stream inserts, RNG uses, array-new allocations). Facts
+/// depend only on the file's own bytes, which is what makes the
+/// content-hash cache in cache.h sound: the global fixed point is
+/// recomputed on every run, but lexing and parsing are skipped for
+/// unchanged files.
+///
+/// Bump kFactsFormatVersion whenever any struct below (or the extractor)
+/// changes; stale cache entries are discarded by version mismatch.
+
+namespace shpir::lint {
+
+inline constexpr int kFactsFormatVersion = 9;
+
+/// A candidate finding: fires iff any of `names` is tainted at the
+/// site's scope (for secret-index, unless `container` is itself secret;
+/// for insecure-rng, unconditionally).
+struct SiteFact {
+  std::string rule;
+  int line = 0;
+  std::vector<std::string> names;
+  std::string container;  // secret-index only: the subscripted base.
+  std::string message;
+};
+
+struct AssignFact {
+  std::string dst;
+  bool dst_is_member = false;  // Trailing-underscore heuristic.
+  int line = 0;
+  std::vector<std::string> srcs;
+};
+
+struct CallFact {
+  std::string callee;
+  int line = 0;
+  std::vector<std::vector<std::string>> args;  // Identifier names per arg.
+  std::string dst;        // Name the result is assigned to ("" if none).
+  bool dst_is_member = false;
+  bool in_return = false;  // `return Callee(...)`.
+};
+
+struct ReturnFact {
+  int line = 0;
+  std::vector<std::string> names;
+};
+
+struct FunctionFact {
+  std::string name;  // Bare name ("" never occurs; file scope is below).
+  std::string cls;   // Enclosing class / explicit qualifier, or "".
+  int line = 0;
+  std::vector<std::string> params;       // Positional names ("" if unnamed).
+  std::vector<int> secret_params;        // Indices typed Secret<T>/SHPIR_SECRET.
+  std::vector<std::string> local_roots;  // Secret<T>/SHPIR_SECRET locals.
+  std::vector<AssignFact> assigns;
+  std::vector<CallFact> calls;
+  std::vector<ReturnFact> returns;
+  std::vector<SiteFact> sites;
+};
+
+struct FileFacts {
+  std::string path;  // Reporting only; rebound when loaded from cache.
+  bool is_header = false;
+  /// SHPIR_SECRET declarations in a header: global taint roots (members
+  /// are declared in headers and used across translation units).
+  std::vector<std::string> header_secrets;
+  /// File-scope SHPIR_SECRET / Secret<T> declarations in a .cc file:
+  /// taint roots for every function in this file only.
+  std::vector<std::string> file_roots;
+  /// Facts for tokens outside any recognized function body.
+  FunctionFact file_scope;
+  std::vector<FunctionFact> functions;
+  std::map<int, Suppression> allows;
+  std::vector<Finding> lex_findings;
+};
+
+/// Extracts facts from a lexed file. `path` is used for reporting and
+/// for the header/.cc scoping decision.
+FileFacts ExtractFacts(const std::string& path, const LexedFile& lexed);
+
+/// Compact text serialization for the facts cache. Deserialize returns
+/// false on version mismatch or corruption (caller falls back to a
+/// fresh parse).
+std::string SerializeFacts(const FileFacts& facts);
+bool DeserializeFacts(const std::string& blob, FileFacts* out);
+
+}  // namespace shpir::lint
+
+#endif  // SHPIR_TOOLS_LINT_FACTS_H_

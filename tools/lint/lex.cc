@@ -1,0 +1,230 @@
+#include "lint/lex.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace shpir::lint {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+}
+bool IsIdentChar(char c) { return IsIdentStart(c) || (c >= '0' && c <= '9'); }
+bool IsDigit(char c) { return c >= '0' && c <= '9'; }
+
+std::string Trim(const std::string& s) {
+  size_t a = s.find_first_not_of(" \t");
+  if (a == std::string::npos) {
+    return "";
+  }
+  size_t b = s.find_last_not_of(" \t");
+  return s.substr(a, b - a + 1);
+}
+
+// Parses an allow comment out of a comment body: the shpir-lint-allow
+// tag immediately followed by a parenthesized rule list and ": reason".
+void ParseSuppression(const std::string& comment, int line,
+                      const std::string& path, LexedFile* out) {
+  static const std::string kNextLine = "shpir-lint-allow-next-line";
+  static const std::string kSameLine = "shpir-lint-allow";
+  size_t pos = comment.find(kNextLine);
+  int target = line + 1;
+  size_t tag_len = kNextLine.size();
+  if (pos == std::string::npos) {
+    pos = comment.find(kSameLine);
+    target = line;
+    tag_len = kSameLine.size();
+    if (pos == std::string::npos) {
+      return;
+    }
+  }
+  // Prose mentions ("carries a shpir-lint-allow") are not suppressions:
+  // only the exact tag immediately followed by `(` counts.
+  if (pos + tag_len >= comment.size() || comment[pos + tag_len] != '(') {
+    return;
+  }
+  const size_t open = pos + tag_len;
+  const size_t close = comment.find(')', open);
+  if (close == std::string::npos) {
+    out->lex_findings.push_back(
+        {path, line, "bad-suppression",
+         "malformed shpir-lint-allow: expected (rule[, rule...]): reason"});
+    return;
+  }
+  Suppression suppression;
+  std::stringstream rules(comment.substr(open + 1, close - open - 1));
+  std::string rule;
+  while (std::getline(rules, rule, ',')) {
+    rule = Trim(rule);
+    if (!rule.empty()) {
+      suppression.rules.insert(rule);
+    }
+  }
+  const size_t colon = comment.find(':', close);
+  if (colon != std::string::npos) {
+    suppression.reason = Trim(comment.substr(colon + 1));
+  }
+  suppression.has_reason = !suppression.reason.empty();
+  if (suppression.rules.empty() || !suppression.has_reason) {
+    out->lex_findings.push_back(
+        {path, line, "bad-suppression",
+         "shpir-lint-allow requires a rule list and a non-empty "
+         "justification after ':'"});
+    return;
+  }
+  out->allows[target] = std::move(suppression);
+}
+
+const char* const kMultiPunct[] = {
+    "<<=", ">>=", "->*", "...", "::", "->", "==", "!=", "<=", ">=",
+    "&&",  "||",  "++",  "--",  "+=", "-=", "*=", "/=", "%=", "&=",
+    "|=",  "^=",  "<<",  ">>"};
+
+}  // namespace
+
+LexedFile Lex(const std::string& path, const std::string& source) {
+  LexedFile out;
+  int line = 1;
+  bool at_line_start = true;
+  size_t i = 0;
+  const size_t n = source.size();
+  auto peek = [&](size_t k) { return i + k < n ? source[i + k] : '\0'; };
+  while (i < n) {
+    const char c = source[i];
+    if (c == '\n') {
+      ++line;
+      at_line_start = true;
+      ++i;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r') {
+      ++i;
+      continue;
+    }
+    // Preprocessor directive: skip the (possibly continued) line.
+    if (c == '#' && at_line_start) {
+      while (i < n && source[i] != '\n') {
+        if (source[i] == '\\' && peek(1) == '\n') {
+          ++line;
+          i += 2;
+          continue;
+        }
+        ++i;
+      }
+      continue;
+    }
+    at_line_start = false;
+    if (c == '/' && peek(1) == '/') {
+      const size_t end = source.find('\n', i);
+      const std::string body =
+          source.substr(i + 2, (end == std::string::npos ? n : end) - i - 2);
+      ParseSuppression(body, line, path, &out);
+      i = end == std::string::npos ? n : end;
+      continue;
+    }
+    if (c == '/' && peek(1) == '*') {
+      const int start_line = line;
+      size_t end = source.find("*/", i + 2);
+      if (end == std::string::npos) {
+        end = n;
+      }
+      const std::string body = source.substr(i + 2, end - i - 2);
+      line += static_cast<int>(std::count(body.begin(), body.end(), '\n'));
+      ParseSuppression(body, start_line, path, &out);
+      i = end == n ? n : end + 2;
+      continue;
+    }
+    if (c == '"') {
+      // Raw string?
+      const bool raw = !out.tokens.empty() &&
+                       out.tokens.back().kind == Token::Kind::kIdent &&
+                       (out.tokens.back().text == "R" ||
+                        out.tokens.back().text == "u8R" ||
+                        out.tokens.back().text == "uR" ||
+                        out.tokens.back().text == "LR");
+      if (raw) {
+        const size_t open_paren = source.find('(', i);
+        const std::string delim =
+            open_paren == std::string::npos
+                ? ""
+                : source.substr(i + 1, open_paren - i - 1);
+        const std::string closer = ")" + delim + "\"";
+        size_t end = source.find(closer, open_paren);
+        end = end == std::string::npos ? n : end + closer.size();
+        const std::string body = source.substr(i, end - i);
+        line += static_cast<int>(std::count(body.begin(), body.end(), '\n'));
+        out.tokens.pop_back();  // The R prefix.
+        out.tokens.push_back({Token::Kind::kString, "<raw-string>", line, -1});
+        i = end;
+        continue;
+      }
+      size_t j = i + 1;
+      while (j < n && source[j] != '"') {
+        j += source[j] == '\\' ? 2 : 1;
+      }
+      out.tokens.push_back({Token::Kind::kString, "<string>", line, -1});
+      i = j + 1;
+      continue;
+    }
+    if (c == '\'') {
+      size_t j = i + 1;
+      while (j < n && source[j] != '\'') {
+        j += source[j] == '\\' ? 2 : 1;
+      }
+      out.tokens.push_back({Token::Kind::kString, "<char>", line, -1});
+      i = j + 1;
+      continue;
+    }
+    if (IsIdentStart(c)) {
+      size_t j = i;
+      while (j < n && IsIdentChar(source[j])) {
+        ++j;
+      }
+      out.tokens.push_back(
+          {Token::Kind::kIdent, source.substr(i, j - i), line, -1});
+      i = j;
+      continue;
+    }
+    if (IsDigit(c)) {
+      size_t j = i;
+      while (j < n && (IsIdentChar(source[j]) || source[j] == '.' ||
+                       (source[j] == '\'' && j + 1 < n &&
+                        IsIdentChar(source[j + 1])))) {
+        ++j;
+      }
+      out.tokens.push_back(
+          {Token::Kind::kNumber, source.substr(i, j - i), line, -1});
+      i = j;
+      continue;
+    }
+    // Punctuation: longest match first.
+    std::string punct(1, c);
+    for (const char* op : kMultiPunct) {
+      const size_t len = std::string(op).size();
+      if (source.compare(i, len, op) == 0) {
+        punct = op;
+        break;
+      }
+    }
+    out.tokens.push_back({Token::Kind::kPunct, punct, line, -1});
+    i += punct.size();
+  }
+  // Bracket matching.
+  std::vector<size_t> stack;
+  for (size_t t = 0; t < out.tokens.size(); ++t) {
+    const std::string& text = out.tokens[t].text;
+    if (text == "(" || text == "[" || text == "{") {
+      stack.push_back(t);
+    } else if (text == ")" || text == "]" || text == "}") {
+      if (!stack.empty()) {
+        out.tokens[stack.back()].match = static_cast<int>(t);
+        out.tokens[t].match = static_cast<int>(stack.back());
+        stack.pop_back();
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace shpir::lint

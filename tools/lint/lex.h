@@ -1,0 +1,51 @@
+#ifndef SHPIR_TOOLS_LINT_LEX_H_
+#define SHPIR_TOOLS_LINT_LEX_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+/// Tokenizer for the secret-flow engine. Produces a flat token stream
+/// with line numbers and matched bracket indices, plus the suppression
+/// table parsed out of comments. The grammar for a suppression is
+///   shpir-lint-allow (rule[, rule...]): <justification>
+/// written with the rule list immediately after the tag (see
+/// docs/STATIC_ANALYSIS.md; this comment spells it with a space so the
+/// lexer does not read the documentation as a live suppression), or the
+/// -next-line variant targeting the following line.
+
+namespace shpir::lint {
+
+struct Finding {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+struct Token {
+  enum class Kind { kIdent, kNumber, kString, kPunct };
+  Kind kind;
+  std::string text;
+  int line = 0;
+  int match = -1;  // Matching bracket index for ()[]{}.
+};
+
+struct Suppression {
+  std::set<std::string> rules;
+  bool has_reason = false;
+  std::string reason;
+};
+
+struct LexedFile {
+  std::vector<Token> tokens;
+  std::map<int, Suppression> allows;  // target line -> suppression
+  std::vector<Finding> lex_findings;  // bad-suppression etc.
+};
+
+LexedFile Lex(const std::string& path, const std::string& source);
+
+}  // namespace shpir::lint
+
+#endif  // SHPIR_TOOLS_LINT_LEX_H_

@@ -5,691 +5,36 @@
 #include <fstream>
 #include <sstream>
 
+#include "lint/cache.h"
+
 namespace shpir::lint {
 
 namespace {
 
-// ---------------------------------------------------------------------------
-// Tokenizer
-// ---------------------------------------------------------------------------
-
-struct Token {
-  enum class Kind { kIdent, kNumber, kString, kPunct };
-  Kind kind;
-  std::string text;
-  int line = 0;
-  int match = -1;  // Matching bracket index for ()[]{}.
-};
-
-struct Suppression {
-  std::set<std::string> rules;
-  bool has_reason = false;
-};
-
-struct LexedFile {
-  std::vector<Token> tokens;
-  std::map<int, Suppression> allows;  // line -> suppression
-  std::vector<Finding> lex_findings;  // bad-suppression etc.
-};
-
-bool IsIdentStart(char c) {
-  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+// Findings, SARIF records, and audit keys must not depend on how the
+// scan was invoked (absolute vs relative arguments, working directory):
+// when the file lives inside a git checkout, display it relative to the
+// checkout root. GitHub's SARIF ingestion also requires repo-relative
+// paths for annotations.
+std::string DisplayPath(const std::string& path) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  const fs::path canon = fs::weakly_canonical(path, ec);
+  if (ec) {
+    return path;
+  }
+  for (fs::path dir = canon.parent_path(); !dir.empty();
+       dir = dir.parent_path()) {
+    if (fs::exists(dir / ".git", ec)) {
+      const fs::path rel = fs::relative(canon, dir, ec);
+      return ec ? path : rel.generic_string();
+    }
+    if (dir == dir.parent_path()) {
+      break;
+    }
+  }
+  return path;
 }
-bool IsIdentChar(char c) { return IsIdentStart(c) || (c >= '0' && c <= '9'); }
-bool IsDigit(char c) { return c >= '0' && c <= '9'; }
-
-std::string Trim(const std::string& s) {
-  size_t a = s.find_first_not_of(" \t");
-  if (a == std::string::npos) {
-    return "";
-  }
-  size_t b = s.find_last_not_of(" \t");
-  return s.substr(a, b - a + 1);
-}
-
-// Parses "shpir-lint-allow(rule, rule): reason" out of a comment body.
-void ParseSuppression(const std::string& comment, int line,
-                      const std::string& path, LexedFile* out) {
-  static const std::string kNextLine = "shpir-lint-allow-next-line";
-  static const std::string kSameLine = "shpir-lint-allow";
-  size_t pos = comment.find(kNextLine);
-  int target = line + 1;
-  size_t tag_len = kNextLine.size();
-  if (pos == std::string::npos) {
-    pos = comment.find(kSameLine);
-    target = line;
-    tag_len = kSameLine.size();
-    if (pos == std::string::npos) {
-      return;
-    }
-  }
-  // Prose mentions ("carries a shpir-lint-allow") are not suppressions:
-  // only the exact form `shpir-lint-allow(` (or -next-line) counts.
-  if (pos + tag_len >= comment.size() || comment[pos + tag_len] != '(') {
-    return;
-  }
-  const size_t open = pos + tag_len;
-  const size_t close = comment.find(')', open);
-  if (close == std::string::npos) {
-    out->lex_findings.push_back(
-        {path, line, "bad-suppression",
-         "malformed shpir-lint-allow: expected (rule[, rule...]): reason"});
-    return;
-  }
-  Suppression suppression;
-  std::stringstream rules(comment.substr(open + 1, close - open - 1));
-  std::string rule;
-  while (std::getline(rules, rule, ',')) {
-    rule = Trim(rule);
-    if (!rule.empty()) {
-      suppression.rules.insert(rule);
-    }
-  }
-  const size_t colon = comment.find(':', close);
-  suppression.has_reason =
-      colon != std::string::npos && !Trim(comment.substr(colon + 1)).empty();
-  if (suppression.rules.empty() || !suppression.has_reason) {
-    out->lex_findings.push_back(
-        {path, line, "bad-suppression",
-         "shpir-lint-allow requires a rule list and a non-empty "
-         "justification after ':'"});
-    return;
-  }
-  out->allows[target] = std::move(suppression);
-}
-
-const char* const kMultiPunct[] = {
-    "<<=", ">>=", "->*", "...", "::", "->", "==", "!=", "<=", ">=",
-    "&&",  "||",  "++",  "--",  "+=", "-=", "*=", "/=", "%=", "&=",
-    "|=",  "^=",  "<<",  ">>"};
-
-LexedFile Lex(const std::string& path, const std::string& source) {
-  LexedFile out;
-  int line = 1;
-  bool at_line_start = true;
-  size_t i = 0;
-  const size_t n = source.size();
-  auto peek = [&](size_t k) { return i + k < n ? source[i + k] : '\0'; };
-  while (i < n) {
-    const char c = source[i];
-    if (c == '\n') {
-      ++line;
-      at_line_start = true;
-      ++i;
-      continue;
-    }
-    if (c == ' ' || c == '\t' || c == '\r') {
-      ++i;
-      continue;
-    }
-    // Preprocessor directive: skip the (possibly continued) line.
-    if (c == '#' && at_line_start) {
-      while (i < n && source[i] != '\n') {
-        if (source[i] == '\\' && peek(1) == '\n') {
-          ++line;
-          i += 2;
-          continue;
-        }
-        ++i;
-      }
-      continue;
-    }
-    at_line_start = false;
-    if (c == '/' && peek(1) == '/') {
-      const size_t end = source.find('\n', i);
-      const std::string body =
-          source.substr(i + 2, (end == std::string::npos ? n : end) - i - 2);
-      ParseSuppression(body, line, path, &out);
-      i = end == std::string::npos ? n : end;
-      continue;
-    }
-    if (c == '/' && peek(1) == '*') {
-      const int start_line = line;
-      size_t end = source.find("*/", i + 2);
-      if (end == std::string::npos) {
-        end = n;
-      }
-      const std::string body = source.substr(i + 2, end - i - 2);
-      line += static_cast<int>(std::count(body.begin(), body.end(), '\n'));
-      ParseSuppression(body, start_line, path, &out);
-      i = end == n ? n : end + 2;
-      continue;
-    }
-    if (c == '"') {
-      // Raw string?
-      const bool raw = !out.tokens.empty() &&
-                       out.tokens.back().kind == Token::Kind::kIdent &&
-                       (out.tokens.back().text == "R" ||
-                        out.tokens.back().text == "u8R" ||
-                        out.tokens.back().text == "uR" ||
-                        out.tokens.back().text == "LR");
-      if (raw) {
-        const size_t open_paren = source.find('(', i);
-        const std::string delim =
-            open_paren == std::string::npos
-                ? ""
-                : source.substr(i + 1, open_paren - i - 1);
-        const std::string closer = ")" + delim + "\"";
-        size_t end = source.find(closer, open_paren);
-        end = end == std::string::npos ? n : end + closer.size();
-        const std::string body = source.substr(i, end - i);
-        line += static_cast<int>(std::count(body.begin(), body.end(), '\n'));
-        out.tokens.pop_back();  // The R prefix.
-        out.tokens.push_back({Token::Kind::kString, "<raw-string>", line});
-        i = end;
-        continue;
-      }
-      size_t j = i + 1;
-      while (j < n && source[j] != '"') {
-        j += source[j] == '\\' ? 2 : 1;
-      }
-      out.tokens.push_back({Token::Kind::kString, "<string>", line});
-      i = j + 1;
-      continue;
-    }
-    if (c == '\'') {
-      size_t j = i + 1;
-      while (j < n && source[j] != '\'') {
-        j += source[j] == '\\' ? 2 : 1;
-      }
-      out.tokens.push_back({Token::Kind::kString, "<char>", line});
-      i = j + 1;
-      continue;
-    }
-    if (IsIdentStart(c)) {
-      size_t j = i;
-      while (j < n && IsIdentChar(source[j])) {
-        ++j;
-      }
-      out.tokens.push_back(
-          {Token::Kind::kIdent, source.substr(i, j - i), line});
-      i = j;
-      continue;
-    }
-    if (IsDigit(c)) {
-      size_t j = i;
-      while (j < n && (IsIdentChar(source[j]) || source[j] == '.' ||
-                       (source[j] == '\'' && j + 1 < n &&
-                        IsIdentChar(source[j + 1])))) {
-        ++j;
-      }
-      out.tokens.push_back(
-          {Token::Kind::kNumber, source.substr(i, j - i), line});
-      i = j;
-      continue;
-    }
-    // Punctuation: longest match first.
-    std::string punct(1, c);
-    for (const char* op : kMultiPunct) {
-      const size_t len = std::string(op).size();
-      if (source.compare(i, len, op) == 0) {
-        punct = op;
-        break;
-      }
-    }
-    out.tokens.push_back({Token::Kind::kPunct, punct, line});
-    i += punct.size();
-  }
-  // Bracket matching.
-  std::vector<size_t> stack;
-  for (size_t t = 0; t < out.tokens.size(); ++t) {
-    const std::string& text = out.tokens[t].text;
-    if (text == "(" || text == "[" || text == "{") {
-      stack.push_back(t);
-    } else if (text == ")" || text == "]" || text == "}") {
-      if (!stack.empty()) {
-        out.tokens[stack.back()].match = static_cast<int>(t);
-        out.tokens[t].match = static_cast<int>(stack.back());
-        stack.pop_back();
-      }
-    }
-  }
-  return out;
-}
-
-// ---------------------------------------------------------------------------
-// Secret collection
-// ---------------------------------------------------------------------------
-
-bool IsOpenBracket(const std::string& t) {
-  return t == "(" || t == "[" || t == "{";
-}
-bool IsCloseBracket(const std::string& t) {
-  return t == ")" || t == "]" || t == "}";
-}
-
-/// Name declared by a `SHPIR_SECRET <decl>`: the last angle-depth-0
-/// identifier before the first top-level `; = ( { [ , )`.
-std::string DeclaredName(const std::vector<Token>& tokens, size_t start) {
-  std::string last;
-  int angle = 0;
-  for (size_t j = start; j < tokens.size() && j < start + 64; ++j) {
-    const Token& tok = tokens[j];
-    if (tok.text == "<") {
-      ++angle;
-      continue;
-    }
-    if (tok.text == ">") {
-      angle = std::max(0, angle - 1);
-      continue;
-    }
-    if (angle > 0) {
-      continue;
-    }
-    if (tok.text == ";" || tok.text == "=" || tok.text == "(" ||
-        tok.text == "{" || tok.text == "[" || tok.text == "," ||
-        tok.text == ")") {
-      return last;
-    }
-    if (tok.kind == Token::Kind::kIdent) {
-      last = tok.text;
-    }
-  }
-  return last;
-}
-
-/// Name declared by `Secret<T> name`; empty for temporaries.
-std::string SecretTypeDeclName(const std::vector<Token>& tokens, size_t i) {
-  // tokens[i] == "Secret", tokens[i+1] == "<".
-  int angle = 0;
-  for (size_t j = i + 1; j < tokens.size() && j < i + 64; ++j) {
-    if (tokens[j].text == "<") {
-      ++angle;
-    } else if (tokens[j].text == ">") {
-      if (--angle == 0) {
-        if (j + 1 < tokens.size() &&
-            tokens[j + 1].kind == Token::Kind::kIdent) {
-          return tokens[j + 1].text;
-        }
-        return "";
-      }
-    } else if (tokens[j].text == ">>") {
-      angle -= 2;
-      if (angle <= 0) {
-        if (j + 1 < tokens.size() &&
-            tokens[j + 1].kind == Token::Kind::kIdent) {
-          return tokens[j + 1].text;
-        }
-        return "";
-      }
-    }
-  }
-  return "";
-}
-
-// ---------------------------------------------------------------------------
-// Checks
-// ---------------------------------------------------------------------------
-
-const std::set<std::string>& MemcmpFamily() {
-  static const std::set<std::string> kSet = {
-      "memcmp", "bcmp", "strcmp", "strncmp", "strcasecmp", "strncasecmp"};
-  return kSet;
-}
-
-const std::set<std::string>& CallSinks() {
-  static const std::set<std::string> kSet = {
-      "printf", "fprintf",  "sprintf",    "snprintf", "vprintf", "vfprintf",
-      "puts",   "fputs",    "fwrite",     "perror",   "syslog",  "Log",
-      "LogInfo", "LogWarning", "LogError", "LogDebug", "LOG",    "PLOG",
-      "DLOG",   "VLOG",     "Record",     "Increment", "Set",    "Add",
-      "Observe", "Emit"};
-  return kSet;
-}
-
-const std::set<std::string>& StreamSinks() {
-  static const std::set<std::string> kSet = {"cout", "cerr", "clog", "wcout",
-                                             "wcerr"};
-  return kSet;
-}
-
-const std::set<std::string>& InsecureRngs() {
-  static const std::set<std::string> kSet = {
-      "rand",          "srand",          "rand_r",
-      "drand48",       "lrand48",        "mrand48",
-      "erand48",       "srandom",        "random_shuffle",
-      "mt19937",       "mt19937_64",     "minstd_rand",
-      "minstd_rand0",  "default_random_engine",
-      "knuth_b",       "ranlux24",       "ranlux24_base",
-      "ranlux48",      "ranlux48_base",  "random_device"};
-  return kSet;
-}
-
-class FileChecker {
- public:
-  FileChecker(const std::string& path, const LexedFile& lexed,
-              const std::set<std::string>& global_secrets,
-              std::vector<Finding>* findings)
-      : path_(path),
-        tokens_(lexed.tokens),
-        allows_(lexed.allows),
-        secrets_(global_secrets),
-        findings_(findings) {}
-
-  void CollectLocalSecrets() {
-    // Roots: variables of wrapper type Secret<T>, plus SHPIR_SECRET
-    // declarations in this file (for .cc files these are file-local;
-    // header declarations were already collected globally).
-    for (size_t i = 0; i + 1 < tokens_.size(); ++i) {
-      if (tokens_[i].kind != Token::Kind::kIdent) {
-        continue;
-      }
-      if (tokens_[i].text == "Secret" && tokens_[i + 1].text == "<") {
-        const std::string name = SecretTypeDeclName(tokens_, i);
-        if (!name.empty()) {
-          secrets_.insert(name);
-        }
-      } else if (tokens_[i].text == "SHPIR_SECRET") {
-        const std::string name = DeclaredName(tokens_, i + 1);
-        if (!name.empty()) {
-          secrets_.insert(name);
-        }
-      }
-    }
-    // Taint propagation through assignments, to a fixed point.
-    for (int round = 0; round < 20; ++round) {
-      bool changed = false;
-      for (size_t i = 1; i + 1 < tokens_.size(); ++i) {
-        if (tokens_[i].text != "=" ||
-            tokens_[i].kind != Token::Kind::kPunct) {
-          continue;
-        }
-        std::string lhs;
-        const Token& prev = tokens_[i - 1];
-        if (prev.kind == Token::Kind::kIdent) {
-          lhs = prev.text;
-        } else if (prev.text == "]" && prev.match >= 1 &&
-                   tokens_[static_cast<size_t>(prev.match) - 1].kind ==
-                       Token::Kind::kIdent) {
-          lhs = tokens_[static_cast<size_t>(prev.match) - 1].text;
-        }
-        if (lhs.empty() || secrets_.count(lhs) != 0) {
-          continue;
-        }
-        if (SpanHasSecret(i + 1, RhsEnd(i + 1))) {
-          secrets_.insert(lhs);
-          changed = true;
-        }
-      }
-      if (!changed) {
-        break;
-      }
-    }
-  }
-
-  void Check() {
-    for (size_t i = 0; i < tokens_.size(); ++i) {
-      const Token& tok = tokens_[i];
-      if (tok.kind == Token::Kind::kIdent) {
-        if (tok.text == "if" || tok.text == "while" || tok.text == "switch") {
-          CheckBranch(i);
-        } else if (tok.text == "for") {
-          CheckForLoop(i);
-        } else if (MemcmpFamily().count(tok.text) != 0) {
-          CheckCall(i, "secret-compare",
-                    "byte comparison '" + tok.text +
-                        "' on secret data; use crypto::ConstantTimeEquals");
-        } else if (CallSinks().count(tok.text) != 0) {
-          CheckCall(i, "secret-log",
-                    "secret value reaches logging/metrics sink '" + tok.text +
-                        "'");
-        } else if (StreamSinks().count(tok.text) != 0) {
-          CheckStream(i);
-        } else if (InsecureRngs().count(tok.text) != 0) {
-          Report(tok.line, "insecure-rng",
-                 "'" + tok.text +
-                     "' is not a cryptographic RNG; use "
-                     "crypto::SecureRandom inside the trust boundary");
-        }
-      } else if (tok.text == "[") {
-        CheckSubscript(i);
-      } else if (tok.text == "?") {
-        CheckTernary(i);
-      } else if (tok.text == "==" || tok.text == "!=") {
-        CheckEquality(i);
-      }
-    }
-  }
-
- private:
-  bool IsSecret(const Token& tok) const {
-    return tok.kind == Token::Kind::kIdent && secrets_.count(tok.text) != 0;
-  }
-
-  bool SpanHasSecret(size_t begin, size_t end) const {
-    for (size_t j = begin; j < end && j < tokens_.size(); ++j) {
-      if (IsSecret(tokens_[j])) {
-        return true;
-      }
-    }
-    return false;
-  }
-
-  /// End (exclusive) of an assignment RHS starting at `begin`: the next
-  /// `;`/`{`/`}` or the close of an enclosing bracket.
-  size_t RhsEnd(size_t begin) const {
-    int depth = 0;
-    for (size_t j = begin; j < tokens_.size(); ++j) {
-      const std::string& t = tokens_[j].text;
-      if (IsOpenBracket(t)) {
-        ++depth;
-      } else if (IsCloseBracket(t)) {
-        if (--depth < 0) {
-          return j;
-        }
-      } else if ((t == ";") && depth == 0) {
-        return j;
-      }
-    }
-    return tokens_.size();
-  }
-
-  void Report(int line, const std::string& rule, const std::string& message) {
-    auto it = allows_.find(line);
-    if (it != allows_.end() && it->second.has_reason &&
-        (it->second.rules.count(rule) != 0 ||
-         it->second.rules.count("all") != 0)) {
-      return;
-    }
-    findings_->push_back({path_, line, rule, message});
-  }
-
-  void CheckBranch(size_t i) {
-    size_t open = i + 1;
-    if (open < tokens_.size() && tokens_[open].text == "constexpr") {
-      ++open;  // if constexpr: compile-time, not data-dependent.
-    }
-    if (open >= tokens_.size() || tokens_[open].text != "(" ||
-        tokens_[open].match < 0) {
-      return;
-    }
-    if (SpanHasSecret(open + 1, static_cast<size_t>(tokens_[open].match))) {
-      Report(tokens_[i].line, "secret-branch",
-             "'" + tokens_[i].text + "' condition depends on secret data");
-    }
-  }
-
-  void CheckForLoop(size_t i) {
-    const size_t open = i + 1;
-    if (open >= tokens_.size() || tokens_[open].text != "(" ||
-        tokens_[open].match < 0) {
-      return;
-    }
-    const size_t close = static_cast<size_t>(tokens_[open].match);
-    // Find the two top-level semicolons; the condition sits between.
-    int depth = 0;
-    size_t first = 0;
-    size_t second = 0;
-    for (size_t j = open + 1; j < close; ++j) {
-      const std::string& t = tokens_[j].text;
-      if (IsOpenBracket(t)) {
-        ++depth;
-      } else if (IsCloseBracket(t)) {
-        --depth;
-      } else if (t == ";" && depth == 0) {
-        if (first == 0) {
-          first = j;
-        } else {
-          second = j;
-          break;
-        }
-      }
-    }
-    if (first == 0 || second == 0) {
-      return;  // Range-for.
-    }
-    if (SpanHasSecret(first + 1, second)) {
-      Report(tokens_[i].line, "secret-branch",
-             "'for' loop condition depends on secret data");
-    }
-  }
-
-  void CheckSubscript(size_t i) {
-    if (tokens_[i].match < 0 || i == 0) {
-      return;
-    }
-    const Token& prev = tokens_[i - 1];
-    // Attribute [[...]]: skip both brackets.
-    if (prev.text == "[" ||
-        (i + 1 < tokens_.size() && tokens_[i + 1].text == "[")) {
-      return;
-    }
-    const bool is_subscript = prev.kind == Token::Kind::kIdent ||
-                              prev.text == ")" || prev.text == "]";
-    if (!is_subscript) {
-      return;  // Lambda capture list.
-    }
-    if (!SpanHasSecret(i + 1, static_cast<size_t>(tokens_[i].match))) {
-      return;
-    }
-    // Indexing a secret-annotated container with a secret index stays
-    // inside the boundary; indexing anything else publishes the secret
-    // as an address.
-    if (prev.kind == Token::Kind::kIdent && secrets_.count(prev.text) != 0) {
-      return;
-    }
-    Report(tokens_[i].line, "secret-index",
-           "secret-dependent array subscript into non-secret container");
-  }
-
-  void CheckTernary(size_t i) {
-    size_t begin = 0;
-    for (size_t j = i; j-- > 0;) {
-      const Token& tok = tokens_[j];
-      if (tok.text == ";" || tok.text == "{" || tok.text == "}" ||
-          tok.text == "=" || tok.text == "," || tok.text == "return" ||
-          tok.text == ":" || tok.text == "?") {
-        begin = j + 1;
-        break;
-      }
-      if (IsOpenBracket(tok.text) && tok.match > static_cast<int>(i)) {
-        begin = j + 1;  // Opening bracket enclosing the ternary.
-        break;
-      }
-      if (IsCloseBracket(tok.text) && tok.match >= 0) {
-        j = static_cast<size_t>(tok.match) + 1;  // Skip bracketed group.
-        continue;
-      }
-    }
-    if (SpanHasSecret(begin, i)) {
-      Report(tokens_[i].line, "secret-branch",
-             "ternary condition depends on secret data");
-    }
-  }
-
-  void CheckEquality(size_t i) {
-    auto boundary = [&](const Token& tok, bool left) {
-      if (tok.text == "&&" || tok.text == "||" || tok.text == ";" ||
-          tok.text == "," || tok.text == "?" || tok.text == ":" ||
-          tok.text == "{" || tok.text == "}" || tok.text == "return" ||
-          tok.text == "=") {
-        return true;
-      }
-      if (left) {
-        return IsOpenBracket(tok.text) && tok.match > static_cast<int>(i);
-      }
-      return IsCloseBracket(tok.text) && tok.match >= 0 &&
-             tok.match < static_cast<int>(i);
-    };
-    // Balanced bracket groups on either side are skipped whole: a call
-    // result compared with == is opaque here (a call ON a secret is the
-    // memcmp/sink checks' business, and reporting both would double up
-    // on `memcmp(...) == 0`).
-    bool secret = false;
-    for (size_t j = i; j-- > 0;) {
-      const Token& tok = tokens_[j];
-      if (IsCloseBracket(tok.text) && tok.match >= 0 &&
-          static_cast<size_t>(tok.match) < j) {
-        j = static_cast<size_t>(tok.match);
-        continue;
-      }
-      if (boundary(tok, /*left=*/true)) {
-        break;
-      }
-      if (IsSecret(tok)) {
-        secret = true;
-        break;
-      }
-    }
-    for (size_t j = i + 1; !secret && j < tokens_.size(); ++j) {
-      const Token& tok = tokens_[j];
-      if (IsOpenBracket(tok.text) && tok.match >= 0 &&
-          static_cast<size_t>(tok.match) > j) {
-        j = static_cast<size_t>(tok.match);
-        continue;
-      }
-      if (boundary(tok, /*left=*/false)) {
-        break;
-      }
-      if (IsSecret(tok)) {
-        secret = true;
-      }
-    }
-    if (secret) {
-      Report(tokens_[i].line, "secret-compare",
-             "early-exit '" + tokens_[i].text +
-                 "' on secret data; use crypto::ConstantTimeEquals");
-    }
-  }
-
-  void CheckCall(size_t i, const std::string& rule,
-                 const std::string& message) {
-    if (i + 1 >= tokens_.size() || tokens_[i + 1].text != "(" ||
-        tokens_[i + 1].match < 0) {
-      return;
-    }
-    if (SpanHasSecret(i + 2, static_cast<size_t>(tokens_[i + 1].match))) {
-      Report(tokens_[i].line, rule, message);
-    }
-  }
-
-  void CheckStream(size_t i) {
-    bool shifted = false;
-    bool secret = false;
-    for (size_t j = i + 1; j < tokens_.size(); ++j) {
-      const std::string& t = tokens_[j].text;
-      if (t == ";") {
-        break;
-      }
-      if (t == "<<") {
-        shifted = true;
-      }
-      if (IsSecret(tokens_[j])) {
-        secret = true;
-      }
-    }
-    if (shifted && secret) {
-      Report(tokens_[i].line, "secret-log",
-             "secret value streamed to '" + tokens_[i].text + "'");
-    }
-  }
-
-  const std::string path_;
-  const std::vector<Token>& tokens_;
-  const std::map<int, Suppression>& allows_;
-  std::set<std::string> secrets_;  // Global roots + file-local taint.
-  std::vector<Finding>* findings_;
-};
 
 }  // namespace
 
@@ -702,21 +47,18 @@ bool Linter::AddFile(const std::string& path) {
   if (!in) {
     return false;
   }
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  AddSource(path, buffer.str());
+  std::ostringstream content;
+  content << in.rdbuf();
+  AddSource(DisplayPath(path), content.str());
   return true;
 }
 
 int Linter::AddTree(const std::string& dir) {
   namespace fs = std::filesystem;
-  std::vector<std::string> paths;
   std::error_code ec;
-  for (fs::recursive_directory_iterator it(dir, ec), end; it != end;
+  std::vector<std::string> paths;
+  for (fs::recursive_directory_iterator it(dir, ec), end; !ec && it != end;
        it.increment(ec)) {
-    if (ec) {
-      break;
-    }
     if (!it->is_regular_file(ec)) {
       continue;
     }
@@ -736,60 +78,25 @@ int Linter::AddTree(const std::string& dir) {
 }
 
 std::vector<Finding> Linter::Run() {
-  std::vector<Finding> findings;
-  std::vector<LexedFile> lexed;
-  lexed.reserve(files_.size());
-  global_secrets_.clear();
-  // Pass 1: lex everything and collect SHPIR_SECRET roots from HEADERS
-  // globally (members are declared in headers, used in .cc files).
-  // SHPIR_SECRET in a .cc file marks a local and stays file-scoped —
-  // common local names would otherwise leak taint across the tree.
+  FactsCache cache(cache_dir_);
+  std::vector<FileFacts> facts;
+  facts.reserve(files_.size());
   for (const File& file : files_) {
-    lexed.push_back(Lex(file.path, file.content));
-    const bool is_header =
-        file.path.size() >= 2 &&
-        (file.path.compare(file.path.size() - 2, 2, ".h") == 0 ||
-         (file.path.size() >= 4 &&
-          file.path.compare(file.path.size() - 4, 4, ".hpp") == 0));
-    const std::vector<Token>& tokens = lexed.back().tokens;
-    for (size_t i = 0; is_header && i < tokens.size(); ++i) {
-      if (tokens[i].kind == Token::Kind::kIdent &&
-          tokens[i].text == "SHPIR_SECRET") {
-        const std::string name = DeclaredName(tokens, i + 1);
-        if (!name.empty()) {
-          global_secrets_.insert(name);
-        }
-      }
+    FileFacts cached;
+    if (cache.Load(file.path, file.content, &cached)) {
+      facts.push_back(std::move(cached));
+      continue;
     }
-    for (const Finding& finding : lexed.back().lex_findings) {
-      findings.push_back(finding);
-    }
+    FileFacts fresh = ExtractFacts(file.path, Lex(file.path, file.content));
+    cache.Store(file.content, fresh);
+    facts.push_back(std::move(fresh));
   }
-  // Pass 2: per-file taint + checks.
-  for (size_t f = 0; f < files_.size(); ++f) {
-    FileChecker checker(files_[f].path, lexed[f], global_secrets_,
-                        &findings);
-    checker.CollectLocalSecrets();
-    checker.Check();
-  }
-  std::sort(findings.begin(), findings.end(),
-            [](const Finding& a, const Finding& b) {
-              if (a.file != b.file) {
-                return a.file < b.file;
-              }
-              if (a.line != b.line) {
-                return a.line < b.line;
-              }
-              return a.rule < b.rule;
-            });
-  return findings;
-}
-
-std::string FormatFinding(const Finding& finding) {
-  std::ostringstream out;
-  out << finding.file << ":" << finding.line << ": error: [" << finding.rule
-      << "] " << finding.message;
-  return out.str();
+  cache_hits_ = cache.hits();
+  cache_misses_ = cache.misses();
+  EngineResult result = Analyze(facts);
+  global_secrets_ = std::move(result.global_secrets);
+  audit_ = std::move(result.audit);
+  return std::move(result.findings);
 }
 
 }  // namespace shpir::lint

@@ -1,59 +1,40 @@
 #ifndef SHPIR_TOOLS_LINT_LINT_H_
 #define SHPIR_TOOLS_LINT_LINT_H_
 
-#include <map>
 #include <set>
 #include <string>
 #include <vector>
 
-/// shpir_lint: the secret-flow lint behind the trust-boundary rules in
-/// docs/OBSERVABILITY.md and docs/STATIC_ANALYSIS.md.
+#include "lint/engine.h"
+#include "lint/report.h"
+
+/// shpir_lint: the interprocedural secret-flow lint behind the
+/// trust-boundary rules in docs/OBSERVABILITY.md and
+/// docs/STATIC_ANALYSIS.md.
 ///
-/// The linter is a purpose-built token-level analyzer (no compiler
+/// The linter is a purpose-built whole-program analyzer (no compiler
 /// dependency, so it runs on every build host and in the fixture
-/// tests). It knows two things about the code:
-///
-///  1. Which identifiers hold secrets: declarations marked SHPIR_SECRET
-///     (header declarations are collected across every scanned file,
-///     since members are declared in headers and used in .cc files;
-///     SHPIR_SECRET on a local in a .cc file stays file-scoped),
-///     variables of type Secret<T> (file-local), and — per file, to a
-///     fixed point — any identifier assigned from an expression that
-///     mentions a secret.
-///
-///  2. Which patterns are banned when a secret is involved:
-///       secret-branch   if/else-if/switch/while/for-condition/ternary
-///                       on a secret
-///       secret-index    subscripting a non-secret container with an
-///                       expression mentioning a secret (indexing a
-///                       container that is itself SHPIR_SECRET stays
-///                       inside the boundary and is allowed)
-///       secret-compare  ==/!=/memcmp/str*cmp touching a secret — use
-///                       crypto::ConstantTimeEquals
-///       secret-log      a secret reaching a logging/metrics sink
-///                       (printf family, LOG/Log*, cout/cerr, or the
-///                       obs instrument methods Record/Increment/Set/
-///                       Add/Observe)
-///       insecure-rng    rand()/std::mt19937/std::random_device &c.
-///                       anywhere in the boundary — use
-///                       crypto::SecureRandom
+/// tests). Each file is lexed and reduced to per-file facts — declared
+/// secrets, function definitions, assignments, calls, returns, and
+/// candidate check sites (see lint/facts.h) — then the engine in
+/// lint/engine.h iterates per-function taint summaries over the whole
+/// tree to a fixed point, so a secret flowing through a call chain,
+/// a member write, or a translation-unit boundary still reaches the
+/// check site that observes it.
 ///
 /// A finding on a line carrying
-///   // shpir-lint-allow(rule[, rule...]): <justification>
-/// (or ...-allow-next-line on the preceding line) is suppressed; the
-/// justification is mandatory and a suppression without one is itself
-/// reported (rule "bad-suppression"). The set of suppressions in the
-/// tree is the audited list of places the protocol deliberately
-/// touches secret state inside the enclave.
+///   // shpir-lint-allow (rule[, rule...]): <justification>
+/// written with the rule list directly after the tag (or the
+/// ...-allow-next-line variant on the preceding line) is suppressed;
+/// the justification is mandatory, a suppression without one is itself
+/// reported (rule "bad-suppression"), and a suppression matching
+/// nothing is reported too (rule "unused-suppression"). The set of
+/// suppressions in the tree is the audited list of places the protocol
+/// deliberately touches secret state inside the enclave;
+/// `shpir_lint --audit` regenerates tools/lint/suppressions.audit
+/// from it.
 
 namespace shpir::lint {
-
-struct Finding {
-  std::string file;
-  int line = 0;
-  std::string rule;
-  std::string message;
-};
 
 class Linter {
  public:
@@ -67,15 +48,26 @@ class Linter {
   /// Recursively adds *.h/*.cc/*.cpp under `dir`. Returns number added.
   int AddTree(const std::string& dir);
 
-  /// Runs the analysis over everything added, in two passes (global
-  /// secret roots, then per-file checks). Findings are sorted by
-  /// file/line.
+  /// Directory for the per-file facts cache; empty (default) disables
+  /// caching. Must be set before Run().
+  void set_cache_dir(const std::string& dir) { cache_dir_ = dir; }
+
+  /// Runs the whole-program analysis over everything added. Findings
+  /// are sorted by file/line/rule.
   std::vector<Finding> Run();
 
   /// Names collected as global secret roots (debugging / tests).
+  /// Populated by Run().
   const std::set<std::string>& global_secrets() const {
     return global_secrets_;
   }
+
+  /// Suppression audit from the last Run().
+  const std::vector<AuditEntry>& audit() const { return audit_; }
+
+  /// Facts-cache statistics from the last Run().
+  int cache_hits() const { return cache_hits_; }
+  int cache_misses() const { return cache_misses_; }
 
  private:
   struct File {
@@ -83,11 +75,12 @@ class Linter {
     std::string content;
   };
   std::vector<File> files_;
+  std::string cache_dir_;
   std::set<std::string> global_secrets_;
+  std::vector<AuditEntry> audit_;
+  int cache_hits_ = 0;
+  int cache_misses_ = 0;
 };
-
-/// Formats one finding as "path:line: error: [rule] message".
-std::string FormatFinding(const Finding& finding);
 
 }  // namespace shpir::lint
 

@@ -1,0 +1,34 @@
+#ifndef SHPIR_TOOLS_LINT_REPORT_H_
+#define SHPIR_TOOLS_LINT_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "lint/engine.h"
+
+/// Output formatting for the secret-flow engine: the classic
+/// compiler-style text line, machine-readable JSON, SARIF 2.1.0 for CI
+/// annotation/upload, and the suppression audit file.
+
+namespace shpir::lint {
+
+/// Formats one finding as "path:line: error: [rule] message".
+std::string FormatFinding(const Finding& finding);
+
+/// All findings as a JSON document:
+///   {"findings": [{"file", "line", "rule", "message"}, ...]}
+std::string FindingsJson(const std::vector<Finding>& findings);
+
+/// All findings as a minimal SARIF 2.1.0 log (one run, one rule entry
+/// per distinct rule id), accepted by `github/codeql-action/upload-sarif`.
+std::string FindingsSarif(const std::vector<Finding>& findings);
+
+/// The machine-readable suppression audit, one record per line:
+///   <status>\t<file>:<line>\t<rules>\t<reason>
+/// where <status> is "used" or "UNUSED". Sorted by file/line so the
+/// committed tools/lint/suppressions.audit diffs cleanly.
+std::string AuditReport(const std::vector<AuditEntry>& audit);
+
+}  // namespace shpir::lint
+
+#endif  // SHPIR_TOOLS_LINT_REPORT_H_

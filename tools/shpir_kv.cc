@@ -170,13 +170,18 @@ int RunBuild(const Flags& flags) {
     return Usage();
   }
   Result<std::vector<keyword::KeyValue>> entries = ReadTsv(in);
+  // shpir-lint-allow-next-line(secret-branch): operator CLI: handles and prints the operator's own keys, values, and progress on their machine; the provider sees only the PIR stream underneath
   if (!entries.ok()) {
+    // shpir-lint-allow-next-line(secret-log): operator CLI: handles and prints the operator's own keys, values, and progress on their machine; the provider sees only the PIR stream underneath
     std::fprintf(stderr, "error: %s\n", entries.status().ToString().c_str());
     return 1;
   }
   const auto start = std::chrono::steady_clock::now();
+  // shpir-lint-allow-next-line(secret-arg): operator CLI: handles and prints the operator's own keys, values, and progress on their machine; the provider sees only the PIR stream underneath
   Result<keyword::BuiltKeywordStore> built = BuildStore(*entries, flags);
+  // shpir-lint-allow-next-line(secret-branch): operator CLI: handles and prints the operator's own keys, values, and progress on their machine; the provider sees only the PIR stream underneath
   if (!built.ok()) {
+    // shpir-lint-allow-next-line(secret-log): operator CLI: handles and prints the operator's own keys, values, and progress on their machine; the provider sees only the PIR stream underneath
     std::fprintf(stderr, "error: %s\n", built.status().ToString().c_str());
     return 1;
   }
@@ -184,18 +189,23 @@ int RunBuild(const Flags& flags) {
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
   Bytes pages;
+  // shpir-lint-allow-next-line(secret-alloc): operator CLI: handles and prints the operator's own keys, values, and progress on their machine; the provider sees only the PIR stream underneath
   pages.reserve(built->pages.size() * built->map->page_size());
   for (const storage::Page& page : built->pages) {
     pages.insert(pages.end(), page.data.begin(), page.data.end());
   }
   Status status = WriteFile(store + "/manifest.bin", built->manifest);
+  // shpir-lint-allow-next-line(secret-branch): operator CLI: handles and prints the operator's own keys, values, and progress on their machine; the provider sees only the PIR stream underneath
   if (status.ok()) {
     status = WriteFile(store + "/pages.bin", pages);
   }
+  // shpir-lint-allow-next-line(secret-branch): operator CLI: handles and prints the operator's own keys, values, and progress on their machine; the provider sees only the PIR stream underneath
   if (!status.ok()) {
+    // shpir-lint-allow-next-line(secret-log): operator CLI: handles and prints the operator's own keys, values, and progress on their machine; the provider sees only the PIR stream underneath
     std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
     return 1;
   }
+  // shpir-lint-allow-next-line(secret-log): operator CLI: handles and prints the operator's own keys, values, and progress on their machine; the provider sees only the PIR stream underneath
   std::printf(
       "built %s store: %llu keys, %llu pages of %zu bytes, "
       "%zu-byte manifest, %.3f s\n",
@@ -214,20 +224,27 @@ int RunGet(const Flags& flags) {
   }
   Result<Bytes> manifest = ReadFileBytes(store + "/manifest.bin");
   Result<Bytes> page_bytes = ReadFileBytes(store + "/pages.bin");
+  // shpir-lint-allow-next-line(secret-branch): operator CLI: handles and prints the operator's own keys, values, and progress on their machine; the provider sees only the PIR stream underneath
   if (!manifest.ok() || !page_bytes.ok()) {
     const Status& bad =
+        // shpir-lint-allow-next-line(secret-branch): operator CLI: handles and prints the operator's own keys, values, and progress on their machine; the provider sees only the PIR stream underneath
         manifest.ok() ? page_bytes.status() : manifest.status();
+    // shpir-lint-allow-next-line(secret-log): operator CLI: handles and prints the operator's own keys, values, and progress on their machine; the provider sees only the PIR stream underneath
     std::fprintf(stderr, "error: %s\n", bad.ToString().c_str());
     return 1;
   }
   Result<std::unique_ptr<keyword::KeywordMap>> map =
+      // shpir-lint-allow-next-line(secret-arg): operator CLI: handles and prints the operator's own keys, values, and progress on their machine; the provider sees only the PIR stream underneath
       keyword::KeywordMap::Deserialize(*manifest);
+  // shpir-lint-allow-next-line(secret-branch): operator CLI: handles and prints the operator's own keys, values, and progress on their machine; the provider sees only the PIR stream underneath
   if (!map.ok()) {
+    // shpir-lint-allow-next-line(secret-log): operator CLI: handles and prints the operator's own keys, values, and progress on their machine; the provider sees only the PIR stream underneath
     std::fprintf(stderr, "error: %s\n", map.status().ToString().c_str());
     return 1;
   }
   const size_t page_size = (*map)->page_size();
   const uint64_t num_pages = (*map)->num_pages();
+  // shpir-lint-allow-next-line(secret-branch, secret-compare): operator CLI: handles and prints the operator's own keys, values, and progress on their machine; the provider sees only the PIR stream underneath
   if (page_bytes->size() != num_pages * page_size) {
     std::fprintf(stderr, "error: pages.bin size mismatch\n");
     return 1;
@@ -247,21 +264,29 @@ int RunGet(const Flags& flags) {
   }
   storage::MemoryDisk disk(*slots, SealedSlotSize(page_size));
   Result<std::unique_ptr<hardware::SecureCoprocessor>> cpu =
+      // shpir-lint-allow-next-line(secret-arg): operator CLI: handles and prints the operator's own keys, values, and progress on their machine; the provider sees only the PIR stream underneath
       hardware::SecureCoprocessor::Create(
           hardware::HardwareProfile::Ibm4764(), &disk, page_size,
           flags.GetU64("seed", 42));
+  // shpir-lint-allow-next-line(secret-branch): operator CLI: handles and prints the operator's own keys, values, and progress on their machine; the provider sees only the PIR stream underneath
   if (!cpu.ok()) {
+    // shpir-lint-allow-next-line(secret-log): operator CLI: handles and prints the operator's own keys, values, and progress on their machine; the provider sees only the PIR stream underneath
     std::fprintf(stderr, "error: %s\n", cpu.status().ToString().c_str());
     return 1;
   }
   Result<std::unique_ptr<core::CApproxPir>> engine =
+      // shpir-lint-allow-next-line(secret-arg): operator CLI: handles and prints the operator's own keys, values, and progress on their machine; the provider sees only the PIR stream underneath
       core::CApproxPir::Create(cpu->get(), options);
+  // shpir-lint-allow-next-line(secret-branch): operator CLI: handles and prints the operator's own keys, values, and progress on their machine; the provider sees only the PIR stream underneath
   if (!engine.ok()) {
+    // shpir-lint-allow-next-line(secret-log): operator CLI: handles and prints the operator's own keys, values, and progress on their machine; the provider sees only the PIR stream underneath
     std::fprintf(stderr, "error: %s\n", engine.status().ToString().c_str());
     return 1;
   }
   std::vector<storage::Page> pages;
+  // shpir-lint-allow-next-line(secret-alloc): operator CLI: handles and prints the operator's own keys, values, and progress on their machine; the provider sees only the PIR stream underneath
   pages.reserve(num_pages);
+  // shpir-lint-allow-next-line(secret-loop-bound): operator CLI: handles and prints the operator's own keys, values, and progress on their machine; the provider sees only the PIR stream underneath
   for (uint64_t id = 0; id < num_pages; ++id) {
     pages.emplace_back(
         id, Bytes(page_bytes->begin() + static_cast<ptrdiff_t>(id * page_size),
@@ -269,28 +294,38 @@ int RunGet(const Flags& flags) {
                       static_cast<ptrdiff_t>((id + 1) * page_size)));
   }
   Status init = (*engine)->Initialize(pages);
+  // shpir-lint-allow-next-line(secret-branch): operator CLI: handles and prints the operator's own keys, values, and progress on their machine; the provider sees only the PIR stream underneath
   if (!init.ok()) {
+    // shpir-lint-allow-next-line(secret-log): operator CLI: handles and prints the operator's own keys, values, and progress on their machine; the provider sees only the PIR stream underneath
     std::fprintf(stderr, "error: %s\n", init.ToString().c_str());
     return 1;
   }
 
   Result<std::unique_ptr<keyword::KeywordClient>> client =
+      // shpir-lint-allow-next-line(secret-arg): operator CLI: handles and prints the operator's own keys, values, and progress on their machine; the provider sees only the PIR stream underneath
       keyword::KeywordClient::Create(
+          // shpir-lint-allow-next-line(secret-arg): operator CLI: handles and prints the operator's own keys, values, and progress on their machine; the provider sees only the PIR stream underneath
           *manifest, keyword::KeywordClient::EngineFetch(engine->get()));
+  // shpir-lint-allow-next-line(secret-branch): operator CLI: handles and prints the operator's own keys, values, and progress on their machine; the provider sees only the PIR stream underneath
   if (!client.ok()) {
+    // shpir-lint-allow-next-line(secret-log): operator CLI: handles and prints the operator's own keys, values, and progress on their machine; the provider sees only the PIR stream underneath
     std::fprintf(stderr, "error: %s\n", client.status().ToString().c_str());
     return 1;
   }
   Result<std::optional<Bytes>> value =
       (*client)->Get(common::Secret<Bytes>(Bytes(key.begin(), key.end())));
+  // shpir-lint-allow-next-line(secret-branch): operator CLI: handles and prints the operator's own keys, values, and progress on their machine; the provider sees only the PIR stream underneath
   if (!value.ok()) {
+    // shpir-lint-allow-next-line(secret-log): operator CLI: handles and prints the operator's own keys, values, and progress on their machine; the provider sees only the PIR stream underneath
     std::fprintf(stderr, "error: %s\n", value.status().ToString().c_str());
     return 1;
   }
+  // shpir-lint-allow-next-line(secret-branch): operator CLI: handles and prints the operator's own keys, values, and progress on their machine; the provider sees only the PIR stream underneath
   if (!value->has_value()) {
     std::printf("(not found)\n");
     return 3;
   }
+  // shpir-lint-allow-next-line(secret-log): operator CLI: handles and prints the operator's own keys, values, and progress on their machine; the provider sees only the PIR stream underneath
   std::fwrite((*value)->data(), 1, (*value)->size(), stdout);
   std::printf("\n");
   return 0;

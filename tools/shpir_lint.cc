@@ -1,13 +1,24 @@
-// shpir_lint: secret-flow lint for the trust boundary.
+// shpir_lint: interprocedural secret-flow lint for the trust boundary.
 //
-// Usage: shpir_lint [--print-secrets] <file-or-dir>...
+// Usage: shpir_lint [options] <file-or-dir>...
+//
+//   --json             print findings as JSON on stdout
+//   --sarif=<path>     write findings as SARIF 2.1.0 to <path>
+//   --audit=<path>     write the suppression audit to <path>
+//   --audit-check=<path>  fail (exit 1) if <path> differs from the
+//                      audit the scan would generate
+//   --cache-dir=<dir>  per-file facts cache (content-hash keyed)
+//   --print-secrets    list global secret roots on stdout
 //
 // Scans the given files (or *.h/*.cc/*.cpp under the given directories)
 // and reports violations of the secret-flow rules documented in
 // docs/STATIC_ANALYSIS.md. Exits 0 when clean, 1 when any finding
-// survives its suppressions, 2 on usage or I/O errors.
+// survives its suppressions (or --audit-check detects drift), 2 on
+// usage or I/O errors (including an empty scan set).
 
 #include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -15,15 +26,51 @@
 
 #include "lint/lint.h"
 
+namespace {
+
+constexpr char kUsage[] =
+    "usage: shpir_lint [--json] [--sarif=<path>] [--audit=<path>]\n"
+    "                  [--audit-check=<path>] [--cache-dir=<dir>]\n"
+    "                  [--print-secrets] <file-or-dir>...\n";
+
+bool WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return false;
+  }
+  out << content;
+  return static_cast<bool>(out);
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   bool print_secrets = false;
+  bool json = false;
+  std::string sarif_path;
+  std::string audit_path;
+  std::string audit_check_path;
+  std::string cache_dir;
   std::vector<std::string> paths;
+  auto value_of = [](const std::string& arg) {
+    return arg.substr(arg.find('=') + 1);
+  };
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--print-secrets") {
       print_secrets = true;
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg.rfind("--sarif=", 0) == 0) {
+      sarif_path = value_of(arg);
+    } else if (arg.rfind("--audit=", 0) == 0) {
+      audit_path = value_of(arg);
+    } else if (arg.rfind("--audit-check=", 0) == 0) {
+      audit_check_path = value_of(arg);
+    } else if (arg.rfind("--cache-dir=", 0) == 0) {
+      cache_dir = value_of(arg);
     } else if (arg == "--help" || arg == "-h") {
-      std::printf("usage: shpir_lint [--print-secrets] <file-or-dir>...\n");
+      std::printf("%s", kUsage);
       return 0;
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "shpir_lint: unknown flag '%s'\n", arg.c_str());
@@ -33,11 +80,12 @@ int main(int argc, char** argv) {
     }
   }
   if (paths.empty()) {
-    std::fprintf(stderr, "usage: shpir_lint [--print-secrets] <file-or-dir>...\n");
+    std::fprintf(stderr, "%s", kUsage);
     return 2;
   }
 
   shpir::lint::Linter linter;
+  linter.set_cache_dir(cache_dir);
   int scanned = 0;
   for (const std::string& path : paths) {
     std::error_code ec;
@@ -50,18 +98,59 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
+  if (scanned == 0) {
+    std::fprintf(stderr, "shpir_lint: no source files under the given paths\n");
+    return 2;
+  }
 
   const std::vector<shpir::lint::Finding> findings = linter.Run();
-  for (const shpir::lint::Finding& finding : findings) {
-    std::fprintf(stderr, "%s\n",
-                 shpir::lint::FormatFinding(finding).c_str());
+  if (json) {
+    std::printf("%s", shpir::lint::FindingsJson(findings).c_str());
+  } else {
+    for (const shpir::lint::Finding& finding : findings) {
+      std::fprintf(stderr, "%s\n",
+                   shpir::lint::FormatFinding(finding).c_str());
+    }
+  }
+  if (!sarif_path.empty() &&
+      !WriteFile(sarif_path, shpir::lint::FindingsSarif(findings))) {
+    std::fprintf(stderr, "shpir_lint: cannot write '%s'\n",
+                 sarif_path.c_str());
+    return 2;
+  }
+  const std::string audit = shpir::lint::AuditReport(linter.audit());
+  if (!audit_path.empty() && !WriteFile(audit_path, audit)) {
+    std::fprintf(stderr, "shpir_lint: cannot write '%s'\n",
+                 audit_path.c_str());
+    return 2;
+  }
+  bool audit_drift = false;
+  if (!audit_check_path.empty()) {
+    std::ifstream in(audit_check_path, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "shpir_lint: cannot read '%s'\n",
+                   audit_check_path.c_str());
+      return 2;
+    }
+    std::ostringstream committed;
+    committed << in.rdbuf();
+    if (committed.str() != audit) {
+      audit_drift = true;
+      std::fprintf(stderr,
+                   "shpir_lint: suppression audit drift: regenerate with\n"
+                   "  shpir_lint --audit=%s <same paths>\n",
+                   audit_check_path.c_str());
+    }
   }
   if (print_secrets) {
     for (const std::string& name : linter.global_secrets()) {
       std::printf("secret: %s\n", name.c_str());
     }
   }
-  std::fprintf(stderr, "shpir_lint: %zu finding(s) in %d file(s)\n",
-               findings.size(), scanned);
-  return findings.empty() ? 0 : 1;
+  std::fprintf(stderr,
+               "shpir_lint: %zu finding(s) in %d file(s) "
+               "(facts cache: %d hit, %d miss)\n",
+               findings.size(), scanned, linter.cache_hits(),
+               linter.cache_misses());
+  return findings.empty() && !audit_drift ? 0 : 1;
 }

@@ -74,9 +74,11 @@ int Emit(const Flags& flags, const Bytes& body) {
   out.write(reinterpret_cast<const char*>(body.data()),
             static_cast<std::streamsize>(body.size()));
   if (!out) {
+    // shpir-lint-allow-next-line(secret-log): operator CLI status line naming the operator-chosen output path; the provider-observable channel is only the PIR stream underneath
     std::fprintf(stderr, "error: cannot write %s\n", out_path.c_str());
     return 1;
   }
+  // shpir-lint-allow-next-line(secret-log): operator CLI status line naming the operator-chosen output path; the provider-observable channel is only the PIR stream underneath
   std::fprintf(stderr, "wrote %zu bytes to %s\n", body.size(),
                out_path.c_str());
   return 0;
