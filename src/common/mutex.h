@@ -1,6 +1,7 @@
 #ifndef SHPIR_COMMON_MUTEX_H_
 #define SHPIR_COMMON_MUTEX_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 
@@ -60,6 +61,13 @@ class SCOPED_CAPABILITY MutexLock {
 class CondVar {
  public:
   void Wait(MutexLock& lock) { cv_.wait(lock.native()); }
+  /// Timed wait (periodic background loops); wakes on notify, timeout
+  /// or spuriously — re-check the condition either way.
+  template <class Rep, class Period>
+  void WaitFor(MutexLock& lock,
+               const std::chrono::duration<Rep, Period>& timeout) {
+    cv_.wait_for(lock.native(), timeout);
+  }
   void NotifyOne() { cv_.notify_one(); }
   void NotifyAll() { cv_.notify_all(); }
 

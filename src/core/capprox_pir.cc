@@ -124,6 +124,8 @@ CApproxPir::CApproxPir(hardware::SecureCoprocessor* cpu,
       disk_slots_(disk_slots),
       id_space_(disk_slots + options.cache_pages),
       reserved_bytes_(reserved_bytes),
+      reserved_block_size_(block_size),
+      published_block_size_(block_size),
       page_map_(id_space_),
       live_(id_space_, false) {}
 
@@ -176,6 +178,78 @@ void CApproxPir::EnableMetrics(obs::MetricsRegistry* registry) {
   instruments_.achieved_privacy_c->Set(achieved_privacy());
   instruments_.block_size_k->Set(static_cast<double>(block_size_));
   instruments_.cache_pages_m->Set(static_cast<double>(options_.cache_pages));
+}
+
+Status CApproxPir::RequestBlockSize(uint64_t new_k) {
+  if (!initialized_) {
+    return FailedPreconditionError("engine not initialized");
+  }
+  if (new_k < 1) {
+    return InvalidArgumentError("block size must be >= 1");
+  }
+  if (disk_slots_ % new_k != 0) {
+    return InvalidArgumentError(
+        "block size " + std::to_string(new_k) + " does not divide the " +
+        std::to_string(disk_slots_) +
+        "-slot disk; online retuning cannot repad the disk");
+  }
+  if (disk_slots_ < 2 * new_k) {
+    return InvalidArgumentError(
+        "block size covers more than half the disk; the protocol needs "
+        "a location outside the current block");
+  }
+  // The reservation must cover the larger of the applied and requested
+  // k until the transition lands (the old block buffer is still in use
+  // up to the boundary). Grow up front so the apply step cannot fail;
+  // shrink back down as far as the new target allows.
+  const uint64_t target_reserved = std::max(block_size_, new_k);
+  if (options_.enforce_secure_memory) {
+    if (target_reserved > reserved_block_size_) {
+      const uint64_t delta =
+          (target_reserved - reserved_block_size_) * options_.page_size;
+      SHPIR_RETURN_IF_ERROR(
+          cpu_->ReserveSecureMemory(delta, "c-approx retune block buffer"));
+      reserved_bytes_ += delta;
+      reserved_block_size_ = target_reserved;
+    } else if (target_reserved < reserved_block_size_) {
+      // A previously pending larger request is being replaced: give the
+      // surplus back immediately.
+      const uint64_t delta =
+          (reserved_block_size_ - target_reserved) * options_.page_size;
+      cpu_->ReleaseSecureMemory(delta);
+      reserved_bytes_ -= delta;
+      reserved_block_size_ = target_reserved;
+    }
+  }
+  // Requesting the current size cancels any pending transition.
+  pending_block_size_.store(new_k == block_size_ ? 0 : new_k,
+                            std::memory_order_relaxed);
+  return OkStatus();
+}
+
+void CApproxPir::ApplyPendingBlockSize() {
+  const uint64_t new_k =
+      pending_block_size_.load(std::memory_order_relaxed);
+  pending_block_size_.store(0, std::memory_order_relaxed);
+  block_size_ = new_k;
+  published_block_size_.store(new_k, std::memory_order_relaxed);
+  block_size_transitions_.fetch_add(1, std::memory_order_relaxed);
+  if (options_.enforce_secure_memory && reserved_block_size_ > new_k) {
+    const uint64_t delta =
+        (reserved_block_size_ - new_k) * options_.page_size;
+    cpu_->ReleaseSecureMemory(delta);
+    reserved_bytes_ -= delta;
+    reserved_block_size_ = new_k;
+  }
+  if (metered()) {
+    instruments_.block_size_k->Set(static_cast<double>(block_size_));
+    instruments_.achieved_privacy_c->Set(achieved_privacy());
+  }
+  // The scan period T = disk_slots / k changed: the privacy monitor's
+  // residency bins are folded mod T, so it must rebase its window.
+  if (privacy_monitor_ != nullptr) {
+    privacy_monitor_->OnScanPeriodChange(scan_period());
+  }
 }
 
 double CApproxPir::achieved_privacy() const {
@@ -304,6 +378,15 @@ Result<CApproxPir::RoundOutcome> CApproxPir::RunRound(
   }
   if (metered()) {
     instruments_.queries->Increment();
+  }
+
+  // A pending block-size change lands exactly at the scan-period
+  // boundary: the previous scan completed at the old k, this scan
+  // starts at slot 0 with the new k, and the schedule stays a pure
+  // function of public state (cursor and the two public block sizes).
+  if (next_block_ == 0 &&
+      pending_block_size_.load(std::memory_order_relaxed) != 0) {
+    ApplyPendingBlockSize();
   }
 
   // Step 1: read the next block of k pages, round-robin.
@@ -567,7 +650,10 @@ Result<storage::PageId> CApproxPir::Insert(Bytes data) {
     return ResourceExhaustedError("no spare pages left for insertion");
   }
   // Pick a spare that is currently on disk outside the block the next
-  // round will scan (the round reads the block before the spare).
+  // round will scan (the round reads the block before the spare). A
+  // pending block-size change applies at the boundary before that read,
+  // so the prediction must use the next round's k, not the current one.
+  const uint64_t next_k = NextRoundBlockSize();
   const Location next_block_start = next_block_ * block_size_;
   PageId spare = storage::kDummyPageId;
   size_t spare_pos = 0;
@@ -582,8 +668,10 @@ Result<storage::PageId> CApproxPir::Insert(Bytes data) {
     if (page_map_.IsCached(candidate)) {
       continue;
     }
+    const Location candidate_loc = page_map_.DiskLocation(candidate);
     // shpir-lint-allow-next-line(secret-loop-bound): in-enclave spare selection retry inside the device
-    if (InBlock(page_map_.DiskLocation(candidate), next_block_start)) {
+    if (candidate_loc >= next_block_start &&
+        candidate_loc < next_block_start + next_k) {
       continue;
     }
     spare = candidate;

@@ -1,6 +1,7 @@
 #ifndef SHPIR_CORE_CAPPROX_PIR_H_
 #define SHPIR_CORE_CAPPROX_PIR_H_
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <vector>
@@ -154,6 +155,41 @@ class CApproxPir : public PirEngine {
   /// dead contents. O(n); run during maintenance windows.
   Status RotateKeys();
 
+  /// --- Online retuning (privacy/cost trade-off) --------------------------
+
+  /// Requests an online block-size change to `new_k` — the paper's
+  /// central dial (Eq. 5 trades c against the 2(k+1)-page round cost).
+  /// The change is NOT applied here: it is deferred to the next
+  /// scan-period boundary (block cursor back at slot 0), where swapping
+  /// k keeps the round-robin schedule a pure function of public state —
+  /// the adversary sees complete scans at the old k followed by
+  /// complete scans at the new k, never a query-correlated seam.
+  ///
+  /// Constraints: `new_k` must divide disk_slots() (the disk is not
+  /// repadded online) and satisfy disk_slots() >= 2 * new_k. Growing k
+  /// reserves the extra (new_k - k) pages of secure block buffer up
+  /// front (Eq. 7) and fails with ResourceExhausted if the device
+  /// cannot fit it; shrinking releases the surplus when the transition
+  /// applies. Requesting the current size cancels any pending request.
+  /// Must be called on the engine's serving thread (like every other
+  /// entry point); cross-thread readers use the published_* accessors.
+  Status RequestBlockSize(uint64_t new_k);
+
+  /// Pending requested k (0 when no transition is pending). Safe to
+  /// read from any thread.
+  uint64_t pending_block_size() const {
+    return pending_block_size_.load(std::memory_order_relaxed);
+  }
+  /// Current k as last applied, readable from any thread (the plain
+  /// block_size() accessor is serving-thread-only state).
+  uint64_t published_block_size() const {
+    return published_block_size_.load(std::memory_order_relaxed);
+  }
+  /// Number of applied block-size transitions over the engine lifetime.
+  uint64_t block_size_transitions() const {
+    return block_size_transitions_.load(std::memory_order_relaxed);
+  }
+
   /// --- Introspection -----------------------------------------------------
 
   uint64_t block_size() const { return block_size_; }
@@ -261,6 +297,19 @@ class CApproxPir : public PirEngine {
   /// Shared body of OfflineReshuffle()/RotateKeys().
   Status ReshuffleInternal(bool rotate_keys);
 
+  /// Applies a pending block-size request. Called from RunRound only
+  /// when the block cursor sits at a scan-period boundary.
+  void ApplyPendingBlockSize();
+
+  /// Block size the NEXT round will scan with: the pending size when
+  /// the cursor is at a boundary (the transition applies before the
+  /// read), the current size otherwise.
+  uint64_t NextRoundBlockSize() const {
+    const uint64_t pending =
+        pending_block_size_.load(std::memory_order_relaxed);
+    return (next_block_ == 0 && pending != 0) ? pending : block_size_;
+  }
+
   /// Draws a uniformly random id that is neither cached nor located in
   /// the current block [block_start, block_start + k).
   storage::PageId RandomUncachedOutsideBlock(storage::Location block_start);
@@ -281,7 +330,17 @@ class CApproxPir : public PirEngine {
   uint64_t block_size_;   // k
   uint64_t disk_slots_;   // Padded disk size.
   uint64_t id_space_;     // disk_slots_ + m.
-  uint64_t reserved_bytes_;  // Secure memory charged at Create.
+  uint64_t reserved_bytes_;  // Secure memory charged (Create + retunes).
+  /// Largest k the current secure-memory reservation covers: max of the
+  /// applied and any pending block size while a transition is in flight.
+  uint64_t reserved_block_size_;
+
+  /// Online retune state. Written on the serving thread only; the
+  /// atomics exist so controllers/status paths on other threads can
+  /// read k without racing the round (TSan-clean mirrors).
+  std::atomic<uint64_t> pending_block_size_{0};
+  std::atomic<uint64_t> published_block_size_;
+  std::atomic<uint64_t> block_size_transitions_{0};
 
   /// The pageMap and pageCache are the secret state of the protocol:
   /// which ids are cached (and where anything lives) is exactly what

@@ -23,6 +23,9 @@ constexpr uint8_t kOpEventDump = 11;  // Structured event log (JSON).
 // 1 = show; id rides the request id field).
 constexpr uint8_t kOpIncidentDump = 12;
 constexpr uint8_t kOpHealth = 13;  // Health/readiness document (JSON).
+// Privacy/cost controller status + operator verbs; payload is the
+// shared EncodeControlRequest codec (wire.h).
+constexpr uint8_t kOpControlStatus = 14;
 
 constexpr uint8_t kStatusOk = 0;
 constexpr uint8_t kStatusError = 1;
@@ -202,6 +205,22 @@ Result<Bytes> PirServiceServer::HandleRecord(ByteSpan record,
         }
         break;
       }
+      case kOpControlStatus: {
+        if (!control_) {
+          response = ErrorResponse(UnimplementedError(
+              "no privacy/cost controller attached to this service"));
+          break;
+        }
+        Result<ControlRequest> control = DecodeControlRequest(payload);
+        if (!control.ok()) {
+          response = ErrorResponse(control.status());
+          break;
+        }
+        Result<Bytes> doc = control_(*control);
+        response =
+            doc.ok() ? OkResponse(*doc) : ErrorResponse(doc.status());
+        break;
+      }
       case kOpHealth: {
         if (health_) {
           const Bytes doc = health_();
@@ -310,6 +329,33 @@ Result<Bytes> PirServiceClient::IncidentShow(uint64_t id) {
 }
 
 Result<Bytes> PirServiceClient::Health() { return Call(kOpHealth, 0, {}); }
+
+Result<Bytes> PirServiceClient::ControlStatus() {
+  ControlRequest request;
+  request.verb = ControlVerb::kStatus;
+  return Call(kOpControlStatus, 0, EncodeControlRequest(request));
+}
+
+Result<Bytes> PirServiceClient::ControlFreeze() {
+  ControlRequest request;
+  request.verb = ControlVerb::kFreeze;
+  return Call(kOpControlStatus, 0, EncodeControlRequest(request));
+}
+
+Result<Bytes> PirServiceClient::ControlUnfreeze() {
+  ControlRequest request;
+  request.verb = ControlVerb::kUnfreeze;
+  return Call(kOpControlStatus, 0, EncodeControlRequest(request));
+}
+
+Result<Bytes> PirServiceClient::ControlSetBounds(uint64_t k_min,
+                                                 uint64_t k_max) {
+  ControlRequest request;
+  request.verb = ControlVerb::kSetBounds;
+  request.k_min = k_min;
+  request.k_max = k_max;
+  return Call(kOpControlStatus, 0, EncodeControlRequest(request));
+}
 
 Result<KeywordManifest> PirServiceClient::FetchKeywordManifest(
     uint64_t cached_version) {

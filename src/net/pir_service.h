@@ -74,6 +74,13 @@ class PirServiceServer {
   /// shard liveness + SLO + privacy state, the load-balancer surface.
   using HealthProvider = std::function<Bytes()>;
 
+  /// Serves the CONTROL_STATUS op: takes one decoded operator verb and
+  /// returns the privacy/cost controller's status JSON (the post-action
+  /// state). Authenticated like StatsProvider; controller state is a
+  /// public aggregate by design (k, c-estimates, decision outcomes).
+  using ControlProvider =
+      std::function<Result<Bytes>(const ControlRequest&)>;
+
   /// Relay-side timestamps for one request: when its frame arrived and
   /// when the hub dequeued it for handling. Used to reconstruct a
   /// retroactive "hub_queue_wait" span for sampled traces.
@@ -99,7 +106,8 @@ class PirServiceServer {
                    KeywordManifestProvider keyword_manifest = nullptr,
                    EventProvider event_dump = nullptr,
                    IncidentProvider incident_dump = nullptr,
-                   HealthProvider health = nullptr)
+                   HealthProvider health = nullptr,
+                   ControlProvider control = nullptr)
       : engine_(engine),
         session_(std::move(session)),
         stats_(std::move(stats)),
@@ -110,6 +118,7 @@ class PirServiceServer {
         event_dump_(std::move(event_dump)),
         incident_dump_(std::move(incident_dump)),
         health_(std::move(health)),
+        control_(std::move(control)),
         tracer_(tracer) {}
 
   /// Decrypts one request record, executes it, returns the sealed
@@ -130,6 +139,7 @@ class PirServiceServer {
   EventProvider event_dump_;
   IncidentProvider incident_dump_;
   HealthProvider health_;
+  ControlProvider control_;
   obs::Tracer* tracer_;
 };
 
@@ -186,6 +196,14 @@ class PirServiceClient {
 
   /// Fetches the health/readiness document (JSON).
   Result<Bytes> Health();
+
+  /// Privacy/cost controller surface (CONTROL_STATUS op). Every verb
+  /// returns the controller's post-action status JSON.
+  Result<Bytes> ControlStatus();
+  Result<Bytes> ControlFreeze();
+  Result<Bytes> ControlUnfreeze();
+  /// k_max 0 = unbounded.
+  Result<Bytes> ControlSetBounds(uint64_t k_min, uint64_t k_max);
 
   /// Attaches a span collector (unowned; nullptr detaches). Sampled
   /// calls then emit "client_query"/"client_encode" spans and propagate

@@ -19,7 +19,8 @@ ServiceHub::ServiceHub(
     PirServiceServer::KeywordManifestProvider keyword_manifest,
     PirServiceServer::EventProvider event_dump,
     PirServiceServer::IncidentProvider incident_dump,
-    PirServiceServer::HealthProvider health)
+    PirServiceServer::HealthProvider health,
+    PirServiceServer::ControlProvider control)
     : engine_(engine),
       pre_shared_key_(std::move(pre_shared_key)),
       metrics_(metrics),
@@ -30,6 +31,7 @@ ServiceHub::ServiceHub(
       event_dump_(std::move(event_dump)),
       incident_dump_(std::move(incident_dump)),
       health_(std::move(health)),
+      control_(std::move(control)),
       rng_(rng_seed == 0 ? crypto::SecureRandom()
                          : crypto::SecureRandom(rng_seed)) {
   if (metrics_ != nullptr) {
@@ -150,7 +152,8 @@ Result<Bytes> ServiceHub::HandleFrame(ByteSpan frame) {
     servers_[client_id] = std::make_unique<PirServiceServer>(
         engine_, std::move(session).value(), std::move(stats),
         std::move(trace_dump), tracer_, profile_dump_, slo_status_,
-        keyword_manifest_, event_dump_, incident_dump_, health_);
+        keyword_manifest_, event_dump_, incident_dump_, health_,
+        control_);
     if (metered()) {
       instruments_.sessions->Set(static_cast<double>(servers_.size()));
     }

@@ -62,7 +62,8 @@ class ServiceHub {
                  nullptr,
              PirServiceServer::EventProvider event_dump = nullptr,
              PirServiceServer::IncidentProvider incident_dump = nullptr,
-             PirServiceServer::HealthProvider health = nullptr);
+             PirServiceServer::HealthProvider health = nullptr,
+             PirServiceServer::ControlProvider control = nullptr);
 
   /// Handles one wire frame from any client; returns the reply frame.
   Result<Bytes> HandleFrame(ByteSpan frame);
@@ -116,6 +117,7 @@ class ServiceHub {
   PirServiceServer::EventProvider event_dump_;
   PirServiceServer::IncidentProvider incident_dump_;
   PirServiceServer::HealthProvider health_;
+  PirServiceServer::ControlProvider control_;
   Instruments instruments_;  // Written by the ctor only; const afterwards.
   mutable common::Mutex mutex_;
   /// Server-nonce generator; drawn from under mutex_ in HandleFrame.

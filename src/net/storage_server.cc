@@ -113,6 +113,11 @@ Bytes StorageServer::Handle(ByteSpan request_frame) {
   return response;
 }
 
+void StorageServer::SetControlProvider(
+    std::function<Result<std::string>(const ControlRequest&)> provider) {
+  control_provider_ = std::move(provider);
+}
+
 void StorageServer::PublishKeywordManifest(Bytes manifest,
                                            uint64_t version) {
   keyword_manifest_.manifest = std::move(manifest);
@@ -205,6 +210,30 @@ Bytes StorageServer::Dispatch(const Request& request) {
       return EncodeOkResponse(
           ByteSpan(reinterpret_cast<const uint8_t*>(json.data()),
                    json.size()));
+    }
+    case Op::kControlStatus: {
+      if (!control_provider_) {
+        return EncodeErrorResponse(UnimplementedError(
+            "no privacy/cost controller attached to this provider"));
+      }
+      Result<ControlRequest> control =
+          DecodeControlRequest(request.payload);
+      if (!control.ok()) {
+        if (metered()) {
+          instruments_.errors->Increment();
+        }
+        return EncodeErrorResponse(control.status());
+      }
+      Result<std::string> json = control_provider_(*control);
+      if (!json.ok()) {
+        if (metered()) {
+          instruments_.errors->Increment();
+        }
+        return EncodeErrorResponse(json.status());
+      }
+      return EncodeOkResponse(
+          ByteSpan(reinterpret_cast<const uint8_t*>(json->data()),
+                   json->size()));
     }
     case Op::kHealth: {
       const std::string json = HealthJson();

@@ -1,6 +1,9 @@
 #ifndef SHPIR_NET_STORAGE_SERVER_H_
 #define SHPIR_NET_STORAGE_SERVER_H_
 
+#include <functional>
+#include <string>
+
 #include "common/result.h"
 #include "net/transport.h"
 #include "net/wire.h"
@@ -48,6 +51,15 @@ class StorageServer {
   /// are encoded into the response (the transport never fails).
   Bytes Handle(ByteSpan request_frame);
 
+  /// Attaches the privacy/cost controller surface served by the
+  /// kControlStatus op. The provider takes one decoded operator verb and
+  /// returns the controller's status JSON (the post-action state) or an
+  /// error. Controller state is a public aggregate by design — k,
+  /// c-estimates, decision outcomes — never request-derived data. Until
+  /// attached, the op answers Unimplemented.
+  void SetControlProvider(
+      std::function<Result<std::string>(const ControlRequest&)> provider);
+
   /// Publishes the keyword-store manifest served by the kKeywordManifest
   /// op. The manifest is a PUBLIC artifact (the owner ships it to every
   /// client); `version` must increase across rebuilds so cached clients
@@ -81,6 +93,9 @@ class StorageServer {
   /// Published keyword manifest (empty until PublishKeywordManifest).
   KeywordManifest keyword_manifest_;
   bool keyword_manifest_published_ = false;
+  /// Controller surface (empty until SetControlProvider).
+  std::function<Result<std::string>(const ControlRequest&)>
+      control_provider_;
 };
 
 /// Transport that dispatches directly into an in-process StorageServer.

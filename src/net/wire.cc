@@ -80,6 +80,7 @@ Result<Request> DecodeRequest(ByteSpan frame) {
     case static_cast<uint8_t>(Op::kEventDump):
     case static_cast<uint8_t>(Op::kIncidentDump):
     case static_cast<uint8_t>(Op::kHealth):
+    case static_cast<uint8_t>(Op::kControlStatus):
       request.op = static_cast<Op>(frame[0]);
       break;
     default:
@@ -176,6 +177,36 @@ Result<KeywordManifest> DecodeKeywordManifestResponse(ByteSpan payload) {
         "keyword-manifest response carries bytes after an absent body");
   }
   return manifest;
+}
+
+namespace {
+constexpr size_t kControlRequestSize = 1 + 1 + 8 + 8;
+}  // namespace
+
+Bytes EncodeControlRequest(const ControlRequest& request) {
+  Bytes payload(kControlRequestSize);
+  payload[0] = kControlRequestVersion;
+  payload[1] = static_cast<uint8_t>(request.verb);
+  StoreLE64(request.k_min, payload.data() + 2);
+  StoreLE64(request.k_max, payload.data() + 10);
+  return payload;
+}
+
+Result<ControlRequest> DecodeControlRequest(ByteSpan payload) {
+  if (payload.size() != kControlRequestSize) {
+    return DataLossError("malformed control request payload");
+  }
+  if (payload[0] != kControlRequestVersion) {
+    return InvalidArgumentError("unknown control request version");
+  }
+  if (payload[1] > static_cast<uint8_t>(ControlVerb::kSetBounds)) {
+    return InvalidArgumentError("unknown control verb");
+  }
+  ControlRequest request;
+  request.verb = static_cast<ControlVerb>(payload[1]);
+  request.k_min = LoadLE64(payload.data() + 2);
+  request.k_max = LoadLE64(payload.data() + 10);
+  return request;
 }
 
 }  // namespace shpir::net

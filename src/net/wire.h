@@ -44,6 +44,9 @@ enum class Op : uint8_t {
   // = 0).
   kIncidentDump = 13,
   kHealth = 14,  // Fetch the provider's health/readiness state (JSON).
+  // Privacy/cost controller status + operator verbs. Payload:
+  // EncodeControlRequest / response is the controller status JSON.
+  kControlStatus = 15,
 };
 
 struct Request {
@@ -99,6 +102,34 @@ Result<uint64_t> DecodeKeywordManifestRequest(ByteSpan payload);
 Bytes EncodeKeywordManifestResponse(const KeywordManifest& manifest,
                                     bool include_body);
 Result<KeywordManifest> DecodeKeywordManifestResponse(ByteSpan payload);
+
+/// Operator verbs carried by the CONTROL_STATUS op. Every verb's
+/// response is the controller's status JSON, so an operator action
+/// always returns the post-action state.
+enum class ControlVerb : uint8_t {
+  kStatus = 0,     // Read-only status fetch.
+  kFreeze = 1,     // Stop actuating (keep observing).
+  kUnfreeze = 2,   // Resume actuating.
+  kSetBounds = 3,  // Replace [k_min, k_max]; ladders recompute.
+};
+
+/// One decoded control request.
+struct ControlRequest {
+  ControlVerb verb = ControlVerb::kStatus;
+  /// Bounds; meaningful only for kSetBounds (k_max 0 = unbounded).
+  uint64_t k_min = 0;
+  uint64_t k_max = 0;
+};
+
+/// Version of the CONTROL_STATUS request payload format. Servers reject
+/// unknown versions so the payload can grow fields later.
+inline constexpr uint8_t kControlRequestVersion = 1;
+
+/// Request payload: version(1) | verb(1) | k_min(8) | k_max(8) — exactly
+/// 18 bytes; both protocols reject anything else. The codec is shared by
+/// the storage protocol and the sealed service protocol.
+Bytes EncodeControlRequest(const ControlRequest& request);
+Result<ControlRequest> DecodeControlRequest(ByteSpan payload);
 
 }  // namespace shpir::net
 

@@ -6,11 +6,12 @@
 
 namespace shpir::obs {
 
-PrivacyMonitor::PrivacyMonitor(const Options& options) : options_(options) {
+PrivacyMonitor::PrivacyMonitor(const Options& options)
+    : options_(options), scan_period_(options.scan_period) {
   SHPIR_CHECK(options_.scan_period > 0);
   SHPIR_CHECK(options_.window > 0);
   common::MutexLock lock(mutex_);
-  offset_counts_.assign(options_.scan_period, 0);
+  offset_counts_.assign(scan_period_, 0);
   window_ring_.assign(options_.window, 0);
 }
 
@@ -39,7 +40,7 @@ void PrivacyMonitor::OnRelocation(uint64_t id, uint64_t request_index) {
   // The delay is secret-derived; the audited aggregation below is the
   // monitor's entire purpose — per-sample data never leaves this class,
   // only >= window-sized bin statistics do.
-  const uint64_t offset = (delay - 1) % options_.scan_period;
+  const uint64_t offset = (delay - 1) % scan_period_;
   if (windowed_ == options_.window) {
     // Slide: the oldest sample leaves its bin.
     // shpir-lint-allow-next-line(secret-index): sliding-window eviction of the same audited histogram
@@ -58,6 +59,41 @@ void PrivacyMonitor::OnRelocation(uint64_t id, uint64_t request_index) {
   if (total_ % options_.check_interval == 0) {
     CheckLocked();
   }
+}
+
+void PrivacyMonitor::OnScanPeriodChange(uint64_t new_scan_period) {
+  SHPIR_CHECK(new_scan_period > 0);
+  common::MutexLock lock(mutex_);
+  if (new_scan_period == scan_period_) {
+    return;
+  }
+  scan_period_ = new_scan_period;
+  ++rebases_;
+  // Samples binned mod the old T say nothing about the new residency
+  // distribution: restart the window. `entry_request_` survives — the
+  // pages still resident will relocate later and their delays fold
+  // correctly under the new period.
+  offset_counts_.assign(scan_period_, 0);
+  window_ring_.assign(options_.window, 0);
+  window_pos_ = 0;
+  windowed_ = 0;
+  // An estimate computed over the old bins must neither linger on the
+  // gauge nor hold the breach latch: reset both so the first
+  // post-retune breach is a genuine edge.
+  in_breach_ = false;
+  if (c_gauge_ != nullptr) {
+    c_gauge_->Set(0.0);
+  }
+}
+
+uint64_t PrivacyMonitor::scan_period() const {
+  common::MutexLock lock(mutex_);
+  return scan_period_;
+}
+
+uint64_t PrivacyMonitor::rebases() const {
+  common::MutexLock lock(mutex_);
+  return rebases_;
 }
 
 double PrivacyMonitor::EstimateLocked() const {

@@ -62,6 +62,23 @@ class PrivacyMonitor {
   void OnCacheEntry(uint64_t id, uint64_t request_index);
   void OnRelocation(uint64_t id, uint64_t request_index);
 
+  /// Rebase after an online block-size retune changed the engine's scan
+  /// period T. The residency histogram folds delays mod T, so samples
+  /// binned under the old T are meaningless under the new one: the bins
+  /// and the sliding window are discarded (Estimate() returns
+  /// FailedPrecondition again until every new bin has a sample) and the
+  /// breach latch resets — a retune must never manufacture a spurious
+  /// breach or serve a stale estimate. Pages currently resident in the
+  /// cache are kept: their entry indices stay valid and their eventual
+  /// relocations are binned under the new period. No-op when the period
+  /// is unchanged.
+  void OnScanPeriodChange(uint64_t new_scan_period);
+
+  /// Scan period currently in effect (tracks OnScanPeriodChange).
+  uint64_t scan_period() const;
+  /// Number of scan-period rebases over the monitor's lifetime.
+  uint64_t rebases() const;
+
   /// Empirical c over the current window: max/min of the offset bins.
   /// FailedPrecondition until every bin has at least one sample.
   Result<double> Estimate() const;
@@ -92,6 +109,10 @@ class PrivacyMonitor {
 
   const Options options_;
   mutable common::Mutex mutex_;
+  /// Live scan period; starts at options_.scan_period and tracks
+  /// OnScanPeriodChange.
+  uint64_t scan_period_ GUARDED_BY(mutex_);
+  uint64_t rebases_ GUARDED_BY(mutex_) = 0;
   /// Secret state: when each page entered the cache. Everything derived
   /// from it stays under the lock until aggregated over the window.
   SHPIR_SECRET std::unordered_map<uint64_t, uint64_t> entry_request_

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/mutex.h"
+#include "core/security_parameter.h"
 #include "obs/build_info.h"
 #include "obs/export.h"
 #include "storage/page_cipher.h"
@@ -458,6 +459,61 @@ void ShardedPirEngine::PublishPrivacyEstimates() {
       shard->monitor->PublishNow();
     }
   }
+}
+
+Status ShardedPirEngine::RequestShardBlockSize(uint64_t shard,
+                                               uint64_t new_k) {
+  if (shard >= shards_.size()) {
+    return InvalidArgumentError("shard index out of range");
+  }
+  // The shard engine is single-threaded on its worker: the request
+  // must run there, between rounds, like every other engine mutation.
+  struct Join {
+    common::Mutex mutex;
+    common::CondVar cv;
+    std::optional<Status> result GUARDED_BY(mutex);
+  } join;
+  const Status submitted = dispatcher_->Submit(
+      shard, [this, shard, new_k, &join](const Status& admission) {
+        Status outcome =
+            admission.ok()
+                ? shards_[shard]->engine->RequestBlockSize(new_k)
+                : admission;
+        common::MutexLock lock(join.mutex);
+        join.result = std::move(outcome);
+        join.cv.NotifyOne();
+      });
+  if (!submitted.ok()) {
+    return submitted;  // Queue full / draining: nothing was enqueued.
+  }
+  common::MutexLock lock(join.mutex);
+  while (!join.result.has_value()) {
+    join.cv.Wait(lock);
+  }
+  return *join.result;
+}
+
+ShardedPirEngine::ShardControlState ShardedPirEngine::ShardControl(
+    uint64_t shard) const {
+  ShardControlState state;
+  if (shard >= shards_.size()) {
+    return state;
+  }
+  const Shard* s = shards_[shard].get();
+  state.block_size = s->engine->published_block_size();
+  state.pending_block_size = s->engine->pending_block_size();
+  state.transitions = s->engine->block_size_transitions();
+  state.disk_slots = s->engine->disk_slots();
+  state.cache_pages = s->engine->cache_pages();
+  const Result<double> c = core::SecurityParameter::PrivacyOf(
+      state.disk_slots, state.cache_pages, state.block_size);
+  state.c_theory = c.ok() ? *c : 0.0;
+  if (s->monitor != nullptr) {
+    state.c_estimate = s->monitor->EstimateOrZero();
+  }
+  state.queue_depth = dispatcher_->depth(shard);
+  state.queue_capacity = dispatcher_->queue_depth();
+  return state;
 }
 
 void ShardedPirEngine::EnableEventLog(obs::EventLog* log) {

@@ -129,6 +129,35 @@ class ShardedPirEngine : public core::PirEngine {
   /// Subsequent Retrieves fail with FailedPrecondition.
   void Drain() { dispatcher_->Drain(); }
 
+  /// --- Online retuning ------------------------------------------------
+
+  /// Requests an online block-size change on one shard's engine (see
+  /// CApproxPir::RequestBlockSize for the safety argument; the change
+  /// lands at that shard's next scan-period boundary). The engine is
+  /// single-threaded per shard worker, so the request is submitted as a
+  /// job on the shard's dispatcher queue and this call blocks until the
+  /// worker ran it: ResourceExhausted when the queue is full (the
+  /// caller — typically the controller — retries next tick),
+  /// FailedPrecondition after Drain, otherwise the engine's verdict.
+  Status RequestShardBlockSize(uint64_t shard, uint64_t new_k);
+
+  /// Aggregate control-plane view of one shard, safe to read from any
+  /// thread: published (atomic) engine state, the live c-estimate, and
+  /// the shard's queue depth. Everything here is an aggregate the trust
+  /// boundary already exports — no page ids, no request indices.
+  struct ShardControlState {
+    uint64_t block_size = 0;          // Applied k (published).
+    uint64_t pending_block_size = 0;  // 0 when no transition pending.
+    uint64_t transitions = 0;         // Applied retunes, lifetime.
+    uint64_t disk_slots = 0;
+    uint64_t cache_pages = 0;
+    double c_theory = 0.0;    // Eq. 5 at the published k.
+    double c_estimate = 0.0;  // Live monitor estimate; 0 while warming.
+    size_t queue_depth = 0;
+    size_t queue_capacity = 0;
+  };
+  ShardControlState ShardControl(uint64_t shard) const;
+
   /// --- Introspection --------------------------------------------------
 
   const ShardPlan& plan() const { return plan_; }

@@ -73,6 +73,54 @@ std::vector<double> HotspotWorkload::Distribution() const {
   return dist;
 }
 
+DiurnalBurstyWorkload::DiurnalBurstyWorkload(const Options& options)
+    : options_(options), rng_(options.seed) {
+  ScheduleNextBurst();
+}
+
+void DiurnalBurstyWorkload::ScheduleNextBurst() {
+  // Exponential gap from the end of the previous burst (or stream
+  // start). UniformDouble() < 1, so the log argument stays positive.
+  const double gap = -std::log(1.0 - rng_.UniformDouble()) *
+                     options_.mean_burst_interval_s;
+  burst_start_s_ = burst_end_s_ + gap;
+  burst_end_s_ = burst_start_s_ + options_.burst_duration_s;
+}
+
+bool DiurnalBurstyWorkload::in_burst() const {
+  return clock_s_ >= burst_start_s_ && clock_s_ < burst_end_s_;
+}
+
+double DiurnalBurstyWorkload::CurrentRate() const {
+  constexpr double kTwoPi = 6.283185307179586;
+  const double diurnal =
+      1.0 + options_.diurnal_amplitude *
+                std::sin(kTwoPi * clock_s_ / options_.day_seconds);
+  // Floor keeps the process alive even with amplitude >= 1.
+  double rate = options_.base_qps * std::max(0.05, diurnal);
+  if (in_burst()) {
+    rate *= options_.burst_factor;
+  }
+  return rate;
+}
+
+TimedRequest DiurnalBurstyWorkload::Next() {
+  if (clock_s_ >= burst_end_s_) {
+    ScheduleNextBurst();
+  }
+  // Piecewise Poisson: draw the inter-arrival at the rate in effect
+  // now. Bursts/diurnal phase shift at most one arrival late, which is
+  // negligible at these rates and keeps the draw count per arrival
+  // fixed (2) so replay is schedule-stable.
+  const double rate = CurrentRate();
+  const double dt = -std::log(1.0 - rng_.UniformDouble()) / rate;
+  clock_s_ += dt;
+  TimedRequest request;
+  request.arrival_ns = static_cast<uint64_t>(clock_s_ * 1e9);
+  request.page = rng_.UniformInt(options_.num_pages);
+  return request;
+}
+
 Bytes KeyForIndex(uint64_t index) {
   const std::string text = "key-" + std::to_string(index);
   return Bytes(text.begin(), text.end());

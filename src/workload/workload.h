@@ -94,6 +94,63 @@ class ScanWorkload : public Workload {
   uint64_t cursor_ = 0;
 };
 
+/// One arrival in a timed request stream: when it arrives (simulated
+/// nanoseconds from stream start) and which page it asks for.
+struct TimedRequest {
+  uint64_t arrival_ns = 0;
+  storage::PageId page = 0;
+};
+
+/// Open-loop arrival process for controller/capacity experiments: a
+/// diurnal sinusoid over a compressed "day" with superimposed bursts
+/// (burst_factor x rate for burst_duration_s, recurring at
+/// exponentially distributed intervals). Arrivals are a piecewise
+/// Poisson process; pages are uniform over [0, num_pages). Fully
+/// deterministic given the seed — the same seed replays the identical
+/// (arrival_ns, page) schedule.
+class DiurnalBurstyWorkload {
+ public:
+  struct Options {
+    uint64_t num_pages = 0;
+    /// Mean request rate at the diurnal midpoint.
+    double base_qps = 8.0;
+    /// Diurnal swing: rate spans base*(1 +- amplitude) over a day.
+    double diurnal_amplitude = 0.5;
+    /// Compressed day length (simulated seconds).
+    double day_seconds = 600.0;
+    /// Burst multiplier applied on top of the diurnal rate.
+    double burst_factor = 5.0;
+    /// Mean gap between burst starts (exponential), and burst length.
+    double mean_burst_interval_s = 120.0;
+    double burst_duration_s = 30.0;
+    uint64_t seed = 1;
+  };
+
+  explicit DiurnalBurstyWorkload(const Options& options);
+
+  /// The next arrival; arrival_ns is monotonically non-decreasing.
+  TimedRequest Next();
+
+  /// Whether the stream clock currently sits inside a burst window
+  /// (state as of the last Next()).
+  bool in_burst() const;
+  /// Stream clock after the last Next(), in simulated seconds.
+  double clock_seconds() const { return clock_s_; }
+
+  const char* name() const { return "diurnal-bursty"; }
+
+ private:
+  /// Instantaneous rate at the current stream clock.
+  double CurrentRate() const;
+  void ScheduleNextBurst();
+
+  Options options_;
+  crypto::SecureRandom rng_;
+  double clock_s_ = 0.0;
+  double burst_start_s_ = 0.0;
+  double burst_end_s_ = 0.0;
+};
+
 /// One keyword-store request: a key plus whether the generator drew it
 /// from the store's key set (hit) or fabricated it (miss). The flag is
 /// generator-side ground truth for verification — a private client

@@ -620,5 +620,130 @@ TEST(CApproxPirTest, MetricsDoNotPerturbResults) {
                          metered.trace.events().begin()));
 }
 
+// --- Online block-size retuning (the privacy/cost dial, live) ----------
+
+/// 60 pages + 4 reserve = 64 slots: divisors give a rich retune ladder.
+CApproxPir::Options RetuneOptions() {
+  CApproxPir::Options options;
+  options.num_pages = 60;
+  options.page_size = kPageSize;
+  options.cache_pages = 8;
+  options.block_size = 8;
+  options.insert_reserve = 4;
+  return options;
+}
+
+TEST(CApproxPirRetuneTest, ValidatesRequestedBlockSizes) {
+  Rig rig = Rig::Make(RetuneOptions());
+  ASSERT_EQ(rig.engine->disk_slots(), 64u);
+
+  EXPECT_FALSE(rig.engine->RequestBlockSize(0).ok());
+  EXPECT_FALSE(rig.engine->RequestBlockSize(7).ok());   // Not a divisor.
+  EXPECT_FALSE(rig.engine->RequestBlockSize(24).ok());  // Not a divisor.
+  EXPECT_FALSE(rig.engine->RequestBlockSize(64).ok());  // 2k > slots.
+  EXPECT_TRUE(rig.engine->RequestBlockSize(32).ok());
+  EXPECT_TRUE(rig.engine->RequestBlockSize(16).ok());
+
+  Rig cold = Rig::Make(RetuneOptions(), 42, /*load=*/false);
+  EXPECT_FALSE(cold.engine->RequestBlockSize(16).ok());
+}
+
+TEST(CApproxPirRetuneTest, AppliesOnlyAtScanPeriodBoundary) {
+  Rig rig = Rig::Make(RetuneOptions());
+  ASSERT_EQ(rig.engine->scan_period(), 8u);
+
+  // Walk three rounds into the scan, then request a retune: it must
+  // stay pending until the block cursor wraps, never landing mid-scan.
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(rig.engine->Retrieve(0).ok());
+  }
+  ASSERT_TRUE(rig.engine->RequestBlockSize(16).ok());
+  EXPECT_EQ(rig.engine->pending_block_size(), 16u);
+
+  for (int i = 3; i < 8; ++i) {  // Rounds 4..8 finish the scan.
+    ASSERT_TRUE(rig.engine->Retrieve(0).ok());
+    EXPECT_EQ(rig.engine->published_block_size(), 8u);
+    EXPECT_EQ(rig.engine->block_size_transitions(), 0u);
+  }
+  // The next round starts a fresh scan and applies the transition.
+  ASSERT_TRUE(rig.engine->Retrieve(0).ok());
+  EXPECT_EQ(rig.engine->published_block_size(), 16u);
+  EXPECT_EQ(rig.engine->pending_block_size(), 0u);
+  EXPECT_EQ(rig.engine->block_size_transitions(), 1u);
+  EXPECT_EQ(rig.engine->scan_period(), 4u);  // 64 / 16.
+}
+
+TEST(CApproxPirRetuneTest, RequestingCurrentSizeCancelsPending) {
+  Rig rig = Rig::Make(RetuneOptions());
+  ASSERT_TRUE(rig.engine->Retrieve(0).ok());  // Leave the boundary.
+  ASSERT_TRUE(rig.engine->RequestBlockSize(16).ok());
+  EXPECT_EQ(rig.engine->pending_block_size(), 16u);
+  ASSERT_TRUE(rig.engine->RequestBlockSize(8).ok());
+  EXPECT_EQ(rig.engine->pending_block_size(), 0u);
+  for (int i = 0; i < 16; ++i) {
+    ASSERT_TRUE(rig.engine->Retrieve(0).ok());
+  }
+  EXPECT_EQ(rig.engine->published_block_size(), 8u);
+  EXPECT_EQ(rig.engine->block_size_transitions(), 0u);
+}
+
+TEST(CApproxPirRetuneTest, LaterRequestReplacesPending) {
+  Rig rig = Rig::Make(RetuneOptions());
+  ASSERT_TRUE(rig.engine->Retrieve(0).ok());
+  ASSERT_TRUE(rig.engine->RequestBlockSize(32).ok());
+  ASSERT_TRUE(rig.engine->RequestBlockSize(4).ok());
+  EXPECT_EQ(rig.engine->pending_block_size(), 4u);
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(rig.engine->Retrieve(0).ok());
+  }
+  EXPECT_EQ(rig.engine->published_block_size(), 4u);
+  EXPECT_EQ(rig.engine->block_size_transitions(), 1u);
+}
+
+TEST(CApproxPirRetuneTest, DataSurvivesRepeatedRetunes) {
+  Rig rig = Rig::Make(RetuneOptions());
+  const std::vector<uint64_t> schedule = {16, 4, 32, 8, 2, 16};
+  uint64_t expected_transitions = 0;
+  for (const uint64_t k : schedule) {
+    ASSERT_TRUE(rig.engine->RequestBlockSize(k).ok());
+    // Drive well past a boundary, reading every page: payloads must be
+    // intact across every transition.
+    for (PageId id = 0; id < 60; ++id) {
+      Result<Bytes> got = rig.engine->Retrieve(id);
+      ASSERT_TRUE(got.ok()) << got.status();
+      EXPECT_EQ(*got, PayloadFor(id)) << "page " << id << " under k=" << k;
+    }
+    ++expected_transitions;
+    EXPECT_EQ(rig.engine->published_block_size(), k);
+    EXPECT_EQ(rig.engine->block_size_transitions(), expected_transitions);
+  }
+}
+
+TEST(CApproxPirRetuneTest, GrowthReservesSecureMemoryUpFront) {
+  // The Eq. 7 budget must cover the larger block buffer from request
+  // time: a target the device cannot fit is rejected immediately and
+  // leaves no pending transition behind.
+  Rig rig = Rig::Make(RetuneOptions());
+  // Eat the device's remaining secure memory down to (at most) a few
+  // bytes, far less than the (32 - 8) extra buffer pages k=32 needs.
+  for (const uint64_t chunk : {uint64_t{1} << 20, uint64_t{1} << 10,
+                               uint64_t{16}}) {
+    while (rig.cpu->ReserveSecureMemory(chunk, "test ballast").ok()) {
+    }
+  }
+  const Status grown = rig.engine->RequestBlockSize(32);
+  EXPECT_EQ(grown.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(rig.engine->pending_block_size(), 0u);
+  // Shrinking needs no new reservation and still works; the engine
+  // keeps serving correctly at the reduced k.
+  ASSERT_TRUE(rig.engine->RequestBlockSize(4).ok());
+  for (PageId id = 0; id < 20; ++id) {
+    Result<Bytes> got = rig.engine->Retrieve(id);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(*got, PayloadFor(id));
+  }
+  EXPECT_EQ(rig.engine->published_block_size(), 4u);
+}
+
 }  // namespace
 }  // namespace shpir::core

@@ -1,0 +1,561 @@
+// PrivacyCostController unit tests over a scripted fake plant — the
+// control law (hysteresis band, cooldown, ladder edges), the emergency
+// privacy clamp, operator verbs (freeze / set-bounds), the auditable
+// decision trail, and every observability surface (metrics, events,
+// flight-recorder trigger). The final paired-rig test proves the
+// controller's event and trace shapes over a real sharded engine are
+// secret-independent.
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "control/controller.h"
+#include "obs/eventlog.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "shard/sharded_engine.h"
+
+namespace shpir::control {
+namespace {
+
+using Outcome = PrivacyCostController::Outcome;
+
+/// Scripted plant: tests set each shard's signals directly and inspect
+/// the retune requests the controller issues. A successful request
+/// mimics the engine by marking the transition pending; ApplyPending()
+/// plays the scan-period boundary.
+class FakePlant : public ControlPlant {
+ public:
+  struct Shard {
+    uint64_t disk_slots = 256;
+    uint64_t cache_pages = 8;
+    ShardSignals signals;
+    Status next_status = OkStatus();
+    std::vector<uint64_t> requests;
+  };
+
+  explicit FakePlant(size_t num_shards, uint64_t initial_k = 128)
+      : shards_(num_shards) {
+    for (Shard& shard : shards_) {
+      shard.signals.block_size = initial_k;
+    }
+  }
+
+  uint64_t shards() const override { return shards_.size(); }
+  uint64_t disk_slots(uint64_t shard) const override {
+    return shards_[shard].disk_slots;
+  }
+  uint64_t cache_pages(uint64_t shard) const override {
+    return shards_[shard].cache_pages;
+  }
+  ShardSignals Read(uint64_t shard) override {
+    return shards_[shard].signals;
+  }
+  Status RequestBlockSize(uint64_t shard, uint64_t new_k) override {
+    shards_[shard].requests.push_back(new_k);
+    if (!shards_[shard].next_status.ok()) {
+      return shards_[shard].next_status;
+    }
+    shards_[shard].signals.pending_block_size = new_k;
+    return OkStatus();
+  }
+
+  void ApplyPending(uint64_t shard) {
+    Shard& s = shards_[shard];
+    if (s.signals.pending_block_size != 0) {
+      s.signals.block_size = s.signals.pending_block_size;
+      s.signals.pending_block_size = 0;
+    }
+  }
+
+  Shard& shard(uint64_t i) { return shards_[i]; }
+
+ private:
+  std::vector<Shard> shards_;
+};
+
+PrivacyCostController::Options BaseOptions() {
+  PrivacyCostController::Options options;
+  options.c_bound = 4.0;  // Ladder {32, 64, 128} on 256 slots, m = 8.
+  options.cooldown_ticks = 0;
+  return options;
+}
+
+std::unique_ptr<PrivacyCostController> MakeController(
+    FakePlant* plant, PrivacyCostController::Options options) {
+  Result<std::unique_ptr<PrivacyCostController>> controller =
+      PrivacyCostController::Create(options, plant);
+  SHPIR_CHECK(controller.ok());
+  return std::move(*controller);
+}
+
+TEST(ControllerCreate, ValidatesOptionsAndPlant) {
+  FakePlant plant(1);
+  PrivacyCostController::Options options = BaseOptions();
+
+  EXPECT_FALSE(PrivacyCostController::Create(options, nullptr).ok());
+
+  options.c_bound = 1.0;  // Eq. 5 c is always > 1.
+  EXPECT_FALSE(PrivacyCostController::Create(options, &plant).ok());
+
+  options = BaseOptions();
+  options.pressure_low = 0.8;
+  options.pressure_high = 0.5;
+  EXPECT_FALSE(PrivacyCostController::Create(options, &plant).ok());
+
+  options = BaseOptions();
+  options.k_min = 200;
+  options.k_max = 100;
+  EXPECT_FALSE(PrivacyCostController::Create(options, &plant).ok());
+
+  // Bounds that leave no rung under the c_bound: every divisor k <= 16
+  // of 256 has c(k) > 4 on an 8-page cache.
+  options = BaseOptions();
+  options.k_max = 16;
+  EXPECT_FALSE(PrivacyCostController::Create(options, &plant).ok());
+
+  FakePlant empty(0);
+  EXPECT_FALSE(PrivacyCostController::Create(BaseOptions(), &empty).ok());
+
+  EXPECT_TRUE(PrivacyCostController::Create(BaseOptions(), &plant).ok());
+}
+
+TEST(ControllerLadder, FeasibleRungsAreDivisorsUnderTheBound) {
+  FakePlant plant(1);
+  auto controller = MakeController(&plant, BaseOptions());
+  // Divisors k of 256 with 2k <= 256 and c(256, 8, k) <= 4.0.
+  EXPECT_EQ(controller->Ladder(0), (std::vector<uint64_t>{32, 64, 128}));
+}
+
+TEST(ControllerLaw, HighPressureStepsDownOneRung) {
+  FakePlant plant(1, /*initial_k=*/128);
+  auto controller = MakeController(&plant, BaseOptions());
+  plant.shard(0).signals.queue_fraction = 0.9;
+
+  controller->TickNow();
+
+  ASSERT_EQ(plant.shard(0).requests, (std::vector<uint64_t>{64}));
+  const std::vector<PrivacyCostController::Decision> trail =
+      controller->Trail();
+  ASSERT_EQ(trail.size(), 1u);
+  EXPECT_EQ(trail[0].outcome, Outcome::kApplied);
+  EXPECT_EQ(trail[0].k_before, 128u);
+  EXPECT_EQ(trail[0].k_target, 64u);
+  EXPECT_DOUBLE_EQ(trail[0].pressure, 0.9);
+}
+
+TEST(ControllerLaw, LowPressureStepsUpOneRung) {
+  FakePlant plant(1, /*initial_k=*/32);
+  auto controller = MakeController(&plant, BaseOptions());
+  plant.shard(0).signals.queue_fraction = 0.0;
+
+  controller->TickNow();
+
+  EXPECT_EQ(plant.shard(0).requests, (std::vector<uint64_t>{64}));
+  EXPECT_EQ(controller->Trail()[0].outcome, Outcome::kApplied);
+}
+
+TEST(ControllerLaw, HysteresisBandHolds) {
+  FakePlant plant(1, /*initial_k=*/64);
+  auto controller = MakeController(&plant, BaseOptions());
+  plant.shard(0).signals.queue_fraction = 0.5;  // Between 0.25 and 0.75.
+
+  controller->TickNow();
+
+  EXPECT_TRUE(plant.shard(0).requests.empty());
+  EXPECT_EQ(controller->Trail()[0].outcome, Outcome::kHold);
+}
+
+TEST(ControllerLaw, LadderEdgesHold) {
+  // Already at the cheapest rung: high pressure has nowhere to go.
+  FakePlant cheap(1, /*initial_k=*/32);
+  auto controller = MakeController(&cheap, BaseOptions());
+  cheap.shard(0).signals.queue_fraction = 1.0;
+  controller->TickNow();
+  EXPECT_TRUE(cheap.shard(0).requests.empty());
+  EXPECT_EQ(controller->Trail()[0].outcome, Outcome::kHold);
+
+  // Already at the most private rung: low pressure has nowhere to go.
+  FakePlant private_rig(1, /*initial_k=*/128);
+  auto top = MakeController(&private_rig, BaseOptions());
+  top->TickNow();
+  EXPECT_TRUE(private_rig.shard(0).requests.empty());
+  EXPECT_EQ(top->Trail()[0].outcome, Outcome::kHold);
+}
+
+TEST(ControllerLaw, SloBurnAloneRaisesPressure) {
+  FakePlant plant(1, /*initial_k=*/128);
+  auto controller = MakeController(&plant, BaseOptions());
+  plant.shard(0).signals.burn = 2.0;  // Queue empty, burn over budget.
+
+  controller->TickNow();
+
+  EXPECT_EQ(plant.shard(0).requests, (std::vector<uint64_t>{64}));
+  EXPECT_DOUBLE_EQ(controller->Trail()[0].pressure, 2.0);
+}
+
+TEST(ControllerLaw, FiringSloRulePinsPressureToOne) {
+  FakePlant plant(1, /*initial_k=*/128);
+  auto controller = MakeController(&plant, BaseOptions());
+  plant.shard(0).signals.slo_firing = true;
+
+  controller->TickNow();
+
+  EXPECT_EQ(plant.shard(0).requests, (std::vector<uint64_t>{64}));
+  EXPECT_DOUBLE_EQ(controller->Trail()[0].pressure, 1.0);
+}
+
+TEST(ControllerLaw, CooldownForcesHoldsAfterAChange) {
+  FakePlant plant(1, /*initial_k=*/128);
+  PrivacyCostController::Options options = BaseOptions();
+  options.cooldown_ticks = 2;
+  auto controller = MakeController(&plant, options);
+  plant.shard(0).signals.queue_fraction = 1.0;
+
+  controller->TickNow();  // Applies 128 -> 64.
+  plant.ApplyPending(0);
+  controller->TickNow();  // Cooldown 1.
+  controller->TickNow();  // Cooldown 2.
+  controller->TickNow();  // Free again: applies 64 -> 32.
+
+  EXPECT_EQ(plant.shard(0).requests, (std::vector<uint64_t>{64, 32}));
+  const auto trail = controller->Trail();
+  ASSERT_EQ(trail.size(), 4u);
+  EXPECT_EQ(trail[0].outcome, Outcome::kApplied);
+  EXPECT_EQ(trail[1].outcome, Outcome::kHold);
+  EXPECT_EQ(trail[2].outcome, Outcome::kHold);
+  EXPECT_EQ(trail[3].outcome, Outcome::kApplied);
+}
+
+TEST(ControllerLaw, PendingTransitionDefersNewDecisions) {
+  FakePlant plant(1, /*initial_k=*/128);
+  auto controller = MakeController(&plant, BaseOptions());
+  plant.shard(0).signals.queue_fraction = 1.0;
+
+  controller->TickNow();  // Applies; fake leaves the transition pending.
+  controller->TickNow();  // Still pending at the engine.
+
+  EXPECT_EQ(plant.shard(0).requests, (std::vector<uint64_t>{64}));
+  EXPECT_EQ(controller->Trail()[1].outcome, Outcome::kDeferred);
+}
+
+TEST(ControllerLaw, RejectedRequestIsRecordedAsSkipped) {
+  FakePlant plant(1, /*initial_k=*/128);
+  auto controller = MakeController(&plant, BaseOptions());
+  plant.shard(0).signals.queue_fraction = 1.0;
+  plant.shard(0).next_status = ResourceExhaustedError("queue full");
+
+  controller->TickNow();
+
+  EXPECT_EQ(plant.shard(0).requests, (std::vector<uint64_t>{64}));
+  EXPECT_EQ(controller->Trail()[0].outcome, Outcome::kSkipped);
+}
+
+TEST(ControllerClamp, EstimateOverBoundJumpsToMostPrivateRung) {
+  FakePlant plant(1, /*initial_k=*/32);
+  PrivacyCostController::Options options = BaseOptions();
+  options.cooldown_ticks = 4;
+  auto controller = MakeController(&plant, options);
+
+  // Put the shard in cooldown first: the clamp must ignore it.
+  plant.shard(0).signals.queue_fraction = 0.0;
+  controller->TickNow();  // Steps 32 -> 64, starts cooldown.
+  plant.ApplyPending(0);
+
+  plant.shard(0).signals.c_estimate = 5.0;  // Breach: above c_bound 4.
+  controller->TickNow();
+
+  ASSERT_EQ(plant.shard(0).requests, (std::vector<uint64_t>{64, 128}));
+  EXPECT_EQ(controller->Trail()[1].outcome, Outcome::kClamped);
+  EXPECT_EQ(controller->Trail()[1].k_target, 128u);
+  EXPECT_EQ(controller->emergency_clamps(), 1u);
+
+  // While the clamp transition is pending the breach defers.
+  controller->TickNow();
+  EXPECT_EQ(controller->Trail()[2].outcome, Outcome::kDeferred);
+
+  // Once landed at the most private rung, a lingering breach holds.
+  plant.ApplyPending(0);
+  controller->TickNow();
+  EXPECT_EQ(controller->Trail()[3].outcome, Outcome::kHold);
+  EXPECT_EQ(controller->emergency_clamps(), 1u);
+}
+
+TEST(ControllerClamp, SealsAnIncidentThroughTheFlightRecorder) {
+  FakePlant plant(1, /*initial_k=*/32);
+  auto controller = MakeController(&plant, BaseOptions());
+  obs::FlightRecorder::Options rec_options;
+  rec_options.min_interval_ns = 0;
+  obs::FlightRecorder recorder(rec_options);
+  controller->EnableFlightRecorder(&recorder);
+
+  plant.shard(0).signals.c_estimate = 9.0;
+  controller->TickNow();
+
+  EXPECT_EQ(controller->emergency_clamps(), 1u);
+  ASSERT_EQ(recorder.sealed(), 1u);
+  const std::vector<obs::FlightRecorder::Incident> incidents =
+      recorder.List();
+  ASSERT_EQ(incidents.size(), 1u);
+  EXPECT_EQ(incidents[0].reason, "privacy_clamp");
+  EXPECT_EQ(incidents[0].trigger_value, 1u);
+}
+
+TEST(ControllerVerbs, FreezeObservesWithoutActuating) {
+  FakePlant plant(1, /*initial_k=*/128);
+  auto controller = MakeController(&plant, BaseOptions());
+  controller->Freeze();
+  EXPECT_TRUE(controller->frozen());
+  plant.shard(0).signals.queue_fraction = 1.0;
+
+  controller->TickNow();
+  EXPECT_TRUE(plant.shard(0).requests.empty());
+  EXPECT_EQ(controller->Trail()[0].outcome, Outcome::kFrozen);
+  // Frozen ticks still snapshot the inputs for the audit trail.
+  EXPECT_DOUBLE_EQ(controller->Trail()[0].pressure, 1.0);
+
+  controller->Unfreeze();
+  controller->TickNow();
+  EXPECT_EQ(plant.shard(0).requests, (std::vector<uint64_t>{64}));
+}
+
+TEST(ControllerVerbs, StartFrozenOptionHoldsUntilUnfrozen) {
+  FakePlant plant(1, /*initial_k=*/128);
+  PrivacyCostController::Options options = BaseOptions();
+  options.start_frozen = true;
+  auto controller = MakeController(&plant, options);
+  plant.shard(0).signals.queue_fraction = 1.0;
+  controller->TickNow();
+  EXPECT_TRUE(plant.shard(0).requests.empty());
+  EXPECT_TRUE(controller->frozen());
+}
+
+TEST(ControllerVerbs, SetBoundsRecomputesLaddersOrFailsAtomically) {
+  FakePlant plant(2);
+  auto controller = MakeController(&plant, BaseOptions());
+
+  ASSERT_TRUE(controller->SetBounds(64, 128).ok());
+  EXPECT_EQ(controller->Ladder(0), (std::vector<uint64_t>{64, 128}));
+  EXPECT_EQ(controller->Ladder(1), (std::vector<uint64_t>{64, 128}));
+
+  // No divisor of 256 in [200, 0]: rejected, old ladders kept.
+  EXPECT_FALSE(controller->SetBounds(200, 0).ok());
+  EXPECT_FALSE(controller->SetBounds(0, 64).ok());
+  EXPECT_FALSE(controller->SetBounds(128, 64).ok());
+  EXPECT_EQ(controller->Ladder(0), (std::vector<uint64_t>{64, 128}));
+}
+
+TEST(ControllerAudit, StatusJsonCarriesStateAndDecisions) {
+  FakePlant plant(1, /*initial_k=*/128);
+  auto controller = MakeController(&plant, BaseOptions());
+  plant.shard(0).signals.queue_fraction = 0.9;
+  controller->TickNow();
+
+  const std::string json = controller->StatusJson();
+  EXPECT_NE(json.find("\"frozen\":false"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"c_bound\":4"), std::string::npos);
+  EXPECT_NE(json.find("\"ladder\":[32,64,128]"), std::string::npos);
+  EXPECT_NE(json.find("\"outcome\":\"applied\""), std::string::npos);
+  EXPECT_NE(json.find("\"decisions\":["), std::string::npos);
+  EXPECT_NE(json.find("\"ticks\":1"), std::string::npos);
+}
+
+TEST(ControllerAudit, TrailIsBoundedOldestFirst) {
+  FakePlant plant(1, /*initial_k=*/64);
+  PrivacyCostController::Options options = BaseOptions();
+  options.decision_trail = 4;
+  auto controller = MakeController(&plant, options);
+  plant.shard(0).signals.queue_fraction = 0.5;  // Hold forever.
+  for (int i = 0; i < 10; ++i) {
+    controller->TickNow();
+  }
+  const auto trail = controller->Trail();
+  ASSERT_EQ(trail.size(), 4u);
+  EXPECT_EQ(trail.front().tick, 7u);
+  EXPECT_EQ(trail.back().tick, 10u);
+  EXPECT_EQ(controller->ticks(), 10u);
+}
+
+TEST(ControllerObs, MetricsCountOutcomesAndTrackGauges) {
+  FakePlant plant(2, /*initial_k=*/128);
+  auto controller = MakeController(&plant, BaseOptions());
+  obs::MetricsRegistry registry;
+  controller->EnableMetrics(&registry);
+
+  plant.shard(0).signals.queue_fraction = 0.9;  // Steps down.
+  plant.shard(1).signals.queue_fraction = 0.5;  // Holds.
+  controller->TickNow();
+
+  EXPECT_EQ(
+      registry.FindOrCreateCounter("shpir_control_ticks_total")->Value(),
+      1u);
+  EXPECT_EQ(
+      registry.FindOrCreateCounter("shpir_control_applied_total")->Value(),
+      1u);
+  EXPECT_EQ(
+      registry.FindOrCreateCounter("shpir_control_hold_total")->Value(),
+      1u);
+  // Gauges reflect the worst shard this tick: min published k and the
+  // max pressure. No live estimate yet, so effective c falls back to
+  // the Eq. 5 theory value at k = 128 and headroom is the rest of the
+  // bound.
+  EXPECT_DOUBLE_EQ(
+      registry.FindOrCreateGauge("shpir_control_block_size_k")->Value(),
+      128.0);
+  EXPECT_DOUBLE_EQ(
+      registry.FindOrCreateGauge("shpir_control_pressure")->Value(), 0.9);
+  EXPECT_DOUBLE_EQ(
+      registry.FindOrCreateGauge("shpir_control_effective_c")->Value(),
+      8.0 / 7.0);
+  EXPECT_DOUBLE_EQ(
+      registry.FindOrCreateGauge("shpir_control_privacy_headroom")->Value(),
+      4.0 - 8.0 / 7.0);
+  EXPECT_DOUBLE_EQ(
+      registry.FindOrCreateGauge("shpir_control_frozen")->Value(), 0.0);
+}
+
+TEST(ControllerObs, EventsAreEmittedPerTickAndPerDecision) {
+  FakePlant plant(1, /*initial_k=*/128);
+  auto controller = MakeController(&plant, BaseOptions());
+  obs::EventLog::Options log_options;
+  log_options.min_level = obs::EventLevel::kDebug;
+  obs::EventLog log(log_options);
+  controller->EnableEventLog(&log);
+
+  plant.shard(0).signals.queue_fraction = 0.9;
+  controller->TickNow();
+  plant.shard(0).signals.c_estimate = 6.0;
+  plant.shard(0).signals.pending_block_size = 0;
+  plant.shard(0).signals.block_size = 64;
+  controller->TickNow();
+
+  bool saw_tick = false, saw_decision = false, saw_clamp = false;
+  for (const obs::EventRecord& event : log.Snapshot()) {
+    const std::string name = event.name;
+    if (name == "control_tick") {
+      saw_tick = true;
+      EXPECT_EQ(event.level, obs::EventLevel::kDebug);
+    } else if (name == "control_decision") {
+      saw_decision = true;
+      EXPECT_EQ(event.shard, 0);
+    } else if (name == "control_privacy_clamp") {
+      saw_clamp = true;
+      EXPECT_EQ(event.level, obs::EventLevel::kWarn);
+    }
+  }
+  EXPECT_TRUE(saw_tick);
+  EXPECT_TRUE(saw_decision);
+  EXPECT_TRUE(saw_clamp);
+}
+
+TEST(ControllerBackground, StartTicksAndStopJoins) {
+  FakePlant plant(1, /*initial_k=*/64);
+  PrivacyCostController::Options options = BaseOptions();
+  options.tick_interval = std::chrono::milliseconds(1);
+  auto controller = MakeController(&plant, options);
+  controller->Start();
+  controller->Start();  // Idempotent.
+  while (controller->ticks() < 3) {
+  }
+  controller->Stop();
+  const uint64_t after_stop = controller->ticks();
+  EXPECT_GE(after_stop, 3u);
+  controller->Stop();  // Idempotent.
+  EXPECT_EQ(controller->ticks(), after_stop);
+}
+
+// --- Paired-rig proof: over a real sharded engine, the controller's
+// --- event and trace shapes do not depend on which pages clients ask
+// --- for (acceptance criterion #3 in docs/CONTROL.md).
+
+struct ControlRig {
+  std::unique_ptr<obs::EventLog> log;
+  std::unique_ptr<obs::Tracer> tracer;
+  std::unique_ptr<shard::ShardedPirEngine> engine;
+  std::unique_ptr<ShardedEnginePlant> plant;
+  std::unique_ptr<PrivacyCostController> controller;
+
+  static ControlRig Make() {
+    ControlRig rig;
+    obs::EventLog::Options log_options;
+    log_options.min_level = obs::EventLevel::kDebug;
+    rig.log = std::make_unique<obs::EventLog>(log_options);
+    obs::Tracer::Options trace_options;
+    trace_options.sample_every = 1;
+    trace_options.seed = 42;
+    rig.tracer = std::make_unique<obs::Tracer>(trace_options);
+
+    shard::ShardedPirEngine::Options options;
+    options.num_pages = 64;
+    options.page_size = 32;
+    options.cache_pages = 8;
+    options.privacy_c = 2.0;
+    options.shards = 2;
+    options.queue_depth = 64;
+    options.seed = 11;
+    auto engine = shard::ShardedPirEngine::Create(options);
+    SHPIR_CHECK(engine.ok());
+    rig.engine = std::move(engine).value();
+    SHPIR_CHECK_OK(rig.engine->Initialize({}));
+
+    rig.plant = std::make_unique<ShardedEnginePlant>(rig.engine.get());
+    PrivacyCostController::Options copts;
+    copts.c_bound = 4.0;
+    auto controller =
+        PrivacyCostController::Create(copts, rig.plant.get());
+    SHPIR_CHECK(controller.ok());
+    rig.controller = std::move(*controller);
+    rig.controller->EnableEventLog(rig.log.get());
+    rig.controller->EnableTracing(rig.tracer.get());
+    return rig;
+  }
+
+  void Drive(const std::vector<storage::PageId>& targets) {
+    for (const storage::PageId id : targets) {
+      SHPIR_CHECK_OK(engine->Retrieve(id).status());
+    }
+    engine->WaitIdle();
+    controller->TickNow();
+  }
+};
+
+TEST(ControllerShape, PairedRigsEmitIdenticalEventAndSpanShapes) {
+  ControlRig a = ControlRig::Make();
+  ControlRig b = ControlRig::Make();
+  // Disjoint secret targets on different shards (low vs high halves).
+  a.Drive({0, 1, 2, 3});
+  b.Drive({63, 62, 61, 60});
+  a.Drive({4, 5, 6, 7});
+  b.Drive({59, 58, 57, 56});
+
+  const std::string shape_a = obs::EventShape(a.log->Snapshot());
+  const std::string shape_b = obs::EventShape(b.log->Snapshot());
+  EXPECT_FALSE(shape_a.empty());
+  EXPECT_EQ(shape_a, shape_b);
+  EXPECT_NE(shape_a.find("control_tick"), std::string::npos) << shape_a;
+
+  // Same decisions, same counters: the controller saw only aggregates.
+  EXPECT_EQ(a.controller->ticks(), b.controller->ticks());
+  EXPECT_EQ(a.controller->Trail().size(), b.controller->Trail().size());
+
+  // Trace shapes: identical multiset of span names.
+  std::vector<std::string> spans_a, spans_b;
+  for (const obs::SpanRecord& span : a.tracer->Snapshot()) {
+    spans_a.push_back(span.name);
+  }
+  for (const obs::SpanRecord& span : b.tracer->Snapshot()) {
+    spans_b.push_back(span.name);
+  }
+  std::sort(spans_a.begin(), spans_a.end());
+  std::sort(spans_b.begin(), spans_b.end());
+  EXPECT_FALSE(spans_a.empty());
+  EXPECT_EQ(spans_a, spans_b);
+}
+
+}  // namespace
+}  // namespace shpir::control

@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "common/check.h"
 #include "core/capprox_pir.h"
@@ -44,6 +46,106 @@ TEST(WireTest, ResponseRoundTrip) {
       DecodeResponse(EncodeErrorResponse(NotFoundError("gone")));
   EXPECT_FALSE(err.ok());
   EXPECT_NE(err.status().message().find("gone"), std::string::npos);
+}
+
+TEST(WireTest, ControlRequestRoundTrip) {
+  ControlRequest request;
+  request.verb = ControlVerb::kSetBounds;
+  request.k_min = 32;
+  request.k_max = 128;
+  Result<ControlRequest> back =
+      DecodeControlRequest(EncodeControlRequest(request));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->verb, ControlVerb::kSetBounds);
+  EXPECT_EQ(back->k_min, 32u);
+  EXPECT_EQ(back->k_max, 128u);
+  for (ControlVerb verb : {ControlVerb::kStatus, ControlVerb::kFreeze,
+                           ControlVerb::kUnfreeze}) {
+    ControlRequest probe;
+    probe.verb = verb;
+    Result<ControlRequest> echoed =
+        DecodeControlRequest(EncodeControlRequest(probe));
+    ASSERT_TRUE(echoed.ok());
+    EXPECT_EQ(echoed->verb, verb);
+  }
+}
+
+TEST(WireTest, ControlRequestRejectsMalformedPayloads) {
+  const Bytes good = EncodeControlRequest(ControlRequest{});
+  ASSERT_EQ(good.size(), 18u);
+
+  Bytes truncated(good.begin(), good.end() - 1);
+  EXPECT_FALSE(DecodeControlRequest(truncated).ok());
+  Bytes oversize = good;
+  oversize.push_back(0);
+  EXPECT_FALSE(DecodeControlRequest(oversize).ok());
+
+  Bytes future_version = good;
+  future_version[0] = kControlRequestVersion + 1;
+  EXPECT_FALSE(DecodeControlRequest(future_version).ok());
+
+  Bytes unknown_verb = good;
+  unknown_verb[1] = 99;
+  EXPECT_FALSE(DecodeControlRequest(unknown_verb).ok());
+}
+
+TEST(StorageControlTest, ControlOpRoutesVerbsToTheProvider) {
+  storage::MemoryDisk disk(4, 8);
+  StorageServer server(&disk);
+
+  Request request;
+  request.op = Op::kControlStatus;
+  request.payload = EncodeControlRequest(ControlRequest{});
+
+  // Until a provider is attached the op answers Unimplemented.
+  Result<Bytes> unattached =
+      DecodeResponse(server.Handle(EncodeRequest(request)));
+  EXPECT_FALSE(unattached.ok());
+  EXPECT_NE(unattached.status().message().find("no privacy/cost controller"),
+            std::string::npos);
+
+  std::vector<ControlRequest> seen;
+  server.SetControlProvider(
+      [&seen](const ControlRequest& verb) -> Result<std::string> {
+        seen.push_back(verb);
+        if (verb.verb == ControlVerb::kSetBounds && verb.k_min > verb.k_max) {
+          return InvalidArgumentError("no feasible block size");
+        }
+        return std::string("{\"frozen\":false}");
+      });
+
+  Result<Bytes> status = DecodeResponse(server.Handle(EncodeRequest(request)));
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(std::string(status->begin(), status->end()),
+            "{\"frozen\":false}");
+
+  ControlRequest bounds;
+  bounds.verb = ControlVerb::kSetBounds;
+  bounds.k_min = 16;
+  bounds.k_max = 64;
+  request.payload = EncodeControlRequest(bounds);
+  ASSERT_TRUE(DecodeResponse(server.Handle(EncodeRequest(request))).ok());
+
+  // A provider rejection surfaces as the wire error, verbatim.
+  bounds.k_min = 64;
+  bounds.k_max = 16;
+  request.payload = EncodeControlRequest(bounds);
+  Result<Bytes> rejected =
+      DecodeResponse(server.Handle(EncodeRequest(request)));
+  EXPECT_FALSE(rejected.ok());
+  EXPECT_NE(rejected.status().message().find("no feasible block size"),
+            std::string::npos);
+
+  // A malformed payload is rejected before the provider ever runs.
+  request.payload = Bytes{1, 2, 3};
+  EXPECT_FALSE(DecodeResponse(server.Handle(EncodeRequest(request))).ok());
+
+  ASSERT_EQ(seen.size(), 3u);
+  EXPECT_EQ(seen[0].verb, ControlVerb::kStatus);
+  EXPECT_EQ(seen[1].verb, ControlVerb::kSetBounds);
+  EXPECT_EQ(seen[1].k_min, 16u);
+  EXPECT_EQ(seen[1].k_max, 64u);
+  EXPECT_EQ(seen[2].verb, ControlVerb::kSetBounds);
 }
 
 TEST(RemoteDiskTest, GeometryAndBasicIo) {

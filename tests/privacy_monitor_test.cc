@@ -266,5 +266,65 @@ TEST(ShardedPrivacyMonitorTest, PerShardMonitorsPublishEstimates) {
   (*engine)->Drain();
 }
 
+TEST(PrivacyMonitorTest, MidWindowBlockSizeChangeRebasesCleanly) {
+  // An online retune changes the scan period mid-window: the monitor
+  // must discard the old-period samples (no stale estimate), start a
+  // fresh window under the new period, and never manufacture a breach
+  // out of the transition itself.
+  Rig rig = Rig::Make(/*n=*/64, /*m=*/8, /*k=*/16, /*seed=*/31);
+  ASSERT_EQ(rig.engine->scan_period(), 4u);
+  // The bound sits above the analytic c of BOTH periods (k=16 -> 1.49,
+  // k=8 -> 2.55): any breach counted in this test is spurious.
+  PrivacyMonitor monitor(
+      MakeOptions(rig.engine->scan_period(), /*window=*/1 << 14,
+                  /*configured_c=*/4.0, /*check_interval=*/64));
+  rig.engine->AttachPrivacyMonitor(&monitor);
+
+  crypto::SecureRandom workload(32);
+  for (int i = 0; i < 4000; ++i) {
+    ASSERT_TRUE(rig.engine->Retrieve(workload.UniformInt(64)).ok());
+  }
+  Result<double> before = monitor.Estimate();
+  ASSERT_TRUE(before.ok()) << before.status();
+  EXPECT_NEAR(*before, std::pow(8.0 / 7.0, 3), *before * 0.25);
+  EXPECT_EQ(monitor.breaches(), 0u);
+
+  // Retune 16 -> 8 and drive it across the scan-period boundary.
+  ASSERT_TRUE(rig.engine->RequestBlockSize(8).ok());
+  for (int i = 0; rig.engine->block_size_transitions() == 0 && i < 64;
+       ++i) {
+    ASSERT_TRUE(rig.engine->Retrieve(workload.UniformInt(64)).ok());
+  }
+  ASSERT_EQ(rig.engine->block_size_transitions(), 1u);
+
+  // The monitor rebased with the engine: new period, window discarded.
+  EXPECT_EQ(monitor.scan_period(), 8u);
+  EXPECT_EQ(monitor.rebases(), 1u);
+  // No stale window: the estimate is unavailable again until every
+  // new-period bin has samples — old-period data cannot leak through.
+  EXPECT_FALSE(monitor.Estimate().ok());
+  EXPECT_EQ(monitor.breaches(), 0u);
+
+  // Refill under the new period: the estimate converges to the k=8
+  // analytic value, and the transition never latched a breach.
+  for (int i = 0; i < 8000; ++i) {
+    ASSERT_TRUE(rig.engine->Retrieve(workload.UniformInt(64)).ok());
+  }
+  Result<double> after = monitor.Estimate();
+  ASSERT_TRUE(after.ok()) << after.status();
+  EXPECT_NEAR(*after, std::pow(8.0 / 7.0, 7), *after * 0.25);
+  EXPECT_EQ(monitor.breaches(), 0u);
+  EXPECT_EQ(monitor.rebases(), 1u);
+}
+
+TEST(PrivacyMonitorTest, RebaseToSamePeriodIsANoOp) {
+  PrivacyMonitor monitor(MakeOptions(/*scan_period=*/4, /*window=*/64));
+  Feed(monitor, 1, 0, 1);
+  Feed(monitor, 2, 0, 2);
+  monitor.OnScanPeriodChange(4);
+  EXPECT_EQ(monitor.rebases(), 0u);
+  EXPECT_EQ(monitor.relocations(), 2u);
+}
+
 }  // namespace
 }  // namespace shpir::obs

@@ -4,7 +4,9 @@
 
 #include <atomic>
 #include <memory>
+#include <string>
 #include <thread>
+#include <vector>
 
 #include "common/check.h"
 #include "core/capprox_pir.h"
@@ -303,6 +305,50 @@ TEST(ServiceHubTest, StatsPayloadStaysInsideTrustBoundary) {
           << "per-request identifier in metric name: " << name;
     }
   }
+}
+
+TEST(ServiceHubTest, ControlVerbsRideTheSealedSession) {
+  Rig rig = Rig::Make(77);
+  std::vector<ControlRequest> seen;
+  rig.hub = std::make_unique<ServiceHub>(
+      rig.engine.get(), rig.psk, /*rng_seed=*/78, /*metrics=*/nullptr,
+      /*tracer=*/nullptr, /*profile_dump=*/nullptr, /*slo_status=*/nullptr,
+      /*keyword_manifest=*/nullptr, /*event_dump=*/nullptr,
+      /*incident_dump=*/nullptr, /*health=*/nullptr,
+      [&seen](const ControlRequest& request) -> Result<Bytes> {
+        seen.push_back(request);
+        const std::string json = request.verb == ControlVerb::kFreeze
+                                     ? "{\"frozen\":true}"
+                                     : "{\"frozen\":false}";
+        return Bytes(json.begin(), json.end());
+      });
+  PirServiceClient client = MakeClient(rig, 1, 900);
+
+  Result<Bytes> status = client.ControlStatus();
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(std::string(status->begin(), status->end()),
+            "{\"frozen\":false}");
+  Result<Bytes> frozen = client.ControlFreeze();
+  ASSERT_TRUE(frozen.ok());
+  EXPECT_EQ(std::string(frozen->begin(), frozen->end()),
+            "{\"frozen\":true}");
+  ASSERT_TRUE(client.ControlUnfreeze().ok());
+  ASSERT_TRUE(client.ControlSetBounds(32, 128).ok());
+
+  ASSERT_EQ(seen.size(), 4u);
+  EXPECT_EQ(seen[0].verb, ControlVerb::kStatus);
+  EXPECT_EQ(seen[1].verb, ControlVerb::kFreeze);
+  EXPECT_EQ(seen[2].verb, ControlVerb::kUnfreeze);
+  EXPECT_EQ(seen[3].verb, ControlVerb::kSetBounds);
+  EXPECT_EQ(seen[3].k_min, 32u);
+  EXPECT_EQ(seen[3].k_max, 128u);
+}
+
+TEST(ServiceHubTest, ControlWithoutControllerIsAnError) {
+  Rig rig = Rig::Make(79);
+  PirServiceClient client = MakeClient(rig, 1, 901);
+  Result<Bytes> status = client.ControlStatus();
+  EXPECT_FALSE(status.ok());
 }
 
 // The sessions() accessor must synchronize with handshakes mutating the

@@ -172,3 +172,72 @@ TEST(QueueingTest, HigherLoadMeansLongerQueues) {
 
 }  // namespace
 }  // namespace shpir::model
+
+namespace shpir::workload {
+namespace {
+
+DiurnalBurstyWorkload::Options BurstyOptions(uint64_t seed) {
+  DiurnalBurstyWorkload::Options options;
+  options.num_pages = 128;
+  options.base_qps = 50.0;
+  options.mean_burst_interval_s = 10.0;
+  options.burst_duration_s = 3.0;
+  options.seed = seed;
+  return options;
+}
+
+TEST(DiurnalBurstyWorkloadTest, SeededReplayIsExact) {
+  // The controller bench depends on this: the same seed must replay the
+  // byte-identical (arrival_ns, page) schedule, so adaptive and static
+  // runs see the same traffic and regressions reproduce.
+  DiurnalBurstyWorkload a(BurstyOptions(7));
+  DiurnalBurstyWorkload b(BurstyOptions(7));
+  DiurnalBurstyWorkload other(BurstyOptions(8));
+  EXPECT_STREQ(a.name(), "diurnal-bursty");
+
+  bool diverged = false;
+  uint64_t last_arrival = 0;
+  for (int i = 0; i < 5000; ++i) {
+    const TimedRequest ra = a.Next();
+    const TimedRequest rb = b.Next();
+    const TimedRequest rc = other.Next();
+    ASSERT_EQ(ra.arrival_ns, rb.arrival_ns) << "at request " << i;
+    ASSERT_EQ(ra.page, rb.page) << "at request " << i;
+    diverged = diverged || ra.arrival_ns != rc.arrival_ns ||
+               ra.page != rc.page;
+    EXPECT_LT(ra.page, 128u);
+    EXPECT_GE(ra.arrival_ns, last_arrival);  // Monotone stream clock.
+    last_arrival = ra.arrival_ns;
+  }
+  EXPECT_TRUE(diverged);  // A different seed is a different schedule.
+}
+
+TEST(DiurnalBurstyWorkloadTest, BurstsElevateTheArrivalRate) {
+  DiurnalBurstyWorkload::Options options = BurstyOptions(21);
+  options.burst_factor = 5.0;
+  DiurnalBurstyWorkload wl(options);
+
+  double burst_gap_sum = 0.0, quiet_gap_sum = 0.0;
+  uint64_t burst_count = 0, quiet_count = 0;
+  double previous_clock = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    (void)wl.Next();
+    const double gap = wl.clock_seconds() - previous_clock;
+    previous_clock = wl.clock_seconds();
+    if (wl.in_burst()) {
+      burst_gap_sum += gap;
+      ++burst_count;
+    } else {
+      quiet_gap_sum += gap;
+      ++quiet_count;
+    }
+  }
+  // Both regimes appear, and inside a burst arrivals come much faster.
+  ASSERT_GT(burst_count, 100u);
+  ASSERT_GT(quiet_count, 100u);
+  EXPECT_LT(burst_gap_sum / burst_count,
+            0.5 * (quiet_gap_sum / quiet_count));
+}
+
+}  // namespace
+}  // namespace shpir::workload

@@ -1,0 +1,222 @@
+// Privacy/cost controller CLI: inspects and steers the adaptive
+// controller (src/control/) a running shpir endpoint hosts (see
+// docs/CONTROL.md).
+//
+// Two-party model — speaks the plaintext CONTROL_STATUS wire op against
+// a shpir_provider storage server:
+//
+//   shpir_ctl <status|watch|freeze|unfreeze|set-bounds KMIN KMAX>
+//             [--host H] [--port P]
+//
+// Three-party model — performs the hub handshake and issues the verbs
+// through the sealed session, so only holders of the pre-shared key can
+// steer the controller:
+//
+//   shpir_ctl hub <status|watch|freeze|unfreeze|set-bounds KMIN KMAX>
+//                 [--host H] [--port P] [--psk STR] [--client-id N]
+//
+// Every verb prints the controller's post-action status JSON (bounds,
+// per-shard k / c / ladder, the auditable decision trail). `watch`
+// re-polls status every --interval-ms (default 1000); --iterations N
+// bounds the polls (0 = forever). `set-bounds` takes KMAX 0 as
+// unbounded.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "crypto/secure_random.h"
+#include "net/pir_service.h"
+#include "net/service_hub.h"
+#include "net/tcp_transport.h"
+#include "net/wire.h"
+
+namespace {
+
+using namespace shpir;
+
+struct Flags {
+  std::map<std::string, std::string> values;
+
+  std::string Get(const std::string& key,
+                  const std::string& fallback = "") const {
+    auto it = values.find(key);
+    return it == values.end() ? fallback : it->second;
+  }
+  uint64_t GetU64(const std::string& key, uint64_t fallback) const {
+    auto it = values.find(key);
+    return it == values.end() ? fallback
+                              : std::strtoull(it->second.c_str(), nullptr,
+                                              10);
+  }
+};
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+/// One connected endpoint, either model; `Call` issues one control verb
+/// and returns the post-action status JSON.
+class Endpoint {
+ public:
+  static Result<std::unique_ptr<Endpoint>> Connect(const Flags& flags,
+                                                   bool hub) {
+    SHPIR_ASSIGN_OR_RETURN(
+        std::unique_ptr<net::TcpTransport> transport,
+        net::TcpTransport::Connect(
+            flags.Get("host", "127.0.0.1"),
+            static_cast<uint16_t>(flags.GetU64("port", 9000))));
+    auto endpoint = std::unique_ptr<Endpoint>(new Endpoint());
+    endpoint->transport_ = std::move(transport);
+    if (!hub) {
+      return endpoint;
+    }
+    const std::string psk_text = flags.Get("psk", "shpir");
+    const Bytes psk(psk_text.begin(), psk_text.end());
+    crypto::SecureRandom rng;  // OS entropy.
+    const uint64_t client_id = flags.values.count("client-id")
+                                   ? flags.GetU64("client-id", 0)
+                                   : rng.NextUint64();
+    Bytes nonce(net::SecureSession::kNonceSize);
+    rng.Fill(nonce);
+    SHPIR_ASSIGN_OR_RETURN(
+        Bytes hello_reply,
+        endpoint->transport_->RoundTrip(
+            net::ServiceHub::MakeHello(client_id, nonce)));
+    SHPIR_ASSIGN_OR_RETURN(net::SecureSession session,
+                           net::ServiceHub::CompleteHandshake(
+                               hello_reply, psk, client_id, nonce));
+    net::TcpTransport* wire = endpoint->transport_.get();
+    endpoint->client_ = std::make_unique<net::PirServiceClient>(
+        std::move(session), [wire, client_id](ByteSpan record) {
+          return wire->RoundTrip(
+              net::ServiceHub::MakeData(client_id, record));
+        });
+    return endpoint;
+  }
+
+  Result<Bytes> Call(const net::ControlRequest& control) {
+    if (client_ != nullptr) {
+      switch (control.verb) {
+        case net::ControlVerb::kStatus:
+          return client_->ControlStatus();
+        case net::ControlVerb::kFreeze:
+          return client_->ControlFreeze();
+        case net::ControlVerb::kUnfreeze:
+          return client_->ControlUnfreeze();
+        case net::ControlVerb::kSetBounds:
+          return client_->ControlSetBounds(control.k_min, control.k_max);
+      }
+      return InvalidArgumentError("unknown control verb");
+    }
+    net::Request request;
+    request.op = net::Op::kControlStatus;
+    request.payload = net::EncodeControlRequest(control);
+    SHPIR_ASSIGN_OR_RETURN(
+        Bytes reply, transport_->RoundTrip(net::EncodeRequest(request)));
+    return net::DecodeResponse(reply);
+  }
+
+ private:
+  Endpoint() = default;
+
+  std::unique_ptr<net::TcpTransport> transport_;
+  std::unique_ptr<net::PirServiceClient> client_;  // Hub mode only.
+};
+
+int Emit(const Bytes& json) {
+  std::fwrite(json.data(), 1, json.size(), stdout);
+  std::fputc('\n', stdout);
+  std::fflush(stdout);
+  return 0;
+}
+
+int Watch(const Flags& flags, Endpoint* endpoint) {
+  const uint64_t interval_ms = flags.GetU64("interval-ms", 1000);
+  const uint64_t iterations = flags.GetU64("iterations", 0);
+  net::ControlRequest status;  // Read-only verb.
+  bool first = true;
+  for (uint64_t i = 0; iterations == 0 || i < iterations; ++i) {
+    if (!first) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+    }
+    first = false;
+    Result<Bytes> json = endpoint->Call(status);
+    if (!json.ok()) {
+      return Fail(json.status());
+    }
+    Emit(*json);
+  }
+  return 0;
+}
+
+int Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [hub] status [--host H] [--port P]\n"
+      "       %s [hub] watch [--interval-ms T] [--iterations N]\n"
+      "           [--host H] [--port P]\n"
+      "       %s [hub] freeze|unfreeze [--host H] [--port P]\n"
+      "       %s [hub] set-bounds KMIN KMAX [--host H] [--port P]\n"
+      "hub mode also accepts [--psk STR] [--client-id N]\n",
+      argv0, argv0, argv0, argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int index = 1;
+  bool hub = false;
+  if (index < argc && std::strcmp(argv[index], "hub") == 0) {
+    hub = true;
+    ++index;
+  }
+  if (index >= argc) {
+    return Usage(argv[0]);
+  }
+  const std::string command = argv[index++];
+  net::ControlRequest control;
+  if (command == "status" || command == "watch") {
+    control.verb = net::ControlVerb::kStatus;
+  } else if (command == "freeze") {
+    control.verb = net::ControlVerb::kFreeze;
+  } else if (command == "unfreeze") {
+    control.verb = net::ControlVerb::kUnfreeze;
+  } else if (command == "set-bounds") {
+    control.verb = net::ControlVerb::kSetBounds;
+    if (index + 1 >= argc || std::strncmp(argv[index], "--", 2) == 0) {
+      return Usage(argv[0]);
+    }
+    control.k_min = std::strtoull(argv[index++], nullptr, 10);
+    control.k_max = std::strtoull(argv[index++], nullptr, 10);
+  } else {
+    return Usage(argv[0]);
+  }
+  Flags flags;
+  for (int i = index; i < argc; i += 2) {
+    if (std::strncmp(argv[i], "--", 2) != 0 || i + 1 >= argc) {
+      return Usage(argv[0]);
+    }
+    flags.values[argv[i] + 2] = argv[i + 1];
+  }
+  Result<std::unique_ptr<Endpoint>> endpoint =
+      Endpoint::Connect(flags, hub);
+  if (!endpoint.ok()) {
+    return Fail(endpoint.status());
+  }
+  if (command == "watch") {
+    return Watch(flags, endpoint->get());
+  }
+  Result<Bytes> json = (*endpoint)->Call(control);
+  if (!json.ok()) {
+    return Fail(json.status());
+  }
+  return Emit(*json);
+}

@@ -40,6 +40,14 @@
 // (flight recorder keeping the last K incident bundles; fetch with
 // shpir_incident / the INCIDENT_DUMP op; bundles also spill to
 // $SHPIR_INCIDENT_DIR when set). The HEALTH op is always answered.
+//
+// Hub mode additionally accepts --control-c-bound C: runs the
+// privacy/cost controller (src/control/), which retunes each shard's
+// block size k online between [--control-kmin, --control-kmax] to hold
+// latency while keeping Eq. 5 c below C. --control-interval-ms sets the
+// tick period (default 1000); --control-frozen 1 starts it frozen
+// (observe only). Inspect and steer with shpir_ctl / `shpir_stats
+// --control` (CONTROL_STATUS op).
 
 #include <cstdio>
 #include <cstdlib>
@@ -49,6 +57,7 @@
 #include <string>
 #include <vector>
 
+#include "control/controller.h"
 #include "net/service_hub.h"
 #include "net/storage_server.h"
 #include "net/tcp_transport.h"
@@ -232,11 +241,63 @@ int ServeHub(int argc, char** argv) {
     return Bytes(body.begin(), body.end());
   };
 
+  control::ShardedEnginePlant plant(engine->get());
+  std::unique_ptr<control::PrivacyCostController> controller;
+  net::PirServiceServer::ControlProvider control_provider;
+  const double control_c_bound = flags.GetDouble("control-c-bound", 0.0);
+  if (control_c_bound > 0.0) {
+    control::PrivacyCostController::Options copts;
+    copts.c_bound = control_c_bound;
+    copts.k_min = flags.GetU64("control-kmin", 1);
+    copts.k_max = flags.GetU64("control-kmax", 0);
+    copts.tick_interval = std::chrono::milliseconds(
+        flags.GetU64("control-interval-ms", 1000));
+    copts.start_frozen = flags.GetU64("control-frozen", 0) != 0;
+    Result<std::unique_ptr<control::PrivacyCostController>> created =
+        control::PrivacyCostController::Create(copts, &plant);
+    if (!created.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   created.status().ToString().c_str());
+      return 1;
+    }
+    controller = std::move(*created);
+    controller->EnableMetrics(&metrics);
+    controller->EnableEventLog(eventlog.get());
+    controller->EnableTracing(tracer.get());
+    if (recorder != nullptr) {
+      controller->EnableFlightRecorder(recorder.get());
+    }
+    control_provider = [c = controller.get()](
+                           const net::ControlRequest& request)
+        -> Result<Bytes> {
+      switch (request.verb) {
+        case net::ControlVerb::kStatus:
+          break;
+        case net::ControlVerb::kFreeze:
+          c->Freeze();
+          break;
+        case net::ControlVerb::kUnfreeze:
+          c->Unfreeze();
+          break;
+        case net::ControlVerb::kSetBounds: {
+          const Status set = c->SetBounds(request.k_min, request.k_max);
+          if (!set.ok()) {
+            return set;
+          }
+          break;
+        }
+      }
+      const std::string body = c->StatusJson();
+      return Bytes(body.begin(), body.end());
+    };
+    controller->Start();
+  }
+
   net::ServiceHub hub(engine->get(), std::move(psk), /*rng_seed=*/0,
                       &metrics, tracer.get(), std::move(profile_dump),
                       std::move(slo_status), /*keyword_manifest=*/nullptr,
                       std::move(event_dump), std::move(incident_dump),
-                      std::move(health));
+                      std::move(health), std::move(control_provider));
   Result<std::unique_ptr<net::TcpFrameListener>> listener =
       net::TcpFrameListener::Listen(
           [&hub](ByteSpan frame) { return hub.HandleFrame(frame); }, port);
@@ -255,6 +316,9 @@ int ServeHub(int argc, char** argv) {
   std::printf("serving on 127.0.0.1:%u\n", (*listener)->port());
   std::fflush(stdout);
   (*listener)->Run();
+  if (controller != nullptr) {
+    controller->Stop();
+  }
   (*engine)->Drain();
   return 0;
 }
@@ -401,7 +465,10 @@ int main(int argc, char** argv) {
         "          [--shards S] [--queue-depth D] [--deadline-ms T]\n"
         "          [--port P] [--psk STR] [--seed X]\n"
         "          [--trace-buffer SPANS] [--profile-sample N]\n"
-        "          [--slo-latency-ms T] [--eventlog N] [--incidents K]\n",
+        "          [--slo-latency-ms T] [--eventlog N] [--incidents K]\n"
+        "          [--control-c-bound C] [--control-kmin K]\n"
+        "          [--control-kmax K] [--control-interval-ms T]\n"
+        "          [--control-frozen 0|1]\n",
         argv[0], argv[0]);
   }
   return code;

@@ -4,7 +4,8 @@
 // provider's registry never holds per-request data.
 //
 //   shpir_stats [--host H] [--port P]
-//               [--json | --prometheus | --slo | --health | --events]
+//               [--json | --prometheus | --slo | --health | --events |
+//                --control]
 //               [--watch SECONDS]
 //
 // Default output is a human-readable table (headed by a build-identity
@@ -20,6 +21,10 @@
 // every SECONDS seconds until interrupted; transient poll failures
 // (provider restarting, connection refused) are reported and retried,
 // and the tool only gives up after several consecutive failures.
+// --control fetches the privacy/cost controller status (CONTROL_STATUS
+// op) and renders a per-shard table — current k, pending k, theoretical
+// and live-estimated c, cooldown — plus the controller state line;
+// combined with --watch it is a live controller dashboard.
 
 #include <chrono>
 #include <cstdio>
@@ -42,7 +47,74 @@ int Fail(const Status& status) {
   return 1;
 }
 
-enum class Format { kTable, kJson, kPrometheus, kSlo, kHealth, kEvents };
+enum class Format {
+  kTable,
+  kJson,
+  kPrometheus,
+  kSlo,
+  kHealth,
+  kEvents,
+  kControl
+};
+
+/// Extracts the numeric/boolean token following `"key":` inside
+/// `json[from..)`. Returns the empty string when absent. Good enough
+/// for the controller's closed status schema; not a general parser.
+std::string FieldToken(const std::string& json, const std::string& key,
+                       size_t from, size_t to) {
+  const std::string needle = "\"" + key + "\":";
+  const size_t at = json.find(needle, from);
+  if (at == std::string::npos || at >= to) {
+    return "";
+  }
+  size_t begin = at + needle.size();
+  size_t end = begin;
+  while (end < to && json[end] != ',' && json[end] != '}' &&
+         json[end] != ']') {
+    ++end;
+  }
+  return json.substr(begin, end - begin);
+}
+
+/// Renders the controller status document as a state line plus one row
+/// per shard (current k, pending k, c_theory, live c-estimate,
+/// cooldown) — the operator's at-a-glance controller view.
+void RenderControlTable(const std::string& json) {
+  std::printf("controller: frozen=%s ticks=%s clamps=%s bounds=[%s, %s] "
+              "c_bound=%s\n",
+              FieldToken(json, "frozen", 0, json.size()).c_str(),
+              FieldToken(json, "ticks", 0, json.size()).c_str(),
+              FieldToken(json, "clamps", 0, json.size()).c_str(),
+              FieldToken(json, "k_min", 0, json.size()).c_str(),
+              FieldToken(json, "k_max", 0, json.size()).c_str(),
+              FieldToken(json, "c_bound", 0, json.size()).c_str());
+  std::printf("%6s %6s %9s %9s %11s %9s %9s\n", "shard", "k", "pending",
+              "c_theory", "c_estimate", "queue", "cooldown");
+  size_t cursor = json.find("\"shards\":[");
+  if (cursor == std::string::npos) {
+    return;
+  }
+  const size_t shards_end = json.find("],\"decisions\"", cursor);
+  const size_t limit =
+      shards_end == std::string::npos ? json.size() : shards_end;
+  while (true) {
+    const size_t open = json.find('{', cursor);
+    if (open == std::string::npos || open >= limit) {
+      break;
+    }
+    const size_t close = json.find('}', open);
+    const size_t end = close == std::string::npos ? limit : close;
+    std::printf("%6s %6s %9s %9s %11s %9s %9s\n",
+                FieldToken(json, "shard", open, end).c_str(),
+                FieldToken(json, "k", open, end).c_str(),
+                FieldToken(json, "pending_k", open, end).c_str(),
+                FieldToken(json, "c_theory", open, end).c_str(),
+                FieldToken(json, "c_estimate", open, end).c_str(),
+                FieldToken(json, "queue_fraction", open, end).c_str(),
+                FieldToken(json, "cooldown", open, end).c_str());
+    cursor = end + 1;
+  }
+}
 
 int PollOnce(const std::string& host, uint16_t port, Format format) {
   Result<std::unique_ptr<net::TcpTransport>> transport =
@@ -51,10 +123,15 @@ int PollOnce(const std::string& host, uint16_t port, Format format) {
     return Fail(transport.status());
   }
   net::Request request;
-  request.op = format == Format::kSlo      ? net::Op::kSloStatus
-               : format == Format::kHealth ? net::Op::kHealth
-               : format == Format::kEvents ? net::Op::kEventDump
-                                           : net::Op::kStats;
+  request.op = format == Format::kSlo       ? net::Op::kSloStatus
+               : format == Format::kHealth  ? net::Op::kHealth
+               : format == Format::kEvents  ? net::Op::kEventDump
+               : format == Format::kControl ? net::Op::kControlStatus
+                                            : net::Op::kStats;
+  if (format == Format::kControl) {
+    net::ControlRequest control;  // Read-only status verb.
+    request.payload = net::EncodeControlRequest(control);
+  }
   Result<Bytes> reply =
       (*transport)->RoundTrip(net::EncodeRequest(request));
   if (!reply.ok()) {
@@ -74,6 +151,10 @@ int PollOnce(const std::string& host, uint16_t port, Format format) {
   if (format == Format::kJson || format == Format::kSlo ||
       format == Format::kEvents) {
     std::printf("%s\n", json.c_str());
+    return 0;
+  }
+  if (format == Format::kControl) {
+    RenderControlTable(json);
     return 0;
   }
   Result<obs::MetricsSnapshot> snapshot = obs::ParseJsonSnapshot(json);
@@ -118,6 +199,8 @@ int main(int argc, char** argv) {
       format = Format::kHealth;
     } else if (arg == "--events") {
       format = Format::kEvents;
+    } else if (arg == "--control") {
+      format = Format::kControl;
     } else if (arg == "--host" && i + 1 < argc) {
       host = argv[++i];
     } else if (arg == "--port" && i + 1 < argc) {
@@ -127,8 +210,8 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: %s [--host H] [--port P] [--json | "
-                   "--prometheus | --slo | --health | --events] "
-                   "[--watch SECONDS]\n",
+                   "--prometheus | --slo | --health | --events | "
+                   "--control] [--watch SECONDS]\n",
                    argv[0]);
       return 2;
     }
@@ -144,7 +227,8 @@ int main(int argc, char** argv) {
   bool first = true;
   while (true) {
     // Separate successive tables; error lines separate themselves.
-    if (!first && consecutive_failures == 0 && format == Format::kTable) {
+    if (!first && consecutive_failures == 0 &&
+        (format == Format::kTable || format == Format::kControl)) {
       std::printf("---\n");
       std::fflush(stdout);
     }
